@@ -1,0 +1,132 @@
+package atmcac
+
+import (
+	"atmcac/internal/bitstream"
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+)
+
+// Bit-stream traffic model (paper Sections 2-3 and 4.2).
+type (
+	// Stream is a worst-case traffic envelope: a monotone non-increasing
+	// step function of rate over time (rates normalized to the link, time
+	// in cell times).
+	Stream = bitstream.Stream
+	// Segment is one step of a Stream.
+	Segment = bitstream.Segment
+)
+
+// Bit-stream constructors and algebra (Algorithms 2.1 and 3.1-3.4).
+var (
+	// NewStream validates and canonicalizes segments into a Stream.
+	NewStream = bitstream.New
+	// FromVBR is Algorithm 2.1: the envelope of a (PCR, SCR, MBS) source.
+	FromVBR = bitstream.FromVBR
+	// ZeroStream returns the empty stream.
+	ZeroStream = bitstream.Zero
+	// ConstantStream returns a constant-rate stream.
+	ConstantStream = bitstream.Constant
+	// AddStreams is Algorithm 3.2 (multiplexing).
+	AddStreams = bitstream.Add
+	// SumStreams multiplexes any number of streams in one pass.
+	SumStreams = bitstream.Sum
+	// SubStreams is Algorithm 3.3 (demultiplexing).
+	SubStreams = bitstream.Sub
+	// DelayBound is Algorithm 4.1: the worst-case queueing delay of an
+	// aggregate at a static-priority FIFO queueing point.
+	DelayBound = bitstream.DelayBound
+	// MaxBacklog is the companion worst-case buffer occupancy bound.
+	MaxBacklog = bitstream.MaxBacklog
+)
+
+// Sentinel errors of the bit-stream algebra.
+var (
+	// ErrUnstable reports an overloaded queueing point (unbounded delay).
+	ErrUnstable = bitstream.ErrUnstable
+	// ErrInvalidStream reports a malformed stream.
+	ErrInvalidStream = bitstream.ErrInvalidStream
+	// ErrNotComponent reports an invalid demultiplexing.
+	ErrNotComponent = bitstream.ErrNotComponent
+)
+
+// Traffic descriptors and units (paper Section 2 and the RTnet evaluation).
+type (
+	// TrafficSpec is the (PCR, SCR, MBS) descriptor of a connection.
+	TrafficSpec = traffic.Spec
+	// Link converts between physical link units and cell times.
+	Link = traffic.Link
+	// Pacer emits the earliest-conforming cell schedule of a source.
+	Pacer = traffic.Pacer
+	// ConformanceChecker verifies an arrival sequence against a descriptor.
+	ConformanceChecker = traffic.Checker
+)
+
+var (
+	// CBR returns a constant-bit-rate descriptor.
+	CBR = traffic.CBR
+	// VBR returns a variable-bit-rate descriptor.
+	VBR = traffic.VBR
+	// NewPacer returns a conforming source pacer.
+	NewPacer = traffic.NewPacer
+	// NewConformanceChecker returns a GCRA conformance checker.
+	NewConformanceChecker = traffic.NewChecker
+	// OC3 is the 155.52 Mbps link of RTnet (one cell time is about 2.7us).
+	OC3 = traffic.OC3
+)
+
+// CAC engine (paper Section 4.3).
+type (
+	// Priority is a static transmission priority; 1 is highest.
+	Priority = core.Priority
+	// PortID identifies a switch port.
+	PortID = core.PortID
+	// ConnID identifies a connection network-wide.
+	ConnID = core.ConnID
+	// SwitchConfig configures a switch's real-time FIFO queues.
+	SwitchConfig = core.SwitchConfig
+	// Switch holds one switching node's admission state.
+	Switch = core.Switch
+	// HopRequest is a per-switch admission request.
+	HopRequest = core.HopRequest
+	// HopResult reports a successful per-switch check.
+	HopResult = core.HopResult
+	// Hop is one queueing point of a route.
+	Hop = core.Hop
+	// Route is an ordered list of queueing points.
+	Route = core.Route
+	// ConnRequest is a network-level setup request: the paper's
+	// (PCR, SCR, MBS, D) plus route and priority.
+	ConnRequest = core.ConnRequest
+	// Admission summarizes a successful end-to-end setup.
+	Admission = core.Admission
+	// Violation is a queue found over budget by Network.Audit.
+	Violation = core.Violation
+	// Network is a set of CAC switches with a CDV policy.
+	Network = core.Network
+	// CDVPolicy accumulates upstream delay bounds into a CDV.
+	CDVPolicy = core.CDVPolicy
+	// HardCDV is the worst-case (sum) accumulation policy.
+	HardCDV = core.HardCDV
+	// SoftCDV is the square-root-sum accumulation policy for soft
+	// real-time connections.
+	SoftCDV = core.SoftCDV
+	// RejectionError explains a CAC rejection.
+	RejectionError = core.RejectionError
+)
+
+var (
+	// NewSwitch returns a CAC switch.
+	NewSwitch = core.NewSwitch
+	// NewNetwork returns an empty CAC network (nil policy means hard).
+	NewNetwork = core.NewNetwork
+)
+
+// Sentinel errors of the CAC engine.
+var (
+	// ErrRejected reports a connection that failed the CAC check.
+	ErrRejected = core.ErrRejected
+	// ErrDuplicateConn reports an already-admitted connection ID.
+	ErrDuplicateConn = core.ErrDuplicateConn
+	// ErrUnknownConn reports an operation on an unknown connection.
+	ErrUnknownConn = core.ErrUnknownConn
+)

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	f()
+	_ = w.Close()
+	return <-done
+}
+
+func TestRunGuaranteesHold(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-ring", "6", "-terminals", "2", "-load", "0.3", "-slots", "20000"}); code != 0 {
+			t.Errorf("exit code = %d, want 0", code)
+		}
+	})
+	if !strings.Contains(out, "all analytic guarantees hold") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRunRandomMode(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-ring", "6", "-terminals", "2", "-load", "0.3",
+			"-slots", "20000", "-mode", "random", "-seed", "9"}); code != 0 {
+			t.Errorf("exit code = %d, want 0", code)
+		}
+	})
+	if !strings.Contains(out, "0 drops") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRunInfeasibleWorkload(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-ring", "8", "-terminals", "16", "-load", "0.95", "-slots", "1000"}); code != 1 {
+			t.Errorf("exit code = %d, want 1", code)
+		}
+	})
+	if !strings.Contains(out, "rejected") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	if code := run([]string{"-mode", "chaotic"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-nope"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	out := captureStdout(t, func() {
+		if code := run([]string{"-ring", "6", "-terminals", "2", "-load", "0.3",
+			"-slots", "5000", "-trace", path}); code != 0 {
+			t.Errorf("exit code = %d", code)
+		}
+	})
+	if !strings.Contains(out, "trace:") || !strings.Contains(out, "percentiles") {
+		t.Errorf("output = %q", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "slot,event,vc,seq,switch,port,delay\n") {
+		t.Errorf("trace header missing: %.60s", data)
+	}
+	if !strings.Contains(string(data), ",deliver,") {
+		t.Error("trace lacks deliveries")
+	}
+}
+
+func TestRunTraceUnwritable(t *testing.T) {
+	if code := run([]string{"-trace", "/definitely/not/writable.csv"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}

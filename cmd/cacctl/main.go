@@ -1,0 +1,228 @@
+// Command cacctl is the client of the cacd central CAC server: it requests
+// real-time connection setups with the paper's (PCR, SCR, MBS, D)
+// parameters, tears connections down, lists them, and queries end-to-end
+// delay bounds.
+//
+// Usage:
+//
+//	cacctl [-addr HOST:PORT] setup    -id ID -origin N [-terminal N] [-ring N] [-pcr R] [-scr R] [-mbs N] [-prio P] [-delay CELLS]
+//	cacctl [-addr HOST:PORT] teardown -id ID
+//	cacctl [-addr HOST:PORT] list
+//	cacctl [-addr HOST:PORT] bound    -origin N [-terminal N] [-ring N] [-prio P]
+//
+// setup and bound address RTnet broadcast routes: the connection enters the
+// ring at node -origin via terminal -terminal and visits every other ring
+// node (-ring must match the server's ring size).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atmcac/internal/core"
+	"atmcac/internal/rtnet"
+	"atmcac/internal/traffic"
+	"atmcac/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cacctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cacctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7801", "cacd address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand: setup, teardown, list, or bound")
+	}
+	client, err := wire.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch rest[0] {
+	case "setup":
+		return setup(client, rest[1:])
+	case "teardown":
+		return teardown(client, rest[1:])
+	case "list":
+		return list(client)
+	case "bound":
+		return bound(client, rest[1:])
+	case "inspect":
+		return inspect(client, rest[1:])
+	case "audit":
+		return audit(client)
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+func audit(client *wire.Client) error {
+	violations, err := client.Audit()
+	if err != nil {
+		return err
+	}
+	if len(violations) == 0 {
+		fmt.Println("audit clean: every queue within its guarantee")
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Printf("VIOLATION %s out %d prio %d: bound %.2f > limit %.0f\n",
+			v.Switch, v.Out, v.Priority, v.Bound, v.Limit)
+	}
+	return fmt.Errorf("%d queues over budget", len(violations))
+}
+
+func inspect(client *wire.Client, args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	var (
+		swName   = fs.String("switch", "", "restrict to one switch; empty means all")
+		envelope = fs.Bool("envelope", false, "print the aggregated arrival envelopes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reports, err := client.Inspect(*swName)
+	if err != nil {
+		return err
+	}
+	if len(reports) == 0 {
+		fmt.Println("no loaded queues")
+		return nil
+	}
+	for _, r := range reports {
+		status := fmt.Sprintf("bound %.2f / limit %.0f cells, backlog %.2f", r.Bound, r.Limit, r.Backlog)
+		if r.Unstable {
+			status = "UNSTABLE (delay unbounded)"
+		}
+		fmt.Printf("%s out %d prio %d: %s\n", r.Switch, r.Out, r.Priority, status)
+		if *envelope {
+			fmt.Print("  envelope: {")
+			for i, sg := range r.Envelope {
+				if i > 0 {
+					fmt.Print(",")
+				}
+				fmt.Printf("(%.4g,%.4g)", sg.Rate, sg.Start)
+			}
+			fmt.Println("}")
+		}
+	}
+	return nil
+}
+
+// broadcastRoute builds the RTnet broadcast route of (origin, terminal) on
+// a ring of the given size.
+func broadcastRoute(ring, origin, terminal int) (core.Route, error) {
+	n, err := rtnet.New(rtnet.Config{RingNodes: ring, TerminalsPerNode: terminal + 1})
+	if err != nil {
+		return nil, err
+	}
+	return n.BroadcastRoute(origin, terminal)
+}
+
+func setup(client *wire.Client, args []string) error {
+	fs := flag.NewFlagSet("setup", flag.ContinueOnError)
+	var (
+		id       = fs.String("id", "", "connection ID")
+		ring     = fs.Int("ring", 16, "ring size (must match the server)")
+		origin   = fs.Int("origin", 0, "origin ring node")
+		terminal = fs.Int("terminal", 0, "origin terminal (0-based)")
+		pcr      = fs.Float64("pcr", 0.01, "peak cell rate (normalized)")
+		scr      = fs.Float64("scr", 0, "sustainable cell rate; 0 means CBR")
+		mbs      = fs.Float64("mbs", 1, "maximum burst size (cells)")
+		prio     = fs.Int("prio", 1, "priority (1 is highest)")
+		delay    = fs.Float64("delay", 0, "requested end-to-end bound (cell times); 0 means none")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("setup requires -id")
+	}
+	spec := traffic.CBR(*pcr)
+	if *scr > 0 {
+		spec = traffic.VBR(*pcr, *scr, *mbs)
+	}
+	route, err := broadcastRoute(*ring, *origin, *terminal)
+	if err != nil {
+		return err
+	}
+	adm, err := client.Setup(core.ConnRequest{
+		ID:         core.ConnID(*id),
+		Spec:       spec,
+		Priority:   core.Priority(*prio),
+		Route:      route,
+		DelayBound: *delay,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("connected %s: end-to-end guaranteed %.0f cell times, computed %.1f\n",
+		adm.ID, adm.EndToEndGuaranteed, adm.EndToEndComputed)
+	return nil
+}
+
+func teardown(client *wire.Client, args []string) error {
+	fs := flag.NewFlagSet("teardown", flag.ContinueOnError)
+	id := fs.String("id", "", "connection ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("teardown requires -id")
+	}
+	if err := client.Teardown(core.ConnID(*id)); err != nil {
+		return err
+	}
+	fmt.Printf("released %s\n", *id)
+	return nil
+}
+
+func list(client *wire.Client) error {
+	ids, err := client.List()
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		fmt.Println("no connections")
+		return nil
+	}
+	for _, id := range ids {
+		fmt.Println(id)
+	}
+	return nil
+}
+
+func bound(client *wire.Client, args []string) error {
+	fs := flag.NewFlagSet("bound", flag.ContinueOnError)
+	var (
+		ring     = fs.Int("ring", 16, "ring size (must match the server)")
+		origin   = fs.Int("origin", 0, "origin ring node")
+		terminal = fs.Int("terminal", 0, "origin terminal (0-based)")
+		prio     = fs.Int("prio", 1, "priority")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	route, err := broadcastRoute(*ring, *origin, *terminal)
+	if err != nil {
+		return err
+	}
+	d, err := client.RouteBound(route, core.Priority(*prio))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("end-to-end computed bound: %.1f cell times (%.0f us on OC-3)\n",
+		d, d*traffic.OC3.CellTimeSeconds()*1e6)
+	return nil
+}

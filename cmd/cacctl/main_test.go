@@ -1,0 +1,175 @@
+package main
+
+import (
+	"io"
+	"net"
+	"os"
+	"strings"
+	"testing"
+
+	"atmcac/internal/rtnet"
+	"atmcac/internal/wire"
+)
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	f()
+	_ = w.Close()
+	return <-done
+}
+
+// startServer runs an in-process cacd-equivalent on a loopback listener.
+func startServer(t *testing.T) string {
+	t.Helper()
+	rt, err := rtnet.New(rtnet.Config{RingNodes: 8, TerminalsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer(rt.Core())
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(l)
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		<-done
+	})
+	return l.Addr().String()
+}
+
+func TestFullLifecycle(t *testing.T) {
+	addr := startServer(t)
+	base := []string{"-addr", addr}
+
+	out := captureStdout(t, func() {
+		if err := run(append(base, "setup", "-id", "c1", "-ring", "8",
+			"-origin", "2", "-terminal", "1", "-pcr", "0.05")); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "connected c1") {
+		t.Errorf("setup output = %q", out)
+	}
+
+	out = captureStdout(t, func() {
+		if err := run(append(base, "setup", "-id", "c2", "-ring", "8",
+			"-origin", "3", "-pcr", "0.3", "-scr", "0.05", "-mbs", "8")); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "connected c2") {
+		t.Errorf("VBR setup output = %q", out)
+	}
+
+	out = captureStdout(t, func() {
+		if err := run(append(base, "list")); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "c1") || !strings.Contains(out, "c2") {
+		t.Errorf("list output = %q", out)
+	}
+
+	out = captureStdout(t, func() {
+		if err := run(append(base, "bound", "-ring", "8", "-origin", "2", "-terminal", "1")); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "end-to-end computed bound") {
+		t.Errorf("bound output = %q", out)
+	}
+
+	out = captureStdout(t, func() {
+		if err := run(append(base, "inspect", "-envelope")); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "bound") || !strings.Contains(out, "envelope: {") {
+		t.Errorf("inspect output = %q", out)
+	}
+
+	out = captureStdout(t, func() {
+		if err := run(append(base, "teardown", "-id", "c1")); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "released c1") {
+		t.Errorf("teardown output = %q", out)
+	}
+
+	out = captureStdout(t, func() {
+		if err := run(append(base, "teardown", "-id", "c2")); err != nil {
+			t.Error(err)
+		}
+	})
+	_ = out
+	out = captureStdout(t, func() {
+		if err := run(append(base, "list")); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "no connections") {
+		t.Errorf("final list output = %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	addr := startServer(t)
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no subcommand", []string{"-addr", addr}},
+		{"unknown subcommand", []string{"-addr", addr, "frobnicate"}},
+		{"setup without id", []string{"-addr", addr, "setup"}},
+		{"teardown without id", []string{"-addr", addr, "teardown"}},
+		{"teardown unknown", []string{"-addr", addr, "teardown", "-id", "ghost"}},
+		{"setup bad origin", []string{"-addr", addr, "setup", "-id", "x", "-ring", "8", "-origin", "99"}},
+		{"unreachable server", []string{"-addr", "127.0.0.1:1", "list"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+func TestSetupRejectionSurfaces(t *testing.T) {
+	addr := startServer(t)
+	// Overload the ring until a rejection surfaces as an error.
+	rejected := false
+	for i := 0; i < 40 && !rejected; i++ {
+		err := run([]string{"-addr", addr, "setup",
+			"-id", string(rune('a' + i)), "-ring", "8",
+			"-origin", string(rune('0' + i%8)),
+			"-pcr", "0.12"})
+		if err != nil {
+			rejected = true
+			if !strings.Contains(err.Error(), "rejected") {
+				t.Errorf("rejection error = %v", err)
+			}
+		}
+	}
+	if !rejected {
+		t.Error("overload never rejected")
+	}
+}

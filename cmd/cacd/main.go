@@ -1,0 +1,116 @@
+// Command cacd runs a central connection admission control server for an
+// RTnet-shaped network — the deployment the paper plans for switched
+// real-time connections in the next version of RTnet (Section 4.3,
+// discussion 3).
+//
+// Usage:
+//
+//	cacd [-listen ADDR] [-ring N] [-terminals N] [-queue CELLS] [-low-queue CELLS] [-policy hard|soft]
+//
+// The server manages one CAC network whose switches are the ring nodes of
+// an RTnet with the given shape. Clients (see cmd/cacctl) set up and tear
+// down connections over newline-delimited JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"atmcac/internal/core"
+	"atmcac/internal/rtnet"
+	"atmcac/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cacd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cacd", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:7801", "listen address")
+		ring      = fs.Int("ring", 16, "ring nodes")
+		terminals = fs.Int("terminals", 16, "terminals per ring node")
+		queue     = fs.Float64("queue", 32, "priority-1 FIFO size (cells)")
+		lowQueue  = fs.Float64("low-queue", 0, "optional priority-2 FIFO size (cells); 0 disables")
+		policy    = fs.String("policy", "hard", "CDV accumulation: hard or soft")
+		state     = fs.String("state", "", "persist established connections to this JSON file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cdv core.CDVPolicy
+	switch *policy {
+	case "hard":
+		cdv = core.HardCDV{}
+	case "soft":
+		cdv = core.SoftCDV{}
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	queues := map[core.Priority]float64{1: *queue}
+	if *lowQueue > 0 {
+		queues[2] = *lowQueue
+	}
+	rt, err := rtnet.New(rtnet.Config{
+		RingNodes:        *ring,
+		TerminalsPerNode: *terminals,
+		QueueCells:       queues,
+		Policy:           cdv,
+	})
+	if err != nil {
+		return err
+	}
+	// Register the shutdown handler before the listener becomes reachable,
+	// so a signal arriving at any point after startup is honoured.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	srv := wire.NewServer(rt.Core())
+	if *state != "" {
+		store := wire.NewStateStore(*state)
+		restored, failed, err := wire.Restore(rt.Core(), store)
+		if err != nil {
+			return err
+		}
+		srv.SetStateStore(store)
+		if restored > 0 || len(failed) > 0 {
+			fmt.Printf("cacd: restored %d connections from %s", restored, *state)
+			if len(failed) > 0 {
+				fmt.Printf(" (%d no longer admissible: %v)", len(failed), failed)
+			}
+			fmt.Println()
+		}
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cacd: managing %d ring nodes (%d terminals each, %s CDV) on %s\n",
+		*ring, *terminals, cdv.Name(), l.Addr())
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("cacd: received %v, shutting down\n", sig)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		<-errCh
+		return nil
+	case err := <-errCh:
+		if err == wire.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}

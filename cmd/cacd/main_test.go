@@ -1,0 +1,65 @@
+package main
+
+import (
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunValidationErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-nope"}},
+		{"bad policy", []string{"-policy", "maybe"}},
+		{"bad ring", []string{"-ring", "1"}},
+		{"bad terminals", []string{"-terminals", "99"}},
+		{"unusable listen address", []string{"-listen", "256.256.256.256:0"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Errorf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+// TestRunServesAndShutsDown boots the server on an ephemeral port, waits
+// for it to accept, and stops it with SIGTERM (the handler is registered
+// before the listener opens, so the self-signal is safe).
+func TestRunServesAndShutsDown(t *testing.T) {
+	const addr = "127.0.0.1:47831"
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", addr, "-ring", "4", "-terminals", "1"})
+	}()
+	// Wait until the server accepts connections.
+	deadline := time.Now().Add(5 * time.Second)
+	var conn net.Conn
+	var err error
+	for time.Now().Before(deadline) {
+		conn, err = net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	_ = conn.Close()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+}

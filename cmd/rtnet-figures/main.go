@@ -1,0 +1,212 @@
+// Command rtnet-figures regenerates the evaluation artifacts of the paper:
+// Table 1 and Figures 10-13 of "Connection Admission Control for Hard
+// Real-Time Communication in ATM Networks" (MERL TR-96-21 / ICDCS 1997).
+//
+// Usage:
+//
+//	rtnet-figures [-out DIR] [-quick] [-plot]
+//	              [-table1] [-fig10] [-fig11] [-fig12] [-fig13]
+//	              [-ablation] [-failover] [-softrisk] [-tightness]
+//
+// With no selection flag every artifact is generated. Table 1 and the
+// ablation/failover/soft-risk reports print to standard output; each figure
+// is written as gnuplot-style TSV to DIR/*.tsv (default directory ".") and,
+// with -plot, additionally rendered as an ASCII chart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	ablationpkg "atmcac/internal/ablation"
+	"atmcac/internal/asciiplot"
+	"atmcac/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rtnet-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rtnet-figures", flag.ContinueOnError)
+	var (
+		outDir    = fs.String("out", ".", "directory for TSV outputs")
+		quick     = fs.Bool("quick", false, "coarser sweeps (about 10x faster)")
+		table1    = fs.Bool("table1", false, "generate Table 1")
+		fig10     = fs.Bool("fig10", false, "generate Figure 10")
+		fig11     = fs.Bool("fig11", false, "generate Figure 11")
+		fig12     = fs.Bool("fig12", false, "generate Figure 12")
+		fig13     = fs.Bool("fig13", false, "generate Figure 13")
+		ablation  = fs.Bool("ablation", false, "generate the design-choice ablation table")
+		failover  = fs.Bool("failover", false, "generate the ring-wrap failover report")
+		softrisk  = fs.Bool("softrisk", false, "generate the soft-CAC risk probe")
+		tightness = fs.Bool("tightness", false, "generate the bound-tightness sweep (analytic vs measured)")
+		plot      = fs.Bool("plot", false, "also render each figure as an ASCII plot on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	all := !*table1 && !*fig10 && !*fig11 && !*fig12 && !*fig13 && !*ablation && !*failover && !*softrisk && !*tightness
+
+	var loads, shares []float64
+	tolerance := 0.0 // default
+	if *quick {
+		for b := 0.05; b <= 1.0+1e-9; b += 0.05 {
+			loads = append(loads, b)
+		}
+		for p := 0.1; p <= 0.9+1e-9; p += 0.1 {
+			shares = append(shares, p)
+		}
+		tolerance = 1.0 / 64
+	}
+
+	if all || *table1 {
+		if err := printTable1(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if all || *fig10 {
+		series, err := experiments.Figure10(experiments.SymmetricConfig{Loads: loads})
+		if err != nil {
+			return fmt.Errorf("figure 10: %w", err)
+		}
+		if err := writeFigure(*outDir, "fig10.tsv", series, *plot, "Figure 10: end-to-end delay bound vs load B"); err != nil {
+			return err
+		}
+	}
+	if all || *fig11 {
+		series, err := experiments.Figure11(experiments.AsymmetricConfig{Shares: shares, Tolerance: tolerance})
+		if err != nil {
+			return fmt.Errorf("figure 11: %w", err)
+		}
+		if err := writeFigure(*outDir, "fig11.tsv", series, *plot, "Figure 11: supported load vs hot share p"); err != nil {
+			return err
+		}
+	}
+	if all || *fig12 {
+		series, err := experiments.Figure12(experiments.Figure12Config{Shares: shares, Tolerance: tolerance})
+		if err != nil {
+			return fmt.Errorf("figure 12: %w", err)
+		}
+		if err := writeFigure(*outDir, "fig12.tsv", series, *plot, "Figure 12: one vs two priorities"); err != nil {
+			return err
+		}
+	}
+	if all || *fig13 {
+		series, err := experiments.Figure13(experiments.Figure13Config{Shares: shares, Tolerance: tolerance})
+		if err != nil {
+			return fmt.Errorf("figure 13: %w", err)
+		}
+		if err := writeFigure(*outDir, "fig13.tsv", series, *plot, "Figure 13: soft vs hard CAC"); err != nil {
+			return err
+		}
+	}
+	if all || *ablation {
+		if err := printAblation(os.Stdout, *quick); err != nil {
+			return err
+		}
+	}
+	if all || *failover {
+		cfg := experiments.FailoverConfig{}
+		if *quick {
+			cfg = experiments.FailoverConfig{RingNodes: 8, Terminals: 2, Tolerance: 1.0 / 32}
+		}
+		report, err := experiments.Failover(cfg)
+		if err != nil {
+			return fmt.Errorf("failover: %w", err)
+		}
+		fmt.Println(report)
+	}
+	if all || *softrisk {
+		cfg := experiments.SoftRiskConfig{}
+		if *quick {
+			cfg.Slots = 20000
+		}
+		report, err := experiments.SoftRisk(cfg)
+		if err != nil {
+			return fmt.Errorf("softrisk: %w", err)
+		}
+		fmt.Println(report)
+	}
+	if all || *tightness {
+		cfg := experiments.TightnessConfig{}
+		if *quick {
+			cfg = experiments.TightnessConfig{RingNodes: 6, Slots: 20000, Loads: []float64{0.2, 0.4, 0.6}}
+		}
+		series, err := experiments.Tightness(cfg)
+		if err != nil {
+			return fmt.Errorf("tightness: %w", err)
+		}
+		if err := writeFigure(*outDir, "tightness.tsv", series, *plot, "Bound tightness: analytic vs measured"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printAblation renders the design-choice ablation: the maximum admissible
+// symmetric load under the paper's full scheme versus the scheme without
+// link filtering and with the crude jitter bound.
+func printAblation(w *os.File, quick bool) error {
+	tol := 1.0 / 128
+	terminals := []int{1, 4, 8, 16}
+	if quick {
+		tol = 1.0 / 32
+		terminals = []int{1, 8}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "terminals/node\texact\tcrude distortion\tno filtering")
+	for _, n := range terminals {
+		cmp, err := ablationpkg.Compare(ablationpkg.Config{Terminals: n}, tol)
+		if err != nil {
+			return fmt.Errorf("ablation N=%d: %w", n, err)
+		}
+		fmt.Fprintf(tw, "N=%d\t%.3f\t%.3f\t%.3f\n", n,
+			cmp.MaxLoad[ablationpkg.Exact],
+			cmp.MaxLoad[ablationpkg.CrudeDistortion],
+			cmp.MaxLoad[ablationpkg.NoFiltering])
+	}
+	return tw.Flush()
+}
+
+func printTable1(w *os.File) error {
+	rows, err := experiments.Table1()
+	if err != nil {
+		return fmt.Errorf("table 1: %w", err)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "class\tperiod (ms)\tdelay (ms)\tmemory (KB)\tbandwidth (Mbps)\twire (Mbps)\tdelay budget (cell times)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%g\t%g\t%g\t%.1f\t%.1f\t%.0f\n",
+			r.Name, r.PeriodMillis, r.DelayMillis, r.MemoryKB, r.PayloadMbps, r.WireMbps, r.DelayCellTimes)
+	}
+	return tw.Flush()
+}
+
+func writeFigure(dir, name string, series []experiments.Series, plot bool, title string) error {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteTSV(f, series); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d series)\n", path, len(series))
+	if plot {
+		if err := asciiplot.Render(os.Stdout, series, asciiplot.Options{Title: title}); err != nil {
+			return fmt.Errorf("plot %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout around f.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	f()
+	_ = w.Close()
+	return <-done
+}
+
+func TestRunTable1(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run([]string{"-table1"}); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{"high speed", "medium speed", "low speed", "32.8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQuickFigures(t *testing.T) {
+	dir := t.TempDir()
+	out := captureStdout(t, func() {
+		if err := run([]string{"-quick", "-out", dir, "-fig10", "-fig13"}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "fig10.tsv") || !strings.Contains(out, "fig13.tsv") {
+		t.Errorf("output = %q", out)
+	}
+	for _, name := range []string{"fig10.tsv", "fig13.tsv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "# ") {
+			t.Errorf("%s does not start with a series label: %q", name, data[:20])
+		}
+	}
+	// Only the requested figures were produced.
+	if _, err := os.Stat(filepath.Join(dir, "fig11.tsv")); !os.IsNotExist(err) {
+		t.Error("fig11.tsv produced without being requested")
+	}
+}
+
+func TestRunAblationTable(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run([]string{"-quick", "-ablation"}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "no filtering") || !strings.Contains(out, "N=1") {
+		t.Errorf("ablation output = %q", out)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunUnwritableDir(t *testing.T) {
+	if err := run([]string{"-quick", "-fig13", "-out", "/definitely/not/a/dir"}); err == nil {
+		t.Error("unwritable output directory accepted")
+	}
+}
+
+func TestRunPlotFlag(t *testing.T) {
+	dir := t.TempDir()
+	out := captureStdout(t, func() {
+		if err := run([]string{"-quick", "-out", dir, "-fig13", "-plot"}); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{"Figure 13", "* soft CAC", "o hard CAC", "+-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot output missing %q", want)
+		}
+	}
+}
+
+func TestRunTightnessAndFailover(t *testing.T) {
+	dir := t.TempDir()
+	out := captureStdout(t, func() {
+		if err := run([]string{"-quick", "-out", dir, "-tightness", "-failover", "-softrisk"}); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{"tightness.tsv", "failover", "soft-risk"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

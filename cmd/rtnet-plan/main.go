@@ -1,0 +1,99 @@
+// Command rtnet-plan runs an offline connection admission plan against an
+// RTnet configuration — the workflow of the current RTnet, where all
+// real-time connections are permanent and the CAC check runs off-line
+// (paper Section 5). The scenario is a JSON document in physical units
+// (Mbps, microseconds); print a documented sample with -example.
+//
+// Usage:
+//
+//	rtnet-plan -example > scenario.json
+//	rtnet-plan -f scenario.json
+//
+// The exit status is 0 when every connection is admitted and 3 when at
+// least one is rejected (the report still prints).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"atmcac/internal/plan"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rtnet-plan", flag.ContinueOnError)
+	var (
+		file     = fs.String("f", "", "scenario JSON file (default: stdin)")
+		example  = fs.Bool("example", false, "print a sample scenario and exit")
+		markdown = fs.Bool("markdown", false, "emit the report as Markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *example {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plan.Example()); err != nil {
+			fmt.Fprintln(os.Stderr, "rtnet-plan:", err)
+			return 1
+		}
+		return 0
+	}
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtnet-plan:", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+	scenario, err := plan.Load(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtnet-plan:", err)
+		return 1
+	}
+	report, err := scenario.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtnet-plan:", err)
+		return 1
+	}
+	if *markdown {
+		if err := report.WriteMarkdown(os.Stdout, scenario); err != nil {
+			fmt.Fprintln(os.Stderr, "rtnet-plan:", err)
+			return 1
+		}
+		if report.Rejected > 0 {
+			return 3
+		}
+		return 0
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "connection\tverdict\te2e bound\tguaranteed\tdetail")
+	for _, r := range report.Results {
+		if r.Admitted {
+			fmt.Fprintf(tw, "%s\tadmitted\t%.0f us (%.1f cells)\t%.0f cells\t\n",
+				r.ID, r.BoundMicros, r.BoundCells, r.GuaranteedCells)
+		} else {
+			fmt.Fprintf(tw, "%s\tREJECTED\t\t\t%s\n", r.ID, r.Reason)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "rtnet-plan:", err)
+		return 1
+	}
+	fmt.Printf("\n%d admitted, %d rejected; worst end-to-end bound %.1f cell times\n",
+		report.Admitted, report.Rejected, report.WorstBoundCells)
+	if report.Rejected > 0 {
+		return 3
+	}
+	return 0
+}

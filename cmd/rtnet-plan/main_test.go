@@ -1,0 +1,114 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	f()
+	_ = w.Close()
+	return <-done
+}
+
+func TestRunExample(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-example"}); code != 0 {
+			t.Errorf("exit code = %d", code)
+		}
+	})
+	for _, want := range []string{`"ringNodes"`, `"connections"`, `"pcrMbps"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("example output missing %q", want)
+		}
+	}
+}
+
+func TestRunExampleScenarioEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	doc := captureStdout(t, func() {
+		if code := run([]string{"-example"}); code != 0 {
+			t.Error("example failed")
+		}
+	})
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if code := run([]string{"-f", path}); code != 0 {
+			t.Errorf("exit code = %d", code)
+		}
+	})
+	if !strings.Contains(out, "admitted") || strings.Contains(out, "REJECTED") {
+		t.Errorf("report = %q", out)
+	}
+	if !strings.Contains(out, "4 admitted, 0 rejected") {
+		t.Errorf("summary missing: %q", out)
+	}
+}
+
+func TestRunRejectionExitCode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "overload.json")
+	// 30 bursty 20 Mbps connections onto 8-cell queues.
+	doc := `{"network": {"ringNodes": 4, "terminalsPerNode": 8, "queues": {"1": 8}}, "connections": [`
+	for i := 0; i < 30; i++ {
+		if i > 0 {
+			doc += ","
+		}
+		doc += `{"id": "c` + string(rune('a'+i/8)) + string(rune('a'+i%8)) + `", "origin": ` +
+			string(rune('0'+i%4)) + `, "terminal": ` + string(rune('0'+i/4%8)) + `, "pcrMbps": 20}`
+	}
+	doc += `]}`
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if code := run([]string{"-f", path}); code != 3 {
+			t.Errorf("exit code = %d, want 3", code)
+		}
+	})
+	if !strings.Contains(out, "REJECTED") {
+		t.Errorf("report lacks rejections: %q", out)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if code := run([]string{"-f", "/definitely/missing.json"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if code := run([]string{"-nope"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunBadScenario(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"connections": []}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-f", path}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}

@@ -1,0 +1,124 @@
+// Command streamcalc is an interactive calculator for the paper's
+// bit-stream algebra: it builds the worst-case envelope of a CBR/VBR
+// connection (Algorithm 2.1), applies jitter clumping (Algorithm 3.1),
+// multiplexes copies (Algorithm 3.2), filters through a link
+// (Algorithm 3.4), and reports the worst-case queueing delay and backlog
+// at a static-priority FIFO queueing point (Algorithm 4.1).
+//
+// Usage:
+//
+//	streamcalc -pcr 0.5 -scr 0.05 -mbs 8            # the envelope itself
+//	streamcalc -pcr 0.5 -scr 0.05 -mbs 8 -cdv 64    # ... after clumping
+//	streamcalc -pcr 0.5 -scr 0.05 -mbs 8 -cdv 64 -n 4 -filter
+//	streamcalc -pcr 0.5 -scr 0.05 -mbs 8 -n 4 -hp 0.3 -cum 0,1,2,5,10
+//
+// Rates are normalized to the link (1 = 155.52 Mbps on OC-3); times are in
+// cell times (1 cell time is about 2.7 us on OC-3).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"atmcac/internal/bitstream"
+	"atmcac/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "streamcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("streamcalc", flag.ContinueOnError)
+	var (
+		pcr    = fs.Float64("pcr", 0.5, "peak cell rate (normalized)")
+		scr    = fs.Float64("scr", 0, "sustainable cell rate; 0 means CBR")
+		mbs    = fs.Float64("mbs", 1, "maximum burst size (cells)")
+		cdv    = fs.Float64("cdv", 0, "accumulated upstream delay variation (cell times)")
+		n      = fs.Int("n", 1, "number of identical connections to multiplex")
+		filter = fs.Bool("filter", false, "filter the aggregate through a unit link")
+		hp     = fs.Float64("hp", 0, "constant higher-priority load stealing service")
+		cum    = fs.String("cum", "", "comma-separated times at which to print cumulative cells")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec := traffic.CBR(*pcr)
+	if *scr > 0 {
+		spec = traffic.VBR(*pcr, *scr, *mbs)
+	}
+	env, err := spec.Stream()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v\n", spec)
+	fmt.Printf("  envelope (Alg 2.1):          %v\n", env)
+
+	if *cdv < 0 {
+		return fmt.Errorf("CDV %g must be non-negative", *cdv)
+	}
+	stream := env
+	if *cdv > 0 {
+		stream, err = stream.Delayed(*cdv)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  after CDV=%g (Alg 3.1):      %v\n", *cdv, stream)
+	}
+	if *n > 1 {
+		copies := make([]bitstream.Stream, *n)
+		for i := range copies {
+			copies[i] = stream
+		}
+		stream = bitstream.Sum(copies...)
+		fmt.Printf("  x%d multiplexed (Alg 3.2):    %v\n", *n, stream)
+	}
+	if *filter {
+		stream = stream.Filtered()
+		fmt.Printf("  filtered by link (Alg 3.4):  %v\n", stream)
+	}
+
+	higher := bitstream.Zero()
+	if *hp > 0 {
+		if *hp >= 1 {
+			return fmt.Errorf("higher-priority load %g must be below 1", *hp)
+		}
+		higher = bitstream.Constant(*hp)
+		fmt.Printf("  higher-priority load:        %v\n", higher)
+	}
+	bound, err := bitstream.DelayBound(stream, higher)
+	switch {
+	case errors.Is(err, bitstream.ErrUnstable):
+		fmt.Println("  delay bound (Alg 4.1):       UNBOUNDED (queueing point unstable)")
+	case err != nil:
+		return err
+	default:
+		us := bound * traffic.OC3.CellTimeSeconds() * 1e6
+		fmt.Printf("  delay bound (Alg 4.1):       %.3f cell times (%.1f us on OC-3)\n", bound, us)
+		backlog, err := bitstream.MaxBacklog(stream, higher)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  backlog bound:               %.3f cells\n", backlog)
+	}
+
+	if *cum != "" {
+		fmt.Println("  cumulative cells:")
+		for _, tok := range strings.Split(*cum, ",") {
+			at, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return fmt.Errorf("bad -cum value %q: %v", tok, err)
+			}
+			fmt.Printf("    A(%g) = %.4f\n", at, stream.CumAt(at))
+		}
+	}
+	return nil
+}

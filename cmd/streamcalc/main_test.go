@@ -1,0 +1,96 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	f()
+	_ = w.Close()
+	return <-done
+}
+
+func TestRunFullPipeline(t *testing.T) {
+	out := captureStdout(t, func() {
+		err := run([]string{"-pcr", "0.5", "-scr", "0.05", "-mbs", "8",
+			"-cdv", "64", "-n", "4", "-hp", "0.2", "-cum", "0,1,5"})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{
+		"envelope (Alg 2.1)", "after CDV=64", "x4 multiplexed",
+		"delay bound (Alg 4.1)", "backlog bound", "A(5) =",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCBRDefault(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run([]string{"-pcr", "0.25"}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "CBR(PCR=0.25)") {
+		t.Errorf("output = %q", out)
+	}
+	// A single conforming connection never queues.
+	if !strings.Contains(out, "0.000 cell times") {
+		t.Errorf("expected zero bound: %q", out)
+	}
+}
+
+func TestRunUnstable(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run([]string{"-pcr", "0.6", "-n", "2"}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "UNBOUNDED") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run([]string{"-pcr", "0.4", "-n", "4", "-filter"}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "filtered by link") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-pcr", "0"},                 // invalid spec
+		{"-pcr", "0.5", "-hp", "1"},   // higher-priority load saturates
+		{"-pcr", "0.5", "-cum", "x"},  // bad cum value
+		{"-definitely-not-a-flag"},    // bad flag
+		{"-pcr", "0.5", "-cdv", "-3"}, // negative CDV
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package atmcac_test
+
+import (
+	"fmt"
+
+	"atmcac"
+)
+
+// The worst-case envelope of a VBR connection (Algorithm 2.1): one cell at
+// link rate, the burst at PCR, then SCR forever.
+func ExampleFromVBR() {
+	s, err := atmcac.FromVBR(0.5, 0.1, 11)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(s)
+	// Output: {(1,0),(0.5,1),(0.1,21)}
+}
+
+// Jitter clumping (Algorithm 3.1): after 2 cell times of upstream delay
+// variation, the accumulated bits release at full link rate.
+func ExampleStream_Delayed() {
+	s := mustCBR(0.5) // {(1,0),(0.5,1)}
+	d, err := s.Delayed(2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(d)
+	// Output: {(1,0),(0.5,3)}
+}
+
+// mustCBR builds the CBR envelope used by the examples.
+func mustCBR(pcr float64) atmcac.Stream {
+	s, err := atmcac.FromVBR(pcr, pcr, 1)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Filtering (Algorithm 3.4): a transmission link caps an aggregate at one
+// cell per cell time, smoothing it for downstream queueing points.
+func ExampleSumStreams() {
+	one := mustCBR(0.3)
+	agg := atmcac.SumStreams(one, one, one)
+	fmt.Println("aggregate:", agg)
+	fmt.Println("filtered: ", agg.Filtered())
+	// Output:
+	// aggregate: {(3,0),(0.9,1)}
+	// filtered:  {(1,0),(0.9,21)}
+}
+
+// The worst-case queueing delay at a FIFO queueing point (Algorithm 4.1):
+// two simultaneous 32-cell bursts on a unit link — the last cell waits 32
+// cell times.
+func ExampleDelayBound() {
+	burst, err := atmcac.NewStream([]atmcac.Segment{{Start: 0, Rate: 2}, {Start: 32, Rate: 0}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	d, err := atmcac.DelayBound(burst, atmcac.ZeroStream())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.0f cell times\n", d)
+	// Output: 32 cell times
+}
+
+// Admitting connections onto a switch until the FIFO budget rejects one.
+func ExampleSwitch_Admit() {
+	sw, err := atmcac.NewSwitch(atmcac.SwitchConfig{
+		Name:       "node0",
+		QueueCells: map[atmcac.Priority]float64{1: 4},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i := 1; i <= 8; i++ {
+		_, err := sw.Admit(atmcac.HopRequest{
+			Conn: atmcac.ConnID(fmt.Sprintf("c%d", i)),
+			Spec: atmcac.CBR(0.01),
+			In:   atmcac.PortID(i), Out: 0, Priority: 1,
+		})
+		if err != nil {
+			fmt.Printf("connection %d rejected\n", i)
+			break
+		}
+	}
+	fmt.Println("admitted:", sw.ConnectionCount())
+	// Output:
+	// connection 6 rejected
+	// admitted: 5
+}
+
+// End-to-end setup across a two-switch network with a delay budget.
+func ExampleNetwork_Setup() {
+	n := atmcac.NewNetwork(atmcac.HardCDV{})
+	for _, name := range []string{"a", "b"} {
+		if _, err := n.AddSwitch(atmcac.SwitchConfig{
+			Name: name, QueueCells: map[atmcac.Priority]float64{1: 32},
+		}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	adm, err := n.Setup(atmcac.ConnRequest{
+		ID:       "sensor",
+		Spec:     atmcac.VBR(0.5, 0.05, 8),
+		Priority: 1,
+		Route: atmcac.Route{
+			{Switch: "a", In: 1, Out: 0},
+			{Switch: "b", In: 0, Out: 0},
+		},
+		DelayBound: 64,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("guaranteed end to end: %.0f cell times\n", adm.EndToEndGuaranteed)
+	// Output: guaranteed end to end: 64 cell times
+}
+
+// Hard versus soft CDV accumulation over four 32-cell hops.
+func ExampleSoftCDV() {
+	bounds := []float64{32, 32, 32, 32}
+	fmt.Printf("hard: %.0f\n", atmcac.HardCDV{}.Accumulate(bounds))
+	fmt.Printf("soft: %.0f\n", atmcac.SoftCDV{}.Accumulate(bounds))
+	// Output:
+	// hard: 128
+	// soft: 64
+}
+
+// A conforming source's greedy schedule: the MBS burst at PCR, then the
+// sustainable rate.
+func ExampleNewPacer() {
+	p, err := atmcac.NewPacer(atmcac.VBR(0.5, 0.1, 3))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i := 0; i < 5; i++ {
+		fmt.Printf("%g ", p.NextAfter(0))
+	}
+	fmt.Println()
+	// Output: 0 2 4 14 24
+}

@@ -1,0 +1,131 @@
+// Ring failure, FDDI-style wrap, and re-admission — RTnet's fault story.
+//
+// RTnet connects its ring nodes with dual counter-rotating 155 Mbps links
+// and heals any single link or node failure with a hardware wrap, like
+// FDDI (paper Section 5). A wrap has no free lunch for hard real-time
+// traffic: broadcast routes lengthen to up to 2(R-1)-1 queueing points, so
+// every connection's contractual end-to-end bound grows and the whole
+// configuration must be re-validated by the CAC.
+//
+// This example plans a cyclic workload on the healthy ring, fails a link,
+// replans on the wrapped topology, and shows (1) the workload survives —
+// the previously idle secondary ring absorbs it — but (2) the high-speed
+// 1 ms class breaks on the longest wrapped routes, which is exactly what
+// an offline CAC must catch before a plant relies on it.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atmcac"
+)
+
+const (
+	ringNodes = 8
+	terminals = 2
+	load      = 0.3
+	failed    = 3 // the primary link ring03 -> ring04 breaks
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	budget := atmcac.CyclicClasses()[0].DelayCellTimes()
+
+	// Healthy ring.
+	healthy, err := atmcac.NewRTnet(atmcac.RTnetConfig{
+		RingNodes: ringNodes, TerminalsPerNode: terminals,
+	})
+	if err != nil {
+		return err
+	}
+	w, err := healthy.SymmetricWorkload(load, 1)
+	if err != nil {
+		return err
+	}
+	if err := healthy.InstallAll(w); err != nil {
+		return err
+	}
+	if v, err := healthy.Audit(); err != nil || len(v) > 0 {
+		return fmt.Errorf("healthy audit: %v %v", v, err)
+	}
+	hBound, err := healthy.MaxBroadcastBound(1)
+	if err != nil {
+		return err
+	}
+	hGuarantee := float64(ringNodes-1) * 32
+	fmt.Printf("healthy ring (%d nodes, %.0f%% cyclic load):\n", ringNodes, load*100)
+	fmt.Printf("  routes: %d hops, guarantee %.0f cell times, computed bound %.1f\n",
+		ringNodes-1, hGuarantee, hBound)
+	fmt.Printf("  high-speed 1 ms budget (%.0f cell times): %s\n\n", budget, verdict(hGuarantee <= budget))
+
+	// Link ring03 -> ring04 fails; the ring wraps.
+	fmt.Printf("primary link ring%02d -> ring%02d goes DOWN; ring wraps onto the secondary\n\n", failed, failed+1)
+	wrapped, err := atmcac.NewRTnet(atmcac.RTnetConfig{
+		RingNodes: ringNodes, TerminalsPerNode: terminals,
+	})
+	if err != nil {
+		return err
+	}
+	ww, err := wrapped.SymmetricWorkloadWrapped(load, 1, failed)
+	if err != nil {
+		return err
+	}
+	if err := wrapped.InstallAll(ww); err != nil {
+		return err
+	}
+	violations, err := wrapped.Audit()
+	if err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		fmt.Println("wrapped ring REJECTS the workload:")
+		for _, v := range violations {
+			fmt.Println("  ", v)
+		}
+		return nil
+	}
+	wBound, err := wrapped.MaxWrappedRouteBound(1, failed)
+	if err != nil {
+		return err
+	}
+	// Route lengths vary with the origin's distance from the wrap.
+	shortest, longest := ringNodes*2, 0
+	for origin := 0; origin < ringNodes; origin++ {
+		route, err := wrapped.WrappedBroadcastRoute(origin, 0, failed)
+		if err != nil {
+			return err
+		}
+		if len(route) < shortest {
+			shortest = len(route)
+		}
+		if len(route) > longest {
+			longest = len(route)
+		}
+	}
+	wGuarantee := float64(longest) * 32
+	fmt.Printf("wrapped ring, same workload:\n")
+	fmt.Printf("  audit: PASSES — the secondary ring absorbs the load\n")
+	fmt.Printf("  routes: %d-%d hops, worst guarantee %.0f cell times, computed bound %.1f\n",
+		shortest, longest, wGuarantee, wBound)
+	fmt.Printf("  high-speed 1 ms budget (%.0f cell times): %s\n", budget, verdict(wGuarantee <= budget))
+	if wGuarantee > budget {
+		fmt.Printf("  -> high-speed cyclic traffic from the worst origins must be re-planned\n")
+		fmt.Printf("     (shorter budgets, higher priority, or reduced membership) until repair\n")
+	}
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "met"
+	}
+	return "BROKEN"
+}

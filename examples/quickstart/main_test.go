@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestRunSmoke keeps the example runnable as the library evolves.
+func TestRunSmoke(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// RTnet cyclic transmission planning — the paper's motivating application.
+//
+// RTnet implements a network-wide real-time shared memory: every terminal
+// periodically broadcasts its portion of the shared memory to all others.
+// Table 1 of the paper defines three cyclic transmission classes (high,
+// medium and low speed). This example plans all three classes on an RTnet
+// with the CAC, offline (the mode the current RTnet uses for its permanent
+// connections): it installs every broadcast connection, audits every ring
+// queue, and checks each class's end-to-end delay budget.
+//
+//	go run ./examples/rtnet-cyclic [-ring N] [-terminals N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"atmcac"
+)
+
+func main() {
+	ring := flag.Int("ring", 16, "ring nodes")
+	terminals := flag.Int("terminals", 4, "terminals per ring node")
+	flag.Parse()
+	if err := run(*ring, *terminals); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ring, terminals int) error {
+	rt, err := atmcac.NewRTnet(atmcac.RTnetConfig{
+		RingNodes:        ring,
+		TerminalsPerNode: terminals,
+	})
+	if err != nil {
+		return err
+	}
+	total := ring * terminals
+
+	// Print Table 1 with each class's bandwidth derived from its period
+	// and memory size.
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "class\tperiod\tmemory\twire bandwidth\tdelay budget")
+	classes := atmcac.CyclicClasses()
+	for _, c := range classes {
+		rate, err := c.NormalizedRate()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%d KB\t%.1f Mbps\t%.0f cell times\n",
+			c.Name, c.Period, c.MemoryBytes/1024, rate*155.52, c.DelayCellTimes())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// One broadcast CBR connection per (terminal, class): each terminal
+	// broadcasts its 1/total share of every class's shared memory.
+	fmt.Printf("\nplanning %d broadcast connections (%d terminals x %d classes) on %d ring nodes\n",
+		total*len(classes), total, len(classes), ring)
+	for ci, c := range classes {
+		spec, err := c.TerminalSpec(total)
+		if err != nil {
+			return err
+		}
+		for node := 0; node < ring; node++ {
+			for t := 0; t < terminals; t++ {
+				route, err := rt.BroadcastRoute(node, t)
+				if err != nil {
+					return err
+				}
+				req := atmcac.ConnRequest{
+					ID:       atmcac.ConnID(fmt.Sprintf("cyc%d-%02d-%02d", ci, node, t)),
+					Spec:     spec,
+					Priority: 1,
+					Route:    route,
+				}
+				if err := rt.Core().Install(req); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Audit: every ring-node FIFO must stay within its 32-cell budget.
+	violations, err := rt.Audit()
+	if err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		fmt.Println("\nCAC REJECTS this configuration:")
+		for _, v := range violations {
+			fmt.Println("  ", v)
+		}
+		fmt.Println("reduce -terminals or the ring size")
+		return nil
+	}
+
+	bound, err := rt.MaxBroadcastBound(1)
+	if err != nil {
+		return err
+	}
+	us := bound * atmcac.OC3.CellTimeSeconds() * 1e6
+	fmt.Printf("\nCAC accepts: worst end-to-end queueing delay %.0f cell times (%.0f us)\n", bound, us)
+	for _, c := range classes {
+		verdict := "meets"
+		if bound > c.DelayCellTimes() {
+			verdict = "MISSES"
+		}
+		fmt.Printf("  %-13s budget %6.0f cell times: %s it\n", c.Name, c.DelayCellTimes(), verdict)
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// TestRunSmoke keeps the example runnable as the library evolves, covering
+// both the accepting and the rejecting configuration.
+func TestRunSmoke(t *testing.T) {
+	if err := run(16, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(16, 16); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module atmcac
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package ablation quantifies the paper's two modelling refinements over
+// prior maximum-rate-function CAC schemes (Raha et al., INFOCOM'96), which
+// the introduction claims as contributions:
+//
+//   - "more accurate modeling of traffic distortions": the exact worst-case
+//     clumping of Algorithm 3.1 (area balance) versus the conservative
+//     upper bound that adds the whole jitter window's traffic as an extra
+//     burst on top of the undistorted envelope;
+//   - "the filtering effect of a transmission link": smoothing each
+//     incoming link's aggregate at link bandwidth (Algorithm 3.4) versus
+//     aggregating raw envelopes.
+//
+// Each ablation disables one refinement and recomputes the symmetric RTnet
+// experiment of Figure 10; the exact scheme must dominate both (equal or
+// larger admissible load, equal or smaller bounds), and the gap is the
+// value of the refinement.
+package ablation
+
+import (
+	"errors"
+	"fmt"
+
+	"atmcac/internal/bitstream"
+	"atmcac/internal/traffic"
+)
+
+// Variant selects the modelling scheme.
+type Variant int
+
+// Variants.
+const (
+	// Exact is the paper's full scheme: exact delay distortion and
+	// per-link filtering.
+	Exact Variant = iota + 1
+	// NoFiltering keeps exact distortion but aggregates the transit
+	// connections without smoothing them through the upstream ring link.
+	NoFiltering
+	// CrudeDistortion keeps filtering but replaces Algorithm 3.1 by the
+	// conservative jitter bound: the CDV window's worst-case traffic
+	// A(CDV) is added as an extra full-rate burst on top of the
+	// undistorted envelope (then capped at link rate). Subadditivity of
+	// the concave cumulative makes this a true upper bound of the exact
+	// distortion.
+	CrudeDistortion
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Exact:
+		return "exact"
+	case NoFiltering:
+		return "no-filtering"
+	case CrudeDistortion:
+		return "crude-distortion"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// ErrConfig reports invalid parameters.
+var ErrConfig = errors.New("ablation: invalid configuration")
+
+// distorted returns the worst-case arrival envelope of a connection after
+// the accumulated cdv, under the variant's distortion model.
+func distorted(v Variant, env bitstream.Stream, cdv float64) (bitstream.Stream, error) {
+	switch v {
+	case Exact, NoFiltering:
+		return env.Delayed(cdv)
+	case CrudeDistortion:
+		if cdv == 0 {
+			return env, nil
+		}
+		burst := env.CumAt(cdv)
+		if burst <= 0 {
+			return env, nil
+		}
+		extra, err := bitstream.New([]bitstream.Segment{{Start: 0, Rate: 1}, {Start: burst, Rate: 0}})
+		if err != nil {
+			return bitstream.Stream{}, err
+		}
+		return bitstream.Add(env, extra).Filtered(), nil
+	default:
+		return bitstream.Stream{}, fmt.Errorf("%w: unknown variant %d", ErrConfig, int(v))
+	}
+}
+
+// Config parameterizes the symmetric RTnet scenario (Figure 10's setup).
+type Config struct {
+	// RingNodes defaults to 16, Terminals to 1, QueueCells to 32.
+	RingNodes  int
+	Terminals  int
+	QueueCells float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingNodes == 0 {
+		c.RingNodes = 16
+	}
+	if c.Terminals == 0 {
+		c.Terminals = 1
+	}
+	if c.QueueCells == 0 {
+		c.QueueCells = 32
+	}
+	return c
+}
+
+// RingPortBound computes the worst-case delay bound D' at a (symmetric)
+// ring output port for total load, under the given variant. It mirrors the
+// CAC engine's Section 4.3 assembly, with the variant's distortion and
+// filtering rules, for the highest priority (no higher-priority stream).
+func RingPortBound(v Variant, cfg Config, load float64) (float64, error) {
+	cfg = cfg.withDefaults()
+	if !(load > 0) || load > 1 {
+		return 0, fmt.Errorf("%w: load %g", ErrConfig, load)
+	}
+	total := cfg.RingNodes * cfg.Terminals
+	spec := traffic.CBR(load / float64(total))
+	env, err := spec.Stream()
+	if err != nil {
+		return 0, err
+	}
+	// Local terminals: one connection per incoming link, CDV 0. Each
+	// single-connection link aggregate filters to itself (rate <= 1), so
+	// filtering does not distinguish the variants here.
+	streams := make([]bitstream.Stream, 0, cfg.Terminals+1)
+	for t := 0; t < cfg.Terminals; t++ {
+		streams = append(streams, env)
+	}
+	// Transit: hop h in 1..RingNodes-2 contributes Terminals connections
+	// with CDV = h * QueueCells, all arriving on the shared ring link.
+	transit := make([]bitstream.Stream, 0, (cfg.RingNodes-2)*cfg.Terminals)
+	for h := 1; h <= cfg.RingNodes-2; h++ {
+		d, err := distorted(v, env, float64(h)*cfg.QueueCells)
+		if err != nil {
+			return 0, err
+		}
+		for t := 0; t < cfg.Terminals; t++ {
+			transit = append(transit, d)
+		}
+	}
+	transitAgg := bitstream.Sum(transit...)
+	if v != NoFiltering {
+		transitAgg = transitAgg.Filtered()
+	}
+	streams = append(streams, transitAgg)
+	return bitstream.DelayBound(bitstream.Sum(streams...), bitstream.Zero())
+}
+
+// MaxLoad binary-searches the largest admissible symmetric load under the
+// variant: the largest B whose ring-port bound stays within the FIFO
+// budget. Resolution is tol (default 1/128).
+func MaxLoad(v Variant, cfg Config, tol float64) (float64, error) {
+	cfg = cfg.withDefaults()
+	if tol <= 0 {
+		tol = 1.0 / 128
+	}
+	feasible := func(load float64) (bool, error) {
+		d, err := RingPortBound(v, cfg, load)
+		if err != nil {
+			if errors.Is(err, bitstream.ErrUnstable) {
+				return false, nil
+			}
+			return false, err
+		}
+		return d <= cfg.QueueCells+1e-9, nil
+	}
+	if ok, err := feasible(1.0); err != nil {
+		return 0, err
+	} else if ok {
+		return 1.0, nil
+	}
+	lo, hi := 0.0, 1.0
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		ok, err := feasible(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// Comparison is the result of running every variant on one configuration.
+type Comparison struct {
+	Config  Config
+	MaxLoad map[Variant]float64
+}
+
+// Compare runs all three variants.
+func Compare(cfg Config, tol float64) (Comparison, error) {
+	out := Comparison{Config: cfg.withDefaults(), MaxLoad: make(map[Variant]float64, 3)}
+	for _, v := range []Variant{Exact, NoFiltering, CrudeDistortion} {
+		b, err := MaxLoad(v, cfg, tol)
+		if err != nil {
+			return Comparison{}, fmt.Errorf("variant %v: %w", v, err)
+		}
+		out.MaxLoad[v] = b
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package ablation
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"atmcac/internal/bitstream"
+	"atmcac/internal/rtnet"
+	"atmcac/internal/traffic"
+)
+
+func TestVariantString(t *testing.T) {
+	for v, want := range map[Variant]string{
+		Exact:           "exact",
+		NoFiltering:     "no-filtering",
+		CrudeDistortion: "crude-distortion",
+		Variant(9):      "Variant(9)",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("Variant(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestRingPortBoundValidation(t *testing.T) {
+	if _, err := RingPortBound(Exact, Config{}, 0); !errors.Is(err, ErrConfig) {
+		t.Errorf("zero load error = %v", err)
+	}
+	if _, err := RingPortBound(Exact, Config{}, 1.5); !errors.Is(err, ErrConfig) {
+		t.Errorf("overload error = %v", err)
+	}
+	if _, err := RingPortBound(Variant(9), Config{}, 0.5); !errors.Is(err, ErrConfig) {
+		t.Errorf("unknown variant error = %v", err)
+	}
+}
+
+// TestCrudeDistortionDominatesExact: the crude jitter bound is a true upper
+// envelope of the exact Algorithm 3.1 distortion at every time point, so
+// the bounds it induces can only be worse.
+func TestCrudeDistortionDominatesExact(t *testing.T) {
+	specs := []traffic.Spec{
+		traffic.CBR(0.05),
+		traffic.VBR(0.5, 0.05, 8),
+		traffic.VBR(0.9, 0.2, 32),
+	}
+	cdvs := []float64{16, 32, 96, 448}
+	for _, spec := range specs {
+		env, err := spec.Stream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cdv := range cdvs {
+			exact, err := distorted(Exact, env, cdv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crude, err := distorted(CrudeDistortion, env, cdv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tau := range []float64{0.5, 1, 2, 5, 13, 34, 89, 233, 610, 1597} {
+				if crude.CumAt(tau) < exact.CumAt(tau)-1e-6 {
+					t.Fatalf("spec %v cdv %g: crude cum %g < exact cum %g at tau=%g",
+						spec, cdv, crude.CumAt(tau), exact.CumAt(tau), tau)
+				}
+			}
+		}
+	}
+}
+
+func TestDistortedZeroCDV(t *testing.T) {
+	env, err := traffic.VBR(0.5, 0.05, 8).Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Variant{Exact, CrudeDistortion} {
+		got, err := distorted(v, env, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(env, 0) {
+			t.Errorf("variant %v changed the envelope at CDV=0", v)
+		}
+	}
+}
+
+// TestExactBoundMatchesEngine: the ablation's Exact variant must agree with
+// the real CAC engine on the symmetric RTnet bound — it is the same
+// mathematics assembled outside the engine.
+func TestExactBoundMatchesEngine(t *testing.T) {
+	cfg := Config{RingNodes: 8, Terminals: 2}
+	load := 0.4
+	got, err := RingPortBound(Exact, cfg, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := rtnet.New(rtnet.Config{RingNodes: 8, TerminalsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := rt.SymmetricWorkload(load, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.InstallAll(w); err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := rt.RingPortBounds(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-bounds[0]) > 1e-9 {
+		t.Fatalf("ablation exact bound %g != engine bound %g", got, bounds[0])
+	}
+}
+
+// TestRefinementOrdering: at equal load, both ablations can only inflate
+// the bound; disabling filtering is catastrophic (the transit aggregate
+// arrives unsmoothed).
+func TestRefinementOrdering(t *testing.T) {
+	cfg := Config{RingNodes: 8, Terminals: 2}
+	for _, load := range []float64{0.2, 0.4, 0.6} {
+		exact, err := RingPortBound(Exact, cfg, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crude, err := RingPortBound(CrudeDistortion, cfg, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := RingPortBound(NoFiltering, cfg, load)
+		if err != nil && !errors.Is(err, bitstream.ErrUnstable) {
+			t.Fatal(err)
+		}
+		if crude < exact-1e-9 {
+			t.Errorf("load %g: crude distortion bound %g below exact %g", load, crude, exact)
+		}
+		if err == nil && raw < exact-1e-9 {
+			t.Errorf("load %g: unfiltered bound %g below exact %g", load, raw, exact)
+		}
+	}
+}
+
+// TestCompareOrdering: admissible load under the full scheme dominates both
+// ablations, and the gaps are substantial — the quantitative version of
+// the paper's claims against [9].
+func TestCompareOrdering(t *testing.T) {
+	cmp, err := Compare(Config{RingNodes: 8, Terminals: 2}, 1.0/64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := cmp.MaxLoad[Exact]
+	noFilter := cmp.MaxLoad[NoFiltering]
+	crude := cmp.MaxLoad[CrudeDistortion]
+	if exact <= 0 {
+		t.Fatalf("exact variant admits nothing: %+v", cmp.MaxLoad)
+	}
+	if noFilter > exact+1.0/32 {
+		t.Errorf("no-filtering admits more (%g) than exact (%g)", noFilter, exact)
+	}
+	if crude > exact+1.0/32 {
+		t.Errorf("crude distortion admits more (%g) than exact (%g)", crude, exact)
+	}
+	// The refinements must be worth something.
+	if exact < noFilter+1.0/16 {
+		t.Errorf("filtering effect worth only %g load", exact-noFilter)
+	}
+	if exact < crude+1.0/32 {
+		t.Errorf("exact distortion worth only %g load", exact-crude)
+	}
+	t.Logf("max load: exact=%.3f crude-distortion=%.3f no-filtering=%.3f", exact, crude, noFilter)
+}

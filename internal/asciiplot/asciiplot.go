@@ -1,0 +1,115 @@
+// Package asciiplot renders experiment series as plain-text scatter plots,
+// so the paper's figures can be eyeballed straight from a terminal without
+// any plotting dependency (the module is stdlib-only by design).
+package asciiplot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"atmcac/internal/experiments"
+)
+
+// ErrEmpty reports that there is nothing to plot.
+var ErrEmpty = errors.New("asciiplot: no points")
+
+// Options controls the plot geometry.
+type Options struct {
+	// Width and Height are the interior plot size in characters; defaults
+	// 64 x 20.
+	Width  int
+	Height int
+	// Title is printed above the plot.
+	Title string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	return o
+}
+
+// seriesGlyphs mark the points of successive series.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render writes an ASCII plot of the series.
+func Render(w io.Writer, series []experiments.Series, opts Options) error {
+	opts = opts.withDefaults()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			points++
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if points == 0 {
+		return ErrEmpty
+	}
+	// Avoid a degenerate scale when all values coincide.
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for _, p := range s.Points {
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(opts.Width-1)))
+			row := int(math.Round((p.Y - minY) / (maxY - minY) * float64(opts.Height-1)))
+			// Row 0 is the top of the grid.
+			grid[opts.Height-1-row][col] = glyph
+		}
+	}
+	if opts.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", opts.Title); err != nil {
+			return err
+		}
+	}
+	yLabelTop := fmt.Sprintf("%.4g", maxY)
+	yLabelBot := fmt.Sprintf("%.4g", minY)
+	labelWidth := len(yLabelTop)
+	if len(yLabelBot) > labelWidth {
+		labelWidth = len(yLabelBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, yLabelTop)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, yLabelBot)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelWidth),
+		strings.Repeat("-", opts.Width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", labelWidth),
+		opts.Width/2, minX, opts.Width-opts.Width/2, maxX); err != nil {
+		return err
+	}
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

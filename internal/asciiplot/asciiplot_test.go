@@ -1,0 +1,85 @@
+package asciiplot
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"atmcac/internal/experiments"
+)
+
+func TestRenderBasic(t *testing.T) {
+	series := []experiments.Series{
+		{Label: "rising", Points: []experiments.Point{{X: 0, Y: 0}, {X: 1, Y: 10}, {X: 2, Y: 20}}},
+		{Label: "flat", Points: []experiments.Point{{X: 0, Y: 5}, {X: 2, Y: 5}}},
+	}
+	var sb strings.Builder
+	if err := Render(&sb, series, Options{Width: 20, Height: 8, Title: "demo"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "* rising", "o flat", "+--------------------", "20", "0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series' extremes land in opposite corners of the grid.
+	lines := strings.Split(out, "\n")
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 8 {
+		t.Fatalf("grid has %d rows, want 8:\n%s", len(gridLines), out)
+	}
+	top, bottom := gridLines[0], gridLines[len(gridLines)-1]
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "*") {
+		t.Errorf("top row lacks the maximum point: %q", top)
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Errorf("bottom row lacks the minimum point: %q", bottom)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, nil, Options{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("error = %v, want ErrEmpty", err)
+	}
+	if err := Render(&sb, []experiments.Series{{Label: "hollow"}}, Options{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestRenderDegenerateScale(t *testing.T) {
+	series := []experiments.Series{
+		{Label: "point", Points: []experiments.Point{{X: 3, Y: 7}}},
+	}
+	var sb strings.Builder
+	if err := Render(&sb, series, Options{Width: 10, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Errorf("single point not plotted:\n%s", sb.String())
+	}
+}
+
+func TestRenderRealFigure(t *testing.T) {
+	series, err := experiments.Figure10(experiments.SymmetricConfig{
+		RingNodes: 8,
+		Terminals: []int{1, 8},
+		Loads:     []float64{0.1, 0.3, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Render(&sb, series, Options{Title: "fig10"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "N=1") || !strings.Contains(sb.String(), "N=8") {
+		t.Errorf("legend missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,106 @@
+// Package baseline implements the peak bandwidth allocation CAC that the
+// paper's introduction argues against: admit a connection if and only if
+// the aggregated peak cell rate on every link of its route stays within the
+// link bandwidth. Peak allocation keeps links uncongested in the long run
+// but ignores cell clumping, so it cannot guarantee hard queueing delay
+// bounds — bursts of simultaneous arrivals overflow small real-time FIFOs
+// that the bit-stream CAC would have protected.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+var (
+	// ErrRejected reports a connection whose peak rate does not fit.
+	ErrRejected = errors.New("baseline: connection rejected (peak bandwidth exhausted)")
+	// ErrDuplicate reports an already-admitted connection ID.
+	ErrDuplicate = errors.New("baseline: duplicate connection")
+	// ErrUnknown reports an operation on an unknown connection.
+	ErrUnknown = errors.New("baseline: unknown connection")
+	// ErrBadRequest reports invalid admission parameters.
+	ErrBadRequest = errors.New("baseline: invalid request")
+)
+
+// PeakAllocation is a peak bandwidth allocation admission controller over
+// named unit-bandwidth links. It is safe for concurrent use.
+type PeakAllocation struct {
+	mu        sync.Mutex
+	allocated map[string]float64
+	conns     map[string]connAlloc
+}
+
+type connAlloc struct {
+	pcr   float64
+	links []string
+}
+
+// New returns an empty controller.
+func New() *PeakAllocation {
+	return &PeakAllocation{
+		allocated: make(map[string]float64),
+		conns:     make(map[string]connAlloc),
+	}
+}
+
+// Admit reserves pcr on every link of the route. It fails with ErrRejected
+// if any link's aggregate peak rate would exceed 1, leaving no state behind.
+func (p *PeakAllocation) Admit(id string, pcr float64, links []string) error {
+	if id == "" || len(links) == 0 {
+		return fmt.Errorf("%w: id %q with %d links", ErrBadRequest, id, len(links))
+	}
+	if !(pcr > 0) || pcr > 1 {
+		return fmt.Errorf("%w: PCR %g not in (0, 1]", ErrBadRequest, pcr)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.conns[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, id)
+	}
+	for _, l := range links {
+		if p.allocated[l]+pcr > 1+1e-12 {
+			return fmt.Errorf("%w: link %q at %g + %g", ErrRejected, l, p.allocated[l], pcr)
+		}
+	}
+	for _, l := range links {
+		p.allocated[l] += pcr
+	}
+	cp := make([]string, len(links))
+	copy(cp, links)
+	p.conns[id] = connAlloc{pcr: pcr, links: cp}
+	return nil
+}
+
+// Release frees a connection's reservations.
+func (p *PeakAllocation) Release(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.conns[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	for _, l := range c.links {
+		p.allocated[l] -= c.pcr
+		if p.allocated[l] < 1e-12 {
+			delete(p.allocated, l)
+		}
+	}
+	delete(p.conns, id)
+	return nil
+}
+
+// Allocated returns the aggregate peak rate reserved on a link.
+func (p *PeakAllocation) Allocated(link string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocated[link]
+}
+
+// Connections returns the number of admitted connections.
+func (p *PeakAllocation) Connections() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/sim"
+	"atmcac/internal/traffic"
+)
+
+func TestAdmitAndRelease(t *testing.T) {
+	p := New()
+	if err := p.Admit("a", 0.5, []string{"l1", "l2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Admit("b", 0.5, []string{"l1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Allocated("l1"); got != 1 {
+		t.Errorf("Allocated(l1) = %g, want 1", got)
+	}
+	if got := p.Allocated("l2"); got != 0.5 {
+		t.Errorf("Allocated(l2) = %g, want 0.5", got)
+	}
+	if err := p.Admit("c", 0.1, []string{"l1"}); !errors.Is(err, ErrRejected) {
+		t.Fatalf("over-allocation error = %v, want ErrRejected", err)
+	}
+	if err := p.Release("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Admit("c", 0.1, []string{"l1"}); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	if got := p.Connections(); got != 2 {
+		t.Errorf("Connections = %d, want 2", got)
+	}
+}
+
+func TestAdmitValidation(t *testing.T) {
+	p := New()
+	if err := p.Admit("", 0.5, []string{"l"}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("empty id error = %v", err)
+	}
+	if err := p.Admit("a", 0.5, nil); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("no links error = %v", err)
+	}
+	if err := p.Admit("a", 0, []string{"l"}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("zero pcr error = %v", err)
+	}
+	if err := p.Admit("a", 1.5, []string{"l"}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("pcr above one error = %v", err)
+	}
+	if err := p.Admit("a", 0.5, []string{"l"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Admit("a", 0.1, []string{"l"}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate error = %v", err)
+	}
+	if err := p.Release("zz"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown release error = %v", err)
+	}
+}
+
+func TestRejectionLeavesNoState(t *testing.T) {
+	p := New()
+	if err := p.Admit("a", 0.8, []string{"l2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Fails on l2, must not leave a partial reservation on l1.
+	if err := p.Admit("b", 0.5, []string{"l1", "l2"}); !errors.Is(err, ErrRejected) {
+		t.Fatal(err)
+	}
+	if got := p.Allocated("l1"); got != 0 {
+		t.Errorf("partial reservation leaked: Allocated(l1) = %g", got)
+	}
+}
+
+// TestPeakAllocationUnderestimatesDelay is the paper's introduction made
+// concrete: 16 CBR connections with aggregate peak rate 0.8 pass peak
+// allocation, but their simultaneous first cells need 16 queue slots — an
+// 8-cell real-time FIFO drops cells. The bit-stream CAC computes the true
+// worst case (15 cell times > 8) and rejects the excess connections, and
+// the set it admits runs loss-free.
+func TestPeakAllocationUnderestimatesDelay(t *testing.T) {
+	const (
+		k        = 16
+		pcr      = 0.05
+		queueCap = 8
+	)
+	// Peak allocation admits all 16.
+	pa := New()
+	for i := 0; i < k; i++ {
+		if err := pa.Admit(fmt.Sprintf("c%d", i), pcr, []string{"shared"}); err != nil {
+			t.Fatalf("peak allocation rejected connection %d: %v", i, err)
+		}
+	}
+
+	// The bit-stream CAC rejects beyond 9 connections on an 8-cell queue.
+	cac, err := core.NewSwitch(core.SwitchConfig{
+		Name: "sw", QueueCells: map[core.Priority]float64{1: queueCap},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0
+	for i := 0; i < k; i++ {
+		_, err := cac.Admit(core.HopRequest{
+			Conn: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(pcr),
+			In: core.PortID(i), Out: 0, Priority: 1,
+		})
+		if err != nil {
+			break
+		}
+		admitted++
+	}
+	if admitted >= k {
+		t.Fatalf("bit-stream CAC admitted all %d connections onto an %d-cell queue", k, queueCap)
+	}
+
+	// Simulation of the peak-allocation decision: losses.
+	runSim := func(sources int) sim.QueueStats {
+		n := sim.New()
+		sw, err := n.AddSwitch("sw", map[sim.Priority]int{1: queueCap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vc := 0; vc < sources; vc++ {
+			if err := sw.SetRoute(vc, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.AddSource(sim.SourceConfig{
+				VC: vc, Spec: traffic.CBR(pcr), Dest: sw, InPort: vc,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := n.Run(5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Queues[sim.QueueKey("sw", 0, 1)]
+	}
+	if q := runSim(k); q.Drops == 0 {
+		t.Error("peak-allocation-admitted set suffered no drops; scenario broken")
+	}
+	// The CAC-admitted subset runs loss-free.
+	if q := runSim(admitted); q.Drops != 0 {
+		t.Errorf("CAC-admitted subset dropped %d cells", q.Drops)
+	}
+}

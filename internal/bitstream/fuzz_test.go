@@ -1,0 +1,139 @@
+package bitstream
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzSpec clamps raw fuzz inputs into a valid (PCR, SCR, MBS) triple.
+func fuzzSpec(pcr, scr, mbs float64) (float64, float64, float64, bool) {
+	if math.IsNaN(pcr) || math.IsNaN(scr) || math.IsNaN(mbs) ||
+		math.IsInf(pcr, 0) || math.IsInf(scr, 0) || math.IsInf(mbs, 0) {
+		return 0, 0, 0, false
+	}
+	pcr = 0.01 + math.Mod(math.Abs(pcr), 0.99)
+	scr = pcr * (0.01 + math.Mod(math.Abs(scr), 0.99))
+	mbs = 1 + math.Mod(math.Abs(mbs), 100)
+	return pcr, scr, mbs, true
+}
+
+// FuzzDelayedCharacterization fuzzes Algorithm 3.1 against its exact
+// cumulative characterization A'(tau) = min(tau, A(tau+cdv)).
+func FuzzDelayedCharacterization(f *testing.F) {
+	f.Add(0.5, 0.1, 8.0, 32.0)
+	f.Add(1.0, 1.0, 1.0, 0.5)
+	f.Add(0.03, 0.02, 64.0, 500.0)
+	f.Fuzz(func(t *testing.T, pcrRaw, scrRaw, mbsRaw, cdvRaw float64) {
+		pcr, scr, mbs, ok := fuzzSpec(pcrRaw, scrRaw, mbsRaw)
+		if !ok || math.IsNaN(cdvRaw) || math.IsInf(cdvRaw, 0) {
+			t.Skip()
+		}
+		cdv := math.Mod(math.Abs(cdvRaw), 2048)
+		s, err := FromVBR(pcr, scr, mbs)
+		if err != nil {
+			t.Fatalf("FromVBR(%g,%g,%g): %v", pcr, scr, mbs, err)
+		}
+		d, err := s.Delayed(cdv)
+		if err != nil {
+			t.Fatalf("Delayed(%g): %v", cdv, err)
+		}
+		for _, tau := range []float64{0, 0.3, 1, 4, 17, 130, 1025, 9000} {
+			want := math.Min(tau, s.CumAt(tau+cdv))
+			if got := d.CumAt(tau); math.Abs(got-want) > 1e-5 {
+				t.Fatalf("S=%v cdv=%g: A'(%g)=%g want %g", s, cdv, tau, got, want)
+			}
+		}
+	})
+}
+
+// FuzzFilteredCharacterization fuzzes Algorithm 3.4 against
+// A_f(t) = min(t, A(t)) on multiplexed aggregates.
+func FuzzFilteredCharacterization(f *testing.F) {
+	f.Add(0.5, 0.1, 8.0, 0.9, 0.4, 32.0)
+	f.Add(1.0, 0.9, 2.0, 1.0, 0.99, 3.0)
+	f.Fuzz(func(t *testing.T, p1, s1, m1, p2, s2, m2 float64) {
+		pcrA, scrA, mbsA, ok := fuzzSpec(p1, s1, m1)
+		if !ok {
+			t.Skip()
+		}
+		pcrB, scrB, mbsB, ok := fuzzSpec(p2, s2, m2)
+		if !ok {
+			t.Skip()
+		}
+		a, err := FromVBR(pcrA, scrA, mbsA)
+		if err != nil {
+			t.Skip()
+		}
+		b, err := FromVBR(pcrB, scrB, mbsB)
+		if err != nil {
+			t.Skip()
+		}
+		agg := Add(a, b)
+		fil := agg.Filtered()
+		for _, at := range []float64{0, 0.5, 1, 3, 9, 40, 333, 4096} {
+			want := math.Min(at, agg.CumAt(at))
+			if got := fil.CumAt(at); math.Abs(got-want) > 1e-5 {
+				t.Fatalf("agg=%v: A_f(%g)=%g want %g", agg, at, got, want)
+			}
+		}
+		// Demultiplexing must recover both components.
+		backA, err := Sub(agg, b)
+		if err != nil || !backA.Equal(a, 1e-6) {
+			t.Fatalf("Sub(agg,b) = %v (%v), want %v", backA, err, a)
+		}
+	})
+}
+
+// FuzzDelayBoundNoPanicAndStable fuzzes Algorithm 4.1 for robustness: on
+// arbitrary valid inputs it must terminate with either a finite
+// non-negative bound (matching brute force loosely) or ErrUnstable, never
+// panic or loop.
+func FuzzDelayBoundNoPanicAndStable(f *testing.F) {
+	f.Add(0.5, 0.1, 8.0, 0.4, 0.2, 4.0, 64.0)
+	f.Add(0.9, 0.8, 32.0, 0.3, 0.05, 16.0, 1.0)
+	f.Fuzz(func(t *testing.T, p1, s1, m1, p2, s2, m2, cdvRaw float64) {
+		pcrA, scrA, mbsA, ok := fuzzSpec(p1, s1, m1)
+		if !ok {
+			t.Skip()
+		}
+		pcrB, scrB, mbsB, ok := fuzzSpec(p2, s2, m2)
+		if !ok || math.IsNaN(cdvRaw) || math.IsInf(cdvRaw, 0) {
+			t.Skip()
+		}
+		cdv := math.Mod(math.Abs(cdvRaw), 1024)
+		a, err := FromVBR(pcrA, scrA, mbsA)
+		if err != nil {
+			t.Skip()
+		}
+		b, err := FromVBR(pcrB, scrB, mbsB)
+		if err != nil {
+			t.Skip()
+		}
+		da, err := a.Delayed(cdv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Add(da, Add(a, b))
+		higher := b.Filtered()
+		d, err := DelayBound(s, higher)
+		if err != nil {
+			if !errors.Is(err, ErrUnstable) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if s.TailRate()+higher.TailRate() < 1-1e-9 {
+				t.Fatalf("ErrUnstable on a stable configuration: tails %g + %g",
+					s.TailRate(), higher.TailRate())
+			}
+			return
+		}
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("DelayBound = %g", d)
+		}
+		// The bound can be zero only if the arrival rate never exceeds
+		// the service rate at t=0.
+		if d == 0 && s.PeakRate() > 1-higher.PeakRate()+Eps {
+			t.Fatalf("bound 0 with initial overload: S=%v S1=%v", s, higher)
+		}
+	})
+}

@@ -1,0 +1,387 @@
+package bitstream
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// vbrParams is a quick-generable VBR descriptor with sane ranges.
+type vbrParams struct {
+	PCR, SCR, MBS float64
+}
+
+// Generate implements quick.Generator, drawing PCR in (0,1], SCR in (0,PCR]
+// and MBS in [1,64].
+func (vbrParams) Generate(r *rand.Rand, _ int) reflect.Value {
+	pcr := 0.01 + 0.99*r.Float64()
+	scr := pcr * (0.05 + 0.95*r.Float64())
+	mbs := 1 + math.Floor(64*r.Float64())
+	return reflect.ValueOf(vbrParams{PCR: pcr, SCR: scr, MBS: mbs})
+}
+
+func (p vbrParams) stream(t *testing.T) Stream {
+	t.Helper()
+	s, err := FromVBR(p.PCR, p.SCR, p.MBS)
+	if err != nil {
+		t.Fatalf("FromVBR(%+v): %v", p, err)
+	}
+	return s
+}
+
+// randomAggregate builds a multiplexed stream of up to four delayed VBR
+// envelopes, the shape the CAC engine manipulates.
+type randomAggregate struct {
+	Parts [4]vbrParams
+	CDVs  [4]float64
+	N     int
+}
+
+func (randomAggregate) Generate(r *rand.Rand, size int) reflect.Value {
+	var a randomAggregate
+	a.N = 1 + r.Intn(4)
+	for i := 0; i < a.N; i++ {
+		a.Parts[i] = vbrParams{}.Generate(r, size).Interface().(vbrParams)
+		a.CDVs[i] = 64 * r.Float64()
+	}
+	return reflect.ValueOf(a)
+}
+
+func (a randomAggregate) stream(t *testing.T) Stream {
+	t.Helper()
+	streams := make([]Stream, 0, a.N)
+	for i := 0; i < a.N; i++ {
+		s := a.Parts[i].stream(t)
+		d, err := s.Delayed(a.CDVs[i])
+		if err != nil {
+			t.Fatalf("Delayed(%g) on %v: %v", a.CDVs[i], s, err)
+		}
+		streams = append(streams, d)
+	}
+	return Sum(streams...)
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 300}
+}
+
+// TestPropVBRStreamIsCanonical: every generated envelope satisfies the model
+// invariants: t(0)=0, strictly increasing breakpoints, strictly decreasing
+// rates, peak rate 1.
+func TestPropVBRStreamIsCanonical(t *testing.T) {
+	f := func(p vbrParams) bool {
+		s := p.stream(t)
+		segs := s.Segments()
+		if segs[0].Start != 0 || segs[0].Rate != 1 {
+			return false
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Start <= segs[i-1].Start || segs[i].Rate >= segs[i-1].Rate {
+				return false
+			}
+		}
+		return s.TailRate() > 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropVBRCumMatchesTokenBucket: the envelope's cumulative function
+// dominates the discrete worst-case generation (MBS cells at PCR then SCR)
+// and matches it exactly at cell boundaries, which is the defining property
+// of the continuous approximation in the paper's Figure 2.
+func TestPropVBRCumMatchesTokenBucket(t *testing.T) {
+	f := func(p vbrParams) bool {
+		s := p.stream(t)
+		// Worst-case discrete generation times: cell k at time t_k.
+		mbs := int(p.MBS)
+		tk := 0.0
+		for k := 0; k < mbs+16; k++ {
+			if k > 0 {
+				if k < mbs {
+					tk += 1 / p.PCR
+				} else {
+					tk += 1 / p.SCR
+				}
+			}
+			// By time t_k + 1 (the cell occupies one cell time at link
+			// rate), the envelope must account for at least k+1 cells.
+			if s.CumAt(tk+1) < float64(k+1)-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropDelayedCharacterization: A'(tau) = min(tau, A(tau+cdv)).
+func TestPropDelayedCharacterization(t *testing.T) {
+	f := func(p vbrParams, cdvSeed float64) bool {
+		s := p.stream(t)
+		cdv := math.Abs(cdvSeed)
+		cdv = math.Mod(cdv, 512)
+		got, err := s.Delayed(cdv)
+		if err != nil {
+			return false
+		}
+		for _, tau := range []float64{0, 0.5, 1, 2, 5, 17, 63, 255, 1024} {
+			want := math.Min(tau, s.CumAt(tau+cdv))
+			if math.Abs(got.CumAt(tau)-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropDelayedDominates: delaying can only add traffic to every prefix,
+// A'(tau) >= A(tau), so worst-case envelopes remain valid upper bounds as a
+// connection crosses the network.
+func TestPropDelayedDominates(t *testing.T) {
+	f := func(p vbrParams, cdvSeed float64) bool {
+		s := p.stream(t)
+		cdv := math.Mod(math.Abs(cdvSeed), 512)
+		got, err := s.Delayed(cdv)
+		if err != nil {
+			return false
+		}
+		for _, tau := range []float64{0.25, 1, 3, 10, 40, 160, 640} {
+			if got.CumAt(tau) < s.CumAt(tau)-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropFilteredCharacterization: A_f(t) = min(t, A(t)) on aggregates.
+func TestPropFilteredCharacterization(t *testing.T) {
+	f := func(a randomAggregate) bool {
+		s := a.stream(t)
+		got := s.Filtered()
+		for _, at := range []float64{0, 0.5, 1, 2, 5, 17, 63, 255, 1024, 4096} {
+			want := math.Min(at, s.CumAt(at))
+			if math.Abs(got.CumAt(at)-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropFilteredIdempotent on random aggregates.
+func TestPropFilteredIdempotent(t *testing.T) {
+	f := func(a randomAggregate) bool {
+		once := a.stream(t).Filtered()
+		return once.Filtered().Equal(once, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropAddSubRoundTrip: demultiplexing recovers a multiplexed component.
+func TestPropAddSubRoundTrip(t *testing.T) {
+	f := func(p1, p2 vbrParams) bool {
+		a, b := p1.stream(t), p2.stream(t)
+		agg := Add(a, b)
+		gotA, err := Sub(agg, b)
+		if err != nil {
+			return false
+		}
+		gotB, err := Sub(agg, a)
+		if err != nil {
+			return false
+		}
+		return gotA.Equal(a, 1e-9) && gotB.Equal(b, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSumRateAdditive: the aggregate rate is the sum of component rates
+// at every probe instant (Algorithm 3.2's defining property).
+func TestPropSumRateAdditive(t *testing.T) {
+	f := func(p1, p2, p3 vbrParams) bool {
+		s1, s2, s3 := p1.stream(t), p2.stream(t), p3.stream(t)
+		agg := Sum(s1, s2, s3)
+		for _, at := range []float64{0, 0.5, 1, 1.5, 2, 5, 20, 100, 1000} {
+			want := s1.RateAt(at) + s2.RateAt(at) + s3.RateAt(at)
+			if math.Abs(agg.RateAt(at)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropDelayBoundMonotoneInTraffic: adding a connection never decreases
+// the delay bound. This is what lets the CAC admit connections one at a time
+// without revisiting earlier decisions.
+func TestPropDelayBoundMonotoneInTraffic(t *testing.T) {
+	f := func(a randomAggregate, p vbrParams) bool {
+		s := a.stream(t)
+		extra := p.stream(t)
+		d1, err1 := DelayBound(s, Zero())
+		d2, err2 := DelayBound(Add(s, extra), Zero())
+		if err1 != nil {
+			// If the base is already unstable, adding traffic must stay
+			// unstable.
+			return err2 != nil
+		}
+		if err2 != nil {
+			return true // became unstable: bound grew past any finite value
+		}
+		return d2 >= d1-1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropFilteringTightensBound: filtering an aggregate through a link can
+// only reduce (or preserve) the downstream delay bound — the "filtering
+// effect" the paper exploits for tighter bounds.
+func TestPropFilteringTightensBound(t *testing.T) {
+	f := func(a randomAggregate) bool {
+		s := a.stream(t)
+		dRaw, errRaw := DelayBound(s, Zero())
+		dFil, errFil := DelayBound(s.Filtered(), Zero())
+		if errRaw != nil {
+			// Unstable raw aggregate (tail rate >= 1): the filtered stream
+			// is the saturated unit-rate stream, whose downstream bound is
+			// finite (the upstream link cannot deliver more than rate 1).
+			// Any finite bound tightens an infinite one.
+			return true
+		}
+		if errFil != nil {
+			return false
+		}
+		return dFil <= dRaw+1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropDelayWorsensBound: jitter clumping never reduces the delay bound
+// a stream induces downstream.
+func TestPropDelayWorsensBound(t *testing.T) {
+	f := func(p vbrParams, cdvSeed float64) bool {
+		s := p.stream(t)
+		cdv := math.Mod(math.Abs(cdvSeed), 256)
+		d, err := s.Delayed(cdv)
+		if err != nil {
+			return false
+		}
+		b1, err1 := DelayBound(s, Constant(0.3))
+		b2, err2 := DelayBound(d, Constant(0.3))
+		if err1 != nil || err2 != nil {
+			// Tail rates are unchanged by Delayed, so stability must agree.
+			return (err1 == nil) == (err2 == nil)
+		}
+		return b2 >= b1-1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropBacklogAtMostDelay: Q <= D at every queueing point.
+func TestPropBacklogAtMostDelay(t *testing.T) {
+	f := func(a randomAggregate) bool {
+		s := a.stream(t)
+		d, errD := DelayBound(s, Zero())
+		q, errQ := MaxBacklog(s, Zero())
+		if errD != nil || errQ != nil {
+			return (errD == nil) == (errQ == nil)
+		}
+		return q <= d+1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropDelayBoundMatchesBruteForce cross-validates Algorithm 4.1 against
+// a direct numerical evaluation of D(t) = g(t) - t on a dense grid.
+func TestPropDelayBoundMatchesBruteForce(t *testing.T) {
+	f := func(a randomAggregate, hp vbrParams) bool {
+		s := a.stream(t)
+		higher := hp.stream(t).Filtered()
+		// Keep the scenario stable.
+		if s.TailRate()+higher.TailRate() >= 1 {
+			return true
+		}
+		d, err := DelayBound(s, higher)
+		if err != nil {
+			return false
+		}
+		brute, dt := bruteForceDelayBound(s, higher)
+		return math.Abs(d-brute) < 16*dt+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteForceDelayBound numerically inverts the service curve on a dense
+// grid, returning the bound and the grid step (which scales its error).
+func bruteForceDelayBound(s, higher Stream) (bound, dt float64) {
+	// Grid horizon: past all breakpoints plus drain time.
+	horizon := 1.0
+	for _, sg := range s.Segments() {
+		horizon = math.Max(horizon, sg.Start)
+	}
+	for _, sg := range higher.Segments() {
+		horizon = math.Max(horizon, sg.Start)
+	}
+	horizon = horizon*2 + 256
+	const steps = 200000
+	dt = horizon / steps
+	// Cumulative arrivals and service on the grid.
+	best := 0.0
+	a, c := 0.0, 0.0
+	cGrid := make([]float64, steps+1)
+	for i := 1; i <= steps; i++ {
+		tm := float64(i-1) * dt
+		c += (1 - higher.RateAt(tm)) * dt
+		cGrid[i] = c
+	}
+	j := 0
+	for i := 0; i <= steps; i++ {
+		tm := float64(i) * dt
+		if i > 0 {
+			a += s.RateAt(float64(i-1)*dt) * dt
+		}
+		for j <= steps && cGrid[j] < a-1e-12 {
+			j++
+		}
+		if j > steps {
+			break
+		}
+		if d := float64(j)*dt - tm; d > best {
+			best = d
+		}
+	}
+	return best, dt
+}

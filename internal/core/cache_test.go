@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"atmcac/internal/traffic"
+)
+
+// TestCacheInvalidationOnMutations: repeated bound queries hit the memo,
+// and every mutation (admit, install, release) invalidates it so results
+// always reflect the current connection set.
+func TestCacheInvalidationOnMutations(t *testing.T) {
+	sw := newTestSwitch(t, map[Priority]float64{1: 1e6})
+	admit := func(i int) {
+		t.Helper()
+		if _, err := sw.Admit(HopRequest{
+			Conn: ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.VBR(0.4, 0.01, 8),
+			In: PortID(i), Out: 0, Priority: 1, CDV: 32,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	admit(1)
+	d1, err := sw.ComputedBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated query: identical (memoized) result.
+	d1again, err := sw.ComputedBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d1again {
+		t.Fatalf("repeated bound differs: %g vs %g", d1, d1again)
+	}
+	// Admit invalidates.
+	admit(2)
+	d2, err := sw.ComputedBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d1 {
+		t.Fatalf("bound after second admission %g not above %g (stale cache?)", d2, d1)
+	}
+	// Install invalidates.
+	if err := sw.Install(HopRequest{
+		Conn: "inst", Spec: traffic.VBR(0.4, 0.01, 8),
+		In: 7, Out: 0, Priority: 1, CDV: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := sw.ComputedBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 <= d2 {
+		t.Fatalf("bound after install %g not above %g (stale cache?)", d3, d2)
+	}
+	// Release invalidates and restores the earlier value.
+	if err := sw.Release("inst"); err != nil {
+		t.Fatal(err)
+	}
+	d4, err := sw.ComputedBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d4-d2) > 1e-9 {
+		t.Fatalf("bound after release %g, want %g", d4, d2)
+	}
+}
+
+// TestCacheNotPoisonedByCheck: Check (and the candidate-including admission
+// path) must not populate the memo with candidate-augmented aggregates.
+func TestCacheNotPoisonedByCheck(t *testing.T) {
+	sw := newTestSwitch(t, map[Priority]float64{1: 1e6})
+	if _, err := sw.Admit(HopRequest{
+		Conn: "base", Spec: traffic.VBR(0.4, 0.01, 8), In: 1, Out: 0, Priority: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := sw.ComputedBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Check evaluates bounds with a hypothetical heavy connection.
+	if _, err := sw.Check(HopRequest{
+		Conn: "ghost", Spec: traffic.VBR(0.5, 0.1, 32), In: 2, Out: 0, Priority: 1, CDV: 96,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sw.ComputedBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("Check changed the cached bound: %g vs %g", before, after)
+	}
+}

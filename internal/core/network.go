@@ -1,0 +1,508 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"atmcac/internal/bitstream"
+	"atmcac/internal/traffic"
+)
+
+// CDVPolicy accumulates upstream per-hop delay bounds into the cell delay
+// variation used to clump a connection's arrival envelope at the next hop
+// (Section 4.3, discussion 1).
+type CDVPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Accumulate combines the guaranteed delay bounds of the upstream
+	// queueing points into a CDV, in cell times.
+	Accumulate(upstreamBounds []float64) float64
+}
+
+// HardCDV is the hard real-time policy: the CDV is the plain sum of the
+// upstream maximum queueing delays — the true worst case.
+type HardCDV struct{}
+
+// Name implements CDVPolicy.
+func (HardCDV) Name() string { return "hard" }
+
+// Accumulate implements CDVPolicy.
+func (HardCDV) Accumulate(upstreamBounds []float64) float64 {
+	sum := 0.0
+	for _, d := range upstreamBounds {
+		sum += d
+	}
+	return sum
+}
+
+// SoftCDV is the soft real-time policy the paper suggests: a square-root
+// summation of upstream bounds, exploiting that a cell is very unlikely to
+// suffer the maximum queueing delay at every hop simultaneously.
+type SoftCDV struct{}
+
+// Name implements CDVPolicy.
+func (SoftCDV) Name() string { return "soft" }
+
+// Accumulate implements CDVPolicy.
+func (SoftCDV) Accumulate(upstreamBounds []float64) float64 {
+	sum := 0.0
+	for _, d := range upstreamBounds {
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+var (
+	_ CDVPolicy = HardCDV{}
+	_ CDVPolicy = SoftCDV{}
+)
+
+// Hop is one queueing point on a connection's route.
+type Hop struct {
+	Switch string `json:"switch"`
+	In     PortID `json:"in"`
+	Out    PortID `json:"out"`
+}
+
+// Route is the ordered list of queueing points a connection traverses.
+type Route []Hop
+
+// ConnRequest is a network-level connection setup request, carrying the
+// paper's (PCR, SCR, MBS, D) parameters plus the route and priority.
+type ConnRequest struct {
+	ID       ConnID       `json:"id"`
+	Spec     traffic.Spec `json:"spec"`
+	Priority Priority     `json:"priority"`
+	Route    Route        `json:"route"`
+	// DelayBound is the requested end-to-end queueing delay bound D in
+	// cell times; 0 means no end-to-end requirement (per-hop guarantees
+	// still apply).
+	DelayBound float64 `json:"delayBound,omitempty"`
+	// SourceCDV is the delay variation already accumulated before the
+	// first hop (e.g. at the sending terminal), in cell times.
+	SourceCDV float64 `json:"sourceCDV,omitempty"`
+}
+
+func (r ConnRequest) validate() error {
+	if r.ID == "" {
+		return fmt.Errorf("%w: empty connection ID", ErrBadConfig)
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return err
+	}
+	if len(r.Route) == 0 {
+		return fmt.Errorf("%w: connection %q has an empty route", ErrBadConfig, r.ID)
+	}
+	if r.DelayBound < 0 || r.SourceCDV < 0 {
+		return fmt.Errorf("%w: connection %q has negative delay parameters", ErrBadConfig, r.ID)
+	}
+	return nil
+}
+
+// Admission summarizes a successful end-to-end connection setup.
+type Admission struct {
+	ID ConnID
+	// PerHopGuaranteed are the fixed bounds D(j,p) of each hop: what the
+	// network contractually guarantees and what feeds CDV accumulation.
+	PerHopGuaranteed []float64
+	// PerHopComputed are the load-dependent computed bounds D'(j,p) at
+	// admission time — the quantity the paper's Figure 10 plots.
+	PerHopComputed []float64
+	// EndToEndGuaranteed is the sum of the fixed per-hop bounds.
+	EndToEndGuaranteed float64
+	// EndToEndComputed is the sum of the computed per-hop bounds.
+	EndToEndComputed float64
+}
+
+// Violation reports a queue whose computed bound exceeds its guarantee,
+// found by Network.Audit.
+type Violation struct {
+	Switch   string
+	Out      PortID
+	Priority Priority
+	Bound    float64 // +Inf when the queueing point is unstable
+	Limit    float64
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("switch %q out %d priority %d: bound %.4g > limit %.4g",
+		v.Switch, v.Out, v.Priority, v.Bound, v.Limit)
+}
+
+// Network is a set of CAC switches with a shared CDV accumulation policy.
+// It performs end-to-end connection setup (sequential hop-by-hop admission
+// with rollback, mirroring the SETUP/REJECT signaling of Section 4.1) and
+// offline planning (bulk install + audit, the mode the current RTnet uses
+// for permanent connections).
+type Network struct {
+	policy CDVPolicy
+
+	mu       sync.Mutex
+	switches map[string]*Switch
+	admitted map[ConnID]ConnRequest
+}
+
+// NewNetwork returns an empty network using the given CDV policy.
+func NewNetwork(policy CDVPolicy) *Network {
+	if policy == nil {
+		policy = HardCDV{}
+	}
+	return &Network{
+		policy:   policy,
+		switches: make(map[string]*Switch),
+		admitted: make(map[ConnID]ConnRequest),
+	}
+}
+
+// Policy returns the network's CDV accumulation policy.
+func (n *Network) Policy() CDVPolicy { return n.policy }
+
+// AddSwitch creates and registers a switch.
+func (n *Network) AddSwitch(cfg SwitchConfig) (*Switch, error) {
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.switches[cfg.Name]; ok {
+		return nil, fmt.Errorf("%w: switch %q already exists", ErrBadConfig, cfg.Name)
+	}
+	n.switches[cfg.Name] = sw
+	return sw, nil
+}
+
+// Switch returns a registered switch by name.
+func (n *Network) Switch(name string) (*Switch, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sw, ok := n.switches[name]
+	return sw, ok
+}
+
+// SwitchNames returns the registered switch names in sorted order.
+func (n *Network) SwitchNames() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	names := make([]string, 0, len(n.switches))
+	for name := range n.switches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Connections returns the IDs of admitted connections in sorted order.
+func (n *Network) Connections() []ConnID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]ConnID, 0, len(n.admitted))
+	for id := range n.admitted {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AdmittedRequests returns copies of the admitted connection requests in
+// ID order — the network's durable state, used for persistence.
+func (n *Network) AdmittedRequests() []ConnRequest {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	reqs := make([]ConnRequest, 0, len(n.admitted))
+	for _, req := range n.admitted {
+		cp := req
+		cp.Route = make(Route, len(req.Route))
+		copy(cp.Route, req.Route)
+		reqs = append(reqs, cp)
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].ID < reqs[j].ID })
+	return reqs
+}
+
+// resolveRoute maps a route onto switches and collects their fixed bounds.
+func (n *Network) resolveRoute(req ConnRequest) ([]*Switch, []float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switches := make([]*Switch, len(req.Route))
+	guaranteed := make([]float64, len(req.Route))
+	for i, hop := range req.Route {
+		sw, ok := n.switches[hop.Switch]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: %q (hop %d of connection %q)",
+				ErrUnknownSwitch, hop.Switch, i, req.ID)
+		}
+		d, ok := sw.GuaranteedBoundAt(hop.Out, req.Priority)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: switch %q has no priority %d queue",
+				ErrBadConfig, hop.Switch, req.Priority)
+		}
+		switches[i] = sw
+		guaranteed[i] = d
+	}
+	return switches, guaranteed, nil
+}
+
+// Setup establishes a connection hop by hop, mirroring the distributed
+// SETUP procedure: each switch on the route runs the CAC check; the first
+// rejection rolls back all upstream commitments and the error (wrapping
+// ErrRejected for CAC failures) is returned.
+func (n *Network) Setup(req ConnRequest) (*Admission, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if _, ok := n.admitted[req.ID]; ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateConn, req.ID)
+	}
+	n.mu.Unlock()
+
+	switches, guaranteed, err := n.resolveRoute(req)
+	if err != nil {
+		return nil, err
+	}
+	e2eGuaranteed := HardCDV{}.Accumulate(guaranteed)
+	if req.DelayBound > 0 && e2eGuaranteed > req.DelayBound {
+		return nil, &RejectionError{
+			Switch:   "(end-to-end)",
+			Priority: req.Priority,
+			Bound:    e2eGuaranteed,
+			Limit:    req.DelayBound,
+			Reason:   "sum of per-hop guarantees exceeds the requested delay bound",
+		}
+	}
+
+	computed := make([]float64, 0, len(switches))
+	for i, sw := range switches {
+		cdv := req.SourceCDV + n.policy.Accumulate(guaranteed[:i])
+		res, err := sw.Admit(HopRequest{
+			Conn:     req.ID,
+			Spec:     req.Spec,
+			In:       req.Route[i].In,
+			Out:      req.Route[i].Out,
+			Priority: req.Priority,
+			CDV:      cdv,
+		})
+		if err != nil {
+			// REJECT travels back upstream: release earlier hops.
+			for j := i - 1; j >= 0; j-- {
+				// Release cannot fail here: the connection was just
+				// admitted at hop j and IDs are unique per network.
+				_ = switches[j].Release(req.ID)
+			}
+			return nil, err
+		}
+		computed = append(computed, res.Bounds[req.Priority])
+	}
+
+	n.mu.Lock()
+	n.admitted[req.ID] = req
+	n.mu.Unlock()
+
+	adm := &Admission{
+		ID:                 req.ID,
+		PerHopGuaranteed:   guaranteed,
+		PerHopComputed:     computed,
+		EndToEndGuaranteed: e2eGuaranteed,
+	}
+	for _, d := range computed {
+		adm.EndToEndComputed += d
+	}
+	return adm, nil
+}
+
+// Teardown releases a connection at every hop of its route.
+func (n *Network) Teardown(id ConnID) error {
+	n.mu.Lock()
+	req, ok := n.admitted[id]
+	if ok {
+		delete(n.admitted, id)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownConn, id)
+	}
+	// A wrapped route may visit the same switch twice; Release removes all
+	// of the connection's hop entries at once, so release each switch once.
+	released := make(map[string]bool, len(req.Route))
+	for _, hop := range req.Route {
+		if released[hop.Switch] {
+			continue
+		}
+		released[hop.Switch] = true
+		sw, swOK := n.Switch(hop.Switch)
+		if !swOK {
+			return fmt.Errorf("%w: %q while tearing down %q", ErrUnknownSwitch, hop.Switch, id)
+		}
+		if err := sw.Release(id); err != nil {
+			return fmt.Errorf("teardown %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Install loads a connection at every hop without running CAC checks. It is
+// the offline-planning path: with fixed per-switch bounds, admissibility of
+// a connection set is order-independent, so a whole set can be installed
+// and then validated once with Audit.
+func (n *Network) Install(req ConnRequest) error {
+	if err := req.validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if _, ok := n.admitted[req.ID]; ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDuplicateConn, req.ID)
+	}
+	n.mu.Unlock()
+	switches, guaranteed, err := n.resolveRoute(req)
+	if err != nil {
+		return err
+	}
+	for i, sw := range switches {
+		cdv := req.SourceCDV + n.policy.Accumulate(guaranteed[:i])
+		err := sw.Install(HopRequest{
+			Conn:     req.ID,
+			Spec:     req.Spec,
+			In:       req.Route[i].In,
+			Out:      req.Route[i].Out,
+			Priority: req.Priority,
+			CDV:      cdv,
+		})
+		if err != nil {
+			for j := i - 1; j >= 0; j-- {
+				_ = switches[j].Release(req.ID)
+			}
+			return err
+		}
+	}
+	n.mu.Lock()
+	n.admitted[req.ID] = req
+	n.mu.Unlock()
+	return nil
+}
+
+// Audit recomputes the worst-case delay bound of every (switch, output
+// port, priority) queue carrying traffic and returns the queues whose bound
+// exceeds their guarantee. An empty result means the installed connection
+// set is admissible.
+func (n *Network) Audit() ([]Violation, error) {
+	n.mu.Lock()
+	switches := make([]*Switch, 0, len(n.switches))
+	for _, sw := range n.switches {
+		switches = append(switches, sw)
+	}
+	n.mu.Unlock()
+	sort.Slice(switches, func(i, j int) bool { return switches[i].Name() < switches[j].Name() })
+
+	var violations []Violation
+	for _, sw := range switches {
+		for _, out := range sw.OutPorts() {
+			for _, p := range sw.cfg.priorities() {
+				sw.mu.Lock()
+				hasTraffic := sw.hasTrafficLocked(out, p)
+				sw.mu.Unlock()
+				if !hasTraffic {
+					continue
+				}
+				limit, _ := sw.cfg.boundFor(out, p)
+				d, err := sw.ComputedBound(out, p)
+				if err != nil {
+					if errors.Is(err, bitstream.ErrUnstable) {
+						violations = append(violations, Violation{
+							Switch: sw.Name(), Out: out, Priority: p,
+							Bound: math.Inf(1), Limit: limit,
+						})
+						continue
+					}
+					return nil, err
+				}
+				if d > limit+1e-9 {
+					violations = append(violations, Violation{
+						Switch: sw.Name(), Out: out, Priority: p,
+						Bound: d, Limit: limit,
+					})
+				}
+			}
+		}
+	}
+	return violations, nil
+}
+
+// AssignPriority picks the least urgent (numerically largest) priority of
+// the ladder whose contractual end-to-end guarantee along the route still
+// meets the requested budget — the paper's guidance that "connections
+// requesting large delay bounds can be assigned low priority levels", made
+// mechanical. The guarantee is the hard (sum) accumulation of the per-hop
+// bounds of the candidate priority. It returns ErrRejected when even the
+// highest priority cannot meet the budget.
+func (n *Network) AssignPriority(route Route, budget float64) (Priority, error) {
+	if len(route) == 0 || !(budget > 0) {
+		return 0, fmt.Errorf("%w: AssignPriority needs a route and a positive budget", ErrBadConfig)
+	}
+	// Candidate priorities: those configured at every hop.
+	first, ok := n.Switch(route[0].Switch)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownSwitch, route[0].Switch)
+	}
+	var best Priority
+	found := false
+	for _, p := range first.cfg.priorities() {
+		total := 0.0
+		feasible := true
+		for _, hop := range route {
+			sw, ok := n.Switch(hop.Switch)
+			if !ok {
+				return 0, fmt.Errorf("%w: %q", ErrUnknownSwitch, hop.Switch)
+			}
+			d, ok := sw.GuaranteedBoundAt(hop.Out, p)
+			if !ok {
+				feasible = false
+				break
+			}
+			total += d
+		}
+		if !feasible || total > budget {
+			continue
+		}
+		if !found || p > best {
+			best = p
+			found = true
+		}
+	}
+	if !found {
+		return 0, &RejectionError{
+			Switch:   "(end-to-end)",
+			Bound:    math.Inf(1),
+			Limit:    budget,
+			Reason:   "no priority level's guarantee meets the requested budget",
+			Priority: 0,
+		}
+	}
+	return best, nil
+}
+
+// RouteBound sums the current computed per-hop bounds D'(j,p) along a route
+// for a given priority: the end-to-end worst-case queueing delay of a
+// connection following that route under the present load (the quantity
+// plotted in the paper's Figure 10).
+func (n *Network) RouteBound(route Route, p Priority) (float64, error) {
+	total := 0.0
+	for i, hop := range route {
+		sw, ok := n.Switch(hop.Switch)
+		if !ok {
+			return 0, fmt.Errorf("%w: %q (hop %d)", ErrUnknownSwitch, hop.Switch, i)
+		}
+		d, err := sw.ComputedBound(hop.Out, p)
+		if err != nil {
+			return 0, fmt.Errorf("route bound at switch %q hop %d: %w", hop.Switch, i, err)
+		}
+		total += d
+	}
+	return total, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"atmcac/internal/traffic"
+)
+
+func TestPortOverrideValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     SwitchConfig
+		wantErr bool
+	}{
+		{"valid override", SwitchConfig{
+			Name:           "a",
+			QueueCells:     map[Priority]float64{1: 32},
+			PortQueueCells: map[PortID]map[Priority]float64{0: {1: 128}},
+		}, false},
+		{"override of unconfigured priority", SwitchConfig{
+			Name:           "a",
+			QueueCells:     map[Priority]float64{1: 32},
+			PortQueueCells: map[PortID]map[Priority]float64{0: {2: 128}},
+		}, true},
+		{"zero override", SwitchConfig{
+			Name:           "a",
+			QueueCells:     map[Priority]float64{1: 32},
+			PortQueueCells: map[PortID]map[Priority]float64{0: {1: 0}},
+		}, true},
+		{"nan override", SwitchConfig{
+			Name:           "a",
+			QueueCells:     map[Priority]float64{1: 32},
+			PortQueueCells: map[PortID]map[Priority]float64{0: {1: math.NaN()}},
+		}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSwitch(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewSwitch error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGuaranteedBoundAt(t *testing.T) {
+	sw, err := NewSwitch(SwitchConfig{
+		Name:           "a",
+		QueueCells:     map[Priority]float64{1: 32, 2: 64},
+		PortQueueCells: map[PortID]map[Priority]float64{7: {1: 256}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := sw.GuaranteedBoundAt(0, 1); !ok || d != 32 {
+		t.Errorf("port 0 prio 1 = %g, %v; want base 32", d, ok)
+	}
+	if d, ok := sw.GuaranteedBoundAt(7, 1); !ok || d != 256 {
+		t.Errorf("port 7 prio 1 = %g, %v; want override 256", d, ok)
+	}
+	// The override map does not cover priority 2: base applies.
+	if d, ok := sw.GuaranteedBoundAt(7, 2); !ok || d != 64 {
+		t.Errorf("port 7 prio 2 = %g, %v; want base 64", d, ok)
+	}
+	if _, ok := sw.GuaranteedBoundAt(0, 9); ok {
+		t.Error("unconfigured priority reported")
+	}
+}
+
+func TestNewSwitchCopiesOverrides(t *testing.T) {
+	overrides := map[PortID]map[Priority]float64{0: {1: 128}}
+	sw, err := NewSwitch(SwitchConfig{
+		Name:           "a",
+		QueueCells:     map[Priority]float64{1: 32},
+		PortQueueCells: overrides,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overrides[0][1] = 1
+	if d, _ := sw.GuaranteedBoundAt(0, 1); d != 128 {
+		t.Fatalf("mutating caller's overrides changed the switch: %g", d)
+	}
+}
+
+// TestPortOverrideChangesAdmission: the same traffic fits on the port with
+// the larger FIFO and is rejected on the tight one; rejection errors carry
+// the per-port limit.
+func TestPortOverrideChangesAdmission(t *testing.T) {
+	sw, err := NewSwitch(SwitchConfig{
+		Name:           "a",
+		QueueCells:     map[Priority]float64{1: 4},
+		PortQueueCells: map[PortID]map[Priority]float64{1: {1: 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admit := func(out PortID, count int) (int, *RejectionError) {
+		admitted := 0
+		for i := 0; i < count; i++ {
+			_, err := sw.Admit(HopRequest{
+				Conn: ConnID(fmt.Sprintf("p%d-c%d", out, i)),
+				Spec: traffic.CBR(0.005),
+				In:   PortID(100 + i), Out: out, Priority: 1,
+			})
+			if err != nil {
+				var rej *RejectionError
+				if !errors.As(err, &rej) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return admitted, rej
+			}
+			admitted++
+		}
+		return admitted, nil
+	}
+	tightAdmitted, tightRej := admit(0, 32)
+	if tightRej == nil {
+		t.Fatal("tight port admitted everything")
+	}
+	if tightRej.Limit != 4 {
+		t.Errorf("tight rejection limit = %g, want 4", tightRej.Limit)
+	}
+	looseAdmitted, looseRej := admit(1, 32)
+	if looseRej != nil {
+		t.Fatalf("loose port rejected after %d: %v", looseAdmitted, looseRej)
+	}
+	if looseAdmitted <= tightAdmitted {
+		t.Errorf("loose port admitted %d, tight %d; want more on the larger FIFO",
+			looseAdmitted, tightAdmitted)
+	}
+}
+
+// TestPortOverrideFeedsCDV: a route through the overridden (larger) port
+// accumulates more CDV downstream, visible in the end-to-end guarantee.
+func TestPortOverrideFeedsCDV(t *testing.T) {
+	n := NewNetwork(HardCDV{})
+	if _, err := n.AddSwitch(SwitchConfig{
+		Name:           "sw0",
+		QueueCells:     map[Priority]float64{1: 32},
+		PortQueueCells: map[PortID]map[Priority]float64{5: {1: 200}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSwitch(SwitchConfig{
+		Name:       "sw1",
+		QueueCells: map[Priority]float64{1: 32},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	base, err := n.Setup(ConnRequest{
+		ID: "via-base", Spec: traffic.CBR(0.01), Priority: 1,
+		Route: Route{{Switch: "sw0", In: 1, Out: 0}, {Switch: "sw1", In: 0, Out: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	override, err := n.Setup(ConnRequest{
+		ID: "via-override", Spec: traffic.CBR(0.01), Priority: 1,
+		Route: Route{{Switch: "sw0", In: 2, Out: 5}, {Switch: "sw1", In: 0, Out: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.EndToEndGuaranteed != 64 {
+		t.Errorf("base guarantee = %g, want 64", base.EndToEndGuaranteed)
+	}
+	if override.EndToEndGuaranteed != 232 {
+		t.Errorf("override guarantee = %g, want 200+32", override.EndToEndGuaranteed)
+	}
+	if override.PerHopGuaranteed[0] != 200 {
+		t.Errorf("override hop 0 guarantee = %g, want 200", override.PerHopGuaranteed[0])
+	}
+}

@@ -1,0 +1,546 @@
+// Package core implements the paper's Connection Admission Control engine
+// (Section 4.3): per-switch admission state over the bit-stream algebra, the
+// six-step delay-bound check for static-priority FIFO switches, hard and
+// soft CDV accumulation policies, and network-level connection setup with
+// commit/rollback semantics.
+//
+// Each switch guarantees a fixed queueing delay bound D(j,p) per output
+// port j and priority p — the size, in cells, of the priority-p FIFO queue
+// (a bound of D cell times also bounds the backlog by D cells, so the queue
+// never overflows). A connection is admitted at a switch if and only if,
+// with the connection included, the computed worst-case delay D'(j,p) stays
+// within D(j,p) for the connection's priority and for every lower priority
+// carrying real-time traffic.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"atmcac/internal/bitstream"
+	"atmcac/internal/traffic"
+)
+
+// Priority is a static transmission priority level; 1 is the highest.
+type Priority int
+
+// PortID identifies a switch port. Incoming and outgoing port spaces are
+// separate: a PortID is interpreted relative to its direction.
+type PortID int
+
+// ConnID identifies a connection network-wide.
+type ConnID string
+
+var (
+	// ErrRejected reports a connection that failed the CAC check.
+	ErrRejected = errors.New("core: connection rejected")
+	// ErrUnknownConn reports an operation on a connection the switch or
+	// network does not carry.
+	ErrUnknownConn = errors.New("core: unknown connection")
+	// ErrDuplicateConn reports an admission for an already-admitted ID.
+	ErrDuplicateConn = errors.New("core: duplicate connection")
+	// ErrBadConfig reports an invalid switch or network configuration.
+	ErrBadConfig = errors.New("core: invalid configuration")
+	// ErrUnknownSwitch reports a route hop through a switch the network
+	// does not contain.
+	ErrUnknownSwitch = errors.New("core: unknown switch")
+)
+
+// RejectionError describes why a CAC check failed at a switch.
+type RejectionError struct {
+	Switch   string
+	Out      PortID
+	Priority Priority
+	Bound    float64 // computed worst-case delay D'(j,p); +Inf if unstable
+	Limit    float64 // guaranteed bound D(j,p)
+	Reason   string
+}
+
+// Error implements error.
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("core: connection rejected at switch %q out port %d priority %d: %s (bound %.4g, limit %.4g)",
+		e.Switch, e.Out, e.Priority, e.Reason, e.Bound, e.Limit)
+}
+
+// Unwrap lets callers match with errors.Is(err, ErrRejected).
+func (e *RejectionError) Unwrap() error { return ErrRejected }
+
+// SwitchConfig configures a switch's real-time queues.
+type SwitchConfig struct {
+	// Name identifies the switch within a Network.
+	Name string
+	// QueueCells maps each real-time priority level to the size (in cells)
+	// of its per-output-port FIFO queue. The size doubles as the fixed
+	// queueing delay bound D(j,p), in cell times, that the switch
+	// guarantees regardless of load.
+	QueueCells map[Priority]float64
+	// PortQueueCells optionally overrides QueueCells for specific output
+	// ports — the paper's D(j,p) is per port j, so e.g. an uplink can
+	// carry a larger FIFO than edge ports. Override keys must be a subset
+	// of the priorities in QueueCells.
+	PortQueueCells map[PortID]map[Priority]float64
+}
+
+func (c SwitchConfig) validate() error {
+	if len(c.QueueCells) == 0 {
+		return fmt.Errorf("%w: switch %q has no real-time priority queues", ErrBadConfig, c.Name)
+	}
+	for p, cells := range c.QueueCells {
+		if p < 1 {
+			return fmt.Errorf("%w: switch %q priority %d (priorities start at 1)", ErrBadConfig, c.Name, p)
+		}
+		if !(cells > 0) || math.IsInf(cells, 0) || math.IsNaN(cells) {
+			return fmt.Errorf("%w: switch %q priority %d queue size %g", ErrBadConfig, c.Name, p, cells)
+		}
+	}
+	for port, queues := range c.PortQueueCells {
+		for p, cells := range queues {
+			if _, ok := c.QueueCells[p]; !ok {
+				return fmt.Errorf("%w: switch %q port %d overrides unconfigured priority %d",
+					ErrBadConfig, c.Name, port, p)
+			}
+			if !(cells > 0) || math.IsInf(cells, 0) || math.IsNaN(cells) {
+				return fmt.Errorf("%w: switch %q port %d priority %d queue size %g",
+					ErrBadConfig, c.Name, port, p, cells)
+			}
+		}
+	}
+	return nil
+}
+
+// boundFor returns the fixed delay bound D(j,p) of an output port,
+// honouring per-port overrides.
+func (c SwitchConfig) boundFor(out PortID, p Priority) (float64, bool) {
+	if queues, ok := c.PortQueueCells[out]; ok {
+		if d, ok := queues[p]; ok {
+			return d, true
+		}
+	}
+	d, ok := c.QueueCells[p]
+	return d, ok
+}
+
+// priorities returns the configured priority levels, highest (1) first.
+func (c SwitchConfig) priorities() []Priority {
+	out := make([]Priority, 0, len(c.QueueCells))
+	for p := range c.QueueCells {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HopRequest is the per-switch admission request for one connection.
+type HopRequest struct {
+	Conn     ConnID
+	Spec     traffic.Spec
+	In       PortID
+	Out      PortID
+	Priority Priority
+	// CDV is the accumulated maximum cell delay variation over upstream
+	// queueing points, in cell times (Section 4.3).
+	CDV float64
+}
+
+// HopResult reports the outcome of a successful check or admission.
+type HopResult struct {
+	// Bounds maps the connection's priority, and every lower configured
+	// priority carrying traffic, to the computed worst-case queueing delay
+	// D'(out, p) with the new connection included.
+	Bounds map[Priority]float64
+	// Guaranteed is the switch's fixed bound D(out, priority) for the new
+	// connection's priority: its contribution to downstream CDV.
+	Guaranteed float64
+}
+
+// entry is one admitted connection at a switch.
+type entry struct {
+	id      ConnID
+	in      PortID
+	out     PortID
+	prio    Priority
+	arrival bitstream.Stream // worst-case arrival after upstream CDV
+}
+
+// Switch holds the CAC state of one switching node. All methods are safe
+// for concurrent use.
+//
+// A connection may traverse the same switch more than once — a wrapped
+// RTnet ring routes traffic through each node in both directions — so a
+// connection maps to a list of hop entries, each with its own port pair
+// and arrival envelope.
+type Switch struct {
+	cfg SwitchConfig
+
+	mu    sync.Mutex
+	conns map[ConnID][]entry
+	// cache memoizes the assembled (Soa, Sof) streams per (out, priority);
+	// it is cleared on every state mutation. Audits and repeated bound
+	// queries between admissions hit it.
+	cache map[portPrio]cachedStreams
+}
+
+type portPrio struct {
+	out  PortID
+	prio Priority
+}
+
+type cachedStreams struct {
+	soa bitstream.Stream
+	sof bitstream.Stream
+}
+
+// NewSwitch returns a switch with the given queue configuration.
+func NewSwitch(cfg SwitchConfig) (*Switch, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	queues := make(map[Priority]float64, len(cfg.QueueCells))
+	for p, v := range cfg.QueueCells {
+		queues[p] = v
+	}
+	cfg.QueueCells = queues
+	if len(cfg.PortQueueCells) > 0 {
+		overrides := make(map[PortID]map[Priority]float64, len(cfg.PortQueueCells))
+		for port, qs := range cfg.PortQueueCells {
+			cp := make(map[Priority]float64, len(qs))
+			for p, v := range qs {
+				cp[p] = v
+			}
+			overrides[port] = cp
+		}
+		cfg.PortQueueCells = overrides
+	}
+	return &Switch{
+		cfg:   cfg,
+		conns: make(map[ConnID][]entry),
+		cache: make(map[portPrio]cachedStreams),
+	}, nil
+}
+
+// Name returns the switch name.
+func (sw *Switch) Name() string { return sw.cfg.Name }
+
+// GuaranteedBound returns the switch's base fixed delay bound for priority
+// p (before per-port overrides), and whether the priority is configured.
+func (sw *Switch) GuaranteedBound(p Priority) (float64, bool) {
+	d, ok := sw.cfg.QueueCells[p]
+	return d, ok
+}
+
+// GuaranteedBoundAt returns the fixed delay bound D(j,p) of output port
+// out at priority p, honouring per-port overrides.
+func (sw *Switch) GuaranteedBoundAt(out PortID, p Priority) (float64, bool) {
+	return sw.cfg.boundFor(out, p)
+}
+
+// ConnectionCount returns the number of admitted connections.
+func (sw *Switch) ConnectionCount() int {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return len(sw.conns)
+}
+
+// Has reports whether the switch carries the connection.
+func (sw *Switch) Has(id ConnID) bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	_, ok := sw.conns[id]
+	return ok
+}
+
+// arrivalStream computes the worst-case arrival envelope of a connection at
+// this switch: the source envelope of Algorithm 2.1 clumped by the
+// accumulated upstream CDV (Algorithm 3.1).
+func arrivalStream(spec traffic.Spec, cdv float64) (bitstream.Stream, error) {
+	s, err := spec.Stream()
+	if err != nil {
+		return bitstream.Stream{}, err
+	}
+	return s.Delayed(cdv)
+}
+
+// duplicateHopLocked reports whether the connection already has an entry
+// with the same port pair: the only admission that is a true duplicate. A
+// second traversal of the switch via different ports (a wrapped ring) is
+// legitimate. Caller holds sw.mu.
+func (sw *Switch) duplicateHopLocked(req HopRequest) bool {
+	for _, e := range sw.conns[req.Conn] {
+		if e.in == req.In && e.out == req.Out {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs the CAC check of Section 4.3 for a new connection without
+// committing it. It returns a *RejectionError (wrapping ErrRejected) if the
+// connection cannot be accommodated.
+func (sw *Switch) Check(req HopRequest) (HopResult, error) {
+	arr, err := sw.validateRequest(req)
+	if err != nil {
+		return HopResult{}, err
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.duplicateHopLocked(req) {
+		return HopResult{}, fmt.Errorf("%w: %q at switch %q ports %d->%d",
+			ErrDuplicateConn, req.Conn, sw.cfg.Name, req.In, req.Out)
+	}
+	return sw.checkLocked(req, arr)
+}
+
+// Admit runs the CAC check and, on success, commits the connection.
+func (sw *Switch) Admit(req HopRequest) (HopResult, error) {
+	arr, err := sw.validateRequest(req)
+	if err != nil {
+		return HopResult{}, err
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.duplicateHopLocked(req) {
+		return HopResult{}, fmt.Errorf("%w: %q at switch %q ports %d->%d",
+			ErrDuplicateConn, req.Conn, sw.cfg.Name, req.In, req.Out)
+	}
+	res, err := sw.checkLocked(req, arr)
+	if err != nil {
+		return HopResult{}, err
+	}
+	sw.conns[req.Conn] = append(sw.conns[req.Conn],
+		entry{id: req.Conn, in: req.In, out: req.Out, prio: req.Priority, arrival: arr})
+	clear(sw.cache)
+	return res, nil
+}
+
+// Install commits the connection without running the CAC check. It is used
+// for offline planning (the paper's permanent-connection mode), where a
+// whole connection set is loaded and then validated once with Audit.
+func (sw *Switch) Install(req HopRequest) error {
+	arr, err := sw.validateRequest(req)
+	if err != nil {
+		return err
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.duplicateHopLocked(req) {
+		return fmt.Errorf("%w: %q at switch %q ports %d->%d",
+			ErrDuplicateConn, req.Conn, sw.cfg.Name, req.In, req.Out)
+	}
+	sw.conns[req.Conn] = append(sw.conns[req.Conn],
+		entry{id: req.Conn, in: req.In, out: req.Out, prio: req.Priority, arrival: arr})
+	clear(sw.cache)
+	return nil
+}
+
+// Release removes every hop entry of an admitted connection at this
+// switch (a wrapped route may have several).
+func (sw *Switch) Release(id ConnID) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if _, ok := sw.conns[id]; !ok {
+		return fmt.Errorf("%w: %q at switch %q", ErrUnknownConn, id, sw.cfg.Name)
+	}
+	delete(sw.conns, id)
+	clear(sw.cache)
+	return nil
+}
+
+func (sw *Switch) validateRequest(req HopRequest) (bitstream.Stream, error) {
+	if req.Conn == "" {
+		return bitstream.Stream{}, fmt.Errorf("%w: empty connection ID", ErrBadConfig)
+	}
+	if _, ok := sw.cfg.QueueCells[req.Priority]; !ok {
+		return bitstream.Stream{}, fmt.Errorf("%w: switch %q has no priority %d queue",
+			ErrBadConfig, sw.cfg.Name, req.Priority)
+	}
+	// Note: incoming and outgoing port ID spaces are independent (a hop may
+	// legitimately use ring-in 0 and ring-out 0), so In == Out is allowed.
+	arr, err := arrivalStream(req.Spec, req.CDV)
+	if err != nil {
+		return bitstream.Stream{}, err
+	}
+	return arr, nil
+}
+
+// checkLocked performs Steps 1-6 of Section 4.3 with the candidate arrival
+// stream included. Caller holds sw.mu.
+func (sw *Switch) checkLocked(req HopRequest, arr bitstream.Stream) (HopResult, error) {
+	extra := &entry{id: req.Conn, in: req.In, out: req.Out, prio: req.Priority, arrival: arr}
+	bounds := make(map[Priority]float64)
+	for _, p := range sw.cfg.priorities() {
+		if p < req.Priority {
+			// Higher priorities are unaffected by the new connection.
+			continue
+		}
+		if p > req.Priority && !sw.hasTrafficLocked(req.Out, p) {
+			// Lower priority with no real-time traffic: nothing to protect.
+			continue
+		}
+		limit, _ := sw.cfg.boundFor(req.Out, p)
+		d, err := sw.delayBoundLocked(req.Out, p, extra)
+		if err != nil {
+			if errors.Is(err, bitstream.ErrUnstable) {
+				return HopResult{}, &RejectionError{
+					Switch: sw.cfg.Name, Out: req.Out, Priority: p,
+					Bound: math.Inf(1), Limit: limit,
+					Reason: "queueing point would become unstable",
+				}
+			}
+			return HopResult{}, err
+		}
+		if d > limit+bitstream.Eps {
+			return HopResult{}, &RejectionError{
+				Switch: sw.cfg.Name, Out: req.Out, Priority: p,
+				Bound: d, Limit: limit,
+				Reason: "worst-case queueing delay exceeds the FIFO budget",
+			}
+		}
+		bounds[p] = d
+	}
+	guaranteed, _ := sw.cfg.boundFor(req.Out, req.Priority)
+	return HopResult{Bounds: bounds, Guaranteed: guaranteed}, nil
+}
+
+// hasTrafficLocked reports whether any connection of priority p leaves via
+// out. Caller holds sw.mu.
+func (sw *Switch) hasTrafficLocked(out PortID, p Priority) bool {
+	for _, entries := range sw.conns {
+		for _, e := range entries {
+			if e.out == out && e.prio == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ComputedBound returns the current worst-case queueing delay D'(out, p)
+// with the present connection set (no candidate).
+func (sw *Switch) ComputedBound(out PortID, p Priority) (float64, error) {
+	if _, ok := sw.cfg.QueueCells[p]; !ok {
+		return 0, fmt.Errorf("%w: switch %q has no priority %d queue", ErrBadConfig, sw.cfg.Name, p)
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.delayBoundLocked(out, p, nil)
+}
+
+// MaxBacklog returns the worst-case backlog (cells) of the priority-p queue
+// at the given output port with the present connection set.
+func (sw *Switch) MaxBacklog(out PortID, p Priority) (float64, error) {
+	if _, ok := sw.cfg.QueueCells[p]; !ok {
+		return 0, fmt.Errorf("%w: switch %q has no priority %d queue", ErrBadConfig, sw.cfg.Name, p)
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	soa, sof := sw.portStreamsLocked(out, p, nil)
+	return bitstream.MaxBacklog(soa, sof)
+}
+
+// PortEnvelope returns the assembled worst-case streams at an output port
+// for priority p: the same-priority aggregate Soa(j,p) and the filtered
+// higher-priority aggregate Sof(j)(p) that Algorithm 4.1 consumes. It is
+// an observability hook for tooling; the streams are snapshots and safe to
+// retain.
+func (sw *Switch) PortEnvelope(out PortID, p Priority) (soa, sof bitstream.Stream, err error) {
+	if _, ok := sw.cfg.QueueCells[p]; !ok {
+		return bitstream.Stream{}, bitstream.Stream{},
+			fmt.Errorf("%w: switch %q has no priority %d queue", ErrBadConfig, sw.cfg.Name, p)
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	soa, sof = sw.portStreamsLocked(out, p, nil)
+	return soa, sof, nil
+}
+
+// Priorities returns the configured priority levels, highest first.
+func (sw *Switch) Priorities() []Priority {
+	return sw.cfg.priorities()
+}
+
+// OutPorts returns the output ports that currently carry connections, in
+// ascending order.
+func (sw *Switch) OutPorts() []PortID {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	seen := make(map[PortID]bool)
+	for _, entries := range sw.conns {
+		for _, e := range entries {
+			seen[e.out] = true
+		}
+	}
+	out := make([]PortID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// delayBoundLocked computes D'(out, p) using the paper's data structures,
+// optionally including a candidate entry. Caller holds sw.mu.
+func (sw *Switch) delayBoundLocked(out PortID, p Priority, extra *entry) (float64, error) {
+	soa, sof := sw.portStreamsLocked(out, p, extra)
+	return bitstream.DelayBound(soa, sof)
+}
+
+// portStreamsLocked assembles, for output port out and priority p:
+//
+//	Soa(j,p)  — the aggregated same-priority arrival stream: per incoming
+//	            link, the multiplexed connection envelopes Sia(i,j,p)
+//	            filtered by the incoming link (Sif), summed over links.
+//	Sof(j)(p) — the filtered aggregate of all higher priorities: per
+//	            incoming link Sia(i,j)(<p) filtered (Sif), summed (Soa),
+//	            then filtered by the outgoing link.
+//
+// Caller holds sw.mu.
+func (sw *Switch) portStreamsLocked(out PortID, p Priority, extra *entry) (soa, sof bitstream.Stream) {
+	key := portPrio{out: out, prio: p}
+	if extra == nil {
+		if c, ok := sw.cache[key]; ok {
+			return c.soa, c.sof
+		}
+	}
+	same := make(map[PortID][]bitstream.Stream)   // per incoming link, priority p
+	higher := make(map[PortID][]bitstream.Stream) // per incoming link, priorities < p
+	collect := func(e *entry) {
+		if e.out != out {
+			return
+		}
+		switch {
+		case e.prio == p:
+			same[e.in] = append(same[e.in], e.arrival)
+		case e.prio < p:
+			higher[e.in] = append(higher[e.in], e.arrival)
+		}
+	}
+	for _, entries := range sw.conns {
+		for i := range entries {
+			collect(&entries[i])
+		}
+	}
+	if extra != nil {
+		collect(extra)
+	}
+	soa = sumFiltered(same)
+	if len(higher) > 0 {
+		sof = sumFiltered(higher).Filtered()
+	}
+	if extra == nil {
+		sw.cache[key] = cachedStreams{soa: soa, sof: sof}
+	}
+	return soa, sof
+}
+
+// sumFiltered filters each incoming link's aggregate by that link and
+// multiplexes the results (the Sif streams summed into Soa).
+func sumFiltered(byLink map[PortID][]bitstream.Stream) bitstream.Stream {
+	filtered := make([]bitstream.Stream, 0, len(byLink))
+	for _, streams := range byLink {
+		filtered = append(filtered, bitstream.Sum(streams...).Filtered())
+	}
+	return bitstream.Sum(filtered...)
+}

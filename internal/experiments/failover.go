@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"atmcac/internal/core"
+	"atmcac/internal/rtnet"
+)
+
+// FailoverConfig parameterizes the ring-wrap experiment.
+type FailoverConfig struct {
+	// RingNodes defaults to 16, Terminals to 4.
+	RingNodes int
+	Terminals int
+	// FailedLink is the failed primary link's transmitting node; default 3.
+	FailedLink int
+	// Tolerance is the binary-search resolution; default 1/128.
+	Tolerance float64
+}
+
+func (c FailoverConfig) withDefaults() FailoverConfig {
+	if c.RingNodes == 0 {
+		c.RingNodes = rtnet.DefaultRingNodes
+	}
+	if c.Terminals == 0 {
+		c.Terminals = 4
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1.0 / 128
+	}
+	return c
+}
+
+// FailoverReport compares the healthy ring with the wrapped (post-failure)
+// ring for the symmetric cyclic workload.
+type FailoverReport struct {
+	Config FailoverConfig
+	// MaxLoadHealthy and MaxLoadWrapped are the largest admissible
+	// symmetric loads.
+	MaxLoadHealthy float64
+	MaxLoadWrapped float64
+	// RouteHopsHealthy is the broadcast route length on the healthy ring;
+	// RouteHopsWrappedMin/Max bracket the wrapped route lengths (they vary
+	// with the origin's distance from the wrap point).
+	RouteHopsHealthy    int
+	RouteHopsWrappedMin int
+	RouteHopsWrappedMax int
+	// GuaranteeHealthy and GuaranteeWrappedWorst are the contractual
+	// end-to-end bounds (cell times) for the standard 32-cell queues.
+	GuaranteeHealthy      float64
+	GuaranteeWrappedWorst float64
+	// HighSpeedBudget is the 1 ms cyclic class budget in cell times;
+	// HighSpeedSurvives reports whether the worst wrapped guarantee still
+	// meets it.
+	HighSpeedBudget   float64
+	HighSpeedSurvives bool
+}
+
+// Failover runs the ring-wrap experiment: RTnet's FDDI-style wrap keeps the
+// network connected after a single link failure (the secondary ring absorbs
+// the load), but routes lengthen and tight end-to-end budgets can break —
+// quantifying the degraded mode the paper's Section 5 fault-tolerance claim
+// implies.
+func Failover(cfg FailoverConfig) (FailoverReport, error) {
+	cfg = cfg.withDefaults()
+	report := FailoverReport{Config: cfg}
+
+	feasible := func(wrapped bool, load float64) (bool, error) {
+		n, err := rtnet.New(rtnet.Config{
+			RingNodes:        cfg.RingNodes,
+			TerminalsPerNode: cfg.Terminals,
+		})
+		if err != nil {
+			return false, err
+		}
+		var w []core.ConnRequest
+		if wrapped {
+			w, err = n.SymmetricWorkloadWrapped(load, 1, cfg.FailedLink)
+		} else {
+			w, err = n.SymmetricWorkload(load, 1)
+		}
+		if err != nil {
+			return false, err
+		}
+		if err := n.InstallAll(w); err != nil {
+			return false, err
+		}
+		violations, err := n.Audit()
+		if err != nil {
+			return false, err
+		}
+		return len(violations) == 0, nil
+	}
+	maxLoad := func(wrapped bool) (float64, error) {
+		if ok, err := feasible(wrapped, 1.0); err != nil {
+			return 0, err
+		} else if ok {
+			return 1.0, nil
+		}
+		lo, hi := 0.0, 1.0
+		for hi-lo > cfg.Tolerance {
+			mid := (lo + hi) / 2
+			ok, err := feasible(wrapped, mid)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo, nil
+	}
+
+	var err error
+	if report.MaxLoadHealthy, err = maxLoad(false); err != nil {
+		return FailoverReport{}, fmt.Errorf("healthy max load: %w", err)
+	}
+	if report.MaxLoadWrapped, err = maxLoad(true); err != nil {
+		return FailoverReport{}, fmt.Errorf("wrapped max load: %w", err)
+	}
+
+	n, err := rtnet.New(rtnet.Config{RingNodes: cfg.RingNodes, TerminalsPerNode: cfg.Terminals})
+	if err != nil {
+		return FailoverReport{}, err
+	}
+	report.RouteHopsHealthy = cfg.RingNodes - 1
+	report.RouteHopsWrappedMin = 2 * cfg.RingNodes
+	for origin := 0; origin < cfg.RingNodes; origin++ {
+		route, err := n.WrappedBroadcastRoute(origin, 0, cfg.FailedLink)
+		if err != nil {
+			return FailoverReport{}, err
+		}
+		if len(route) < report.RouteHopsWrappedMin {
+			report.RouteHopsWrappedMin = len(route)
+		}
+		if len(route) > report.RouteHopsWrappedMax {
+			report.RouteHopsWrappedMax = len(route)
+		}
+	}
+	report.GuaranteeHealthy = float64(report.RouteHopsHealthy) * rtnet.DefaultQueueCells
+	report.GuaranteeWrappedWorst = float64(report.RouteHopsWrappedMax) * rtnet.DefaultQueueCells
+	report.HighSpeedBudget = rtnet.Classes()[0].DelayCellTimes()
+	report.HighSpeedSurvives = report.GuaranteeWrappedWorst <= report.HighSpeedBudget
+	return report, nil
+}
+
+// String renders the report for the cmd tool.
+func (r FailoverReport) String() string {
+	survive := "meets"
+	if !r.HighSpeedSurvives {
+		survive = "BREAKS"
+	}
+	return fmt.Sprintf(
+		"failover (%d nodes, %d terminals/node, link %d fails):\n"+
+			"  max symmetric load: healthy %.3f, wrapped %.3f\n"+
+			"  broadcast routes: healthy %d hops; wrapped %d-%d hops\n"+
+			"  e2e guarantee: healthy %.0f cell times; wrapped worst %.0f\n"+
+			"  high-speed 1 ms budget (%.0f cell times): wrapped worst case %s it",
+		r.Config.RingNodes, r.Config.Terminals, r.Config.FailedLink,
+		r.MaxLoadHealthy, r.MaxLoadWrapped,
+		r.RouteHopsHealthy, r.RouteHopsWrappedMin, r.RouteHopsWrappedMax,
+		r.GuaranteeHealthy, r.GuaranteeWrappedWorst,
+		r.HighSpeedBudget, survive)
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailoverReport(t *testing.T) {
+	report, err := Failover(FailoverConfig{RingNodes: 8, Terminals: 2, Tolerance: 1.0 / 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MaxLoadHealthy <= 0 || report.MaxLoadWrapped <= 0 {
+		t.Fatalf("degenerate max loads: %+v", report)
+	}
+	// The wrapped ring keeps a usable fraction of the healthy capacity
+	// (the secondary ring absorbs the load).
+	if report.MaxLoadWrapped < report.MaxLoadHealthy/2 {
+		t.Errorf("wrapped capacity %.3f below half of healthy %.3f",
+			report.MaxLoadWrapped, report.MaxLoadHealthy)
+	}
+	// Routes lengthen: min stays >= healthy, max approaches 2(R-1)-1.
+	if report.RouteHopsWrappedMin < report.RouteHopsHealthy {
+		t.Errorf("wrapped min hops %d below healthy %d",
+			report.RouteHopsWrappedMin, report.RouteHopsHealthy)
+	}
+	if report.RouteHopsWrappedMax <= report.RouteHopsHealthy {
+		t.Errorf("wrapped max hops %d not above healthy %d",
+			report.RouteHopsWrappedMax, report.RouteHopsHealthy)
+	}
+	if report.GuaranteeWrappedWorst <= report.GuaranteeHealthy {
+		t.Errorf("wrapped guarantee %.0f not above healthy %.0f",
+			report.GuaranteeWrappedWorst, report.GuaranteeHealthy)
+	}
+	// For an 8-node ring the worst wrapped guarantee (13*32=416) breaks
+	// the 1 ms budget (367) that the healthy ring (224) met.
+	if report.HighSpeedSurvives {
+		t.Error("high-speed budget reported as surviving on an 8-node wrap")
+	}
+	out := report.String()
+	for _, want := range []string{"max symmetric load", "BREAKS", "hops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/rtnet"
+	"atmcac/internal/sim"
+)
+
+// TestMultiPriorityValidation drives the Figure 12 configuration through
+// both the CAC and the simulator: the hot terminal's connection at
+// priority 1 (32-cell FIFOs) and the cold crowd at priority 2 (256-cell
+// FIFOs). The analytic per-priority bounds must dominate the measured
+// per-priority delays, queues must stay within their budgets, and the
+// priority mechanism itself must be visible (the low-priority class sees
+// strictly more queueing than the isolated high-priority connection).
+func TestMultiPriorityValidation(t *testing.T) {
+	const (
+		ringNodes = 8
+		terminals = 2
+		load      = 0.4
+		hotShare  = 0.3
+	)
+	queues := map[core.Priority]float64{1: 32, 2: 256}
+
+	rt, err := rtnet.New(rtnet.Config{
+		RingNodes:        ringNodes,
+		TerminalsPerNode: terminals,
+		QueueCells:       queues,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload, err := rt.AsymmetricWorkload(load, hotShare, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.InstallAll(workload); err != nil {
+		t.Fatal(err)
+	}
+	violations, err := rt.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("two-priority workload rejected: %v", violations)
+	}
+
+	// Analytic per-connection end-to-end bounds.
+	analytic := make([]float64, len(workload))
+	for i, req := range workload {
+		d, err := rt.Core().RouteBound(req.Route, req.Priority)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic[i] = d
+	}
+
+	simNet, err := buildRingSim(ringNodes, map[sim.Priority]int{1: 32, 2: 256}, workload,
+		func(i int, sc *sim.SourceConfig) {
+			sc.Mode = sim.Random
+			sc.Seed = int64(i+1) * 7907
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := simNet.Run(60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var hotMax, coldMax uint64
+	for i, req := range workload {
+		vs := stats.PerVC[i]
+		if vs.Cells == 0 {
+			t.Fatalf("connection %s delivered nothing", req.ID)
+		}
+		if float64(vs.MaxDelay) > analytic[i]+1e-9 {
+			t.Errorf("connection %s (prio %d): measured %d exceeds analytic %.1f",
+				req.ID, req.Priority, vs.MaxDelay, analytic[i])
+		}
+		if req.Priority == 1 {
+			if vs.MaxDelay > hotMax {
+				hotMax = vs.MaxDelay
+			}
+		} else if vs.MaxDelay > coldMax {
+			coldMax = vs.MaxDelay
+		}
+	}
+	// The isolated priority-1 connection queues behind nothing.
+	if hotMax > 0 {
+		t.Errorf("hot priority-1 connection measured delay %d, want 0 (alone at its priority)", hotMax)
+	}
+	if coldMax == 0 {
+		t.Error("cold priority-2 class saw no queueing; scenario exercises nothing")
+	}
+	for key, qs := range stats.Queues {
+		if qs.Drops != 0 {
+			t.Errorf("queue %s dropped %d cells", key, qs.Drops)
+		}
+	}
+}

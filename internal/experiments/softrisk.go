@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"atmcac/internal/core"
+	"atmcac/internal/rtnet"
+	"atmcac/internal/sim"
+)
+
+// buildRingSim maps a set of RTnet broadcast connection requests (primary
+// ring only) onto a cell-level simulation of the ring, honouring each
+// request's priority. Each request's VC is its index; delivery uses a
+// per-connection sink port. The sourceCfg hook fills per-source fields
+// (mode, seed, jitter) on a prepared config.
+func buildRingSim(ringNodes int, queueCaps map[sim.Priority]int, reqs []core.ConnRequest,
+	sourceCfg func(i int, cfg *sim.SourceConfig)) (*sim.Network, error) {
+
+	simNet := sim.New()
+	switches := make([]*sim.Switch, ringNodes)
+	for i := range switches {
+		sw, err := simNet.AddSwitch(rtnet.SwitchName(i), queueCaps)
+		if err != nil {
+			return nil, err
+		}
+		switches[i] = sw
+	}
+	for i := range switches {
+		if err := simNet.Link(switches[i], 0, switches[(i+1)%ringNodes], 0); err != nil {
+			return nil, err
+		}
+	}
+	for i, req := range reqs {
+		origin, err := switchIndex(req.Route[0].Switch)
+		if err != nil {
+			return nil, err
+		}
+		prio := sim.Priority(req.Priority)
+		for h := range req.Route {
+			if err := switches[(origin+h)%ringNodes].SetRoute(i, 0, prio); err != nil {
+				return nil, err
+			}
+		}
+		last := (origin + len(req.Route)) % ringNodes
+		if err := switches[last].SetRoute(i, 1000+i, prio); err != nil {
+			return nil, err
+		}
+		cfg := sim.SourceConfig{
+			VC:     i,
+			Spec:   req.Spec,
+			Dest:   switches[origin],
+			InPort: int(req.Route[0].In),
+		}
+		if sourceCfg != nil {
+			sourceCfg(i, &cfg)
+		}
+		if err := simNet.AddSource(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return simNet, nil
+}
+
+// switchIndex parses the node number out of an rtnet switch name.
+func switchIndex(name string) (int, error) {
+	digits := strings.TrimPrefix(name, "ring")
+	i, err := strconv.Atoi(digits)
+	if err != nil {
+		return 0, fmt.Errorf("experiments: not an RTnet switch name: %q", name)
+	}
+	return i, nil
+}
+
+// SoftRiskConfig parameterizes the soft-CAC risk experiment.
+type SoftRiskConfig struct {
+	// RingNodes defaults to 8, Terminals to 2.
+	RingNodes int
+	Terminals int
+	// HotShare is the asymmetric hot-terminal share; default 0.3 (where
+	// hard and soft diverge noticeably, per Figure 13).
+	HotShare float64
+	// Slots is the simulation horizon; default 60000.
+	Slots uint64
+	// Seed drives the randomized sources.
+	Seed int64
+}
+
+func (c SoftRiskConfig) withDefaults() SoftRiskConfig {
+	if c.RingNodes == 0 {
+		c.RingNodes = 8
+	}
+	if c.Terminals == 0 {
+		c.Terminals = 2
+	}
+	if c.HotShare == 0 {
+		c.HotShare = 0.3
+	}
+	if c.Slots == 0 {
+		c.Slots = 60000
+	}
+	return c
+}
+
+// SoftRiskReport quantifies what the soft CAC risks: it finds a load the
+// soft policy admits but the hard policy rejects, then stresses that
+// soft-admitted configuration in the cell-level simulator with adversarial
+// jittered sources on budget-sized queues.
+type SoftRiskReport struct {
+	Config SoftRiskConfig
+	// HardMaxLoad and SoftMaxLoad bracket the policies' admission limits.
+	HardMaxLoad float64
+	SoftMaxLoad float64
+	// ProbeLoad is the soft-admitted, hard-rejected load that was
+	// simulated (midpoint of the gap). Zero when the policies agree to
+	// within the search resolution (no gap to probe).
+	ProbeLoad float64
+	// Drops counts cells lost at the budget-sized FIFOs during the
+	// adversarial run; MaxQueueDelay is the worst single-hop queueing
+	// delay observed against the QueueBudget.
+	Drops         int
+	MaxQueueDelay uint64
+	QueueBudget   float64
+	// HardBoundViolated reports whether the adversary pushed any single
+	// hop past the per-hop budget the hard CAC enforces — the event whose
+	// improbability the soft CAC bets on.
+	HardBoundViolated bool
+}
+
+// String renders the report.
+func (r SoftRiskReport) String() string {
+	if r.ProbeLoad == 0 {
+		return fmt.Sprintf("soft-risk: hard and soft admit the same load (%.3f); nothing to probe",
+			r.HardMaxLoad)
+	}
+	verdict := "the adversary did not realize the worst case within the horizon"
+	if r.HardBoundViolated {
+		verdict = "the adversary exceeded the per-hop budget — the hard CAC's caution was warranted"
+	}
+	return fmt.Sprintf(
+		"soft-risk: hard admits %.3f, soft admits %.3f; probing %.3f (soft-only)\n"+
+			"  adversarial run: max single-hop delay %d vs budget %.0f cells, %d drops\n"+
+			"  %s",
+		r.HardMaxLoad, r.SoftMaxLoad, r.ProbeLoad,
+		r.MaxQueueDelay, r.QueueBudget, r.Drops, verdict)
+}
+
+// SoftRisk runs the experiment.
+func SoftRisk(cfg SoftRiskConfig) (SoftRiskReport, error) {
+	cfg = cfg.withDefaults()
+	report := SoftRiskReport{Config: cfg, QueueBudget: rtnet.DefaultQueueCells}
+
+	maxLoad := func(policy core.CDVPolicy) (float64, error) {
+		base := AsymmetricConfig{
+			RingNodes: cfg.RingNodes,
+			Terminals: []int{cfg.Terminals},
+			Policy:    policy,
+			Tolerance: 1.0 / 256,
+		}.withDefaults()
+		return maxAsymmetricLoad(base, cfg.Terminals, cfg.HotShare)
+	}
+	var err error
+	if report.HardMaxLoad, err = maxLoad(core.HardCDV{}); err != nil {
+		return SoftRiskReport{}, err
+	}
+	if report.SoftMaxLoad, err = maxLoad(core.SoftCDV{}); err != nil {
+		return SoftRiskReport{}, err
+	}
+	if report.SoftMaxLoad <= report.HardMaxLoad+1.0/128 {
+		return report, nil // no exploitable gap
+	}
+	report.ProbeLoad = (report.HardMaxLoad + report.SoftMaxLoad) / 2
+
+	// Build the soft-admitted workload and verify it really is admitted by
+	// soft and rejected by hard.
+	softNet, err := rtnet.New(rtnet.Config{
+		RingNodes:        cfg.RingNodes,
+		TerminalsPerNode: cfg.Terminals,
+		Policy:           core.SoftCDV{},
+	})
+	if err != nil {
+		return SoftRiskReport{}, err
+	}
+	workload, err := softNet.AsymmetricWorkload(report.ProbeLoad, cfg.HotShare, 1, 1)
+	if err != nil {
+		return SoftRiskReport{}, err
+	}
+	if err := softNet.InstallAll(workload); err != nil {
+		return SoftRiskReport{}, err
+	}
+	if v, err := softNet.Audit(); err != nil || len(v) > 0 {
+		return SoftRiskReport{}, fmt.Errorf("probe load not soft-admissible: %v %v", v, err)
+	}
+
+	// Adversarial simulation: greedy sources behind jitter stages of one
+	// hop's budget (physically plausible upstream distortion), on queues
+	// sized exactly to the budget.
+	simNet, err := buildRingSim(cfg.RingNodes,
+		map[sim.Priority]int{1: rtnet.DefaultQueueCells}, workload,
+		func(i int, sc *sim.SourceConfig) {
+			sc.Mode = sim.Random
+			sc.Seed = cfg.Seed + int64(i)*104729
+			sc.JitterWindow = rtnet.DefaultQueueCells
+			sc.Start = uint64(i % 5)
+		})
+	if err != nil {
+		return SoftRiskReport{}, err
+	}
+	stats, err := simNet.Run(cfg.Slots)
+	if err != nil {
+		return SoftRiskReport{}, err
+	}
+	for _, qs := range stats.Queues {
+		report.Drops += qs.Drops
+		if qs.MaxDelay > report.MaxQueueDelay {
+			report.MaxQueueDelay = qs.MaxDelay
+		}
+	}
+	report.HardBoundViolated = report.Drops > 0 ||
+		float64(report.MaxQueueDelay) > report.QueueBudget
+	return report, nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSoftRiskReport exercises the soft-CAC risk probe: the soft policy
+// must open a genuine admission gap over hard, the probed workload must be
+// soft-admissible, and the report's bookkeeping must be consistent.
+// (Whether the adversary realizes the worst case is an empirical outcome,
+// not an assertion: the paper's justification for the soft scheme is
+// precisely that it rarely happens.)
+func TestSoftRiskReport(t *testing.T) {
+	report, err := SoftRisk(SoftRiskConfig{Slots: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SoftMaxLoad <= report.HardMaxLoad {
+		t.Fatalf("no soft-over-hard gap: %+v", report)
+	}
+	if report.ProbeLoad <= report.HardMaxLoad || report.ProbeLoad >= report.SoftMaxLoad {
+		t.Fatalf("probe load %g outside (%g, %g)", report.ProbeLoad,
+			report.HardMaxLoad, report.SoftMaxLoad)
+	}
+	if report.QueueBudget != 32 {
+		t.Errorf("queue budget = %g", report.QueueBudget)
+	}
+	if report.HardBoundViolated != (report.Drops > 0 || float64(report.MaxQueueDelay) > report.QueueBudget) {
+		t.Error("HardBoundViolated inconsistent with drops/delays")
+	}
+	out := report.String()
+	if !strings.Contains(out, "probing") || !strings.Contains(out, "budget") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestSoftRiskNoGapPath(t *testing.T) {
+	// With one node per... a configuration where both policies agree: a
+	// 2-node ring has a single hop, so CDV accumulation never differs.
+	report, err := SoftRisk(SoftRiskConfig{RingNodes: 2, Terminals: 1, Slots: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.ProbeLoad != 0 {
+		t.Fatalf("single-hop ring produced a policy gap: %+v", report)
+	}
+	if !strings.Contains(report.String(), "nothing to probe") {
+		t.Errorf("String() = %q", report.String())
+	}
+}

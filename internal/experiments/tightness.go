@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"atmcac/internal/rtnet"
+	"atmcac/internal/sim"
+)
+
+// TightnessConfig parameterizes the bound-tightness study.
+type TightnessConfig struct {
+	// RingNodes defaults to 8 and Terminals to 2.
+	RingNodes int
+	Terminals int
+	// Loads are the symmetric loads to sweep; default 0.1..0.6 step 0.1.
+	Loads []float64
+	// Slots is the per-point simulation horizon; default 40000.
+	Slots uint64
+}
+
+func (c TightnessConfig) withDefaults() TightnessConfig {
+	if c.RingNodes == 0 {
+		c.RingNodes = 8
+	}
+	if c.Terminals == 0 {
+		c.Terminals = 2
+	}
+	if len(c.Loads) == 0 {
+		for b := 0.1; b <= 0.6+1e-9; b += 0.1 {
+			c.Loads = append(c.Loads, b)
+		}
+	}
+	if c.Slots == 0 {
+		c.Slots = 40000
+	}
+	return c
+}
+
+// Tightness sweeps the symmetric load and reports, per admissible point,
+// the analytic worst-case end-to-end bound next to the worst delay actually
+// measured with greedy (adversarial) sources — quantifying how conservative
+// the worst-case analysis is in practice. Returns two series sharing the
+// load axis: "analytic bound" and "measured max (greedy)".
+func Tightness(cfg TightnessConfig) ([]Series, error) {
+	cfg = cfg.withDefaults()
+	analytic := Series{Label: "analytic bound"}
+	measured := Series{Label: "measured max (greedy)"}
+	for _, load := range cfg.Loads {
+		res, err := ValidateRTnet(ValidationConfig{
+			RingNodes: cfg.RingNodes,
+			Terminals: cfg.Terminals,
+			Load:      load,
+			Slots:     cfg.Slots,
+			Mode:      sim.Greedy,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tightness at load %g: %w", load, err)
+		}
+		if !res.Feasible {
+			break // the CAC's admission limit ends the sweep
+		}
+		if !res.Holds() {
+			return nil, fmt.Errorf("tightness at load %g: guarantee violated: %s", load, res)
+		}
+		analytic.Points = append(analytic.Points, Point{X: load, Y: res.AnalyticBound})
+		measured.Points = append(measured.Points, Point{X: load, Y: float64(res.MeasuredMaxDelay)})
+	}
+	if len(analytic.Points) == 0 {
+		return nil, fmt.Errorf("tightness: no admissible load on a %d-node ring with %d terminals (%d cells)",
+			cfg.RingNodes, cfg.Terminals, rtnet.DefaultQueueCells)
+	}
+	return []Series{analytic, measured}, nil
+}

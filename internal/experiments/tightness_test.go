@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestTightnessSweep(t *testing.T) {
+	series, err := Tightness(TightnessConfig{
+		RingNodes: 6, Terminals: 2,
+		Loads: []float64{0.2, 0.4},
+		Slots: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	analytic, measured := series[0], series[1]
+	if len(analytic.Points) != len(measured.Points) || len(analytic.Points) == 0 {
+		t.Fatalf("point counts: %d vs %d", len(analytic.Points), len(measured.Points))
+	}
+	for i := range analytic.Points {
+		if measured.Points[i].Y > analytic.Points[i].Y {
+			t.Errorf("load %g: measured %g above bound %g",
+				analytic.Points[i].X, measured.Points[i].Y, analytic.Points[i].Y)
+		}
+	}
+	// The bound grows with load.
+	last := len(analytic.Points) - 1
+	if analytic.Points[last].Y <= analytic.Points[0].Y {
+		t.Errorf("analytic bound not growing: %+v", analytic.Points)
+	}
+}
+
+func TestTightnessStopsAtAdmissionLimit(t *testing.T) {
+	series, err := Tightness(TightnessConfig{
+		RingNodes: 8, Terminals: 16,
+		Loads: []float64{0.2, 0.95},
+		Slots: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(series[0].Points); got != 1 {
+		t.Fatalf("points = %d, want the sweep to stop at the admission limit", got)
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"atmcac/internal/sim"
+)
+
+// TestSimulatedDelayWithinBound is the soundness experiment: on an RTnet
+// ring admitted by the CAC, every conforming source schedule (greedy and
+// randomized) must stay within the analytic delay bound, the FIFO budget,
+// and suffer zero loss.
+func TestSimulatedDelayWithinBound(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  ValidationConfig
+	}{
+		{"greedy default", ValidationConfig{}},
+		{"random default", ValidationConfig{Mode: sim.Random, Seed: 42}},
+		{"greedy heavier", ValidationConfig{RingNodes: 8, Terminals: 4, Load: 0.5}},
+		{"random heavier", ValidationConfig{RingNodes: 8, Terminals: 4, Load: 0.5, Mode: sim.Random, Seed: 7}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := ValidateRTnet(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Feasible {
+				t.Fatal("validation workload rejected by CAC; pick a lighter load")
+			}
+			if res.CellsDelivered == 0 {
+				t.Fatal("simulation delivered no cells")
+			}
+			if !res.Holds() {
+				t.Errorf("analytic guarantees violated: %s", res)
+			}
+			if float64(res.MeasuredMaxDelay) > res.AnalyticBound {
+				t.Errorf("measured delay %d exceeds analytic bound %.1f",
+					res.MeasuredMaxDelay, res.AnalyticBound)
+			}
+		})
+	}
+}
+
+// TestValidationDetectsInfeasible: an overloaded workload is reported as
+// rejected rather than silently simulated.
+func TestValidationDetectsInfeasible(t *testing.T) {
+	res, err := ValidateRTnet(ValidationConfig{RingNodes: 8, Terminals: 16, Load: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("overloaded workload reported feasible")
+	}
+	if res.Holds() {
+		t.Error("Holds() true for an infeasible workload")
+	}
+	if !strings.Contains(res.String(), "rejected") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+func TestValidationStringFeasible(t *testing.T) {
+	res, err := ValidateRTnet(ValidationConfig{Slots: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "analytic bound") {
+		t.Errorf("String() = %q", res.String())
+	}
+}

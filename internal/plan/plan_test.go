@@ -1,0 +1,264 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLoadValid(t *testing.T) {
+	doc := `{
+		"network": {"ringNodes": 8, "terminalsPerNode": 2, "queues": {"1": 32}, "policy": "hard"},
+		"connections": [
+			{"id": "a", "origin": 0, "pcrMbps": 8, "delayMicros": 1000},
+			{"id": "b", "origin": 1, "terminal": 1, "pcrMbps": 20, "scrMbps": 4, "mbs": 16, "priority": 1}
+		]
+	}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Connections) != 2 || sc.Network.RingNodes != 8 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"not json", `nope`},
+		{"unknown field", `{"network": {"bogus": 1}, "connections": [{"id":"a","origin":0,"pcrMbps":1}]}`},
+		{"no connections", `{"network": {}}`},
+		{"bad policy", `{"network": {"policy": "maybe"}, "connections": [{"id":"a","origin":0,"pcrMbps":1}]}`},
+		{"bad queue key", `{"network": {"queues": {"x": 32}}, "connections": [{"id":"a","origin":0,"pcrMbps":1}]}`},
+		{"zero queue priority", `{"network": {"queues": {"0": 32}}, "connections": [{"id":"a","origin":0,"pcrMbps":1}]}`},
+		{"missing id", `{"connections": [{"origin":0,"pcrMbps":1}]}`},
+		{"duplicate id", `{"connections": [{"id":"a","origin":0,"pcrMbps":1},{"id":"a","origin":1,"pcrMbps":1}]}`},
+		{"zero pcr", `{"connections": [{"id":"a","origin":0,"pcrMbps":0}]}`},
+		{"scr above pcr", `{"connections": [{"id":"a","origin":0,"pcrMbps":1,"scrMbps":2}]}`},
+		{"negative delay", `{"connections": [{"id":"a","origin":0,"pcrMbps":1,"delayMicros":-1}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tt.doc)); !errors.Is(err, ErrScenario) {
+				t.Errorf("Load error = %v, want ErrScenario", err)
+			}
+		})
+	}
+}
+
+func TestExampleScenarioRuns(t *testing.T) {
+	sc := Example()
+	// The example round-trips through its own JSON encoding.
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(sc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := loaded.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Admitted != len(sc.Connections) {
+		t.Fatalf("example scenario: %d/%d admitted: %+v",
+			report.Admitted, len(sc.Connections), report.Results)
+	}
+	for _, r := range report.Results {
+		if !r.Admitted {
+			t.Errorf("connection %s rejected: %s", r.ID, r.Reason)
+		}
+		if r.BoundMicros <= 0 && r.BoundCells > 0 {
+			t.Errorf("connection %s: inconsistent bound conversion %+v", r.ID, r)
+		}
+		if r.GuaranteedCells <= 0 {
+			t.Errorf("connection %s: no guaranteed bound", r.ID)
+		}
+	}
+	if report.WorstBoundCells <= 0 {
+		t.Error("no worst bound recorded")
+	}
+}
+
+func TestRunRejectsOverload(t *testing.T) {
+	sc := Scenario{
+		Network: NetworkSpec{RingNodes: 4, TerminalsPerNode: 16, Queues: map[string]float64{"1": 8}},
+	}
+	// 48 bursty connections onto 8-cell queues: some must be rejected.
+	for i := 0; i < 48; i++ {
+		sc.Connections = append(sc.Connections, ConnectionSpec{
+			ID:       "c" + string(rune('a'+i/16)) + string(rune('a'+i%16)),
+			Origin:   i % 4,
+			Terminal: i / 4 % 12,
+			PCRMbps:  2,
+		})
+	}
+	report, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Rejected == 0 {
+		t.Fatalf("no rejections: %+v", report)
+	}
+	if report.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if report.Admitted+report.Rejected != len(sc.Connections) {
+		t.Fatalf("counts %d+%d != %d", report.Admitted, report.Rejected, len(sc.Connections))
+	}
+	for _, r := range report.Results {
+		if !r.Admitted && r.Reason == "" {
+			t.Errorf("rejected connection %s has no reason", r.ID)
+		}
+	}
+}
+
+func TestRunDelayBudgetRejection(t *testing.T) {
+	// 16 ring nodes x 32 cells = 480 cell times = 1309 us guaranteed; a
+	// 500 us request must be refused outright.
+	sc := Scenario{
+		Connections: []ConnectionSpec{
+			{ID: "tight", Origin: 0, PCRMbps: 1, DelayMicros: 500},
+			{ID: "loose", Origin: 1, PCRMbps: 1, DelayMicros: 2000},
+		},
+	}
+	report, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]ConnResult)
+	for _, r := range report.Results {
+		byID[r.ID] = r
+	}
+	if byID["tight"].Admitted {
+		t.Error("500us request admitted over a 1309us guaranteed route")
+	}
+	if !byID["loose"].Admitted {
+		t.Errorf("2000us request rejected: %s", byID["loose"].Reason)
+	}
+}
+
+func TestRunSoftPolicy(t *testing.T) {
+	mk := func(policy string) float64 {
+		sc := Scenario{
+			Network: NetworkSpec{RingNodes: 8, TerminalsPerNode: 2, Policy: policy},
+		}
+		for i := 0; i < 16; i++ {
+			sc.Connections = append(sc.Connections, ConnectionSpec{
+				ID: "c" + string(rune('a'+i)), Origin: i % 8, Terminal: i / 8,
+				PCRMbps: 20, SCRMbps: 2, MBS: 8,
+			})
+		}
+		report, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report.WorstBoundCells
+	}
+	hard, soft := mk("hard"), mk("soft")
+	if soft >= hard {
+		t.Errorf("soft worst bound %g not below hard %g", soft, hard)
+	}
+}
+
+func TestRunBadOrigin(t *testing.T) {
+	sc := Scenario{
+		Network:     NetworkSpec{RingNodes: 4},
+		Connections: []ConnectionSpec{{ID: "a", Origin: 9, PCRMbps: 1}},
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("origin outside the ring accepted")
+	}
+}
+
+func TestRunInvalidVBRConversion(t *testing.T) {
+	// PCR above the OC-3 line rate normalizes past 1 and must be refused
+	// by the traffic model.
+	sc := Scenario{
+		Connections: []ConnectionSpec{{ID: "a", Origin: 0, PCRMbps: 200, SCRMbps: 5, MBS: 4}},
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("200 Mbps peak on a 155 Mbps link accepted")
+	}
+}
+
+func TestRunWithCDVT(t *testing.T) {
+	// The same connection set with source jitter tolerance has a larger
+	// (or equal) worst bound than without.
+	mk := func(cdvtMicros float64) float64 {
+		sc := Scenario{Network: NetworkSpec{RingNodes: 8, TerminalsPerNode: 2}}
+		for i := 0; i < 16; i++ {
+			sc.Connections = append(sc.Connections, ConnectionSpec{
+				ID: "c" + string(rune('a'+i)), Origin: i % 8, Terminal: i / 8,
+				PCRMbps: 4, CDVTMicros: cdvtMicros,
+			})
+		}
+		report, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Rejected != 0 {
+			t.Fatalf("rejections with cdvt=%g: %+v", cdvtMicros, report)
+		}
+		return report.WorstBoundCells
+	}
+	smooth, jittered := mk(0), mk(100)
+	if jittered <= smooth {
+		t.Errorf("CDVT bound %g not above smooth bound %g", jittered, smooth)
+	}
+	// Negative CDVT is rejected at load time.
+	doc := `{"connections": [{"id":"a","origin":0,"pcrMbps":1,"cdvtMicros":-1}]}`
+	if _, err := Load(strings.NewReader(doc)); err == nil {
+		t.Error("negative cdvtMicros accepted")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	sc := Example()
+	report, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := report.WriteMarkdown(&sb, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# Connection admission plan", "RTnet ring, 8 nodes",
+		"| plc-scan | admitted |", "4 admitted, 0 rejected",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Topology-mode header and rejection rows.
+	tsc, err := Load(strings.NewReader(treeScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsc.Connections = append(tsc.Connections, ConnectionSpec{
+		ID: "too-tight", From: "plc", To: "drive", PCRMbps: 1, DelayMicros: 1,
+	})
+	treport, err := tsc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := treport.WriteMarkdown(&sb, tsc); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	if !strings.Contains(out, "explicit topology, 3 switches, 4 hosts") {
+		t.Errorf("markdown missing topology header:\n%s", out)
+	}
+	if !strings.Contains(out, "| too-tight | **REJECTED** |") {
+		t.Errorf("markdown missing rejection row:\n%s", out)
+	}
+}

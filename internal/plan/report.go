@@ -1,0 +1,64 @@
+package plan
+
+import (
+	"fmt"
+	"io"
+
+	"atmcac/internal/traffic"
+)
+
+// WriteMarkdown renders the report as a Markdown document suitable for a
+// commissioning record: the admission table, the rejection reasons, and the
+// headline numbers in both cell times and wall-clock units.
+func (r Report) WriteMarkdown(w io.Writer, sc Scenario) error {
+	cellUS := traffic.OC3.CellTimeSeconds() * 1e6
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# Connection admission plan\n\n"); err != nil {
+		return err
+	}
+	if sc.Network.Topology != nil {
+		if err := p("Network: explicit topology, %d switches, %d hosts.\n\n",
+			len(sc.Network.Topology.Switches), len(sc.Network.Topology.Hosts)); err != nil {
+			return err
+		}
+	} else {
+		ring := sc.Network.RingNodes
+		if ring == 0 {
+			ring = 16
+		}
+		terms := sc.Network.TerminalsPerNode
+		if terms == 0 {
+			terms = 1
+		}
+		if err := p("Network: RTnet ring, %d nodes, %d terminals per node.\n\n", ring, terms); err != nil {
+			return err
+		}
+	}
+	policy := sc.Network.Policy
+	if policy == "" {
+		policy = "hard"
+	}
+	if err := p("CDV accumulation: **%s**. Result: **%d admitted, %d rejected**; worst end-to-end bound **%.1f cell times (%.0f µs)**.\n\n",
+		policy, r.Admitted, r.Rejected, r.WorstBoundCells, r.WorstBoundCells*cellUS); err != nil {
+		return err
+	}
+	if err := p("| connection | verdict | e2e bound | guaranteed | detail |\n|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, res := range r.Results {
+		if res.Admitted {
+			if err := p("| %s | admitted | %.0f µs (%.1f cells) | %.0f cells | |\n",
+				res.ID, res.BoundMicros, res.BoundCells, res.GuaranteedCells); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p("| %s | **REJECTED** | | | %s |\n", res.ID, res.Reason); err != nil {
+			return err
+		}
+	}
+	return nil
+}

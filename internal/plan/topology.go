@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"fmt"
+
+	"atmcac/internal/core"
+	"atmcac/internal/routing"
+	"atmcac/internal/topology"
+)
+
+// TopologySpec describes an explicit network graph, replacing the default
+// RTnet ring. Connections then address hosts by name (ConnectionSpec.From
+// and .To) and routes are derived by minimum-hop search.
+type TopologySpec struct {
+	// Switches and Hosts name the nodes.
+	Switches []string `json:"switches"`
+	Hosts    []string `json:"hosts"`
+	// Links are the transmission links; Duplex adds the reverse direction
+	// with mirrored ports.
+	Links []LinkSpec `json:"links"`
+}
+
+// LinkSpec is one link of an explicit topology.
+type LinkSpec struct {
+	From     string `json:"from"`
+	FromPort int    `json:"fromPort"`
+	To       string `json:"to"`
+	ToPort   int    `json:"toPort"`
+	Duplex   bool   `json:"duplex,omitempty"`
+}
+
+// graph materializes the spec as a topology.Graph.
+func (ts *TopologySpec) graph() (*topology.Graph, error) {
+	g := topology.New()
+	for _, sw := range ts.Switches {
+		if err := g.AddNode(topology.NodeID(sw), topology.KindSwitch); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+		}
+	}
+	for _, h := range ts.Hosts {
+		if err := g.AddNode(topology.NodeID(h), topology.KindHost); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+		}
+	}
+	for _, l := range ts.Links {
+		link := topology.Link{
+			From: topology.NodeID(l.From), FromPort: l.FromPort,
+			To: topology.NodeID(l.To), ToPort: l.ToPort,
+		}
+		if err := g.AddLink(link); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+		}
+		if l.Duplex {
+			reverse := topology.Link{
+				From: topology.NodeID(l.To), FromPort: l.ToPort,
+				To: topology.NodeID(l.From), ToPort: l.FromPort,
+			}
+			if err := g.AddLink(reverse); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+			}
+		}
+	}
+	return g, nil
+}
+
+// runTopology executes a scenario over an explicit graph.
+func (sc Scenario) runTopology(queues map[core.Priority]float64, policy core.CDVPolicy) (Report, error) {
+	g, err := sc.Network.Topology.graph()
+	if err != nil {
+		return Report{}, err
+	}
+	network, err := routing.BuildNetwork(g, queues, policy)
+	if err != nil {
+		return Report{}, err
+	}
+	report := Report{Results: make([]ConnResult, 0, len(sc.Connections))}
+	for _, c := range sc.Connections {
+		res := ConnResult{ID: c.ID}
+		spec, err := c.spec()
+		if err != nil {
+			return Report{}, err
+		}
+		route, err := routing.Route(g, topology.NodeID(c.From), topology.NodeID(c.To))
+		if err != nil {
+			return Report{}, fmt.Errorf("connection %q: %w", c.ID, err)
+		}
+		if err := runSetup(network, c, spec, route, &res, &report); err != nil {
+			return Report{}, err
+		}
+	}
+	return report, nil
+}

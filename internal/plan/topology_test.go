@@ -1,0 +1,185 @@
+package plan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// treeScenario is a two-edge-switch campus in explicit-topology mode.
+const treeScenario = `{
+	"network": {
+		"queues": {"1": 32},
+		"topology": {
+			"switches": ["edge0", "edge1", "core"],
+			"hosts": ["plc", "hmi", "drive", "logger"],
+			"links": [
+				{"from": "plc",   "fromPort": 0, "to": "edge0", "toPort": 10, "duplex": true},
+				{"from": "hmi",   "fromPort": 0, "to": "edge0", "toPort": 11, "duplex": true},
+				{"from": "drive", "fromPort": 0, "to": "edge1", "toPort": 10, "duplex": true},
+				{"from": "logger","fromPort": 0, "to": "edge1", "toPort": 11, "duplex": true},
+				{"from": "edge0", "fromPort": 0, "to": "core",  "toPort": 0,  "duplex": true},
+				{"from": "edge1", "fromPort": 0, "to": "core",  "toPort": 1,  "duplex": true}
+			]
+		}
+	},
+	"connections": [
+		{"id": "scan",  "from": "plc",   "to": "drive",  "pcrMbps": 8,  "delayMicros": 500},
+		{"id": "video", "from": "hmi",   "to": "logger", "pcrMbps": 30, "scrMbps": 5, "mbs": 32, "cdvtMicros": 20},
+		{"id": "local", "from": "plc",   "to": "hmi",    "pcrMbps": 4}
+	]
+}`
+
+func TestTopologyScenarioRuns(t *testing.T) {
+	sc, err := Load(strings.NewReader(treeScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Admitted != 3 || report.Rejected != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	byID := make(map[string]ConnResult)
+	for _, r := range report.Results {
+		byID[r.ID] = r
+	}
+	// Cross-tree connections book three hops (edge, core, edge); the local
+	// one books a single hop.
+	if byID["scan"].GuaranteedCells != 96 {
+		t.Errorf("scan guarantee = %g, want 96 (3 hops)", byID["scan"].GuaranteedCells)
+	}
+	if byID["local"].GuaranteedCells != 32 {
+		t.Errorf("local guarantee = %g, want 32 (1 hop)", byID["local"].GuaranteedCells)
+	}
+	// The jittered VBR connection carries a nonzero bound.
+	if byID["video"].BoundCells <= 0 {
+		t.Errorf("video bound = %g, want > 0", byID["video"].BoundCells)
+	}
+}
+
+func TestTopologyScenarioValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+	}{
+		{"topology conn without endpoints", `{
+			"network": {"topology": {"switches": ["s"], "hosts": ["h"],
+				"links": [{"from": "h", "fromPort": 0, "to": "s", "toPort": 0}]}},
+			"connections": [{"id": "a", "pcrMbps": 1}]
+		}`},
+		{"rtnet conn with endpoints", `{
+			"connections": [{"id": "a", "from": "x", "to": "y", "pcrMbps": 1}]
+		}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tt.doc)); !errors.Is(err, ErrScenario) {
+				t.Errorf("Load error = %v, want ErrScenario", err)
+			}
+		})
+	}
+}
+
+func TestTopologyScenarioGraphErrors(t *testing.T) {
+	// Duplicate node names surface as scenario errors at run time.
+	doc := `{
+		"network": {"topology": {"switches": ["s", "s"], "hosts": ["h"],
+			"links": []}},
+		"connections": [{"id": "a", "from": "h", "to": "h", "pcrMbps": 1}]
+	}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(); !errors.Is(err, ErrScenario) {
+		t.Fatalf("Run error = %v, want ErrScenario", err)
+	}
+}
+
+func TestTopologyScenarioNoRoute(t *testing.T) {
+	doc := `{
+		"network": {"topology": {"switches": ["s"], "hosts": ["a", "b"],
+			"links": [{"from": "a", "fromPort": 0, "to": "s", "toPort": 0}]}},
+		"connections": [{"id": "c", "from": "a", "to": "b", "pcrMbps": 1}]
+	}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("unreachable destination accepted")
+	}
+}
+
+func TestTopologyScenarioBottleneck(t *testing.T) {
+	// Saturate the shared uplink: later cross-tree connections are
+	// rejected while local ones still fit.
+	sc, err := Load(strings.NewReader(treeScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		sc.Connections = append(sc.Connections, ConnectionSpec{
+			ID:   "x" + string(rune('a'+i)),
+			From: "plc", To: "logger",
+			PCRMbps: 40, SCRMbps: 2, MBS: 16,
+		})
+	}
+	report, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Rejected == 0 {
+		t.Fatalf("no rejections: %+v admitted", report.Admitted)
+	}
+	if report.Admitted < 3 {
+		t.Fatalf("baseline connections rejected: %+v", report.Results[:3])
+	}
+}
+
+func TestAutoPriorityAssignment(t *testing.T) {
+	sc := Scenario{
+		Network: NetworkSpec{
+			RingNodes: 8, TerminalsPerNode: 1,
+			Queues: map[string]float64{"1": 32, "2": 256},
+		},
+		Connections: []ConnectionSpec{
+			// 7 hops: priority 1 guarantees 224 cells (~611us), priority 2
+			// guarantees 1792 cells (~4886us).
+			{ID: "tight", Origin: 0, PCRMbps: 4, DelayMicros: 1000, AutoPriority: true},
+			{ID: "loose", Origin: 1, PCRMbps: 4, DelayMicros: 8000, AutoPriority: true},
+			{ID: "hopeless", Origin: 2, PCRMbps: 4, DelayMicros: 100, AutoPriority: true},
+		},
+	}
+	report, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[string]ConnResult)
+	for _, r := range report.Results {
+		byID[r.ID] = r
+	}
+	if !byID["tight"].Admitted || byID["tight"].GuaranteedCells != 224 {
+		t.Errorf("tight = %+v, want priority-1 guarantee 224", byID["tight"])
+	}
+	if !byID["loose"].Admitted || byID["loose"].GuaranteedCells != 1792 {
+		t.Errorf("loose = %+v, want priority-2 guarantee 1792", byID["loose"])
+	}
+	if byID["hopeless"].Admitted {
+		t.Error("hopeless budget admitted")
+	}
+}
+
+func TestAutoPriorityValidation(t *testing.T) {
+	for _, doc := range []string{
+		`{"connections": [{"id":"a","origin":0,"pcrMbps":1,"autoPriority":true}]}`,
+		`{"connections": [{"id":"a","origin":0,"pcrMbps":1,"autoPriority":true,"priority":2,"delayMicros":100}]}`,
+	} {
+		if _, err := Load(strings.NewReader(doc)); !errors.Is(err, ErrScenario) {
+			t.Errorf("Load(%q) error = %v, want ErrScenario", doc, err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package routing adapts topology paths into CAC routes: it turns the
+// port-level traversals of a topology.Graph path into the ordered queueing
+// points the admission engine books. This is what makes the CAC usable on
+// arbitrary topologies — RTnet's ring is just one instance.
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"atmcac/internal/core"
+	"atmcac/internal/topology"
+)
+
+// ErrPath reports a traversal sequence that cannot become a CAC route.
+var ErrPath = errors.New("routing: invalid path")
+
+// FromTraversals converts the port-level traversals of a path into a CAC
+// route. Only switch nodes queue cells; host endpoints are skipped. Each
+// switch hop enters via the traversal's input port and queues at its output
+// port; the final switch's output port is the egress toward the destination
+// host (or -1 if the path ends at a switch, which is rejected — a real-time
+// connection terminates at hosts).
+func FromTraversals(g *topology.Graph, path []topology.Traversal) (core.Route, error) {
+	if len(path) < 2 {
+		return nil, fmt.Errorf("%w: %d traversals", ErrPath, len(path))
+	}
+	route := make(core.Route, 0, len(path))
+	for i, tr := range path {
+		node, ok := g.Node(tr.Node)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown node %q", ErrPath, tr.Node)
+		}
+		switch node.Kind {
+		case topology.KindHost:
+			if i != 0 && i != len(path)-1 {
+				return nil, fmt.Errorf("%w: host %q in the middle of a path", ErrPath, tr.Node)
+			}
+		case topology.KindSwitch:
+			if tr.OutPort < 0 {
+				return nil, fmt.Errorf("%w: path terminates at switch %q (connections end at hosts)",
+					ErrPath, tr.Node)
+			}
+			in := tr.InPort
+			if in < 0 {
+				return nil, fmt.Errorf("%w: path originates at switch %q (connections start at hosts)",
+					ErrPath, tr.Node)
+			}
+			route = append(route, core.Hop{
+				Switch: string(tr.Node),
+				In:     core.PortID(in),
+				Out:    core.PortID(tr.OutPort),
+			})
+		default:
+			return nil, fmt.Errorf("%w: node %q has kind %v", ErrPath, tr.Node, node.Kind)
+		}
+	}
+	if len(route) == 0 {
+		return nil, fmt.Errorf("%w: no switches on the path", ErrPath)
+	}
+	return route, nil
+}
+
+// Route computes the minimum-hop CAC route between two hosts of the graph.
+func Route(g *topology.Graph, from, to topology.NodeID) (core.Route, error) {
+	path, err := g.Path(from, to)
+	if err != nil {
+		return nil, err
+	}
+	return FromTraversals(g, path)
+}
+
+// BuildNetwork registers every switch of the graph on a fresh CAC network,
+// all with the same queue configuration.
+func BuildNetwork(g *topology.Graph, queues map[core.Priority]float64, policy core.CDVPolicy) (*core.Network, error) {
+	n := core.NewNetwork(policy)
+	for _, node := range g.Nodes() {
+		if node.Kind != topology.KindSwitch {
+			continue
+		}
+		if _, err := n.AddSwitch(core.SwitchConfig{
+			Name:       string(node.ID),
+			QueueCells: queues,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

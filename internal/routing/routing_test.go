@@ -1,0 +1,175 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/topology"
+	"atmcac/internal/traffic"
+)
+
+// campus builds a two-level tree: hosts h0..h3 on edge switches e0, e1,
+// both uplinked to a root switch r.
+//
+//	h0, h1 -> e0 \
+//	              r
+//	h2, h3 -> e1 /
+func campus(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.New()
+	for _, sw := range []topology.NodeID{"e0", "e1", "r"} {
+		if err := g.AddNode(sw, topology.KindSwitch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		h := topology.NodeID(fmt.Sprintf("h%d", i))
+		if err := g.AddNode(h, topology.KindHost); err != nil {
+			t.Fatal(err)
+		}
+		edge := topology.NodeID("e0")
+		if i >= 2 {
+			edge = "e1"
+		}
+		port := 10 + i%2
+		if err := g.AddLink(topology.Link{From: h, FromPort: 0, To: edge, ToPort: port}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddLink(topology.Link{From: edge, FromPort: port, To: h, ToPort: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, edge := range []topology.NodeID{"e0", "e1"} {
+		if err := g.AddLink(topology.Link{From: edge, FromPort: 0, To: "r", ToPort: i}); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddLink(topology.Link{From: "r", FromPort: i, To: edge, ToPort: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestRouteAcrossTheTree(t *testing.T) {
+	g := campus(t)
+	route, err := Route(g, "h0", "h3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Route{
+		{Switch: "e0", In: 10, Out: 0},
+		{Switch: "r", In: 0, Out: 1},
+		{Switch: "e1", In: 0, Out: 11},
+	}
+	if len(route) != len(want) {
+		t.Fatalf("route = %+v, want %+v", route, want)
+	}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("hop %d = %+v, want %+v", i, route[i], want[i])
+		}
+	}
+}
+
+func TestRouteSameEdgeSwitch(t *testing.T) {
+	g := campus(t)
+	route, err := Route(g, "h0", "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 1 || route[0].Switch != "e0" || route[0].Out != 11 {
+		t.Fatalf("route = %+v", route)
+	}
+}
+
+func TestFromTraversalsErrors(t *testing.T) {
+	g := campus(t)
+	if _, err := FromTraversals(g, nil); !errors.Is(err, ErrPath) {
+		t.Errorf("empty path error = %v", err)
+	}
+	// Switch-to-switch paths are rejected (no terminating host).
+	path, err := g.Path("e0", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTraversals(g, path); !errors.Is(err, ErrPath) {
+		t.Errorf("switch-terminated path error = %v", err)
+	}
+	if _, err := FromTraversals(g, []topology.Traversal{
+		{Node: "zz", InPort: -1, OutPort: 0}, {Node: "h0", InPort: 0, OutPort: -1},
+	}); !errors.Is(err, ErrPath) {
+		t.Errorf("unknown node error = %v", err)
+	}
+	// Host-to-host direct paths have no switch.
+	g2 := topology.New()
+	if err := g2.AddNode("a", topology.KindHost); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AddNode("b", topology.KindHost); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AddLink(topology.Link{From: "a", FromPort: 0, To: "b", ToPort: 0}); err != nil {
+		t.Fatal(err)
+	}
+	path, err = g2.Path("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTraversals(g2, path); !errors.Is(err, ErrPath) {
+		t.Errorf("switchless path error = %v", err)
+	}
+}
+
+func TestBuildNetworkAndAdmitAcrossTree(t *testing.T) {
+	g := campus(t)
+	n, err := BuildNetwork(g, map[core.Priority]float64{1: 32}, core.HardCDV{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every switch of the graph is registered; hosts are not.
+	names := n.SwitchNames()
+	if len(names) != 3 {
+		t.Fatalf("switches = %v", names)
+	}
+	// Admit cross-tree connections between every host pair until rejection;
+	// the root uplink is the shared bottleneck.
+	admitted := 0
+	for i := 0; i < 64; i++ {
+		from := topology.NodeID(fmt.Sprintf("h%d", i%2))
+		to := topology.NodeID(fmt.Sprintf("h%d", 2+i%2))
+		route, err := Route(g, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = n.Setup(core.ConnRequest{
+			ID:   core.ConnID(fmt.Sprintf("c%d", i)),
+			Spec: traffic.VBR(0.4, 0.01, 8), Priority: 1, Route: route,
+		})
+		if errors.Is(err, core.ErrRejected) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		admitted++
+	}
+	if admitted == 0 || admitted == 64 {
+		t.Fatalf("admitted %d; bottleneck not exercised", admitted)
+	}
+	violations, err := n.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("admitted set fails audit: %v", violations)
+	}
+}
+
+func TestBuildNetworkBadQueues(t *testing.T) {
+	g := campus(t)
+	if _, err := BuildNetwork(g, nil, nil); err == nil {
+		t.Fatal("empty queue config accepted")
+	}
+}

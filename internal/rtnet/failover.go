@@ -1,0 +1,162 @@
+package rtnet
+
+import (
+	"fmt"
+
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+)
+
+// RTnet's fault tolerance (paper Section 5): the ring nodes are connected
+// by dual counter-rotating 155 Mbps links, and a single link or node
+// failure is healed by an FDDI-style hardware wrap: the two nodes adjacent
+// to the failure fold the primary ring onto the secondary, producing one
+// logical ring that traverses every node twice — once in each direction —
+// over 2(R-1) directed links.
+//
+// The CAC consequence is that broadcast routes lengthen (up to about twice
+// as many queueing points) and every connection must be re-validated
+// against the wrapped topology; WrappedBroadcastRoute and the workload
+// helpers below compute the degraded-mode admission problem.
+
+// Secondary-ring ports of a ring node. The primary ring uses
+// RingInPort/RingOutPort (0); terminals use 1..N; the secondary ring uses
+// a disjoint range.
+const (
+	SecondaryRingInPort  core.PortID = 100
+	SecondaryRingOutPort core.PortID = 100
+)
+
+// wrappedLink is one directed link of the healed logical ring.
+type wrappedLink struct {
+	from      int  // transmitting ring node
+	secondary bool // true when the link belongs to the secondary ring
+	to        int  // receiving ring node
+}
+
+// wrappedRing returns the directed links of the logical ring after the
+// primary link failedFrom -> failedFrom+1 fails: the primary segment from
+// failedFrom+1 all the way around to failedFrom, then the secondary
+// segment back. Every node appears as a transmitter exactly twice except
+// the wrap nodes, which transmit once on each ring like everyone else —
+// the asymmetry is only in which links are unused.
+func (n *Network) wrappedRing(failedFrom int) []wrappedLink {
+	r := n.cfg.RingNodes
+	links := make([]wrappedLink, 0, 2*(r-1))
+	// Primary: failedFrom+1 -> failedFrom+2 -> ... -> failedFrom.
+	for i := 0; i < r-1; i++ {
+		from := (failedFrom + 1 + i) % r
+		links = append(links, wrappedLink{from: from, to: (from + 1) % r})
+	}
+	// Secondary: failedFrom -> failedFrom-1 -> ... -> failedFrom+1.
+	for i := 0; i < r-1; i++ {
+		from := (failedFrom - i + r) % r
+		links = append(links, wrappedLink{from: from, secondary: true, to: (from - 1 + r) % r})
+	}
+	return links
+}
+
+// WrappedBroadcastRoute returns the broadcast route of terminal t at node
+// origin after the primary ring link failedFrom -> failedFrom+1 has failed
+// and the ring has wrapped. The route follows the logical ring from the
+// origin's position until every other ring node has received the cell,
+// which can take up to 2(RingNodes-1)-1 queueing points — the capacity
+// cost of degraded mode.
+func (n *Network) WrappedBroadcastRoute(origin, t, failedFrom int) (core.Route, error) {
+	r := n.cfg.RingNodes
+	if origin < 0 || origin >= r {
+		return nil, fmt.Errorf("%w: origin node %d", ErrConfig, origin)
+	}
+	if t < 0 || t >= n.cfg.TerminalsPerNode {
+		return nil, fmt.Errorf("%w: terminal %d", ErrConfig, t)
+	}
+	if failedFrom < 0 || failedFrom >= r {
+		return nil, fmt.Errorf("%w: failed link from node %d", ErrConfig, failedFrom)
+	}
+	ring := n.wrappedRing(failedFrom)
+	// Find the first link transmitted by the origin node; the logical ring
+	// visits every node, so one exists.
+	start := -1
+	for i, l := range ring {
+		if l.from == origin {
+			start = i
+			break
+		}
+	}
+	if start == -1 {
+		return nil, fmt.Errorf("%w: origin %d not on wrapped ring", ErrConfig, origin)
+	}
+	visited := make(map[int]bool, r)
+	visited[origin] = true
+	route := core.Route{}
+	for i := 0; i < len(ring) && len(visited) < r; i++ {
+		l := ring[(start+i)%len(ring)]
+		in, out := RingInPort, RingOutPort
+		if l.secondary {
+			in, out = SecondaryRingInPort, SecondaryRingOutPort
+		}
+		if len(route) == 0 {
+			in = TerminalPort(t)
+		} else {
+			// The inbound direction is that of the previous logical link.
+			prev := ring[(start+i-1+len(ring))%len(ring)]
+			if prev.secondary {
+				in = SecondaryRingInPort
+			} else {
+				in = RingInPort
+			}
+		}
+		route = append(route, core.Hop{Switch: SwitchName(l.from), In: in, Out: out})
+		visited[l.to] = true
+	}
+	if len(visited) < r {
+		return nil, fmt.Errorf("%w: wrapped ring does not cover all nodes", ErrConfig)
+	}
+	return route, nil
+}
+
+// SymmetricWorkloadWrapped builds the symmetric cyclic workload of
+// SymmetricWorkload over the wrapped (degraded) topology.
+func (n *Network) SymmetricWorkloadWrapped(load float64, prio core.Priority, failedFrom int) ([]core.ConnRequest, error) {
+	total := n.cfg.RingNodes * n.cfg.TerminalsPerNode
+	if !(load > 0) || load > 1 {
+		return nil, fmt.Errorf("%w: total load %g not in (0, 1]", ErrConfig, load)
+	}
+	pcr := load / float64(total)
+	reqs := make([]core.ConnRequest, 0, total)
+	for i := 0; i < n.cfg.RingNodes; i++ {
+		for t := 0; t < n.cfg.TerminalsPerNode; t++ {
+			route, err := n.WrappedBroadcastRoute(i, t, failedFrom)
+			if err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, core.ConnRequest{
+				ID:       ConnectionID(i, t),
+				Spec:     traffic.CBR(pcr),
+				Priority: prio,
+				Route:    route,
+			})
+		}
+	}
+	return reqs, nil
+}
+
+// MaxWrappedRouteBound returns the largest end-to-end computed bound over
+// all wrapped broadcast routes under the installed load.
+func (n *Network) MaxWrappedRouteBound(prio core.Priority, failedFrom int) (float64, error) {
+	worst := 0.0
+	for i := 0; i < n.cfg.RingNodes; i++ {
+		route, err := n.WrappedBroadcastRoute(i, 0, failedFrom)
+		if err != nil {
+			return 0, err
+		}
+		d, err := n.coreN.RouteBound(route, prio)
+		if err != nil {
+			return 0, err
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,212 @@
+package rtnet
+
+import (
+	"errors"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+)
+
+// coreConnRequest builds a CBR setup request with an end-to-end budget.
+func coreConnRequest(id string, route core.Route, budget float64) core.ConnRequest {
+	return core.ConnRequest{
+		ID:         core.ConnID(id),
+		Spec:       traffic.CBR(0.01),
+		Priority:   1,
+		Route:      route,
+		DelayBound: budget,
+	}
+}
+
+func TestWrappedRingCoversEveryLinkOnce(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 6})
+	for failed := 0; failed < 6; failed++ {
+		ring := n.wrappedRing(failed)
+		if len(ring) != 10 { // 2*(R-1)
+			t.Fatalf("failed=%d: wrapped ring has %d links, want 10", failed, len(ring))
+		}
+		// The broken primary link must not appear; every other directed
+		// link appears exactly once; the ring is contiguous.
+		seen := make(map[wrappedLink]bool, len(ring))
+		for i, l := range ring {
+			if !l.secondary && l.from == failed {
+				t.Fatalf("failed=%d: broken primary link %d->%d used", failed, l.from, l.to)
+			}
+			if seen[l] {
+				t.Fatalf("failed=%d: link %+v repeated", failed, l)
+			}
+			seen[l] = true
+			next := ring[(i+1)%len(ring)]
+			if l.to != next.from {
+				t.Fatalf("failed=%d: ring not contiguous at %d: %+v -> %+v", failed, i, l, next)
+			}
+		}
+	}
+}
+
+func TestWrappedBroadcastRouteCoversAllNodes(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 6, TerminalsPerNode: 2})
+	for failed := 0; failed < 6; failed++ {
+		for origin := 0; origin < 6; origin++ {
+			route, err := n.WrappedBroadcastRoute(origin, 1, failed)
+			if err != nil {
+				t.Fatalf("failed=%d origin=%d: %v", failed, origin, err)
+			}
+			if len(route) < 5 || len(route) > 9 { // between R-1 and 2(R-1)-1
+				t.Fatalf("failed=%d origin=%d: route length %d", failed, origin, len(route))
+			}
+			if route[0].In != TerminalPort(1) {
+				t.Errorf("first hop enters via %d, want terminal port", route[0].In)
+			}
+			if route[0].Switch != SwitchName(origin) {
+				t.Errorf("first hop at %s, want %s", route[0].Switch, SwitchName(origin))
+			}
+			// No hop transmits on the broken primary link.
+			for _, hop := range route {
+				if hop.Switch == SwitchName(failed) && hop.Out == RingOutPort {
+					t.Errorf("failed=%d origin=%d: route uses broken link at %s",
+						failed, origin, hop.Switch)
+				}
+			}
+		}
+	}
+}
+
+func TestWrappedBroadcastRouteValidation(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 4})
+	if _, err := n.WrappedBroadcastRoute(9, 0, 0); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad origin error = %v", err)
+	}
+	if _, err := n.WrappedBroadcastRoute(0, 9, 0); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad terminal error = %v", err)
+	}
+	if _, err := n.WrappedBroadcastRoute(0, 0, 9); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad failed link error = %v", err)
+	}
+}
+
+// TestWrapSurvivesDesignLoad is the fault-tolerance claim of Section 5
+// verified through the CAC: the cyclic workload the healthy ring carries
+// is still admissible after a link failure and wrap. The wrapped
+// configuration activates the secondary ring (idle in normal operation),
+// so per-queue contention does not double even though routes lengthen.
+func TestWrapSurvivesDesignLoad(t *testing.T) {
+	const load = 0.3
+	wrapped := newRTnet(t, Config{RingNodes: 8, TerminalsPerNode: 2})
+	ww, err := wrapped.SymmetricWorkloadWrapped(load, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wrapped.InstallAll(ww); err != nil {
+		t.Fatal(err)
+	}
+	violations, err := wrapped.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("wrapped ring rejects the design load %g: %v", load, violations)
+	}
+	bound, err := wrapped.MaxWrappedRouteBound(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound <= 0 {
+		t.Fatalf("wrapped bound = %g", bound)
+	}
+}
+
+// TestWrapLengthensGuarantees: the true cost of degraded mode is route
+// length — the contractual end-to-end bound (sum of fixed per-hop FIFO
+// budgets) grows up to nearly 2x, so connections with tight delay budgets
+// that fit on the healthy ring no longer fit after a wrap. For an 8-node
+// ring: healthy guarantee 7 x 32 = 224 cell times, worst wrapped route
+// 13 x 32 = 416, with the high-speed cyclic budget (367) in between.
+func TestWrapLengthensGuarantees(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 8, TerminalsPerNode: 1})
+	budget := Classes()[0].DelayCellTimes() // about 367 cell times
+
+	healthyRoute, err := n.BroadcastRoute(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(len(healthyRoute)) * DefaultQueueCells; got > budget {
+		t.Fatalf("healthy guarantee %g already over budget %g; test setup broken", got, budget)
+	}
+
+	worstLen := 0
+	for origin := 0; origin < 8; origin++ {
+		route, err := n.WrappedBroadcastRoute(origin, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(route) > worstLen {
+			worstLen = len(route)
+		}
+	}
+	if worstLen <= len(healthyRoute) {
+		t.Fatalf("worst wrapped route (%d hops) not longer than healthy (%d)", worstLen, len(healthyRoute))
+	}
+	if got := float64(worstLen) * DefaultQueueCells; got <= budget {
+		t.Fatalf("worst wrapped guarantee %g does not exceed the high-speed budget %g", got, budget)
+	}
+
+	// The CAC enforces it end to end: a high-speed-budget connection on
+	// the longest wrapped route is refused, while the same request fits on
+	// the healthy route.
+	var longest int
+	for origin := 0; origin < 8; origin++ {
+		route, err := n.WrappedBroadcastRoute(origin, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(route) == worstLen {
+			longest = origin
+			break
+		}
+	}
+	wrappedRoute, err := n.WrappedBroadcastRoute(longest, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = n.Core().Setup(coreConnRequest("tight-wrapped", wrappedRoute, budget))
+	if err == nil {
+		t.Error("high-speed budget admitted over the longest wrapped route")
+	}
+	if _, err := n.Core().Setup(coreConnRequest("tight-healthy", healthyRoute, budget)); err != nil {
+		t.Errorf("high-speed budget rejected on the healthy route: %v", err)
+	}
+}
+
+// TestWrappedQueuesAreSeparate: primary and secondary ring directions queue
+// independently at each node — the wrap must not conflate them.
+func TestWrappedQueuesAreSeparate(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 6, TerminalsPerNode: 1})
+	w, err := n.SymmetricWorkloadWrapped(0.3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallAll(w); err != nil {
+		t.Fatal(err)
+	}
+	primarySeen, secondarySeen := false, false
+	for i := 0; i < 6; i++ {
+		sw, ok := n.Core().Switch(SwitchName(i))
+		if !ok {
+			t.Fatal("missing switch")
+		}
+		for _, out := range sw.OutPorts() {
+			switch out {
+			case RingOutPort:
+				primarySeen = true
+			case SecondaryRingOutPort:
+				secondarySeen = true
+			}
+		}
+	}
+	if !primarySeen || !secondarySeen {
+		t.Fatalf("wrapped workload uses primary=%v secondary=%v ports, want both",
+			primarySeen, secondarySeen)
+	}
+}

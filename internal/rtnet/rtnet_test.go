@@ -1,0 +1,454 @@
+package rtnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"atmcac/internal/core"
+)
+
+func newRTnet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigDefaults(t *testing.T) {
+	n := newRTnet(t, Config{})
+	cfg := n.Config()
+	if cfg.RingNodes != 16 || cfg.TerminalsPerNode != 1 {
+		t.Errorf("defaults = %d nodes, %d terminals; want 16, 1", cfg.RingNodes, cfg.TerminalsPerNode)
+	}
+	if cfg.QueueCells[1] != 32 {
+		t.Errorf("default queue = %g, want 32", cfg.QueueCells[1])
+	}
+	if cfg.Policy.Name() != "hard" {
+		t.Errorf("default policy = %q, want hard", cfg.Policy.Name())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"one ring node", Config{RingNodes: 1}},
+		{"negative terminals", Config{TerminalsPerNode: -1}},
+		{"too many terminals", Config{TerminalsPerNode: 17}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); !errors.Is(err, ErrConfig) {
+				t.Errorf("New error = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestTopologyShape(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 4, TerminalsPerNode: 3})
+	g := n.Graph()
+	// 4 ring switches + 12 terminals.
+	if got := len(g.Nodes()); got != 16 {
+		t.Errorf("nodes = %d, want 16", got)
+	}
+	// 4 ring links + 2 per terminal.
+	if got := len(g.Links()); got != 4+24 {
+		t.Errorf("links = %d, want 28", got)
+	}
+	// Every ring node is a registered CAC switch.
+	for i := 0; i < 4; i++ {
+		if _, ok := n.Core().Switch(SwitchName(i)); !ok {
+			t.Errorf("switch %s missing from CAC network", SwitchName(i))
+		}
+	}
+	// The physical path from a terminal on node 0 to a terminal on node 2
+	// goes around the ring.
+	path, err := g.Path(TerminalName(0, 0), TerminalName(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 { // term -> ring0 -> ring1 -> ring2 -> term
+		t.Errorf("path length = %d, want 5 (%v)", len(path), path)
+	}
+}
+
+func TestBroadcastRoute(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 4, TerminalsPerNode: 2})
+	route, err := n.BroadcastRoute(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 3 {
+		t.Fatalf("route length = %d, want 3", len(route))
+	}
+	if route[0].Switch != "ring02" || route[0].In != TerminalPort(1) || route[0].Out != RingOutPort {
+		t.Errorf("first hop = %+v", route[0])
+	}
+	// Wrap-around: node 2 -> 3 -> 0.
+	if route[1].Switch != "ring03" || route[2].Switch != "ring00" {
+		t.Errorf("route = %+v, want ring03 then ring00", route)
+	}
+	for _, hop := range route[1:] {
+		if hop.In != RingInPort {
+			t.Errorf("transit hop enters via port %d, want ring-in %d", hop.In, RingInPort)
+		}
+	}
+	if _, err := n.BroadcastRoute(9, 0); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad origin error = %v", err)
+	}
+	if _, err := n.BroadcastRoute(0, 9); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad terminal error = %v", err)
+	}
+}
+
+func TestConnectionIDsUnique(t *testing.T) {
+	seen := make(map[core.ConnID]bool)
+	for i := 0; i < 16; i++ {
+		for tt := 0; tt < 16; tt++ {
+			id := ConnectionID(i, tt)
+			if seen[id] {
+				t.Fatalf("duplicate connection ID %s", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestSymmetricWorkload(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 4, TerminalsPerNode: 2})
+	reqs, err := n.SymmetricWorkload(0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 8 {
+		t.Fatalf("workload size = %d, want 8", len(reqs))
+	}
+	for _, r := range reqs {
+		if math.Abs(r.Spec.PCR-0.05) > 1e-12 {
+			t.Errorf("PCR = %g, want 0.05", r.Spec.PCR)
+		}
+		if !r.Spec.IsCBR() {
+			t.Errorf("spec %v is not CBR", r.Spec)
+		}
+		if len(r.Route) != 3 {
+			t.Errorf("route length = %d, want 3", len(r.Route))
+		}
+	}
+	if _, err := n.SymmetricWorkload(0, 1); !errors.Is(err, ErrConfig) {
+		t.Errorf("zero load error = %v", err)
+	}
+	if _, err := n.SymmetricWorkload(1.5, 1); !errors.Is(err, ErrConfig) {
+		t.Errorf("overload error = %v", err)
+	}
+}
+
+func TestAsymmetricWorkload(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 4, TerminalsPerNode: 2})
+	reqs, err := n.AsymmetricWorkload(0.4, 0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 8 {
+		t.Fatalf("workload size = %d, want 8", len(reqs))
+	}
+	var sum float64
+	var hot int
+	for _, r := range reqs {
+		sum += r.Spec.PCR
+		if r.ID == ConnectionID(0, 0) {
+			hot++
+			if math.Abs(r.Spec.PCR-0.2) > 1e-12 {
+				t.Errorf("hot PCR = %g, want 0.2", r.Spec.PCR)
+			}
+		} else if math.Abs(r.Spec.PCR-0.2/7) > 1e-12 {
+			t.Errorf("cold PCR = %g, want %g", r.Spec.PCR, 0.2/7)
+		}
+	}
+	if hot != 1 {
+		t.Fatalf("hot connections = %d, want 1", hot)
+	}
+	if math.Abs(sum-0.4) > 1e-9 {
+		t.Errorf("total PCR = %g, want 0.4", sum)
+	}
+}
+
+func TestAsymmetricWorkloadFullShare(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 4, TerminalsPerNode: 1})
+	reqs, err := n.AsymmetricWorkload(0.3, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 || reqs[0].Spec.PCR != 0.3 {
+		t.Fatalf("hotShare=1 workload = %+v, want only the hot connection", reqs)
+	}
+}
+
+func TestAsymmetricWorkloadPriorities(t *testing.T) {
+	n := newRTnet(t, Config{
+		RingNodes: 4, TerminalsPerNode: 1,
+		QueueCells: map[core.Priority]float64{1: 32, 2: 128},
+	})
+	reqs, err := n.AsymmetricWorkload(0.4, 0.5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		want := core.Priority(1)
+		if r.ID == ConnectionID(0, 0) {
+			want = 2
+		}
+		if r.Priority != want {
+			t.Errorf("conn %s priority = %d, want %d", r.ID, r.Priority, want)
+		}
+	}
+}
+
+func TestAsymmetricWorkloadValidation(t *testing.T) {
+	n := newRTnet(t, Config{RingNodes: 4, TerminalsPerNode: 1})
+	if _, err := n.AsymmetricWorkload(0, 0.5, 1, 1); !errors.Is(err, ErrConfig) {
+		t.Errorf("zero load error = %v", err)
+	}
+	if _, err := n.AsymmetricWorkload(0.4, -0.1, 1, 1); !errors.Is(err, ErrConfig) {
+		t.Errorf("negative share error = %v", err)
+	}
+	if _, err := n.AsymmetricWorkload(0.4, 1.1, 1, 1); !errors.Is(err, ErrConfig) {
+		t.Errorf("share above one error = %v", err)
+	}
+}
+
+func TestInstallAllAndAuditFeasible(t *testing.T) {
+	n := newRTnet(t, Config{})
+	w, err := n.SymmetricWorkload(0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallAll(w); err != nil {
+		t.Fatal(err)
+	}
+	violations, err := n.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("20%% symmetric load on N=1 infeasible: %v", violations)
+	}
+}
+
+func TestAuditInfeasibleHighLoad(t *testing.T) {
+	n := newRTnet(t, Config{TerminalsPerNode: 16})
+	w, err := n.SymmetricWorkload(0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallAll(w); err != nil {
+		t.Fatal(err)
+	}
+	violations, err := n.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) == 0 {
+		t.Fatal("90% load with 16 terminals per node passed the audit")
+	}
+}
+
+func TestRingPortBoundsSymmetric(t *testing.T) {
+	n := newRTnet(t, Config{TerminalsPerNode: 4})
+	w, err := n.SymmetricWorkload(0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallAll(w); err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := n.RingPortBounds(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 16 {
+		t.Fatalf("bounds length = %d, want 16", len(bounds))
+	}
+	for i, d := range bounds {
+		if math.Abs(d-bounds[0]) > 1e-6 {
+			t.Fatalf("symmetric load gives asymmetric bounds: node %d has %g vs %g", i, d, bounds[0])
+		}
+		if d <= 0 {
+			t.Fatalf("node %d bound = %g, want > 0", i, d)
+		}
+	}
+	e2e, err := n.MaxBroadcastBound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e2e-15*bounds[0]) > 1e-6 {
+		t.Errorf("MaxBroadcastBound = %g, want 15 * %g", e2e, bounds[0])
+	}
+}
+
+// TestFigure10Anchors checks the paper's headline Figure 10 claims:
+//   - N=1 supports 75% total load (115 Mbps) under 370 cell times (1 ms);
+//   - N=16 supports about 35% (55 Mbps) under the same budget;
+//   - N=16 does not support 50%.
+func TestFigure10Anchors(t *testing.T) {
+	run := func(nTerm int, load float64) (feasible bool, bound float64) {
+		t.Helper()
+		n := newRTnet(t, Config{TerminalsPerNode: nTerm})
+		w, err := n.SymmetricWorkload(load, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.InstallAll(w); err != nil {
+			t.Fatal(err)
+		}
+		v, err := n.Audit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v) > 0 {
+			return false, 0
+		}
+		d, err := n.MaxBroadcastBound(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return true, d
+	}
+	if ok, d := run(1, 0.75); !ok || d > 370 {
+		t.Errorf("N=1 B=0.75: feasible=%v bound=%.0f, paper says feasible under 370 cell times", ok, d)
+	}
+	if ok, d := run(16, 0.35); !ok || d > 450 {
+		t.Errorf("N=16 B=0.35: feasible=%v bound=%.0f, paper says feasible around 370-400 cell times", ok, d)
+	}
+	if ok, _ := run(16, 0.5); ok {
+		t.Error("N=16 B=0.5: feasible, paper says about 35% is the limit")
+	}
+}
+
+// TestBurstinessGrowsWithN: at equal total load, more terminals per node
+// means burstier per-node traffic and a larger worst-case bound (the paper's
+// first conclusion from Figure 10).
+func TestBurstinessGrowsWithN(t *testing.T) {
+	prev := -1.0
+	for _, nTerm := range []int{1, 4, 8, 16} {
+		n := newRTnet(t, Config{TerminalsPerNode: nTerm})
+		w, err := n.SymmetricWorkload(0.3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.InstallAll(w); err != nil {
+			t.Fatal(err)
+		}
+		d, err := n.MaxBroadcastBound(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= prev {
+			t.Fatalf("bound with N=%d (%g) not larger than previous (%g)", nTerm, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestClassesTable1(t *testing.T) {
+	classes := Classes()
+	if len(classes) != 3 {
+		t.Fatalf("Classes() returned %d entries", len(classes))
+	}
+	// Paper Table 1 bandwidths in Mbps.
+	want := []float64{32, 17.5, 6.8}
+	for i, c := range classes {
+		bw, err := c.Bandwidth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMbps := bw / 1e6
+		if math.Abs(gotMbps-want[i])/want[i] > 0.05 {
+			t.Errorf("%s bandwidth = %.2f Mbps, want about %g", c.Name, gotMbps, want[i])
+		}
+		rate, err := c.NormalizedRate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate <= 0 || rate >= 1 {
+			t.Errorf("%s normalized rate = %g", c.Name, rate)
+		}
+		if c.DelayCellTimes() <= 0 {
+			t.Errorf("%s delay budget = %g cell times", c.Name, c.DelayCellTimes())
+		}
+	}
+	// The high-speed class delay budget is about 370 cell times (1 ms).
+	if d := classes[0].DelayCellTimes(); d < 360 || d > 375 {
+		t.Errorf("high-speed delay budget = %g cell times, want about 367", d)
+	}
+}
+
+func TestTerminalSpec(t *testing.T) {
+	c := Classes()[0]
+	spec, err := c.TerminalSpec(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.NormalizedRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(spec.PCR*16-full) > 1e-12 {
+		t.Errorf("16 terminal specs sum to %g, want %g", spec.PCR*16, full)
+	}
+	if _, err := c.TerminalSpec(0); !errors.Is(err, ErrConfig) {
+		t.Errorf("TerminalSpec(0) error = %v", err)
+	}
+}
+
+// TestAllCyclicClassesFeasibleTogether: the three cyclic transmission types
+// can be supported simultaneously with a single priority on a modest RTnet,
+// and the high-speed class meets its 1 ms end-to-end budget (Section 5).
+func TestAllCyclicClassesFeasibleTogether(t *testing.T) {
+	n := newRTnet(t, Config{TerminalsPerNode: 1})
+	total := n.Config().RingNodes * n.Config().TerminalsPerNode
+	var reqs []core.ConnRequest
+	for ci, c := range Classes() {
+		spec, err := c.TerminalSpec(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n.Config().RingNodes; i++ {
+			route, err := n.BroadcastRoute(i, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs = append(reqs, core.ConnRequest{
+				ID:       core.ConnID(fmt.Sprintf("cyc%d-%02d", ci, i)),
+				Spec:     spec,
+				Priority: 1,
+				Route:    route,
+			})
+		}
+	}
+	if err := n.InstallAll(reqs); err != nil {
+		t.Fatal(err)
+	}
+	violations, err := n.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("combined cyclic classes infeasible: %v", violations)
+	}
+	bound, err := n.MaxBroadcastBound(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget := Classes()[0].DelayCellTimes(); bound > budget {
+		t.Errorf("end-to-end bound %.0f exceeds the high-speed budget %.0f", bound, budget)
+	}
+}

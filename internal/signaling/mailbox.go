@@ -1,0 +1,64 @@
+package signaling
+
+import "sync"
+
+// mailbox is an unbounded FIFO message queue with close semantics. Nodes
+// forward messages to each other while processing their own inboxes; an
+// unbounded queue keeps the ring topology deadlock-free without dropping
+// protocol messages.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []message
+	notify chan struct{}
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{notify: make(chan struct{}, 1)}
+}
+
+// put enqueues a message; it is a no-op on a closed mailbox.
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// get blocks until a message is available or the mailbox closes; ok is
+// false once the mailbox is closed and drained.
+func (m *mailbox) get() (message, bool) {
+	for {
+		m.mu.Lock()
+		if len(m.queue) > 0 {
+			msg := m.queue[0]
+			m.queue = m.queue[1:]
+			m.mu.Unlock()
+			return msg, true
+		}
+		closed := m.closed
+		m.mu.Unlock()
+		if closed {
+			return message{}, false
+		}
+		<-m.notify
+	}
+}
+
+// close wakes any blocked reader; pending messages are still delivered.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,442 @@
+// Package signaling implements the distributed connection setup procedure
+// of the paper's Section 4.1 over an in-process message fabric: a source
+// sends a SETUP message carrying (PCR, SCR, MBS, D) along a preselected
+// route; every switch runs the CAC check and forwards the SETUP downstream
+// on success or sends a REJECT back upstream (releasing reservations hop by
+// hop) on failure; the destination's CONNECTED message completes the setup.
+//
+// Each switching node runs one goroutine draining an unbounded mailbox, so
+// the protocol is deadlock-free on cyclic (ring) topologies and processes
+// admissions serially per node, exactly like a switch control processor.
+package signaling
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"atmcac/internal/core"
+)
+
+var (
+	// ErrClosed reports use of a closed fabric.
+	ErrClosed = errors.New("signaling: fabric closed")
+	// ErrUnknownNode reports a route hop through an unregistered node.
+	ErrUnknownNode = errors.New("signaling: unknown node")
+	// ErrDuplicate reports a connection ID already in use.
+	ErrDuplicate = errors.New("signaling: duplicate connection")
+	// ErrUnknownConn reports a disconnect for an unknown connection.
+	ErrUnknownConn = errors.New("signaling: unknown connection")
+)
+
+// kind enumerates protocol messages.
+type kind int
+
+const (
+	kindSetup kind = iota + 1
+	kindReject
+	kindConnected
+	kindTeardown
+)
+
+// message is one protocol PDU.
+type message struct {
+	kind kind
+	req  core.ConnRequest
+	hop  int // index into req.Route this message is addressed to
+	// guaranteed and computed per-hop bounds accumulated so far.
+	guaranteed []float64
+	computed   []float64
+	// reject carries the downstream failure back upstream.
+	rejectErr error
+}
+
+// Result is the outcome of a completed setup, mirroring core.Admission.
+type Result struct {
+	ID                 core.ConnID
+	PerHopGuaranteed   []float64
+	PerHopComputed     []float64
+	EndToEndGuaranteed float64
+	EndToEndComputed   float64
+}
+
+// Node is one switching node of the fabric: a CAC switch plus its control
+// goroutine.
+type Node struct {
+	name   string
+	sw     *core.Switch
+	fabric *Fabric
+	mb     *mailbox
+	done   chan struct{}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Switch exposes the node's CAC state (for inspection in tests and tools).
+func (n *Node) Switch() *core.Switch { return n.sw }
+
+// Fabric is a set of signaling nodes plus the origin-side bookkeeping for
+// in-flight setups.
+type Fabric struct {
+	policy core.CDVPolicy
+
+	mu          sync.Mutex
+	nodes       map[string]*Node
+	pending     map[core.ConnID]chan outcome
+	established map[core.ConnID]core.ConnRequest
+	closed      bool
+}
+
+type outcome struct {
+	result *Result
+	err    error
+}
+
+// NewFabric returns an empty fabric with the given CDV policy (nil means
+// hard).
+func NewFabric(policy core.CDVPolicy) *Fabric {
+	if policy == nil {
+		policy = core.HardCDV{}
+	}
+	return &Fabric{
+		policy:      policy,
+		nodes:       make(map[string]*Node),
+		pending:     make(map[core.ConnID]chan outcome),
+		established: make(map[core.ConnID]core.ConnRequest),
+	}
+}
+
+// AddNode registers a switching node and starts its control goroutine.
+func (f *Fabric) AddNode(cfg core.SwitchConfig) (*Node, error) {
+	sw, err := core.NewSwitch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := f.nodes[cfg.Name]; ok {
+		return nil, fmt.Errorf("%w: duplicate node %q", core.ErrBadConfig, cfg.Name)
+	}
+	n := &Node{
+		name:   cfg.Name,
+		sw:     sw,
+		fabric: f,
+		mb:     newMailbox(),
+		done:   make(chan struct{}),
+	}
+	f.nodes[cfg.Name] = n
+	go n.run()
+	return n, nil
+}
+
+// Node returns a registered node.
+func (f *Fabric) Node(name string) (*Node, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.nodes[name]
+	return n, ok
+}
+
+// Close stops every node goroutine and waits for them to exit. In-flight
+// setups receive ErrClosed.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	nodes := make([]*Node, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		nodes = append(nodes, n)
+	}
+	pending := f.pending
+	f.pending = make(map[core.ConnID]chan outcome)
+	f.mu.Unlock()
+
+	for _, n := range nodes {
+		n.mb.close()
+	}
+	for _, n := range nodes {
+		<-n.done
+	}
+	for _, ch := range pending {
+		ch <- outcome{err: ErrClosed}
+	}
+}
+
+// deliver routes a message to the node owning the given hop.
+func (f *Fabric) deliver(msg message) {
+	hop := msg.req.Route[msg.hop]
+	f.mu.Lock()
+	n, ok := f.nodes[hop.Switch]
+	f.mu.Unlock()
+	if !ok {
+		// Routes are validated before the first SETUP leaves the origin,
+		// so this indicates a node removed mid-flight; fail the setup.
+		f.finish(msg.req.ID, outcome{err: fmt.Errorf("%w: %q", ErrUnknownNode, hop.Switch)})
+		return
+	}
+	n.mb.put(msg)
+}
+
+// finish resolves a pending setup.
+func (f *Fabric) finish(id core.ConnID, oc outcome) {
+	f.mu.Lock()
+	ch, ok := f.pending[id]
+	if ok {
+		delete(f.pending, id)
+	}
+	f.mu.Unlock()
+	if ok {
+		ch <- oc
+	}
+}
+
+// Connect runs the distributed setup for req and blocks until CONNECTED,
+// REJECT, or context cancellation. On success the connection is established
+// at every hop; on rejection all upstream reservations have been released.
+//
+// Cancelling the context abandons the wait but does not abort the protocol:
+// an eventually-successful setup stays established (call Disconnect to
+// release it).
+func (f *Fabric) Connect(ctx context.Context, req core.ConnRequest) (*Result, error) {
+	if len(req.Route) == 0 {
+		return nil, fmt.Errorf("%w: connection %q has an empty route", core.ErrBadConfig, req.ID)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := f.pending[req.ID]; ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, req.ID)
+	}
+	if _, ok := f.established[req.ID]; ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, req.ID)
+	}
+	for _, hop := range req.Route {
+		if _, ok := f.nodes[hop.Switch]; !ok {
+			f.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, hop.Switch)
+		}
+	}
+	ch := make(chan outcome, 1)
+	f.pending[req.ID] = ch
+	f.mu.Unlock()
+
+	f.deliver(message{kind: kindSetup, req: req, hop: 0})
+
+	select {
+	case oc := <-ch:
+		if oc.err != nil {
+			return nil, oc.err
+		}
+		f.mu.Lock()
+		f.established[req.ID] = req
+		f.mu.Unlock()
+		return oc.result, nil
+	case <-ctx.Done():
+		// Leave the pending entry so a late CONNECTED still records the
+		// establishment; replace the channel consumer with bookkeeping.
+		go func() {
+			oc := <-ch
+			if oc.err == nil {
+				f.mu.Lock()
+				f.established[req.ID] = req
+				f.mu.Unlock()
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
+// ConnectAny attempts the setup over each candidate route in order and
+// returns the first success together with the index of the route that
+// carried it — the crankback behaviour of ATM signaling: a REJECT releases
+// every upstream reservation, and the source retries over an alternate
+// route. Non-CAC errors abort immediately; if every route is rejected, the
+// last rejection is returned.
+func (f *Fabric) ConnectAny(ctx context.Context, req core.ConnRequest, routes []core.Route) (*Result, int, error) {
+	if len(routes) == 0 {
+		return nil, -1, fmt.Errorf("%w: no candidate routes for %q", core.ErrBadConfig, req.ID)
+	}
+	var lastErr error
+	for i, route := range routes {
+		attempt := req
+		attempt.Route = route
+		res, err := f.Connect(ctx, attempt)
+		if err == nil {
+			return res, i, nil
+		}
+		if !errors.Is(err, core.ErrRejected) {
+			return nil, -1, err
+		}
+		lastErr = err
+	}
+	return nil, -1, lastErr
+}
+
+// Disconnect releases an established connection at every hop and blocks
+// until the teardown completes.
+func (f *Fabric) Disconnect(ctx context.Context, id core.ConnID) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	req, ok := f.established[id]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownConn, id)
+	}
+	delete(f.established, id)
+	ch := make(chan outcome, 1)
+	f.pending[id] = ch
+	f.mu.Unlock()
+
+	f.deliver(message{kind: kindTeardown, req: req, hop: 0})
+	select {
+	case oc := <-ch:
+		return oc.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Established returns the IDs of established connections.
+func (f *Fabric) Established() []core.ConnID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]core.ConnID, 0, len(f.established))
+	for id := range f.established {
+		out = append(out, id)
+	}
+	return out
+}
+
+// run is the node's control loop.
+func (n *Node) run() {
+	defer close(n.done)
+	for {
+		msg, ok := n.mb.get()
+		if !ok {
+			return
+		}
+		switch msg.kind {
+		case kindSetup:
+			n.handleSetup(msg)
+		case kindReject:
+			n.handleReject(msg)
+		case kindTeardown:
+			n.handleTeardown(msg)
+		case kindConnected:
+			// CONNECTED is resolved at the fabric (the origin end system);
+			// nodes never receive it.
+		}
+	}
+}
+
+// handleSetup runs the local CAC check and forwards SETUP or originates
+// REJECT.
+func (n *Node) handleSetup(msg message) {
+	hop := msg.req.Route[msg.hop]
+	cdv := msg.req.SourceCDV + n.fabric.policy.Accumulate(msg.guaranteed)
+	res, err := n.sw.Admit(core.HopRequest{
+		Conn:     msg.req.ID,
+		Spec:     msg.req.Spec,
+		In:       hop.In,
+		Out:      hop.Out,
+		Priority: msg.req.Priority,
+		CDV:      cdv,
+	})
+	if err != nil {
+		if msg.hop == 0 {
+			n.fabric.finish(msg.req.ID, outcome{err: err})
+			return
+		}
+		reject := msg
+		reject.kind = kindReject
+		reject.hop--
+		reject.rejectErr = err
+		n.fabric.deliver(reject)
+		return
+	}
+	guaranteed := append(append([]float64(nil), msg.guaranteed...), res.Guaranteed)
+	computed := append(append([]float64(nil), msg.computed...), res.Bounds[msg.req.Priority])
+
+	// End-to-end budget check at the last hop (the destination knows the
+	// full accumulated guarantee).
+	if msg.hop == len(msg.req.Route)-1 {
+		e2eGuaranteed := (core.HardCDV{}).Accumulate(guaranteed)
+		if msg.req.DelayBound > 0 && e2eGuaranteed > msg.req.DelayBound {
+			rejErr := &core.RejectionError{
+				Switch:   n.name,
+				Priority: msg.req.Priority,
+				Bound:    e2eGuaranteed,
+				Limit:    msg.req.DelayBound,
+				Reason:   "accumulated per-hop guarantees exceed the requested end-to-end bound",
+			}
+			// Release locally and reject upstream.
+			_ = n.sw.Release(msg.req.ID)
+			if msg.hop == 0 {
+				n.fabric.finish(msg.req.ID, outcome{err: rejErr})
+				return
+			}
+			reject := msg
+			reject.kind = kindReject
+			reject.hop--
+			reject.rejectErr = rejErr
+			n.fabric.deliver(reject)
+			return
+		}
+		result := &Result{
+			ID:                 msg.req.ID,
+			PerHopGuaranteed:   guaranteed,
+			PerHopComputed:     computed,
+			EndToEndGuaranteed: e2eGuaranteed,
+		}
+		for _, d := range computed {
+			result.EndToEndComputed += d
+		}
+		n.fabric.finish(msg.req.ID, outcome{result: result})
+		return
+	}
+	fwd := msg
+	fwd.hop++
+	fwd.guaranteed = guaranteed
+	fwd.computed = computed
+	n.fabric.deliver(fwd)
+}
+
+// handleReject releases the local reservation and propagates upstream.
+func (n *Node) handleReject(msg message) {
+	// The release cannot fail: this node admitted the connection when the
+	// SETUP passed through.
+	_ = n.sw.Release(msg.req.ID)
+	if msg.hop == 0 {
+		n.fabric.finish(msg.req.ID, outcome{err: msg.rejectErr})
+		return
+	}
+	msg.hop--
+	n.fabric.deliver(msg)
+}
+
+// handleTeardown releases and forwards downstream; the last hop resolves
+// the disconnect.
+func (n *Node) handleTeardown(msg message) {
+	_ = n.sw.Release(msg.req.ID)
+	if msg.hop == len(msg.req.Route)-1 {
+		n.fabric.finish(msg.req.ID, outcome{})
+		return
+	}
+	msg.hop++
+	n.fabric.deliver(msg)
+}

@@ -1,0 +1,452 @@
+package signaling
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// lineFabric builds sw0 -> sw1 -> sw2 with 32-cell queues.
+func lineFabric(t *testing.T, queues map[core.Priority]float64) (*Fabric, core.Route) {
+	t.Helper()
+	if queues == nil {
+		queues = map[core.Priority]float64{1: 32}
+	}
+	f := NewFabric(nil)
+	t.Cleanup(f.Close)
+	route := make(core.Route, 3)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("sw%d", i)
+		if _, err := f.AddNode(core.SwitchConfig{Name: name, QueueCells: queues}); err != nil {
+			t.Fatal(err)
+		}
+		route[i] = core.Hop{Switch: name, In: 1, Out: 0}
+	}
+	return f, route
+}
+
+func TestConnectEstablishesEverywhere(t *testing.T) {
+	f, route := lineFabric(t, nil)
+	res, err := f.Connect(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "c1" {
+		t.Errorf("result ID = %q", res.ID)
+	}
+	if res.EndToEndGuaranteed != 96 {
+		t.Errorf("EndToEndGuaranteed = %g, want 96", res.EndToEndGuaranteed)
+	}
+	if len(res.PerHopComputed) != 3 || len(res.PerHopGuaranteed) != 3 {
+		t.Errorf("per-hop slices = %v / %v", res.PerHopComputed, res.PerHopGuaranteed)
+	}
+	var sum float64
+	for _, d := range res.PerHopComputed {
+		sum += d
+	}
+	if math.Abs(sum-res.EndToEndComputed) > 1e-12 {
+		t.Errorf("EndToEndComputed = %g, want %g", res.EndToEndComputed, sum)
+	}
+	for i := 0; i < 3; i++ {
+		n, _ := f.Node(fmt.Sprintf("sw%d", i))
+		if !n.Switch().Has("c1") {
+			t.Errorf("node sw%d does not carry c1", i)
+		}
+	}
+	ids := f.Established()
+	if len(ids) != 1 || ids[0] != "c1" {
+		t.Errorf("Established = %v", ids)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	f, route := lineFabric(t, nil)
+	if _, err := f.Connect(testCtx(t), core.ConnRequest{ID: "x", Spec: traffic.CBR(0.1), Priority: 1}); !errors.Is(err, core.ErrBadConfig) {
+		t.Errorf("empty route error = %v", err)
+	}
+	bad := core.Route{{Switch: "nope", In: 1, Out: 0}}
+	if _, err := f.Connect(testCtx(t), core.ConnRequest{ID: "x", Spec: traffic.CBR(0.1), Priority: 1, Route: bad}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node error = %v", err)
+	}
+	if _, err := f.Connect(testCtx(t), core.ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Connect(testCtx(t), core.ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate error = %v", err)
+	}
+}
+
+func TestRejectRollsBackUpstream(t *testing.T) {
+	f, route := lineFabric(t, nil)
+	// Saturate the last node so the third hop rejects.
+	last, _ := f.Node("sw2")
+	for i := 0; i < 40; i++ {
+		_, err := last.Switch().Admit(core.HopRequest{
+			Conn: core.ConnID(fmt.Sprintf("bg%d", i)), Spec: traffic.CBR(0.02),
+			In: core.PortID(10 + i), Out: 0, Priority: 1,
+		})
+		if err != nil {
+			break
+		}
+	}
+	_, err := f.Connect(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.02), Priority: 1, Route: route,
+	})
+	if !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("Connect error = %v, want ErrRejected", err)
+	}
+	var rej *core.RejectionError
+	if !errors.As(err, &rej) || rej.Switch != "sw2" {
+		t.Errorf("rejection detail = %v, want switch sw2", err)
+	}
+	for i := 0; i < 3; i++ {
+		n, _ := f.Node(fmt.Sprintf("sw%d", i))
+		if n.Switch().Has("c1") {
+			t.Errorf("node sw%d still carries rejected c1", i)
+		}
+	}
+	if len(f.Established()) != 0 {
+		t.Error("rejected connection recorded as established")
+	}
+}
+
+func TestEndToEndBudgetRejectedAtDestination(t *testing.T) {
+	f, route := lineFabric(t, nil)
+	// Three 32-cell hops guarantee 96 > requested 50.
+	_, err := f.Connect(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route, DelayBound: 50,
+	})
+	if !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("Connect error = %v, want ErrRejected", err)
+	}
+	for i := 0; i < 3; i++ {
+		n, _ := f.Node(fmt.Sprintf("sw%d", i))
+		if n.Switch().Has("c1") {
+			t.Errorf("node sw%d still carries budget-rejected c1", i)
+		}
+	}
+	// A request matching the guarantee succeeds.
+	if _, err := f.Connect(testCtx(t), core.ConnRequest{
+		ID: "c2", Spec: traffic.CBR(0.1), Priority: 1, Route: route, DelayBound: 96,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnect(t *testing.T) {
+	f, route := lineFabric(t, nil)
+	if _, err := f.Connect(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Disconnect(testCtx(t), "c1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		n, _ := f.Node(fmt.Sprintf("sw%d", i))
+		if n.Switch().Has("c1") {
+			t.Errorf("node sw%d still carries c1 after disconnect", i)
+		}
+	}
+	if err := f.Disconnect(testCtx(t), "c1"); !errors.Is(err, ErrUnknownConn) {
+		t.Errorf("double disconnect error = %v", err)
+	}
+	// The ID is reusable.
+	if _, err := f.Connect(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentConnects races many setups through a shared bottleneck; the
+// admitted subset must pass the audit and the rejected ones must leave no
+// residue.
+func TestConcurrentConnects(t *testing.T) {
+	f, route := lineFabric(t, map[core.Priority]float64{1: 8})
+	const attempts = 32
+	var wg sync.WaitGroup
+	results := make([]error, attempts)
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := make(core.Route, len(route))
+			copy(r, route)
+			for h := range r {
+				r[h].In = core.PortID(i + 1)
+			}
+			_, err := f.Connect(testCtx(t), core.ConnRequest{
+				ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.01),
+				Priority: 1, Route: r,
+			})
+			results[i] = err
+		}(i)
+	}
+	wg.Wait()
+	admitted, rejected := 0, 0
+	for i, err := range results {
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, core.ErrRejected):
+			rejected++
+		default:
+			t.Errorf("connection %d unexpected error: %v", i, err)
+		}
+	}
+	if admitted == 0 || rejected == 0 {
+		t.Fatalf("admitted %d rejected %d; scenario does not exercise contention", admitted, rejected)
+	}
+	// Every node's committed state matches the admitted set and stays
+	// within its budget.
+	for i := 0; i < 3; i++ {
+		n, _ := f.Node(fmt.Sprintf("sw%d", i))
+		if got := n.Switch().ConnectionCount(); got != admitted {
+			t.Errorf("node sw%d carries %d connections, want %d", i, got, admitted)
+		}
+		d, err := n.Switch().ComputedBound(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 8+1e-9 {
+			t.Errorf("node sw%d bound %g exceeds budget", i, d)
+		}
+	}
+	if got := len(f.Established()); got != admitted {
+		t.Errorf("Established count = %d, want %d", got, admitted)
+	}
+}
+
+func TestConnectContextCancelled(t *testing.T) {
+	f, route := lineFabric(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := f.Connect(ctx, core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Connect error = %v, want context.Canceled", err)
+	}
+	// The protocol still completes in the background; eventually the
+	// connection is established and can be disconnected.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(f.Established()) == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(f.Established()) != 1 {
+		t.Fatal("abandoned setup never completed in the background")
+	}
+	if err := f.Disconnect(testCtx(t), "c1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIsIdempotentAndFailsFast(t *testing.T) {
+	f, route := lineFabric(t, nil)
+	f.Close()
+	f.Close() // second close is a no-op
+	if _, err := f.Connect(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
+	}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Connect after Close error = %v, want ErrClosed", err)
+	}
+	if err := f.Disconnect(testCtx(t), "c1"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Disconnect after Close error = %v, want ErrClosed", err)
+	}
+	if _, err := f.AddNode(core.SwitchConfig{Name: "x", QueueCells: map[core.Priority]float64{1: 1}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("AddNode after Close error = %v, want ErrClosed", err)
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	f := NewFabric(core.SoftCDV{})
+	t.Cleanup(f.Close)
+	if _, err := f.AddNode(core.SwitchConfig{Name: "a"}); !errors.Is(err, core.ErrBadConfig) {
+		t.Errorf("invalid config error = %v", err)
+	}
+	if _, err := f.AddNode(core.SwitchConfig{Name: "a", QueueCells: map[core.Priority]float64{1: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddNode(core.SwitchConfig{Name: "a", QueueCells: map[core.Priority]float64{1: 8}}); !errors.Is(err, core.ErrBadConfig) {
+		t.Errorf("duplicate node error = %v", err)
+	}
+	if _, ok := f.Node("a"); !ok {
+		t.Error("Node(a) not found")
+	}
+	if _, ok := f.Node("zz"); ok {
+		t.Error("Node(zz) found")
+	}
+}
+
+// TestSignalingMatchesSequentialSetup: the distributed protocol and the
+// core.Network sequential path compute identical admissions for the same
+// request.
+func TestSignalingMatchesSequentialSetup(t *testing.T) {
+	queues := map[core.Priority]float64{1: 64}
+	f, route := lineFabric(t, queues)
+
+	n := core.NewNetwork(core.HardCDV{})
+	for i := 0; i < 3; i++ {
+		if _, err := n.AddSwitch(core.SwitchConfig{Name: fmt.Sprintf("sw%d", i), QueueCells: queues}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Load both with an identical background connection.
+	bg := core.ConnRequest{ID: "bg", Spec: traffic.VBR(0.5, 0.1, 8), Priority: 1,
+		Route: func() core.Route {
+			r := make(core.Route, len(route))
+			copy(r, route)
+			for h := range r {
+				r[h].In = 7
+			}
+			return r
+		}()}
+	if _, err := f.Connect(testCtx(t), bg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Setup(bg); err != nil {
+		t.Fatal(err)
+	}
+	probe := core.ConnRequest{ID: "probe", Spec: traffic.VBR(0.3, 0.05, 4), Priority: 1, Route: route}
+	got, err := f.Connect(testCtx(t), probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := n.Setup(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.EndToEndComputed-want.EndToEndComputed) > 1e-9 {
+		t.Errorf("signaling computed %g, sequential computed %g",
+			got.EndToEndComputed, want.EndToEndComputed)
+	}
+	for h := range want.PerHopComputed {
+		if math.Abs(got.PerHopComputed[h]-want.PerHopComputed[h]) > 1e-9 {
+			t.Errorf("hop %d: signaling %g vs sequential %g",
+				h, got.PerHopComputed[h], want.PerHopComputed[h])
+		}
+	}
+}
+
+// TestConnectAnyCrankback: the primary route is saturated; crankback
+// establishes over the alternate and reports its index.
+func TestConnectAnyCrankback(t *testing.T) {
+	f := NewFabric(nil)
+	t.Cleanup(f.Close)
+	// Two parallel 2-hop paths: a0->a1 (tight) and b0->b1 (roomy).
+	for _, cfg := range []core.SwitchConfig{
+		{Name: "a0", QueueCells: map[core.Priority]float64{1: 2}},
+		{Name: "a1", QueueCells: map[core.Priority]float64{1: 2}},
+		{Name: "b0", QueueCells: map[core.Priority]float64{1: 64}},
+		{Name: "b1", QueueCells: map[core.Priority]float64{1: 64}},
+	} {
+		if _, err := f.AddNode(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary := core.Route{{Switch: "a0", In: 1, Out: 0}, {Switch: "a1", In: 0, Out: 0}}
+	alternate := core.Route{{Switch: "b0", In: 1, Out: 0}, {Switch: "b1", In: 0, Out: 0}}
+	// Saturate the primary.
+	a0, _ := f.Node("a0")
+	for i := 0; i < 8; i++ {
+		if _, err := a0.Switch().Admit(core.HopRequest{
+			Conn: core.ConnID(fmt.Sprintf("bg%d", i)), Spec: traffic.CBR(0.01),
+			In: core.PortID(10 + i), Out: 0, Priority: 1,
+		}); err != nil {
+			break
+		}
+	}
+	res, idx, err := f.ConnectAny(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.01), Priority: 1,
+	}, []core.Route{primary, alternate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("carried by route %d, want the alternate (1)", idx)
+	}
+	if res.EndToEndGuaranteed != 128 {
+		t.Errorf("guarantee = %g, want 128 (alternate queues)", res.EndToEndGuaranteed)
+	}
+	// The rejected primary left no residue and carries nothing of c1.
+	for _, name := range []string{"a0", "a1"} {
+		n, _ := f.Node(name)
+		if n.Switch().Has("c1") {
+			t.Errorf("crankback left c1 at %s", name)
+		}
+	}
+	b0, _ := f.Node("b0")
+	if !b0.Switch().Has("c1") {
+		t.Error("alternate does not carry c1")
+	}
+	// Disconnect works against the route that actually carried it.
+	if err := f.Disconnect(testCtx(t), "c1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectAnyAllRejected(t *testing.T) {
+	f := NewFabric(nil)
+	t.Cleanup(f.Close)
+	if _, err := f.AddNode(core.SwitchConfig{Name: "a", QueueCells: map[core.Priority]float64{1: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Node("a")
+	for i := 0; i < 8; i++ {
+		if _, err := a.Switch().Admit(core.HopRequest{
+			Conn: core.ConnID(fmt.Sprintf("bg%d", i)), Spec: traffic.CBR(0.01),
+			In: core.PortID(10 + i), Out: 0, Priority: 1,
+		}); err != nil {
+			break
+		}
+	}
+	routeA := core.Route{{Switch: "a", In: 1, Out: 0}}
+	_, idx, err := f.ConnectAny(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.01), Priority: 1,
+	}, []core.Route{routeA, routeA})
+	if !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("error = %v, want ErrRejected", err)
+	}
+	if idx != -1 {
+		t.Errorf("index = %d, want -1", idx)
+	}
+}
+
+func TestConnectAnyValidation(t *testing.T) {
+	f := NewFabric(nil)
+	t.Cleanup(f.Close)
+	if _, _, err := f.ConnectAny(testCtx(t), core.ConnRequest{ID: "x"}, nil); !errors.Is(err, core.ErrBadConfig) {
+		t.Errorf("no-routes error = %v", err)
+	}
+	// A non-CAC error (unknown node) aborts instead of cranking back.
+	if _, err := f.AddNode(core.SwitchConfig{Name: "a", QueueCells: map[core.Priority]float64{1: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := f.ConnectAny(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.01), Priority: 1,
+	}, []core.Route{{{Switch: "ghost", In: 1, Out: 0}}, {{Switch: "a", In: 1, Out: 0}}})
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("error = %v, want ErrUnknownNode (no crankback on operational errors)", err)
+	}
+}

@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"atmcac/internal/bitstream"
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+)
+
+// TestJitterWindowDelaysCells: with an adversarial jitter stage, cells of a
+// CBR source emerge clumped at window boundaries while the generation
+// schedule stays conforming.
+func TestJitterWindowDelaysCells(t *testing.T) {
+	n := New()
+	sw, err := n.AddSwitch("sw", map[Priority]int{1: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.SetRoute(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// CBR(0.25): one cell every 4 slots; jitter window 16: cells of each
+	// window [16m, 16m+16) emerge back to back at slot 16(m+1).
+	if err := n.AddSource(SourceConfig{
+		VC: 1, Spec: traffic.CBR(0.25), Dest: sw, JitterWindow: 16, MaxCells: 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := n.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.PerVC[1].Cells; got != 16 {
+		t.Fatalf("delivered %d cells, want 16", got)
+	}
+	// A single jittered connection still sees no queueing at the switch
+	// (the clump arrives serialized at link rate).
+	if d := stats.PerVC[1].MaxDelay; d != 0 {
+		t.Errorf("single jittered connection queueing delay = %d, want 0", d)
+	}
+}
+
+// TestJitterSourceStaysConforming: the generation instants behind the
+// jitter stage must still satisfy the GCRA contract.
+func TestJitterSourceStaysConforming(t *testing.T) {
+	spec := traffic.VBR(0.5, 0.05, 8)
+	s := &source{cfg: SourceConfig{Spec: spec, JitterWindow: 32}}
+	pacer, err := traffic.NewPacer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.pacer = pacer
+	checker, err := traffic.NewChecker(spec, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.schedule(0)
+	prevEmit := uint64(0)
+	for i := 0; i < 100; i++ {
+		ok, err := checker.Observe(s.genAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("generation instant %d (%g) non-conforming", i, s.genAt)
+		}
+		// Emissions are postponed to window ends and serialized.
+		if s.next < uint64(s.genAt) {
+			t.Fatalf("emission slot %d before generation instant %g", s.next, s.genAt)
+		}
+		if i > 0 && s.next <= prevEmit {
+			t.Fatalf("emission slot %d not after previous %d", s.next, prevEmit)
+		}
+		prevEmit = s.next
+		s.lastEmit = s.next
+		s.started = true
+		s.schedule(s.genAt)
+	}
+}
+
+// TestJitteredDelayWithinAlgorithm31Bound is the empirical validation of
+// Algorithm 3.1: k CBR connections each pass through an adversarial jitter
+// stage of W slots before multiplexing at one switch. The analytic bound
+// computed from the CDV=W clumped envelopes must dominate the measured
+// worst-case queueing delay.
+func TestJitteredDelayWithinAlgorithm31Bound(t *testing.T) {
+	const (
+		k = 10
+		w = 48
+	)
+	spec := traffic.CBR(0.06)
+
+	// Analytic side: k envelopes clumped by CDV = w, distinct links.
+	env, err := spec.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clumped, err := env.Delayed(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]bitstream.Stream, k)
+	for i := range streams {
+		streams[i] = clumped
+	}
+	bound, err := bitstream.DelayBound(bitstream.Sum(streams...), bitstream.Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound <= 0 {
+		t.Fatalf("bound = %g; scenario exercises nothing", bound)
+	}
+
+	// Simulation side: staggered starts misalign the windows; the jitter
+	// stage re-clumps each source adversarially.
+	for _, seed := range []int64{1, 2, 3} {
+		n := New()
+		sw, err := n.AddSwitch("sw", map[Priority]int{1: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vc := 0; vc < k; vc++ {
+			if err := sw.SetRoute(vc, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.AddSource(SourceConfig{
+				VC: vc, Spec: spec, Dest: sw, InPort: vc,
+				JitterWindow: w,
+				Start:        uint64(vc) * uint64(seed),
+				Mode:         Random,
+				Seed:         seed * int64(vc+1),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := n.Run(30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vc := 0; vc < k; vc++ {
+			if d := float64(stats.PerVC[vc].MaxDelay); d > bound+1e-9 {
+				t.Errorf("seed %d: VC %d measured delay %g exceeds Algorithm 3.1 bound %g",
+					seed, vc, d, bound)
+			}
+		}
+	}
+}
+
+// TestJitterIncreasesContention: the same multiplexed load suffers strictly
+// larger worst-case queueing with a jitter stage than without — the traffic
+// distortion the paper's introduction warns peak allocation ignores.
+func TestJitterIncreasesContention(t *testing.T) {
+	run := func(window uint64) uint64 {
+		n := New()
+		sw, err := n.AddSwitch("sw", map[Priority]int{1: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 10
+		for vc := 0; vc < k; vc++ {
+			if err := sw.SetRoute(vc, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.AddSource(SourceConfig{
+				VC: vc, Spec: traffic.CBR(0.06), Dest: sw, InPort: vc,
+				JitterWindow: window,
+				Start:        uint64(vc * 3), // staggered: smooth without jitter
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := n.Run(20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := uint64(0)
+		for vc := 0; vc < k; vc++ {
+			if d := stats.PerVC[vc].MaxDelay; d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	smooth, jittered := run(0), run(64)
+	if jittered <= smooth {
+		t.Errorf("jittered worst delay %d not above smooth %d", jittered, smooth)
+	}
+}
+
+// TestPropagationDelayShiftsButDoesNotQueue: adding link propagation delay
+// leaves queueing delays unchanged.
+func TestPropagationDelayShiftsButDoesNotQueue(t *testing.T) {
+	build := func(delay uint64) Stats {
+		n := New()
+		a, err := n.AddSwitch("a", map[Priority]int{1: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := n.AddSwitch("b", map[Priority]int{1: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.LinkDelayed(a, 0, b, 0, delay); err != nil {
+			t.Fatal(err)
+		}
+		for vc := 0; vc < 4; vc++ {
+			if err := a.SetRoute(vc, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.SetRoute(vc, 10+vc, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.AddSource(SourceConfig{
+				VC: vc, Spec: traffic.CBR(0.1), Dest: a, InPort: vc,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := n.Run(10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	near, far := build(0), build(500)
+	for vc := 0; vc < 4; vc++ {
+		if near.PerVC[vc].MaxDelay != far.PerVC[vc].MaxDelay {
+			t.Errorf("VC %d: queueing delay changed with propagation delay: %d vs %d",
+				vc, near.PerVC[vc].MaxDelay, far.PerVC[vc].MaxDelay)
+		}
+		// Fewer cells delivered within the horizon when the pipe is long.
+		if far.PerVC[vc].Cells > near.PerVC[vc].Cells {
+			t.Errorf("VC %d: delayed link delivered more cells", vc)
+		}
+	}
+}
+
+// TestLinkDelayedValidation mirrors Link's checks.
+func TestLinkDelayedValidation(t *testing.T) {
+	n := New()
+	a, _ := n.AddSwitch("a", map[Priority]int{1: 8})
+	b, _ := n.AddSwitch("b", map[Priority]int{1: 8})
+	if err := n.LinkDelayed(nil, 0, b, 0, 1); err == nil {
+		t.Error("nil switch accepted")
+	}
+	if err := n.LinkDelayed(a, 0, b, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.LinkDelayed(a, 0, b, 1, 3); err == nil {
+		t.Error("double link accepted")
+	}
+}
+
+// TestRTnetValidationWithJitterAndPropagation combines everything: an RTnet
+// ring with per-link propagation delay and jittered sources must still stay
+// within the CAC bound computed with per-hop CDV accumulation. The jitter
+// window equals the per-hop budget, so the source-side clumping is within
+// what the analysis already allows for one upstream hop.
+func TestRTnetValidationWithJitterAndPropagation(t *testing.T) {
+	const (
+		ring  = 6
+		queue = 32
+		load  = 0.3
+	)
+	// Analytic side: the engine with one extra hop's worth of source CDV.
+	rtcore := core.NewNetwork(core.HardCDV{})
+	for i := 0; i < ring; i++ {
+		if _, err := rtcore.AddSwitch(core.SwitchConfig{
+			Name:       fmt.Sprintf("sw%d", i),
+			QueueCells: map[core.Priority]float64{1: queue},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := traffic.CBR(load / ring)
+	for o := 0; o < ring; o++ {
+		route := make(core.Route, ring-1)
+		for h := 0; h < ring-1; h++ {
+			in := core.PortID(0)
+			if h == 0 {
+				in = 1
+			}
+			route[h] = core.Hop{Switch: fmt.Sprintf("sw%d", (o+h)%ring), In: in, Out: 0}
+		}
+		if err := rtcore.Install(core.ConnRequest{
+			ID: core.ConnID(fmt.Sprintf("c%d", o)), Spec: spec, Priority: 1,
+			Route: route, SourceCDV: queue,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := rtcore.Audit(); err != nil || len(v) > 0 {
+		t.Fatalf("audit: %v %v", v, err)
+	}
+	bound := 0.0
+	for i := 0; i < ring; i++ {
+		sw, _ := rtcore.Switch(fmt.Sprintf("sw%d", i))
+		d, err := sw.ComputedBound(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound += d
+	}
+	// Keep only the worst route (all ports symmetric: (ring-1)/ring of the
+	// total).
+	bound = bound * float64(ring-1) / float64(ring)
+
+	// Simulation side.
+	n := New()
+	switches := make([]*Switch, ring)
+	for i := range switches {
+		sw, err := n.AddSwitch(fmt.Sprintf("sw%d", i), map[Priority]int{1: queue})
+		if err != nil {
+			t.Fatal(err)
+		}
+		switches[i] = sw
+	}
+	for i := range switches {
+		if err := n.LinkDelayed(switches[i], 0, switches[(i+1)%ring], 0, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for o := 0; o < ring; o++ {
+		for h := 0; h < ring-1; h++ {
+			if err := switches[(o+h)%ring].SetRoute(o, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := switches[(o+ring-1)%ring].SetRoute(o, 100+o, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddSource(SourceConfig{
+			VC: o, Spec: spec, Dest: switches[o], InPort: 1,
+			JitterWindow: queue, Mode: Random, Seed: int64(o + 1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := n.Run(60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < ring; o++ {
+		vs := stats.PerVC[o]
+		if vs.Cells == 0 {
+			t.Fatalf("VC %d delivered nothing", o)
+		}
+		if float64(vs.MaxDelay) > bound+1e-9 {
+			t.Errorf("VC %d measured delay %d exceeds bound %.1f", o, vs.MaxDelay, bound)
+		}
+	}
+	for _, qs := range stats.Queues {
+		if qs.Drops != 0 {
+			t.Errorf("drops observed: %+v", stats.Queues)
+			break
+		}
+	}
+}

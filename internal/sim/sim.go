@@ -1,0 +1,609 @@
+// Package sim is a cell-level discrete-time simulator of an ATM network
+// with static-priority FIFO output-queued switches — the switch model the
+// paper's CAC assumes. Time advances in integer cell slots (one cell
+// transmission time at full link bandwidth). It is used to validate the
+// analytic worst-case bounds empirically: for any conforming source
+// schedule, measured queueing delays must stay within the CAC's bounds, and
+// queue occupancies within the FIFO budgets.
+//
+// Model per slot:
+//
+//  1. Sources emit conforming cells (paced by traffic.Pacer) into switch
+//     input ports; cells transmitted by upstream ports in the previous slot
+//     arrive as well.
+//  2. Each switch moves arrived cells to the output-port priority queue
+//     selected by its VC table (cut-through at queueing granularity: only
+//     queueing delay is modelled, matching the paper's QoS metric).
+//  3. Each output port transmits the head cell of its highest non-empty
+//     priority queue; the cell reaches the downstream hop at the start of
+//     the next slot, or its sink if the port is unattached.
+//
+// Queues have finite capacities; cells arriving at a full queue are dropped
+// and counted, which is how the peak-allocation baseline's failure mode is
+// demonstrated.
+//
+// Facilities beyond the basic model: adversarial jitter stages on sources
+// (the clumping Algorithm 3.1 bounds), per-link propagation delay,
+// source-routed VCs that may traverse a switch more than once (wrapped
+// rings), runtime GCRA self-checks on sources, per-VC delay histograms with
+// quantiles, and a per-cell CSV event trace.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"atmcac/internal/traffic"
+)
+
+var (
+	// ErrConfig reports an invalid simulation configuration.
+	ErrConfig = errors.New("sim: invalid configuration")
+	// ErrRouting reports a cell for which a switch has no VC table entry.
+	ErrRouting = errors.New("sim: no route for VC")
+)
+
+// Priority is a static transmission priority; 1 is highest (matching the
+// CAC engine's convention).
+type Priority int
+
+// cell is one ATM cell in flight.
+type cell struct {
+	vc         int
+	seq        int
+	emitted    uint64 // slot the source emitted it
+	queueDelay uint64 // accumulated queueing slots across hops
+	pathIdx    int    // next hop index for source-routed VCs
+}
+
+// queue is one priority FIFO of an output port.
+type queue struct {
+	prio  Priority
+	cap   int
+	cells []cellEntry
+	stats QueueStats
+}
+
+type cellEntry struct {
+	c       cell
+	arrived uint64
+}
+
+// QueueStats aggregates per-queue observations.
+type QueueStats struct {
+	// MaxOccupancy is the largest number of queued cells observed.
+	MaxOccupancy int
+	// Drops counts cells discarded because the queue was full.
+	Drops int
+	// MaxDelay is the largest single-hop queueing delay (slots) of a cell
+	// departing this queue.
+	MaxDelay uint64
+}
+
+// port is one output port of a switch.
+type port struct {
+	id     int
+	queues []*queue // sorted by priority, highest first
+	// downstream attachment; nil means cells are delivered to their sink.
+	peer *inputRef
+}
+
+type inputRef struct {
+	sw     *Switch
+	inPort int
+	// delay is the link propagation delay in slots (beyond the one-slot
+	// transmission time).
+	delay uint64
+}
+
+// route is a VC table entry.
+type route struct {
+	out  int
+	prio Priority
+}
+
+// Switch is an output-queued static-priority FIFO switch.
+type Switch struct {
+	name    string
+	queues  map[Priority]int // capacity per priority
+	ports   map[int]*port
+	vcTable map[int]route
+	arrived []cell // cells delivered to this switch in the current slot
+}
+
+// Name returns the switch name.
+func (sw *Switch) Name() string { return sw.name }
+
+// SetRoute installs a VC table entry: cells of the VC leave via output port
+// out at the given priority.
+func (sw *Switch) SetRoute(vc, out int, prio Priority) error {
+	if _, ok := sw.queues[prio]; !ok {
+		return fmt.Errorf("%w: switch %q has no priority %d", ErrConfig, sw.name, prio)
+	}
+	if _, ok := sw.vcTable[vc]; ok {
+		return fmt.Errorf("%w: switch %q already routes VC %d", ErrConfig, sw.name, vc)
+	}
+	sw.vcTable[vc] = route{out: out, prio: prio}
+	sw.ensurePort(out)
+	return nil
+}
+
+func (sw *Switch) ensurePort(id int) *port {
+	if p, ok := sw.ports[id]; ok {
+		return p
+	}
+	prios := make([]Priority, 0, len(sw.queues))
+	for prio := range sw.queues {
+		prios = append(prios, prio)
+	}
+	sort.Slice(prios, func(i, j int) bool { return prios[i] < prios[j] })
+	p := &port{id: id}
+	for _, prio := range prios {
+		p.queues = append(p.queues, &queue{prio: prio, cap: sw.queues[prio]})
+	}
+	sw.ports[id] = p
+	return p
+}
+
+// SourceMode selects the emission pattern of a source.
+type SourceMode int
+
+// Source emission modes.
+const (
+	// Greedy emits every cell at the earliest conforming instant: the
+	// worst-case pattern of the paper's Figure 1.
+	Greedy SourceMode = iota + 1
+	// Random inserts random idle gaps while staying conforming.
+	Random
+)
+
+// SourceConfig describes a traffic source.
+type SourceConfig struct {
+	// VC is the connection identifier carried by the cells.
+	VC int
+	// Spec is the traffic descriptor the source conforms to.
+	Spec traffic.Spec
+	// Dest and InPort attach the source to a switch input.
+	Dest   *Switch
+	InPort int
+	// Start delays the first emission (slots).
+	Start uint64
+	// Mode defaults to Greedy.
+	Mode SourceMode
+	// Seed drives the Random mode.
+	Seed int64
+	// MaxCells stops the source after that many cells; 0 means unlimited.
+	MaxCells int
+	// JitterWindow, when non-zero, inserts an adversarial jitter stage of
+	// that many slots between the conforming source and the network: every
+	// cell generated during a window [mW, (m+1)W) is held until the window
+	// ends and the batch is released back to back — the worst-case
+	// clumping that Algorithm 3.1 models with CDV = W. The underlying
+	// generation schedule still conforms to Spec.
+	JitterWindow uint64
+	// SelfCheck verifies every generation instant against a GCRA
+	// conformance checker at run time; a violation aborts the simulation.
+	// It guards scenario code against accidentally non-conforming sources,
+	// which would invalidate any bound comparison.
+	SelfCheck bool
+}
+
+type source struct {
+	cfg      SourceConfig
+	pacer    *traffic.Pacer
+	checker  *traffic.Checker
+	rng      *rand.Rand
+	next     uint64  // slot of the next emission
+	genAt    float64 // conforming generation instant of the pending cell
+	lastEmit uint64  // last emission slot (serializes jitter batches)
+	seq      int
+	started  bool
+	done     bool
+}
+
+// VCStats aggregates per-connection observations at the sink.
+type VCStats struct {
+	// Cells is the number of cells delivered.
+	Cells int
+	// MaxDelay is the largest end-to-end queueing delay (slots).
+	MaxDelay uint64
+	// TotalDelay sums queueing delays for mean computation.
+	TotalDelay uint64
+}
+
+// MeanDelay returns the average end-to-end queueing delay in slots.
+func (s VCStats) MeanDelay() float64 {
+	if s.Cells == 0 {
+		return 0
+	}
+	return float64(s.TotalDelay) / float64(s.Cells)
+}
+
+// Stats is the result of a simulation run.
+type Stats struct {
+	// Slots is the number of simulated slots.
+	Slots uint64
+	// PerVC indexes delivery statistics by VC.
+	PerVC map[int]VCStats
+	// Queues indexes queue statistics by "switch:port:priority".
+	Queues map[string]QueueStats
+	// Histograms indexes end-to-end delay distributions by VC; nil unless
+	// EnableHistograms was called before Run.
+	Histograms map[int]*Histogram
+}
+
+// QueueKey builds the Stats.Queues key for a queue.
+func QueueKey(switchName string, outPort int, prio Priority) string {
+	return fmt.Sprintf("%s:%d:%d", switchName, outPort, prio)
+}
+
+// arrivalEvent is a cell in flight on a link with propagation delay.
+type arrivalEvent struct {
+	sw *Switch
+	c  cell
+}
+
+// PathHop is one queueing point of a source-routed VC: at Switch, the cell
+// queues for output port Out at priority Prio.
+type PathHop struct {
+	Switch *Switch
+	Out    int
+	Prio   Priority
+}
+
+// Network is a simulated ATM network. Build it with AddSwitch, Link,
+// SetRoute (or SetPath) and AddSource, then call Run.
+type Network struct {
+	switches   []*Switch
+	byName     map[string]*Switch
+	sources    []*source
+	paths      map[int][]PathHop         // source-routed VCs
+	inFlight   map[uint64][]arrivalEvent // cells on delayed links, by arrival slot
+	stats      Stats
+	tracer     Tracer
+	histograms map[int]*Histogram
+	now        uint64
+}
+
+// New returns an empty simulated network.
+func New() *Network {
+	return &Network{
+		byName:   make(map[string]*Switch),
+		paths:    make(map[int][]PathHop),
+		inFlight: make(map[uint64][]arrivalEvent),
+		stats: Stats{
+			PerVC:  make(map[int]VCStats),
+			Queues: make(map[string]QueueStats),
+		},
+	}
+}
+
+// AddSwitch creates a switch whose output ports each have one FIFO of the
+// given capacity (cells) per priority.
+func (n *Network) AddSwitch(name string, queueCap map[Priority]int) (*Switch, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty switch name", ErrConfig)
+	}
+	if _, ok := n.byName[name]; ok {
+		return nil, fmt.Errorf("%w: duplicate switch %q", ErrConfig, name)
+	}
+	if len(queueCap) == 0 {
+		return nil, fmt.Errorf("%w: switch %q has no queues", ErrConfig, name)
+	}
+	caps := make(map[Priority]int, len(queueCap))
+	for prio, c := range queueCap {
+		if prio < 1 || c < 1 {
+			return nil, fmt.Errorf("%w: switch %q priority %d capacity %d", ErrConfig, name, prio, c)
+		}
+		caps[prio] = c
+	}
+	sw := &Switch{
+		name:    name,
+		queues:  caps,
+		ports:   make(map[int]*port),
+		vcTable: make(map[int]route),
+	}
+	n.switches = append(n.switches, sw)
+	n.byName[name] = sw
+	return sw, nil
+}
+
+// Link attaches output port outPort of from to input port inPort of to
+// with zero propagation delay.
+func (n *Network) Link(from *Switch, outPort int, to *Switch, inPort int) error {
+	return n.LinkDelayed(from, outPort, to, inPort, 0)
+}
+
+// LinkDelayed attaches a link with the given propagation delay in slots
+// (beyond the one-slot transmission time). Propagation delay shifts
+// arrivals but adds no queueing.
+func (n *Network) LinkDelayed(from *Switch, outPort int, to *Switch, inPort int, delay uint64) error {
+	if from == nil || to == nil {
+		return fmt.Errorf("%w: nil switch in link", ErrConfig)
+	}
+	p := from.ensurePort(outPort)
+	if p.peer != nil {
+		return fmt.Errorf("%w: output %s:%d already linked", ErrConfig, from.name, outPort)
+	}
+	p.peer = &inputRef{sw: to, inPort: inPort, delay: delay}
+	return nil
+}
+
+// SetPath installs a source route for a VC: the cell visits each hop in
+// order, which — unlike the per-switch VC table — permits a route that
+// traverses the same switch more than once (a wrapped RTnet ring). Call it
+// before Run; a VC must use either SetPath or SetRoute, not both.
+func (n *Network) SetPath(vc int, hops []PathHop) error {
+	if len(hops) == 0 {
+		return fmt.Errorf("%w: VC %d has an empty path", ErrConfig, vc)
+	}
+	if _, ok := n.paths[vc]; ok {
+		return fmt.Errorf("%w: VC %d already has a path", ErrConfig, vc)
+	}
+	for i, h := range hops {
+		if h.Switch == nil {
+			return fmt.Errorf("%w: VC %d hop %d has no switch", ErrConfig, vc, i)
+		}
+		if _, ok := h.Switch.queues[h.Prio]; !ok {
+			return fmt.Errorf("%w: VC %d hop %d: switch %q has no priority %d",
+				ErrConfig, vc, i, h.Switch.name, h.Prio)
+		}
+		h.Switch.ensurePort(h.Out)
+	}
+	n.paths[vc] = append([]PathHop(nil), hops...)
+	return nil
+}
+
+// AddSource attaches a traffic source.
+func (n *Network) AddSource(cfg SourceConfig) error {
+	if cfg.Dest == nil {
+		return fmt.Errorf("%w: source for VC %d has no destination switch", ErrConfig, cfg.VC)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = Greedy
+	}
+	pacer, err := traffic.NewPacer(cfg.Spec)
+	if err != nil {
+		return fmt.Errorf("sim: source for VC %d: %w", cfg.VC, err)
+	}
+	s := &source{
+		cfg:   cfg,
+		pacer: pacer,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.SelfCheck {
+		checker, err := traffic.NewChecker(cfg.Spec, 1e-9)
+		if err != nil {
+			return fmt.Errorf("sim: source for VC %d: %w", cfg.VC, err)
+		}
+		s.checker = checker
+	}
+	s.schedule(float64(cfg.Start))
+	n.sources = append(n.sources, s)
+	return nil
+}
+
+// schedule computes the slot of the next emission: the first slot at or
+// after the earliest conforming generation instant, postponed to the end
+// of its jitter window when a jitter stage is configured, and serialized
+// behind the previous emission.
+func (s *source) schedule(earliest float64) {
+	if s.cfg.MaxCells > 0 && s.pacer.Sent() >= s.cfg.MaxCells {
+		s.done = true
+		return
+	}
+	if s.cfg.Mode == Random {
+		// Insert an idle gap about a third of the time.
+		if s.rng.Intn(3) == 0 {
+			earliest += s.rng.Float64() * 8
+		}
+	}
+	at := s.pacer.NextAfter(earliest)
+	s.genAt = at
+	// A cell occupies one slot on the access link: emission lands in the
+	// first slot at or after its conforming instant.
+	slot := uint64(at)
+	if float64(slot) < at {
+		slot++
+	}
+	if w := s.cfg.JitterWindow; w > 0 {
+		// Adversarial hold: the whole window's batch emerges back to back
+		// when the window ends.
+		slot = (slot/w + 1) * w
+	}
+	if s.started && slot <= s.lastEmit {
+		slot = s.lastEmit + 1
+	}
+	s.next = slot
+}
+
+// EnableHistograms records per-VC end-to-end delay distributions during
+// Run; call it before Run.
+func (n *Network) EnableHistograms() {
+	if n.histograms == nil {
+		n.histograms = make(map[int]*Histogram)
+	}
+}
+
+// trace emits a lifecycle event if a tracer is installed.
+func (n *Network) trace(kind TraceEventKind, c cell, switchName string, port int) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.Trace(TraceEvent{
+		Slot: n.now, Kind: kind, VC: c.vc, Seq: c.seq,
+		Switch: switchName, Port: port, Delay: c.queueDelay,
+	})
+}
+
+// Run simulates the given number of slots and returns the accumulated
+// statistics. Run may be called once per Network.
+func (n *Network) Run(slots uint64) (Stats, error) {
+	for n.now = 0; n.now < slots; n.now++ {
+		// Phase 0: cells completing a delayed link hop arrive.
+		if events, ok := n.inFlight[n.now]; ok {
+			for _, ev := range events {
+				ev.sw.arrived = append(ev.sw.arrived, ev.c)
+			}
+			delete(n.inFlight, n.now)
+		}
+		// Phase 1: source emissions for this slot.
+		for _, s := range n.sources {
+			for !s.done && s.next == n.now {
+				if s.checker != nil {
+					ok, err := s.checker.Observe(s.genAt)
+					if err != nil {
+						return n.stats, fmt.Errorf("sim: VC %d self-check: %w", s.cfg.VC, err)
+					}
+					if !ok {
+						return n.stats, fmt.Errorf("%w: VC %d generation at t=%g violates its contract",
+							ErrConfig, s.cfg.VC, s.genAt)
+					}
+				}
+				c := cell{vc: s.cfg.VC, seq: s.seq, emitted: n.now}
+				s.seq++
+				s.lastEmit = n.now
+				s.started = true
+				s.cfg.Dest.arrived = append(s.cfg.Dest.arrived, c)
+				n.trace(TraceEmit, c, "", s.cfg.InPort)
+				// Pace from the conforming generation clock, not the
+				// (possibly jitter-postponed) emission slot.
+				s.schedule(s.genAt)
+				if !s.done && s.next == n.now {
+					// The access link serializes cells: at most one per
+					// slot. schedule's lastEmit guard ensures this; keep a
+					// defensive bump against drift.
+					s.next = n.now + 1
+				}
+			}
+		}
+		// Phase 2: enqueue arrivals at their output-port queues.
+		for _, sw := range n.switches {
+			for _, c := range sw.arrived {
+				var out int
+				var prio Priority
+				if hops, ok := n.paths[c.vc]; ok {
+					if c.pathIdx >= len(hops) {
+						return n.stats, fmt.Errorf("%w %d: past the end of its path at %q",
+							ErrRouting, c.vc, sw.name)
+					}
+					h := hops[c.pathIdx]
+					if h.Switch != sw {
+						return n.stats, fmt.Errorf("%w %d: path hop %d expects %q, cell at %q",
+							ErrRouting, c.vc, c.pathIdx, h.Switch.name, sw.name)
+					}
+					out, prio = h.Out, h.Prio
+				} else {
+					r, ok := sw.vcTable[c.vc]
+					if !ok {
+						return n.stats, fmt.Errorf("%w %d at switch %q", ErrRouting, c.vc, sw.name)
+					}
+					out, prio = r.out, r.prio
+				}
+				p := sw.ensurePort(out)
+				q := p.queueFor(prio)
+				// One cell may sit in the output transmitter during this
+				// slot, so the FIFO accepts up to cap+1 transiently; the
+				// resident count after service (recorded below) is what
+				// the cap bounds.
+				if len(q.cells) >= q.cap+1 {
+					q.stats.Drops++
+					n.trace(TraceDrop, c, sw.name, out)
+					continue
+				}
+				q.cells = append(q.cells, cellEntry{c: c, arrived: n.now})
+			}
+			sw.arrived = sw.arrived[:0]
+		}
+		// Phase 3: each output port transmits one cell; it arrives
+		// downstream at the start of the next slot.
+		for _, sw := range n.switches {
+			portIDs := make([]int, 0, len(sw.ports))
+			for id := range sw.ports {
+				portIDs = append(portIDs, id)
+			}
+			sort.Ints(portIDs)
+			for _, id := range portIDs {
+				p := sw.ports[id]
+				if q := p.headQueue(); q != nil {
+					entry := q.cells[0]
+					q.cells = q.cells[1:]
+					delay := n.now - entry.arrived
+					if delay > q.stats.MaxDelay {
+						q.stats.MaxDelay = delay
+					}
+					c := entry.c
+					c.queueDelay += delay
+					c.pathIdx++
+					switch {
+					case p.peer != nil && p.peer.delay > 0:
+						n.trace(TraceForward, c, sw.name, id)
+						n.inFlight[n.now+1+p.peer.delay] = append(
+							n.inFlight[n.now+1+p.peer.delay], arrivalEvent{sw: p.peer.sw, c: c})
+					case p.peer != nil:
+						n.trace(TraceForward, c, sw.name, id)
+						p.peer.sw.arrived = append(p.peer.sw.arrived, c)
+					default:
+						n.trace(TraceDeliver, c, sw.name, id)
+						if n.histograms != nil {
+							h := n.histograms[c.vc]
+							if h == nil {
+								h = NewHistogram()
+								n.histograms[c.vc] = h
+							}
+							h.Observe(c.queueDelay)
+						}
+						vs := n.stats.PerVC[c.vc]
+						vs.Cells++
+						vs.TotalDelay += c.queueDelay
+						if c.queueDelay > vs.MaxDelay {
+							vs.MaxDelay = c.queueDelay
+						}
+						n.stats.PerVC[c.vc] = vs
+					}
+				}
+				// Post-service resident counts are what the FIFO budget
+				// bounds.
+				for _, q := range p.queues {
+					if occ := len(q.cells); occ > q.stats.MaxOccupancy {
+						q.stats.MaxOccupancy = occ
+					}
+				}
+			}
+		}
+	}
+	// Collect queue statistics.
+	for _, sw := range n.switches {
+		for id, p := range sw.ports {
+			for _, q := range p.queues {
+				n.stats.Queues[QueueKey(sw.name, id, q.prio)] = q.stats
+			}
+		}
+	}
+	n.stats.Slots = slots
+	n.stats.Histograms = n.histograms
+	return n.stats, nil
+}
+
+func (p *port) queueFor(prio Priority) *queue {
+	for _, q := range p.queues {
+		if q.prio == prio {
+			return q
+		}
+	}
+	// ensurePort created a queue per configured priority and SetRoute
+	// validated the priority, so this is unreachable.
+	panic(fmt.Sprintf("sim: port %d has no priority %d queue", p.id, prio))
+}
+
+// headQueue returns the highest-priority non-empty queue, or nil.
+func (p *port) headQueue() *queue {
+	for _, q := range p.queues {
+		if len(q.cells) > 0 {
+			return q
+		}
+	}
+	return nil
+}

@@ -1,0 +1,589 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+)
+
+func TestAddSwitchValidation(t *testing.T) {
+	n := New()
+	if _, err := n.AddSwitch("", map[Priority]int{1: 8}); !errors.Is(err, ErrConfig) {
+		t.Errorf("empty name error = %v", err)
+	}
+	if _, err := n.AddSwitch("a", nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("no queues error = %v", err)
+	}
+	if _, err := n.AddSwitch("a", map[Priority]int{0: 8}); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad priority error = %v", err)
+	}
+	if _, err := n.AddSwitch("a", map[Priority]int{1: 0}); !errors.Is(err, ErrConfig) {
+		t.Errorf("zero capacity error = %v", err)
+	}
+	if _, err := n.AddSwitch("a", map[Priority]int{1: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSwitch("a", map[Priority]int{1: 8}); !errors.Is(err, ErrConfig) {
+		t.Errorf("duplicate name error = %v", err)
+	}
+}
+
+func TestSetRouteValidation(t *testing.T) {
+	n := New()
+	sw, err := n.AddSwitch("a", map[Priority]int{1: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.SetRoute(7, 0, 2); !errors.Is(err, ErrConfig) {
+		t.Errorf("unknown priority error = %v", err)
+	}
+	if err := sw.SetRoute(7, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.SetRoute(7, 1, 1); !errors.Is(err, ErrConfig) {
+		t.Errorf("duplicate VC error = %v", err)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	n := New()
+	a, _ := n.AddSwitch("a", map[Priority]int{1: 8})
+	b, _ := n.AddSwitch("b", map[Priority]int{1: 8})
+	if err := n.Link(nil, 0, b, 0); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil switch error = %v", err)
+	}
+	if err := n.Link(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Link(a, 0, b, 1); !errors.Is(err, ErrConfig) {
+		t.Errorf("double link error = %v", err)
+	}
+}
+
+func TestAddSourceValidation(t *testing.T) {
+	n := New()
+	if err := n.AddSource(SourceConfig{VC: 1, Spec: traffic.CBR(0.5)}); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil dest error = %v", err)
+	}
+	sw, _ := n.AddSwitch("a", map[Priority]int{1: 8})
+	if err := n.AddSource(SourceConfig{VC: 1, Spec: traffic.VBR(0, 0, 0), Dest: sw}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestRunUnroutedVC(t *testing.T) {
+	n := New()
+	sw, _ := n.AddSwitch("a", map[Priority]int{1: 8})
+	if err := n.AddSource(SourceConfig{VC: 1, Spec: traffic.CBR(0.5), Dest: sw}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(10); !errors.Is(err, ErrRouting) {
+		t.Fatalf("Run error = %v, want ErrRouting", err)
+	}
+}
+
+// oneSwitch builds a switch with k greedy CBR sources on one output port
+// delivering straight to sinks.
+func oneSwitch(t *testing.T, k int, pcr float64, queueCap int, mode SourceMode) *Network {
+	t.Helper()
+	n := New()
+	sw, err := n.AddSwitch("sw", map[Priority]int{1: queueCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vc := 0; vc < k; vc++ {
+		if err := sw.SetRoute(vc, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddSource(SourceConfig{
+			VC: vc, Spec: traffic.CBR(pcr), Dest: sw, InPort: vc, Mode: mode, Seed: int64(vc),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestSingleSourceNoQueueing(t *testing.T) {
+	n := oneSwitch(t, 1, 0.25, 64, Greedy)
+	stats, err := n.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := stats.PerVC[0]
+	if vs.Cells == 0 {
+		t.Fatal("no cells delivered")
+	}
+	if vs.MaxDelay != 0 {
+		t.Errorf("single conforming source max delay = %d, want 0", vs.MaxDelay)
+	}
+	// Throughput approximates PCR.
+	want := 0.25 * 1000
+	if float64(vs.Cells) < want-2 || float64(vs.Cells) > want+2 {
+		t.Errorf("delivered %d cells, want about %g", vs.Cells, want)
+	}
+}
+
+// TestSimultaneousBurstDelay: k sources emitting their first cell in slot 0
+// share one output port; the last cell of the batch waits k-1 slots, exactly
+// the analytic bound for distinct-link CBR multiplexing.
+func TestSimultaneousBurstDelay(t *testing.T) {
+	const k = 8
+	n := oneSwitch(t, k, 0.05, 64, Greedy)
+	stats, err := n.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := uint64(0)
+	for vc := 0; vc < k; vc++ {
+		if d := stats.PerVC[vc].MaxDelay; d > worst {
+			worst = d
+		}
+	}
+	if worst != k-1 {
+		t.Errorf("worst measured delay = %d, want %d", worst, k-1)
+	}
+	q := stats.Queues[QueueKey("sw", 0, 1)]
+	if q.MaxOccupancy != k-1 {
+		t.Errorf("max occupancy = %d, want %d (one cell in the transmitter)", q.MaxOccupancy, k-1)
+	}
+	if q.Drops != 0 {
+		t.Errorf("drops = %d, want 0", q.Drops)
+	}
+}
+
+// TestMeasuredDelayWithinAnalyticBound drives the same scenario through the
+// CAC engine and the simulator: for every conforming schedule the measured
+// delay must stay within the computed bound.
+func TestMeasuredDelayWithinAnalyticBound(t *testing.T) {
+	const k = 12
+	spec := traffic.VBR(0.5, 0.02, 6)
+	// Analytic bound: k connections on distinct input links, one port.
+	cac, err := core.NewSwitch(core.SwitchConfig{Name: "sw", QueueCells: map[core.Priority]float64{1: 1e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if _, err := cac.Admit(core.HopRequest{
+			Conn: core.ConnID(fmt.Sprintf("c%d", i)), Spec: spec,
+			In: core.PortID(i), Out: 0, Priority: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bound, err := cac.ComputedBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backlog, err := cac.MaxBacklog(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []SourceMode{Greedy, Random} {
+		n := New()
+		sw, err := n.AddSwitch("sw", map[Priority]int{1: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vc := 0; vc < k; vc++ {
+			if err := sw.SetRoute(vc, 0, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.AddSource(SourceConfig{
+				VC: vc, Spec: spec, Dest: sw, InPort: vc, Mode: mode, Seed: int64(vc * 31),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := n.Run(20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vc := 0; vc < k; vc++ {
+			if d := float64(stats.PerVC[vc].MaxDelay); d > bound+1e-9 {
+				t.Errorf("mode %d: VC %d measured delay %g exceeds analytic bound %g", mode, vc, d, bound)
+			}
+		}
+		q := stats.Queues[QueueKey("sw", 0, 1)]
+		if float64(q.MaxOccupancy) > backlog+1+1e-9 {
+			t.Errorf("mode %d: occupancy %d exceeds analytic backlog %g (+1 in-service cell)",
+				mode, q.MaxOccupancy, backlog)
+		}
+	}
+}
+
+// TestGreedyBurstApproachesBound: with every source greedy from slot 0, the
+// measured worst delay should come close to the analytic worst case (the
+// envelope's adversarial pattern), demonstrating the bound is not wildly
+// loose for CBR multiplexing.
+func TestGreedyBurstApproachesBound(t *testing.T) {
+	const k = 16
+	n := oneSwitch(t, k, 0.02, 64, Greedy)
+	stats, err := n.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := uint64(0)
+	for vc := 0; vc < k; vc++ {
+		if d := stats.PerVC[vc].MaxDelay; d > worst {
+			worst = d
+		}
+	}
+	// Analytic bound for k simultaneous unit-rate cells is k-1.
+	if worst < k-1-1 {
+		t.Errorf("greedy worst delay %d far below analytic bound %d", worst, k-1)
+	}
+}
+
+// TestPriorityService: high-priority cells preempt service of low-priority
+// queues; the low-priority connection sees strictly larger delays.
+func TestPriorityService(t *testing.T) {
+	n := New()
+	sw, err := n.AddSwitch("sw", map[Priority]int{1: 64, 2: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two heavy high-priority bursts plus one low-priority connection.
+	for vc := 0; vc < 2; vc++ {
+		if err := sw.SetRoute(vc, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddSource(SourceConfig{
+			VC: vc, Spec: traffic.VBR(0.5, 0.05, 16), Dest: sw, InPort: vc,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.SetRoute(9, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(SourceConfig{
+		VC: 9, Spec: traffic.VBR(0.5, 0.05, 16), Dest: sw, InPort: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := n.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := stats.PerVC[9].MaxDelay
+	high := stats.PerVC[0].MaxDelay
+	if h := stats.PerVC[1].MaxDelay; h > high {
+		high = h
+	}
+	if low <= high {
+		t.Errorf("low-priority max delay %d not above high-priority %d", low, high)
+	}
+}
+
+// TestQueueDropsWhenFull: a 4-cell queue fed by 8 simultaneous bursts must
+// drop cells, and delivered cells never saw more than capacity-1 queueing.
+func TestQueueDropsWhenFull(t *testing.T) {
+	n := oneSwitch(t, 8, 0.02, 4, Greedy)
+	stats, err := n.Run(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := stats.Queues[QueueKey("sw", 0, 1)]
+	if q.Drops == 0 {
+		t.Error("no drops despite overload burst")
+	}
+	if q.MaxOccupancy > 4 {
+		t.Errorf("occupancy %d exceeds capacity 4", q.MaxOccupancy)
+	}
+	for vc := 0; vc < 8; vc++ {
+		if d := stats.PerVC[vc].MaxDelay; d > 4 {
+			t.Errorf("VC %d delay %d exceeds what a 4-cell queue can impose", vc, d)
+		}
+	}
+}
+
+// TestTandemAccumulatesDelay: two switches in tandem; the competing cross
+// traffic at each hop makes total delay exceed any single hop's.
+func TestTandemAccumulatesDelay(t *testing.T) {
+	n := New()
+	a, err := n.AddSwitch("a", map[Priority]int{1: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddSwitch("b", map[Priority]int{1: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Link(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	// VC 1 traverses a then b; cross traffic VC 2 shares a's port 0 link
+	// and exits at b via port 1; VC 3 enters at b directly.
+	if err := a.SetRoute(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRoute(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetRoute(2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRoute(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRoute(3, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Bursty cross traffic is registered first so its cells enqueue ahead
+	// of the probe VC within a slot.
+	for _, s := range []SourceConfig{
+		{VC: 2, Spec: traffic.VBR(1, 0.1, 10), Dest: a, InPort: 2},
+		{VC: 3, Spec: traffic.VBR(1, 0.1, 10), Dest: b, InPort: 2},
+		{VC: 1, Spec: traffic.CBR(0.2), Dest: a, InPort: 1},
+	} {
+		if err := n.AddSource(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := n.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PerVC[1].Cells == 0 {
+		t.Fatal("tandem VC delivered nothing")
+	}
+	if stats.PerVC[1].MaxDelay < 1 {
+		t.Errorf("tandem VC max delay = %d, want >= 1 (queued at both hops)", stats.PerVC[1].MaxDelay)
+	}
+	// Per-hop max delays exist at both switches.
+	if stats.Queues[QueueKey("a", 0, 1)].MaxDelay == 0 && stats.Queues[QueueKey("b", 0, 1)].MaxDelay == 0 {
+		t.Error("no queueing observed at either hop")
+	}
+}
+
+func TestSourceMaxCells(t *testing.T) {
+	n := New()
+	sw, _ := n.AddSwitch("sw", map[Priority]int{1: 8})
+	if err := sw.SetRoute(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(SourceConfig{
+		VC: 1, Spec: traffic.CBR(0.5), Dest: sw, MaxCells: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := n.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.PerVC[1].Cells; got != 7 {
+		t.Errorf("delivered %d cells, want 7", got)
+	}
+}
+
+func TestSourceStartOffset(t *testing.T) {
+	n := New()
+	sw, _ := n.AddSwitch("sw", map[Priority]int{1: 8})
+	if err := sw.SetRoute(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(SourceConfig{
+		VC: 1, Spec: traffic.CBR(1), Dest: sw, Start: 500, MaxCells: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := n.Run(505)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.PerVC[1].Cells; got != 5 {
+		t.Errorf("delivered %d cells by slot 505 with start 500, want 5", got)
+	}
+}
+
+func TestVCStatsMeanDelay(t *testing.T) {
+	s := VCStats{Cells: 4, TotalDelay: 10}
+	if got := s.MeanDelay(); got != 2.5 {
+		t.Errorf("MeanDelay = %g, want 2.5", got)
+	}
+	if got := (VCStats{}).MeanDelay(); got != 0 {
+		t.Errorf("empty MeanDelay = %g, want 0", got)
+	}
+}
+
+// TestSelfCheckPassesForConformingSources: every built-in source mode
+// (greedy, random, jittered) generates within its contract.
+func TestSelfCheckPassesForConformingSources(t *testing.T) {
+	n := New()
+	sw, err := n.AddSwitch("sw", map[Priority]int{1: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []SourceConfig{
+		{VC: 0, Spec: traffic.VBR(0.5, 0.05, 8), Mode: Greedy},
+		{VC: 1, Spec: traffic.VBR(0.5, 0.05, 8), Mode: Random, Seed: 3},
+		{VC: 2, Spec: traffic.CBR(0.2), Mode: Greedy, JitterWindow: 16},
+	}
+	for _, cfg := range cfgs {
+		cfg.Dest = sw
+		cfg.SelfCheck = true
+		if err := sw.SetRoute(cfg.VC, 100+cfg.VC, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddSource(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := n.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vc := 0; vc < 3; vc++ {
+		if stats.PerVC[vc].Cells == 0 {
+			t.Errorf("VC %d delivered nothing", vc)
+		}
+	}
+}
+
+func TestSelfCheckInvalidSpec(t *testing.T) {
+	n := New()
+	sw, _ := n.AddSwitch("sw", map[Priority]int{1: 8})
+	if err := n.AddSource(SourceConfig{
+		VC: 1, Spec: traffic.VBR(0, 0, 0), Dest: sw, SelfCheck: true,
+	}); err == nil {
+		t.Fatal("invalid spec accepted with self-check")
+	}
+}
+
+// TestFilteringEffectPhysically reproduces the paper's filtering effect in
+// the cell domain: the same connections reaching a bottleneck through one
+// shared upstream link arrive pre-serialized (rate <= 1), so the bottleneck
+// itself sees far less queueing than when they arrive on distinct links and
+// burst simultaneously. This is the physical counterpart of the analytic
+// TestFilteringEffectOfSharedLink in internal/core.
+func TestFilteringEffectPhysically(t *testing.T) {
+	const k = 10
+	run := func(shared bool) uint64 {
+		n := New()
+		bottleneck, err := n.AddSwitch("bottleneck", map[Priority]int{1: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dest := bottleneck
+		if shared {
+			mux, err := n.AddSwitch("mux", map[Priority]int{1: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Link(mux, 0, bottleneck, 0); err != nil {
+				t.Fatal(err)
+			}
+			for vc := 0; vc < k; vc++ {
+				if err := mux.SetRoute(vc, 0, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			dest = mux
+		}
+		for vc := 0; vc < k; vc++ {
+			if err := bottleneck.SetRoute(vc, 100, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.AddSource(SourceConfig{
+				VC: vc, Spec: traffic.CBR(0.05), Dest: dest, InPort: vc,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := n.Run(5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := stats.Queues[QueueKey("bottleneck", 100, 1)]
+		return q.MaxDelay
+	}
+	distinct, sharedLink := run(false), run(true)
+	if sharedLink != 0 {
+		t.Errorf("pre-filtered arrivals queued %d slots at the bottleneck, want 0", sharedLink)
+	}
+	if distinct < k-2 {
+		t.Errorf("distinct-link arrivals queued only %d slots, want about %d", distinct, k-1)
+	}
+}
+
+func TestSetPathValidation(t *testing.T) {
+	n := New()
+	sw, err := n.AddSwitch("a", map[Priority]int{1: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetPath(1, nil); !errors.Is(err, ErrConfig) {
+		t.Errorf("empty path error = %v", err)
+	}
+	if err := n.SetPath(1, []PathHop{{Switch: nil, Out: 0, Prio: 1}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil switch error = %v", err)
+	}
+	if err := n.SetPath(1, []PathHop{{Switch: sw, Out: 0, Prio: 9}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("unknown priority error = %v", err)
+	}
+	if err := n.SetPath(1, []PathHop{{Switch: sw, Out: 0, Prio: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetPath(1, []PathHop{{Switch: sw, Out: 0, Prio: 1}}); !errors.Is(err, ErrConfig) {
+		t.Errorf("duplicate path error = %v", err)
+	}
+}
+
+func TestSetPathMismatchedSwitch(t *testing.T) {
+	n := New()
+	a, _ := n.AddSwitch("a", map[Priority]int{1: 8})
+	b, _ := n.AddSwitch("b", map[Priority]int{1: 8})
+	// The path claims the cell starts at b, but the source feeds a.
+	if err := n.SetPath(1, []PathHop{{Switch: b, Out: 0, Prio: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(SourceConfig{VC: 1, Spec: traffic.CBR(0.5), Dest: a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(10); !errors.Is(err, ErrRouting) {
+		t.Fatalf("Run error = %v, want ErrRouting", err)
+	}
+}
+
+// TestSetPathRevisitsSwitch: a source-routed VC legitimately visits the same
+// switch twice via different ports — the wrapped-ring pattern.
+func TestSetPathRevisitsSwitch(t *testing.T) {
+	n := New()
+	a, err := n.AddSwitch("a", map[Priority]int{1: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddSwitch("b", map[Priority]int{1: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Link(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Link(b, 0, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	// a -> b -> a -> sink.
+	if err := n.SetPath(1, []PathHop{
+		{Switch: a, Out: 0, Prio: 1},
+		{Switch: b, Out: 0, Prio: 1},
+		{Switch: a, Out: 100, Prio: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(SourceConfig{VC: 1, Spec: traffic.CBR(0.25), Dest: a, MaxCells: 10}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := n.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.PerVC[1].Cells; got != 10 {
+		t.Fatalf("delivered %d cells over the revisiting path, want 10", got)
+	}
+}

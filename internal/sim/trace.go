@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Histogram is a compact distribution of end-to-end queueing delays,
+// counting cells per exact delay value (delays are small integers in a
+// correctly admitted network, so exact counting is cheap).
+type Histogram struct {
+	counts map[uint64]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[uint64]int)}
+}
+
+// Observe records one delay sample.
+func (h *Histogram) Observe(delay uint64) {
+	h.counts[delay]++
+	h.total++
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int { return h.total }
+
+// Merge adds every sample of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for d, c := range other.counts {
+		h.counts[d] += c
+		h.total += c
+	}
+}
+
+// Quantile returns the smallest delay d such that at least q (0 < q <= 1)
+// of the samples are <= d. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	keys := make([]uint64, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	need := int(q * float64(h.total))
+	if need < 1 {
+		need = 1
+	}
+	seen := 0
+	for _, k := range keys {
+		seen += h.counts[k]
+		if seen >= need {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// WriteTSV renders "delay<TAB>count" rows in ascending delay order.
+func (h *Histogram) WriteTSV(w io.Writer) error {
+	keys := make([]uint64, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%d\t%d\n", k, h.counts[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TraceEventKind enumerates cell lifecycle events.
+type TraceEventKind int
+
+// Trace event kinds.
+const (
+	// TraceEmit is a source emitting a cell into the network.
+	TraceEmit TraceEventKind = iota + 1
+	// TraceDrop is a cell discarded at a full queue.
+	TraceDrop
+	// TraceForward is a cell transmitted toward a downstream switch.
+	TraceForward
+	// TraceDeliver is a cell reaching its sink.
+	TraceDeliver
+)
+
+// String implements fmt.Stringer.
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceEmit:
+		return "emit"
+	case TraceDrop:
+		return "drop"
+	case TraceForward:
+		return "forward"
+	case TraceDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("TraceEventKind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one cell lifecycle event.
+type TraceEvent struct {
+	Slot   uint64
+	Kind   TraceEventKind
+	VC     int
+	Seq    int
+	Switch string // empty for emissions
+	Port   int    // output port for forward/deliver/drop
+	// Delay is the cumulative queueing delay at this point (slots).
+	Delay uint64
+}
+
+// Tracer receives cell lifecycle events. Implementations must be fast;
+// they run inline with the simulation.
+type Tracer interface {
+	Trace(TraceEvent)
+}
+
+// CSVTracer writes events as comma-separated rows with a header.
+type CSVTracer struct {
+	w      io.Writer
+	err    error
+	wrote  bool
+	Events int
+}
+
+// NewCSVTracer returns a tracer writing to w.
+func NewCSVTracer(w io.Writer) *CSVTracer {
+	return &CSVTracer{w: w}
+}
+
+// Trace implements Tracer.
+func (t *CSVTracer) Trace(ev TraceEvent) {
+	if t.err != nil {
+		return
+	}
+	if !t.wrote {
+		if _, err := fmt.Fprintln(t.w, "slot,event,vc,seq,switch,port,delay"); err != nil {
+			t.err = err
+			return
+		}
+		t.wrote = true
+	}
+	_, t.err = fmt.Fprintf(t.w, "%d,%s,%d,%d,%s,%d,%d\n",
+		ev.Slot, ev.Kind, ev.VC, ev.Seq, ev.Switch, ev.Port, ev.Delay)
+	t.Events++
+}
+
+// Err returns the first write error, if any.
+func (t *CSVTracer) Err() error { return t.err }
+
+// SetTracer installs a tracer; pass nil to disable. It must be called
+// before Run.
+func (n *Network) SetTracer(tr Tracer) { n.tracer = tr }

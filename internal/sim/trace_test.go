@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"atmcac/internal/traffic"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d", got)
+	}
+	for _, d := range []uint64{0, 0, 0, 1, 1, 2, 5, 10, 10, 100} {
+		h.Observe(d)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	tests := []struct {
+		q    float64
+		want uint64
+	}{
+		{0.1, 0}, {0.3, 0}, {0.5, 1}, {0.6, 2}, {0.9, 10}, {1.0, 100},
+		{-1, 0}, {2, 100}, // clamped
+	}
+	for _, tt := range tests {
+		if got := h.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%g) = %d, want %d", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestHistogramWriteTSV(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []uint64{3, 1, 3} {
+		h.Observe(d)
+	}
+	var sb strings.Builder
+	if err := h.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "1\t1\n3\t2\n" {
+		t.Fatalf("WriteTSV = %q", got)
+	}
+}
+
+func TestTraceEventKindString(t *testing.T) {
+	for kind, want := range map[TraceEventKind]string{
+		TraceEmit: "emit", TraceDrop: "drop", TraceForward: "forward",
+		TraceDeliver: "deliver", TraceEventKind(9): "TraceEventKind(9)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// buildTandemWithTrace runs a 2-hop scenario with tracing and histograms.
+func buildTandemWithTrace(t *testing.T, tracer Tracer, queueCap int) Stats {
+	t.Helper()
+	n := New()
+	a, err := n.AddSwitch("a", map[Priority]int{1: queueCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddSwitch("b", map[Priority]int{1: queueCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Link(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	for vc := 0; vc < 4; vc++ {
+		if err := a.SetRoute(vc, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SetRoute(vc, 10+vc, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddSource(SourceConfig{
+			VC: vc, Spec: traffic.CBR(0.1), Dest: a, InPort: vc, MaxCells: 20,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.SetTracer(tracer)
+	n.EnableHistograms()
+	stats, err := n.Run(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestCSVTracerRecordsLifecycle(t *testing.T) {
+	var sb strings.Builder
+	tracer := NewCSVTracer(&sb)
+	stats := buildTandemWithTrace(t, tracer, 64)
+	if err := tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "slot,event,vc,seq,switch,port,delay\n") {
+		t.Fatalf("missing header: %q", out[:40])
+	}
+	for _, kind := range []string{",emit,", ",forward,", ",deliver,"} {
+		if !strings.Contains(out, kind) {
+			t.Errorf("trace lacks %q events", kind)
+		}
+	}
+	// 4 VCs x 20 cells, each with emit + forward + deliver = 240 events.
+	if tracer.Events != 240 {
+		t.Errorf("Events = %d, want 240", tracer.Events)
+	}
+	_ = stats
+}
+
+func TestHistogramsMatchVCStats(t *testing.T) {
+	stats := buildTandemWithTrace(t, nil, 64)
+	if stats.Histograms == nil {
+		t.Fatal("histograms not collected")
+	}
+	for vc, vs := range stats.PerVC {
+		h := stats.Histograms[vc]
+		if h == nil {
+			t.Fatalf("VC %d has no histogram", vc)
+		}
+		if h.Total() != vs.Cells {
+			t.Errorf("VC %d histogram total %d != cells %d", vc, h.Total(), vs.Cells)
+		}
+		if got := h.Quantile(1.0); got != vs.MaxDelay {
+			t.Errorf("VC %d max quantile %d != MaxDelay %d", vc, got, vs.MaxDelay)
+		}
+	}
+}
+
+func TestTraceRecordsDrops(t *testing.T) {
+	var sb strings.Builder
+	tracer := NewCSVTracer(&sb)
+	n := New()
+	sw, err := n.AddSwitch("sw", map[Priority]int{1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vc := 0; vc < 6; vc++ {
+		if err := sw.SetRoute(vc, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddSource(SourceConfig{
+			VC: vc, Spec: traffic.CBR(0.02), Dest: sw, InPort: vc, MaxCells: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.SetTracer(tracer)
+	if _, err := n.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ",drop,") {
+		t.Error("no drop events traced despite a 1-cell queue under burst")
+	}
+}

@@ -1,0 +1,266 @@
+// Package topology models a network as a directed multigraph of nodes and
+// port-addressed links. It provides validation (port uniqueness, endpoint
+// existence), breadth-first shortest paths, and port-level traversals from
+// which CAC routes are derived.
+//
+// The package is deliberately independent of the CAC engine: it describes
+// where cells can flow, not what guarantees they get.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node.
+type NodeID string
+
+// Kind classifies a node.
+type Kind int
+
+// Node kinds. Switches queue and forward cells; hosts originate and
+// terminate connections.
+const (
+	KindSwitch Kind = iota + 1
+	KindHost
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSwitch:
+		return "switch"
+	case KindHost:
+		return "host"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Node is a network element.
+type Node struct {
+	ID   NodeID `json:"id"`
+	Kind Kind   `json:"kind"`
+}
+
+// Link is a directed transmission link from one node's output port to
+// another node's input port. Bandwidth is normalized: every link carries one
+// cell per cell time, per the paper's model.
+type Link struct {
+	From     NodeID `json:"from"`
+	FromPort int    `json:"fromPort"`
+	To       NodeID `json:"to"`
+	ToPort   int    `json:"toPort"`
+}
+
+func (l Link) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d", l.From, l.FromPort, l.To, l.ToPort)
+}
+
+var (
+	// ErrNode reports an unknown or duplicate node.
+	ErrNode = errors.New("topology: node error")
+	// ErrLink reports an invalid or conflicting link.
+	ErrLink = errors.New("topology: link error")
+	// ErrNoPath reports that no path exists between two nodes.
+	ErrNoPath = errors.New("topology: no path")
+)
+
+// Graph is a directed multigraph. The zero value is not usable; call New.
+type Graph struct {
+	nodes    map[NodeID]Node
+	links    []Link
+	outgoing map[NodeID][]int // link indices by source node
+	outPorts map[NodeID]map[int]bool
+	inPorts  map[NodeID]map[int]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:    make(map[NodeID]Node),
+		outgoing: make(map[NodeID][]int),
+		outPorts: make(map[NodeID]map[int]bool),
+		inPorts:  make(map[NodeID]map[int]bool),
+	}
+}
+
+// AddNode registers a node.
+func (g *Graph) AddNode(id NodeID, kind Kind) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty node ID", ErrNode)
+	}
+	if kind != KindSwitch && kind != KindHost {
+		return fmt.Errorf("%w: node %q has invalid kind %d", ErrNode, id, kind)
+	}
+	if _, ok := g.nodes[id]; ok {
+		return fmt.Errorf("%w: duplicate node %q", ErrNode, id)
+	}
+	g.nodes[id] = Node{ID: id, Kind: kind}
+	g.outPorts[id] = make(map[int]bool)
+	g.inPorts[id] = make(map[int]bool)
+	return nil
+}
+
+// AddLink registers a directed link. Each (node, output port) and
+// (node, input port) pair may be used by at most one link.
+func (g *Graph) AddLink(l Link) error {
+	if _, ok := g.nodes[l.From]; !ok {
+		return fmt.Errorf("%w: link %v: unknown source %q", ErrLink, l, l.From)
+	}
+	if _, ok := g.nodes[l.To]; !ok {
+		return fmt.Errorf("%w: link %v: unknown destination %q", ErrLink, l, l.To)
+	}
+	if l.From == l.To {
+		return fmt.Errorf("%w: link %v is a self-loop", ErrLink, l)
+	}
+	if l.FromPort < 0 || l.ToPort < 0 {
+		return fmt.Errorf("%w: link %v has a negative port", ErrLink, l)
+	}
+	if g.outPorts[l.From][l.FromPort] {
+		return fmt.Errorf("%w: output port %s:%d already in use", ErrLink, l.From, l.FromPort)
+	}
+	if g.inPorts[l.To][l.ToPort] {
+		return fmt.Errorf("%w: input port %s:%d already in use", ErrLink, l.To, l.ToPort)
+	}
+	g.outPorts[l.From][l.FromPort] = true
+	g.inPorts[l.To][l.ToPort] = true
+	g.outgoing[l.From] = append(g.outgoing[l.From], len(g.links))
+	g.links = append(g.links, l)
+	return nil
+}
+
+// Node returns a node by ID.
+func (g *Graph) Node(id NodeID) (Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all nodes sorted by ID.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Links returns a copy of all links in insertion order.
+func (g *Graph) Links() []Link {
+	out := make([]Link, len(g.links))
+	copy(out, g.links)
+	return out
+}
+
+// OutLinks returns the links leaving a node in insertion order.
+func (g *Graph) OutLinks(id NodeID) []Link {
+	idxs := g.outgoing[id]
+	out := make([]Link, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, g.links[i])
+	}
+	return out
+}
+
+// Traversal is the port-level crossing of one node on a path: the node was
+// entered via InPort and left via OutPort. For the first node of a path
+// InPort is -1 (the traffic originates there); for the last, OutPort is -1.
+type Traversal struct {
+	Node    NodeID
+	InPort  int
+	OutPort int
+}
+
+// Path returns the port-level traversals of a minimum-hop path from src to
+// dst, found by breadth-first search over links. The result includes both
+// endpoints. It returns ErrNoPath if dst is unreachable.
+func (g *Graph) Path(src, dst NodeID) ([]Traversal, error) {
+	if _, ok := g.nodes[src]; !ok {
+		return nil, fmt.Errorf("%w: unknown source %q", ErrNode, src)
+	}
+	if _, ok := g.nodes[dst]; !ok {
+		return nil, fmt.Errorf("%w: unknown destination %q", ErrNode, dst)
+	}
+	if src == dst {
+		return []Traversal{{Node: src, InPort: -1, OutPort: -1}}, nil
+	}
+	// BFS over nodes, remembering the link used to reach each node.
+	prev := make(map[NodeID]int) // node -> link index used to enter it
+	visited := map[NodeID]bool{src: true}
+	queue := []NodeID{src}
+	found := false
+	for len(queue) > 0 && !found {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, li := range g.outgoing[cur] {
+			l := g.links[li]
+			if visited[l.To] {
+				continue
+			}
+			visited[l.To] = true
+			prev[l.To] = li
+			if l.To == dst {
+				found = true
+				break
+			}
+			queue = append(queue, l.To)
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %q -> %q", ErrNoPath, src, dst)
+	}
+	// Reconstruct the link chain dst <- ... <- src.
+	var chain []Link
+	for at := dst; at != src; {
+		l := g.links[prev[at]]
+		chain = append(chain, l)
+		at = l.From
+	}
+	// Reverse into src -> dst order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return traversalsFromChain(chain), nil
+}
+
+// traversalsFromChain converts a contiguous link chain into per-node
+// traversals.
+func traversalsFromChain(chain []Link) []Traversal {
+	out := make([]Traversal, 0, len(chain)+1)
+	out = append(out, Traversal{Node: chain[0].From, InPort: -1, OutPort: chain[0].FromPort})
+	for i := 0; i < len(chain); i++ {
+		in := chain[i].ToPort
+		outPort := -1
+		if i+1 < len(chain) {
+			outPort = chain[i+1].FromPort
+		}
+		out = append(out, Traversal{Node: chain[i].To, InPort: in, OutPort: outPort})
+	}
+	return out
+}
+
+// Ring builds a unidirectional ring of n switches named by name(i), with the
+// link from node i leaving output port outPort and entering node (i+1) mod n
+// at input port inPort. It is the backbone shape of RTnet.
+func Ring(g *Graph, n int, name func(int) NodeID, outPort, inPort int) error {
+	if n < 2 {
+		return fmt.Errorf("%w: ring needs at least 2 nodes, got %d", ErrNode, n)
+	}
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(name(i), KindSwitch); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		err := g.AddLink(Link{
+			From: name(i), FromPort: outPort,
+			To: name((i + 1) % n), ToPort: inPort,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

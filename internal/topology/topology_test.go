@@ -1,0 +1,246 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestAddNode(t *testing.T) {
+	g := New()
+	if err := g.AddNode("a", KindSwitch); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("a", KindHost); !errors.Is(err, ErrNode) {
+		t.Errorf("duplicate AddNode error = %v, want ErrNode", err)
+	}
+	if err := g.AddNode("", KindSwitch); !errors.Is(err, ErrNode) {
+		t.Errorf("empty ID error = %v, want ErrNode", err)
+	}
+	if err := g.AddNode("b", Kind(0)); !errors.Is(err, ErrNode) {
+		t.Errorf("invalid kind error = %v, want ErrNode", err)
+	}
+	n, ok := g.Node("a")
+	if !ok || n.Kind != KindSwitch {
+		t.Errorf("Node(a) = %+v, %v", n, ok)
+	}
+	if _, ok := g.Node("zz"); ok {
+		t.Error("Node(zz) found")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSwitch.String() != "switch" || KindHost.String() != "host" {
+		t.Error("Kind.String wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := New()
+	for _, id := range []NodeID{"a", "b", "c"} {
+		if err := g.AddNode(id, KindSwitch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok := Link{From: "a", FromPort: 0, To: "b", ToPort: 0}
+	if err := g.AddLink(ok); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		l    Link
+	}{
+		{"unknown source", Link{From: "zz", FromPort: 0, To: "b", ToPort: 1}},
+		{"unknown dest", Link{From: "a", FromPort: 1, To: "zz", ToPort: 0}},
+		{"self loop", Link{From: "a", FromPort: 1, To: "a", ToPort: 1}},
+		{"negative port", Link{From: "a", FromPort: -1, To: "c", ToPort: 0}},
+		{"output port reuse", Link{From: "a", FromPort: 0, To: "c", ToPort: 0}},
+		{"input port reuse", Link{From: "c", FromPort: 0, To: "b", ToPort: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddLink(tt.l); !errors.Is(err, ErrLink) {
+				t.Errorf("AddLink(%v) error = %v, want ErrLink", tt.l, err)
+			}
+		})
+	}
+}
+
+func TestLinksAndOutLinks(t *testing.T) {
+	g := New()
+	for _, id := range []NodeID{"a", "b", "c"} {
+		if err := g.AddNode(id, KindSwitch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l1 := Link{From: "a", FromPort: 0, To: "b", ToPort: 0}
+	l2 := Link{From: "a", FromPort: 1, To: "c", ToPort: 0}
+	for _, l := range []Link{l1, l2} {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.Links(); len(got) != 2 {
+		t.Fatalf("Links = %v", got)
+	}
+	out := g.OutLinks("a")
+	if len(out) != 2 || out[0] != l1 || out[1] != l2 {
+		t.Fatalf("OutLinks(a) = %v", out)
+	}
+	if got := g.OutLinks("b"); len(got) != 0 {
+		t.Fatalf("OutLinks(b) = %v", got)
+	}
+	// Mutating the returned slice must not affect the graph.
+	links := g.Links()
+	links[0].From = "zz"
+	if g.Links()[0].From != "a" {
+		t.Error("Links() exposes internal state")
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	g := New()
+	for _, id := range []NodeID{"c", "a", "b"} {
+		if err := g.AddNode(id, KindHost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 3 || nodes[0].ID != "a" || nodes[2].ID != "c" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestPathLinear(t *testing.T) {
+	g := New()
+	for _, id := range []NodeID{"a", "b", "c"} {
+		if err := g.AddNode(id, KindSwitch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddLink(Link{From: "a", FromPort: 5, To: "b", ToPort: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(Link{From: "b", FromPort: 7, To: "c", ToPort: 8}); err != nil {
+		t.Fatal(err)
+	}
+	path, err := g.Path("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Traversal{
+		{Node: "a", InPort: -1, OutPort: 5},
+		{Node: "b", InPort: 6, OutPort: 7},
+		{Node: "c", InPort: 8, OutPort: -1},
+	}
+	if len(path) != len(want) {
+		t.Fatalf("Path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("Path[%d] = %v, want %v", i, path[i], want[i])
+		}
+	}
+}
+
+func TestPathSelf(t *testing.T) {
+	g := New()
+	if err := g.AddNode("a", KindHost); err != nil {
+		t.Fatal(err)
+	}
+	path, err := g.Path("a", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0].Node != "a" {
+		t.Fatalf("Path(a,a) = %v", path)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	g := New()
+	if err := g.AddNode("a", KindHost); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode("b", KindHost); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Path("a", "zz"); !errors.Is(err, ErrNode) {
+		t.Errorf("Path to unknown error = %v", err)
+	}
+	if _, err := g.Path("zz", "a"); !errors.Is(err, ErrNode) {
+		t.Errorf("Path from unknown error = %v", err)
+	}
+	if _, err := g.Path("a", "b"); !errors.Is(err, ErrNoPath) {
+		t.Errorf("Path with no route error = %v, want ErrNoPath", err)
+	}
+}
+
+func TestPathPicksShortest(t *testing.T) {
+	// a->b->d and a->c1->c2->d: BFS must choose the two-hop branch.
+	g := New()
+	for _, id := range []NodeID{"a", "b", "c1", "c2", "d"} {
+		if err := g.AddNode(id, KindSwitch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := []Link{
+		{From: "a", FromPort: 0, To: "c1", ToPort: 0},
+		{From: "c1", FromPort: 0, To: "c2", ToPort: 0},
+		{From: "c2", FromPort: 0, To: "d", ToPort: 0},
+		{From: "a", FromPort: 1, To: "b", ToPort: 0},
+		{From: "b", FromPort: 0, To: "d", ToPort: 1},
+	}
+	for _, l := range links {
+		if err := g.AddLink(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := g.Path("a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1].Node != "b" {
+		t.Fatalf("Path = %v, want a->b->d", path)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := New()
+	name := func(i int) NodeID { return NodeID(fmt.Sprintf("r%02d", i)) }
+	if err := Ring(g, 16, name, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Nodes()); got != 16 {
+		t.Fatalf("ring has %d nodes, want 16", got)
+	}
+	if got := len(g.Links()); got != 16 {
+		t.Fatalf("ring has %d links, want 16", got)
+	}
+	// Going all the way around: r0 to r15 takes 15 hops.
+	path, err := g.Path(name(0), name(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 16 {
+		t.Fatalf("path around the ring has %d traversals, want 16", len(path))
+	}
+	// Wrap-around: r15 -> r0 is one hop.
+	path, err = g.Path(name(15), name(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Fatalf("wrap path has %d traversals, want 2", len(path))
+	}
+}
+
+func TestRingTooSmall(t *testing.T) {
+	g := New()
+	if err := Ring(g, 1, func(i int) NodeID { return "x" }, 0, 0); !errors.Is(err, ErrNode) {
+		t.Errorf("Ring(1) error = %v, want ErrNode", err)
+	}
+}

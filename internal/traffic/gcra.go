@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+)
+
+// bucketDepth returns the token-bucket depth that makes "MBS cells at PCR,
+// then cells at SCR" the exact greedy worst case of a (PCR, SCR, MBS)
+// source, consistent with the paper's Figure 1 and Algorithm 2.1.
+//
+// This is the standard ATM Forum GCRA equivalence: the burst tolerance is
+// tau = (MBS-1)(1/SCR - 1/PCR), i.e. a bucket of depth
+//
+//	B = 1 + tau*SCR = 1 + (MBS-1)(1 - SCR/PCR)
+//
+// replenished at SCR with one token consumed per cell. Note the paper's own
+// prose ("a token count ... increased at a rate of SCR up to a maximum value
+// of MBS") would allow PCR-bursts longer than MBS cells (tokens replenish
+// during the burst), contradicting its stated worst case; we implement the
+// consistent GCRA semantics so that every conforming schedule is bounded by
+// the Algorithm 2.1 envelope. (The paper's equation (1) also writes
+// C_k = max{MBS, ...} where a bucket cap must be a min.)
+func bucketDepth(s Spec) float64 {
+	return 1 + (s.MBS-1)*(1-s.SCR/s.PCR)
+}
+
+// Pacer generates the earliest-conforming cell emission schedule of a
+// CBR/VBR source under the discrete generation model of the paper's
+// equation (1): the k-th cell may be sent at
+//
+//	t(k) >= t(k-1) + 1/PCR  while tokens remain
+//	t(k) >= t(k-1) + 1/SCR  otherwise
+//
+// Driving Pacer greedily (NextAfter(0) repeatedly) produces the worst-case
+// generation pattern of Figure 1: MBS cells at PCR, then cells at SCR.
+type Pacer struct {
+	spec   Spec
+	depth  float64
+	tokens float64
+	last   float64
+	sent   int
+}
+
+// NewPacer returns a pacer for the given descriptor.
+func NewPacer(spec Spec) (*Pacer, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	depth := bucketDepth(spec)
+	return &Pacer{spec: spec, depth: depth, tokens: depth, last: math.Inf(-1)}, nil
+}
+
+// Spec returns the descriptor the pacer enforces.
+func (p *Pacer) Spec() Spec { return p.spec }
+
+// Sent returns how many cells have been scheduled so far.
+func (p *Pacer) Sent() int { return p.sent }
+
+// NextAfter returns the earliest conforming emission time at or after
+// earliest (cell times), and commits the emission. The very first cell may
+// be emitted at earliest itself.
+func (p *Pacer) NextAfter(earliest float64) float64 {
+	t := earliest
+	if p.sent > 0 {
+		// Hard peak-rate spacing.
+		if min := p.last + 1/p.spec.PCR; t < min {
+			t = min
+		}
+		// Token availability: one full token is needed; tokens replenish
+		// at SCR, so wait until the bucket refills to 1 if necessary.
+		if p.tokensAt(t) < 1 {
+			refill := p.last + (1-p.tokens)/p.spec.SCR
+			if refill > t {
+				t = refill
+			}
+		}
+	}
+	p.tokens = p.tokensAt(t) - 1
+	p.last = t
+	p.sent++
+	return t
+}
+
+// tokensAt returns the token level at time t (before emission).
+func (p *Pacer) tokensAt(t float64) float64 {
+	if p.sent == 0 {
+		return p.depth
+	}
+	return math.Min(p.depth, p.tokens+(t-p.last)*p.spec.SCR)
+}
+
+// Checker verifies that an observed cell arrival sequence conforms to a
+// descriptor — a continuous-time GCRA with the burst tolerance implied by
+// MBS. It is used by tests and by the simulator's source self-checks.
+type Checker struct {
+	spec   Spec
+	depth  float64
+	tokens float64
+	last   float64
+	seen   int
+	tol    float64
+}
+
+// NewChecker returns a conformance checker with numerical tolerance tol
+// (cell times).
+func NewChecker(spec Spec, tol float64) (*Checker, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if tol < 0 {
+		return nil, fmt.Errorf("%w: negative tolerance %g", ErrInvalidSpec, tol)
+	}
+	depth := bucketDepth(spec)
+	return &Checker{spec: spec, depth: depth, tokens: depth, tol: tol}, nil
+}
+
+// Observe records a cell arriving at time t (cell times, non-decreasing) and
+// reports whether it conforms.
+func (c *Checker) Observe(t float64) (bool, error) {
+	if c.seen > 0 && t < c.last-c.tol {
+		return false, fmt.Errorf("%w: arrival time %g before previous %g", ErrInvalidSpec, t, c.last)
+	}
+	ok := true
+	if c.seen > 0 {
+		if t < c.last+1/c.spec.PCR-c.tol {
+			ok = false
+		}
+		c.tokens = math.Min(c.depth, c.tokens+(t-c.last)*c.spec.SCR)
+	}
+	if c.tokens < 1-c.tol {
+		ok = false
+	}
+	if ok {
+		c.tokens--
+	}
+	c.last = t
+	c.seen++
+	return ok, nil
+}

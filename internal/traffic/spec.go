@@ -1,0 +1,95 @@
+// Package traffic defines ATM connection traffic descriptors (the VBR model
+// of ATM Forum TM 4.0 used by the paper), unit conversions between physical
+// link units and the normalized cell-time units of the analysis, and the
+// GCRA-style token-bucket machinery used by the cell-level simulator.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"atmcac/internal/bitstream"
+)
+
+// ErrInvalidSpec reports a traffic descriptor outside the model's domain.
+var ErrInvalidSpec = errors.New("traffic: invalid spec")
+
+// Spec is the VBR traffic descriptor (PCR, SCR, MBS) of Section 2 of the
+// paper, extended with the ATM Forum TM 4.0 cell delay variation tolerance
+// CDVT. Rates are normalized to the link bandwidth (1 = one cell per cell
+// time); MBS is the maximum burst size in cells; CDVT is in cell times. A
+// CBR connection has SCR == PCR.
+//
+// CDVT loosens the peak-rate policing at the UNI: cells may arrive up to
+// CDVT earlier than strict 1/PCR spacing allows (e.g. because the terminal's
+// own multiplexing jitters them). In the worst-case envelope this is
+// exactly an Algorithm 3.1 clumping of the source stream by CDVT.
+type Spec struct {
+	PCR  float64 `json:"pcr"`            // peak cell rate, (0, 1]
+	SCR  float64 `json:"scr"`            // sustainable cell rate, (0, PCR]
+	MBS  float64 `json:"mbs"`            // maximum burst size in cells, >= 1
+	CDVT float64 `json:"cdvt,omitempty"` // cell delay variation tolerance, >= 0 cell times
+}
+
+// CBR returns the descriptor of a constant-bit-rate connection with peak
+// cell rate pcr. Per the paper, CBR is the special case SCR = PCR, MBS = 1.
+func CBR(pcr float64) Spec {
+	return Spec{PCR: pcr, SCR: pcr, MBS: 1}
+}
+
+// VBR returns the descriptor of a variable-bit-rate connection.
+func VBR(pcr, scr, mbs float64) Spec {
+	return Spec{PCR: pcr, SCR: scr, MBS: mbs}
+}
+
+// Validate reports whether the descriptor is inside the model's domain:
+// 0 < SCR <= PCR <= 1, MBS >= 1 and CDVT >= 0.
+func (s Spec) Validate() error {
+	switch {
+	case math.IsNaN(s.PCR) || !(s.PCR > 0) || s.PCR > 1:
+		return fmt.Errorf("%w: PCR %g not in (0, 1]", ErrInvalidSpec, s.PCR)
+	case math.IsNaN(s.SCR) || !(s.SCR > 0) || s.SCR > s.PCR:
+		return fmt.Errorf("%w: SCR %g not in (0, PCR=%g]", ErrInvalidSpec, s.SCR, s.PCR)
+	case math.IsNaN(s.MBS) || !(s.MBS >= 1):
+		return fmt.Errorf("%w: MBS %g < 1", ErrInvalidSpec, s.MBS)
+	case math.IsNaN(s.CDVT) || s.CDVT < 0:
+		return fmt.Errorf("%w: CDVT %g < 0", ErrInvalidSpec, s.CDVT)
+	}
+	return nil
+}
+
+// WithCDVT returns a copy of the descriptor with the given cell delay
+// variation tolerance.
+func (s Spec) WithCDVT(cdvt float64) Spec {
+	s.CDVT = cdvt
+	return s
+}
+
+// IsCBR reports whether the descriptor degenerates to constant bit rate.
+func (s Spec) IsCBR() bool { return s.SCR == s.PCR }
+
+// Stream returns the worst-case bit-stream envelope of the connection at
+// its source: the Algorithm 2.1 envelope, clumped by CDVT (Algorithm 3.1)
+// when the descriptor tolerates source-side delay variation.
+func (s Spec) Stream() (bitstream.Stream, error) {
+	if err := s.Validate(); err != nil {
+		return bitstream.Stream{}, err
+	}
+	env, err := bitstream.FromVBR(s.PCR, s.SCR, s.MBS)
+	if err != nil {
+		return bitstream.Stream{}, err
+	}
+	if s.CDVT > 0 {
+		return env.Delayed(s.CDVT)
+	}
+	return env, nil
+}
+
+// String renders the descriptor in the paper's (PCR, SCR, MBS) notation.
+func (s Spec) String() string {
+	if s.IsCBR() {
+		return fmt.Sprintf("CBR(PCR=%.6g)", s.PCR)
+	}
+	return fmt.Sprintf("VBR(PCR=%.6g, SCR=%.6g, MBS=%g)", s.PCR, s.SCR, s.MBS)
+}

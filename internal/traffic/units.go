@@ -1,0 +1,100 @@
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ATM framing constants.
+const (
+	// CellBytes is the size of an ATM cell on the wire.
+	CellBytes = 53
+	// PayloadBytes is the usable payload of an ATM cell (AAL overhead not
+	// accounted; the paper quotes raw application bandwidths).
+	PayloadBytes = 48
+	// CellBits is the cell size in bits.
+	CellBits = CellBytes * 8
+)
+
+// Link describes a physical transmission link by its line rate in bits per
+// second. All analysis is performed in cell times normalized to one link.
+type Link struct {
+	BitsPerSecond float64
+}
+
+// OC3 is the 155.52 Mbps SONET link RTnet uses between ring nodes. One cell
+// time is about 2.7 microseconds, matching the paper's Section 5.
+var OC3 = Link{BitsPerSecond: 155.52e6}
+
+// ErrBadUnit reports a conversion with a non-positive quantity where a
+// positive one is required.
+var ErrBadUnit = errors.New("traffic: invalid unit conversion")
+
+// CellTime returns the duration of one cell time on the link.
+func (l Link) CellTime() time.Duration {
+	return time.Duration(float64(time.Second) * CellBits / l.BitsPerSecond)
+}
+
+// CellTimeSeconds returns one cell time in seconds as a float.
+func (l Link) CellTimeSeconds() float64 {
+	return CellBits / l.BitsPerSecond
+}
+
+// CellsPerSecond returns the link bandwidth in cells per second.
+func (l Link) CellsPerSecond() float64 {
+	return l.BitsPerSecond / CellBits
+}
+
+// Normalize converts a bandwidth in bits per second into a normalized cell
+// rate (cells per cell time) on this link.
+func (l Link) Normalize(bitsPerSecond float64) float64 {
+	return bitsPerSecond / l.BitsPerSecond
+}
+
+// Denormalize converts a normalized cell rate back to bits per second.
+func (l Link) Denormalize(rate float64) float64 {
+	return rate * l.BitsPerSecond
+}
+
+// CellTimes converts a wall-clock duration into cell times on this link.
+func (l Link) CellTimes(d time.Duration) float64 {
+	return d.Seconds() / l.CellTimeSeconds()
+}
+
+// Duration converts cell times on this link into a wall-clock duration.
+func (l Link) Duration(cellTimes float64) time.Duration {
+	return time.Duration(cellTimes * float64(l.CellTime()))
+}
+
+// CellsForBytes returns the number of ATM cells needed to carry n payload
+// bytes (each cell carries PayloadBytes of payload).
+func CellsForBytes(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("%w: %d bytes", ErrBadUnit, n)
+	}
+	return (n + PayloadBytes - 1) / PayloadBytes, nil
+}
+
+// PayloadBandwidth returns the application-level bandwidth in bits per
+// second required to deliver payloadBytes every period (raw payload bits,
+// the accounting the paper's Table 1 uses).
+func PayloadBandwidth(payloadBytes int, period time.Duration) (float64, error) {
+	if payloadBytes < 0 || period <= 0 {
+		return 0, fmt.Errorf("%w: %d bytes per %v", ErrBadUnit, payloadBytes, period)
+	}
+	return float64(payloadBytes) * 8 / period.Seconds(), nil
+}
+
+// WireBandwidth returns the on-the-wire bandwidth in bits per second needed
+// to deliver payloadBytes every period, including cell header overhead.
+func WireBandwidth(payloadBytes int, period time.Duration) (float64, error) {
+	cells, err := CellsForBytes(payloadBytes)
+	if err != nil {
+		return 0, err
+	}
+	if period <= 0 {
+		return 0, fmt.Errorf("%w: period %v", ErrBadUnit, period)
+	}
+	return float64(cells) * CellBits / period.Seconds(), nil
+}

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"atmcac/internal/core"
+)
+
+// StateStore persists the set of established connections as a JSON file so
+// a central CAC server can be restarted without losing its admissions —
+// required for the permanent real-time connections RTnet manages.
+// Writes are atomic (temp file + rename).
+type StateStore struct {
+	path string
+}
+
+// NewStateStore returns a store backed by path.
+func NewStateStore(path string) *StateStore {
+	return &StateStore{path: path}
+}
+
+// Path returns the backing file path.
+func (s *StateStore) Path() string { return s.path }
+
+// Load reads the stored connection requests. A missing file is an empty
+// store, not an error.
+func (s *StateStore) Load() ([]core.ConnRequest, error) {
+	data, err := os.ReadFile(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wire: load state: %w", err)
+	}
+	var reqs []core.ConnRequest
+	if err := json.Unmarshal(data, &reqs); err != nil {
+		return nil, fmt.Errorf("wire: load state %s: %w", s.path, err)
+	}
+	return reqs, nil
+}
+
+// Save atomically writes the connection requests.
+func (s *StateStore) Save(reqs []core.ConnRequest) error {
+	data, err := json.MarshalIndent(reqs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("wire: save state: %w", err)
+	}
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, ".cacd-state-*")
+	if err != nil {
+		return fmt.Errorf("wire: save state: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("wire: save state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("wire: save state: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("wire: save state: %w", err)
+	}
+	return nil
+}
+
+// Restore re-establishes every stored connection on the network through
+// the full CAC check. It returns the IDs that could not be re-admitted
+// (e.g. because the network shape changed); the caller decides whether
+// that is fatal.
+func Restore(network *core.Network, store *StateStore) (restored int, failed []core.ConnID, err error) {
+	reqs, err := store.Load()
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, req := range reqs {
+		if _, err := network.Setup(req); err != nil {
+			failed = append(failed, req.ID)
+			continue
+		}
+		restored++
+	}
+	return restored, failed, nil
+}
+
+// SetStateStore attaches a persistence store: after every successful setup
+// or teardown the server snapshots the network's admitted connections. It
+// must be called before Serve.
+func (s *Server) SetStateStore(store *StateStore) {
+	s.store = store
+}
+
+// persist snapshots the network state; failures are reported to the client
+// as operational errors on the next response rather than silently dropped.
+func (s *Server) persist() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Save(s.network.AdmittedRequests())
+}

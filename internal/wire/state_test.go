@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+)
+
+func twoSwitchNetwork(t *testing.T) (*core.Network, core.Route) {
+	t.Helper()
+	n := core.NewNetwork(core.HardCDV{})
+	route := make(core.Route, 2)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("sw%d", i)
+		if _, err := n.AddSwitch(core.SwitchConfig{
+			Name: name, QueueCells: map[core.Priority]float64{1: 32},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		route[i] = core.Hop{Switch: name, In: 1, Out: 0}
+	}
+	return n, route
+}
+
+func TestStateStoreRoundTrip(t *testing.T) {
+	store := NewStateStore(filepath.Join(t.TempDir(), "state.json"))
+	// Missing file loads empty.
+	reqs, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 0 {
+		t.Fatalf("missing file loaded %v", reqs)
+	}
+	want := []core.ConnRequest{
+		{ID: "a", Spec: traffic.CBR(0.1), Priority: 1,
+			Route: core.Route{{Switch: "sw0", In: 1, Out: 0}}, DelayBound: 64},
+		{ID: "b", Spec: traffic.VBR(0.5, 0.05, 8), Priority: 2,
+			Route: core.Route{{Switch: "sw1", In: 2, Out: 3}}, SourceCDV: 16},
+	}
+	if err := store.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "a" || got[1].Spec.MBS != 8 ||
+		got[0].DelayBound != 64 || got[1].SourceCDV != 16 ||
+		got[1].Route[0].Out != 3 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestStateStoreCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStateStore(path).Load(); err == nil {
+		t.Fatal("corrupt state accepted")
+	}
+}
+
+func TestRestoreReestablishesConnections(t *testing.T) {
+	store := NewStateStore(filepath.Join(t.TempDir(), "state.json"))
+	n1, route := twoSwitchNetwork(t)
+	for i := 0; i < 3; i++ {
+		r := make(core.Route, len(route))
+		copy(r, route)
+		for h := range r {
+			r[h].In = core.PortID(i + 1)
+		}
+		if _, err := n1.Setup(core.ConnRequest{
+			ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.01),
+			Priority: 1, Route: r,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Save(n1.AdmittedRequests()); err != nil {
+		t.Fatal(err)
+	}
+	// "Restart": a fresh network restored from the store.
+	n2, _ := twoSwitchNetwork(t)
+	restored, failed, err := Restore(n2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 3 || len(failed) != 0 {
+		t.Fatalf("restored %d failed %v", restored, failed)
+	}
+	if got := len(n2.Connections()); got != 3 {
+		t.Fatalf("restored network carries %d connections", got)
+	}
+	// Bounds agree with the original network.
+	d1, err := n1.RouteBound(route, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := n2.RouteBound(route, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("restored bound %g != original %g", d2, d1)
+	}
+}
+
+func TestRestoreReportsFailures(t *testing.T) {
+	store := NewStateStore(filepath.Join(t.TempDir(), "state.json"))
+	if err := store.Save([]core.ConnRequest{
+		{ID: "ghost", Spec: traffic.CBR(0.1), Priority: 1,
+			Route: core.Route{{Switch: "no-such-switch", In: 1, Out: 0}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := twoSwitchNetwork(t)
+	restored, failed, err := Restore(n, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 || len(failed) != 1 || failed[0] != "ghost" {
+		t.Fatalf("restored %d failed %v", restored, failed)
+	}
+}
+
+// TestServerPersistsAcrossRestart drives the full lifecycle over TCP: a
+// server with a state store admits connections, is shut down, and a new
+// server restores them from disk.
+func TestServerPersistsAcrossRestart(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "state.json")
+
+	boot := func() (*Server, *Client, func()) {
+		network, _ := twoSwitchNetwork(t)
+		store := NewStateStore(statePath)
+		if _, _, err := Restore(network, store); err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(network)
+		srv.SetStateStore(store)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = srv.Serve(l)
+		}()
+		client, err := Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := func() {
+			_ = client.Close()
+			_ = srv.Close()
+			<-done
+		}
+		return srv, client, stop
+	}
+
+	_, client, stop := boot()
+	route := core.Route{{Switch: "sw0", In: 1, Out: 0}, {Switch: "sw1", In: 1, Out: 0}}
+	if _, err := client.Setup(core.ConnRequest{
+		ID: "persist-me", Spec: traffic.CBR(0.05), Priority: 1, Route: route,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	_, client2, stop2 := boot()
+	defer stop2()
+	ids, err := client2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "persist-me" {
+		t.Fatalf("after restart List = %v", ids)
+	}
+	if err := client2.Teardown("persist-me"); err != nil {
+		t.Fatal(err)
+	}
+	// The teardown is persisted too.
+	reqs, err := NewStateStore(statePath).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 0 {
+		t.Fatalf("state after teardown = %+v", reqs)
+	}
+}

@@ -1,0 +1,460 @@
+// Package wire implements a central connection admission control server
+// over TCP — the deployment the paper plans for the next version of RTnet,
+// where switched real-time connections are set up and torn down on-line by
+// a central connection management server (Section 4.3, discussion 3, and
+// Section 5).
+//
+// The protocol is newline-delimited JSON: each request and response is one
+// JSON object on one line. Operations: setup, teardown, list, bound (query
+// the current end-to-end computed bound of a route), inspect (per-queue
+// bounds, backlogs and arrival envelopes), and audit (re-validate every
+// queue). With a StateStore attached, established connections survive
+// server restarts.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"atmcac/internal/bitstream"
+	"atmcac/internal/core"
+)
+
+// Protocol operations.
+const (
+	OpSetup    = "setup"
+	OpTeardown = "teardown"
+	OpList     = "list"
+	OpBound    = "bound"
+	OpInspect  = "inspect"
+	OpAudit    = "audit"
+)
+
+// MaxLineBytes caps the size of one protocol line.
+const MaxLineBytes = 1 << 20
+
+var (
+	// ErrProtocol reports a malformed request or response.
+	ErrProtocol = errors.New("wire: protocol error")
+	// ErrServerClosed reports use of a closed server.
+	ErrServerClosed = errors.New("wire: server closed")
+)
+
+// Request is a client request.
+type Request struct {
+	Op string `json:"op"`
+	// Request carries the connection parameters for setup.
+	Request *core.ConnRequest `json:"request,omitempty"`
+	// ID identifies the connection for teardown.
+	ID core.ConnID `json:"id,omitempty"`
+	// Route and Priority parameterize bound queries.
+	Route    core.Route    `json:"route,omitempty"`
+	Priority core.Priority `json:"priority,omitempty"`
+	// Switch restricts inspect to one switch; empty means all.
+	Switch string `json:"switch,omitempty"`
+}
+
+// PortReport describes the state of one (switch, output port, priority)
+// queue for the inspect operation.
+type PortReport struct {
+	Switch   string        `json:"switch"`
+	Out      core.PortID   `json:"out"`
+	Priority core.Priority `json:"priority"`
+	// Bound and Backlog are the computed worst cases; Limit is the FIFO
+	// budget. Unstable marks a queue whose delay is unbounded.
+	Bound    float64 `json:"bound"`
+	Backlog  float64 `json:"backlog"`
+	Limit    float64 `json:"limit"`
+	Unstable bool    `json:"unstable,omitempty"`
+	// Envelope is the aggregated same-priority arrival stream Soa(j,p) in
+	// the paper's {(rate, time)} notation.
+	Envelope []bitstream.Segment `json:"envelope,omitempty"`
+}
+
+// Admission mirrors core.Admission for transport.
+type Admission struct {
+	ID                 core.ConnID `json:"id"`
+	PerHopGuaranteed   []float64   `json:"perHopGuaranteed"`
+	PerHopComputed     []float64   `json:"perHopComputed"`
+	EndToEndGuaranteed float64     `json:"endToEndGuaranteed"`
+	EndToEndComputed   float64     `json:"endToEndComputed"`
+}
+
+// Response is a server response.
+type Response struct {
+	OK bool `json:"ok"`
+	// Error is set when OK is false; Rejected distinguishes CAC rejections
+	// from operational errors.
+	Error    string `json:"error,omitempty"`
+	Rejected bool   `json:"rejected,omitempty"`
+	// Admission reports a successful setup.
+	Admission *Admission `json:"admission,omitempty"`
+	// Connections reports a list result.
+	Connections []core.ConnID `json:"connections,omitempty"`
+	// Bound reports a bound query result (cell times).
+	Bound float64 `json:"bound,omitempty"`
+	// Ports reports an inspect result.
+	Ports []PortReport `json:"ports,omitempty"`
+	// Violations reports an audit result (empty means every queue is
+	// within its guarantee).
+	Violations []ViolationReport `json:"violations,omitempty"`
+}
+
+// ViolationReport mirrors core.Violation for transport.
+type ViolationReport struct {
+	Switch   string        `json:"switch"`
+	Out      core.PortID   `json:"out"`
+	Priority core.Priority `json:"priority"`
+	Bound    float64       `json:"bound"`
+	Limit    float64       `json:"limit"`
+}
+
+// Server serves CAC requests against a core.Network.
+type Server struct {
+	network *core.Network
+	store   *StateStore
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server managing the given network.
+func NewServer(network *core.Network) *Server {
+	return &Server{network: network, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close. It always returns a non-nil
+// error (ErrServerClosed after a clean shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes every client connection, and waits for
+// handler goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp.Error = fmt.Sprintf("malformed request: %v", err)
+		} else {
+			resp = s.handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req Request) Response {
+	switch req.Op {
+	case OpSetup:
+		if req.Request == nil {
+			return Response{Error: "setup requires a request body"}
+		}
+		adm, err := s.network.Setup(*req.Request)
+		if err != nil {
+			return Response{Error: err.Error(), Rejected: errors.Is(err, core.ErrRejected)}
+		}
+		if err := s.persist(); err != nil {
+			// The admission stands; surface the persistence failure.
+			return Response{Error: fmt.Sprintf("admitted but state not persisted: %v", err)}
+		}
+		return Response{OK: true, Admission: &Admission{
+			ID:                 adm.ID,
+			PerHopGuaranteed:   adm.PerHopGuaranteed,
+			PerHopComputed:     adm.PerHopComputed,
+			EndToEndGuaranteed: adm.EndToEndGuaranteed,
+			EndToEndComputed:   adm.EndToEndComputed,
+		}}
+	case OpTeardown:
+		if err := s.network.Teardown(req.ID); err != nil {
+			return Response{Error: err.Error()}
+		}
+		if err := s.persist(); err != nil {
+			return Response{Error: fmt.Sprintf("released but state not persisted: %v", err)}
+		}
+		return Response{OK: true}
+	case OpList:
+		return Response{OK: true, Connections: s.network.Connections()}
+	case OpBound:
+		d, err := s.network.RouteBound(req.Route, req.Priority)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Bound: d}
+	case OpInspect:
+		ports, err := s.inspect(req.Switch)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Ports: ports}
+	case OpAudit:
+		violations, err := s.network.Audit()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		reports := make([]ViolationReport, 0, len(violations))
+		for _, v := range violations {
+			reports = append(reports, ViolationReport{
+				Switch: v.Switch, Out: v.Out, Priority: v.Priority,
+				Bound: v.Bound, Limit: v.Limit,
+			})
+		}
+		return Response{OK: true, Violations: reports}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// inspect assembles port reports for one switch or, with an empty name,
+// every switch carrying traffic.
+func (s *Server) inspect(switchName string) ([]PortReport, error) {
+	names := s.network.SwitchNames()
+	if switchName != "" {
+		if _, ok := s.network.Switch(switchName); !ok {
+			return nil, fmt.Errorf("%w: %q", core.ErrUnknownSwitch, switchName)
+		}
+		names = []string{switchName}
+	}
+	var reports []PortReport
+	for _, name := range names {
+		sw, ok := s.network.Switch(name)
+		if !ok {
+			continue
+		}
+		for _, out := range sw.OutPorts() {
+			for _, p := range sw.Priorities() {
+				limit, _ := sw.GuaranteedBoundAt(out, p)
+				soa, sof, err := sw.PortEnvelope(out, p)
+				if err != nil {
+					return nil, err
+				}
+				if soa.IsZero() {
+					continue
+				}
+				report := PortReport{
+					Switch: name, Out: out, Priority: p,
+					Limit:    limit,
+					Envelope: soa.Segments(),
+				}
+				bound, err := bitstream.DelayBound(soa, sof)
+				switch {
+				case errors.Is(err, bitstream.ErrUnstable):
+					report.Unstable = true
+				case err != nil:
+					return nil, err
+				default:
+					report.Bound = bound
+					backlog, err := bitstream.MaxBacklog(soa, sof)
+					if err != nil && !errors.Is(err, bitstream.ErrUnstable) {
+						return nil, err
+					}
+					report.Backlog = backlog
+				}
+				reports = append(reports, report)
+			}
+		}
+	}
+	return reports, nil
+}
+
+// Client is a CAC client over one TCP connection. Its methods serialize
+// requests; it is safe for concurrent use.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	scanner *bufio.Scanner
+	enc     *json.Encoder
+}
+
+// Dial connects to a CAC server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	return &Client{conn: conn, scanner: scanner, enc: json.NewEncoder(conn)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes one response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("wire: send: %w", err)
+	}
+	if !c.scanner.Scan() {
+		if err := c.scanner.Err(); err != nil {
+			return Response{}, fmt.Errorf("wire: receive: %w", err)
+		}
+		return Response{}, fmt.Errorf("wire: receive: %w", io.ErrUnexpectedEOF)
+	}
+	var resp Response
+	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	return resp, nil
+}
+
+// Setup requests a connection establishment. CAC rejections are returned
+// as errors matching core.ErrRejected.
+func (c *Client) Setup(req core.ConnRequest) (*Admission, error) {
+	resp, err := c.roundTrip(Request{Op: OpSetup, Request: &req})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		if resp.Rejected {
+			return nil, fmt.Errorf("%w: %s", core.ErrRejected, resp.Error)
+		}
+		return nil, fmt.Errorf("wire: setup: %s", resp.Error)
+	}
+	if resp.Admission == nil {
+		return nil, fmt.Errorf("%w: setup response without admission", ErrProtocol)
+	}
+	return resp.Admission, nil
+}
+
+// Teardown releases a connection.
+func (c *Client) Teardown(id core.ConnID) error {
+	resp, err := c.roundTrip(Request{Op: OpTeardown, ID: id})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("wire: teardown: %s", resp.Error)
+	}
+	return nil
+}
+
+// List returns the established connection IDs.
+func (c *Client) List() ([]core.ConnID, error) {
+	resp, err := c.roundTrip(Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("wire: list: %s", resp.Error)
+	}
+	return resp.Connections, nil
+}
+
+// RouteBound queries the current end-to-end computed bound of a route.
+func (c *Client) RouteBound(route core.Route, p core.Priority) (float64, error) {
+	resp, err := c.roundTrip(Request{Op: OpBound, Route: route, Priority: p})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, fmt.Errorf("wire: bound: %s", resp.Error)
+	}
+	return resp.Bound, nil
+}
+
+// Audit recomputes every loaded queue's bound server-side and returns the
+// queues over budget (empty means the configuration is sound).
+func (c *Client) Audit() ([]ViolationReport, error) {
+	resp, err := c.roundTrip(Request{Op: OpAudit})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("wire: audit: %s", resp.Error)
+	}
+	return resp.Violations, nil
+}
+
+// Inspect reports the state of every loaded queue of one switch (or all
+// switches when switchName is empty): bounds, backlogs, budgets and the
+// assembled arrival envelopes.
+func (c *Client) Inspect(switchName string) ([]PortReport, error) {
+	resp, err := c.roundTrip(Request{Op: OpInspect, Switch: switchName})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("wire: inspect: %s", resp.Error)
+	}
+	return resp.Ports, nil
+}

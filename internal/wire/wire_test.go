@@ -1,0 +1,360 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+)
+
+// startServer runs a CAC server on a loopback listener and returns a
+// connected client.
+func startServer(t *testing.T, queues map[core.Priority]float64) (*Client, core.Route) {
+	t.Helper()
+	if queues == nil {
+		queues = map[core.Priority]float64{1: 32}
+	}
+	network := core.NewNetwork(core.HardCDV{})
+	route := make(core.Route, 2)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("sw%d", i)
+		if _, err := network.AddSwitch(core.SwitchConfig{Name: name, QueueCells: queues}); err != nil {
+			t.Fatal(err)
+		}
+		route[i] = core.Hop{Switch: name, In: 1, Out: 0}
+	}
+	srv := NewServer(network)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(l); !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		<-done
+	})
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return client, route
+}
+
+func TestSetupTeardownList(t *testing.T) {
+	client, route := startServer(t, nil)
+	adm, err := client.Setup(core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.ID != "c1" || adm.EndToEndGuaranteed != 64 {
+		t.Errorf("admission = %+v", adm)
+	}
+	ids, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "c1" {
+		t.Errorf("List = %v", ids)
+	}
+	d, err := client.RouteBound(route, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 {
+		t.Errorf("RouteBound = %g", d)
+	}
+	if err := client.Teardown("c1"); err != nil {
+		t.Fatal(err)
+	}
+	ids, err = client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Errorf("List after teardown = %v", ids)
+	}
+}
+
+func TestSetupRejectionMapsToErrRejected(t *testing.T) {
+	client, route := startServer(t, map[core.Priority]float64{1: 2})
+	admitted := 0
+	var lastErr error
+	for i := 0; i < 16; i++ {
+		r := make(core.Route, len(route))
+		copy(r, route)
+		for h := range r {
+			r[h].In = core.PortID(i + 1)
+		}
+		_, err := client.Setup(core.ConnRequest{
+			ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.01),
+			Priority: 1, Route: r,
+		})
+		if err != nil {
+			lastErr = err
+			break
+		}
+		admitted++
+	}
+	if lastErr == nil {
+		t.Fatal("no rejection on a 2-cell queue")
+	}
+	if !errors.Is(lastErr, core.ErrRejected) {
+		t.Fatalf("rejection error = %v, want core.ErrRejected", lastErr)
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+}
+
+func TestOperationalErrors(t *testing.T) {
+	client, route := startServer(t, nil)
+	if err := client.Teardown("nope"); err == nil || errors.Is(err, core.ErrRejected) {
+		t.Errorf("teardown of unknown conn error = %v", err)
+	}
+	if _, err := client.Setup(core.ConnRequest{ID: "x", Spec: traffic.CBR(0.1), Priority: 1,
+		Route: core.Route{{Switch: "nope"}}}); err == nil {
+		t.Error("setup through unknown switch succeeded")
+	}
+	if _, err := client.RouteBound(core.Route{{Switch: "nope"}}, 1); err == nil {
+		t.Error("bound query for unknown switch succeeded")
+	}
+	_ = route
+}
+
+func TestConcurrentClients(t *testing.T) {
+	client, route := startServer(t, nil)
+	_ = client
+	addr := clientAddr(t, client)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for k := 0; k < 4; k++ {
+				id := core.ConnID(fmt.Sprintf("w%d-k%d", w, k))
+				r := make(core.Route, len(route))
+				copy(r, route)
+				for h := range r {
+					r[h].In = core.PortID(w + 1)
+				}
+				if _, err := c.Setup(core.ConnRequest{ID: id, Spec: traffic.CBR(0.001), Priority: 1, Route: r}); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Teardown(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// clientAddr extracts the server address from an established client.
+func clientAddr(t *testing.T, c *Client) string {
+	t.Helper()
+	return c.conn.RemoteAddr().String()
+}
+
+func TestMalformedRequest(t *testing.T) {
+	client, _ := startServer(t, nil)
+	conn, err := net.Dial("tcp", clientAddr(t, client))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, "this is not json"); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "malformed") {
+		t.Errorf("response = %q, want malformed-request error", line)
+	}
+	// The connection survives a malformed request.
+	if _, err := fmt.Fprintln(conn, `{"op":"list"}`); err != nil {
+		t.Fatal(err)
+	}
+	line, err = bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, `"ok":true`) {
+		t.Errorf("response = %q, want ok list", line)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	client, _ := startServer(t, nil)
+	resp, err := client.roundTrip(Request{Op: "frobnicate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "unknown op") {
+		t.Errorf("response = %+v", resp)
+	}
+}
+
+func TestSetupWithoutBody(t *testing.T) {
+	client, _ := startServer(t, nil)
+	resp, err := client.roundTrip(Request{Op: OpSetup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Error == "" {
+		t.Errorf("response = %+v", resp)
+	}
+}
+
+func TestClientAfterServerClose(t *testing.T) {
+	network := core.NewNetwork(nil)
+	if _, err := network.AddSwitch(core.SwitchConfig{Name: "sw", QueueCells: map[core.Priority]float64{1: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(network)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(l)
+	}()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.List(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if _, err := client.List(); err == nil {
+		t.Error("request after server close succeeded")
+	}
+	// Double close is a no-op.
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	// Serve on a closed server fails fast.
+	if err := srv.Serve(l); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve after Close = %v", err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	client, route := startServer(t, nil)
+	// Empty network: no loaded queues.
+	reports, err := client.Inspect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 0 {
+		t.Fatalf("empty network reports %v", reports)
+	}
+	for i := 0; i < 3; i++ {
+		r := make(core.Route, len(route))
+		copy(r, route)
+		for h := range r {
+			r[h].In = core.PortID(i + 1)
+		}
+		if _, err := client.Setup(core.ConnRequest{
+			ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.VBR(0.3, 0.02, 4),
+			Priority: 1, Route: r,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reports, err = client.Inspect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 { // one loaded port per switch
+		t.Fatalf("reports = %+v, want 2", reports)
+	}
+	for _, r := range reports {
+		if r.Unstable {
+			t.Errorf("queue %s:%d reported unstable", r.Switch, r.Out)
+		}
+		if r.Bound <= 0 || r.Bound > r.Limit {
+			t.Errorf("queue %s:%d bound %g outside (0, %g]", r.Switch, r.Out, r.Bound, r.Limit)
+		}
+		if r.Backlog > r.Bound+1e-9 {
+			t.Errorf("queue %s:%d backlog %g above bound %g", r.Switch, r.Out, r.Backlog, r.Bound)
+		}
+		if len(r.Envelope) == 0 {
+			t.Errorf("queue %s:%d has no envelope", r.Switch, r.Out)
+		}
+	}
+	// Restricted to one switch.
+	reports, err = client.Inspect("sw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Switch != "sw1" {
+		t.Fatalf("restricted inspect = %+v", reports)
+	}
+	// Unknown switch.
+	if _, err := client.Inspect("nope"); err == nil {
+		t.Error("inspect of unknown switch succeeded")
+	}
+}
+
+func TestAuditOp(t *testing.T) {
+	client, route := startServer(t, nil)
+	violations, err := client.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("empty network audit = %v", violations)
+	}
+	if _, err := client.Setup(core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	violations, err = client.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("admitted set audit = %v", violations)
+	}
+}
