@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 
 	"atmcac"
@@ -264,6 +265,50 @@ func BenchmarkSwitchAdmit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParallelAdmit measures concurrent end-to-end admissions on a
+// 16-node RTnet: each worker repeatedly sets up and tears down a 3-hop
+// segment connection starting at its own ring node, so workers touch
+// mostly disjoint switches and the two-phase admit path (lock-free bound
+// evaluation, short commit sections) can scale with -cpu. Queues are
+// sized so every admission must succeed — any rejection would be a
+// divergence from the serial decision and fails the benchmark.
+func BenchmarkParallelAdmit(b *testing.B) {
+	rt, err := atmcac.NewRTnet(atmcac.RTnetConfig{
+		RingNodes:        16,
+		TerminalsPerNode: 16,
+		QueueCells:       map[atmcac.Priority]float64{1: 1e6},
+		Policy:           atmcac.HardCDV{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	network := rt.Core()
+	spec := atmcac.VBR(0.004, 0.0005, 4)
+	var workers atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(workers.Add(1) - 1)
+		route, err := rt.SegmentRoute(w%16, w%16, 3)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for i := 0; pb.Next(); i++ {
+			id := atmcac.ConnID(fmt.Sprintf("w%d-c%d", w, i))
+			if _, err := network.Setup(atmcac.ConnRequest{
+				ID: id, Spec: spec, Priority: 1, Route: route,
+			}); err != nil {
+				b.Errorf("worker %d: setup %s: %v", w, id, err)
+				return
+			}
+			if err := network.Teardown(id); err != nil {
+				b.Errorf("worker %d: teardown %s: %v", w, id, err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkRTnetAudit measures a full offline plan audit of the paper's

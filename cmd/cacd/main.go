@@ -32,6 +32,11 @@ func main() {
 	}
 }
 
+// testHookListen, when non-nil, receives the bound listener address once
+// the server is reachable — lets tests run on an ephemeral port (-listen
+// 127.0.0.1:0) without parsing stdout.
+var testHookListen func(net.Addr)
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("cacd", flag.ContinueOnError)
 	var (
@@ -97,6 +102,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("cacd: managing %d ring nodes (%d terminals each, %s CDV) on %s\n",
 		*ring, *terminals, cdv.Name(), l.Addr())
+	if testHookListen != nil {
+		testHookListen(l.Addr())
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(l) }()
 	select {

@@ -1,10 +1,19 @@
 package main
 
 import (
+	"fmt"
 	"net"
+	"path/filepath"
+	"sort"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"atmcac/internal/core"
+	"atmcac/internal/rtnet"
+	"atmcac/internal/traffic"
+	"atmcac/internal/wire"
 )
 
 func TestRunValidationErrors(t *testing.T) {
@@ -62,4 +71,193 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not shut down on SIGTERM")
 	}
+}
+
+// TestEndToEndConcurrentSessions boots cacd with a persistence file on an
+// ephemeral port, drives 100 concurrent cacctl-style sessions (each dials,
+// sets up a connection over the wire protocol, queries, and half tear
+// down), then verifies the surviving set and that the -state file
+// round-trips: loading it and restoring onto a freshly built network of
+// the same shape re-admits exactly the established set.
+func TestEndToEndConcurrentSessions(t *testing.T) {
+	const (
+		ringNodes = 8
+		terminals = 4
+		sessions  = 100
+	)
+	stateFile := filepath.Join(t.TempDir(), "state.json")
+
+	addrCh := make(chan net.Addr, 1)
+	testHookListen = func(a net.Addr) { addrCh <- a }
+	defer func() { testHookListen = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-ring", fmt.Sprint(ringNodes),
+			"-terminals", fmt.Sprint(terminals),
+			"-queue", "1000000",
+			"-state", stateFile,
+		})
+	}()
+	var addr string
+	select {
+	case a := <-addrCh:
+		addr = a.String()
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never announced its address")
+	}
+
+	// A reference network of the same shape supplies the routes; the load
+	// is far below every queue, so every setup must be admitted regardless
+	// of interleaving.
+	ref, err := rtnet.New(rtnet.Config{
+		RingNodes:        ringNodes,
+		TerminalsPerNode: terminals,
+		QueueCells:       map[core.Priority]float64{1: 1e6},
+		Policy:           core.HardCDV{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := func(g int) (core.ConnRequest, bool) {
+		route, err := ref.SegmentRoute(g%ringNodes, g%terminals, 2+g%2)
+		if err != nil {
+			t.Errorf("session %d: route: %v", g, err)
+			return core.ConnRequest{}, false
+		}
+		return core.ConnRequest{
+			ID:       core.ConnID(fmt.Sprintf("sess-%03d", g)),
+			Spec:     traffic.VBR(0.004, 0.0005, 4),
+			Priority: 1,
+			Route:    route,
+		}, g%2 == 0 // even sessions keep their connection
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			req, keep := session(g)
+			if req.ID == "" {
+				return
+			}
+			client, err := wire.Dial(addr)
+			if err != nil {
+				t.Errorf("session %d: dial: %v", g, err)
+				return
+			}
+			defer client.Close()
+			adm, err := client.Setup(req)
+			if err != nil {
+				t.Errorf("session %d: setup: %v", g, err)
+				return
+			}
+			if adm.ID != req.ID {
+				t.Errorf("session %d: admitted as %q", g, adm.ID)
+			}
+			if _, err := client.RouteBound(req.Route, req.Priority); err != nil {
+				t.Errorf("session %d: bound: %v", g, err)
+			}
+			if !keep {
+				if err := client.Teardown(req.ID); err != nil {
+					t.Errorf("session %d: teardown: %v", g, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	want := make(map[core.ConnID]core.ConnRequest)
+	for g := 0; g < sessions; g++ {
+		if req, keep := session(g); keep {
+			want[req.ID] = req
+		}
+	}
+
+	// The server's live view must be exactly the kept sessions.
+	client, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	established, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedIDs(established); got != sortedKeys(want) {
+		t.Fatalf("established set mismatch:\n got %s\nwant %s", got, sortedKeys(want))
+	}
+	if violations, err := client.Audit(); err != nil || len(violations) != 0 {
+		t.Fatalf("audit after load: violations=%v err=%v", violations, err)
+	}
+
+	// The persistence file must round-trip: same set, and every stored
+	// request re-admissible on a fresh network of the same shape.
+	stored, err := wire.NewStateStore(stateFile).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var storedIDs []core.ConnID
+	for _, req := range stored {
+		storedIDs = append(storedIDs, req.ID)
+		if want[req.ID].Spec != req.Spec {
+			t.Errorf("stored %s spec drifted: got %+v want %+v", req.ID, req.Spec, want[req.ID].Spec)
+		}
+	}
+	if got := sortedIDs(storedIDs); got != sortedKeys(want) {
+		t.Fatalf("state file set mismatch:\n got %s\nwant %s", got, sortedKeys(want))
+	}
+	fresh, err := rtnet.New(rtnet.Config{
+		RingNodes:        ringNodes,
+		TerminalsPerNode: terminals,
+		QueueCells:       map[core.Priority]float64{1: 1e6},
+		Policy:           core.HardCDV{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, failed, err := wire.Restore(fresh.Core(), wire.NewStateStore(stateFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != len(want) || len(failed) != 0 {
+		t.Fatalf("restore: %d restored, failed=%v, want %d/none", restored, failed, len(want))
+	}
+	if got := sortedIDs(fresh.Core().Connections()); got != sortedKeys(want) {
+		t.Fatalf("restored set mismatch:\n got %s\nwant %s", got, sortedKeys(want))
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+}
+
+func sortedIDs(ids []core.ConnID) string {
+	ss := make([]string, len(ids))
+	for i, id := range ids {
+		ss[i] = string(id)
+	}
+	sort.Strings(ss)
+	return fmt.Sprint(ss)
+}
+
+func sortedKeys(m map[core.ConnID]core.ConnRequest) string {
+	ids := make([]core.ConnID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return sortedIDs(ids)
 }

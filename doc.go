@@ -39,4 +39,20 @@
 // The runnable programs under examples/ and the cmd/rtnet-figures tool
 // regenerate every table and figure of the paper's evaluation; see
 // EXPERIMENTS.md for the reproduction record.
+//
+// # Concurrency
+//
+// All CAC types are safe for concurrent use. Switches publish their
+// admission state as immutable copy-on-write snapshots: queries never
+// block, and Admit evaluates the Algorithm 4.1 bounds lock-free against a
+// snapshot, then commits under a short per-switch critical section that
+// re-validates the snapshot (retrying on interference, with a fully
+// locked fallback for guaranteed progress). A connection is only ever
+// committed against the exact state its bounds were computed on, so
+// concurrent setups on a Network yield the same admit/reject decisions as
+// some serial ordering of the same requests — the hard real-time
+// guarantees of admitted connections are never weakened by races.
+// Setups on disjoint routes proceed in parallel without shared locks.
+// See DESIGN.md §4a for the locking model. Connection IDs containing NUL
+// bytes are reserved for internal signaling probes.
 package atmcac

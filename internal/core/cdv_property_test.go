@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// boundVector is a quick-generable vector of non-negative per-hop delay
+// bounds (in cell times), the domain of CDVPolicy.Accumulate.
+type boundVector []float64
+
+// Generate implements quick.Generator.
+func (boundVector) Generate(r *rand.Rand, _ int) reflect.Value {
+	v := make(boundVector, r.Intn(12))
+	for i := range v {
+		// Mix magnitudes: sub-cell CDVs up to multi-thousand-cell bounds.
+		v[i] = math.Abs(r.NormFloat64()) * math.Pow(10, float64(r.Intn(4)))
+	}
+	return reflect.ValueOf(v)
+}
+
+// TestPropSoftNeverExceedsHard: for every non-negative bound vector the
+// soft (square-root of sum of squares) accumulation is at most the hard
+// (plain sum) accumulation — the l2/l1 norm inequality that makes the soft
+// policy an optimistic relaxation, never a harder requirement.
+func TestPropSoftNeverExceedsHard(t *testing.T) {
+	f := func(v boundVector) bool {
+		soft := SoftCDV{}.Accumulate(v)
+		hard := HardCDV{}.Accumulate(v)
+		if math.IsNaN(soft) || math.IsNaN(hard) || soft < 0 || hard < 0 {
+			return false
+		}
+		// Relative tolerance for the float square root.
+		return soft <= hard*(1+1e-12)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCDVAccumulateMonotone: increasing any single element of the
+// bound vector can only increase (or keep) both accumulations — an
+// upstream switch granting a looser guarantee never shrinks the clumping
+// a downstream hop must tolerate.
+func TestPropCDVAccumulateMonotone(t *testing.T) {
+	f := func(v boundVector, idx uint8, bump float64) bool {
+		if len(v) == 0 {
+			return true
+		}
+		bump = math.Abs(bump)
+		if math.IsInf(bump, 0) || math.IsNaN(bump) {
+			return true
+		}
+		i := int(idx) % len(v)
+		raised := append(boundVector(nil), v...)
+		raised[i] += bump
+		for _, policy := range []CDVPolicy{HardCDV{}, SoftCDV{}} {
+			before := policy.Accumulate(v)
+			after := policy.Accumulate(raised)
+			if after < before-1e-9 {
+				t.Logf("%s: raising v[%d] by %g dropped %g -> %g", policy.Name(), i, bump, before, after)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCDVZeroAndSingleton pins the edge cases both policies must agree
+// on: the empty vector accumulates to zero, and a single upstream bound
+// passes through unchanged under either policy.
+func TestPropCDVZeroAndSingleton(t *testing.T) {
+	if got := (SoftCDV{}).Accumulate(nil); got != 0 {
+		t.Errorf("SoftCDV.Accumulate(nil) = %g", got)
+	}
+	if got := (HardCDV{}).Accumulate(nil); got != 0 {
+		t.Errorf("HardCDV.Accumulate(nil) = %g", got)
+	}
+	f := func(d float64) bool {
+		d = math.Abs(d)
+		if math.IsInf(d, 0) || math.IsNaN(d) {
+			return true
+		}
+		// Stay inside the physical domain: d*d must not overflow (a delay
+		// bound of 1e9 cell times is already ~45 minutes on OC-3).
+		d = math.Mod(d, 1e9)
+		soft := SoftCDV{}.Accumulate([]float64{d})
+		hard := HardCDV{}.Accumulate([]float64{d})
+		return math.Abs(soft-d) <= 1e-9*math.Max(1, d) && hard == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

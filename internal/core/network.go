@@ -138,12 +138,26 @@ func (v Violation) String() string {
 // with rollback, mirroring the SETUP/REJECT signaling of Section 4.1) and
 // offline planning (bulk install + audit, the mode the current RTnet uses
 // for permanent connections).
+//
+// There is no network-wide admission lock: the switch registry is guarded
+// by a read-write lock (reads are the hot path; switches are added at
+// startup), connection bookkeeping by its own mutex, and all per-hop CAC
+// state by the per-switch snapshot machinery, so concurrent setups on
+// disjoint routes proceed fully in parallel and setups on overlapping
+// routes serialize only inside each shared switch's short commit section.
 type Network struct {
 	policy CDVPolicy
 
-	mu       sync.Mutex
+	// switchMu guards the switch registry only.
+	switchMu sync.RWMutex
 	switches map[string]*Switch
+
+	// connMu guards admitted and pending. A setup in flight reserves its
+	// ID in pending so concurrent setups of the same ID are rejected as
+	// duplicates instead of racing hop commits.
+	connMu   sync.Mutex
 	admitted map[ConnID]ConnRequest
+	pending  map[ConnID]struct{}
 }
 
 // NewNetwork returns an empty network using the given CDV policy.
@@ -155,6 +169,7 @@ func NewNetwork(policy CDVPolicy) *Network {
 		policy:   policy,
 		switches: make(map[string]*Switch),
 		admitted: make(map[ConnID]ConnRequest),
+		pending:  make(map[ConnID]struct{}),
 	}
 }
 
@@ -167,8 +182,8 @@ func (n *Network) AddSwitch(cfg SwitchConfig) (*Switch, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.switchMu.Lock()
+	defer n.switchMu.Unlock()
 	if _, ok := n.switches[cfg.Name]; ok {
 		return nil, fmt.Errorf("%w: switch %q already exists", ErrBadConfig, cfg.Name)
 	}
@@ -178,16 +193,16 @@ func (n *Network) AddSwitch(cfg SwitchConfig) (*Switch, error) {
 
 // Switch returns a registered switch by name.
 func (n *Network) Switch(name string) (*Switch, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.switchMu.RLock()
+	defer n.switchMu.RUnlock()
 	sw, ok := n.switches[name]
 	return sw, ok
 }
 
 // SwitchNames returns the registered switch names in sorted order.
 func (n *Network) SwitchNames() []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.switchMu.RLock()
+	defer n.switchMu.RUnlock()
 	names := make([]string, 0, len(n.switches))
 	for name := range n.switches {
 		names = append(names, name)
@@ -198,8 +213,8 @@ func (n *Network) SwitchNames() []string {
 
 // Connections returns the IDs of admitted connections in sorted order.
 func (n *Network) Connections() []ConnID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
 	ids := make([]ConnID, 0, len(n.admitted))
 	for id := range n.admitted {
 		ids = append(ids, id)
@@ -211,8 +226,8 @@ func (n *Network) Connections() []ConnID {
 // AdmittedRequests returns copies of the admitted connection requests in
 // ID order — the network's durable state, used for persistence.
 func (n *Network) AdmittedRequests() []ConnRequest {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
 	reqs := make([]ConnRequest, 0, len(n.admitted))
 	for _, req := range n.admitted {
 		cp := req
@@ -224,10 +239,40 @@ func (n *Network) AdmittedRequests() []ConnRequest {
 	return reqs
 }
 
+// reserveID claims req.ID for an in-flight setup; the caller must resolve
+// the reservation with commitID or abandonID.
+func (n *Network) reserveID(id ConnID) error {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if _, ok := n.admitted[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateConn, id)
+	}
+	if _, ok := n.pending[id]; ok {
+		return fmt.Errorf("%w: %q (setup in progress)", ErrDuplicateConn, id)
+	}
+	n.pending[id] = struct{}{}
+	return nil
+}
+
+// commitID turns a reservation into an admission.
+func (n *Network) commitID(req ConnRequest) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	delete(n.pending, req.ID)
+	n.admitted[req.ID] = req
+}
+
+// abandonID drops a reservation after a failed setup.
+func (n *Network) abandonID(id ConnID) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	delete(n.pending, id)
+}
+
 // resolveRoute maps a route onto switches and collects their fixed bounds.
 func (n *Network) resolveRoute(req ConnRequest) ([]*Switch, []float64, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.switchMu.RLock()
+	defer n.switchMu.RUnlock()
 	switches := make([]*Switch, len(req.Route))
 	guaranteed := make([]float64, len(req.Route))
 	for i, hop := range req.Route {
@@ -251,17 +296,31 @@ func (n *Network) resolveRoute(req ConnRequest) ([]*Switch, []float64, error) {
 // SETUP procedure: each switch on the route runs the CAC check; the first
 // rejection rolls back all upstream commitments and the error (wrapping
 // ErrRejected for CAC failures) is returned.
+//
+// Each hop's admission is itself two-phase (snapshot check, then validated
+// commit — see Switch.Admit), so concurrent setups hold no lock during the
+// bit-stream math and serialize only inside the short per-switch commit
+// sections they actually share.
 func (n *Network) Setup(req ConnRequest) (*Admission, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
-	n.mu.Lock()
-	if _, ok := n.admitted[req.ID]; ok {
-		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrDuplicateConn, req.ID)
+	if err := n.reserveID(req.ID); err != nil {
+		return nil, err
 	}
-	n.mu.Unlock()
 
+	adm, err := n.setupHops(req)
+	if err != nil {
+		n.abandonID(req.ID)
+		return nil, err
+	}
+	n.commitID(req)
+	return adm, nil
+}
+
+// setupHops runs the hop-by-hop admission with rollback; the caller has
+// reserved req.ID.
+func (n *Network) setupHops(req ConnRequest) (*Admission, error) {
 	switches, guaranteed, err := n.resolveRoute(req)
 	if err != nil {
 		return nil, err
@@ -300,10 +359,6 @@ func (n *Network) Setup(req ConnRequest) (*Admission, error) {
 		computed = append(computed, res.Bounds[req.Priority])
 	}
 
-	n.mu.Lock()
-	n.admitted[req.ID] = req
-	n.mu.Unlock()
-
 	adm := &Admission{
 		ID:                 req.ID,
 		PerHopGuaranteed:   guaranteed,
@@ -318,12 +373,12 @@ func (n *Network) Setup(req ConnRequest) (*Admission, error) {
 
 // Teardown releases a connection at every hop of its route.
 func (n *Network) Teardown(id ConnID) error {
-	n.mu.Lock()
+	n.connMu.Lock()
 	req, ok := n.admitted[id]
 	if ok {
 		delete(n.admitted, id)
 	}
-	n.mu.Unlock()
+	n.connMu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownConn, id)
 	}
@@ -354,14 +409,12 @@ func (n *Network) Install(req ConnRequest) error {
 	if err := req.validate(); err != nil {
 		return err
 	}
-	n.mu.Lock()
-	if _, ok := n.admitted[req.ID]; ok {
-		n.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrDuplicateConn, req.ID)
+	if err := n.reserveID(req.ID); err != nil {
+		return err
 	}
-	n.mu.Unlock()
 	switches, guaranteed, err := n.resolveRoute(req)
 	if err != nil {
+		n.abandonID(req.ID)
 		return err
 	}
 	for i, sw := range switches {
@@ -378,40 +431,39 @@ func (n *Network) Install(req ConnRequest) error {
 			for j := i - 1; j >= 0; j-- {
 				_ = switches[j].Release(req.ID)
 			}
+			n.abandonID(req.ID)
 			return err
 		}
 	}
-	n.mu.Lock()
-	n.admitted[req.ID] = req
-	n.mu.Unlock()
+	n.commitID(req)
 	return nil
 }
 
 // Audit recomputes the worst-case delay bound of every (switch, output
 // port, priority) queue carrying traffic and returns the queues whose bound
 // exceeds their guarantee. An empty result means the installed connection
-// set is admissible.
+// set is admissible. Each switch is audited against one consistent
+// snapshot; admissions committing concurrently are seen entirely or not at
+// all per switch.
 func (n *Network) Audit() ([]Violation, error) {
-	n.mu.Lock()
+	n.switchMu.RLock()
 	switches := make([]*Switch, 0, len(n.switches))
 	for _, sw := range n.switches {
 		switches = append(switches, sw)
 	}
-	n.mu.Unlock()
+	n.switchMu.RUnlock()
 	sort.Slice(switches, func(i, j int) bool { return switches[i].Name() < switches[j].Name() })
 
 	var violations []Violation
 	for _, sw := range switches {
+		st := sw.snapshot()
 		for _, out := range sw.OutPorts() {
 			for _, p := range sw.cfg.priorities() {
-				sw.mu.Lock()
-				hasTraffic := sw.hasTrafficLocked(out, p)
-				sw.mu.Unlock()
-				if !hasTraffic {
+				if !st.hasTraffic(out, p) {
 					continue
 				}
 				limit, _ := sw.cfg.boundFor(out, p)
-				d, err := sw.ComputedBound(out, p)
+				d, err := st.delayBound(out, p, nil)
 				if err != nil {
 					if errors.Is(err, bitstream.ErrUnstable) {
 						violations = append(violations, Violation{

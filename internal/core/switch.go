@@ -17,8 +17,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"atmcac/internal/bitstream"
 	"atmcac/internal/traffic"
@@ -168,6 +171,17 @@ type entry struct {
 // Switch holds the CAC state of one switching node. All methods are safe
 // for concurrent use.
 //
+// Concurrency model: the admitted set lives in an immutable switchState
+// snapshot published through an atomic pointer. Readers (bound queries,
+// audits, the O(n) bitstream math of the CAC check) load the snapshot and
+// never block. Writers (Admit, Install, Release, Rename) clone the state
+// copy-on-write and publish the successor under a short critical section.
+// Admit is two-phase: the expensive check runs lock-free against a
+// snapshot, then the commit re-validates (by snapshot identity) under the
+// lock and retries with bounded backoff if a concurrent commit invalidated
+// the snapshot, finally falling back to a fully locked check+commit so
+// progress is guaranteed.
+//
 // A connection may traverse the same switch more than once — a wrapped
 // RTnet ring routes traffic through each node in both directions — so a
 // connection maps to a list of hop entries, each with its own port pair
@@ -175,12 +189,23 @@ type entry struct {
 type Switch struct {
 	cfg SwitchConfig
 
+	// mu serializes writers only; readers go through state.
 	mu    sync.Mutex
+	state atomic.Pointer[switchState]
+}
+
+// switchState is an immutable snapshot of a switch's admitted set. The
+// conns map and the entry slices it holds are never mutated after
+// publication; writers build a successor state instead.
+type switchState struct {
 	conns map[ConnID][]entry
-	// cache memoizes the assembled (Soa, Sof) streams per (out, priority);
-	// it is cleared on every state mutation. Audits and repeated bound
-	// queries between admissions hit it.
-	cache map[portPrio]cachedStreams
+
+	// cache memoizes the assembled (Soa, Sof) streams per (out, priority)
+	// for this snapshot. Because the snapshot is immutable the cache can
+	// never go stale: a commit publishes a fresh state with an empty
+	// cache, which is exactly the old "clear on mutation" semantics.
+	cacheMu sync.Mutex
+	cache   map[portPrio]cachedStreams
 }
 
 type portPrio struct {
@@ -192,6 +217,10 @@ type cachedStreams struct {
 	soa bitstream.Stream
 	sof bitstream.Stream
 }
+
+// maxOptimisticAdmits bounds the lock-free check/commit retries of Admit
+// before it falls back to deciding under the writer lock.
+const maxOptimisticAdmits = 3
 
 // NewSwitch returns a switch with the given queue configuration.
 func NewSwitch(cfg SwitchConfig) (*Switch, error) {
@@ -214,11 +243,13 @@ func NewSwitch(cfg SwitchConfig) (*Switch, error) {
 		}
 		cfg.PortQueueCells = overrides
 	}
-	return &Switch{
-		cfg:   cfg,
-		conns: make(map[ConnID][]entry),
-		cache: make(map[portPrio]cachedStreams),
-	}, nil
+	sw := &Switch{cfg: cfg}
+	sw.state.Store(newSwitchState(make(map[ConnID][]entry)))
+	return sw, nil
+}
+
+func newSwitchState(conns map[ConnID][]entry) *switchState {
+	return &switchState{conns: conns, cache: make(map[portPrio]cachedStreams)}
 }
 
 // Name returns the switch name.
@@ -239,16 +270,12 @@ func (sw *Switch) GuaranteedBoundAt(out PortID, p Priority) (float64, bool) {
 
 // ConnectionCount returns the number of admitted connections.
 func (sw *Switch) ConnectionCount() int {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	return len(sw.conns)
+	return len(sw.state.Load().conns)
 }
 
 // Has reports whether the switch carries the connection.
 func (sw *Switch) Has(id ConnID) bool {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	_, ok := sw.conns[id]
+	_, ok := sw.state.Load().conns[id]
 	return ok
 }
 
@@ -263,12 +290,12 @@ func arrivalStream(spec traffic.Spec, cdv float64) (bitstream.Stream, error) {
 	return s.Delayed(cdv)
 }
 
-// duplicateHopLocked reports whether the connection already has an entry
-// with the same port pair: the only admission that is a true duplicate. A
-// second traversal of the switch via different ports (a wrapped ring) is
-// legitimate. Caller holds sw.mu.
-func (sw *Switch) duplicateHopLocked(req HopRequest) bool {
-	for _, e := range sw.conns[req.Conn] {
+// duplicateHop reports whether the connection already has an entry with the
+// same port pair: the only admission that is a true duplicate. A second
+// traversal of the switch via different ports (a wrapped ring) is
+// legitimate.
+func (st *switchState) duplicateHop(req HopRequest) bool {
+	for _, e := range st.conns[req.Conn] {
 		if e.in == req.In && e.out == req.Out {
 			return true
 		}
@@ -277,42 +304,100 @@ func (sw *Switch) duplicateHopLocked(req HopRequest) bool {
 }
 
 // Check runs the CAC check of Section 4.3 for a new connection without
-// committing it. It returns a *RejectionError (wrapping ErrRejected) if the
-// connection cannot be accommodated.
+// committing it. It evaluates against the current snapshot without
+// blocking writers. It returns a *RejectionError (wrapping ErrRejected) if
+// the connection cannot be accommodated.
 func (sw *Switch) Check(req HopRequest) (HopResult, error) {
 	arr, err := sw.validateRequest(req)
 	if err != nil {
 		return HopResult{}, err
 	}
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	if sw.duplicateHopLocked(req) {
+	st := sw.state.Load()
+	if st.duplicateHop(req) {
 		return HopResult{}, fmt.Errorf("%w: %q at switch %q ports %d->%d",
 			ErrDuplicateConn, req.Conn, sw.cfg.Name, req.In, req.Out)
 	}
-	return sw.checkLocked(req, arr)
+	return sw.checkState(st, req, arr)
 }
 
 // Admit runs the CAC check and, on success, commits the connection.
+//
+// The check (the O(n) bitstream math) runs against an immutable snapshot
+// with no lock held; the commit then re-validates under the writer lock
+// that the snapshot is still current and publishes the successor state.
+// If a concurrent commit invalidated the snapshot the admission retries
+// with bounded backoff, and after maxOptimisticAdmits attempts it decides
+// under the lock, so it always terminates with a decision that was valid
+// against the state it committed into.
 func (sw *Switch) Admit(req HopRequest) (HopResult, error) {
 	arr, err := sw.validateRequest(req)
 	if err != nil {
 		return HopResult{}, err
 	}
+	for attempt := 0; attempt < maxOptimisticAdmits; attempt++ {
+		if attempt > 0 {
+			// A concurrent commit won the race; yield before re-reading so
+			// the winner's successors have a chance to drain.
+			runtime.Gosched()
+			if attempt > 1 {
+				time.Sleep(time.Duration(attempt) * 2 * time.Microsecond)
+			}
+		}
+		st := sw.state.Load()
+		if st.duplicateHop(req) {
+			return HopResult{}, fmt.Errorf("%w: %q at switch %q ports %d->%d",
+				ErrDuplicateConn, req.Conn, sw.cfg.Name, req.In, req.Out)
+		}
+		res, err := sw.checkState(st, req, arr)
+		if err != nil {
+			// A rejection is decided at the instant the snapshot was
+			// loaded; concurrent releases after that instant do not
+			// retroactively invalidate it.
+			return HopResult{}, err
+		}
+		sw.mu.Lock()
+		if sw.state.Load() == st {
+			sw.commitLocked(st, req, arr)
+			sw.mu.Unlock()
+			return res, nil
+		}
+		sw.mu.Unlock()
+	}
+	// Contended: decide under the lock. No commit can interleave, so the
+	// check is authoritative and progress is guaranteed.
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	if sw.duplicateHopLocked(req) {
+	st := sw.state.Load()
+	if st.duplicateHop(req) {
 		return HopResult{}, fmt.Errorf("%w: %q at switch %q ports %d->%d",
 			ErrDuplicateConn, req.Conn, sw.cfg.Name, req.In, req.Out)
 	}
-	res, err := sw.checkLocked(req, arr)
+	res, err := sw.checkState(st, req, arr)
 	if err != nil {
 		return HopResult{}, err
 	}
-	sw.conns[req.Conn] = append(sw.conns[req.Conn],
-		entry{id: req.Conn, in: req.In, out: req.Out, prio: req.Priority, arrival: arr})
-	clear(sw.cache)
+	sw.commitLocked(st, req, arr)
 	return res, nil
+}
+
+// commitLocked publishes the successor of st with req's entry appended.
+// Caller holds sw.mu and has verified st is the current state.
+func (sw *Switch) commitLocked(st *switchState, req HopRequest, arr bitstream.Stream) {
+	next := st.cloneConns()
+	next[req.Conn] = append(append([]entry(nil), next[req.Conn]...),
+		entry{id: req.Conn, in: req.In, out: req.Out, prio: req.Priority, arrival: arr})
+	sw.state.Store(newSwitchState(next))
+}
+
+// cloneConns shallow-copies the connection map; entry slices are shared
+// with the parent state and must be re-sliced copy-on-write by the caller
+// for any connection it modifies.
+func (st *switchState) cloneConns() map[ConnID][]entry {
+	next := make(map[ConnID][]entry, len(st.conns)+1)
+	for id, entries := range st.conns {
+		next[id] = entries
+	}
+	return next
 }
 
 // Install commits the connection without running the CAC check. It is used
@@ -325,13 +410,12 @@ func (sw *Switch) Install(req HopRequest) error {
 	}
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	if sw.duplicateHopLocked(req) {
+	st := sw.state.Load()
+	if st.duplicateHop(req) {
 		return fmt.Errorf("%w: %q at switch %q ports %d->%d",
 			ErrDuplicateConn, req.Conn, sw.cfg.Name, req.In, req.Out)
 	}
-	sw.conns[req.Conn] = append(sw.conns[req.Conn],
-		entry{id: req.Conn, in: req.In, out: req.Out, prio: req.Priority, arrival: arr})
-	clear(sw.cache)
+	sw.commitLocked(st, req, arr)
 	return nil
 }
 
@@ -340,11 +424,45 @@ func (sw *Switch) Install(req HopRequest) error {
 func (sw *Switch) Release(id ConnID) error {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
-	if _, ok := sw.conns[id]; !ok {
+	st := sw.state.Load()
+	if _, ok := st.conns[id]; !ok {
 		return fmt.Errorf("%w: %q at switch %q", ErrUnknownConn, id, sw.cfg.Name)
 	}
-	delete(sw.conns, id)
-	clear(sw.cache)
+	next := st.cloneConns()
+	delete(next, id)
+	sw.state.Store(newSwitchState(next))
+	return nil
+}
+
+// Rename atomically re-labels an admitted connection, keeping every hop
+// entry and its reservations intact. It is used by signaling crankback to
+// promote a winning probe setup to the caller's connection ID.
+func (sw *Switch) Rename(old, new ConnID) error {
+	if new == "" {
+		return fmt.Errorf("%w: empty connection ID", ErrBadConfig)
+	}
+	if old == new {
+		return nil
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	st := sw.state.Load()
+	entries, ok := st.conns[old]
+	if !ok {
+		return fmt.Errorf("%w: %q at switch %q", ErrUnknownConn, old, sw.cfg.Name)
+	}
+	if _, ok := st.conns[new]; ok {
+		return fmt.Errorf("%w: %q at switch %q", ErrDuplicateConn, new, sw.cfg.Name)
+	}
+	renamed := make([]entry, len(entries))
+	for i, e := range entries {
+		e.id = new
+		renamed[i] = e
+	}
+	next := st.cloneConns()
+	delete(next, old)
+	next[new] = renamed
+	sw.state.Store(newSwitchState(next))
 	return nil
 }
 
@@ -365,9 +483,9 @@ func (sw *Switch) validateRequest(req HopRequest) (bitstream.Stream, error) {
 	return arr, nil
 }
 
-// checkLocked performs Steps 1-6 of Section 4.3 with the candidate arrival
-// stream included. Caller holds sw.mu.
-func (sw *Switch) checkLocked(req HopRequest, arr bitstream.Stream) (HopResult, error) {
+// checkState performs Steps 1-6 of Section 4.3 against the snapshot with
+// the candidate arrival stream included. It takes no locks.
+func (sw *Switch) checkState(st *switchState, req HopRequest, arr bitstream.Stream) (HopResult, error) {
 	extra := &entry{id: req.Conn, in: req.In, out: req.Out, prio: req.Priority, arrival: arr}
 	bounds := make(map[Priority]float64)
 	for _, p := range sw.cfg.priorities() {
@@ -375,12 +493,12 @@ func (sw *Switch) checkLocked(req HopRequest, arr bitstream.Stream) (HopResult, 
 			// Higher priorities are unaffected by the new connection.
 			continue
 		}
-		if p > req.Priority && !sw.hasTrafficLocked(req.Out, p) {
+		if p > req.Priority && !st.hasTraffic(req.Out, p) {
 			// Lower priority with no real-time traffic: nothing to protect.
 			continue
 		}
 		limit, _ := sw.cfg.boundFor(req.Out, p)
-		d, err := sw.delayBoundLocked(req.Out, p, extra)
+		d, err := st.delayBound(req.Out, p, extra)
 		if err != nil {
 			if errors.Is(err, bitstream.ErrUnstable) {
 				return HopResult{}, &RejectionError{
@@ -404,10 +522,9 @@ func (sw *Switch) checkLocked(req HopRequest, arr bitstream.Stream) (HopResult, 
 	return HopResult{Bounds: bounds, Guaranteed: guaranteed}, nil
 }
 
-// hasTrafficLocked reports whether any connection of priority p leaves via
-// out. Caller holds sw.mu.
-func (sw *Switch) hasTrafficLocked(out PortID, p Priority) bool {
-	for _, entries := range sw.conns {
+// hasTraffic reports whether any connection of priority p leaves via out.
+func (st *switchState) hasTraffic(out PortID, p Priority) bool {
+	for _, entries := range st.conns {
 		for _, e := range entries {
 			if e.out == out && e.prio == p {
 				return true
@@ -417,15 +534,19 @@ func (sw *Switch) hasTrafficLocked(out PortID, p Priority) bool {
 	return false
 }
 
+// snapshot returns the current immutable state (for same-package callers
+// that need a consistent multi-query view, e.g. Network.Audit).
+func (sw *Switch) snapshot() *switchState {
+	return sw.state.Load()
+}
+
 // ComputedBound returns the current worst-case queueing delay D'(out, p)
 // with the present connection set (no candidate).
 func (sw *Switch) ComputedBound(out PortID, p Priority) (float64, error) {
 	if _, ok := sw.cfg.QueueCells[p]; !ok {
 		return 0, fmt.Errorf("%w: switch %q has no priority %d queue", ErrBadConfig, sw.cfg.Name, p)
 	}
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	return sw.delayBoundLocked(out, p, nil)
+	return sw.state.Load().delayBound(out, p, nil)
 }
 
 // MaxBacklog returns the worst-case backlog (cells) of the priority-p queue
@@ -434,9 +555,7 @@ func (sw *Switch) MaxBacklog(out PortID, p Priority) (float64, error) {
 	if _, ok := sw.cfg.QueueCells[p]; !ok {
 		return 0, fmt.Errorf("%w: switch %q has no priority %d queue", ErrBadConfig, sw.cfg.Name, p)
 	}
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	soa, sof := sw.portStreamsLocked(out, p, nil)
+	soa, sof := sw.state.Load().portStreams(out, p, nil)
 	return bitstream.MaxBacklog(soa, sof)
 }
 
@@ -450,9 +569,7 @@ func (sw *Switch) PortEnvelope(out PortID, p Priority) (soa, sof bitstream.Strea
 		return bitstream.Stream{}, bitstream.Stream{},
 			fmt.Errorf("%w: switch %q has no priority %d queue", ErrBadConfig, sw.cfg.Name, p)
 	}
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
-	soa, sof = sw.portStreamsLocked(out, p, nil)
+	soa, sof = sw.state.Load().portStreams(out, p, nil)
 	return soa, sof, nil
 }
 
@@ -464,10 +581,9 @@ func (sw *Switch) Priorities() []Priority {
 // OutPorts returns the output ports that currently carry connections, in
 // ascending order.
 func (sw *Switch) OutPorts() []PortID {
-	sw.mu.Lock()
-	defer sw.mu.Unlock()
+	st := sw.state.Load()
 	seen := make(map[PortID]bool)
-	for _, entries := range sw.conns {
+	for _, entries := range st.conns {
 		for _, e := range entries {
 			seen[e.out] = true
 		}
@@ -480,14 +596,14 @@ func (sw *Switch) OutPorts() []PortID {
 	return out
 }
 
-// delayBoundLocked computes D'(out, p) using the paper's data structures,
-// optionally including a candidate entry. Caller holds sw.mu.
-func (sw *Switch) delayBoundLocked(out PortID, p Priority, extra *entry) (float64, error) {
-	soa, sof := sw.portStreamsLocked(out, p, extra)
+// delayBound computes D'(out, p) using the paper's data structures,
+// optionally including a candidate entry. It takes no switch-wide locks.
+func (st *switchState) delayBound(out PortID, p Priority, extra *entry) (float64, error) {
+	soa, sof := st.portStreams(out, p, extra)
 	return bitstream.DelayBound(soa, sof)
 }
 
-// portStreamsLocked assembles, for output port out and priority p:
+// portStreams assembles, for output port out and priority p:
 //
 //	Soa(j,p)  — the aggregated same-priority arrival stream: per incoming
 //	            link, the multiplexed connection envelopes Sia(i,j,p)
@@ -496,11 +612,16 @@ func (sw *Switch) delayBoundLocked(out PortID, p Priority, extra *entry) (float6
 //	            incoming link Sia(i,j)(<p) filtered (Sif), summed (Soa),
 //	            then filtered by the outgoing link.
 //
-// Caller holds sw.mu.
-func (sw *Switch) portStreamsLocked(out PortID, p Priority, extra *entry) (soa, sof bitstream.Stream) {
+// Candidate-free results are memoized in the snapshot's cache. Concurrent
+// queries for the same uncached key may compute the result redundantly;
+// they produce identical streams, so the last store wins harmlessly.
+func (st *switchState) portStreams(out PortID, p Priority, extra *entry) (soa, sof bitstream.Stream) {
 	key := portPrio{out: out, prio: p}
 	if extra == nil {
-		if c, ok := sw.cache[key]; ok {
+		st.cacheMu.Lock()
+		c, ok := st.cache[key]
+		st.cacheMu.Unlock()
+		if ok {
 			return c.soa, c.sof
 		}
 	}
@@ -517,7 +638,7 @@ func (sw *Switch) portStreamsLocked(out PortID, p Priority, extra *entry) (soa, 
 			higher[e.in] = append(higher[e.in], e.arrival)
 		}
 	}
-	for _, entries := range sw.conns {
+	for _, entries := range st.conns {
 		for i := range entries {
 			collect(&entries[i])
 		}
@@ -530,7 +651,9 @@ func (sw *Switch) portStreamsLocked(out PortID, p Priority, extra *entry) (soa, 
 		sof = sumFiltered(higher).Filtered()
 	}
 	if extra == nil {
-		sw.cache[key] = cachedStreams{soa: soa, sof: sof}
+		st.cacheMu.Lock()
+		st.cache[key] = cachedStreams{soa: soa, sof: sof}
+		st.cacheMu.Unlock()
 	}
 	return soa, sof
 }

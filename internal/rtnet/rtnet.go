@@ -148,18 +148,22 @@ func (n *Network) Core() *core.Network { return n.coreN }
 // Graph returns the physical topology.
 func (n *Network) Graph() *topology.Graph { return n.graph }
 
-// BroadcastRoute returns the route of a cyclic-transmission broadcast
-// originating at terminal t of ring node origin: the cell enters the ring at
-// the origin node and travels RingNodes-1 hops so every other node receives
-// it. Each hop is a queueing point at a ring node's ring output port.
-func (n *Network) BroadcastRoute(origin, t int) (core.Route, error) {
+// SegmentRoute returns the route of a unicast connection entering the ring
+// at terminal t of ring node origin and travelling hops ring hops
+// downstream (1 <= hops <= RingNodes-1). Each hop is a queueing point at a
+// ring node's ring output port. Point-to-point segments let concurrent
+// setups touch disjoint parts of the ring, which is what the parallel
+// admission path exploits.
+func (n *Network) SegmentRoute(origin, t, hops int) (core.Route, error) {
 	if origin < 0 || origin >= n.cfg.RingNodes {
 		return nil, fmt.Errorf("%w: origin node %d", ErrConfig, origin)
 	}
 	if t < 0 || t >= n.cfg.TerminalsPerNode {
 		return nil, fmt.Errorf("%w: terminal %d", ErrConfig, t)
 	}
-	hops := n.cfg.RingNodes - 1
+	if hops < 1 || hops > n.cfg.RingNodes-1 {
+		return nil, fmt.Errorf("%w: %d hops (1..%d)", ErrConfig, hops, n.cfg.RingNodes-1)
+	}
 	route := make(core.Route, hops)
 	for h := 0; h < hops; h++ {
 		in := RingInPort
@@ -173,6 +177,14 @@ func (n *Network) BroadcastRoute(origin, t int) (core.Route, error) {
 		}
 	}
 	return route, nil
+}
+
+// BroadcastRoute returns the route of a cyclic-transmission broadcast
+// originating at terminal t of ring node origin: the cell enters the ring at
+// the origin node and travels RingNodes-1 hops so every other node receives
+// it. Each hop is a queueing point at a ring node's ring output port.
+func (n *Network) BroadcastRoute(origin, t int) (core.Route, error) {
+	return n.SegmentRoute(origin, t, n.cfg.RingNodes-1)
 }
 
 // ConnectionID names the broadcast connection of terminal t on node i.

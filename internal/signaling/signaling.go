@@ -258,16 +258,117 @@ func (f *Fabric) Connect(ctx context.Context, req core.ConnRequest) (*Result, er
 	}
 }
 
-// ConnectAny attempts the setup over each candidate route in order and
-// returns the first success together with the index of the route that
-// carried it — the crankback behaviour of ATM signaling: a REJECT releases
-// every upstream reservation, and the source retries over an alternate
-// route. Non-CAC errors abort immediately; if every route is rejected, the
-// last rejection is returned.
+// ConnectAny attempts the setup over the candidate routes and returns a
+// success together with the index of the route that carried it — the
+// crankback behaviour of ATM signaling: a REJECT releases every upstream
+// reservation and the source retries over an alternate route.
+//
+// With more than one candidate the routes are evaluated in parallel: each
+// candidate runs a full distributed setup under a hidden probe ID, the
+// lowest-indexed viable outcome wins (mirroring the serial preference
+// order), surplus successes are released, and the winner's reservations
+// are atomically re-labelled to req.ID. Probes briefly reserve capacity on
+// every candidate simultaneously, so if all of them are rejected — which
+// can be an artifact of the probes contending with each other — the
+// candidates are retried serially before the rejection is final. Decisions
+// are therefore never more conservative than the serial crankback.
+//
+// Non-CAC errors abort the setup; if every route is rejected, the last
+// rejection is returned. Like Connect, cancelling the context abandons the
+// wait but does not abort the protocol. Connection IDs containing a NUL
+// byte are reserved for probe attempts.
 func (f *Fabric) ConnectAny(ctx context.Context, req core.ConnRequest, routes []core.Route) (*Result, int, error) {
 	if len(routes) == 0 {
 		return nil, -1, fmt.Errorf("%w: no candidate routes for %q", core.ErrBadConfig, req.ID)
 	}
+	if len(routes) == 1 {
+		return f.connectAnySerial(ctx, req, routes)
+	}
+
+	// Reserve the caller's ID for the duration of the race so no concurrent
+	// setup can take it before the winning probe is promoted. The channel is
+	// a placeholder: no protocol message carries req.ID while probes run.
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, -1, ErrClosed
+	}
+	if _, ok := f.pending[req.ID]; ok {
+		f.mu.Unlock()
+		return nil, -1, fmt.Errorf("%w: %q", ErrDuplicate, req.ID)
+	}
+	if _, ok := f.established[req.ID]; ok {
+		f.mu.Unlock()
+		return nil, -1, fmt.Errorf("%w: %q", ErrDuplicate, req.ID)
+	}
+	reserve := make(chan outcome, 1)
+	f.pending[req.ID] = reserve
+	f.mu.Unlock()
+	unreserve := func() {
+		f.mu.Lock()
+		if ch, ok := f.pending[req.ID]; ok && ch == reserve {
+			delete(f.pending, req.ID)
+		}
+		f.mu.Unlock()
+	}
+
+	type attempt struct {
+		res *Result
+		err error
+	}
+	results := make([]attempt, len(routes))
+	var wg sync.WaitGroup
+	for i, route := range routes {
+		wg.Add(1)
+		go func(i int, route core.Route) {
+			defer wg.Done()
+			probe := req
+			probe.ID = probeID(req.ID, i)
+			probe.Route = route
+			res, err := f.Connect(ctx, probe)
+			results[i] = attempt{res: res, err: err}
+		}(i, route)
+	}
+	wg.Wait()
+
+	// Select exactly as the serial loop would: scan in candidate order and
+	// let the first non-rejection outcome decide.
+	winner := -1
+	var abortErr error
+	for i := range results {
+		if results[i].err == nil {
+			if winner < 0 && abortErr == nil {
+				winner = i
+			} else {
+				// Surplus success (or success after a fatal error): release.
+				_ = f.Disconnect(context.Background(), probeID(req.ID, i))
+			}
+			continue
+		}
+		if !errors.Is(results[i].err, core.ErrRejected) && winner < 0 && abortErr == nil {
+			abortErr = results[i].err
+		}
+	}
+	if abortErr != nil {
+		unreserve()
+		return nil, -1, abortErr
+	}
+	if winner < 0 {
+		// Every probe was rejected; rule out probe self-contention with the
+		// classic serial crankback before reporting the rejection.
+		unreserve()
+		return f.connectAnySerial(ctx, req, routes)
+	}
+	res, err := f.promote(probeID(req.ID, winner), req, routes[winner], *results[winner].res)
+	unreserve()
+	if err != nil {
+		return nil, -1, err
+	}
+	return res, winner, nil
+}
+
+// connectAnySerial is the classic sequential crankback loop.
+func (f *Fabric) connectAnySerial(ctx context.Context, req core.ConnRequest, routes []core.Route) (*Result, int, error) {
 	var lastErr error
 	for i, route := range routes {
 		attempt := req
@@ -282,6 +383,50 @@ func (f *Fabric) ConnectAny(ctx context.Context, req core.ConnRequest, routes []
 		lastErr = err
 	}
 	return nil, -1, lastErr
+}
+
+// probeID derives the hidden attempt ID of candidate route i. The NUL byte
+// keeps probes out of the caller-visible ID space.
+func probeID(id core.ConnID, i int) core.ConnID {
+	return core.ConnID(fmt.Sprintf("%s\x00alt%d", id, i))
+}
+
+// promote re-labels an established probe setup to the caller's connection
+// ID: every switch on the winning route renames its reservations, then the
+// fabric bookkeeping moves the establishment. The caller still holds the
+// req.ID reservation, so no concurrent setup can collide with the new name.
+func (f *Fabric) promote(probe core.ConnID, req core.ConnRequest, route core.Route, res Result) (*Result, error) {
+	req.Route = route
+	renamed := make(map[string]bool, len(route))
+	for _, hop := range route {
+		if renamed[hop.Switch] {
+			continue
+		}
+		n, ok := f.Node(hop.Switch)
+		if !ok {
+			_ = f.Disconnect(context.Background(), probe)
+			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, hop.Switch)
+		}
+		if err := n.sw.Rename(probe, req.ID); err != nil {
+			// Roll the partial rename back and release the probe.
+			for _, h := range route {
+				if renamed[h.Switch] {
+					if rn, ok := f.Node(h.Switch); ok {
+						_ = rn.sw.Rename(req.ID, probe)
+					}
+				}
+			}
+			_ = f.Disconnect(context.Background(), probe)
+			return nil, fmt.Errorf("signaling: promote crankback winner %q: %w", req.ID, err)
+		}
+		renamed[hop.Switch] = true
+	}
+	f.mu.Lock()
+	delete(f.established, probe)
+	f.established[req.ID] = req
+	f.mu.Unlock()
+	res.ID = req.ID
+	return &res, nil
 }
 
 // Disconnect releases an established connection at every hop and blocks
