@@ -5,14 +5,22 @@
 //
 // Usage:
 //
-//	cacctl [-addr HOST:PORT] setup    -id ID -origin N [-terminal N] [-ring N] [-pcr R] [-scr R] [-mbs N] [-prio P] [-delay CELLS]
-//	cacctl [-addr HOST:PORT] teardown -id ID
+//	cacctl [-addr HOST:PORT] setup        -id ID -origin N [-terminal N] [-ring N] [-pcr R] [-scr R] [-mbs N] [-prio P] [-delay CELLS]
+//	cacctl [-addr HOST:PORT] teardown     -id ID
 //	cacctl [-addr HOST:PORT] list
-//	cacctl [-addr HOST:PORT] bound    -origin N [-terminal N] [-ring N] [-prio P]
+//	cacctl [-addr HOST:PORT] bound        -origin N [-terminal N] [-ring N] [-prio P]
+//	cacctl [-addr HOST:PORT] fail-link    -node N [-ring N]
+//	cacctl [-addr HOST:PORT] restore-link -node N [-ring N]
+//	cacctl [-addr HOST:PORT] health
 //
 // setup and bound address RTnet broadcast routes: the connection enters the
 // ring at node -origin via terminal -terminal and visits every other ring
 // node (-ring must match the server's ring size).
+//
+// fail-link declares primary ring link N -> N+1 failed: the server evicts
+// every connection traversing it and re-admits each over the wrapped ring,
+// reporting the per-connection outcomes. restore-link clears the failure.
+// health reports connection count, failed links and audit state.
 package main
 
 import (
@@ -62,9 +70,92 @@ func run(args []string) error {
 		return inspect(client, rest[1:])
 	case "audit":
 		return audit(client)
+	case "fail-link":
+		return failLink(client, rest[1:])
+	case "restore-link":
+		return restoreLink(client, rest[1:])
+	case "health":
+		return health(client)
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
+}
+
+// primaryLinkFlags parses -node/-ring into the switch names of primary
+// ring link node -> node+1.
+func primaryLinkFlags(name string, args []string) (from, to string, err error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	var (
+		node = fs.Int("node", -1, "transmitting ring node of the primary link (link is node -> node+1)")
+		ring = fs.Int("ring", 16, "ring size (must match the server)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return "", "", err
+	}
+	if *node < 0 || *node >= *ring {
+		return "", "", fmt.Errorf("%s requires -node in [0, %d)", name, *ring)
+	}
+	return rtnet.SwitchName(*node), rtnet.SwitchName((*node + 1) % *ring), nil
+}
+
+func failLink(client *wire.Client, args []string) error {
+	from, to, err := primaryLinkFlags("fail-link", args)
+	if err != nil {
+		return err
+	}
+	report, err := client.FailLink(from, to)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("link %s failed: %d connections evicted\n", report.Link, len(report.Outcomes))
+	down := 0
+	for _, o := range report.Outcomes {
+		if o.Readmitted {
+			fmt.Printf("  re-admitted %s (%d attempts)\n", o.ID, o.Attempts)
+		} else {
+			down++
+			fmt.Printf("  DOWN %s: %s\n", o.ID, o.Error)
+		}
+	}
+	if down > 0 {
+		return fmt.Errorf("%d connections not re-admitted in degraded mode", down)
+	}
+	return nil
+}
+
+func restoreLink(client *wire.Client, args []string) error {
+	from, to, err := primaryLinkFlags("restore-link", args)
+	if err != nil {
+		return err
+	}
+	if err := client.RestoreLink(from, to); err != nil {
+		return err
+	}
+	fmt.Printf("link %s->%s restored\n", from, to)
+	return nil
+}
+
+func health(client *wire.Client) error {
+	h, err := client.Health()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("connections: %d\n", h.Connections)
+	if len(h.FailedLinks) == 0 {
+		fmt.Println("links: all up")
+	} else {
+		for _, l := range h.FailedLinks {
+			fmt.Printf("link DOWN: %s\n", l)
+		}
+	}
+	fmt.Printf("audit violations: %d\n", h.Violations)
+	if h.Draining {
+		fmt.Println("state: draining")
+	}
+	if h.Violations > 0 {
+		return fmt.Errorf("%d queues over budget", h.Violations)
+	}
+	return nil
 }
 
 func audit(client *wire.Client) error {

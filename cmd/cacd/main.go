@@ -6,21 +6,33 @@
 // Usage:
 //
 //	cacd [-listen ADDR] [-ring N] [-terminals N] [-queue CELLS] [-low-queue CELLS] [-policy hard|soft]
+//	     [-state FILE] [-state-strict] [-io-timeout D] [-drain-timeout D]
 //
 // The server manages one CAC network whose switches are the ring nodes of
 // an RTnet with the given shape. Clients (see cmd/cacctl) set up and tear
-// down connections over newline-delimited JSON.
+// down connections over newline-delimited JSON, declare link failures
+// (fail-link / restore-link) and query daemon health.
+//
+// On a fail-link the server evicts every connection traversing the link
+// and re-admits each over the wrapped ring of paper Section 5 through the
+// full CAC check; connections whose hard bound cannot survive the longer
+// route stay down and are reported, never silently degraded. On SIGTERM
+// the server drains: it stops accepting, lets in-flight requests finish
+// (bounded by -drain-timeout) and writes a final state snapshot.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"atmcac/internal/core"
+	"atmcac/internal/failover"
 	"atmcac/internal/rtnet"
 	"atmcac/internal/wire"
 )
@@ -40,13 +52,16 @@ var testHookListen func(net.Addr)
 func run(args []string) error {
 	fs := flag.NewFlagSet("cacd", flag.ContinueOnError)
 	var (
-		listen    = fs.String("listen", "127.0.0.1:7801", "listen address")
-		ring      = fs.Int("ring", 16, "ring nodes")
-		terminals = fs.Int("terminals", 16, "terminals per ring node")
-		queue     = fs.Float64("queue", 32, "priority-1 FIFO size (cells)")
-		lowQueue  = fs.Float64("low-queue", 0, "optional priority-2 FIFO size (cells); 0 disables")
-		policy    = fs.String("policy", "hard", "CDV accumulation: hard or soft")
-		state     = fs.String("state", "", "persist established connections to this JSON file")
+		listen       = fs.String("listen", "127.0.0.1:7801", "listen address")
+		ring         = fs.Int("ring", 16, "ring nodes")
+		terminals    = fs.Int("terminals", 16, "terminals per ring node")
+		queue        = fs.Float64("queue", 32, "priority-1 FIFO size (cells)")
+		lowQueue     = fs.Float64("low-queue", 0, "optional priority-2 FIFO size (cells); 0 disables")
+		policy       = fs.String("policy", "hard", "CDV accumulation: hard or soft")
+		state        = fs.String("state", "", "persist established connections to this JSON file")
+		stateStrict  = fs.Bool("state-strict", false, "exit non-zero when any stored connection cannot be restored")
+		ioTimeout    = fs.Duration("io-timeout", 0, "per-request read/write deadline on client connections; 0 disables")
+		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +95,8 @@ func run(args []string) error {
 	defer signal.Stop(sigCh)
 
 	srv := wire.NewServer(rt.Core())
+	srv.SetIOTimeout(*ioTimeout)
+	srv.SetFailoverHandler(failoverHandler(rt))
 	if *state != "" {
 		store := wire.NewStateStore(*state)
 		restored, failed, err := wire.Restore(rt.Core(), store)
@@ -87,12 +104,15 @@ func run(args []string) error {
 			return err
 		}
 		srv.SetStateStore(store)
-		if restored > 0 || len(failed) > 0 {
-			fmt.Printf("cacd: restored %d connections from %s", restored, *state)
-			if len(failed) > 0 {
-				fmt.Printf(" (%d no longer admissible: %v)", len(failed), failed)
-			}
-			fmt.Println()
+		if restored > 0 {
+			fmt.Printf("cacd: restored %d connections from %s\n", restored, *state)
+		}
+		for _, f := range failed {
+			fmt.Printf("cacd: connection %q no longer admissible: %v\n", f.ID, f.Err)
+		}
+		if len(failed) > 0 && *stateStrict {
+			return fmt.Errorf("state-strict: %d of %d stored connections could not be restored",
+				len(failed), restored+len(failed))
 		}
 	}
 
@@ -109,9 +129,11 @@ func run(args []string) error {
 	go func() { errCh <- srv.Serve(l) }()
 	select {
 	case sig := <-sigCh:
-		fmt.Printf("cacd: received %v, shutting down\n", sig)
-		if err := srv.Close(); err != nil {
-			return err
+		fmt.Printf("cacd: received %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
 		}
 		<-errCh
 		return nil
@@ -120,5 +142,45 @@ func run(args []string) error {
 			return nil
 		}
 		return err
+	}
+}
+
+// failoverHandler adapts the RTnet wrapped-ring re-admission engine to the
+// wire server's fail-link operation: after the server has failed the link
+// and evicted the traversing connections, each is re-admitted over the
+// wrapped route through the full CAC check.
+func failoverHandler(rt *rtnet.Network) wire.FailoverHandler {
+	eng := failover.New(rt, failover.Options{})
+	return func(from, to string, evicted []core.ConnRequest) []wire.ReadmitOutcome {
+		node, err := rtnet.NodeIndex(from)
+		if err == nil {
+			if l, lerr := rt.PrimaryLink(node); lerr != nil || l.To != to {
+				err = fmt.Errorf("%s->%s is not a primary ring link; wrapped re-admission unavailable", from, to)
+			}
+		}
+		if err != nil {
+			outs := make([]wire.ReadmitOutcome, 0, len(evicted))
+			for _, r := range evicted {
+				fmt.Printf("cacd: connection %q down after %s->%s failure: %v\n", r.ID, from, to, err)
+				outs = append(outs, wire.ReadmitOutcome{ID: r.ID, Error: err.Error()})
+			}
+			return outs
+		}
+		rep := eng.Readmit(evicted, node, core.Link{From: from, To: to})
+		outs := make([]wire.ReadmitOutcome, 0, len(rep.Outcomes))
+		for _, o := range rep.Outcomes {
+			out := wire.ReadmitOutcome{ID: o.ID, Readmitted: o.Readmitted, Attempts: o.Attempts}
+			if o.Err != nil {
+				out.Error = o.Err.Error()
+			}
+			if o.Readmitted {
+				fmt.Printf("cacd: re-admitted %q over the wrapped ring (%d hops, %d attempts)\n",
+					o.ID, len(o.Route), o.Attempts)
+			} else {
+				fmt.Printf("cacd: connection %q rejected in degraded mode: %v\n", o.ID, o.Err)
+			}
+			outs = append(outs, out)
+		}
+		return outs
 	}
 }

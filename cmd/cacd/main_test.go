@@ -5,6 +5,7 @@ import (
 	"net"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"testing"
@@ -260,4 +261,151 @@ func sortedKeys(m map[core.ConnID]core.ConnRequest) string {
 		ids = append(ids, id)
 	}
 	return sortedIDs(ids)
+}
+
+// TestStateStrictRefusesUnrestorableState: with -state-strict, a snapshot
+// holding a connection the network shape cannot re-admit makes startup fail
+// instead of silently serving with a partial restore.
+func TestStateStrictRefusesUnrestorableState(t *testing.T) {
+	stateFile := filepath.Join(t.TempDir(), "state.json")
+	err := wire.NewStateStore(stateFile).Save([]core.ConnRequest{
+		{ID: "ghost", Spec: traffic.CBR(0.1), Priority: 1,
+			Route: core.Route{{Switch: "ring99", In: 1, Out: 0}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-listen", "127.0.0.1:0", "-ring", "4", "-terminals", "1",
+		"-state", stateFile, "-state-strict"}
+	if err := run(args); err == nil || !strings.Contains(err.Error(), "state-strict") {
+		t.Fatalf("run(%v) = %v, want state-strict error", args, err)
+	}
+}
+
+// TestEndToEndFailover drives the full live failure story over the wire:
+// cacd admits broadcasts on a 6-ring, a client declares primary link
+// ring02 -> ring03 failed, the daemon re-admits every evicted connection
+// over the wrapped ring except the one whose hard bound cannot survive the
+// longer route — which is reported down, never silently degraded.
+func TestEndToEndFailover(t *testing.T) {
+	const ringNodes = 6
+	addrCh := make(chan net.Addr, 1)
+	testHookListen = func(a net.Addr) { addrCh <- a }
+	defer func() { testHookListen = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0",
+			"-ring", fmt.Sprint(ringNodes), "-terminals", "1"})
+	}()
+	var addr string
+	select {
+	case a := <-addrCh:
+		addr = a.String()
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never announced its address")
+	}
+	defer func() {
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	}()
+
+	ref, err := rtnet.New(rtnet.Config{RingNodes: ringNodes, TerminalsPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// One broadcast per origin, plus a tight-bound one from origin 4 whose
+	// healthy route (5 hops, 160 guaranteed) meets its 200-cell bound but
+	// whose wrapped route after failing node 2 (9 hops, 288) cannot.
+	for origin := 0; origin < ringNodes; origin++ {
+		route, err := ref.BroadcastRoute(origin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Setup(core.ConnRequest{
+			ID: core.ConnID(fmt.Sprintf("bc-%d", origin)), Spec: traffic.CBR(0.03),
+			Priority: 1, Route: route,
+		}); err != nil {
+			t.Fatalf("setup bc-%d: %v", origin, err)
+		}
+	}
+	tightRoute, err := ref.BroadcastRoute(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Setup(core.ConnRequest{
+		ID: "tight", Spec: traffic.CBR(0.03), Priority: 1,
+		Route: tightRoute, DelayBound: 200,
+	}); err != nil {
+		t.Fatalf("setup tight: %v", err)
+	}
+
+	report, err := client.FailLink(rtnet.SwitchName(2), rtnet.SwitchName(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the broadcast from origin 3 avoids link 2->3; everything else —
+	// including "tight" — is evicted.
+	if len(report.Outcomes) != ringNodes {
+		t.Fatalf("evicted %d connections, want %d: %+v", len(report.Outcomes), ringNodes, report)
+	}
+	for _, o := range report.Outcomes {
+		if o.ID == "tight" {
+			if o.Readmitted || o.Error == "" {
+				t.Errorf("tight outcome = %+v, want reported rejection", o)
+			}
+		} else if !o.Readmitted {
+			t.Errorf("%s not re-admitted: %s", o.ID, o.Error)
+		}
+	}
+
+	h, err := client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLink := core.Link{From: rtnet.SwitchName(2), To: rtnet.SwitchName(3)}
+	if h.Connections != ringNodes || h.Violations != 0 ||
+		len(h.FailedLinks) != 1 || h.FailedLinks[0] != wantLink {
+		t.Fatalf("degraded health = %+v", h)
+	}
+
+	if err := client.RestoreLink(rtnet.SwitchName(2), rtnet.SwitchName(3)); err != nil {
+		t.Fatal(err)
+	}
+	h, err = client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.FailedLinks) != 0 || h.Violations != 0 {
+		t.Fatalf("restored health = %+v", h)
+	}
+	// The tight connection stayed down — degradation was reported, not
+	// hidden; it is re-admissible over the healed ring.
+	ids, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == "tight" {
+			t.Fatal("rejected connection reappeared without a new setup")
+		}
+	}
+	if _, err := client.Setup(core.ConnRequest{
+		ID: "tight", Spec: traffic.CBR(0.03), Priority: 1,
+		Route: tightRoute, DelayBound: 200,
+	}); err != nil {
+		t.Fatalf("re-setup after restore: %v", err)
+	}
 }

@@ -1,17 +1,21 @@
-// Ring failure, FDDI-style wrap, and re-admission — RTnet's fault story.
+// Live ring failure, FDDI-style wrap, and automatic re-admission.
 //
 // RTnet connects its ring nodes with dual counter-rotating 155 Mbps links
-// and heals any single link or node failure with a hardware wrap, like
-// FDDI (paper Section 5). A wrap has no free lunch for hard real-time
-// traffic: broadcast routes lengthen to up to 2(R-1)-1 queueing points, so
-// every connection's contractual end-to-end bound grows and the whole
-// configuration must be re-validated by the CAC.
+// and heals any single link failure with a hardware wrap, like FDDI (paper
+// Section 5). A wrap has no free lunch for hard real-time traffic:
+// broadcast routes lengthen to up to 2(R-1)-1 queueing points, so every
+// evicted connection must pass the full CAC check again on its wrapped
+// route before it may transmit.
 //
-// This example plans a cyclic workload on the healthy ring, fails a link,
-// replans on the wrapped topology, and shows (1) the workload survives —
-// the previously idle secondary ring absorbs it — but (2) the high-speed
-// 1 ms class breaks on the longest wrapped routes, which is exactly what
-// an offline CAC must catch before a plant relies on it.
+// Unlike an offline replan, this example drives the failure live on one
+// running network: a cyclic workload is admitted on the healthy ring, a
+// primary link is failed, and the failover engine evicts and re-admits
+// every affected connection over the wrapped ring. The workload survives —
+// the previously idle secondary ring absorbs it — but one high-speed
+// connection holding the 1 ms class budget is rejected in degraded mode,
+// because its wrapped route's guarantee exceeds the budget. Degradation is
+// reported, never silent: the connection stays down until the link is
+// repaired, then is re-admitted over the healed ring.
 //
 //	go run ./examples/failover
 package main
@@ -28,6 +32,7 @@ const (
 	terminals = 2
 	load      = 0.3
 	failed    = 3 // the primary link ring03 -> ring04 breaks
+	perHop    = 32
 )
 
 func main() {
@@ -39,87 +44,99 @@ func main() {
 func run() error {
 	budget := atmcac.CyclicClasses()[0].DelayCellTimes()
 
-	// Healthy ring.
-	healthy, err := atmcac.NewRTnet(atmcac.RTnetConfig{
+	net, err := atmcac.NewRTnet(atmcac.RTnetConfig{
 		RingNodes: ringNodes, TerminalsPerNode: terminals,
 	})
 	if err != nil {
 		return err
 	}
-	w, err := healthy.SymmetricWorkload(load, 1)
+	w, err := net.SymmetricWorkload(load, 1)
 	if err != nil {
 		return err
 	}
-	if err := healthy.InstallAll(w); err != nil {
+	if err := net.InstallAll(w); err != nil {
 		return err
 	}
-	if v, err := healthy.Audit(); err != nil || len(v) > 0 {
+	// One high-speed connection contractually holds the 1 ms class budget;
+	// on the healthy ring its 2(R-1)-1-free broadcast meets it easily. Its
+	// origin sits where the wrap will stretch routes the most.
+	worstOrigin := (failed + 2) % ringNodes
+	hsRoute, err := net.BroadcastRoute(worstOrigin, 0)
+	if err != nil {
+		return err
+	}
+	hs := atmcac.ConnRequest{
+		ID: "hs-1ms", Spec: atmcac.CBR(0.005), Priority: 1,
+		Route: hsRoute, DelayBound: budget,
+	}
+	if _, err := net.Core().Setup(hs); err != nil {
+		return fmt.Errorf("healthy high-speed setup: %w", err)
+	}
+	if v, err := net.Audit(); err != nil || len(v) > 0 {
 		return fmt.Errorf("healthy audit: %v %v", v, err)
 	}
-	hBound, err := healthy.MaxBroadcastBound(1)
-	if err != nil {
-		return err
-	}
-	hGuarantee := float64(ringNodes-1) * 32
-	fmt.Printf("healthy ring (%d nodes, %.0f%% cyclic load):\n", ringNodes, load*100)
-	fmt.Printf("  routes: %d hops, guarantee %.0f cell times, computed bound %.1f\n",
-		ringNodes-1, hGuarantee, hBound)
+	hGuarantee := float64(ringNodes-1) * perHop
+	fmt.Printf("healthy ring (%d nodes, %.0f%% cyclic load + 1 high-speed conn):\n", ringNodes, load*100)
+	fmt.Printf("  broadcasts: %d hops, guarantee %.0f cell times\n", ringNodes-1, hGuarantee)
 	fmt.Printf("  high-speed 1 ms budget (%.0f cell times): %s\n\n", budget, verdict(hGuarantee <= budget))
 
-	// Link ring03 -> ring04 fails; the ring wraps.
-	fmt.Printf("primary link ring%02d -> ring%02d goes DOWN; ring wraps onto the secondary\n\n", failed, failed+1)
-	wrapped, err := atmcac.NewRTnet(atmcac.RTnetConfig{
-		RingNodes: ringNodes, TerminalsPerNode: terminals,
-	})
+	// The link fails live: evict everything traversing it, wrap, re-admit.
+	fmt.Printf("primary link ring%02d -> ring%02d goes DOWN; re-admitting over the wrap\n\n", failed, (failed+1)%ringNodes)
+	eng := atmcac.NewFailoverEngine(net, atmcac.FailoverOptions{})
+	rep, err := eng.HandlePrimaryLinkFailure(failed)
 	if err != nil {
 		return err
 	}
-	ww, err := wrapped.SymmetricWorkloadWrapped(load, 1, failed)
-	if err != nil {
-		return err
-	}
-	if err := wrapped.InstallAll(ww); err != nil {
-		return err
-	}
-	violations, err := wrapped.Audit()
-	if err != nil {
-		return err
-	}
-	if len(violations) > 0 {
-		fmt.Println("wrapped ring REJECTS the workload:")
-		for _, v := range violations {
-			fmt.Println("  ", v)
-		}
-		return nil
-	}
-	wBound, err := wrapped.MaxWrappedRouteBound(1, failed)
-	if err != nil {
-		return err
-	}
-	// Route lengths vary with the origin's distance from the wrap.
-	shortest, longest := ringNodes*2, 0
-	for origin := 0; origin < ringNodes; origin++ {
-		route, err := wrapped.WrappedBroadcastRoute(origin, 0, failed)
-		if err != nil {
-			return err
-		}
-		if len(route) < shortest {
-			shortest = len(route)
-		}
-		if len(route) > longest {
-			longest = len(route)
+	fmt.Printf("evicted %d connections: %d re-admitted, %d rejected in degraded mode\n",
+		len(rep.Outcomes), rep.Readmitted(), rep.Rejected())
+
+	// The paper's Section 5 wrapped bound must still hold for every
+	// survivor: no route beyond 2(R-1)-1 hops, every queue within its
+	// guarantee, and the hard budget connection either meets its bound or
+	// is reported down — never silently degraded.
+	maxHops := 2*(ringNodes-1) - 1
+	longest := 0
+	for _, o := range rep.Outcomes {
+		switch {
+		case o.Readmitted:
+			if len(o.Route) > maxHops {
+				return fmt.Errorf("%s re-admitted over %d hops, beyond the Section 5 wrap limit %d",
+					o.ID, len(o.Route), maxHops)
+			}
+			if len(o.Route) > longest {
+				longest = len(o.Route)
+			}
+		case o.ID == hs.ID:
+			fmt.Printf("  %s stays DOWN: %v\n", o.ID, o.Err)
+		default:
+			return fmt.Errorf("unexpected rejection of %s: %v", o.ID, o.Err)
 		}
 	}
-	wGuarantee := float64(longest) * 32
-	fmt.Printf("wrapped ring, same workload:\n")
+	if rep.Rejected() != 1 {
+		return fmt.Errorf("expected exactly the high-speed connection down, got %d rejections", rep.Rejected())
+	}
+	if v, err := net.Audit(); err != nil || len(v) > 0 {
+		return fmt.Errorf("degraded audit: %v %v", v, err)
+	}
+	wGuarantee := float64(longest) * perHop
+	fmt.Printf("wrapped ring carries the cyclic workload:\n")
 	fmt.Printf("  audit: PASSES — the secondary ring absorbs the load\n")
-	fmt.Printf("  routes: %d-%d hops, worst guarantee %.0f cell times, computed bound %.1f\n",
-		shortest, longest, wGuarantee, wBound)
-	fmt.Printf("  high-speed 1 ms budget (%.0f cell times): %s\n", budget, verdict(wGuarantee <= budget))
-	if wGuarantee > budget {
-		fmt.Printf("  -> high-speed cyclic traffic from the worst origins must be re-planned\n")
-		fmt.Printf("     (shorter budgets, higher priority, or reduced membership) until repair\n")
+	fmt.Printf("  longest wrapped route: %d hops (limit %d), guarantee %.0f cell times\n",
+		longest, maxHops, wGuarantee)
+	fmt.Printf("  high-speed 1 ms budget (%.0f cell times): %s\n\n", budget, verdict(wGuarantee <= budget))
+
+	// Repair: restore the link and re-admit the rejected connection over
+	// the healed primary ring.
+	if err := net.RestorePrimaryLink(failed); err != nil {
+		return err
 	}
+	if _, err := net.Core().Setup(hs); err != nil {
+		return fmt.Errorf("re-admission after repair: %w", err)
+	}
+	if v, err := net.Audit(); err != nil || len(v) > 0 {
+		return fmt.Errorf("healed audit: %v %v", v, err)
+	}
+	fmt.Printf("link repaired: %s re-admitted over the primary ring, audit clean\n", hs.ID)
 	return nil
 }
 

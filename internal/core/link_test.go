@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"atmcac/internal/traffic"
+)
+
+// ringNetwork builds sw0 -> sw1 -> ... -> sw(n-1) -> sw0 with 32-cell
+// highest-priority queues and returns a route builder over it.
+func ringNetwork(t *testing.T, nodes int) (*Network, func(origin, hops int) Route) {
+	t.Helper()
+	n := NewNetwork(HardCDV{})
+	for i := 0; i < nodes; i++ {
+		if _, err := n.AddSwitch(SwitchConfig{
+			Name:       fmt.Sprintf("sw%d", i),
+			QueueCells: map[Priority]float64{1: 32},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	route := func(origin, hops int) Route {
+		r := make(Route, hops)
+		for h := 0; h < hops; h++ {
+			r[h] = Hop{Switch: fmt.Sprintf("sw%d", (origin+h)%nodes), In: 1, Out: 0}
+		}
+		return r
+	}
+	return n, route
+}
+
+func TestFailLinkEvictsTraversingConnections(t *testing.T) {
+	n, route := ringNetwork(t, 4)
+	// crosses traverses sw1 -> sw2; local stays on sw3 -> sw0.
+	for _, c := range []struct {
+		id ConnID
+		r  Route
+	}{
+		{"crosses", route(0, 3)}, // sw0, sw1, sw2
+		{"local", route(3, 2)},   // sw3, sw0
+	} {
+		if _, err := n.Setup(ConnRequest{
+			ID: c.id, Spec: traffic.CBR(0.01), Priority: 1, Route: c.r,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	evicted, err := n.FailLink("sw1", "sw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].ID != "crosses" {
+		t.Fatalf("evicted = %+v, want [crosses]", evicted)
+	}
+	if got := n.Connections(); len(got) != 1 || got[0] != "local" {
+		t.Fatalf("surviving connections = %v, want [local]", got)
+	}
+	// The evicted connection's reservations are gone at every switch.
+	for _, name := range []string{"sw0", "sw1", "sw2"} {
+		sw, _ := n.Switch(name)
+		if sw.Has("crosses") {
+			t.Errorf("switch %s still carries the evicted connection", name)
+		}
+	}
+	// Teardown of an evicted connection reports unknown, not a double free.
+	if err := n.Teardown("crosses"); !errors.Is(err, ErrUnknownConn) {
+		t.Fatalf("teardown after eviction = %v, want ErrUnknownConn", err)
+	}
+
+	// Failing the same link again is a no-op.
+	again, err := n.FailLink("sw1", "sw2")
+	if err != nil || len(again) != 0 {
+		t.Fatalf("second FailLink = %v, %v", again, err)
+	}
+}
+
+func TestSetupAndInstallRefuseFailedLink(t *testing.T) {
+	n, route := ringNetwork(t, 3)
+	if _, err := n.FailLink("sw0", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	req := ConnRequest{ID: "x", Spec: traffic.CBR(0.01), Priority: 1, Route: route(0, 2)}
+	if _, err := n.Setup(req); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("Setup over failed link = %v, want ErrLinkDown", err)
+	}
+	if err := n.Install(req); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("Install over failed link = %v, want ErrLinkDown", err)
+	}
+	// A refused setup leaves no residue: the ID is reusable elsewhere.
+	req.Route = route(1, 2) // sw1 -> sw2, avoids the failed link
+	if _, err := n.Setup(req); err != nil {
+		t.Fatalf("Setup on alternate route after refusal: %v", err)
+	}
+}
+
+func TestRestoreLink(t *testing.T) {
+	n, route := ringNetwork(t, 3)
+	if err := n.RestoreLink("sw0", "sw1"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("restore of a healthy link = %v, want ErrBadConfig", err)
+	}
+	if _, err := n.FailLink("sw0", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	if !n.LinkDown("sw0", "sw1") {
+		t.Fatal("LinkDown false after FailLink")
+	}
+	if links := n.FailedLinks(); len(links) != 1 || links[0] != (Link{From: "sw0", To: "sw1"}) {
+		t.Fatalf("FailedLinks = %v", links)
+	}
+	if err := n.RestoreLink("sw0", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	if n.LinkDown("sw0", "sw1") {
+		t.Fatal("LinkDown true after RestoreLink")
+	}
+	if _, err := n.Setup(ConnRequest{
+		ID: "back", Spec: traffic.CBR(0.01), Priority: 1, Route: route(0, 2),
+	}); err != nil {
+		t.Fatalf("Setup after restore: %v", err)
+	}
+}
+
+func TestFailLinkValidatesEndpoints(t *testing.T) {
+	n, _ := ringNetwork(t, 2)
+	if _, err := n.FailLink("sw0", "nope"); !errors.Is(err, ErrUnknownSwitch) {
+		t.Fatalf("unknown endpoint = %v, want ErrUnknownSwitch", err)
+	}
+	if _, err := n.FailLink("sw0", "sw0"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("self link = %v, want ErrBadConfig", err)
+	}
+	if _, err := n.FailLink("", "sw0"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty endpoint = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestFailLinkSetupRace drives concurrent setups over a link while it fails
+// and restores, then asserts the closing invariant: an admitted connection
+// never traverses a link that is down at the end, and every admitted
+// connection still holds reservations at all its switches.
+// TestLinkMapperExtendsTraversal: a topology-installed LinkMapper lets
+// failure handling see traversals the hop sequence cannot show. Here the
+// mapper declares that every route also crosses the link out of its last
+// switch (a final delivery), so both eviction and new setups honour it.
+func TestLinkMapperExtendsTraversal(t *testing.T) {
+	n, route := ringNetwork(t, 4)
+	n.SetLinkMapper(func(r Route) []Link {
+		links := make([]Link, 0, len(r))
+		for i := 0; i+1 < len(r); i++ {
+			links = append(links, Link{From: r[i].Switch, To: r[i+1].Switch})
+		}
+		if len(r) > 0 {
+			last := r[len(r)-1].Switch
+			var i int
+			fmt.Sscanf(last, "sw%d", &i)
+			links = append(links, Link{From: last, To: fmt.Sprintf("sw%d", (i+1)%4)})
+		}
+		return links
+	})
+	// One-hop route at sw1: consecutive-hop adjacency sees no link at all,
+	// the mapper adds the delivery link sw1 -> sw2.
+	if _, err := n.Setup(ConnRequest{
+		ID: "edge", Spec: traffic.CBR(0.01), Priority: 1, Route: route(1, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := n.FailLink("sw1", "sw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].ID != "edge" {
+		t.Fatalf("evicted = %+v, want [edge]", evicted)
+	}
+	if _, err := n.Setup(ConnRequest{
+		ID: "edge2", Spec: traffic.CBR(0.01), Priority: 1, Route: route(1, 1),
+	}); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("setup with mapped delivery over dead link = %v, want ErrLinkDown", err)
+	}
+	// Clearing the mapper restores consecutive-hop adjacency.
+	n.SetLinkMapper(nil)
+	if _, err := n.Setup(ConnRequest{
+		ID: "edge3", Spec: traffic.CBR(0.01), Priority: 1, Route: route(1, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailLinkSetupRace(t *testing.T) {
+	const (
+		nodes  = 6
+		setups = 200
+		rounds = 20
+	)
+	n, route := ringNetwork(t, nodes)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for g := 0; g < setups; g++ {
+			id := ConnID(fmt.Sprintf("c%03d", g))
+			_, err := n.Setup(ConnRequest{
+				ID: id, Spec: traffic.CBR(0.0005), Priority: 1,
+				Route: route(g%nodes, 2+g%3),
+			})
+			if err != nil && !errors.Is(err, ErrLinkDown) && !errors.Is(err, ErrRejected) {
+				t.Errorf("setup %s: %v", id, err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			if _, err := n.FailLink("sw1", "sw2"); err != nil {
+				t.Errorf("fail: %v", err)
+			}
+			if err := n.RestoreLink("sw1", "sw2"); err != nil {
+				t.Errorf("restore: %v", err)
+			}
+		}
+		// Leave the link down for the final invariant check.
+		if _, err := n.FailLink("sw1", "sw2"); err != nil {
+			t.Errorf("final fail: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	for _, req := range n.AdmittedRequests() {
+		for i := 0; i+1 < len(req.Route); i++ {
+			if req.Route[i].Switch == "sw1" && req.Route[i+1].Switch == "sw2" {
+				t.Errorf("admitted connection %s traverses failed link sw1->sw2", req.ID)
+			}
+		}
+		for _, hop := range req.Route {
+			sw, ok := n.Switch(hop.Switch)
+			if !ok || !sw.Has(req.ID) {
+				t.Errorf("admitted connection %s lost its reservation at %s", req.ID, hop.Switch)
+			}
+		}
+	}
+}

@@ -158,6 +158,15 @@ type Network struct {
 	connMu   sync.Mutex
 	admitted map[ConnID]ConnRequest
 	pending  map[ConnID]struct{}
+
+	// linkMu guards downLinks, the set of failed inter-switch links, and
+	// linkMapper, the topology-provided route link enumerator. FailLink
+	// publishes the mark here before scanning admitted, and commitID
+	// re-reads it under connMu, which closes the race between a link
+	// failing and a setup over it committing (see FailLink).
+	linkMu     sync.RWMutex
+	downLinks  map[Link]struct{}
+	linkMapper LinkMapper
 }
 
 // NewNetwork returns an empty network using the given CDV policy.
@@ -166,10 +175,11 @@ func NewNetwork(policy CDVPolicy) *Network {
 		policy = HardCDV{}
 	}
 	return &Network{
-		policy:   policy,
-		switches: make(map[string]*Switch),
-		admitted: make(map[ConnID]ConnRequest),
-		pending:  make(map[ConnID]struct{}),
+		policy:    policy,
+		switches:  make(map[string]*Switch),
+		admitted:  make(map[ConnID]ConnRequest),
+		pending:   make(map[ConnID]struct{}),
+		downLinks: make(map[Link]struct{}),
 	}
 }
 
@@ -254,12 +264,20 @@ func (n *Network) reserveID(id ConnID) error {
 	return nil
 }
 
-// commitID turns a reservation into an admission.
-func (n *Network) commitID(req ConnRequest) {
+// commitID turns a reservation into an admission. It re-validates the
+// route's link state inside the critical section: a link that failed after
+// the pre-setup check must abort the commit (the caller rolls the hop
+// reservations back), otherwise a connection over a dead link could slip
+// past FailLink's eviction scan.
+func (n *Network) commitID(req ConnRequest) error {
 	n.connMu.Lock()
 	defer n.connMu.Unlock()
 	delete(n.pending, req.ID)
+	if err := n.routeLinkDown(req.Route); err != nil {
+		return fmt.Errorf("%w (failed during setup of %q)", err, req.ID)
+	}
 	n.admitted[req.ID] = req
+	return nil
 }
 
 // abandonID drops a reservation after a failed setup.
@@ -305,6 +323,9 @@ func (n *Network) Setup(req ConnRequest) (*Admission, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
+	if err := n.routeLinkDown(req.Route); err != nil {
+		return nil, fmt.Errorf("%w (setup of %q refused)", err, req.ID)
+	}
 	if err := n.reserveID(req.ID); err != nil {
 		return nil, err
 	}
@@ -314,7 +335,10 @@ func (n *Network) Setup(req ConnRequest) (*Admission, error) {
 		n.abandonID(req.ID)
 		return nil, err
 	}
-	n.commitID(req)
+	if err := n.commitID(req); err != nil {
+		_ = n.releaseRoute(req.ID, req.Route)
+		return nil, err
+	}
 	return adm, nil
 }
 
@@ -382,10 +406,16 @@ func (n *Network) Teardown(id ConnID) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownConn, id)
 	}
-	// A wrapped route may visit the same switch twice; Release removes all
-	// of the connection's hop entries at once, so release each switch once.
-	released := make(map[string]bool, len(req.Route))
-	for _, hop := range req.Route {
+	return n.releaseRoute(id, req.Route)
+}
+
+// releaseRoute releases the connection's reservations at every switch of
+// the route. A wrapped route may visit the same switch twice; Release
+// removes all of the connection's hop entries at once, so each switch is
+// released exactly once.
+func (n *Network) releaseRoute(id ConnID, route Route) error {
+	released := make(map[string]bool, len(route))
+	for _, hop := range route {
 		if released[hop.Switch] {
 			continue
 		}
@@ -408,6 +438,9 @@ func (n *Network) Teardown(id ConnID) error {
 func (n *Network) Install(req ConnRequest) error {
 	if err := req.validate(); err != nil {
 		return err
+	}
+	if err := n.routeLinkDown(req.Route); err != nil {
+		return fmt.Errorf("%w (install of %q refused)", err, req.ID)
 	}
 	if err := n.reserveID(req.ID); err != nil {
 		return err
@@ -435,7 +468,10 @@ func (n *Network) Install(req ConnRequest) error {
 			return err
 		}
 	}
-	n.commitID(req)
+	if err := n.commitID(req); err != nil {
+		_ = n.releaseRoute(req.ID, req.Route)
+		return err
+	}
 	return nil
 }
 

@@ -110,6 +110,12 @@ func New(cfg Config) (*Network, error) {
 		coreN: core.NewNetwork(cfg.Policy),
 		graph: topology.New(),
 	}
+	// Teach the core CAC which links a ring route really crosses: the
+	// consecutive queueing points plus the final delivery link, which the
+	// hop sequence alone cannot show (the receiving node does not queue).
+	// This makes link-failure handling — setup refusal, commit
+	// re-validation, eviction — exact for ring routes.
+	n.coreN.SetLinkMapper(n.ringRouteLinks)
 	ringName := func(i int) topology.NodeID { return topology.NodeID(SwitchName(i)) }
 	if err := topology.Ring(n.graph, cfg.RingNodes, ringName, int(RingOutPort), int(RingInPort)); err != nil {
 		return nil, fmt.Errorf("rtnet: build ring: %w", err)

@@ -1,0 +1,133 @@
+package signaling
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"atmcac/internal/core"
+)
+
+// Link-fault handling at the signaling layer: the fabric mirrors
+// core.Network's notion of failed inter-switch links so the distributed
+// SETUP path refuses routes over dead links and established connections
+// traversing a failing link are torn down through the normal distributed
+// teardown, hop by hop.
+
+// routeDownLocked returns the first failed link the route traverses.
+// Caller holds f.mu.
+func (f *Fabric) routeDownLocked(route core.Route) (core.Link, bool) {
+	if len(f.downLinks) == 0 {
+		return core.Link{}, false
+	}
+	for i := 0; i+1 < len(route); i++ {
+		l := core.Link{From: route[i].Switch, To: route[i+1].Switch}
+		if _, ok := f.downLinks[l]; ok {
+			return l, true
+		}
+	}
+	return core.Link{}, false
+}
+
+// FailLink marks the directed link from -> to as failed and disconnects
+// every established connection whose route traverses it, returning their
+// requests in ID order. Setups in flight across the link are torn down when
+// they complete (see recordEstablished), so once FailLink returns no
+// connection is, or will become, established over the link. Failing an
+// already-failed link is a no-op returning no evictions.
+func (f *Fabric) FailLink(from, to string) ([]core.ConnRequest, error) {
+	if from == "" || to == "" || from == to {
+		return nil, fmt.Errorf("%w: invalid link %s->%s", core.ErrBadConfig, from, to)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	for _, name := range []string{from, to} {
+		if _, ok := f.nodes[name]; !ok {
+			f.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, name)
+		}
+	}
+	l := core.Link{From: from, To: to}
+	if _, down := f.downLinks[l]; down {
+		f.mu.Unlock()
+		return nil, nil
+	}
+	f.downLinks[l] = struct{}{}
+	var evicted []core.ConnRequest
+	for _, req := range f.established {
+		for i := 0; i+1 < len(req.Route); i++ {
+			if req.Route[i].Switch == from && req.Route[i+1].Switch == to {
+				evicted = append(evicted, req)
+				break
+			}
+		}
+	}
+	f.mu.Unlock()
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i].ID < evicted[j].ID })
+	for _, req := range evicted {
+		// A setup completing concurrently may have torn itself down already
+		// (recordEstablished); unknown-connection is then the expected
+		// outcome, not a failure.
+		if err := f.Disconnect(context.Background(), req.ID); err != nil && !errors.Is(err, ErrUnknownConn) {
+			return evicted, fmt.Errorf("signaling: evict %q: %w", req.ID, err)
+		}
+	}
+	return evicted, nil
+}
+
+// RestoreLink clears the failure mark of the directed link from -> to.
+func (f *Fabric) RestoreLink(from, to string) error {
+	l := core.Link{From: from, To: to}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if _, down := f.downLinks[l]; !down {
+		return fmt.Errorf("%w: link %s is not failed", core.ErrBadConfig, l)
+	}
+	delete(f.downLinks, l)
+	return nil
+}
+
+// FailedLinks returns the currently failed links in deterministic order.
+func (f *Fabric) FailedLinks() []core.Link {
+	f.mu.Lock()
+	links := make([]core.Link, 0, len(f.downLinks))
+	for l := range f.downLinks {
+		links = append(links, l)
+	}
+	f.mu.Unlock()
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	return links
+}
+
+// recordEstablished registers a completed setup — unless a link on its
+// route failed while the SETUP was in flight, in which case the hop
+// reservations are released through the distributed teardown and an
+// ErrLinkDown-wrapping error is returned. Registering before checking
+// makes the race with FailLink's eviction scan benign: whichever side sees
+// the established entry first tears it down, the other observes
+// ErrUnknownConn.
+func (f *Fabric) recordEstablished(req core.ConnRequest) error {
+	f.mu.Lock()
+	l, down := f.routeDownLocked(req.Route)
+	f.established[req.ID] = req
+	f.mu.Unlock()
+	if !down {
+		return nil
+	}
+	if err := f.Disconnect(context.Background(), req.ID); err != nil && !errors.Is(err, ErrUnknownConn) {
+		return fmt.Errorf("signaling: release %q after link failure: %w", req.ID, err)
+	}
+	return fmt.Errorf("%w: %s (failed during setup of %q)", core.ErrLinkDown, l, req.ID)
+}

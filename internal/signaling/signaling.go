@@ -86,6 +86,7 @@ type Fabric struct {
 	nodes       map[string]*Node
 	pending     map[core.ConnID]chan outcome
 	established map[core.ConnID]core.ConnRequest
+	downLinks   map[core.Link]struct{}
 	closed      bool
 }
 
@@ -105,6 +106,7 @@ func NewFabric(policy core.CDVPolicy) *Fabric {
 		nodes:       make(map[string]*Node),
 		pending:     make(map[core.ConnID]chan outcome),
 		established: make(map[core.ConnID]core.ConnRequest),
+		downLinks:   make(map[core.Link]struct{}),
 	}
 }
 
@@ -228,6 +230,10 @@ func (f *Fabric) Connect(ctx context.Context, req core.ConnRequest) (*Result, er
 			return nil, fmt.Errorf("%w: %q", ErrUnknownNode, hop.Switch)
 		}
 	}
+	if l, down := f.routeDownLocked(req.Route); down {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (setup of %q refused)", core.ErrLinkDown, l, req.ID)
+	}
 	ch := make(chan outcome, 1)
 	f.pending[req.ID] = ch
 	f.mu.Unlock()
@@ -239,9 +245,9 @@ func (f *Fabric) Connect(ctx context.Context, req core.ConnRequest) (*Result, er
 		if oc.err != nil {
 			return nil, oc.err
 		}
-		f.mu.Lock()
-		f.established[req.ID] = req
-		f.mu.Unlock()
+		if err := f.recordEstablished(req); err != nil {
+			return nil, err
+		}
 		return oc.result, nil
 	case <-ctx.Done():
 		// Leave the pending entry so a late CONNECTED still records the
@@ -249,9 +255,7 @@ func (f *Fabric) Connect(ctx context.Context, req core.ConnRequest) (*Result, er
 		go func() {
 			oc := <-ch
 			if oc.err == nil {
-				f.mu.Lock()
-				f.established[req.ID] = req
-				f.mu.Unlock()
+				_ = f.recordEstablished(req)
 			}
 		}()
 		return nil, ctx.Err()
@@ -345,7 +349,7 @@ func (f *Fabric) ConnectAny(ctx context.Context, req core.ConnRequest, routes []
 			}
 			continue
 		}
-		if !errors.Is(results[i].err, core.ErrRejected) && winner < 0 && abortErr == nil {
+		if !crankbackErr(results[i].err) && winner < 0 && abortErr == nil {
 			abortErr = results[i].err
 		}
 	}
@@ -367,6 +371,13 @@ func (f *Fabric) ConnectAny(ctx context.Context, req core.ConnRequest, routes []
 	return res, winner, nil
 }
 
+// crankbackErr reports whether a setup failure permits trying the next
+// candidate route: CAC rejections and routes over failed links crank back;
+// everything else aborts the setup.
+func crankbackErr(err error) bool {
+	return errors.Is(err, core.ErrRejected) || errors.Is(err, core.ErrLinkDown)
+}
+
 // connectAnySerial is the classic sequential crankback loop.
 func (f *Fabric) connectAnySerial(ctx context.Context, req core.ConnRequest, routes []core.Route) (*Result, int, error) {
 	var lastErr error
@@ -377,7 +388,7 @@ func (f *Fabric) connectAnySerial(ctx context.Context, req core.ConnRequest, rou
 		if err == nil {
 			return res, i, nil
 		}
-		if !errors.Is(err, core.ErrRejected) {
+		if !crankbackErr(err) {
 			return nil, -1, err
 		}
 		lastErr = err

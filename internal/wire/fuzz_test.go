@@ -3,9 +3,12 @@ package wire
 import (
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"atmcac/internal/core"
+	"atmcac/internal/traffic"
 )
 
 // fuzzNetwork builds a small two-switch line the decoded requests are
@@ -83,6 +86,67 @@ func FuzzDecodeRequest(f *testing.F) {
 					t.Fatalf("non-finite per-hop bound %g in admission", d)
 				}
 			}
+		}
+	})
+}
+
+// FuzzStateRoundTrip fuzzes the persistence layer: arbitrary bytes as a
+// state file must either fail to load cleanly or load into requests that
+// survive a Save/Load round trip and a Restore onto a fresh network without
+// a panic — the invariant cacd relies on when restarting from a snapshot it
+// did not necessarily write itself.
+func FuzzStateRoundTrip(f *testing.F) {
+	// Seed corpus: a genuine snapshot plus degenerate and hostile shapes.
+	seed := []core.ConnRequest{
+		{ID: "a", Spec: traffic.CBR(0.1), Priority: 1,
+			Route: core.Route{{Switch: "ring00", In: 1, Out: 0}}, DelayBound: 64},
+		{ID: "b", Spec: traffic.VBR(0.5, 0.05, 8), Priority: 2,
+			Route: core.Route{{Switch: "ring01", In: 2, Out: 3}}, SourceCDV: 16},
+	}
+	if data, err := json.Marshal(seed); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[{"id": "", "spec": {"pcr": -1}}]`))
+	f.Add([]byte(`[{"id": "x", "spec": {"pcr": 1e308, "scr": 1e-308, "mbs": 1e17}, "priority": -9, "route": [{"switch": "ring00"}]}]`))
+	f.Add([]byte(`[{"id": "dup"}, {"id": "dup"}]`))
+	f.Add([]byte("\x00\xff["))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "state.json")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		store := NewStateStore(path)
+		reqs, err := store.Load()
+		if err != nil {
+			// Rejected cleanly; nothing to round-trip.
+			return
+		}
+		second := NewStateStore(filepath.Join(dir, "copy.json"))
+		if err := second.Save(reqs); err != nil {
+			t.Fatalf("loaded state does not re-save: %v", err)
+		}
+		back, err := second.Load()
+		if err != nil {
+			t.Fatalf("saved state does not re-load: %v", err)
+		}
+		if len(back) != len(reqs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(reqs), len(back))
+		}
+		for i := range reqs {
+			if back[i].ID != reqs[i].ID || len(back[i].Route) != len(reqs[i].Route) {
+				t.Fatalf("round trip drifted at %d: %+v -> %+v", i, reqs[i], back[i])
+			}
+		}
+		// Restore runs every surviving request through the full CAC check;
+		// it must report failures, never panic, whatever the shapes are.
+		if _, _, err := Restore(fuzzNetwork(t), store); err != nil {
+			t.Fatalf("Restore errored on loadable state: %v", err)
 		}
 	})
 }

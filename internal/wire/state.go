@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"atmcac/internal/core"
 )
@@ -71,18 +72,25 @@ func (s *StateStore) Save(reqs []core.ConnRequest) error {
 	return nil
 }
 
+// RestoreFailure reports one stored connection that could not be
+// re-admitted during Restore, with the admission error preserved.
+type RestoreFailure struct {
+	ID  core.ConnID
+	Err error
+}
+
 // Restore re-establishes every stored connection on the network through
-// the full CAC check. It returns the IDs that could not be re-admitted
-// (e.g. because the network shape changed); the caller decides whether
-// that is fatal.
-func Restore(network *core.Network, store *StateStore) (restored int, failed []core.ConnID, err error) {
+// the full CAC check. It returns a per-connection failure record for each
+// that could not be re-admitted (e.g. because the network shape changed);
+// the caller decides whether that is fatal.
+func Restore(network *core.Network, store *StateStore) (restored int, failed []RestoreFailure, err error) {
 	reqs, err := store.Load()
 	if err != nil {
 		return 0, nil, err
 	}
 	for _, req := range reqs {
 		if _, err := network.Setup(req); err != nil {
-			failed = append(failed, req.ID)
+			failed = append(failed, RestoreFailure{ID: req.ID, Err: err})
 			continue
 		}
 		restored++
@@ -97,11 +105,80 @@ func (s *Server) SetStateStore(store *StateStore) {
 	s.store = store
 }
 
-// persist snapshots the network state; failures are reported to the client
-// as operational errors on the next response rather than silently dropped.
-func (s *Server) persist() error {
+// persistRetryBase is the first retry delay after a failed snapshot; it
+// doubles per attempt up to persistRetryMax.
+const (
+	persistRetryBase = 50 * time.Millisecond
+	persistRetryMax  = 5 * time.Second
+)
+
+// persist snapshots the network state synchronously. On failure the
+// operation still succeeded — admission state is authoritative in memory —
+// so instead of failing the response, a background retry with exponential
+// backoff is scheduled and the returned warning tells the client the
+// snapshot is deferred. An empty return means the state is durably saved.
+func (s *Server) persist() string {
+	if s.store == nil {
+		return ""
+	}
+	if err := s.snapshot(); err != nil {
+		s.scheduleRetry()
+		return fmt.Sprintf("state snapshot deferred (will retry): %v", err)
+	}
+	return ""
+}
+
+// snapshot captures and writes the admitted set as one atomic step.
+// Without the serialization, two concurrent operations could write their
+// captures in the opposite order and leave a stale set on disk.
+func (s *Server) snapshot() error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	return s.store.Save(s.network.AdmittedRequests())
+}
+
+// persistNow snapshots without scheduling retries — used for the final
+// write during shutdown.
+func (s *Server) persistNow() error {
 	if s.store == nil {
 		return nil
 	}
-	return s.store.Save(s.network.AdmittedRequests())
+	return s.snapshot()
+}
+
+// scheduleRetry starts the single-flight background persist loop. Each
+// attempt snapshots the network state current at that moment, so the loop
+// converges on the latest state no matter how many operations failed to
+// persist in between.
+func (s *Server) scheduleRetry() {
+	s.mu.Lock()
+	if s.retrying || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.retrying = true
+	s.mu.Unlock()
+	go func() {
+		defer func() {
+			s.mu.Lock()
+			s.retrying = false
+			s.mu.Unlock()
+		}()
+		delay := persistRetryBase
+		for {
+			select {
+			case <-s.stop:
+				// Shutdown/Close take over; Shutdown writes the final
+				// snapshot itself.
+				return
+			case <-time.After(delay):
+			}
+			if err := s.snapshot(); err == nil {
+				return
+			}
+			if delay *= 2; delay > persistRetryMax {
+				delay = persistRetryMax
+			}
+		}
+	}()
 }

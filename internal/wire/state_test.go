@@ -125,7 +125,7 @@ func TestRestoreReportsFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if restored != 0 || len(failed) != 1 || failed[0] != "ghost" {
+	if restored != 0 || len(failed) != 1 || failed[0].ID != "ghost" || failed[0].Err == nil {
 		t.Fatalf("restored %d failed %v", restored, failed)
 	}
 }

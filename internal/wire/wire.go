@@ -14,12 +14,14 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"atmcac/internal/bitstream"
 	"atmcac/internal/core"
@@ -33,6 +35,14 @@ const (
 	OpBound    = "bound"
 	OpInspect  = "inspect"
 	OpAudit    = "audit"
+	// OpFailLink marks a directed inter-switch link as failed, evicts the
+	// traversing connections and runs the configured re-admission handler.
+	OpFailLink = "fail-link"
+	// OpRestoreLink clears a failed link.
+	OpRestoreLink = "restore-link"
+	// OpHealth reports daemon liveness: admitted connections, failed
+	// links, audit violations and drain state.
+	OpHealth = "health"
 )
 
 // MaxLineBytes caps the size of one protocol line.
@@ -57,6 +67,35 @@ type Request struct {
 	Priority core.Priority `json:"priority,omitempty"`
 	// Switch restricts inspect to one switch; empty means all.
 	Switch string `json:"switch,omitempty"`
+	// From and To name the link endpoints for fail-link / restore-link.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+}
+
+// ReadmitOutcome is the transport form of one re-admission result after a
+// link failure.
+type ReadmitOutcome struct {
+	ID         core.ConnID `json:"id"`
+	Readmitted bool        `json:"readmitted"`
+	Attempts   int         `json:"attempts,omitempty"`
+	// Error preserves the rejection reason for connections that stayed
+	// down — degradation is reported, never silent.
+	Error string `json:"error,omitempty"`
+}
+
+// FailoverReport is the transport form of a fail-link result.
+type FailoverReport struct {
+	Link core.Link `json:"link"`
+	// Outcomes holds one entry per evicted connection, in ID order.
+	Outcomes []ReadmitOutcome `json:"outcomes,omitempty"`
+}
+
+// HealthReport answers the health operation.
+type HealthReport struct {
+	Connections int         `json:"connections"`
+	FailedLinks []core.Link `json:"failedLinks,omitempty"`
+	Violations  int         `json:"violations"`
+	Draining    bool        `json:"draining,omitempty"`
 }
 
 // PortReport describes the state of one (switch, output port, priority)
@@ -103,6 +142,13 @@ type Response struct {
 	// Violations reports an audit result (empty means every queue is
 	// within its guarantee).
 	Violations []ViolationReport `json:"violations,omitempty"`
+	// Warning flags a non-fatal condition on an otherwise successful
+	// operation (e.g. state persistence deferred to a background retry).
+	Warning string `json:"warning,omitempty"`
+	// Failover reports a fail-link result.
+	Failover *FailoverReport `json:"failover,omitempty"`
+	// Health reports a health result.
+	Health *HealthReport `json:"health,omitempty"`
 }
 
 // ViolationReport mirrors core.Violation for transport.
@@ -114,22 +160,53 @@ type ViolationReport struct {
 	Limit    float64       `json:"limit"`
 }
 
+// FailoverHandler runs topology-specific re-admission after the directed
+// link from -> to has been failed on the network (evicted lists what
+// FailLink tore down). It returns one outcome per evicted connection. The
+// wire layer stays decoupled from any particular topology: cacd plugs in
+// the RTnet wrapped-ring engine here.
+type FailoverHandler func(from, to string, evicted []core.ConnRequest) []ReadmitOutcome
+
 // Server serves CAC requests against a core.Network.
 type Server struct {
-	network *core.Network
-	store   *StateStore
+	network  *core.Network
+	store    *StateStore
+	failover FailoverHandler
+	// ioTimeout bounds each read of a request line and write of a
+	// response; zero means no deadline.
+	ioTimeout time.Duration
+
+	// persistMu makes each state snapshot (capture + write) atomic, so
+	// concurrent operations cannot write their captures out of order.
+	persistMu sync.Mutex
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	draining bool
+	retrying bool
+	stop     chan struct{}
 	wg       sync.WaitGroup
 }
 
 // NewServer returns a server managing the given network.
 func NewServer(network *core.Network) *Server {
-	return &Server{network: network, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		network: network,
+		conns:   make(map[net.Conn]struct{}),
+		stop:    make(chan struct{}),
+	}
 }
+
+// SetFailoverHandler installs the re-admission handler run by fail-link.
+// Must be called before Serve. Without a handler, evicted connections are
+// reported as not re-admitted.
+func (s *Server) SetFailoverHandler(h FailoverHandler) { s.failover = h }
+
+// SetIOTimeout bounds each request read and response write on every client
+// connection. Must be called before Serve; zero disables deadlines.
+func (s *Server) SetIOTimeout(d time.Duration) { s.ioTimeout = d }
 
 // Serve accepts connections on l until Close. It always returns a non-nil
 // error (ErrServerClosed after a clean shutdown).
@@ -174,6 +251,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.stop)
 	l := s.listener
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
@@ -191,6 +269,58 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown drains the server gracefully: it stops accepting, lets every
+// in-flight request finish and its response flush, then closes the
+// connections and snapshots the final state. Clients blocked waiting for a
+// next request are unblocked immediately (their read fails, which ends the
+// session cleanly). If ctx expires first, remaining connections are closed
+// hard, like Close. The final state snapshot is written in both cases.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	close(s.stop)
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	// Expire pending reads so idle sessions end now; a handler mid-request
+	// still writes its response (only the read side is cut).
+	for _, c := range conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	}
+	if err := s.persistNow(); err != nil {
+		return err
+	}
+	return drainErr
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		_ = conn.Close()
@@ -202,13 +332,27 @@ func (s *Server) serveConn(conn net.Conn) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
 	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
+	for {
+		if s.ioTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.ioTimeout))
+		}
+		if !scanner.Scan() {
+			// An oversized line gets an explicit protocol error before the
+			// connection closes — never a silent truncation or hang.
+			if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+				_ = enc.Encode(Response{Error: fmt.Sprintf("request too large: line exceeds %d bytes", MaxLineBytes)})
+			}
+			return
+		}
 		var req Request
 		resp := Response{}
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
 			resp.Error = fmt.Sprintf("malformed request: %v", err)
 		} else {
 			resp = s.handle(req)
+		}
+		if s.ioTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
 		}
 		if err := enc.Encode(resp); err != nil {
 			return
@@ -226,11 +370,7 @@ func (s *Server) handle(req Request) Response {
 		if err != nil {
 			return Response{Error: err.Error(), Rejected: errors.Is(err, core.ErrRejected)}
 		}
-		if err := s.persist(); err != nil {
-			// The admission stands; surface the persistence failure.
-			return Response{Error: fmt.Sprintf("admitted but state not persisted: %v", err)}
-		}
-		return Response{OK: true, Admission: &Admission{
+		return Response{OK: true, Warning: s.persist(), Admission: &Admission{
 			ID:                 adm.ID,
 			PerHopGuaranteed:   adm.PerHopGuaranteed,
 			PerHopComputed:     adm.PerHopComputed,
@@ -241,10 +381,7 @@ func (s *Server) handle(req Request) Response {
 		if err := s.network.Teardown(req.ID); err != nil {
 			return Response{Error: err.Error()}
 		}
-		if err := s.persist(); err != nil {
-			return Response{Error: fmt.Sprintf("released but state not persisted: %v", err)}
-		}
-		return Response{OK: true}
+		return Response{OK: true, Warning: s.persist()}
 	case OpList:
 		return Response{OK: true, Connections: s.network.Connections()}
 	case OpBound:
@@ -272,6 +409,41 @@ func (s *Server) handle(req Request) Response {
 			})
 		}
 		return Response{OK: true, Violations: reports}
+	case OpFailLink:
+		evicted, err := s.network.FailLink(req.From, req.To)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		report := &FailoverReport{Link: core.Link{From: req.From, To: req.To}}
+		if s.failover != nil {
+			report.Outcomes = s.failover(req.From, req.To, evicted)
+		} else {
+			for _, r := range evicted {
+				report.Outcomes = append(report.Outcomes, ReadmitOutcome{
+					ID: r.ID, Error: "no failover handler configured",
+				})
+			}
+		}
+		return Response{OK: true, Warning: s.persist(), Failover: report}
+	case OpRestoreLink:
+		if err := s.network.RestoreLink(req.From, req.To); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case OpHealth:
+		violations, err := s.network.Audit()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		return Response{OK: true, Health: &HealthReport{
+			Connections: len(s.network.Connections()),
+			FailedLinks: s.network.FailedLinks(),
+			Violations:  len(violations),
+			Draining:    draining,
+		}}
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -457,4 +629,48 @@ func (c *Client) Inspect(switchName string) ([]PortReport, error) {
 		return nil, fmt.Errorf("wire: inspect: %s", resp.Error)
 	}
 	return resp.Ports, nil
+}
+
+// FailLink declares the directed link from -> to failed. The server evicts
+// every traversing connection, runs its re-admission handler and reports
+// the per-connection outcomes.
+func (c *Client) FailLink(from, to string) (*FailoverReport, error) {
+	resp, err := c.roundTrip(Request{Op: OpFailLink, From: from, To: to})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("wire: fail-link: %s", resp.Error)
+	}
+	if resp.Failover == nil {
+		return nil, fmt.Errorf("%w: fail-link response without report", ErrProtocol)
+	}
+	return resp.Failover, nil
+}
+
+// RestoreLink clears a failed link so new setups may use it again.
+func (c *Client) RestoreLink(from, to string) error {
+	resp, err := c.roundTrip(Request{Op: OpRestoreLink, From: from, To: to})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("wire: restore-link: %s", resp.Error)
+	}
+	return nil
+}
+
+// Health reports daemon liveness and link state.
+func (c *Client) Health() (*HealthReport, error) {
+	resp, err := c.roundTrip(Request{Op: OpHealth})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("wire: health: %s", resp.Error)
+	}
+	if resp.Health == nil {
+		return nil, fmt.Errorf("%w: health response without report", ErrProtocol)
+	}
+	return resp.Health, nil
 }

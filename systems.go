@@ -3,6 +3,8 @@ package atmcac
 import (
 	"atmcac/internal/ablation"
 	"atmcac/internal/experiments"
+	"atmcac/internal/failover"
+	"atmcac/internal/faultinject"
 	"atmcac/internal/plan"
 	"atmcac/internal/routing"
 	"atmcac/internal/rtnet"
@@ -183,6 +185,34 @@ var (
 	// BuildNetworkFromTopology registers every switch of a graph on a
 	// fresh CAC network.
 	BuildNetworkFromTopology = routing.BuildNetwork
+)
+
+// Live failure handling (paper Section 5 degraded mode).
+type (
+	// FailoverEngine re-admits link-failure evictions over the wrapped
+	// ring through the full CAC check.
+	FailoverEngine = failover.Engine
+	// FailoverOptions tunes the engine's bounded retry behaviour.
+	FailoverOptions = failover.Options
+	// FailoverReport is the outcome of handling one link failure.
+	FailoverReport = failover.Report
+	// FailoverOutcome is one connection's re-admission result.
+	FailoverOutcome = failover.Outcome
+	// FaultScript is a deterministic scripted failure/restore scenario.
+	FaultScript = faultinject.Script
+	// FaultEvent is one step of a fault script.
+	FaultEvent = faultinject.Event
+	// FaultHarness executes fault scripts and checks safety invariants.
+	FaultHarness = faultinject.Harness
+)
+
+var (
+	// NewFailoverEngine builds a wrapped-ring re-admission engine.
+	NewFailoverEngine = failover.New
+	// NewFaultHarness builds a fault-injection harness on a fresh RTnet.
+	NewFaultHarness = faultinject.New
+	// FaultReplayAgrees checks a script is deterministic across replicas.
+	FaultReplayAgrees = faultinject.ReplayAgrees
 )
 
 // Persistence for the central CAC server.
