@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cacctl [-addr HOST:PORT] setup        -id ID -origin N [-terminal N] [-ring N] [-pcr R] [-scr R] [-mbs N] [-prio P] [-delay CELLS]
+//	cacctl [-addr HOST:PORT] setup        -id ID -origin N [-terminal N] [-ring N] [-pcr R] [-scr R] [-mbs N] [-prio P] [-delay CELLS] [-timeout D] [-retry]
 //	cacctl [-addr HOST:PORT] teardown     -id ID
 //	cacctl [-addr HOST:PORT] list
 //	cacctl [-addr HOST:PORT] bound        -origin N [-terminal N] [-ring N] [-prio P]
@@ -20,15 +20,23 @@
 // fail-link declares primary ring link N -> N+1 failed: the server evicts
 // every connection traversing it and re-admits each over the wrapped ring,
 // reporting the per-connection outcomes. restore-link clears the failure.
-// health reports connection count, failed links and audit state.
+// health reports connection count, failed links, audit state and — when the
+// server runs with overload control — the per-class admit/shed counters.
+//
+// setup -timeout bounds the whole call and propagates the remaining budget
+// to the server, which abandons the admission mid-route when it expires.
+// setup -retry backs off and retries when the server sheds the request,
+// honouring the server's retry-after hint.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"atmcac/internal/core"
+	"atmcac/internal/overload"
 	"atmcac/internal/rtnet"
 	"atmcac/internal/traffic"
 	"atmcac/internal/wire"
@@ -152,6 +160,16 @@ func health(client *wire.Client) error {
 	if h.Draining {
 		fmt.Println("state: draining")
 	}
+	if h.Overload != nil {
+		fmt.Printf("overload: in-flight %d, shed %d\n", h.Overload.InFlight, h.Overload.TotalShed())
+		for _, class := range []string{"recovery", "setup-high", "setup-low", "read"} {
+			adm, shed := h.Overload.Admitted[class], h.Overload.Shed[class]
+			if adm == 0 && shed == 0 {
+				continue
+			}
+			fmt.Printf("  %-10s admitted %d, shed %d\n", class, adm, shed)
+		}
+	}
 	if h.Violations > 0 {
 		return fmt.Errorf("%d queues over budget", h.Violations)
 	}
@@ -233,6 +251,8 @@ func setup(client *wire.Client, args []string) error {
 		mbs      = fs.Float64("mbs", 1, "maximum burst size (cells)")
 		prio     = fs.Int("prio", 1, "priority (1 is highest)")
 		delay    = fs.Float64("delay", 0, "requested end-to-end bound (cell times); 0 means none")
+		timeout  = fs.Duration("timeout", 0, "overall setup deadline, propagated to the server; 0 means none")
+		retry    = fs.Bool("retry", false, "back off and retry when the server sheds the request as overloaded")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -248,13 +268,25 @@ func setup(client *wire.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	adm, err := client.Setup(core.ConnRequest{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	req := core.ConnRequest{
 		ID:         core.ConnID(*id),
 		Spec:       spec,
 		Priority:   core.Priority(*prio),
 		Route:      route,
 		DelayBound: *delay,
-	})
+	}
+	var adm *wire.Admission
+	if *retry {
+		adm, err = client.SetupWithRetry(ctx, req, &overload.Backoff{})
+	} else {
+		adm, err = client.SetupContext(ctx, req)
+	}
 	if err != nil {
 		return err
 	}

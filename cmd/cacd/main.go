@@ -7,6 +7,7 @@
 //
 //	cacd [-listen ADDR] [-ring N] [-terminals N] [-queue CELLS] [-low-queue CELLS] [-policy hard|soft]
 //	     [-state FILE] [-state-strict] [-io-timeout D] [-drain-timeout D]
+//	     [-shed-rate R] [-shed-burst B] [-max-inflight N]
 //
 // The server manages one CAC network whose switches are the ring nodes of
 // an RTnet with the given shape. Clients (see cmd/cacctl) set up and tear
@@ -19,6 +20,13 @@
 // route stay down and are reported, never silently degraded. On SIGTERM
 // the server drains: it stops accepting, lets in-flight requests finish
 // (bounded by -drain-timeout) and writes a final state snapshot.
+//
+// With -shed-rate (and optionally -shed-burst, -max-inflight) the server
+// sheds control-plane overload in degradation order: read-only queries
+// first, then low-priority setups, then high-priority setups; teardown,
+// fail-link, restore-link and health are never shed. A shed request gets
+// a typed overloaded response with a retry-after hint; the shed counters
+// are visible through cacctl health.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"atmcac/internal/core"
 	"atmcac/internal/failover"
+	"atmcac/internal/overload"
 	"atmcac/internal/rtnet"
 	"atmcac/internal/wire"
 )
@@ -62,6 +71,9 @@ func run(args []string) error {
 		stateStrict  = fs.Bool("state-strict", false, "exit non-zero when any stored connection cannot be restored")
 		ioTimeout    = fs.Duration("io-timeout", 0, "per-request read/write deadline on client connections; 0 disables")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+		shedRate     = fs.Float64("shed-rate", 0, "sustained control-plane request rate (req/s) before shedding; 0 disables the token bucket")
+		shedBurst    = fs.Float64("shed-burst", 0, "token bucket capacity (requests); 0 derives from -shed-rate")
+		maxInflight  = fs.Int("max-inflight", 0, "concurrently executing non-recovery requests; 0 means unlimited")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,11 +109,24 @@ func run(args []string) error {
 	srv := wire.NewServer(rt.Core())
 	srv.SetIOTimeout(*ioTimeout)
 	srv.SetFailoverHandler(failoverHandler(rt))
+	if *shedRate > 0 || *maxInflight > 0 {
+		lim := overload.NewLimiter(overload.LimiterConfig{
+			Rate:        *shedRate,
+			Burst:       *shedBurst,
+			MaxInFlight: *maxInflight,
+		})
+		srv.SetLimiter(lim)
+		fmt.Printf("cacd: overload control %s (high-priority floor %d per burst)\n",
+			lim, lim.HighPriorityFloor())
+	}
 	if *state != "" {
 		store := wire.NewStateStore(*state)
-		restored, failed, err := wire.Restore(rt.Core(), store)
+		restored, failed, warning, err := wire.Restore(rt.Core(), store)
 		if err != nil {
 			return err
+		}
+		if warning != "" {
+			fmt.Printf("cacd: %s\n", warning)
 		}
 		srv.SetStateStore(store)
 		if restored > 0 {

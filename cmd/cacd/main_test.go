@@ -199,7 +199,7 @@ func TestEndToEndConcurrentSessions(t *testing.T) {
 
 	// The persistence file must round-trip: same set, and every stored
 	// request re-admissible on a fresh network of the same shape.
-	stored, err := wire.NewStateStore(stateFile).Load()
+	stored, _, err := wire.NewStateStore(stateFile).Load()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +222,7 @@ func TestEndToEndConcurrentSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	restored, failed, err := wire.Restore(fresh.Core(), wire.NewStateStore(stateFile))
+	restored, failed, _, err := wire.Restore(fresh.Core(), wire.NewStateStore(stateFile))
 	if err != nil {
 		t.Fatal(err)
 	}

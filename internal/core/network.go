@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -320,8 +321,21 @@ func (n *Network) resolveRoute(req ConnRequest) ([]*Switch, []float64, error) {
 // bit-stream math and serialize only inside the short per-switch commit
 // sections they actually share.
 func (n *Network) Setup(req ConnRequest) (*Admission, error) {
+	return n.SetupContext(context.Background(), req)
+}
+
+// SetupContext is Setup bounded by a context: the deadline is checked
+// before each hop's admission, and an expired context rolls every
+// upstream reservation back and returns the context error — a setup
+// abandoned by its deadline never leaves partial reservations behind.
+// An admitted connection is never evicted by a late cancellation: once
+// the last hop commits, the setup completes.
+func (n *Network) SetupContext(ctx context.Context, req ConnRequest) (*Admission, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: setup of %q abandoned: %w", req.ID, err)
 	}
 	if err := n.routeLinkDown(req.Route); err != nil {
 		return nil, fmt.Errorf("%w (setup of %q refused)", err, req.ID)
@@ -330,7 +344,7 @@ func (n *Network) Setup(req ConnRequest) (*Admission, error) {
 		return nil, err
 	}
 
-	adm, err := n.setupHops(req)
+	adm, err := n.setupHops(ctx, req)
 	if err != nil {
 		n.abandonID(req.ID)
 		return nil, err
@@ -344,7 +358,7 @@ func (n *Network) Setup(req ConnRequest) (*Admission, error) {
 
 // setupHops runs the hop-by-hop admission with rollback; the caller has
 // reserved req.ID.
-func (n *Network) setupHops(req ConnRequest) (*Admission, error) {
+func (n *Network) setupHops(ctx context.Context, req ConnRequest) (*Admission, error) {
 	switches, guaranteed, err := n.resolveRoute(req)
 	if err != nil {
 		return nil, err
@@ -362,6 +376,12 @@ func (n *Network) setupHops(req ConnRequest) (*Admission, error) {
 
 	computed := make([]float64, 0, len(switches))
 	for i, sw := range switches {
+		if err := ctx.Err(); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				_ = switches[j].Release(req.ID)
+			}
+			return nil, fmt.Errorf("core: setup of %q abandoned at hop %d: %w", req.ID, i, err)
+		}
 		cdv := req.SourceCDV + n.policy.Accumulate(guaranteed[:i])
 		res, err := sw.Admit(HopRequest{
 			Conn:     req.ID,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -549,5 +550,37 @@ func TestAssignPriorityHonoursPortOverrides(t *testing.T) {
 	p, err = n.AssignPriority(over, 200)
 	if err != nil || p != 1 {
 		t.Fatalf("override port priority = %d (%v), want 1", p, err)
+	}
+}
+
+// TestSetupContextCancelledLeavesNoResidue: a setup abandoned by its
+// context before completing must admit nothing and leave no partial
+// per-hop reservations — the invariant the wire server's propagated
+// client deadline relies on.
+func TestSetupContextCancelledLeavesNoResidue(t *testing.T) {
+	n, route := twoHopNetwork(t, HardCDV{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := n.SetupContext(ctx, ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SetupContext with cancelled ctx = %v, want context.Canceled", err)
+	}
+	for _, name := range []string{"sw0", "sw1"} {
+		sw, _ := n.Switch(name)
+		if sw.Has("c1") {
+			t.Errorf("switch %s carries the abandoned connection", name)
+		}
+	}
+	if ids := n.Connections(); len(ids) != 0 {
+		t.Errorf("abandoned setup recorded: %v", ids)
+	}
+	// The same request goes through once the caller retries without the
+	// dead context.
+	if _, err := n.Setup(ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
+	}); err != nil {
+		t.Errorf("retry after abandonment: %v", err)
 	}
 }

@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"atmcac/internal/core"
+	"atmcac/internal/overload"
+	"atmcac/internal/rtnet"
+)
+
+func overloadRing() rtnet.Config {
+	return rtnet.Config{
+		RingNodes:        8,
+		TerminalsPerNode: 4,
+		QueueCells:       map[core.Priority]float64{1: 32, 2: 128},
+	}
+}
+
+// soakRound is one scripted burst: four interleaved (read, low, high)
+// triples — 12 arrivals against a bucket of 8 — then teardown of the lows
+// that survived, with the bucket already empty.
+func soakRound(round int) OverloadScript {
+	var s OverloadScript
+	for i := 0; i < 4; i++ {
+		s = append(s,
+			OverloadEvent{Kind: OvRead},
+			OverloadEvent{
+				Kind: OvSetup, ID: lowID(round, i), Priority: 2,
+				Origin: (round + i) % 8, Terminal: i % 4, PCR: 0.001,
+			},
+			OverloadEvent{
+				Kind: OvSetup, ID: highID(round, i), Priority: 1,
+				Origin: (round + i + 3) % 8, Terminal: (i + 1) % 4, PCR: 0.001,
+				DelayBound: 2000,
+			},
+		)
+	}
+	return s
+}
+
+func lowID(round, i int) core.ConnID  { return core.ConnID(fmt.Sprintf("low-%d-%d", round, i)) }
+func highID(round, i int) core.ConnID { return core.ConnID(fmt.Sprintf("high-%d-%d", round, i)) }
+
+// TestOverloadSoak drives ten scripted bursts (12 arrivals each against a
+// token bucket of 8) through a live wire server, failing a primary ring
+// link mid-storm and restoring it a round later. It asserts the exact
+// degradation order every round — reads shed first, then low-priority
+// setups, high-priority setups never — plus the harness invariants: every
+// shed response typed with a retry-after hint, recovery traffic (teardown,
+// fail-link, restore-link) never shed even on an empty bucket, no lost or
+// duplicated admissions, audit clean and hard bounds kept throughout.
+func TestOverloadSoak(t *testing.T) {
+	h, err := NewOverload(overloadRing(), overload.LimiterConfig{Rate: 1, Burst: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	floor := h.Limiter().HighPriorityFloor()
+	if floor != 2 {
+		t.Fatalf("HighPriorityFloor = %d with burst 8, want 2", floor)
+	}
+
+	const rounds = 10
+	for round := 0; round < rounds; round++ {
+		var script OverloadScript
+		switch round {
+		case 4:
+			// Mid-storm partition: primary link 0 -> 1 goes down before the
+			// burst; every connection traversing it is evicted and must be
+			// re-admitted over the wrapped ring while the bucket drains.
+			script = append(script, OverloadEvent{Kind: OvFail, Node: 0})
+		case 5:
+			script = append(script, OverloadEvent{Kind: OvRestore, Node: 0})
+		}
+		script = append(script, soakRound(round)...)
+		// Teardowns with the bucket empty: recovery class must pass.
+		script = append(script,
+			OverloadEvent{Kind: OvTeardown, ID: lowID(round, 0)},
+			OverloadEvent{Kind: OvTeardown, ID: lowID(round, 1)},
+			// Refill the bucket completely for the next round.
+			OverloadEvent{Kind: OvAdvance, D: 8 * time.Second},
+		)
+		before := len(h.Outcomes())
+		if _, err := h.Run(script); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		assertRoundDegradation(t, round, h.Outcomes()[before:], floor)
+	}
+
+	// The mid-storm failover must have re-admitted every evicted
+	// connection over the wrapped ring — load is far below capacity.
+	for _, out := range h.Outcomes() {
+		if out.Event.Kind != OvFail {
+			continue
+		}
+		if out.Err != nil || out.Report == nil {
+			t.Fatalf("fail-link outcome: err=%v report=%v", out.Err, out.Report)
+		}
+		for _, o := range out.Report.Outcomes {
+			if !o.Readmitted {
+				t.Errorf("connection %s not re-admitted after mid-storm failure: %s", o.ID, o.Error)
+			}
+		}
+	}
+}
+
+// assertRoundDegradation checks one round's exact shed pattern: with a
+// bucket of 8 and reserves 0.5/0.25/0 the interleaved (read, low, high)
+// x4 burst must admit 2 reads, 2 lows and all 4 highs.
+func assertRoundDegradation(t *testing.T, round int, outs []OverloadOutcome, floor int) {
+	t.Helper()
+	var readAdm, readShed, lowAdm, lowShed, highAdm, highShed int
+	for _, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("round %d: event %s %s failed: %v", round, out.Event.Kind, out.Event.ID, out.Err)
+		}
+		switch {
+		case out.Event.Kind == OvRead && out.Shed:
+			readShed++
+		case out.Event.Kind == OvRead:
+			readAdm++
+		case out.Event.Kind == OvSetup && out.Event.Priority > 1 && out.Shed:
+			lowShed++
+		case out.Event.Kind == OvSetup && out.Event.Priority > 1:
+			lowAdm++
+		case out.Event.Kind == OvSetup && out.Shed:
+			highShed++
+		case out.Event.Kind == OvSetup:
+			highAdm++
+		case out.Shed:
+			t.Fatalf("round %d: recovery event %s was shed", round, out.Event.Kind)
+		}
+	}
+	if readAdm != 2 || readShed != 2 || lowAdm != 2 || lowShed != 2 || highAdm != 4 || highShed != 0 {
+		t.Fatalf("round %d degradation order: reads %d/%d lows %d/%d highs %d/%d (admitted/shed), want 2/2 2/2 4/0",
+			round, readAdm, readShed, lowAdm, lowShed, highAdm, highShed)
+	}
+	if highAdm < floor {
+		t.Fatalf("round %d: high-priority goodput %d below floor %d", round, highAdm, floor)
+	}
+}
+
+// TestOverloadReplayDeterministic runs the identical script on two fresh
+// harnesses and demands the identical shed pattern — the manual clock and
+// sequential arrivals leave no room for timing dependence.
+func TestOverloadReplayDeterministic(t *testing.T) {
+	script := OverloadScript{OverloadEvent{Kind: OvFail, Node: 2}}
+	script = append(script, soakRound(0)...)
+	script = append(script, OverloadEvent{Kind: OvRestore, Node: 2})
+	script = append(script, OverloadEvent{Kind: OvAdvance, D: 3 * time.Second})
+	script = append(script, soakRound(1)...)
+
+	run := func() (string, error) {
+		h, err := NewOverload(overloadRing(), overload.LimiterConfig{Rate: 1, Burst: 8})
+		if err != nil {
+			return "", err
+		}
+		defer h.Close()
+		outs, err := h.Run(script)
+		if err != nil {
+			return "", err
+		}
+		pattern := ""
+		for _, out := range outs {
+			if out.Shed {
+				pattern += "s"
+			} else {
+				pattern += "."
+			}
+		}
+		return pattern, nil
+	}
+	first, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("overload replay diverged:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}

@@ -1,0 +1,82 @@
+package overload
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes bounded exponential retry delays with jitter,
+// honoring a server-provided retry-after hint: the delay is never
+// shorter than the hint (the server knows its refill schedule) and the
+// exponential component keeps uncoordinated clients from re-converging
+// on the same instant.
+//
+// The zero value is usable; Next mutates the attempt counter, so a
+// Backoff is per-request state, not shared.
+type Backoff struct {
+	// Base is the first exponential delay. Defaults to 10ms.
+	Base time.Duration
+	// Max caps the exponential component (the hint may exceed it).
+	// Defaults to 2s.
+	Max time.Duration
+	// Jitter is the relative jitter amplitude in [0, 1): each delay is
+	// scaled by a uniform factor in [1-Jitter, 1+Jitter]. Defaults to
+	// 0.2.
+	Jitter float64
+	// Rand returns a uniform sample in [0, 1); nil means math/rand.
+	// Injectable for deterministic tests.
+	Rand func() float64
+
+	attempt int
+}
+
+// Next returns the delay before the next retry, given the server's
+// retry-after hint (zero when the response carried none).
+func (b *Backoff) Next(retryAfter time.Duration) time.Duration {
+	base, max, jitter := b.Base, b.Max, b.Jitter
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if jitter <= 0 || jitter >= 1 {
+		jitter = 0.2
+	}
+	d := base << b.attempt
+	if d > max || d <= 0 { // <= 0 guards shift overflow
+		d = max
+	}
+	if b.attempt < 30 {
+		b.attempt++
+	}
+	r := rand.Float64
+	if b.Rand != nil {
+		r = b.Rand
+	}
+	d = time.Duration(float64(d) * (1 + jitter*(2*r()-1)))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// Attempts returns how many delays have been handed out.
+func (b *Backoff) Attempts() int { return b.attempt }
+
+// Sleep waits for d or until ctx is done, returning ctx.Err in the
+// latter case — so a retry loop always respects the caller's deadline.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

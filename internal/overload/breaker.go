@@ -1,0 +1,102 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig parameterizes a RouteBreaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens a
+	// route's breaker. Defaults to 3.
+	Threshold int
+	// Cooldown is how long an open breaker suppresses the route before
+	// letting probes through again. Defaults to one second.
+	Cooldown time.Duration
+	// Now is the clock; nil means time.Now.
+	Now Clock
+}
+
+// RouteBreaker is a per-route circuit breaker for crankback: after a
+// link failure, every setup probing the dead route fails its CAC or
+// link check, and unbounded re-probing turns one failure into a
+// crankback storm. The breaker trips a route after Threshold
+// consecutive failures and suppresses it for Cooldown, after which the
+// next attempt is a probe: success closes the breaker, failure re-opens
+// it for another cooldown.
+type RouteBreaker struct {
+	cfg BreakerConfig
+
+	mu     sync.Mutex
+	routes map[string]*routeState
+}
+
+type routeState struct {
+	fails     int
+	openUntil time.Time
+}
+
+// NewRouteBreaker returns a breaker over cfg.
+func NewRouteBreaker(cfg BreakerConfig) *RouteBreaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &RouteBreaker{cfg: cfg, routes: make(map[string]*routeState)}
+}
+
+// Allow reports whether the route may be attempted now. An open breaker
+// whose cooldown has elapsed allows the attempt (the probe) but stays
+// primed: only RecordSuccess closes it.
+func (b *RouteBreaker) Allow(route string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.routes[route]
+	if !ok {
+		return true
+	}
+	return !b.cfg.Now().Before(st.openUntil)
+}
+
+// RecordSuccess closes the route's breaker.
+func (b *RouteBreaker) RecordSuccess(route string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.routes, route)
+}
+
+// RecordFailure counts one failed attempt; at Threshold consecutive
+// failures the route opens for Cooldown. Failures past the threshold
+// (e.g. the post-cooldown probe) re-arm the cooldown immediately.
+func (b *RouteBreaker) RecordFailure(route string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.routes[route]
+	if !ok {
+		st = &routeState{}
+		b.routes[route] = st
+	}
+	st.fails++
+	if st.fails >= b.cfg.Threshold {
+		st.openUntil = b.cfg.Now().Add(b.cfg.Cooldown)
+	}
+}
+
+// OpenCount returns how many routes are currently suppressed.
+func (b *RouteBreaker) OpenCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	open := 0
+	for _, st := range b.routes {
+		if now.Before(st.openUntil) {
+			open++
+		}
+	}
+	return open
+}

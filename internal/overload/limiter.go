@@ -1,0 +1,204 @@
+package overload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// LimiterConfig parameterizes a Limiter.
+type LimiterConfig struct {
+	// Rate is the sustained control-plane admission rate in requests per
+	// second (the token refill rate). Zero disables the token bucket —
+	// only the concurrency cap applies.
+	Rate float64
+	// Burst is the bucket capacity in requests. The class reserves are
+	// fractions of Burst, so it also fixes the degradation ladder: reads
+	// shed below Burst/2 tokens, low-priority setups below Burst/4,
+	// high-priority setups only when the bucket is empty. Defaults to
+	// max(1, Rate) when zero and a rate is set.
+	Burst float64
+	// MaxInFlight caps concurrently executing non-recovery requests.
+	// Zero means unlimited.
+	MaxInFlight int
+	// Now is the clock; nil means time.Now. Injectable for deterministic
+	// tests.
+	Now Clock
+}
+
+// Decision is the outcome of one Acquire.
+type Decision struct {
+	// Admitted is false when the request was shed.
+	Admitted bool
+	// RetryAfter hints when the shed class is likely admissible again.
+	RetryAfter time.Duration
+	// Reason says which limit shed the request ("rate" or "concurrency").
+	Reason string
+}
+
+// Stats is a snapshot of the limiter's counters, keyed by class name.
+// Exposed through the server's health report so operators can see an
+// overload while it happens.
+type Stats struct {
+	Admitted map[string]uint64 `json:"admitted,omitempty"`
+	Shed     map[string]uint64 `json:"shed,omitempty"`
+	InFlight int               `json:"inFlight"`
+}
+
+// TotalShed sums shed counts over all classes.
+func (s Stats) TotalShed() uint64 {
+	var n uint64
+	for _, v := range s.Shed {
+		n += v
+	}
+	return n
+}
+
+// Limiter is a token-bucket + concurrency limiter with priority-aware
+// shedding. Recovery-class requests are never shed and bypass the
+// concurrency cap, so teardowns and link repairs always make progress —
+// the control plane can unload itself even when saturated.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	inflight int
+	admitted [numClasses]uint64
+	shed     [numClasses]uint64
+}
+
+// NewLimiter returns a limiter over cfg. A zero cfg admits everything
+// (useful as an explicit no-op).
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Rate > 0 && cfg.Burst <= 0 {
+		cfg.Burst = math.Max(1, cfg.Rate)
+	}
+	return &Limiter{cfg: cfg, tokens: cfg.Burst, last: cfg.Now()}
+}
+
+// refillLocked advances the bucket to the current time.
+func (l *Limiter) refillLocked(now time.Time) {
+	if l.cfg.Rate <= 0 {
+		return
+	}
+	if dt := now.Sub(l.last).Seconds(); dt > 0 {
+		l.tokens = math.Min(l.cfg.Burst, l.tokens+dt*l.cfg.Rate)
+	}
+	l.last = now
+}
+
+// Acquire admits or sheds one request of the given class. When admitted,
+// release must be called exactly once after the request finishes; when
+// shed, release is nil and the Decision carries the retry-after hint.
+func (l *Limiter) Acquire(c Class) (Decision, func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.cfg.Now()
+	l.refillLocked(now)
+
+	if c == ClassRecovery {
+		// Recovery always proceeds and does not touch the bucket: it
+		// neither blocks on an empty bucket nor eats into the tokens
+		// reserved for high-priority setups, so the HighPriorityFloor
+		// guarantee holds even while repairs run.
+		l.admitted[c]++
+		return Decision{Admitted: true}, func() {}
+	}
+
+	if l.cfg.MaxInFlight > 0 && l.inflight >= l.cfg.MaxInFlight {
+		l.shed[c]++
+		return Decision{
+			Admitted:   false,
+			RetryAfter: l.retryAfterLocked(c),
+			Reason:     "concurrency",
+		}, nil
+	}
+	// The class may only drain the bucket down to its reserve: the
+	// tokens below reserveFraction*Burst are held back for more
+	// important classes, which is what makes the degradation order
+	// deterministic rather than arrival-order luck.
+	if l.cfg.Rate > 0 && l.tokens < 1+c.reserveFraction()*l.cfg.Burst {
+		l.shed[c]++
+		return Decision{
+			Admitted:   false,
+			RetryAfter: l.retryAfterLocked(c),
+			Reason:     "rate",
+		}, nil
+	}
+	if l.cfg.Rate > 0 {
+		l.tokens--
+	}
+	l.inflight++
+	l.admitted[c]++
+	return Decision{Admitted: true}, func() {
+		l.mu.Lock()
+		l.inflight--
+		l.mu.Unlock()
+	}
+}
+
+// retryAfterLocked estimates when class c will next be admissible: the
+// refill time from the current level to the class's admission threshold,
+// floored at one millisecond so clients never spin.
+func (l *Limiter) retryAfterLocked(c Class) time.Duration {
+	const floor = time.Millisecond
+	if l.cfg.Rate <= 0 {
+		// Concurrency-only shedding: no refill schedule to predict, so
+		// hint a modest fixed pause.
+		return 50 * time.Millisecond
+	}
+	need := 1 + c.reserveFraction()*l.cfg.Burst - l.tokens
+	if need <= 0 {
+		return floor
+	}
+	d := time.Duration(need / l.cfg.Rate * float64(time.Second))
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// Stats snapshots the counters.
+func (l *Limiter) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Admitted: make(map[string]uint64),
+		Shed:     make(map[string]uint64),
+		InFlight: l.inflight,
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if l.admitted[c] > 0 {
+			st.Admitted[c.String()] = l.admitted[c]
+		}
+		if l.shed[c] > 0 {
+			st.Shed[c.String()] = l.shed[c]
+		}
+	}
+	return st
+}
+
+// HighPriorityFloor returns the number of high-priority setups a full
+// bucket admits even under the most adversarial concurrent arrival
+// order: read and low-priority traffic cannot drain the bucket below the
+// low-priority reserve, so at least reserveLow*Burst tokens remain for
+// ClassSetupHigh. The overload soak test asserts goodput against this
+// documented floor.
+func (l *Limiter) HighPriorityFloor() int {
+	if l.cfg.Rate <= 0 {
+		return 0
+	}
+	return int(math.Floor(ClassSetupLow.reserveFraction() * l.cfg.Burst))
+}
+
+// String describes the limiter configuration for logs.
+func (l *Limiter) String() string {
+	return fmt.Sprintf("overload.Limiter{rate=%g/s burst=%g maxInFlight=%d}",
+		l.cfg.Rate, l.cfg.Burst, l.cfg.MaxInFlight)
+}

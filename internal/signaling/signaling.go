@@ -14,9 +14,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"atmcac/internal/core"
+	"atmcac/internal/overload"
 )
 
 var (
@@ -28,6 +30,10 @@ var (
 	ErrDuplicate = errors.New("signaling: duplicate connection")
 	// ErrUnknownConn reports a disconnect for an unknown connection.
 	ErrUnknownConn = errors.New("signaling: unknown connection")
+	// ErrSuppressed reports a setup whose every candidate route is
+	// currently suppressed by the per-route circuit breaker — the caller
+	// should back off instead of probing dead routes.
+	ErrSuppressed = errors.New("signaling: all candidate routes suppressed by circuit breaker")
 )
 
 // kind enumerates protocol messages.
@@ -262,6 +268,54 @@ func (f *Fabric) Connect(ctx context.Context, req core.ConnRequest) (*Result, er
 	}
 }
 
+// SetupOptions tunes ConnectAnyOpts with the overload-control policy of
+// one setup attempt.
+type SetupOptions struct {
+	// RetryBudget caps the total number of route attempts (parallel
+	// probes plus serial crankback retries) one setup may spend. Zero
+	// means the classic behaviour: one probe per candidate plus one
+	// serial pass when every probe was rejected.
+	RetryBudget int
+	// Breaker, when non-nil, suppresses candidate routes whose breaker
+	// is open and records each attempt's outcome, so routes behind a
+	// failed link stop being probed after a few rejections instead of
+	// feeding a crankback storm.
+	Breaker *overload.RouteBreaker
+}
+
+// RouteKey derives the circuit-breaker key of a route: the ordered switch
+// names. Port detail is deliberately dropped — what fails together (a
+// link, a saturated switch) is shared by every port-level variant.
+func RouteKey(route core.Route) string {
+	names := make([]string, len(route))
+	for i, hop := range route {
+		names[i] = hop.Switch
+	}
+	return strings.Join(names, ">")
+}
+
+// candidate is one breaker-approved route with its caller-visible index.
+type candidate struct {
+	idx   int
+	route core.Route
+}
+
+// record feeds one attempt outcome to the breaker: successes close the
+// route, CAC rejections and dead links count toward opening it; errors
+// that say nothing about the route (cancellation, closed fabric) are not
+// recorded.
+func (o SetupOptions) record(route core.Route, err error) {
+	if o.Breaker == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		o.Breaker.RecordSuccess(RouteKey(route))
+	case crankbackErr(err):
+		o.Breaker.RecordFailure(RouteKey(route))
+	}
+}
+
 // ConnectAny attempts the setup over the candidate routes and returns a
 // success together with the index of the route that carried it — the
 // crankback behaviour of ATM signaling: a REJECT releases every upstream
@@ -282,11 +336,40 @@ func (f *Fabric) Connect(ctx context.Context, req core.ConnRequest) (*Result, er
 // wait but does not abort the protocol. Connection IDs containing a NUL
 // byte are reserved for probe attempts.
 func (f *Fabric) ConnectAny(ctx context.Context, req core.ConnRequest, routes []core.Route) (*Result, int, error) {
+	return f.ConnectAnyOpts(ctx, req, routes, SetupOptions{})
+}
+
+// ConnectAnyOpts is ConnectAny under an explicit overload-control policy:
+// candidate routes suppressed by the circuit breaker are skipped (every
+// candidate suppressed yields ErrSuppressed), attempt outcomes are
+// recorded, and the crankback retry budget bounds how many route attempts
+// the setup may spend before the last rejection becomes final.
+func (f *Fabric) ConnectAnyOpts(ctx context.Context, req core.ConnRequest, routes []core.Route, opts SetupOptions) (*Result, int, error) {
 	if len(routes) == 0 {
 		return nil, -1, fmt.Errorf("%w: no candidate routes for %q", core.ErrBadConfig, req.ID)
 	}
-	if len(routes) == 1 {
-		return f.connectAnySerial(ctx, req, routes)
+	cands := make([]candidate, 0, len(routes))
+	for i, route := range routes {
+		if opts.Breaker != nil && !opts.Breaker.Allow(RouteKey(route)) {
+			continue
+		}
+		cands = append(cands, candidate{idx: i, route: route})
+	}
+	if len(cands) == 0 {
+		return nil, -1, fmt.Errorf("%w: all %d candidates of %q", ErrSuppressed, len(routes), req.ID)
+	}
+	// The classic behaviour spends one probe per candidate plus one
+	// serial pass to rule out probe self-contention.
+	budget := opts.RetryBudget
+	if budget <= 0 {
+		budget = 2 * len(cands)
+	}
+	if len(cands) > budget {
+		cands = cands[:budget]
+	}
+	if len(cands) == 1 {
+		res, idx, err := f.connectAnySerial(ctx, req, cands, opts)
+		return res, idx, err
 	}
 
 	// Reserve the caller's ID for the duration of the race so no concurrent
@@ -320,9 +403,9 @@ func (f *Fabric) ConnectAny(ctx context.Context, req core.ConnRequest, routes []
 		res *Result
 		err error
 	}
-	results := make([]attempt, len(routes))
+	results := make([]attempt, len(cands))
 	var wg sync.WaitGroup
-	for i, route := range routes {
+	for i, cand := range cands {
 		wg.Add(1)
 		go func(i int, route core.Route) {
 			defer wg.Done()
@@ -331,15 +414,16 @@ func (f *Fabric) ConnectAny(ctx context.Context, req core.ConnRequest, routes []
 			probe.Route = route
 			res, err := f.Connect(ctx, probe)
 			results[i] = attempt{res: res, err: err}
-		}(i, route)
+		}(i, cand.route)
 	}
 	wg.Wait()
 
 	// Select exactly as the serial loop would: scan in candidate order and
 	// let the first non-rejection outcome decide.
 	winner := -1
-	var abortErr error
+	var abortErr, lastReject error
 	for i := range results {
+		opts.record(cands[i].route, results[i].err)
 		if results[i].err == nil {
 			if winner < 0 && abortErr == nil {
 				winner = i
@@ -349,7 +433,9 @@ func (f *Fabric) ConnectAny(ctx context.Context, req core.ConnRequest, routes []
 			}
 			continue
 		}
-		if !crankbackErr(results[i].err) && winner < 0 && abortErr == nil {
+		if crankbackErr(results[i].err) {
+			lastReject = results[i].err
+		} else if winner < 0 && abortErr == nil {
 			abortErr = results[i].err
 		}
 	}
@@ -359,16 +445,24 @@ func (f *Fabric) ConnectAny(ctx context.Context, req core.ConnRequest, routes []
 	}
 	if winner < 0 {
 		// Every probe was rejected; rule out probe self-contention with the
-		// classic serial crankback before reporting the rejection.
+		// classic serial crankback before reporting the rejection — unless
+		// the retry budget is already spent.
 		unreserve()
-		return f.connectAnySerial(ctx, req, routes)
+		remaining := budget - len(cands)
+		if remaining <= 0 {
+			return nil, -1, lastReject
+		}
+		if remaining < len(cands) {
+			cands = cands[:remaining]
+		}
+		return f.connectAnySerial(ctx, req, cands, opts)
 	}
-	res, err := f.promote(probeID(req.ID, winner), req, routes[winner], *results[winner].res)
+	res, err := f.promote(probeID(req.ID, winner), req, cands[winner].route, *results[winner].res)
 	unreserve()
 	if err != nil {
 		return nil, -1, err
 	}
-	return res, winner, nil
+	return res, cands[winner].idx, nil
 }
 
 // crankbackErr reports whether a setup failure permits trying the next
@@ -378,15 +472,17 @@ func crankbackErr(err error) bool {
 	return errors.Is(err, core.ErrRejected) || errors.Is(err, core.ErrLinkDown)
 }
 
-// connectAnySerial is the classic sequential crankback loop.
-func (f *Fabric) connectAnySerial(ctx context.Context, req core.ConnRequest, routes []core.Route) (*Result, int, error) {
+// connectAnySerial is the classic sequential crankback loop over
+// breaker-approved, budget-trimmed candidates.
+func (f *Fabric) connectAnySerial(ctx context.Context, req core.ConnRequest, cands []candidate, opts SetupOptions) (*Result, int, error) {
 	var lastErr error
-	for i, route := range routes {
+	for _, cand := range cands {
 		attempt := req
-		attempt.Route = route
+		attempt.Route = cand.route
 		res, err := f.Connect(ctx, attempt)
+		opts.record(cand.route, err)
 		if err == nil {
-			return res, i, nil
+			return res, cand.idx, nil
 		}
 		if !crankbackErr(err) {
 			return nil, -1, err

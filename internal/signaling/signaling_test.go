@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"atmcac/internal/core"
+	"atmcac/internal/overload"
 	"atmcac/internal/traffic"
 )
 
@@ -448,5 +449,130 @@ func TestConnectAnyValidation(t *testing.T) {
 	}, []core.Route{{{Switch: "ghost", In: 1, Out: 0}}, {{Switch: "a", In: 1, Out: 0}}})
 	if !errors.Is(err, ErrUnknownNode) {
 		t.Fatalf("error = %v, want ErrUnknownNode (no crankback on operational errors)", err)
+	}
+}
+
+// saturatedNode fills node name until its priority-1 output 0 rejects.
+func saturatedNode(t *testing.T, f *Fabric, name string) {
+	t.Helper()
+	n, ok := f.Node(name)
+	if !ok {
+		t.Fatalf("no node %q", name)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := n.Switch().Admit(core.HopRequest{
+			Conn: core.ConnID(fmt.Sprintf("bg-%s-%d", name, i)), Spec: traffic.CBR(0.01),
+			In: core.PortID(10 + i), Out: 0, Priority: 1,
+		}); err != nil {
+			return
+		}
+	}
+	t.Fatalf("node %q did not saturate", name)
+}
+
+// breakerFabric builds a tight route a (rejects) and a roomy route b.
+func breakerFabric(t *testing.T) (*Fabric, core.Route, core.Route) {
+	t.Helper()
+	f := NewFabric(nil)
+	t.Cleanup(f.Close)
+	for _, cfg := range []core.SwitchConfig{
+		{Name: "a", QueueCells: map[core.Priority]float64{1: 1}},
+		{Name: "b", QueueCells: map[core.Priority]float64{1: 64}},
+	} {
+		if _, err := f.AddNode(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	saturatedNode(t, f, "a")
+	tight := core.Route{{Switch: "a", In: 1, Out: 0}}
+	roomy := core.Route{{Switch: "b", In: 1, Out: 0}}
+	return f, tight, roomy
+}
+
+// TestConnectAnyBreakerOpensFailingRoute: repeated setups over a
+// (rejecting, roomy) candidate pair trip the tight route's breaker at the
+// failure threshold, after which it is no longer probed — later setups go
+// straight to the roomy route and still succeed.
+func TestConnectAnyBreakerOpensFailingRoute(t *testing.T) {
+	f, tight, roomy := breakerFabric(t)
+	clock := overload.NewManualClock()
+	br := overload.NewRouteBreaker(overload.BreakerConfig{
+		Threshold: 2, Cooldown: time.Second, Now: clock.Now,
+	})
+	opts := SetupOptions{Breaker: br}
+	for i := 0; i < 3; i++ {
+		res, idx, err := f.ConnectAnyOpts(testCtx(t), core.ConnRequest{
+			ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.01), Priority: 1,
+		}, []core.Route{tight, roomy}, opts)
+		if err != nil || idx != 1 || res == nil {
+			t.Fatalf("setup %d = (%v, %d, %v), want success over route 1", i, res, idx, err)
+		}
+	}
+	// Two recorded rejections opened the tight route.
+	if br.Allow(RouteKey(tight)) {
+		t.Error("tight route still allowed after reaching the failure threshold")
+	}
+	if !br.Allow(RouteKey(roomy)) {
+		t.Error("roomy route suppressed despite its successes")
+	}
+	if got := br.OpenCount(); got != 1 {
+		t.Errorf("OpenCount = %d, want 1", got)
+	}
+	// After the cooldown a probe is allowed again.
+	clock.Advance(time.Second)
+	if !br.Allow(RouteKey(tight)) {
+		t.Error("tight route not probeable after cooldown")
+	}
+}
+
+// TestConnectAnyAllSuppressed: when every candidate's breaker is open the
+// setup fails fast with ErrSuppressed instead of feeding the storm.
+func TestConnectAnyAllSuppressed(t *testing.T) {
+	f, tight, roomy := breakerFabric(t)
+	clock := overload.NewManualClock()
+	br := overload.NewRouteBreaker(overload.BreakerConfig{
+		Threshold: 1, Cooldown: time.Minute, Now: clock.Now,
+	})
+	br.RecordFailure(RouteKey(tight))
+	br.RecordFailure(RouteKey(roomy))
+	_, idx, err := f.ConnectAnyOpts(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.01), Priority: 1,
+	}, []core.Route{tight, roomy}, SetupOptions{Breaker: br})
+	if !errors.Is(err, ErrSuppressed) {
+		t.Fatalf("error = %v, want ErrSuppressed", err)
+	}
+	if idx != -1 {
+		t.Errorf("index = %d, want -1", idx)
+	}
+	// The connection ID was not burned: once the cooldown passes the same
+	// setup succeeds.
+	clock.Advance(time.Minute)
+	_, idx, err = f.ConnectAnyOpts(testCtx(t), core.ConnRequest{
+		ID: "c1", Spec: traffic.CBR(0.01), Priority: 1,
+	}, []core.Route{tight, roomy}, SetupOptions{Breaker: br})
+	if err != nil || idx != 1 {
+		t.Fatalf("setup after cooldown = (%d, %v), want route 1", idx, err)
+	}
+}
+
+// TestConnectAnyRetryBudget: a budget of one bounds the setup to the
+// first candidate — the roomy alternate is never tried, so the rejection
+// is final; the classic (zero) budget cranks back to it and succeeds.
+func TestConnectAnyRetryBudget(t *testing.T) {
+	f, tight, roomy := breakerFabric(t)
+	_, idx, err := f.ConnectAnyOpts(testCtx(t), core.ConnRequest{
+		ID: "capped", Spec: traffic.CBR(0.01), Priority: 1,
+	}, []core.Route{tight, roomy}, SetupOptions{RetryBudget: 1})
+	if !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("budget-1 setup = %v, want ErrRejected (no attempts left for the alternate)", err)
+	}
+	if idx != -1 {
+		t.Errorf("index = %d, want -1", idx)
+	}
+	_, idx, err = f.ConnectAnyOpts(testCtx(t), core.ConnRequest{
+		ID: "classic", Spec: traffic.CBR(0.01), Priority: 1,
+	}, []core.Route{tight, roomy}, SetupOptions{})
+	if err != nil || idx != 1 {
+		t.Fatalf("classic setup = (%d, %v), want route 1", idx, err)
 	}
 }

@@ -61,7 +61,7 @@ func FuzzDecodeRequest(f *testing.F) {
 			return
 		}
 		srv := NewServer(fuzzNetwork(t))
-		resp := srv.handle(req)
+		resp := srv.dispatch(req)
 
 		// The response must survive the wire: encode, then decode again.
 		data, err := json.Marshal(resp)
@@ -122,7 +122,7 @@ func FuzzStateRoundTrip(f *testing.F) {
 			t.Fatal(err)
 		}
 		store := NewStateStore(path)
-		reqs, err := store.Load()
+		reqs, _, err := store.Load()
 		if err != nil {
 			// Rejected cleanly; nothing to round-trip.
 			return
@@ -131,7 +131,7 @@ func FuzzStateRoundTrip(f *testing.F) {
 		if err := second.Save(reqs); err != nil {
 			t.Fatalf("loaded state does not re-save: %v", err)
 		}
-		back, err := second.Load()
+		back, _, err := second.Load()
 		if err != nil {
 			t.Fatalf("saved state does not re-load: %v", err)
 		}
@@ -145,7 +145,7 @@ func FuzzStateRoundTrip(f *testing.F) {
 		}
 		// Restore runs every surviving request through the full CAC check;
 		// it must report failures, never panic, whatever the shapes are.
-		if _, _, err := Restore(fuzzNetwork(t), store); err != nil {
+		if _, _, _, err := Restore(fuzzNetwork(t), store); err != nil {
 			t.Fatalf("Restore errored on loadable state: %v", err)
 		}
 	})

@@ -189,7 +189,7 @@ func TestShutdownDrains(t *testing.T) {
 	if _, err := client.List(); err == nil {
 		t.Error("client still served after drain")
 	}
-	reqs, err := NewStateStore(statePath).Load()
+	reqs, _, err := NewStateStore(statePath).Load()
 	if err != nil {
 		t.Fatalf("final snapshot unreadable: %v", err)
 	}
@@ -229,7 +229,7 @@ func TestPersistFailureWarnsAndRetries(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if reqs, err := NewStateStore(statePath).Load(); err == nil && len(reqs) == 1 {
+		if reqs, _, err := NewStateStore(statePath).Load(); err == nil && len(reqs) == 1 {
 			break
 		}
 		if time.Now().After(deadline) {

@@ -1,9 +1,11 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"time"
@@ -11,10 +13,22 @@ import (
 	"atmcac/internal/core"
 )
 
+// checksumPrefix introduces the integrity trailer of a snapshot file:
+// one final line "#crc32:<8 hex digits>" over every byte before it. The
+// '#' keeps the trailer out of the JSON payload, so files from before
+// the trailer existed (plain JSON arrays) still load.
+const checksumPrefix = "#crc32:"
+
+// ErrCorruptState reports a snapshot whose checksum did not match; the
+// file has been quarantined rather than restored.
+var ErrCorruptState = errors.New("wire: corrupt state snapshot")
+
 // StateStore persists the set of established connections as a JSON file so
 // a central CAC server can be restarted without losing its admissions —
 // required for the permanent real-time connections RTnet manages.
-// Writes are atomic (temp file + rename).
+// Writes are atomic (temp file + rename) and carry a CRC32 trailer; a
+// snapshot that fails verification is quarantined to <path>.corrupt
+// instead of restoring garbage into the admission state.
 type StateStore struct {
 	path string
 }
@@ -27,29 +41,70 @@ func NewStateStore(path string) *StateStore {
 // Path returns the backing file path.
 func (s *StateStore) Path() string { return s.path }
 
-// Load reads the stored connection requests. A missing file is an empty
-// store, not an error.
-func (s *StateStore) Load() ([]core.ConnRequest, error) {
+// QuarantinePath is where a corrupt snapshot is moved for inspection.
+func (s *StateStore) QuarantinePath() string { return s.path + ".corrupt" }
+
+// Load reads and verifies the stored connection requests. A missing file
+// is an empty store, not an error. A file without a checksum trailer
+// (written before trailers existed) is accepted and flagged through the
+// warning. A file whose trailer does not match its content — or whose
+// JSON does not parse — is moved to QuarantinePath and reported as
+// ErrCorruptState: a torn or tampered snapshot must never silently
+// restore a wrong admission set.
+func (s *StateStore) Load() (reqs []core.ConnRequest, warning string, err error) {
 	data, err := os.ReadFile(s.path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, "", nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("wire: load state: %w", err)
+		return nil, "", fmt.Errorf("wire: load state: %w", err)
 	}
-	var reqs []core.ConnRequest
-	if err := json.Unmarshal(data, &reqs); err != nil {
-		return nil, fmt.Errorf("wire: load state %s: %w", s.path, err)
+	payload, sum, hasSum := splitChecksum(data)
+	if hasSum {
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, "", s.quarantine(fmt.Sprintf("checksum mismatch: file says %08x, content is %08x", sum, got))
+		}
+	} else {
+		warning = fmt.Sprintf("wire: state %s has no checksum trailer (pre-checksum snapshot); accepted unverified", s.path)
 	}
-	return reqs, nil
+	if err := json.Unmarshal(payload, &reqs); err != nil {
+		return nil, "", s.quarantine(fmt.Sprintf("invalid JSON: %v", err))
+	}
+	return reqs, warning, nil
 }
 
-// Save atomically writes the connection requests.
+// quarantine moves the corrupt snapshot aside and returns the load error.
+func (s *StateStore) quarantine(reason string) error {
+	qpath := s.QuarantinePath()
+	if err := os.Rename(s.path, qpath); err != nil {
+		return fmt.Errorf("%w: %s: %s (quarantine to %s failed: %v)",
+			ErrCorruptState, s.path, reason, qpath, err)
+	}
+	return fmt.Errorf("%w: %s: %s (quarantined to %s)", ErrCorruptState, s.path, reason, qpath)
+}
+
+// splitChecksum separates the payload from the "#crc32:" trailer line.
+func splitChecksum(data []byte) (payload []byte, sum uint32, ok bool) {
+	trimmed := bytes.TrimRight(data, "\n")
+	i := bytes.LastIndexByte(trimmed, '\n')
+	line := trimmed[i+1:]
+	if !bytes.HasPrefix(line, []byte(checksumPrefix)) {
+		return data, 0, false
+	}
+	if _, err := fmt.Sscanf(string(line[len(checksumPrefix):]), "%08x", &sum); err != nil {
+		return data, 0, false
+	}
+	return data[:i+1], sum, true
+}
+
+// Save atomically writes the connection requests with a CRC32 trailer.
 func (s *StateStore) Save(reqs []core.ConnRequest) error {
 	data, err := json.MarshalIndent(reqs, "", "  ")
 	if err != nil {
 		return fmt.Errorf("wire: save state: %w", err)
 	}
+	data = append(data, '\n')
+	data = append(data, fmt.Sprintf("%s%08x\n", checksumPrefix, crc32.ChecksumIEEE(data))...)
 	dir := filepath.Dir(s.path)
 	tmp, err := os.CreateTemp(dir, ".cacd-state-*")
 	if err != nil {
@@ -82,11 +137,12 @@ type RestoreFailure struct {
 // Restore re-establishes every stored connection on the network through
 // the full CAC check. It returns a per-connection failure record for each
 // that could not be re-admitted (e.g. because the network shape changed);
-// the caller decides whether that is fatal.
-func Restore(network *core.Network, store *StateStore) (restored int, failed []RestoreFailure, err error) {
-	reqs, err := store.Load()
+// the caller decides whether that is fatal. The warning, when non-empty,
+// flags a pre-checksum snapshot that was accepted unverified.
+func Restore(network *core.Network, store *StateStore) (restored int, failed []RestoreFailure, warning string, err error) {
+	reqs, warning, err := store.Load()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, warning, err
 	}
 	for _, req := range reqs {
 		if _, err := network.Setup(req); err != nil {
@@ -95,7 +151,7 @@ func Restore(network *core.Network, store *StateStore) (restored int, failed []R
 		}
 		restored++
 	}
-	return restored, failed, nil
+	return restored, failed, warning, nil
 }
 
 // SetStateStore attaches a persistence store: after every successful setup
@@ -130,7 +186,7 @@ func (s *Server) persist() string {
 
 // snapshot captures and writes the admitted set as one atomic step.
 // Without the serialization, two concurrent operations could write their
-// captures in the opposite order and leave a stale set on disk.
+// captures out of order and leave a stale set on disk.
 func (s *Server) snapshot() error {
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
@@ -138,7 +194,8 @@ func (s *Server) snapshot() error {
 }
 
 // persistNow snapshots without scheduling retries — used for the final
-// write during shutdown.
+// write during shutdown. The caller must have drained the retry loop
+// first (see drainRetry), so this write is the last one.
 func (s *Server) persistNow() error {
 	if s.store == nil {
 		return nil
@@ -157,19 +214,21 @@ func (s *Server) scheduleRetry() {
 		return
 	}
 	s.retrying = true
+	s.retryWG.Add(1)
 	s.mu.Unlock()
 	go func() {
 		defer func() {
 			s.mu.Lock()
 			s.retrying = false
 			s.mu.Unlock()
+			s.retryWG.Done()
 		}()
 		delay := persistRetryBase
 		for {
 			select {
 			case <-s.stop:
 				// Shutdown/Close take over; Shutdown writes the final
-				// snapshot itself.
+				// snapshot itself after draining this loop.
 				return
 			case <-time.After(delay):
 			}
@@ -181,4 +240,12 @@ func (s *Server) scheduleRetry() {
 			}
 		}
 	}()
+}
+
+// drainRetry waits for the background persist loop to observe the closed
+// stop channel and exit. Shutdown calls this before the final snapshot so
+// a last failed retry cannot race the process exit and leave stale state
+// on disk.
+func (s *Server) drainRetry() {
+	s.retryWG.Wait()
 }

@@ -1,11 +1,14 @@
 package wire
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"atmcac/internal/core"
 	"atmcac/internal/traffic"
@@ -30,7 +33,7 @@ func twoSwitchNetwork(t *testing.T) (*core.Network, core.Route) {
 func TestStateStoreRoundTrip(t *testing.T) {
 	store := NewStateStore(filepath.Join(t.TempDir(), "state.json"))
 	// Missing file loads empty.
-	reqs, err := store.Load()
+	reqs, _, err := store.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +49,7 @@ func TestStateStoreRoundTrip(t *testing.T) {
 	if err := store.Save(want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := store.Load()
+	got, _, err := store.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,8 +65,112 @@ func TestStateStoreCorruptFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not json"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewStateStore(path).Load(); err == nil {
+	if _, _, err := NewStateStore(path).Load(); err == nil {
 		t.Fatal("corrupt state accepted")
+	}
+}
+
+func TestStateStoreChecksumMismatchQuarantines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	store := NewStateStore(path)
+	if err := store.Save([]core.ConnRequest{
+		{ID: "a", Spec: traffic.CBR(0.1), Priority: 1,
+			Route: core.Route{{Switch: "sw0", In: 1, Out: 0}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte without touching the trailer.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = store.Load()
+	if !errors.Is(err, ErrCorruptState) {
+		t.Fatalf("Load of corrupted snapshot = %v, want ErrCorruptState", err)
+	}
+	// The corrupt file has been moved aside, not left in place.
+	if _, serr := os.Stat(path); !errors.Is(serr, os.ErrNotExist) {
+		t.Errorf("corrupt snapshot still at %s (stat: %v)", path, serr)
+	}
+	if _, serr := os.Stat(store.QuarantinePath()); serr != nil {
+		t.Errorf("quarantined snapshot missing: %v", serr)
+	}
+	// A reload after quarantine is an empty store, not a repeat error.
+	reqs, _, err := store.Load()
+	if err != nil || len(reqs) != 0 {
+		t.Errorf("Load after quarantine = %v, %v; want empty, nil", reqs, err)
+	}
+}
+
+func TestStateStoreLegacyFileAcceptedWithWarning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	// A pre-checksum snapshot: plain JSON array, no trailer.
+	legacy := `[{"id": "old", "spec": {"pcr": 0.1}, "priority": 1,
+		"route": [{"switch": "sw0", "in": 1, "out": 0}]}]`
+	if err := os.WriteFile(path, []byte(legacy), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	reqs, warning, err := NewStateStore(path).Load()
+	if err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+	if len(reqs) != 1 || reqs[0].ID != "old" {
+		t.Fatalf("legacy snapshot loaded %+v", reqs)
+	}
+	if warning == "" {
+		t.Error("legacy snapshot accepted without a warning")
+	}
+}
+
+// TestShutdownDrainsPersistRetry starves the store so an operation's
+// snapshot fails and the background retry loop starts, then shuts the
+// server down: Shutdown must wait the retry loop out and write the final
+// snapshot itself, so the state on disk after exit is current, not stale.
+func TestShutdownDrainsPersistRetry(t *testing.T) {
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "sub", "state.json")
+	network, route := twoSwitchNetwork(t)
+	srv := NewServer(network)
+	// The parent directory does not exist, so every snapshot fails and
+	// each mutation arms the background retry.
+	srv.SetStateStore(NewStateStore(statePath))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Setup(core.ConnRequest{
+		ID: "durable", Spec: traffic.CBR(0.05), Priority: 1, Route: route,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Make the store writable again, then shut down: the final snapshot
+	// must land and no retry goroutine may linger past Shutdown.
+	if err := os.MkdirAll(filepath.Dir(statePath), 0o700); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	reqs, _, err := NewStateStore(statePath).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 || reqs[0].ID != "durable" {
+		t.Fatalf("state after drained shutdown = %+v, want the admitted connection", reqs)
 	}
 }
 
@@ -88,7 +195,7 @@ func TestRestoreReestablishesConnections(t *testing.T) {
 	}
 	// "Restart": a fresh network restored from the store.
 	n2, _ := twoSwitchNetwork(t)
-	restored, failed, err := Restore(n2, store)
+	restored, failed, _, err := Restore(n2, store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +228,7 @@ func TestRestoreReportsFailures(t *testing.T) {
 		t.Fatal(err)
 	}
 	n, _ := twoSwitchNetwork(t)
-	restored, failed, err := Restore(n, store)
+	restored, failed, _, err := Restore(n, store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +246,7 @@ func TestServerPersistsAcrossRestart(t *testing.T) {
 	boot := func() (*Server, *Client, func()) {
 		network, _ := twoSwitchNetwork(t)
 		store := NewStateStore(statePath)
-		if _, _, err := Restore(network, store); err != nil {
+		if _, _, _, err := Restore(network, store); err != nil {
 			t.Fatal(err)
 		}
 		srv := NewServer(network)
@@ -187,7 +294,7 @@ func TestServerPersistsAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The teardown is persisted too.
-	reqs, err := NewStateStore(statePath).Load()
+	reqs, _, err := NewStateStore(statePath).Load()
 	if err != nil {
 		t.Fatal(err)
 	}

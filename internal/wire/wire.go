@@ -25,6 +25,7 @@ import (
 
 	"atmcac/internal/bitstream"
 	"atmcac/internal/core"
+	"atmcac/internal/overload"
 )
 
 // Protocol operations.
@@ -53,7 +54,28 @@ var (
 	ErrProtocol = errors.New("wire: protocol error")
 	// ErrServerClosed reports use of a closed server.
 	ErrServerClosed = errors.New("wire: server closed")
+	// ErrOverloaded reports a request shed by the server's overload
+	// control. Match with errors.Is; the concrete *OverloadError carries
+	// the server's retry-after hint.
+	ErrOverloaded = errors.New("wire: server overloaded")
 )
+
+// OverloadError is the client-side form of a typed overloaded response:
+// the server shed the request before doing any work, and RetryAfter
+// hints when the operation's class is likely admissible again.
+type OverloadError struct {
+	Op         string
+	RetryAfter time.Duration
+	Msg        string
+}
+
+// Error renders the overload with its hint.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("wire: %s overloaded (retry after %v): %s", e.Op, e.RetryAfter, e.Msg)
+}
+
+// Unwrap lets errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // Request is a client request.
 type Request struct {
@@ -70,6 +92,10 @@ type Request struct {
 	// From and To name the link endpoints for fail-link / restore-link.
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
+	// TimeoutMillis propagates the client's remaining deadline: the
+	// server bounds its handling of this request by a context expiring
+	// after that many milliseconds. Zero means no deadline.
+	TimeoutMillis int64 `json:"timeoutMs,omitempty"`
 }
 
 // ReadmitOutcome is the transport form of one re-admission result after a
@@ -96,6 +122,10 @@ type HealthReport struct {
 	FailedLinks []core.Link `json:"failedLinks,omitempty"`
 	Violations  int         `json:"violations"`
 	Draining    bool        `json:"draining,omitempty"`
+	// Overload carries the limiter's shed/admitted counters when
+	// overload control is configured — visible while an overload
+	// happens, because health is never shed.
+	Overload *overload.Stats `json:"overload,omitempty"`
 }
 
 // PortReport describes the state of one (switch, output port, priority)
@@ -145,6 +175,11 @@ type Response struct {
 	// Warning flags a non-fatal condition on an otherwise successful
 	// operation (e.g. state persistence deferred to a background retry).
 	Warning string `json:"warning,omitempty"`
+	// Overloaded marks a request shed by overload control before any
+	// work was done; RetryAfterMillis hints when to retry. Clients map
+	// this to ErrOverloaded.
+	Overloaded       bool  `json:"overloaded,omitempty"`
+	RetryAfterMillis int64 `json:"retryAfterMs,omitempty"`
 	// Failover reports a fail-link result.
 	Failover *FailoverReport `json:"failover,omitempty"`
 	// Health reports a health result.
@@ -172,6 +207,10 @@ type Server struct {
 	network  *core.Network
 	store    *StateStore
 	failover FailoverHandler
+	// limiter, when set, sheds requests under control-plane overload in
+	// degradation order (reads first, then low-priority setups; teardown
+	// and link repair never).
+	limiter *overload.Limiter
 	// ioTimeout bounds each read of a request line and write of a
 	// response; zero means no deadline.
 	ioTimeout time.Duration
@@ -188,6 +227,9 @@ type Server struct {
 	retrying bool
 	stop     chan struct{}
 	wg       sync.WaitGroup
+	// retryWG tracks the background persist retry goroutine so shutdown
+	// can drain it before writing the final snapshot.
+	retryWG sync.WaitGroup
 }
 
 // NewServer returns a server managing the given network.
@@ -207,6 +249,29 @@ func (s *Server) SetFailoverHandler(h FailoverHandler) { s.failover = h }
 // SetIOTimeout bounds each request read and response write on every client
 // connection. Must be called before Serve; zero disables deadlines.
 func (s *Server) SetIOTimeout(d time.Duration) { s.ioTimeout = d }
+
+// SetLimiter installs control-plane overload protection. Must be called
+// before Serve; nil disables shedding.
+func (s *Server) SetLimiter(l *overload.Limiter) { s.limiter = l }
+
+// Classify maps a request to its shedding class: teardown, fail-link,
+// restore-link and health are recovery (never shed — the control plane
+// must always be able to unload itself and be observed); setups split on
+// priority (1 is hard real-time); everything else is a read-only query,
+// shed first.
+func Classify(req Request) overload.Class {
+	switch req.Op {
+	case OpTeardown, OpFailLink, OpRestoreLink, OpHealth:
+		return overload.ClassRecovery
+	case OpSetup:
+		if req.Request != nil && req.Request.Priority > 1 {
+			return overload.ClassSetupLow
+		}
+		return overload.ClassSetupHigh
+	default:
+		return overload.ClassRead
+	}
+}
 
 // Serve accepts connections on l until Close. It always returns a non-nil
 // error (ErrServerClosed after a clean shutdown).
@@ -266,6 +331,7 @@ func (s *Server) Close() error {
 		_ = c.Close()
 	}
 	s.wg.Wait()
+	s.drainRetry()
 	return err
 }
 
@@ -315,6 +381,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		s.wg.Wait()
 	}
+	// Drain the background persist loop before the final snapshot, so a
+	// last failed retry cannot land after (or instead of) it and leave
+	// stale state on disk when the process exits.
+	s.drainRetry()
 	if err := s.persistNow(); err != nil {
 		return err
 	}
@@ -349,7 +419,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
 			resp.Error = fmt.Sprintf("malformed request: %v", err)
 		} else {
-			resp = s.handle(req)
+			resp = s.dispatch(req)
 		}
 		if s.ioTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
@@ -360,13 +430,41 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) handle(req Request) Response {
+// dispatch applies the overload policy around one request: classify,
+// acquire (or shed with a typed overloaded response and retry-after
+// hint), derive the request-bounded context from the propagated client
+// deadline, then handle. Shedding happens before any network state is
+// touched, so a shed setup is never half-admitted.
+func (s *Server) dispatch(req Request) Response {
+	if s.limiter != nil {
+		class := Classify(req)
+		d, release := s.limiter.Acquire(class)
+		if !d.Admitted {
+			return Response{
+				Error: fmt.Sprintf("overloaded: %s request shed (%s limit)",
+					class, d.Reason),
+				Overloaded:       true,
+				RetryAfterMillis: int64(d.RetryAfter / time.Millisecond),
+			}
+		}
+		defer release()
+	}
+	ctx := context.Background()
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	return s.handle(ctx, req)
+}
+
+func (s *Server) handle(ctx context.Context, req Request) Response {
 	switch req.Op {
 	case OpSetup:
 		if req.Request == nil {
 			return Response{Error: "setup requires a request body"}
 		}
-		adm, err := s.network.Setup(*req.Request)
+		adm, err := s.network.SetupContext(ctx, *req.Request)
 		if err != nil {
 			return Response{Error: err.Error(), Rejected: errors.Is(err, core.ErrRejected)}
 		}
@@ -438,12 +536,17 @@ func (s *Server) handle(req Request) Response {
 		s.mu.Lock()
 		draining := s.draining
 		s.mu.Unlock()
-		return Response{OK: true, Health: &HealthReport{
+		health := &HealthReport{
 			Connections: len(s.network.Connections()),
 			FailedLinks: s.network.FailedLinks(),
 			Violations:  len(violations),
 			Draining:    draining,
-		}}
+		}
+		if s.limiter != nil {
+			st := s.limiter.Stats()
+			health.Overload = &st
+		}
+		return Response{OK: true, Health: health}
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -531,12 +634,48 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip sends one request and decodes one response.
 func (c *Client) roundTrip(req Request) (Response, error) {
+	return c.roundTripContext(context.Background(), req)
+}
+
+// roundTripContext sends one request bounded by ctx: the remaining
+// deadline is propagated in the request (so the server bounds its
+// handling too), the connection I/O is cut when ctx ends, and a typed
+// overloaded response is surfaced as *OverloadError. After a deadline or
+// cancellation cuts the I/O mid-exchange the connection is out of sync
+// and should not be reused.
+func (c *Client) roundTripContext(ctx context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			return Response{}, context.DeadlineExceeded
+		}
+		req.TimeoutMillis = int64(remaining / time.Millisecond)
+	}
+	// Unblock the read when ctx ends; restore the idle state after.
+	stop := context.AfterFunc(ctx, func() { _ = c.conn.SetDeadline(time.Now()) })
+	defer func() {
+		if stop() {
+			return
+		}
+		// AfterFunc already ran: clear the poisoned deadline so a caller
+		// that retries on a fresh context is not instantly expired.
+		_ = c.conn.SetDeadline(time.Time{})
+	}()
 	if err := c.enc.Encode(req); err != nil {
+		if ctx.Err() != nil {
+			return Response{}, ctx.Err()
+		}
 		return Response{}, fmt.Errorf("wire: send: %w", err)
 	}
 	if !c.scanner.Scan() {
+		if ctx.Err() != nil {
+			return Response{}, ctx.Err()
+		}
 		if err := c.scanner.Err(); err != nil {
 			return Response{}, fmt.Errorf("wire: receive: %w", err)
 		}
@@ -546,13 +685,26 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
 		return Response{}, fmt.Errorf("%w: %v", ErrProtocol, err)
 	}
+	if resp.Overloaded {
+		return resp, &OverloadError{
+			Op:         req.Op,
+			RetryAfter: time.Duration(resp.RetryAfterMillis) * time.Millisecond,
+			Msg:        resp.Error,
+		}
+	}
 	return resp, nil
 }
 
 // Setup requests a connection establishment. CAC rejections are returned
-// as errors matching core.ErrRejected.
+// as errors matching core.ErrRejected; shed requests match ErrOverloaded.
 func (c *Client) Setup(req core.ConnRequest) (*Admission, error) {
-	resp, err := c.roundTrip(Request{Op: OpSetup, Request: &req})
+	return c.SetupContext(context.Background(), req)
+}
+
+// SetupContext is Setup bounded by ctx: the remaining deadline travels
+// with the request and bounds the server-side admission as well.
+func (c *Client) SetupContext(ctx context.Context, req core.ConnRequest) (*Admission, error) {
+	resp, err := c.roundTripContext(ctx, Request{Op: OpSetup, Request: &req})
 	if err != nil {
 		return nil, err
 	}
@@ -568,9 +720,38 @@ func (c *Client) Setup(req core.ConnRequest) (*Admission, error) {
 	return resp.Admission, nil
 }
 
+// SetupWithRetry runs SetupContext under bounded exponential backoff
+// with jitter: overloaded responses are retried after max(backoff,
+// server retry-after hint) until ctx ends; every other outcome —
+// success, CAC rejection, transport error — returns immediately. A shed
+// setup changed no server state, so the retry cannot duplicate an
+// admission. A nil policy uses defaults.
+func (c *Client) SetupWithRetry(ctx context.Context, req core.ConnRequest, policy *overload.Backoff) (*Admission, error) {
+	if policy == nil {
+		policy = &overload.Backoff{}
+	}
+	for {
+		adm, err := c.SetupContext(ctx, req)
+		var oe *OverloadError
+		if !errors.As(err, &oe) {
+			return adm, err
+		}
+		if serr := overload.Sleep(ctx, policy.Next(oe.RetryAfter)); serr != nil {
+			// Out of time: surface the overload, not the bare ctx error,
+			// so the caller knows why the budget was spent.
+			return nil, fmt.Errorf("%w (deadline while backing off: %v)", err, serr)
+		}
+	}
+}
+
 // Teardown releases a connection.
 func (c *Client) Teardown(id core.ConnID) error {
-	resp, err := c.roundTrip(Request{Op: OpTeardown, ID: id})
+	return c.TeardownContext(context.Background(), id)
+}
+
+// TeardownContext is Teardown bounded by ctx.
+func (c *Client) TeardownContext(ctx context.Context, id core.ConnID) error {
+	resp, err := c.roundTripContext(ctx, Request{Op: OpTeardown, ID: id})
 	if err != nil {
 		return err
 	}
