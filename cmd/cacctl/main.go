@@ -12,6 +12,8 @@
 //	cacctl [-addr HOST:PORT] fail-link    -node N [-ring N]
 //	cacctl [-addr HOST:PORT] restore-link -node N [-ring N]
 //	cacctl [-addr HOST:PORT] health
+//	cacctl state verify [-journal FILE] STATE
+//	cacctl state show   [-journal FILE] STATE
 //
 // setup and bound address RTnet broadcast routes: the connection enters the
 // ring at node -origin via terminal -terminal and visits every other ring
@@ -22,6 +24,12 @@
 // reporting the per-connection outcomes. restore-link clears the failure.
 // health reports connection count, failed links, audit state and — when the
 // server runs with overload control — the per-class admit/shed counters.
+//
+// state verify checks a cacd snapshot+journal pair offline — CRC status,
+// record counts, sequence watermark, torn-tail position — without a
+// running daemon and without modifying either file; it exits non-zero
+// when the snapshot is corrupt. state show additionally prints the
+// admission state a recovery would replay.
 //
 // setup -timeout bounds the whole call and propagates the remaining budget
 // to the server, which abandons the admission mid-route when it expires.
@@ -36,6 +44,7 @@ import (
 	"os"
 
 	"atmcac/internal/core"
+	"atmcac/internal/journal"
 	"atmcac/internal/overload"
 	"atmcac/internal/rtnet"
 	"atmcac/internal/traffic"
@@ -58,6 +67,12 @@ func run(args []string) error {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		return fmt.Errorf("missing subcommand: setup, teardown, list, or bound")
+	}
+	// The state subcommand inspects persistence files on the local disk —
+	// its whole point is working while the daemon is down, so it must not
+	// dial the server.
+	if rest[0] == "state" {
+		return stateCmd(rest[1:])
 	}
 	client, err := wire.Dial(*addr)
 	if err != nil {
@@ -87,6 +102,81 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
+}
+
+// stateCmd is the offline persistence inspector: verify checks a
+// snapshot+journal pair's integrity without a running daemon (and
+// without modifying anything — no quarantine, no torn-tail repair),
+// show additionally prints the admission state a recovery would replay.
+func stateCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("state requires a subcommand: verify or show")
+	}
+	sub := args[0]
+	if sub != "verify" && sub != "show" {
+		return fmt.Errorf("unknown state subcommand %q (want verify or show)", sub)
+	}
+	fs := flag.NewFlagSet("state "+sub, flag.ContinueOnError)
+	jpath := fs.String("journal", "", "write-ahead journal file; defaults to STATE.journal")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("state %s requires exactly one snapshot path: cacctl state %s [-journal FILE] STATE", sub, sub)
+	}
+	path := fs.Arg(0)
+	if *jpath == "" {
+		*jpath = path + ".journal"
+	}
+
+	st, warning, serr := wire.NewStateStore(path).ReadState()
+	if serr != nil {
+		fmt.Printf("snapshot %s: CORRUPT: %v\n", path, serr)
+	} else {
+		status := "checksum ok"
+		if warning != "" {
+			status = warning
+		}
+		fmt.Printf("snapshot %s: %d connections, %d failed links, watermark %d, %s\n",
+			path, len(st.Connections), len(st.FailedLinks), st.LastSeq, status)
+	}
+
+	scan, jerr := journal.ScanFile(journal.OSFS{}, *jpath)
+	if jerr != nil {
+		return fmt.Errorf("journal %s: %w", *jpath, jerr)
+	}
+	past := 0
+	for _, rec := range scan.Records {
+		if rec.Seq > st.LastSeq {
+			past++
+		}
+	}
+	if scan.Torn {
+		fmt.Printf("journal %s: %d valid records (%d past watermark), TORN at byte %d (repaired on next daemon boot)\n",
+			*jpath, len(scan.Records), past, scan.Valid)
+	} else {
+		fmt.Printf("journal %s: %d valid records (%d past watermark), clean\n",
+			*jpath, len(scan.Records), past)
+	}
+
+	if sub == "show" && serr == nil {
+		final := journal.Replay(journal.State{
+			Requests:    st.Connections,
+			FailedLinks: st.FailedLinks,
+		}, st.LastSeq, scan.Records)
+		fmt.Printf("replayed state: %d connections, %d failed links\n",
+			len(final.Requests), len(final.FailedLinks))
+		for _, req := range final.Requests {
+			fmt.Printf("  %s prio %d, %d hops\n", req.ID, req.Priority, len(req.Route))
+		}
+		for _, l := range final.FailedLinks {
+			fmt.Printf("  link DOWN %s\n", l)
+		}
+	}
+	if serr != nil {
+		return fmt.Errorf("snapshot is corrupt")
+	}
+	return nil
 }
 
 // primaryLinkFlags parses -node/-ring into the switch names of primary

@@ -4,10 +4,14 @@ import (
 	"io"
 	"net"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"atmcac/internal/core"
+	"atmcac/internal/journal"
 	"atmcac/internal/rtnet"
+	"atmcac/internal/traffic"
 	"atmcac/internal/wire"
 )
 
@@ -171,5 +175,120 @@ func TestSetupRejectionSurfaces(t *testing.T) {
 	}
 	if !rejected {
 		t.Error("overload never rejected")
+	}
+}
+
+// TestStateVerifyOffline checks the offline inspector against a real
+// snapshot+journal pair: clean, torn, and corrupt — all without a
+// running daemon, and without modifying either file.
+func TestStateVerifyOffline(t *testing.T) {
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "state.json")
+	jpath := statePath + ".journal"
+	store := wire.NewStateStore(statePath)
+	if err := store.SaveState(wire.PersistentState{
+		LastSeq: 2,
+		Connections: []core.ConnRequest{
+			{ID: "a", Spec: traffic.CBR(0.01), Priority: 1,
+				Route: core.Route{{Switch: "ring00", In: 1, Out: 0}}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	log, _, _, err := journal.Open(journal.OSFS{}, jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.SetNextSeq(3)
+	if err := log.Append(&journal.Record{Op: journal.OpTeardown, ID: "a"}, true); err != nil {
+		t.Fatal(err)
+	}
+	req := core.ConnRequest{ID: "b", Spec: traffic.CBR(0.01), Priority: 1,
+		Route: core.Route{{Switch: "ring00", In: 2, Out: 0}}}
+	if err := log.Append(&journal.Record{Op: journal.OpSetup, Request: &req}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() {
+		if err := run([]string{"state", "show", statePath}); err != nil {
+			t.Errorf("state show: %v", err)
+		}
+	})
+	for _, want := range []string{
+		"1 connections", "watermark 2", "checksum ok",
+		"2 valid records (2 past watermark), clean",
+		"replayed state: 1 connections", "b prio 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("state show output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Tear the journal tail: verify reports the position, repairs nothing.
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("xx")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = captureStdout(t, func() {
+		if err := run([]string{"state", "verify", statePath}); err != nil {
+			t.Errorf("state verify on torn journal: %v", err)
+		}
+	})
+	if !strings.Contains(out, "TORN at byte") {
+		t.Errorf("torn tail not reported:\n%s", out)
+	}
+	after, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("state verify modified the journal")
+	}
+
+	// Corrupt the snapshot: verify exits non-zero and leaves it in place.
+	data, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[2] ^= 0x01
+	if err := os.WriteFile(statePath, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out = captureStdout(t, func() {
+		if err := run([]string{"state", "verify", statePath}); err == nil {
+			t.Error("state verify accepted a corrupt snapshot")
+		}
+	})
+	if !strings.Contains(out, "CORRUPT") {
+		t.Errorf("corruption not reported:\n%s", out)
+	}
+	if _, err := os.Stat(statePath); err != nil {
+		t.Errorf("state verify quarantined the snapshot: %v", err)
+	}
+}
+
+func TestStateCmdErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"state"},
+		{"state", "frobnicate", "x"},
+		{"state", "verify"},
+		{"state", "verify", "a", "b"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }

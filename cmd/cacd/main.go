@@ -6,7 +6,9 @@
 // Usage:
 //
 //	cacd [-listen ADDR] [-ring N] [-terminals N] [-queue CELLS] [-low-queue CELLS] [-policy hard|soft]
-//	     [-state FILE] [-state-strict] [-io-timeout D] [-drain-timeout D]
+//	     [-state FILE] [-state-strict] [-durability snapshot|journal|journal-sync]
+//	     [-journal FILE] [-compact-records N] [-compact-bytes N]
+//	     [-io-timeout D] [-drain-timeout D]
 //	     [-shed-rate R] [-shed-burst B] [-max-inflight N]
 //
 // The server manages one CAC network whose switches are the ring nodes of
@@ -20,6 +22,18 @@
 // route stay down and are reported, never silently degraded. On SIGTERM
 // the server drains: it stops accepting, lets in-flight requests finish
 // (bounded by -drain-timeout) and writes a final state snapshot.
+//
+// With -state the server persists admission state; -durability selects
+// how. snapshot (the default) rewrites the whole state file on every
+// mutation. journal appends one CRC-framed record to a write-ahead log
+// before acknowledging each setup/teardown/fail-link/restore-link —
+// journal-sync additionally fsyncs per record, so an acknowledged
+// operation survives power loss — and folds the log into the snapshot at
+// the -compact-records/-compact-bytes thresholds. On restart the server
+// loads the snapshot, replays journal records past its sequence
+// watermark, re-fails the recorded links, and re-admits every surviving
+// connection through the full CAC check (cacctl state verify inspects
+// both files offline).
 //
 // With -shed-rate (and optionally -shed-burst, -max-inflight) the server
 // sheds control-plane overload in degradation order: read-only queries
@@ -69,6 +83,10 @@ func run(args []string) error {
 		policy       = fs.String("policy", "hard", "CDV accumulation: hard or soft")
 		state        = fs.String("state", "", "persist established connections to this JSON file")
 		stateStrict  = fs.Bool("state-strict", false, "exit non-zero when any stored connection cannot be restored")
+		durability   = fs.String("durability", "snapshot", "persistence mode: snapshot (full rewrite per op), journal (write-ahead log before ack), or journal-sync (journal + fsync per record)")
+		journalPath  = fs.String("journal", "", "write-ahead journal file; defaults to STATE.journal")
+		compactRecs  = fs.Int("compact-records", wire.DefaultCompactRecords, "fold the journal into the snapshot after this many records")
+		compactBytes = fs.Int64("compact-bytes", wire.DefaultCompactBytes, "fold the journal into the snapshot after this many bytes")
 		ioTimeout    = fs.Duration("io-timeout", 0, "per-request read/write deadline on client connections; 0 disables")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 		shedRate     = fs.Float64("shed-rate", 0, "sustained control-plane request rate (req/s) before shedding; 0 disables the token bucket")
@@ -119,26 +137,46 @@ func run(args []string) error {
 		fmt.Printf("cacd: overload control %s (high-priority floor %d per burst)\n",
 			lim, lim.HighPriorityFloor())
 	}
+	mode, err := wire.ParseDurabilityMode(*durability)
+	if err != nil {
+		return err
+	}
 	if *state != "" {
-		store := wire.NewStateStore(*state)
-		restored, failed, warning, err := wire.Restore(rt.Core(), store)
+		dur, err := wire.OpenDurable(wire.DurableConfig{
+			StatePath:      *state,
+			JournalPath:    *journalPath,
+			Mode:           mode,
+			CompactRecords: *compactRecs,
+			CompactBytes:   *compactBytes,
+		})
 		if err != nil {
 			return err
 		}
-		if warning != "" {
-			fmt.Printf("cacd: %s\n", warning)
+		defer dur.Close()
+		rep, err := dur.Recover(rt.Core())
+		if err != nil {
+			return err
 		}
-		srv.SetStateStore(store)
-		if restored > 0 {
-			fmt.Printf("cacd: restored %d connections from %s\n", restored, *state)
+		for _, w := range rep.Warnings {
+			fmt.Printf("cacd: %s\n", w)
 		}
-		for _, f := range failed {
+		srv.SetDurable(dur)
+		if rep.Restored > 0 {
+			fmt.Printf("cacd: restored %d connections from %s (%d journal records replayed, %s durability)\n",
+				rep.Restored, *state, rep.JournalRecords, mode)
+		}
+		for _, l := range rep.FailedLinks {
+			fmt.Printf("cacd: link %s restored as failed\n", l)
+		}
+		for _, f := range rep.Failed {
 			fmt.Printf("cacd: connection %q no longer admissible: %v\n", f.ID, f.Err)
 		}
-		if len(failed) > 0 && *stateStrict {
+		if len(rep.Failed) > 0 && *stateStrict {
 			return fmt.Errorf("state-strict: %d of %d stored connections could not be restored",
-				len(failed), restored+len(failed))
+				len(rep.Failed), rep.Restored+len(rep.Failed))
 		}
+	} else if mode != wire.DurabilitySnapshot {
+		return fmt.Errorf("-durability %s requires -state", mode)
 	}
 
 	l, err := net.Listen("tcp", *listen)

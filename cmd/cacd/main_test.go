@@ -409,3 +409,88 @@ func TestEndToEndFailover(t *testing.T) {
 		t.Fatalf("re-setup after restore: %v", err)
 	}
 }
+
+// TestEndToEndJournalDurability boots cacd in journal-sync mode, admits
+// connections and tears one down, drains, and restarts from the same
+// state+journal pair: the surviving set must come back exactly, through
+// the full flag plumbing (-durability, -journal, -compact-records).
+func TestEndToEndJournalDurability(t *testing.T) {
+	dir := t.TempDir()
+	stateFile := filepath.Join(dir, "state.json")
+	journalFile := filepath.Join(dir, "wal")
+
+	boot := func() (string, chan error) {
+		addrCh := make(chan net.Addr, 1)
+		testHookListen = func(a net.Addr) { addrCh <- a }
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{
+				"-listen", "127.0.0.1:0", "-ring", "4", "-terminals", "1",
+				"-state", stateFile, "-durability", "journal-sync",
+				"-journal", journalFile, "-compact-records", "3",
+			})
+		}()
+		select {
+		case a := <-addrCh:
+			testHookListen = nil
+			return a.String(), done
+		case err := <-done:
+			t.Fatalf("server exited before listening: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("server never announced its address")
+		}
+		return "", nil
+	}
+	stop := func(done chan error) {
+		t.Helper()
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	}
+
+	ref, err := rtnet.New(rtnet.Config{RingNodes: 4, TerminalsPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, done := boot()
+	client, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		route, err := ref.BroadcastRoute(i, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Setup(core.ConnRequest{
+			ID: core.ConnID(fmt.Sprintf("jc-%d", i)), Spec: traffic.CBR(0.02),
+			Priority: 1, Route: route,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Teardown("jc-1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	stop(done)
+
+	addr2, done2 := boot()
+	client2, err := wire.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := client2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) != 2 || ids[0] != "jc-0" || ids[1] != "jc-2" {
+		t.Fatalf("after journal-mode restart List = %v, want [jc-0 jc-2]", ids)
+	}
+	_ = client2.Close()
+	stop(done2)
+}

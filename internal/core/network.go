@@ -250,6 +250,19 @@ func (n *Network) AdmittedRequests() []ConnRequest {
 	return reqs
 }
 
+// AdmittedRequest returns a copy of one admitted connection request.
+func (n *Network) AdmittedRequest(id ConnID) (ConnRequest, bool) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	req, ok := n.admitted[id]
+	if !ok {
+		return ConnRequest{}, false
+	}
+	cp := req
+	cp.Route = append(Route(nil), req.Route...)
+	return cp, true
+}
+
 // reserveID claims req.ID for an in-flight setup; the caller must resolve
 // the reservation with commitID or abandonID.
 func (n *Network) reserveID(id ConnID) error {

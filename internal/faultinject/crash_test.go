@@ -1,0 +1,371 @@
+package faultinject
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/journal"
+	"atmcac/internal/rtnet"
+	"atmcac/internal/traffic"
+	"atmcac/internal/wire"
+)
+
+// crashScript exercises every journaled op kind: healthy setups, a
+// teardown, a link failure with wrapped re-admission, setups under wrap,
+// a restore, and a post-recovery setup. PCRs are small enough that every
+// admission passes CAC, so ack bookkeeping is deterministic.
+func crashScript() Script {
+	s := Script{}
+	for origin := 0; origin < 4; origin++ {
+		s = append(s, Event{Kind: KindSetup, ID: core.ConnID(fmt.Sprintf("h%d", origin)),
+			Origin: origin, PCR: 0.02})
+	}
+	s = append(s,
+		Event{Kind: KindTeardown, ID: "h1"},
+		Event{Kind: KindFail, Node: 1},
+		Event{Kind: KindSetup, ID: "w0", Origin: 0, PCR: 0.02}, // wrapped broadcast
+		Event{Kind: KindTeardown, ID: "h2"},
+		Event{Kind: KindRestore, Node: 1},
+		Event{Kind: KindSetup, ID: "p0", Origin: 2, PCR: 0.02}, // healthy again
+	)
+	return s
+}
+
+// countBoundaries dry-runs the scenario with injection disabled and
+// returns how many durability boundaries one clean pass executes.
+func countBoundaries(t *testing.T, h *CrashHarness) int {
+	t.Helper()
+	dir := t.TempDir()
+	probe := *h
+	probe.StatePath = filepath.Join(dir, "state.json")
+	res, cfs, err := probe.Run(-1)
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	if res.CrashedAt != -1 || cfs.Crashed() {
+		t.Fatalf("dry run crashed: %+v", res)
+	}
+	n := cfs.Boundaries()
+	if n == 0 {
+		t.Fatal("dry run hit no durability boundaries")
+	}
+	return n
+}
+
+// runEveryBoundary kills the persistence path at each boundary in turn
+// and demands that recovery restores exactly the acked admission set.
+func runEveryBoundary(t *testing.T, h CrashHarness) {
+	t.Helper()
+	n := countBoundaries(t, &h)
+	t.Logf("scenario has %d durability boundaries (mode=%s loss=%s)", n, h.Mode, h.Loss)
+	torn := 0
+	for k := 0; k < n; k++ {
+		run := h
+		run.StatePath = filepath.Join(t.TempDir(), "state.json")
+		res, cfs, err := run.Run(k)
+		if err != nil {
+			t.Fatalf("crash at boundary %d/%d: %v", k, n, err)
+		}
+		if res.CrashedAt != k {
+			t.Fatalf("boundary %d: crash did not fire (CrashedAt=%d)", k, res.CrashedAt)
+		}
+		if !cfs.Crashed() {
+			t.Fatalf("boundary %d: CrashFS not marked crashed", k)
+		}
+		if res.TornRepaired {
+			torn++
+		}
+	}
+	if h.Loss == TearUnsynced && torn == 0 {
+		t.Error("tearing loss model never produced a repaired torn tail")
+	}
+	if h.Loss != TearUnsynced && torn != 0 {
+		t.Errorf("loss model %s produced %d torn tails, want 0", h.Loss, torn)
+	}
+}
+
+// TestCrashJournalSyncPowerLoss is the strongest contract: with per-record
+// fsync, a power loss (unsynced tail dropped) at any boundary recovers
+// exactly the acked set.
+func TestCrashJournalSyncPowerLoss(t *testing.T) {
+	runEveryBoundary(t, CrashHarness{
+		Mode:   wire.DurabilityJournalSync,
+		Loss:   DropUnsynced,
+		Script: crashScript(),
+	})
+}
+
+// TestCrashJournalSyncTornTail adds the torn-write case: the power loss
+// persists half of the unsynced tail, and recovery must detect the torn
+// frame, preserve it as evidence, truncate, and still restore exactly the
+// acked set.
+func TestCrashJournalSyncTornTail(t *testing.T) {
+	runEveryBoundary(t, CrashHarness{
+		Mode:   wire.DurabilityJournalSync,
+		Loss:   TearUnsynced,
+		Script: crashScript(),
+	})
+}
+
+// TestCrashJournalProcessKill checks the no-fsync journal mode against
+// the fault it is specified to survive: a process kill, where completed
+// writes persist. Recovery is exact there too.
+func TestCrashJournalProcessKill(t *testing.T) {
+	runEveryBoundary(t, CrashHarness{
+		Mode:   wire.DurabilityJournal,
+		Loss:   KeepAll,
+		Script: crashScript(),
+	})
+}
+
+// TestCrashMidCompaction pins crash coverage inside compaction: with
+// CompactRecords=1 every append triggers a snapshot fold, so every
+// boundary of the write-temp / sync / rename / sync-dir / truncate-journal
+// sequence is killed in some iteration.
+func TestCrashMidCompaction(t *testing.T) {
+	runEveryBoundary(t, CrashHarness{
+		Mode:           wire.DurabilityJournalSync,
+		Loss:           DropUnsynced,
+		CompactRecords: 1,
+		Script:         crashScript(),
+	})
+}
+
+// TestCrashChurn crashes the persistence stack while concurrent clients
+// churn setups and teardowns, then verifies per-observed-outcome
+// durability: a cleanly acked setup with no teardown attempt is
+// recovered; a cleanly acked teardown is not; a refused setup never
+// resurrects.
+func TestCrashChurn(t *testing.T) {
+	for _, crashAt := range []int{5, 17, 42} {
+		t.Run(fmt.Sprintf("boundary%d", crashAt), func(t *testing.T) {
+			churnOnce(t, crashAt)
+		})
+	}
+}
+
+func churnOnce(t *testing.T, crashAt int) {
+	const workers, opsPerWorker = 6, 8
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "state.json")
+	cfs := NewCrashFS(crashAt, DropUnsynced)
+
+	rt, err := rtnet.New(rtnet.Config{RingNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, err := wire.OpenDurable(wire.DurableConfig{
+		StatePath: statePath,
+		Mode:      wire.DurabilityJournalSync,
+		FS:        cfs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	outcomes := make(map[core.ConnID]*churnOutcome)
+
+	if _, err := dur.Recover(rt.Core()); err != nil {
+		// The crash landed inside boot-time recovery; nothing was acked,
+		// so recovery from the surviving files must restore the empty set.
+		if !cfs.Crashed() {
+			t.Fatal(err)
+		}
+		_ = dur.Close()
+		verifyChurnRecovery(t, statePath, outcomes)
+		return
+	}
+	srv := wire.NewServer(rt.Core())
+	srv.SetDurable(dur)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client, err := wire.Dial(l.Addr().String())
+			if err != nil {
+				return
+			}
+			defer client.Close()
+			origin := w % 4
+			for i := 0; i < opsPerWorker; i++ {
+				id := core.ConnID(fmt.Sprintf("c%d-%d", w, i))
+				route, err := rt.BroadcastRoute(origin, 0)
+				if err != nil {
+					t.Errorf("route: %v", err)
+					return
+				}
+				_, serr := client.Setup(core.ConnRequest{
+					ID: id, Spec: traffic.CBR(0.005), Priority: 1, Route: route,
+				})
+				mu.Lock()
+				outcomes[id] = &churnOutcome{setupOK: serr == nil}
+				mu.Unlock()
+				if serr != nil {
+					continue
+				}
+				if i%2 == 1 { // tear down every other admitted connection
+					terr := client.Teardown(id)
+					mu.Lock()
+					outcomes[id].tornTried = true
+					outcomes[id].tornOK = terr == nil
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	_ = srv.Close()
+	<-done
+	_ = dur.Close()
+	if !cfs.Crashed() {
+		t.Fatalf("churn finished before boundary %d was reached (%d boundaries executed)",
+			crashAt, cfs.Boundaries())
+	}
+	verifyChurnRecovery(t, statePath, outcomes)
+}
+
+// churnOutcome is what one churn client observed for one connection.
+type churnOutcome struct {
+	setupOK   bool
+	tornTried bool
+	tornOK    bool
+}
+
+// verifyChurnRecovery restarts on the pristine filesystem and checks
+// each connection's recovered fate against its observed ack.
+func verifyChurnRecovery(t *testing.T, statePath string, outcomes map[core.ConnID]*churnOutcome) {
+	t.Helper()
+	rt2, err := rtnet.New(rtnet.Config{RingNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur2, err := wire.OpenDurable(wire.DurableConfig{
+		StatePath: statePath,
+		Mode:      wire.DurabilityJournalSync,
+		FS:        journal.OSFS{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur2.Close()
+	rep, err := dur2.Recover(rt2.Core())
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	recovered := make(map[core.ConnID]bool)
+	for _, id := range rt2.Core().Connections() {
+		recovered[id] = true
+	}
+	for id, o := range outcomes {
+		switch {
+		case !o.setupOK:
+			if recovered[id] {
+				t.Errorf("connection %s: setup was refused yet it was recovered", id)
+			}
+		case o.tornTried && o.tornOK:
+			if recovered[id] {
+				t.Errorf("connection %s: teardown was acked yet it was recovered", id)
+			}
+		case !o.tornTried:
+			if !recovered[id] && !readmissionFailed(rep, id) {
+				t.Errorf("connection %s: setup was acked yet it was lost", id)
+			}
+		}
+		// tornTried && !tornOK is legitimately ambiguous: the teardown was
+		// refused (conn stays) or its rollback failed (conn gone).
+		delete(recovered, id)
+	}
+	for id := range recovered {
+		t.Errorf("recovered connection %s was never attempted", id)
+	}
+	if v, err := rt2.Core().Audit(); err != nil || len(v) > 0 {
+		t.Fatalf("audit after churn recovery: violations=%v err=%v", v, err)
+	}
+}
+
+// readmissionFailed reports whether recovery itself rejected id at the
+// CAC re-admission step (reported once, pruned from the next snapshot).
+func readmissionFailed(rep *wire.RecoveryReport, id core.ConnID) bool {
+	for _, f := range rep.Failed {
+		if f.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCrashFSBoundaryDeterminism guards the harness itself: the same
+// scripted scenario executes the same number of boundaries twice in a
+// row, so per-boundary coverage is exhaustive rather than sampled.
+func TestCrashFSBoundaryDeterminism(t *testing.T) {
+	h := CrashHarness{Mode: wire.DurabilityJournalSync, Loss: DropUnsynced, Script: crashScript()}
+	a := countBoundaries(t, &h)
+	b := countBoundaries(t, &h)
+	if a != b {
+		t.Fatalf("boundary count not deterministic: %d then %d", a, b)
+	}
+}
+
+// TestCrashFSModels unit-tests the loss models directly on one file.
+func TestCrashFSModels(t *testing.T) {
+	write := func(t *testing.T, cfs *CrashFS, path string) {
+		t.Helper()
+		f, err := cfs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("synced|")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("unsynced")); err != nil {
+			t.Fatal(err)
+		}
+		// The next boundary is armed: this sync crashes.
+		if err := f.Sync(); err != ErrCrash {
+			t.Fatalf("sync = %v, want ErrCrash", err)
+		}
+		_ = f.Close()
+	}
+	cases := []struct {
+		model LossModel
+		want  string
+	}{
+		{KeepAll, "synced|unsynced"},
+		{DropUnsynced, "synced|"},
+		{TearUnsynced, "synced|unsy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.model.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "f")
+			cfs := NewCrashFS(3, tc.model) // write, sync, write, then crash
+			write(t, cfs, path)
+			data, err := journal.OSFS{}.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != tc.want {
+				t.Fatalf("surviving content = %q, want %q", data, tc.want)
+			}
+			// The filesystem is poisoned from the crash on.
+			if _, err := cfs.ReadFile(path); err != ErrCrash {
+				t.Fatalf("post-crash read = %v, want ErrCrash", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package journal
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// FS is the filesystem surface the persistence layer writes through. The
+// production implementation is OSFS; the crash-point harness in
+// internal/faultinject substitutes an instrumented implementation that can
+// kill the process at any write/sync/rename boundary, so every durability
+// claim is tested against an injected crash, not assumed.
+type FS interface {
+	// OpenFile opens name with the given flags, like os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file; a missing file returns an error
+	// matching os.ErrNotExist.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data to name in one call (no durability implied).
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Stat returns file metadata.
+	Stat(name string) (fs.FileInfo, error)
+	// Truncate cuts the named file to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory containing name, making a preceding
+	// rename or create in it durable.
+	SyncDir(name string) error
+}
+
+// File is one writable file handle.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// WriteFile implements FS.
+func (OSFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Stat implements FS.
+func (OSFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS: without the directory fsync, a power loss after
+// a rename can roll the directory entry back to the old file — or to
+// nothing — despite the atomic-write claim.
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Dir(name))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// EvidencePath returns base if nothing occupies it, otherwise base.1,
+// base.2, ... for the first free monotonic suffix — so quarantining a
+// second corrupt file never overwrites the evidence of the first.
+func EvidencePath(fsys FS, base string) string {
+	if _, err := fsys.Stat(base); err != nil {
+		return base
+	}
+	for i := 1; ; i++ {
+		candidate := base + "." + strconv.Itoa(i)
+		if _, err := fsys.Stat(candidate); err != nil {
+			return candidate
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package journal is the write-ahead admission log of the central CAC
+// server: one length-prefixed, CRC32-framed record per admission-state
+// mutation (setup, teardown, fail-link, restore-link), appended — and in
+// the strictest mode fsynced — before the operation is acknowledged.
+//
+// The paper's delay guarantees (Algorithm 4.1) hold only while the
+// switch's recorded admission state Sia/Sif/Soa/Sof matches the set of
+// connections actually admitted; for RTnet's permanent real-time
+// connections a CAC server crash must neither lose an acknowledged
+// admission nor resurrect a torn-down one. The journal turns the per-op
+// persistence cost from an O(n) full snapshot into an O(1) append, and
+// recovery is: load snapshot, replay the journal records past the
+// snapshot's sequence watermark, then re-admit the resulting set through
+// the full CAC check.
+//
+// Frame format, designed so a torn tail is detectable and cheap to repair:
+//
+//	[4 bytes big-endian payload length][4 bytes big-endian IEEE CRC32 of
+//	payload][payload: one JSON Record]
+//
+// Each frame is written with a single Write call. Scanning stops at the
+// first frame that is short, oversized, fails its checksum, or does not
+// decode: everything before it is valid, everything from it on is a torn
+// tail (the typical residue of a crash mid-append or a power loss that
+// persisted half a sector). Open repairs a torn tail by copying the
+// damaged file to a fresh ".torn" evidence path and truncating the
+// journal at the last valid frame.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"atmcac/internal/core"
+)
+
+// Op enumerates the journaled admission-state mutations.
+type Op string
+
+const (
+	// OpSetup records an admitted connection.
+	OpSetup Op = "setup"
+	// OpTeardown records a released connection.
+	OpTeardown Op = "teardown"
+	// OpFailLink records a link failure with the evicted connections and
+	// the re-admissions (with their new wrapped routes) it triggered.
+	OpFailLink Op = "fail-link"
+	// OpRestoreLink records a healed link.
+	OpRestoreLink Op = "restore-link"
+)
+
+// MaxRecordBytes caps one record payload; a frame announcing more is torn
+// or hostile, never allocated.
+const MaxRecordBytes = 1 << 20
+
+// frameHeaderLen is the length prefix plus the CRC32.
+const frameHeaderLen = 8
+
+// ErrBroken reports an append log whose tail could not be healed after a
+// failed append; it refuses further appends until reopened.
+var ErrBroken = errors.New("journal: log broken (failed append not healed)")
+
+// Record is one journaled mutation. Seq is assigned by Append and is
+// strictly monotonic across compactions: a snapshot stores the last
+// sequence folded into it, and replay skips records at or below that
+// watermark, which makes a crash between snapshot rename and journal
+// truncation harmless.
+type Record struct {
+	Seq uint64 `json:"seq"`
+	Op  Op     `json:"op"`
+	// Request carries the admitted connection for OpSetup.
+	Request *core.ConnRequest `json:"request,omitempty"`
+	// ID names the released connection for OpTeardown.
+	ID core.ConnID `json:"id,omitempty"`
+	// From and To name the link for OpFailLink / OpRestoreLink.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Evicted lists the connections the link failure tore down.
+	Evicted []core.ConnID `json:"evicted,omitempty"`
+	// Readmitted lists the evicted connections re-admitted in degraded
+	// mode, carrying their new (wrapped) routes.
+	Readmitted []core.ConnRequest `json:"readmitted,omitempty"`
+}
+
+// EncodeFrame renders one record as a complete frame.
+func EncodeFrame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode record seq %d: %w", rec.Seq, err)
+	}
+	if len(payload) > MaxRecordBytes {
+		return nil, fmt.Errorf("journal: record seq %d exceeds %d bytes", rec.Seq, MaxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+	return frame, nil
+}
+
+// ScanResult is the outcome of decoding a journal image.
+type ScanResult struct {
+	// Records holds every valid record, in file order.
+	Records []Record
+	// Valid is the byte offset just past the last valid frame.
+	Valid int64
+	// Torn reports trailing bytes after Valid that do not form a valid
+	// frame — the residue of a crash mid-append.
+	Torn bool
+}
+
+// ScanBytes decodes frames until the data ends or a frame is invalid.
+// It never fails: a bad frame terminates the scan with Torn set, because
+// a write-ahead log's tail is exactly where a crash lands.
+func ScanBytes(data []byte) ScanResult {
+	res := ScanResult{}
+	for {
+		rest := data[res.Valid:]
+		if len(rest) == 0 {
+			return res
+		}
+		if len(rest) < frameHeaderLen {
+			res.Torn = true
+			return res
+		}
+		n := binary.BigEndian.Uint32(rest[0:4])
+		if n > MaxRecordBytes || int64(n) > int64(len(rest)-frameHeaderLen) {
+			res.Torn = true
+			return res
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int(n)]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(rest[4:8]) {
+			res.Torn = true
+			return res
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			res.Torn = true
+			return res
+		}
+		res.Records = append(res.Records, rec)
+		res.Valid += int64(frameHeaderLen) + int64(n)
+	}
+}
+
+// ScanFile reads and decodes the journal at path without modifying it —
+// the read-only half of recovery, also used by offline inspection
+// (cacctl state verify). A missing file is an empty journal.
+func ScanFile(fsys FS, path string) (ScanResult, error) {
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ScanResult{}, nil
+	}
+	if err != nil {
+		return ScanResult{}, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	return ScanBytes(data), nil
+}
+
+// Log is an append-only journal file. Appends are not internally
+// synchronized: the server serializes them under its persistence mutex,
+// which also keeps the sequence numbers in file order.
+type Log struct {
+	fsys   FS
+	path   string
+	f      File
+	size   int64
+	count  int
+	next   uint64
+	broken bool
+}
+
+// Open scans the journal at path, repairs a torn tail (the damaged file
+// is first copied to a fresh EvidencePath(path+".torn") so the bytes stay
+// inspectable, then the journal is truncated at the last valid frame),
+// and opens it for appending. It returns the valid records for replay and
+// the evidence path when a tear was repaired.
+func Open(fsys FS, path string) (*Log, ScanResult, string, error) {
+	res, err := ScanFile(fsys, path)
+	if err != nil {
+		return nil, res, "", err
+	}
+	tornPath := ""
+	if res.Torn {
+		data, err := fsys.ReadFile(path)
+		if err != nil {
+			return nil, res, "", fmt.Errorf("journal: reread torn %s: %w", path, err)
+		}
+		tornPath = EvidencePath(fsys, path+".torn")
+		if err := fsys.WriteFile(tornPath, data, 0o600); err != nil {
+			return nil, res, "", fmt.Errorf("journal: preserve torn tail: %w", err)
+		}
+		if err := fsys.Truncate(path, res.Valid); err != nil {
+			return nil, res, tornPath, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, res, tornPath, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	next := uint64(1)
+	for _, rec := range res.Records {
+		if rec.Seq >= next {
+			next = rec.Seq + 1
+		}
+	}
+	return &Log{
+		fsys: fsys, path: path, f: f,
+		size: res.Valid, count: len(res.Records), next: next,
+	}, res, tornPath, nil
+}
+
+// SetNextSeq raises the next sequence number, so recovery can place it
+// past a snapshot watermark that outruns the scanned records.
+func (l *Log) SetNextSeq(seq uint64) {
+	if seq > l.next {
+		l.next = seq
+	}
+}
+
+// LastSeq returns the highest sequence number assigned so far.
+func (l *Log) LastSeq() uint64 { return l.next - 1 }
+
+// Size returns the journal's current byte length.
+func (l *Log) Size() int64 { return l.size }
+
+// Count returns the number of records appended since the last Reset.
+func (l *Log) Count() int { return l.count }
+
+// Path returns the backing file path.
+func (l *Log) Path() string { return l.path }
+
+// Append assigns the next sequence number to rec and writes its frame in
+// one call; with sync it is fsynced before returning, so a true return in
+// that mode means the record survives a power loss. A failed append
+// attempts to truncate the file back to the last known-good length — a
+// partial frame must not poison every later append — and if even that
+// fails the log marks itself broken (boot-time torn repair is then the
+// recovery path).
+func (l *Log) Append(rec *Record, sync bool) error {
+	if l.broken {
+		return ErrBroken
+	}
+	rec.Seq = l.next
+	frame, err := EncodeFrame(*rec)
+	if err != nil {
+		return err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.heal()
+		return fmt.Errorf("journal: append seq %d: %w", rec.Seq, err)
+	}
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			l.heal()
+			return fmt.Errorf("journal: sync seq %d: %w", rec.Seq, err)
+		}
+	}
+	l.size += int64(len(frame))
+	l.count++
+	l.next++
+	return nil
+}
+
+// heal truncates a possibly-partial tail after a failed append.
+func (l *Log) heal() {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.broken = true
+	}
+}
+
+// Reset empties the journal after its records were folded into a
+// snapshot. Sequence numbers keep counting: the snapshot's watermark is
+// what makes stale records inert, not the truncation.
+func (l *Log) Reset() error {
+	if l.broken {
+		return ErrBroken
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("journal: reset sync: %w", err)
+	}
+	l.size = 0
+	l.count = 0
+	return nil
+}
+
+// MarkBroken forces the broken state: every later Append and Reset
+// returns ErrBroken until the log is reopened. It exists for fault
+// injection — exercising callers' refuse-and-roll-back paths without a
+// real disk failure.
+func (l *Log) MarkBroken() { l.broken = true }
+
+// Close releases the append handle.
+func (l *Log) Close() error { return l.f.Close() }
+
+// State is a replayed admission state: the connection set in admission
+// order and the links recorded as failed.
+type State struct {
+	Requests    []core.ConnRequest
+	FailedLinks []core.Link
+}
+
+// Replay folds records past the lastSeq watermark into the base state.
+// Application is idempotent per connection ID and per link, so records
+// whose effect is already present in base (a crash landed between
+// snapshot rename and journal truncation, or a compaction raced an
+// append) re-apply harmlessly.
+func Replay(base State, lastSeq uint64, recs []Record) State {
+	index := make(map[core.ConnID]int, len(base.Requests))
+	reqs := append([]core.ConnRequest(nil), base.Requests...)
+	for i, req := range reqs {
+		index[req.ID] = i
+	}
+	links := make(map[core.Link]struct{}, len(base.FailedLinks))
+	order := append([]core.Link(nil), base.FailedLinks...)
+	upsert := func(req core.ConnRequest) {
+		if i, ok := index[req.ID]; ok {
+			reqs[i] = req
+			return
+		}
+		index[req.ID] = len(reqs)
+		reqs = append(reqs, req)
+	}
+	remove := func(id core.ConnID) {
+		i, ok := index[id]
+		if !ok {
+			return
+		}
+		reqs = append(reqs[:i], reqs[i+1:]...)
+		delete(index, id)
+		for j := i; j < len(reqs); j++ {
+			index[reqs[j].ID] = j
+		}
+	}
+	for _, l := range order {
+		links[l] = struct{}{}
+	}
+	for _, rec := range recs {
+		if rec.Seq <= lastSeq {
+			continue
+		}
+		switch rec.Op {
+		case OpSetup:
+			if rec.Request != nil {
+				upsert(*rec.Request)
+			}
+		case OpTeardown:
+			remove(rec.ID)
+		case OpFailLink:
+			for _, id := range rec.Evicted {
+				remove(id)
+			}
+			for _, req := range rec.Readmitted {
+				upsert(req)
+			}
+			l := core.Link{From: rec.From, To: rec.To}
+			if _, ok := links[l]; !ok {
+				links[l] = struct{}{}
+				order = append(order, l)
+			}
+		case OpRestoreLink:
+			l := core.Link{From: rec.From, To: rec.To}
+			if _, ok := links[l]; ok {
+				delete(links, l)
+				for i, have := range order {
+					if have == l {
+						order = append(order[:i], order[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+	return State{Requests: reqs, FailedLinks: order}
+}

@@ -1,0 +1,345 @@
+package wire
+
+import (
+	"fmt"
+
+	"atmcac/internal/core"
+	"atmcac/internal/journal"
+)
+
+// DurabilityMode selects how the server makes admission state survive a
+// crash. The modes trade per-op cost against the crash window:
+//
+//   - snapshot: the legacy mode — every mutation rewrites the full
+//     snapshot (O(n) per op); a failed write warns and retries in the
+//     background, so a crash between the ack and a completed snapshot can
+//     lose acked mutations.
+//   - journal: every mutation appends one O(1) journal record before the
+//     ack; a failed append fails (and rolls back) the operation. Survives
+//     a process crash exactly; a power loss can still lose the
+//     OS-buffered tail.
+//   - journal-sync: journal plus an fsync per record before the ack — an
+//     acked mutation survives power loss. The strongest contract, tested
+//     by the crash-point harness in internal/faultinject.
+type DurabilityMode string
+
+const (
+	DurabilitySnapshot    DurabilityMode = "snapshot"
+	DurabilityJournal     DurabilityMode = "journal"
+	DurabilityJournalSync DurabilityMode = "journal-sync"
+)
+
+// ParseDurabilityMode validates a mode flag value.
+func ParseDurabilityMode(s string) (DurabilityMode, error) {
+	switch DurabilityMode(s) {
+	case DurabilitySnapshot, DurabilityJournal, DurabilityJournalSync:
+		return DurabilityMode(s), nil
+	}
+	return "", fmt.Errorf("wire: unknown durability mode %q (want snapshot, journal, or journal-sync)", s)
+}
+
+// Default compaction triggers: the journal folds into a fresh snapshot
+// once it holds this many records or bytes, keeping replay time and disk
+// growth bounded while the per-op cost stays O(1) amortized.
+const (
+	DefaultCompactRecords = 1024
+	DefaultCompactBytes   = 1 << 20
+)
+
+// DurableConfig configures OpenDurable.
+type DurableConfig struct {
+	// StatePath is the snapshot file (cacd -state).
+	StatePath string
+	// JournalPath is the write-ahead log; empty means StatePath+".journal".
+	JournalPath string
+	// Mode defaults to DurabilitySnapshot.
+	Mode DurabilityMode
+	// FS defaults to the real filesystem; the crash harness injects here.
+	FS journal.FS
+	// CompactRecords and CompactBytes override the compaction triggers;
+	// zero means the default.
+	CompactRecords int
+	CompactBytes   int64
+}
+
+// Durable binds a snapshot store and (in the journaled modes) a
+// write-ahead log into one persistence component. Build it with
+// OpenDurable, recover the network through Recover, then attach it to the
+// server with SetDurable — appends happen under the server's persistence
+// mutex, before each operation's ack.
+type Durable struct {
+	mode           DurabilityMode
+	store          *StateStore
+	fsys           journal.FS
+	journalPath    string
+	log            *journal.Log
+	compactRecords int
+	compactBytes   int64
+}
+
+// OpenDurable validates cfg and builds the component. In the journaled
+// modes the journal itself is opened (and a torn tail repaired) inside
+// Recover, which must run before the server serves.
+func OpenDurable(cfg DurableConfig) (*Durable, error) {
+	if cfg.StatePath == "" {
+		return nil, fmt.Errorf("wire: durable state requires a snapshot path")
+	}
+	mode := cfg.Mode
+	if mode == "" {
+		mode = DurabilitySnapshot
+	}
+	if _, err := ParseDurabilityMode(string(mode)); err != nil {
+		return nil, err
+	}
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = journal.OSFS{}
+	}
+	jpath := cfg.JournalPath
+	if jpath == "" {
+		jpath = cfg.StatePath + ".journal"
+	}
+	records := cfg.CompactRecords
+	if records <= 0 {
+		records = DefaultCompactRecords
+	}
+	bytes := cfg.CompactBytes
+	if bytes <= 0 {
+		bytes = DefaultCompactBytes
+	}
+	return &Durable{
+		mode:           mode,
+		store:          NewStateStoreFS(cfg.StatePath, fsys),
+		fsys:           fsys,
+		journalPath:    jpath,
+		compactRecords: records,
+		compactBytes:   bytes,
+	}, nil
+}
+
+// Mode returns the configured durability mode.
+func (d *Durable) Mode() DurabilityMode { return d.mode }
+
+// Store returns the snapshot store.
+func (d *Durable) Store() *StateStore { return d.store }
+
+// Close releases the journal handle; call it after the server is done.
+func (d *Durable) Close() error {
+	if d.log == nil {
+		return nil
+	}
+	return d.log.Close()
+}
+
+// RecoveryReport summarizes one Recover pass.
+type RecoveryReport struct {
+	// Restored counts connections re-admitted through the full CAC check.
+	Restored int
+	// Failed lists connections that no longer fit (reported once; the
+	// post-recovery compaction prunes them from the next snapshot).
+	Failed []RestoreFailure
+	// FailedLinks are the links restored as failed.
+	FailedLinks []core.Link
+	// JournalRecords counts valid journal records replayed past the
+	// snapshot watermark.
+	JournalRecords int
+	// TornPath, when non-empty, is where a torn journal tail was
+	// preserved before the journal was truncated at the last valid frame.
+	TornPath string
+	// Warnings carries non-fatal findings (legacy snapshot without a
+	// checksum, a link that could not be re-failed, ...).
+	Warnings []string
+}
+
+// Recover rebuilds the network's admission state: load the snapshot,
+// replay journal records past its watermark, re-fail the recorded links,
+// then re-admit every surviving connection through the full CAC check —
+// recovery must re-earn the paper's guarantees, not assume them. In the
+// journaled modes the journal is then opened for appending and the
+// replayed state is immediately compacted into a fresh snapshot, so
+// failed re-admissions are pruned rather than re-persisted forever.
+func (d *Durable) Recover(network *core.Network) (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	st, warning, err := d.store.LoadState()
+	if err != nil {
+		return nil, err
+	}
+	if warning != "" {
+		rep.Warnings = append(rep.Warnings, warning)
+	}
+	final := journal.State{Requests: st.Connections, FailedLinks: st.FailedLinks}
+	journaled := d.mode != DurabilitySnapshot
+	if journaled {
+		log, scan, tornPath, err := journal.Open(d.fsys, d.journalPath)
+		if err != nil {
+			return nil, err
+		}
+		d.log = log
+		rep.TornPath = tornPath
+		if tornPath != "" {
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("wire: journal %s had a torn tail; preserved at %s, truncated at byte %d",
+					d.journalPath, tornPath, scan.Valid))
+		}
+		for _, rec := range scan.Records {
+			if rec.Seq > st.LastSeq {
+				rep.JournalRecords++
+			}
+		}
+		final = journal.Replay(final, st.LastSeq, scan.Records)
+		log.SetNextSeq(st.LastSeq + 1)
+	}
+	for _, l := range final.FailedLinks {
+		if _, err := network.FailLink(l.From, l.To); err != nil {
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("wire: recorded failed link %s could not be restored as failed: %v", l, err))
+			continue
+		}
+		rep.FailedLinks = append(rep.FailedLinks, l)
+	}
+	for _, req := range final.Requests {
+		if _, err := network.Setup(req); err != nil {
+			rep.Failed = append(rep.Failed, RestoreFailure{ID: req.ID, Err: err})
+			continue
+		}
+		rep.Restored++
+	}
+	// Fold the replayed state into a fresh snapshot: the journal empties,
+	// failed re-admissions are pruned, and legacy array snapshots are
+	// rewritten in the current format. Snapshot mode compacts only when
+	// there was something to normalize, so a cold start does not create
+	// an empty file.
+	if journaled || len(rep.Failed) > 0 {
+		st := PersistentState{
+			Connections: network.AdmittedRequests(),
+			FailedLinks: network.FailedLinks(),
+		}
+		if d.log != nil {
+			st.LastSeq = d.log.LastSeq()
+		}
+		if err := d.store.SaveState(st); err != nil {
+			return nil, fmt.Errorf("wire: post-recovery compaction: %w", err)
+		}
+		if d.log != nil {
+			if err := d.log.Reset(); err != nil {
+				return nil, fmt.Errorf("wire: post-recovery compaction: %w", err)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// SetDurable attaches the persistence component: every successful setup,
+// teardown, fail-link and restore-link is journaled or snapshotted
+// (by mode) before the response acks. It must be called before Serve,
+// after Recover.
+func (s *Server) SetDurable(d *Durable) { s.dur = d }
+
+// journaled reports whether per-op persistence appends to the journal.
+func (d *Durable) journaled() bool {
+	return d.log != nil && d.mode != DurabilitySnapshot
+}
+
+// appendLocked appends one record (fsynced in journal-sync mode) and
+// compacts when the journal outgrows its triggers. The caller holds
+// persistMu. The returned warning flags a deferred compaction; the error
+// means the record is not durable and the operation must not ack.
+func (s *Server) appendLocked(rec *journal.Record) (string, error) {
+	if err := s.dur.log.Append(rec, s.dur.mode == DurabilityJournalSync); err != nil {
+		return "", err
+	}
+	if s.dur.log.Count() >= s.dur.compactRecords || s.dur.log.Size() >= s.dur.compactBytes {
+		if err := s.compactLocked(); err != nil {
+			// The record itself is durable; only the fold-in is deferred.
+			s.scheduleRetry()
+			return fmt.Sprintf("journal compaction deferred (will retry): %v", err), nil
+		}
+	}
+	return "", nil
+}
+
+// persistSnapshotWarn is the legacy warning-only snapshot path: on
+// failure the operation still succeeded — admission state is
+// authoritative in memory — so a background retry is scheduled and the
+// warning tells the client the snapshot is deferred.
+func (s *Server) persistSnapshotWarn() string {
+	if err := s.snapshot(); err != nil {
+		s.scheduleRetry()
+		return fmt.Sprintf("state snapshot deferred (will retry): %v", err)
+	}
+	return ""
+}
+
+// persistSetup makes an admitted setup durable before its ack. In the
+// journaled modes a failed append is returned as an error: the caller
+// rolls the in-memory admission back, because acking a setup that a
+// crash would erase violates the durability contract.
+func (s *Server) persistSetup(req core.ConnRequest) (string, error) {
+	if s.dur == nil {
+		return "", nil
+	}
+	if !s.dur.journaled() {
+		return s.persistSnapshotWarn(), nil
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	return s.appendLocked(&journal.Record{Op: journal.OpSetup, Request: &req})
+}
+
+// persistTeardown makes a teardown durable before its ack; same error
+// contract as persistSetup.
+func (s *Server) persistTeardown(id core.ConnID) (string, error) {
+	if s.dur == nil {
+		return "", nil
+	}
+	if !s.dur.journaled() {
+		return s.persistSnapshotWarn(), nil
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	return s.appendLocked(&journal.Record{Op: journal.OpTeardown, ID: id})
+}
+
+// persistFailLink records a link failure with its evictions and wrapped
+// re-admissions. Fail-link is recovery-class: the link is already failed
+// and the evictions already happened, so a persistence failure degrades
+// to a warning plus the background retry (which snapshots the live state
+// and thus converges), never a refusal to heal.
+func (s *Server) persistFailLink(from, to string, evicted []core.ConnID, readmitted []core.ConnRequest) string {
+	if s.dur == nil {
+		return ""
+	}
+	if !s.dur.journaled() {
+		return s.persistSnapshotWarn()
+	}
+	s.persistMu.Lock()
+	warning, err := s.appendLocked(&journal.Record{
+		Op: journal.OpFailLink, From: from, To: to,
+		Evicted: evicted, Readmitted: readmitted,
+	})
+	s.persistMu.Unlock()
+	if err != nil {
+		s.scheduleRetry()
+		return fmt.Sprintf("fail-link journal append deferred (will retry as snapshot): %v", err)
+	}
+	return warning
+}
+
+// persistRestoreLink records a healed link; warning-only like
+// persistFailLink.
+func (s *Server) persistRestoreLink(from, to string) string {
+	if s.dur == nil {
+		return ""
+	}
+	if !s.dur.journaled() {
+		return s.persistSnapshotWarn()
+	}
+	s.persistMu.Lock()
+	warning, err := s.appendLocked(&journal.Record{Op: journal.OpRestoreLink, From: from, To: to})
+	s.persistMu.Unlock()
+	if err != nil {
+		s.scheduleRetry()
+		return fmt.Sprintf("restore-link journal append deferred (will retry as snapshot): %v", err)
+	}
+	return warning
+}

@@ -1,0 +1,414 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/journal"
+	"atmcac/internal/traffic"
+)
+
+// bootDurable recovers a fresh two-switch network from statePath in the
+// given mode and serves it; the returned stop closes everything without
+// a final snapshot (crash-like), leaving the journal authoritative.
+func bootDurable(t *testing.T, statePath string, mode DurabilityMode, compactRecords int) (*Client, *RecoveryReport, func()) {
+	t.Helper()
+	network, _ := twoSwitchNetwork(t)
+	dur, err := OpenDurable(DurableConfig{
+		StatePath: statePath, Mode: mode, CompactRecords: compactRecords,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dur.Recover(network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(network)
+	srv.SetDurable(dur)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := func() {
+		_ = client.Close()
+		_ = srv.Close()
+		<-done
+		_ = dur.Close()
+	}
+	return client, rep, stop
+}
+
+func TestParseDurabilityMode(t *testing.T) {
+	for _, mode := range []string{"snapshot", "journal", "journal-sync"} {
+		if _, err := ParseDurabilityMode(mode); err != nil {
+			t.Errorf("ParseDurabilityMode(%q) = %v", mode, err)
+		}
+	}
+	if _, err := ParseDurabilityMode("paranoid"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestJournalModeSurvivesRestart drives every journaled op kind over the
+// wire, "crashes" (no final snapshot), and checks the replayed state.
+func TestJournalModeSurvivesRestart(t *testing.T) {
+	for _, mode := range []DurabilityMode{DurabilityJournal, DurabilityJournalSync} {
+		t.Run(string(mode), func(t *testing.T) {
+			statePath := filepath.Join(t.TempDir(), "state.json")
+			client, _, stop := bootDurable(t, statePath, mode, 0)
+			route := core.Route{{Switch: "sw0", In: 1, Out: 0}, {Switch: "sw1", In: 1, Out: 0}}
+			for i := 0; i < 3; i++ {
+				r := append(core.Route(nil), route...)
+				r[0].In = core.PortID(i + 1)
+				r[1].In = core.PortID(i + 1)
+				if _, err := client.Setup(core.ConnRequest{
+					ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.01),
+					Priority: 1, Route: r,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := client.Teardown("c1"); err != nil {
+				t.Fatal(err)
+			}
+			// Fail sw0->sw1: evicts the remaining connections (no failover
+			// handler re-admits them) and records the link down.
+			if _, err := client.FailLink("sw0", "sw1"); err != nil {
+				t.Fatal(err)
+			}
+			// One connection admitted in degraded mode, on sw0 only.
+			if _, err := client.Setup(core.ConnRequest{
+				ID: "deg", Spec: traffic.CBR(0.01), Priority: 1,
+				Route: core.Route{{Switch: "sw0", In: 4, Out: 1}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			stop()
+
+			client2, rep, stop2 := bootDurable(t, statePath, mode, 0)
+			defer stop2()
+			if rep.Restored != 1 || len(rep.Failed) != 0 {
+				t.Fatalf("recovery = %+v, want exactly the degraded connection", rep)
+			}
+			ids, err := client2.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != 1 || ids[0] != "deg" {
+				t.Fatalf("after restart List = %v, want [deg]", ids)
+			}
+			if len(rep.FailedLinks) != 1 || rep.FailedLinks[0].From != "sw0" {
+				t.Fatalf("failed links after restart = %+v", rep.FailedLinks)
+			}
+			// Restore the link, restart again: the restore must persist too.
+			if err := client2.RestoreLink("sw0", "sw1"); err != nil {
+				t.Fatal(err)
+			}
+			stop2()
+			_, rep3, stop3 := bootDurable(t, statePath, mode, 0)
+			defer stop3()
+			if len(rep3.FailedLinks) != 0 {
+				t.Fatalf("restored link came back failed: %+v", rep3.FailedLinks)
+			}
+		})
+	}
+}
+
+// TestJournalCompactionFoldsIntoSnapshot forces compaction every two
+// records and checks the journal empties while the snapshot carries the
+// state and the sequence watermark.
+func TestJournalCompactionFoldsIntoSnapshot(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	client, _, stop := bootDurable(t, statePath, DurabilityJournalSync, 2)
+	defer stop()
+	route := core.Route{{Switch: "sw0", In: 1, Out: 0}, {Switch: "sw1", In: 1, Out: 0}}
+	for i := 0; i < 5; i++ {
+		r := append(core.Route(nil), route...)
+		r[0].In = core.PortID(i + 1)
+		r[1].In = core.PortID(i + 1)
+		if _, err := client.Setup(core.ConnRequest{
+			ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.01),
+			Priority: 1, Route: r,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 5 appends with a trigger of 2: compactions at 2 and 4, one record
+	// pending in the journal.
+	scan, err := journal.ScanFile(journal.OSFS{}, statePath+".journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Records) != 1 {
+		t.Fatalf("journal holds %d records after compactions, want 1", len(scan.Records))
+	}
+	if scan.Records[0].Seq != 5 {
+		t.Fatalf("pending record seq = %d, want 5", scan.Records[0].Seq)
+	}
+	st, _, err := NewStateStore(statePath).LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Connections) != 4 || st.LastSeq != 4 {
+		t.Fatalf("snapshot holds %d connections at watermark %d, want 4 at 4",
+			len(st.Connections), st.LastSeq)
+	}
+}
+
+// TestRecoverRepairsTornJournal damages the journal tail and checks
+// recovery preserves the evidence, truncates, and replays the prefix.
+func TestRecoverRepairsTornJournal(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	client, _, stop := bootDurable(t, statePath, DurabilityJournalSync, 0)
+	route := core.Route{{Switch: "sw0", In: 1, Out: 0}, {Switch: "sw1", In: 1, Out: 0}}
+	if _, err := client.Setup(core.ConnRequest{
+		ID: "keep", Spec: traffic.CBR(0.01), Priority: 1, Route: route,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	jpath := statePath + ".journal"
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 9, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	client2, rep, stop2 := bootDurable(t, statePath, DurabilityJournalSync, 0)
+	defer stop2()
+	if rep.TornPath != jpath+".torn" {
+		t.Fatalf("TornPath = %q, want %q", rep.TornPath, jpath+".torn")
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "torn tail") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no torn-tail warning in %v", rep.Warnings)
+	}
+	if _, err := os.Stat(rep.TornPath); err != nil {
+		t.Errorf("torn evidence missing: %v", err)
+	}
+	ids, err := client2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "keep" {
+		t.Fatalf("after torn repair List = %v, want [keep]", ids)
+	}
+}
+
+// TestRecoverPrunesFailedReadmissions is the regression for re-admission
+// failures at recovery: they are reported once and compacted out of the
+// next snapshot, so a later restart does not re-report the same ghosts.
+func TestRecoverPrunesFailedReadmissions(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	store := NewStateStore(statePath)
+	if err := store.SaveState(PersistentState{Connections: []core.ConnRequest{
+		{ID: "ok", Spec: traffic.CBR(0.01), Priority: 1,
+			Route: core.Route{{Switch: "sw0", In: 1, Out: 0}}},
+		{ID: "ghost", Spec: traffic.CBR(0.1), Priority: 1,
+			Route: core.Route{{Switch: "no-such-switch", In: 1, Out: 0}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []DurabilityMode{DurabilitySnapshot, DurabilityJournalSync} {
+		t.Run(string(mode), func(t *testing.T) {
+			network, _ := twoSwitchNetwork(t)
+			dur, err := OpenDurable(DurableConfig{StatePath: statePath, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := dur.Recover(network)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Restored != 1 || len(rep.Failed) != 1 || rep.Failed[0].ID != "ghost" {
+				t.Fatalf("first recovery = %+v, want ok restored and ghost failed once", rep)
+			}
+			_ = dur.Close()
+
+			network2, _ := twoSwitchNetwork(t)
+			dur2, err := OpenDurable(DurableConfig{StatePath: statePath, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dur2.Close()
+			rep2, err := dur2.Recover(network2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep2.Failed) != 0 {
+				t.Fatalf("second recovery still reports failures: %+v", rep2.Failed)
+			}
+			if rep2.Restored != 1 {
+				t.Fatalf("second recovery restored %d, want 1", rep2.Restored)
+			}
+			// Re-seed the snapshot for the next mode's subtest.
+			if err := store.SaveState(PersistentState{Connections: []core.ConnRequest{
+				{ID: "ok", Spec: traffic.CBR(0.01), Priority: 1,
+					Route: core.Route{{Switch: "sw0", In: 1, Out: 0}}},
+				{ID: "ghost", Spec: traffic.CBR(0.1), Priority: 1,
+					Route: core.Route{{Switch: "no-such-switch", In: 1, Out: 0}}},
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			_ = os.Remove(statePath + ".journal")
+		})
+	}
+}
+
+// TestJournalRefusedSetupRollsBack starves the journal (its file is a
+// directory, so appends fail) and checks the op is refused AND the
+// in-memory admission rolled back — acked and durable stay equivalent.
+func TestJournalRefusedSetupRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "state.json")
+	network, route := twoSwitchNetwork(t)
+	dur, err := OpenDurable(DurableConfig{
+		StatePath: statePath, Mode: DurabilityJournalSync,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dur.Recover(network); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(network)
+	srv.SetDurable(dur)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = client.Close()
+		_ = srv.Close()
+		<-done
+		_ = dur.Close()
+	}()
+	// Admit one connection cleanly, then break the journal file handle by
+	// replacing the file with an unwritable state: close the handle via a
+	// forced broken append. Simplest reliable breakage: remove write
+	// permission is racy under root, so instead mark the log broken by
+	// exhausting it — replace the file with a directory is not possible
+	// while open. Use the documented ErrBroken path: truncate failure.
+	if _, err := client.Setup(core.ConnRequest{
+		ID: "good", Spec: traffic.CBR(0.01), Priority: 1, Route: route,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Force the broken state directly (in-package test): a broken log
+	// refuses appends, so the next setup must be refused and rolled back.
+	srv.dur.log.MarkBroken()
+	r2 := append(core.Route(nil), route...)
+	r2[0].In, r2[1].In = 7, 7
+	if _, err := client.Setup(core.ConnRequest{
+		ID: "refused", Spec: traffic.CBR(0.01), Priority: 1, Route: r2,
+	}); err == nil {
+		t.Fatal("setup acked with a broken journal")
+	} else if !strings.Contains(err.Error(), "not durable") {
+		t.Fatalf("refusal = %v, want a durability error", err)
+	}
+	// Rolled back: the connection is not admitted in memory either.
+	ids, err := client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "good" {
+		t.Fatalf("List after refused setup = %v, want [good]", ids)
+	}
+	// Teardown of the good connection is likewise refused and rolled back.
+	if err := client.Teardown("good"); err == nil {
+		t.Fatal("teardown acked with a broken journal")
+	}
+	ids, err = client.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "good" {
+		t.Fatalf("List after refused teardown = %v, want [good]", ids)
+	}
+}
+
+// BenchmarkPersistSetup compares the per-admission persistence cost of
+// the three modes with 500 established connections: the snapshot mode
+// rewrites all 500 every time, the journal appends one record.
+func BenchmarkPersistSetup(b *testing.B) {
+	mkNetwork := func(b *testing.B) (*core.Network, core.ConnRequest) {
+		b.Helper()
+		n := core.NewNetwork(core.HardCDV{})
+		route := make(core.Route, 2)
+		for i := 0; i < 2; i++ {
+			name := fmt.Sprintf("sw%d", i)
+			if _, err := n.AddSwitch(core.SwitchConfig{
+				Name: name, QueueCells: map[core.Priority]float64{1: 1 << 20},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			route[i] = core.Hop{Switch: name, In: 1, Out: 0}
+		}
+		for i := 0; i < 500; i++ {
+			r := append(core.Route(nil), route...)
+			r[0].In = core.PortID(i + 1)
+			r[1].In = core.PortID(i + 1)
+			if _, err := n.Setup(core.ConnRequest{
+				ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.0001),
+				Priority: 1, Route: r,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sample := core.ConnRequest{
+			ID: "bench", Spec: traffic.CBR(0.0001), Priority: 1, Route: route,
+		}
+		return n, sample
+	}
+	for _, mode := range []DurabilityMode{DurabilitySnapshot, DurabilityJournal, DurabilityJournalSync} {
+		b.Run(string(mode), func(b *testing.B) {
+			network, sample := mkNetwork(b)
+			dur, err := OpenDurable(DurableConfig{
+				StatePath: filepath.Join(b.TempDir(), "state.json"),
+				Mode:      mode,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dur.Close()
+			if _, err := dur.Recover(network); err != nil {
+				b.Fatal(err)
+			}
+			srv := NewServer(network)
+			srv.SetDurable(dur)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.persistSetup(sample); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

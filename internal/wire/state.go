@@ -7,10 +7,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"path/filepath"
 	"time"
 
 	"atmcac/internal/core"
+	"atmcac/internal/journal"
 )
 
 // checksumPrefix introduces the integrity trailer of a snapshot file:
@@ -23,60 +23,121 @@ const checksumPrefix = "#crc32:"
 // file has been quarantined rather than restored.
 var ErrCorruptState = errors.New("wire: corrupt state snapshot")
 
-// StateStore persists the set of established connections as a JSON file so
-// a central CAC server can be restarted without losing its admissions —
-// required for the permanent real-time connections RTnet manages.
-// Writes are atomic (temp file + rename) and carry a CRC32 trailer; a
-// snapshot that fails verification is quarantined to <path>.corrupt
-// instead of restoring garbage into the admission state.
-type StateStore struct {
-	path string
+// PersistentState is the on-disk snapshot payload. LastSeq is the journal
+// sequence watermark folded into the snapshot: recovery replays only
+// journal records past it. Legacy snapshots — a bare JSON array of
+// connection requests — load as a state with watermark 0 and no failed
+// links.
+type PersistentState struct {
+	LastSeq     uint64             `json:"lastSeq,omitempty"`
+	Connections []core.ConnRequest `json:"connections"`
+	FailedLinks []core.Link        `json:"failedLinks,omitempty"`
 }
 
-// NewStateStore returns a store backed by path.
+// StateStore persists the admission state as a JSON file so a central CAC
+// server can be restarted without losing its admissions — required for
+// the permanent real-time connections RTnet manages. Writes are atomic
+// and durable (temp file, fsync, rename, directory fsync) and carry a
+// CRC32 trailer; a snapshot that fails verification is quarantined to a
+// fresh <path>.corrupt evidence path instead of restoring garbage into
+// the admission state.
+type StateStore struct {
+	path string
+	fsys journal.FS
+}
+
+// NewStateStore returns a store backed by path on the real filesystem.
 func NewStateStore(path string) *StateStore {
-	return &StateStore{path: path}
+	return NewStateStoreFS(path, journal.OSFS{})
+}
+
+// NewStateStoreFS returns a store writing through fsys — the seam the
+// crash-point harness uses to kill the persistence path at every
+// write/sync/rename boundary.
+func NewStateStoreFS(path string, fsys journal.FS) *StateStore {
+	return &StateStore{path: path, fsys: fsys}
 }
 
 // Path returns the backing file path.
 func (s *StateStore) Path() string { return s.path }
 
-// QuarantinePath is where a corrupt snapshot is moved for inspection.
+// QuarantinePath is the base path corrupt snapshots are moved to for
+// inspection. When it is already occupied by earlier evidence, the next
+// quarantine lands on <path>.corrupt.1, .2, ... — a second corruption
+// must never overwrite the proof of the first.
 func (s *StateStore) QuarantinePath() string { return s.path + ".corrupt" }
 
-// Load reads and verifies the stored connection requests. A missing file
-// is an empty store, not an error. A file without a checksum trailer
-// (written before trailers existed) is accepted and flagged through the
-// warning. A file whose trailer does not match its content — or whose
-// JSON does not parse — is moved to QuarantinePath and reported as
-// ErrCorruptState: a torn or tampered snapshot must never silently
-// restore a wrong admission set.
+// Load reads and verifies the stored connection requests, quarantining a
+// corrupt file. It is ReadState reduced to the connection set, kept for
+// callers that predate failed-link persistence.
 func (s *StateStore) Load() (reqs []core.ConnRequest, warning string, err error) {
-	data, err := os.ReadFile(s.path)
+	st, warning, err := s.LoadState()
+	return st.Connections, warning, err
+}
+
+// LoadState reads and verifies the stored state. A missing file is an
+// empty store, not an error. A file without a checksum trailer (written
+// before trailers existed) is accepted and flagged through the warning. A
+// file whose trailer does not match its content — or whose JSON does not
+// parse — is moved to QuarantinePath and reported as ErrCorruptState: a
+// torn or tampered snapshot must never silently restore a wrong admission
+// set.
+func (s *StateStore) LoadState() (PersistentState, string, error) {
+	st, warning, reason, err := s.readState()
+	if reason != "" {
+		return PersistentState{}, "", s.quarantine(reason)
+	}
+	return st, warning, err
+}
+
+// ReadState is LoadState without the quarantine side effect: a corrupt
+// file stays in place and is reported as ErrCorruptState with the reason.
+// Offline inspection (cacctl state verify) uses it so looking at a file
+// never moves it.
+func (s *StateStore) ReadState() (PersistentState, string, error) {
+	st, warning, reason, err := s.readState()
+	if reason != "" {
+		return PersistentState{}, "", fmt.Errorf("%w: %s: %s", ErrCorruptState, s.path, reason)
+	}
+	return st, warning, err
+}
+
+// readState parses the file; a non-empty reason marks corruption the
+// caller turns into either a quarantine or a plain error.
+func (s *StateStore) readState() (st PersistentState, warning, reason string, err error) {
+	data, err := s.fsys.ReadFile(s.path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, "", nil
+		return PersistentState{}, "", "", nil
 	}
 	if err != nil {
-		return nil, "", fmt.Errorf("wire: load state: %w", err)
+		return PersistentState{}, "", "", fmt.Errorf("wire: load state: %w", err)
 	}
 	payload, sum, hasSum := splitChecksum(data)
 	if hasSum {
 		if got := crc32.ChecksumIEEE(payload); got != sum {
-			return nil, "", s.quarantine(fmt.Sprintf("checksum mismatch: file says %08x, content is %08x", sum, got))
+			return PersistentState{}, "", fmt.Sprintf("checksum mismatch: file says %08x, content is %08x", sum, got), nil
 		}
 	} else {
 		warning = fmt.Sprintf("wire: state %s has no checksum trailer (pre-checksum snapshot); accepted unverified", s.path)
 	}
-	if err := json.Unmarshal(payload, &reqs); err != nil {
-		return nil, "", s.quarantine(fmt.Sprintf("invalid JSON: %v", err))
+	trimmed := bytes.TrimLeft(payload, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		if jerr := json.Unmarshal(payload, &st); jerr != nil {
+			return PersistentState{}, "", fmt.Sprintf("invalid JSON: %v", jerr), nil
+		}
+		return st, warning, "", nil
 	}
-	return reqs, warning, nil
+	// Legacy layout: a bare array of connection requests.
+	if jerr := json.Unmarshal(payload, &st.Connections); jerr != nil {
+		return PersistentState{}, "", fmt.Sprintf("invalid JSON: %v", jerr), nil
+	}
+	return st, warning, "", nil
 }
 
 // quarantine moves the corrupt snapshot aside and returns the load error.
 func (s *StateStore) quarantine(reason string) error {
-	qpath := s.QuarantinePath()
-	if err := os.Rename(s.path, qpath); err != nil {
+	qpath := journal.EvidencePath(s.fsys, s.QuarantinePath())
+	if err := s.fsys.Rename(s.path, qpath); err != nil {
 		return fmt.Errorf("%w: %s: %s (quarantine to %s failed: %v)",
 			ErrCorruptState, s.path, reason, qpath, err)
 	}
@@ -99,30 +160,49 @@ func splitChecksum(data []byte) (payload []byte, sum uint32, ok bool) {
 
 // Save atomically writes the connection requests with a CRC32 trailer.
 func (s *StateStore) Save(reqs []core.ConnRequest) error {
-	data, err := json.MarshalIndent(reqs, "", "  ")
+	return s.SaveState(PersistentState{Connections: reqs})
+}
+
+// SaveState writes the state so that a crash or power loss at any point
+// leaves either the old file or the new one, never a torn or empty
+// snapshot: the temp file is fsynced before the rename (otherwise the
+// rename can land while the data has not), and the parent directory is
+// fsynced after it (otherwise the rename itself can be rolled back).
+func (s *StateStore) SaveState(st PersistentState) error {
+	if st.Connections == nil {
+		st.Connections = []core.ConnRequest{}
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		return fmt.Errorf("wire: save state: %w", err)
 	}
 	data = append(data, '\n')
 	data = append(data, fmt.Sprintf("%s%08x\n", checksumPrefix, crc32.ChecksumIEEE(data))...)
-	dir := filepath.Dir(s.path)
-	tmp, err := os.CreateTemp(dir, ".cacd-state-*")
+	tmpName := s.path + ".tmp"
+	tmp, err := s.fsys.OpenFile(tmpName, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
 		return fmt.Errorf("wire: save state: %w", err)
 	}
-	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		_ = tmp.Close()
-		_ = os.Remove(tmpName)
+		_ = s.fsys.Remove(tmpName)
+		return fmt.Errorf("wire: save state: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		_ = s.fsys.Remove(tmpName)
 		return fmt.Errorf("wire: save state: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmpName)
+		_ = s.fsys.Remove(tmpName)
 		return fmt.Errorf("wire: save state: %w", err)
 	}
-	if err := os.Rename(tmpName, s.path); err != nil {
-		_ = os.Remove(tmpName)
+	if err := s.fsys.Rename(tmpName, s.path); err != nil {
+		_ = s.fsys.Remove(tmpName)
 		return fmt.Errorf("wire: save state: %w", err)
+	}
+	if err := s.fsys.SyncDir(s.path); err != nil {
+		return fmt.Errorf("wire: save state: sync dir: %w", err)
 	}
 	return nil
 }
@@ -138,7 +218,9 @@ type RestoreFailure struct {
 // the full CAC check. It returns a per-connection failure record for each
 // that could not be re-admitted (e.g. because the network shape changed);
 // the caller decides whether that is fatal. The warning, when non-empty,
-// flags a pre-checksum snapshot that was accepted unverified.
+// flags a pre-checksum snapshot that was accepted unverified. Failed
+// connections are reported once and stay out of the admitted set, so the
+// next snapshot prunes them instead of re-persisting them forever.
 func Restore(network *core.Network, store *StateStore) (restored int, failed []RestoreFailure, warning string, err error) {
 	reqs, warning, err := store.Load()
 	if err != nil {
@@ -154,11 +236,11 @@ func Restore(network *core.Network, store *StateStore) (restored int, failed []R
 	return restored, failed, warning, nil
 }
 
-// SetStateStore attaches a persistence store: after every successful setup
-// or teardown the server snapshots the network's admitted connections. It
-// must be called before Serve.
+// SetStateStore attaches snapshot-per-mutation persistence — the legacy
+// durability mode; see SetDurable for the journaled modes. It must be
+// called before Serve.
 func (s *Server) SetStateStore(store *StateStore) {
-	s.store = store
+	s.dur = &Durable{mode: DurabilitySnapshot, store: store}
 }
 
 // persistRetryBase is the first retry delay after a failed snapshot; it
@@ -168,36 +250,44 @@ const (
 	persistRetryMax  = 5 * time.Second
 )
 
-// persist snapshots the network state synchronously. On failure the
-// operation still succeeded — admission state is authoritative in memory —
-// so instead of failing the response, a background retry with exponential
-// backoff is scheduled and the returned warning tells the client the
-// snapshot is deferred. An empty return means the state is durably saved.
-func (s *Server) persist() string {
-	if s.store == nil {
-		return ""
-	}
-	if err := s.snapshot(); err != nil {
-		s.scheduleRetry()
-		return fmt.Sprintf("state snapshot deferred (will retry): %v", err)
-	}
-	return ""
-}
-
-// snapshot captures and writes the admitted set as one atomic step.
+// snapshot folds the current admission state into the snapshot file as
+// one atomic step and, in the journaled modes, resets the journal.
 // Without the serialization, two concurrent operations could write their
 // captures out of order and leave a stale set on disk.
 func (s *Server) snapshot() error {
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
-	return s.store.Save(s.network.AdmittedRequests())
+	return s.compactLocked()
+}
+
+// compactLocked captures the network state and writes it as the new
+// snapshot; the journal, when present, is truncated after. The order is
+// what makes a crash in between harmless: the freshly renamed snapshot
+// carries the watermark of every journal record it folded in, so a
+// replay of the not-yet-truncated journal skips them all. The caller
+// holds persistMu.
+func (s *Server) compactLocked() error {
+	st := PersistentState{
+		Connections: s.network.AdmittedRequests(),
+		FailedLinks: s.network.FailedLinks(),
+	}
+	if s.dur.log != nil {
+		st.LastSeq = s.dur.log.LastSeq()
+	}
+	if err := s.dur.store.SaveState(st); err != nil {
+		return err
+	}
+	if s.dur.log != nil {
+		return s.dur.log.Reset()
+	}
+	return nil
 }
 
 // persistNow snapshots without scheduling retries — used for the final
 // write during shutdown. The caller must have drained the retry loop
 // first (see drainRetry), so this write is the last one.
 func (s *Server) persistNow() error {
-	if s.store == nil {
+	if s.dur == nil {
 		return nil
 	}
 	return s.snapshot()

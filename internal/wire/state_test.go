@@ -106,6 +106,47 @@ func TestStateStoreChecksumMismatchQuarantines(t *testing.T) {
 	}
 }
 
+// TestStateStoreQuarantineKeepsEveryCorpse corrupts the snapshot twice:
+// the second quarantine must not overwrite the first's evidence, it gets
+// a counter-suffixed path.
+func TestStateStoreQuarantineKeepsEveryCorpse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	store := NewStateStore(path)
+	corruptOnce := func(marker byte) {
+		t.Helper()
+		if err := store.Save([]core.ConnRequest{
+			{ID: "a", Spec: traffic.CBR(0.1), Priority: 1,
+				Route: core.Route{{Switch: "sw0", In: 1, Out: 0}}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[2] = marker
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := store.Load(); !errors.Is(err, ErrCorruptState) {
+			t.Fatalf("Load of corrupted snapshot = %v, want ErrCorruptState", err)
+		}
+	}
+	corruptOnce(0xAA)
+	corruptOnce(0xBB)
+	first, err := os.ReadFile(store.QuarantinePath())
+	if err != nil {
+		t.Fatalf("first quarantine evidence missing: %v", err)
+	}
+	second, err := os.ReadFile(store.QuarantinePath() + ".1")
+	if err != nil {
+		t.Fatalf("second quarantine evidence missing: %v", err)
+	}
+	if first[2] != 0xAA || second[2] != 0xBB {
+		t.Errorf("quarantine evidence shuffled: first[2]=%#x second[2]=%#x", first[2], second[2])
+	}
+}
+
 func TestStateStoreLegacyFileAcceptedWithWarning(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "state.json")
 	// A pre-checksum snapshot: plain JSON array, no trailer.

@@ -205,7 +205,7 @@ type FailoverHandler func(from, to string, evicted []core.ConnRequest) []Readmit
 // Server serves CAC requests against a core.Network.
 type Server struct {
 	network  *core.Network
-	store    *StateStore
+	dur      *Durable
 	failover FailoverHandler
 	// limiter, when set, sheds requests under control-plane overload in
 	// degradation order (reads first, then low-priority setups; teardown
@@ -468,7 +468,15 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 		if err != nil {
 			return Response{Error: err.Error(), Rejected: errors.Is(err, core.ErrRejected)}
 		}
-		return Response{OK: true, Warning: s.persist(), Admission: &Admission{
+		warning, perr := s.persistSetup(*req.Request)
+		if perr != nil {
+			// The journal refused the record, so an ack here could be
+			// erased by a crash. Roll the in-memory admission back and
+			// refuse: the client knows the setup did not happen.
+			_ = s.network.Teardown(adm.ID)
+			return Response{Error: fmt.Sprintf("setup %q not durable: %v", adm.ID, perr)}
+		}
+		return Response{OK: true, Warning: warning, Admission: &Admission{
 			ID:                 adm.ID,
 			PerHopGuaranteed:   adm.PerHopGuaranteed,
 			PerHopComputed:     adm.PerHopComputed,
@@ -476,10 +484,24 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 			EndToEndComputed:   adm.EndToEndComputed,
 		}}
 	case OpTeardown:
+		undo, known := s.network.AdmittedRequest(req.ID)
 		if err := s.network.Teardown(req.ID); err != nil {
 			return Response{Error: err.Error()}
 		}
-		return Response{OK: true, Warning: s.persist()}
+		warning, perr := s.persistTeardown(req.ID)
+		if perr != nil {
+			// Mirror the setup path: un-ack by re-admitting the identical
+			// request (its capacity was just freed, so the CAC re-check
+			// succeeds unless a concurrent setup raced it away).
+			msg := fmt.Sprintf("teardown %q not durable: %v", req.ID, perr)
+			if known {
+				if _, rerr := s.network.Setup(undo); rerr != nil {
+					msg = fmt.Sprintf("%s (rollback failed: %v)", msg, rerr)
+				}
+			}
+			return Response{Error: msg}
+		}
+		return Response{OK: true, Warning: warning}
 	case OpList:
 		return Response{OK: true, Connections: s.network.Connections()}
 	case OpBound:
@@ -522,12 +544,29 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 				})
 			}
 		}
-		return Response{OK: true, Warning: s.persist(), Failover: report}
+		// The journal record carries what the failure did to the admitted
+		// set: the evicted IDs plus the re-admissions with their new
+		// wrapped routes, read back from the network so replay restores
+		// the degraded-mode routes, not the pre-failure ones.
+		evictedIDs := make([]core.ConnID, 0, len(evicted))
+		for _, r := range evicted {
+			evictedIDs = append(evictedIDs, r.ID)
+		}
+		var readmitted []core.ConnRequest
+		for _, o := range report.Outcomes {
+			if !o.Readmitted {
+				continue
+			}
+			if req, ok := s.network.AdmittedRequest(o.ID); ok {
+				readmitted = append(readmitted, req)
+			}
+		}
+		return Response{OK: true, Warning: s.persistFailLink(req.From, req.To, evictedIDs, readmitted), Failover: report}
 	case OpRestoreLink:
 		if err := s.network.RestoreLink(req.From, req.To); err != nil {
 			return Response{Error: err.Error()}
 		}
-		return Response{OK: true}
+		return Response{OK: true, Warning: s.persistRestoreLink(req.From, req.To)}
 	case OpHealth:
 		violations, err := s.network.Audit()
 		if err != nil {
