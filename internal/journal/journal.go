@@ -60,9 +60,14 @@ const MaxRecordBytes = 1 << 20
 // frameHeaderLen is the length prefix plus the CRC32.
 const frameHeaderLen = 8
 
-// ErrBroken reports an append log whose tail could not be healed after a
-// failed append; it refuses further appends until reopened.
-var ErrBroken = errors.New("journal: log broken (failed append not healed)")
+// ErrBroken reports an append log handle that can no longer be trusted —
+// a failed append whose tail could not be healed, or a failed fsync
+// (which on Linux may drop the dirty pages while clearing the kernel
+// error state, so nothing written since the last successful sync is
+// guaranteed durable through this handle). A broken log refuses further
+// appends and resets until it is reopened, which rescans the on-disk
+// state.
+var ErrBroken = errors.New("journal: log broken (reopen to rescan the on-disk state)")
 
 // Record is one journaled mutation. Seq is assigned by Append and is
 // strictly monotonic across compactions: a snapshot stores the last
@@ -236,11 +241,14 @@ func (l *Log) Path() string { return l.path }
 
 // Append assigns the next sequence number to rec and writes its frame in
 // one call; with sync it is fsynced before returning, so a true return in
-// that mode means the record survives a power loss. A failed append
+// that mode means the record survives a power loss. A failed write
 // attempts to truncate the file back to the last known-good length — a
 // partial frame must not poison every later append — and if even that
 // fails the log marks itself broken (boot-time torn repair is then the
-// recovery path).
+// recovery path). A failed fsync always breaks the log: the kernel may
+// have dropped the dirty pages while clearing its error state, so a later
+// successful fsync through the same handle would not prove the record
+// reached disk.
 func (l *Log) Append(rec *Record, sync bool) error {
 	if l.broken {
 		return ErrBroken
@@ -250,6 +258,12 @@ func (l *Log) Append(rec *Record, sync bool) error {
 	if err != nil {
 		return err
 	}
+	// The sequence is burned even when the append fails: the frame may
+	// have reached the file despite the error, and a compaction watermark
+	// taken from LastSeq must cover every frame that could be on disk,
+	// or replay could resurrect a rolled-back (never acked) mutation.
+	// Sequences only need to be monotonic, not dense.
+	l.next++
 	if _, err := l.f.Write(frame); err != nil {
 		l.heal()
 		return fmt.Errorf("journal: append seq %d: %w", rec.Seq, err)
@@ -257,12 +271,12 @@ func (l *Log) Append(rec *Record, sync bool) error {
 	if sync {
 		if err := l.f.Sync(); err != nil {
 			l.heal()
+			l.broken = true
 			return fmt.Errorf("journal: sync seq %d: %w", rec.Seq, err)
 		}
 	}
 	l.size += int64(len(frame))
 	l.count++
-	l.next++
 	return nil
 }
 
@@ -283,11 +297,17 @@ func (l *Log) Reset() error {
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("journal: reset: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("journal: reset sync: %w", err)
-	}
+	// The file is empty now: record that before attempting the sync. If
+	// size/count were updated only after a successful sync, a failed sync
+	// would leave them claiming the pre-reset length, and a later Append
+	// failure would heal() by truncating to that stale offset — leaving a
+	// torn partial frame mid-file that silently ends replay there.
 	l.size = 0
 	l.count = 0
+	if err := l.f.Sync(); err != nil {
+		l.broken = true
+		return fmt.Errorf("journal: reset sync: %w", err)
+	}
 	return nil
 }
 

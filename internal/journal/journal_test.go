@@ -208,7 +208,7 @@ func TestAppendSequencesAndReset(t *testing.T) {
 // self-heal path.
 type failFile struct {
 	File
-	failWrite, failTruncate bool
+	failWrite, failTruncate, failSync bool
 }
 
 type errString string
@@ -229,6 +229,13 @@ func (f *failFile) Truncate(size int64) error {
 		return errString("disk died")
 	}
 	return f.File.Truncate(size)
+}
+
+func (f *failFile) Sync() error {
+	if f.failSync {
+		return errString("disk died")
+	}
+	return f.File.Sync()
 }
 
 type failFS struct {
@@ -301,6 +308,70 @@ func TestAppendMarksBrokenWhenHealFails(t *testing.T) {
 	}
 	if err := log.Reset(); err == nil {
 		t.Fatal("reset on broken log succeeded")
+	}
+}
+
+// A failed fsync breaks the log for good: on Linux the failure can drop
+// the dirty pages while clearing the kernel error state, so a later
+// successful fsync on the same fd proves nothing about earlier content.
+// The log must refuse further appends until reopened.
+func TestAppendSyncFailureBreaksLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	fsys := &failFS{FS: OSFS{}}
+	log, _, _, err := Open(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	req := testRequest("a")
+	fsys.file.failSync = true
+	if err := log.Append(&Record{Op: OpSetup, Request: &req}, true); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	fsys.file.failSync = false
+	if err := log.Append(&Record{Op: OpSetup, Request: &req}, true); err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("append after fsync failure = %v, want ErrBroken", err)
+	}
+	// The unsynced frame was healed away, so a rescan after reopen sees a
+	// clean, empty log rather than a record the caller was told failed.
+	res, err := ScanFile(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn || len(res.Records) != 0 {
+		t.Fatalf("scan after fsync failure: torn=%v records=%d, want clean 0", res.Torn, len(res.Records))
+	}
+}
+
+// Reset must account for a successful Truncate(0) even when the fsync
+// behind it fails: with stale size/count a later heal() would truncate to
+// the old (too large) offset and leave a torn frame mid-file, silently
+// ending replay early. The partial reset also breaks the log — the
+// truncate's durability is unknown.
+func TestResetSyncFailureKeepsSizeAccurate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	fsys := &failFS{FS: OSFS{}}
+	log, _, _, err := Open(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	req := testRequest("a")
+	for i := 0; i < 3; i++ {
+		if err := log.Append(&Record{Op: OpSetup, Request: &req}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsys.file.failSync = true
+	if err := log.Reset(); err == nil {
+		t.Fatal("reset with failing fsync succeeded")
+	}
+	fsys.file.failSync = false
+	if log.Size() != 0 || log.Count() != 0 {
+		t.Fatalf("size/count after partial reset = %d/%d, want 0/0", log.Size(), log.Count())
+	}
+	if err := log.Append(&Record{Op: OpSetup, Request: &req}, false); err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("append after partial reset = %v, want ErrBroken", err)
 	}
 }
 

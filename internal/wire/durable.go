@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"atmcac/internal/core"
 	"atmcac/internal/journal"
@@ -75,6 +77,75 @@ type Durable struct {
 	log            *journal.Log
 	compactRecords int
 	compactBytes   int64
+
+	// viewConns/viewLinks mirror the durable admission state: the last
+	// snapshot plus every journal record appended since (plus acked
+	// warning-only link records whose append failed). Compaction in the
+	// journaled modes folds this view — never the live network — into the
+	// next snapshot. Capturing the live network would race with an
+	// operation that has committed in memory but not yet appended: if its
+	// append then fails and it rolls back, the refused mutation would
+	// already sit in a durable snapshot and be resurrected by a crash.
+	// Guarded by the server's persistMu; initialized by Recover.
+	viewConns map[core.ConnID]core.ConnRequest
+	viewLinks map[core.Link]struct{}
+}
+
+// initView seeds the durable view from the recovered state, at the point
+// where the live network and the on-disk state are identical.
+func (d *Durable) initView(conns []core.ConnRequest, links []core.Link) {
+	d.viewConns = make(map[core.ConnID]core.ConnRequest, len(conns))
+	for _, req := range conns {
+		d.viewConns[req.ID] = req
+	}
+	d.viewLinks = make(map[core.Link]struct{}, len(links))
+	for _, l := range links {
+		d.viewLinks[l] = struct{}{}
+	}
+}
+
+// applyView folds one journal record into the durable view, with the same
+// idempotent semantics journal.Replay uses. Caller holds persistMu.
+func (d *Durable) applyView(rec *journal.Record) {
+	switch rec.Op {
+	case journal.OpSetup:
+		if rec.Request != nil {
+			d.viewConns[rec.Request.ID] = *rec.Request
+		}
+	case journal.OpTeardown:
+		delete(d.viewConns, rec.ID)
+	case journal.OpFailLink:
+		for _, id := range rec.Evicted {
+			delete(d.viewConns, id)
+		}
+		for _, req := range rec.Readmitted {
+			d.viewConns[req.ID] = req
+		}
+		d.viewLinks[core.Link{From: rec.From, To: rec.To}] = struct{}{}
+	case journal.OpRestoreLink:
+		delete(d.viewLinks, core.Link{From: rec.From, To: rec.To})
+	}
+}
+
+// viewState materializes the durable view in the snapshot's canonical
+// order. Caller holds persistMu.
+func (d *Durable) viewState() ([]core.ConnRequest, []core.Link) {
+	conns := make([]core.ConnRequest, 0, len(d.viewConns))
+	for _, req := range d.viewConns {
+		conns = append(conns, req)
+	}
+	sort.Slice(conns, func(i, j int) bool { return conns[i].ID < conns[j].ID })
+	links := make([]core.Link, 0, len(d.viewLinks))
+	for l := range d.viewLinks {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	return conns, links
 }
 
 // OpenDurable validates cfg and builds the component. In the journaled
@@ -217,6 +288,11 @@ func (d *Durable) Recover(network *core.Network) (*RecoveryReport, error) {
 		if d.log != nil {
 			st.LastSeq = d.log.LastSeq()
 		}
+		if journaled {
+			// Seed the durable view here, the one moment where memory and
+			// disk provably agree (nothing serves yet).
+			d.initView(st.Connections, st.FailedLinks)
+		}
 		if err := d.store.SaveState(st); err != nil {
 			return nil, fmt.Errorf("wire: post-recovery compaction: %w", err)
 		}
@@ -248,8 +324,15 @@ func (s *Server) appendLocked(rec *journal.Record) (string, error) {
 	if err := s.dur.log.Append(rec, s.dur.mode == DurabilityJournalSync); err != nil {
 		return "", err
 	}
+	s.dur.applyView(rec)
 	if s.dur.log.Count() >= s.dur.compactRecords || s.dur.log.Size() >= s.dur.compactBytes {
 		if err := s.compactLocked(); err != nil {
+			if errors.Is(err, errJournalReset) {
+				// The snapshot saved, so this record (and everything
+				// before it) is durable under the watermark. Only the
+				// journal itself is out of service; no retry would help.
+				return fmt.Sprintf("journal out of service after compaction: %v", err), nil
+			}
 			// The record itself is durable; only the fold-in is deferred.
 			s.scheduleRetry()
 			return fmt.Sprintf("journal compaction deferred (will retry): %v", err), nil
@@ -312,11 +395,18 @@ func (s *Server) persistFailLink(from, to string, evicted []core.ConnID, readmit
 	if !s.dur.journaled() {
 		return s.persistSnapshotWarn()
 	}
-	s.persistMu.Lock()
-	warning, err := s.appendLocked(&journal.Record{
+	rec := &journal.Record{
 		Op: journal.OpFailLink, From: from, To: to,
 		Evicted: evicted, Readmitted: readmitted,
-	})
+	}
+	s.persistMu.Lock()
+	warning, err := s.appendLocked(rec)
+	if err != nil {
+		// The op stays acked even though its record did not land, so fold
+		// it into the durable view by hand — the background retry
+		// snapshots the view and thus converges on it.
+		s.dur.applyView(rec)
+	}
 	s.persistMu.Unlock()
 	if err != nil {
 		s.scheduleRetry()
@@ -334,8 +424,14 @@ func (s *Server) persistRestoreLink(from, to string) string {
 	if !s.dur.journaled() {
 		return s.persistSnapshotWarn()
 	}
+	rec := &journal.Record{Op: journal.OpRestoreLink, From: from, To: to}
 	s.persistMu.Lock()
-	warning, err := s.appendLocked(&journal.Record{Op: journal.OpRestoreLink, From: from, To: to})
+	warning, err := s.appendLocked(rec)
+	if err != nil {
+		// Acked warning-only op: fold into the view despite the failed
+		// append, as in persistFailLink.
+		s.dur.applyView(rec)
+	}
 	s.persistMu.Unlock()
 	if err != nil {
 		s.scheduleRetry()

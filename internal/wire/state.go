@@ -250,6 +250,14 @@ const (
 	persistRetryMax  = 5 * time.Second
 )
 
+// errJournalReset marks a compaction whose snapshot saved but whose
+// journal truncation then failed. State is fully durable at that point —
+// the fresh snapshot's watermark makes every stale journal record inert —
+// so retry loops treat it as convergence instead of rewriting the same
+// snapshot forever, while append paths still see the broken journal and
+// refuse (and roll back) further journaled mutations.
+var errJournalReset = errors.New("wire: journal reset failed after snapshot save")
+
 // snapshot folds the current admission state into the snapshot file as
 // one atomic step and, in the journaled modes, resets the journal.
 // Without the serialization, two concurrent operations could write their
@@ -260,43 +268,63 @@ func (s *Server) snapshot() error {
 	return s.compactLocked()
 }
 
-// compactLocked captures the network state and writes it as the new
-// snapshot; the journal, when present, is truncated after. The order is
-// what makes a crash in between harmless: the freshly renamed snapshot
-// carries the watermark of every journal record it folded in, so a
-// replay of the not-yet-truncated journal skips them all. The caller
-// holds persistMu.
+// compactLocked writes the admission state as the new snapshot; the
+// journal, when present, is truncated after. The order is what makes a
+// crash in between harmless: the freshly renamed snapshot carries the
+// watermark of every journal record it folded in, so a replay of the
+// not-yet-truncated journal skips them all.
+//
+// In the journaled modes the state written is the durable view (snapshot
+// plus appended records), not the live network: a concurrent operation
+// may have committed its network mutation while its journal append is
+// still waiting on persistMu — if that append then fails and the
+// operation rolls back, a live capture would have leaked the refused
+// mutation into a durable snapshot, resurrecting it after a crash.
+// Snapshot mode has no append/ack boundary to respect and captures the
+// live network as before.
+//
+// The caller holds persistMu. A Reset failure after a successful save is
+// reported as errJournalReset (see there).
 func (s *Server) compactLocked() error {
-	st := PersistentState{
-		Connections: s.network.AdmittedRequests(),
-		FailedLinks: s.network.FailedLinks(),
-	}
-	if s.dur.log != nil {
+	var st PersistentState
+	if s.dur.journaled() {
+		st.Connections, st.FailedLinks = s.dur.viewState()
 		st.LastSeq = s.dur.log.LastSeq()
+	} else {
+		st.Connections = s.network.AdmittedRequests()
+		st.FailedLinks = s.network.FailedLinks()
 	}
 	if err := s.dur.store.SaveState(st); err != nil {
 		return err
 	}
 	if s.dur.log != nil {
-		return s.dur.log.Reset()
+		if err := s.dur.log.Reset(); err != nil {
+			return fmt.Errorf("%w: %v", errJournalReset, err)
+		}
 	}
 	return nil
 }
 
 // persistNow snapshots without scheduling retries — used for the final
 // write during shutdown. The caller must have drained the retry loop
-// first (see drainRetry), so this write is the last one.
+// first (see drainRetry), so this write is the last one. A failed
+// journal reset after a saved snapshot is not an error here: the state
+// is durable, and the next boot's recovery rescans the journal anyway.
 func (s *Server) persistNow() error {
 	if s.dur == nil {
 		return nil
 	}
-	return s.snapshot()
+	if err := s.snapshot(); err != nil && !errors.Is(err, errJournalReset) {
+		return err
+	}
+	return nil
 }
 
 // scheduleRetry starts the single-flight background persist loop. Each
-// attempt snapshots the network state current at that moment, so the loop
-// converges on the latest state no matter how many operations failed to
-// persist in between.
+// attempt snapshots the admission state current at that moment (the
+// durable view in the journaled modes, the live network in snapshot
+// mode), so the loop converges on the latest state no matter how many
+// operations failed to persist in between.
 func (s *Server) scheduleRetry() {
 	s.mu.Lock()
 	if s.retrying || s.closed {
@@ -322,7 +350,12 @@ func (s *Server) scheduleRetry() {
 				return
 			case <-time.After(delay):
 			}
-			if err := s.snapshot(); err == nil {
+			// A saved snapshot is convergence even when the journal reset
+			// behind it failed: the watermark already covers every stale
+			// record, so there is nothing left for this loop to make
+			// durable — looping on the broken journal would rewrite the
+			// same snapshot every few seconds for the life of the process.
+			if err := s.snapshot(); err == nil || errors.Is(err, errJournalReset) {
 				return
 			}
 			if delay *= 2; delay > persistRetryMax {

@@ -49,6 +49,9 @@ const (
 // MaxLineBytes caps the size of one protocol line.
 const MaxLineBytes = 1 << 20
 
+// idLockStripes sizes the per-connection-ID lock pool; see Server.idLocks.
+const idLockStripes = 64
+
 var (
 	// ErrProtocol reports a malformed request or response.
 	ErrProtocol = errors.New("wire: protocol error")
@@ -216,8 +219,31 @@ type Server struct {
 	ioTimeout time.Duration
 
 	// persistMu makes each state snapshot (capture + write) atomic, so
-	// concurrent operations cannot write their captures out of order.
+	// concurrent operations cannot write their captures out of order, and
+	// serializes journal appends.
 	persistMu sync.Mutex
+
+	// opMu orders admission mutations against their journal records.
+	// Setup and teardown hold it shared (their mutation+append pair is
+	// made atomic per connection ID by idLocks); fail-link and
+	// restore-link hold it exclusively, because their records name whole
+	// sets of connections. Without this, a mutation committed to the
+	// network whose record is appended later could land in the journal
+	// after a younger mutation of the same ID, and replay would restore
+	// the wrong final state — resurrecting an acked teardown or dropping
+	// an acked setup.
+	opMu sync.RWMutex
+	// idLocks stripes the per-connection-ID ordering: client-chosen IDs
+	// hash onto a fixed pool, so a setup and a teardown of the same ID
+	// can never interleave between network commit and journal append,
+	// while operations on distinct IDs (modulo stripe collisions) keep
+	// running their admission math concurrently.
+	idLocks [idLockStripes]sync.Mutex
+	// testHookPreAppend, when non-nil, runs between an operation's
+	// network mutation and its journal append. The window is a few
+	// hundred nanoseconds in production; ordering tests install a hook
+	// here to widen it and prove the discipline above actually holds.
+	testHookPreAppend func(op string, id core.ConnID)
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -458,50 +484,142 @@ func (s *Server) dispatch(req Request) Response {
 	return s.handle(ctx, req)
 }
 
+// idLock returns the stripe serializing mutations of one connection ID
+// (FNV-1a over the ID).
+func (s *Server) idLock(id core.ConnID) *sync.Mutex {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return &s.idLocks[h%idLockStripes]
+}
+
+// handleSetup admits a connection and makes it durable before the ack.
+// The mutation and its journal append run under the connection's ID
+// stripe (and opMu shared), so a concurrent teardown of the same ID
+// cannot journal in the opposite order of the in-memory mutations.
+func (s *Server) handleSetup(ctx context.Context, req Request) Response {
+	if req.Request == nil {
+		return Response{Error: "setup requires a request body"}
+	}
+	s.opMu.RLock()
+	defer s.opMu.RUnlock()
+	lock := s.idLock(req.Request.ID)
+	lock.Lock()
+	defer lock.Unlock()
+	adm, err := s.network.SetupContext(ctx, *req.Request)
+	if err != nil {
+		return Response{Error: err.Error(), Rejected: errors.Is(err, core.ErrRejected)}
+	}
+	if s.testHookPreAppend != nil {
+		s.testHookPreAppend(OpSetup, adm.ID)
+	}
+	warning, perr := s.persistSetup(*req.Request)
+	if perr != nil {
+		// The journal refused the record, so an ack here could be
+		// erased by a crash. Roll the in-memory admission back and
+		// refuse: the client knows the setup did not happen.
+		_ = s.network.Teardown(adm.ID)
+		return Response{Error: fmt.Sprintf("setup %q not durable: %v", adm.ID, perr)}
+	}
+	return Response{OK: true, Warning: warning, Admission: &Admission{
+		ID:                 adm.ID,
+		PerHopGuaranteed:   adm.PerHopGuaranteed,
+		PerHopComputed:     adm.PerHopComputed,
+		EndToEndGuaranteed: adm.EndToEndGuaranteed,
+		EndToEndComputed:   adm.EndToEndComputed,
+	}}
+}
+
+// handleTeardown releases a connection under the same ordering discipline
+// as handleSetup.
+func (s *Server) handleTeardown(req Request) Response {
+	s.opMu.RLock()
+	defer s.opMu.RUnlock()
+	lock := s.idLock(req.ID)
+	lock.Lock()
+	defer lock.Unlock()
+	undo, known := s.network.AdmittedRequest(req.ID)
+	if err := s.network.Teardown(req.ID); err != nil {
+		return Response{Error: err.Error()}
+	}
+	if s.testHookPreAppend != nil {
+		s.testHookPreAppend(OpTeardown, req.ID)
+	}
+	warning, perr := s.persistTeardown(req.ID)
+	if perr != nil {
+		// Mirror the setup path: un-ack by re-admitting the identical
+		// request (its capacity was just freed, so the CAC re-check
+		// succeeds unless a concurrent setup raced it away).
+		msg := fmt.Sprintf("teardown %q not durable: %v", req.ID, perr)
+		if known {
+			if _, rerr := s.network.Setup(undo); rerr != nil {
+				msg = fmt.Sprintf("%s (rollback failed: %v)", msg, rerr)
+			}
+		}
+		return Response{Error: msg}
+	}
+	return Response{OK: true, Warning: warning}
+}
+
+// handleFailLink fails a link, runs re-admission and journals the result.
+// It holds opMu exclusively: the record captures the evicted IDs and the
+// wrapped re-admissions, so no setup or teardown may slip between the
+// network mutation and the append — a record appended out of order would
+// replay the pre-failure routes over the degraded ones.
+func (s *Server) handleFailLink(req Request) Response {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	evicted, err := s.network.FailLink(req.From, req.To)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	report := &FailoverReport{Link: core.Link{From: req.From, To: req.To}}
+	if s.failover != nil {
+		report.Outcomes = s.failover(req.From, req.To, evicted)
+	} else {
+		for _, r := range evicted {
+			report.Outcomes = append(report.Outcomes, ReadmitOutcome{
+				ID: r.ID, Error: "no failover handler configured",
+			})
+		}
+	}
+	// The journal record carries what the failure did to the admitted
+	// set: the evicted IDs plus the re-admissions with their new
+	// wrapped routes, read back from the network so replay restores
+	// the degraded-mode routes, not the pre-failure ones.
+	evictedIDs := make([]core.ConnID, 0, len(evicted))
+	for _, r := range evicted {
+		evictedIDs = append(evictedIDs, r.ID)
+	}
+	var readmitted []core.ConnRequest
+	for _, o := range report.Outcomes {
+		if !o.Readmitted {
+			continue
+		}
+		if req, ok := s.network.AdmittedRequest(o.ID); ok {
+			readmitted = append(readmitted, req)
+		}
+	}
+	return Response{OK: true, Warning: s.persistFailLink(req.From, req.To, evictedIDs, readmitted), Failover: report}
+}
+
+// handleRestoreLink clears a failed link; exclusive like handleFailLink.
+func (s *Server) handleRestoreLink(req Request) Response {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	if err := s.network.RestoreLink(req.From, req.To); err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, Warning: s.persistRestoreLink(req.From, req.To)}
+}
+
 func (s *Server) handle(ctx context.Context, req Request) Response {
 	switch req.Op {
 	case OpSetup:
-		if req.Request == nil {
-			return Response{Error: "setup requires a request body"}
-		}
-		adm, err := s.network.SetupContext(ctx, *req.Request)
-		if err != nil {
-			return Response{Error: err.Error(), Rejected: errors.Is(err, core.ErrRejected)}
-		}
-		warning, perr := s.persistSetup(*req.Request)
-		if perr != nil {
-			// The journal refused the record, so an ack here could be
-			// erased by a crash. Roll the in-memory admission back and
-			// refuse: the client knows the setup did not happen.
-			_ = s.network.Teardown(adm.ID)
-			return Response{Error: fmt.Sprintf("setup %q not durable: %v", adm.ID, perr)}
-		}
-		return Response{OK: true, Warning: warning, Admission: &Admission{
-			ID:                 adm.ID,
-			PerHopGuaranteed:   adm.PerHopGuaranteed,
-			PerHopComputed:     adm.PerHopComputed,
-			EndToEndGuaranteed: adm.EndToEndGuaranteed,
-			EndToEndComputed:   adm.EndToEndComputed,
-		}}
+		return s.handleSetup(ctx, req)
 	case OpTeardown:
-		undo, known := s.network.AdmittedRequest(req.ID)
-		if err := s.network.Teardown(req.ID); err != nil {
-			return Response{Error: err.Error()}
-		}
-		warning, perr := s.persistTeardown(req.ID)
-		if perr != nil {
-			// Mirror the setup path: un-ack by re-admitting the identical
-			// request (its capacity was just freed, so the CAC re-check
-			// succeeds unless a concurrent setup raced it away).
-			msg := fmt.Sprintf("teardown %q not durable: %v", req.ID, perr)
-			if known {
-				if _, rerr := s.network.Setup(undo); rerr != nil {
-					msg = fmt.Sprintf("%s (rollback failed: %v)", msg, rerr)
-				}
-			}
-			return Response{Error: msg}
-		}
-		return Response{OK: true, Warning: warning}
+		return s.handleTeardown(req)
 	case OpList:
 		return Response{OK: true, Connections: s.network.Connections()}
 	case OpBound:
@@ -530,43 +648,9 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 		}
 		return Response{OK: true, Violations: reports}
 	case OpFailLink:
-		evicted, err := s.network.FailLink(req.From, req.To)
-		if err != nil {
-			return Response{Error: err.Error()}
-		}
-		report := &FailoverReport{Link: core.Link{From: req.From, To: req.To}}
-		if s.failover != nil {
-			report.Outcomes = s.failover(req.From, req.To, evicted)
-		} else {
-			for _, r := range evicted {
-				report.Outcomes = append(report.Outcomes, ReadmitOutcome{
-					ID: r.ID, Error: "no failover handler configured",
-				})
-			}
-		}
-		// The journal record carries what the failure did to the admitted
-		// set: the evicted IDs plus the re-admissions with their new
-		// wrapped routes, read back from the network so replay restores
-		// the degraded-mode routes, not the pre-failure ones.
-		evictedIDs := make([]core.ConnID, 0, len(evicted))
-		for _, r := range evicted {
-			evictedIDs = append(evictedIDs, r.ID)
-		}
-		var readmitted []core.ConnRequest
-		for _, o := range report.Outcomes {
-			if !o.Readmitted {
-				continue
-			}
-			if req, ok := s.network.AdmittedRequest(o.ID); ok {
-				readmitted = append(readmitted, req)
-			}
-		}
-		return Response{OK: true, Warning: s.persistFailLink(req.From, req.To, evictedIDs, readmitted), Failover: report}
+		return s.handleFailLink(req)
 	case OpRestoreLink:
-		if err := s.network.RestoreLink(req.From, req.To); err != nil {
-			return Response{Error: err.Error()}
-		}
-		return Response{OK: true, Warning: s.persistRestoreLink(req.From, req.To)}
+		return s.handleRestoreLink(req)
 	case OpHealth:
 		violations, err := s.network.Audit()
 		if err != nil {
