@@ -112,6 +112,9 @@ type (
 	SoftCDV = core.SoftCDV
 	// RejectionError explains a CAC rejection.
 	RejectionError = core.RejectionError
+	// SetupOption customizes one Network.Setup call (trace sink, retry
+	// budget) via functional options.
+	SetupOption = core.SetupOption
 )
 
 var (
@@ -119,6 +122,13 @@ var (
 	NewSwitch = core.NewSwitch
 	// NewNetwork returns an empty CAC network (nil policy means hard).
 	NewNetwork = core.NewNetwork
+	// WithTracer attaches a per-call trace sink to a Setup.
+	WithTracer = core.WithTracer
+	// WithRetryBudget allows whole-setup re-attempts after CAC rejections.
+	WithRetryBudget = core.WithRetryBudget
+	// ErrorCode maps an admission-plane error chain onto its stable
+	// machine-readable code (the code= field of wire error responses).
+	ErrorCode = core.ErrorCode
 )
 
 // Sentinel errors of the CAC engine.

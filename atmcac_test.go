@@ -1,6 +1,7 @@
 package atmcac_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -61,7 +62,7 @@ func TestFacadeQuickstart(t *testing.T) {
 		}
 	}
 	route := atmcac.Route{{Switch: "a", In: 1, Out: 0}, {Switch: "b", In: 0, Out: 0}}
-	adm, err := n.Setup(atmcac.ConnRequest{
+	adm, err := n.Setup(context.Background(), atmcac.ConnRequest{
 		ID: "c1", Spec: atmcac.VBR(0.5, 0.1, 4), Priority: 1, Route: route, DelayBound: 64,
 	})
 	if err != nil {

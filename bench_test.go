@@ -297,7 +297,7 @@ func BenchmarkParallelAdmit(b *testing.B) {
 		}
 		for i := 0; pb.Next(); i++ {
 			id := atmcac.ConnID(fmt.Sprintf("w%d-c%d", w, i))
-			if _, err := network.Setup(atmcac.ConnRequest{
+			if _, err := network.Setup(context.Background(), atmcac.ConnRequest{
 				ID: id, Spec: spec, Priority: 1, Route: route,
 			}); err != nil {
 				b.Errorf("worker %d: setup %s: %v", w, id, err)

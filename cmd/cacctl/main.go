@@ -12,6 +12,7 @@
 //	cacctl [-addr HOST:PORT] fail-link    -node N [-ring N]
 //	cacctl [-addr HOST:PORT] restore-link -node N [-ring N]
 //	cacctl [-addr HOST:PORT] health
+//	cacctl [-addr HOST:PORT] metrics [-match SUBSTRING]
 //	cacctl state verify [-journal FILE] STATE
 //	cacctl state show   [-journal FILE] STATE
 //
@@ -24,6 +25,10 @@
 // reporting the per-connection outcomes. restore-link clears the failure.
 // health reports connection count, failed links, audit state and — when the
 // server runs with overload control — the per-class admit/shed counters.
+// metrics prints the server's full counter snapshot (setups by outcome,
+// rejections by taxonomy code, journal latencies, ...) over the CAC
+// protocol, no scrape endpoint required. Failed commands print the
+// server's stable error code as a trailing (code=...) when one was sent.
 //
 // state verify checks a cacd snapshot+journal pair offline — CRC status,
 // record counts, sequence watermark, torn-tail position — without a
@@ -39,9 +44,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"atmcac/internal/core"
 	"atmcac/internal/journal"
@@ -53,7 +61,14 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "cacctl:", err)
+		// Surface the server's stable machine-readable code alongside the
+		// message, so scripts can branch on it without string matching.
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) && remote.Code != "" {
+			fmt.Fprintf(os.Stderr, "cacctl: %v (code=%s)\n", err, remote.Code)
+		} else {
+			fmt.Fprintln(os.Stderr, "cacctl:", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -99,6 +114,8 @@ func run(args []string) error {
 		return restoreLink(client, rest[1:])
 	case "health":
 		return health(client)
+	case "metrics":
+		return metrics(client, rest[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
@@ -262,6 +279,35 @@ func health(client *wire.Client) error {
 	}
 	if h.Violations > 0 {
 		return fmt.Errorf("%d queues over budget", h.Violations)
+	}
+	return nil
+}
+
+// metrics prints the server's counter snapshot, carried over the CAC
+// protocol itself via the health operation — no scrape endpoint needed.
+func metrics(client *wire.Client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	match := fs.String("match", "", "print only metrics whose name contains this substring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := client.Health()
+	if err != nil {
+		return err
+	}
+	if len(h.Metrics) == 0 {
+		return fmt.Errorf("server reports no metrics (observability not attached)")
+	}
+	names := make([]string, 0, len(h.Metrics))
+	for name := range h.Metrics {
+		if *match != "" && !strings.Contains(name, *match) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s %g\n", name, h.Metrics[name])
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	     [-journal FILE] [-compact-records N] [-compact-bytes N]
 //	     [-io-timeout D] [-drain-timeout D]
 //	     [-shed-rate R] [-shed-burst B] [-max-inflight N]
+//	     [-metrics-addr ADDR]
 //
 // The server manages one CAC network whose switches are the ring nodes of
 // an RTnet with the given shape. Clients (see cmd/cacctl) set up and tear
@@ -41,6 +42,15 @@
 // fail-link, restore-link and health are never shed. A shed request gets
 // a typed overloaded response with a retry-after hint; the shed counters
 // are visible through cacctl health.
+//
+// The server always keeps an in-process metrics registry and admission
+// tracer: every setup decision, rejection reason, crankback re-admission,
+// shed request and journal append is counted, and the counter snapshot
+// travels with the health response (cacctl metrics). With -metrics-addr
+// the registry is additionally served over HTTP in Prometheus text format
+// at /metrics and as JSON at /debug/vars. On drain the scrape endpoint
+// closes first and the final non-zero counters are flushed to stdout
+// before the last state snapshot is written.
 package main
 
 import (
@@ -48,13 +58,16 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"atmcac/internal/core"
 	"atmcac/internal/failover"
+	"atmcac/internal/obs"
 	"atmcac/internal/overload"
 	"atmcac/internal/rtnet"
 	"atmcac/internal/wire"
@@ -71,6 +84,10 @@ func main() {
 // the server is reachable — lets tests run on an ephemeral port (-listen
 // 127.0.0.1:0) without parsing stdout.
 var testHookListen func(net.Addr)
+
+// testHookMetricsListen mirrors testHookListen for the -metrics-addr
+// HTTP listener.
+var testHookMetricsListen func(net.Addr)
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cacd", flag.ContinueOnError)
@@ -92,6 +109,7 @@ func run(args []string) error {
 		shedRate     = fs.Float64("shed-rate", 0, "sustained control-plane request rate (req/s) before shedding; 0 disables the token bucket")
 		shedBurst    = fs.Float64("shed-burst", 0, "token bucket capacity (requests); 0 derives from -shed-rate")
 		maxInflight  = fs.Int("max-inflight", 0, "concurrently executing non-recovery requests; 0 means unlimited")
+		metricsAddr  = fs.String("metrics-addr", "", "serve Prometheus metrics on this HTTP address (/metrics, /debug/vars); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +145,11 @@ func run(args []string) error {
 	srv := wire.NewServer(rt.Core())
 	srv.SetIOTimeout(*ioTimeout)
 	srv.SetFailoverHandler(failoverHandler(rt))
+	// The registry and tracer always exist — health carries the counter
+	// snapshot even without a scrape endpoint; -metrics-addr only decides
+	// whether they are additionally served over HTTP.
+	reg := obs.NewRegistry()
+	tracer := obs.NewMetricsTracer(reg)
 	if *shedRate > 0 || *maxInflight > 0 {
 		lim := overload.NewLimiter(overload.LimiterConfig{
 			Rate:        *shedRate,
@@ -153,10 +176,18 @@ func run(args []string) error {
 			return err
 		}
 		defer dur.Close()
+		recoverStart := time.Now()
 		rep, err := dur.Recover(rt.Core())
 		if err != nil {
 			return err
 		}
+		tracer.Trace(obs.Event{
+			Kind:     obs.KindReplay,
+			Restored: rep.Restored,
+			Failed:   len(rep.Failed),
+			Records:  rep.JournalRecords,
+			Duration: time.Since(recoverStart),
+		})
 		for _, w := range rep.Warnings {
 			fmt.Printf("cacd: %s\n", w)
 		}
@@ -178,6 +209,26 @@ func run(args []string) error {
 	} else if mode != wire.DurabilitySnapshot {
 		return fmt.Errorf("-durability %s requires -state", mode)
 	}
+	// After SetLimiter and SetDurable, so the scrape-time gauges see the
+	// final configuration (limiter tokens, journal size).
+	srv.SetObservability(reg, tracer)
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", reg.VarsHandler())
+		metricsSrv = &http.Server{Handler: mux}
+		go func() { _ = metricsSrv.Serve(ml) }()
+		fmt.Printf("cacd: serving metrics on http://%s/metrics\n", ml.Addr())
+		if testHookMetricsListen != nil {
+			testHookMetricsListen(ml.Addr())
+		}
+	}
 
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -193,6 +244,14 @@ func run(args []string) error {
 	select {
 	case sig := <-sigCh:
 		fmt.Printf("cacd: received %v, draining\n", sig)
+		// Close the scrape endpoint and flush the final counter snapshot
+		// before Shutdown drains the persist-retry loop: a scraper must
+		// not read a half-drained server, and the totals must reach the
+		// log even if the final snapshot write below hangs or fails.
+		if metricsSrv != nil {
+			_ = metricsSrv.Close()
+			dumpFinalMetrics(reg)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -205,6 +264,23 @@ func run(args []string) error {
 			return nil
 		}
 		return err
+	}
+}
+
+// dumpFinalMetrics writes the non-zero counters and gauges to stdout in
+// name order — the last observable state of a draining daemon, flushed
+// while the final snapshot write may still be pending.
+func dumpFinalMetrics(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name, v := range snap {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("cacd: final %s = %g\n", name, snap[name])
 	}
 }
 
@@ -232,7 +308,7 @@ func failoverHandler(rt *rtnet.Network) wire.FailoverHandler {
 		rep := eng.Readmit(evicted, node, core.Link{From: from, To: to})
 		outs := make([]wire.ReadmitOutcome, 0, len(rep.Outcomes))
 		for _, o := range rep.Outcomes {
-			out := wire.ReadmitOutcome{ID: o.ID, Readmitted: o.Readmitted, Attempts: o.Attempts}
+			out := wire.ReadmitOutcome{ID: o.ID, Readmitted: o.Readmitted, Attempts: o.Attempts, Hops: len(o.Route)}
 			if o.Err != nil {
 				out.Error = o.Err.Error()
 			}

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -408,6 +412,323 @@ func TestEndToEndFailover(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("re-setup after restore: %v", err)
 	}
+}
+
+// TestEndToEndMetricsOracle boots cacd with journal-sync durability, a
+// metrics endpoint and a small token bucket, drives mixed churn — accepted
+// and delay-bound-rejected setups in parallel, teardowns, a link failure
+// with wrapped re-admission, a restore, and a read burst that overloads the
+// bucket — while tallying an oracle from the client-observed outcomes. The
+// scraped /debug/vars counters must equal the oracle exactly: the metrics
+// pipeline may not drop, double-count or invent a single decision.
+func TestEndToEndMetricsOracle(t *testing.T) {
+	const (
+		ringNodes = 6
+		good      = 10 // admissible setups
+		bad       = 6  // delay-bound-rejected setups
+		torn      = 5  // teardowns of accepted connections
+		listBurst = 30 // reads thrown against the token bucket
+		burst     = 40 // bucket capacity; reads shed below 1 + burst/2 tokens
+	)
+	dir := t.TempDir()
+	stateFile := filepath.Join(dir, "state.json")
+	journalFile := filepath.Join(dir, "wal")
+
+	addrCh := make(chan net.Addr, 1)
+	metricsCh := make(chan net.Addr, 1)
+	testHookListen = func(a net.Addr) { addrCh <- a }
+	testHookMetricsListen = func(a net.Addr) { metricsCh <- a }
+	defer func() {
+		testHookListen = nil
+		testHookMetricsListen = nil
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0", "-ring", fmt.Sprint(ringNodes), "-terminals", "1",
+			"-state", stateFile, "-durability", "journal-sync", "-journal", journalFile,
+			"-metrics-addr", "127.0.0.1:0",
+			// Refill is negligible over the test's lifetime, so the token
+			// arithmetic below is deterministic: 40 tokens, one per setup,
+			// reads shed below 21.
+			"-shed-rate", "0.001", "-shed-burst", fmt.Sprint(burst),
+		})
+	}()
+	var addr, metricsAddr string
+	select {
+	case a := <-addrCh:
+		addr = a.String()
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never announced its address")
+	}
+	select {
+	case a := <-metricsCh:
+		metricsAddr = a.String()
+	case <-time.After(5 * time.Second):
+		t.Fatal("metrics listener never announced its address")
+	}
+	defer func() {
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	}()
+
+	ref, err := rtnet.New(rtnet.Config{RingNodes: ringNodes, TerminalsPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := make([]core.Route, ringNodes)
+	for origin := 0; origin < ringNodes; origin++ {
+		r, err := ref.BroadcastRoute(origin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routes[origin] = r
+	}
+
+	// Phase 1: concurrent setups. The good ones are far below every queue
+	// and must all be admitted; the bad ones request a delay bound below
+	// the sum of per-hop guarantees and must all be rejected with the
+	// stable delay-bound code.
+	var (
+		tallyMu       sync.Mutex
+		accepted      int
+		rejected      int
+		goodHopChecks int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < good+bad; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := core.ConnRequest{
+				ID:       core.ConnID(fmt.Sprintf("good-%d", i)),
+				Spec:     traffic.CBR(0.03),
+				Priority: 1,
+				Route:    routes[i%ringNodes],
+			}
+			if i >= good {
+				req.ID = core.ConnID(fmt.Sprintf("bad-%d", i-good))
+				req.DelayBound = 10
+			}
+			c, err := wire.Dial(addr)
+			if err != nil {
+				t.Errorf("setup %s: dial: %v", req.ID, err)
+				return
+			}
+			defer c.Close()
+			_, err = c.Setup(req)
+			tallyMu.Lock()
+			defer tallyMu.Unlock()
+			switch {
+			case err == nil:
+				accepted++
+				goodHopChecks += len(req.Route)
+				if i >= good {
+					t.Errorf("bad setup %s was admitted", req.ID)
+				}
+			case errors.Is(err, core.ErrRejected):
+				rejected++
+				var re *wire.RemoteError
+				if !errors.As(err, &re) || re.Code != core.CodeDelayBound {
+					t.Errorf("setup %s: code = %v, want %s via RemoteError", req.ID, err, core.CodeDelayBound)
+				}
+				if i < good {
+					t.Errorf("good setup %s rejected: %v", req.ID, err)
+				}
+			default:
+				t.Errorf("setup %s: %v", req.ID, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if accepted != good || rejected != bad {
+		t.Fatalf("churn tally: %d accepted, %d rejected, want %d/%d", accepted, rejected, good, bad)
+	}
+
+	client, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Phase 2: tear down the first torn connections (recovery class: free).
+	for i := 0; i < torn; i++ {
+		if err := client.Teardown(core.ConnID(fmt.Sprintf("good-%d", i))); err != nil {
+			t.Fatalf("teardown good-%d: %v", i, err)
+		}
+	}
+
+	// Phase 3: fail ring00 -> ring01. Of the survivors (origins 5,0,1,2,3),
+	// only the broadcast from origin 1 avoids the link; the other four are
+	// evicted and re-admitted over the wrapped ring.
+	report, err := client.FailLink(rtnet.SwitchName(0), rtnet.SwitchName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantEvicted = 4
+	if len(report.Outcomes) != wantEvicted {
+		t.Fatalf("evicted %d connections, want %d: %+v", len(report.Outcomes), wantEvicted, report)
+	}
+	crankbackHops := 0
+	for _, o := range report.Outcomes {
+		// Every evicted broadcast must survive on the wrapped ring in one
+		// attempt here — anything else breaks the oracle arithmetic below,
+		// so fail loudly with the outcome.
+		if !o.Readmitted || o.Attempts != 1 || o.Hops <= 0 {
+			t.Fatalf("unexpected re-admission outcome %+v", o)
+		}
+		crankbackHops += o.Hops
+	}
+	if err := client.RestoreLink(rtnet.SwitchName(0), rtnet.SwitchName(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 4: hammer the read class. 16 setups drained the 40-token bucket
+	// to 24, reads shed below 21 tokens, so most of the burst is shed; the
+	// oracle only relies on the client-observed split.
+	okLists, shedLists := 0, 0
+	for i := 0; i < listBurst; i++ {
+		switch _, err := client.List(); {
+		case err == nil:
+			okLists++
+		case errors.Is(err, wire.ErrOverloaded):
+			shedLists++
+		default:
+			t.Fatalf("list %d: %v", i, err)
+		}
+	}
+	if shedLists == 0 {
+		t.Fatal("read burst was never shed; overload path untested")
+	}
+
+	// Scrape the JSON snapshot and assert it equals the oracle.
+	vars := scrapeVars(t, metricsAddr)
+	assertVar := func(name string, want float64) {
+		t.Helper()
+		got, ok := vars[name]
+		if !ok {
+			t.Errorf("metric %s missing from /debug/vars", name)
+			return
+		}
+		if got != want {
+			t.Errorf("metric %s = %g, want %g", name, got, want)
+		}
+	}
+	// Admission: client-observed setups plus one accepted setup per
+	// re-admission (each re-admission attempt is a full CAC setup).
+	assertVar(`atmcac_admission_setups_total{outcome="accepted"}`, float64(accepted+wantEvicted))
+	assertVar(`atmcac_admission_setups_total{outcome="rejected"}`, float64(rejected))
+	assertVar(`atmcac_admission_setups_total{outcome="error"}`, 0)
+	assertVar(`atmcac_admission_rejections_total{code="delay-bound"}`, float64(rejected))
+	assertVar(`atmcac_admission_teardowns_total{outcome="ok"}`, float64(torn))
+	assertVar("atmcac_admission_setup_seconds_count", float64(accepted+rejected+wantEvicted))
+	// Delay-bound rejections fail the end-to-end pre-check before any hop,
+	// so hop checks come only from admitted routes and wrapped re-admissions.
+	assertVar("atmcac_admission_hop_check_seconds_count", float64(goodHopChecks+crankbackHops))
+	// Failover.
+	assertVar("atmcac_failover_faillink_total", 1)
+	assertVar("atmcac_failover_evicted_total", wantEvicted)
+	assertVar("atmcac_failover_restorelink_total", 1)
+	assertVar("atmcac_failover_readmitted_total", wantEvicted)
+	assertVar("atmcac_failover_down_total", 0)
+	assertVar("atmcac_failover_readmit_attempts_total", wantEvicted)
+	assertVar("atmcac_failover_crankback_hops_total", float64(crankbackHops))
+	// Journal: one synced append per acked mutation — accepted setups,
+	// teardowns, the fail-link record and the restore-link record.
+	// Re-admissions ride inside the fail-link record.
+	appends := float64(accepted + torn + 2)
+	assertVar("atmcac_journal_append_seconds_count", appends)
+	assertVar("atmcac_journal_fsync_seconds_count", appends)
+	assertVar("atmcac_journal_append_errors_total", 0)
+	assertVar("atmcac_journal_records", appends)
+	assertVar(`atmcac_journal_compactions_total{outcome="ok"}`, 0)
+	if vars["atmcac_journal_append_bytes_total"] <= 0 {
+		t.Errorf("atmcac_journal_append_bytes_total = %g, want > 0", vars["atmcac_journal_append_bytes_total"])
+	}
+	// Overload and the request plane.
+	assertVar(`atmcac_overload_shed_total{class="read"}`, float64(shedLists))
+	assertVar(`atmcac_requests_total{op="setup",outcome="ok"}`, float64(accepted))
+	assertVar(`atmcac_requests_total{op="setup",outcome="error"}`, float64(rejected))
+	assertVar(`atmcac_requests_total{op="teardown",outcome="ok"}`, float64(torn))
+	assertVar(`atmcac_requests_total{op="list",outcome="ok"}`, float64(okLists))
+	assertVar(`atmcac_requests_total{op="list",outcome="shed"}`, float64(shedLists))
+	// Live-state gauges: 10 admitted - 5 torn down, all evictions
+	// re-admitted; the failed link was restored.
+	assertVar("atmcac_admission_connections", float64(good-torn))
+	assertVar("atmcac_failover_links_down", 0)
+
+	// The Prometheus endpoint must serve the same counters as typed text.
+	text := scrapeText(t, metricsAddr)
+	for _, want := range []string{
+		"# TYPE atmcac_admission_setups_total counter",
+		fmt.Sprintf(`atmcac_admission_setups_total{outcome="accepted"} %d`, accepted+wantEvicted),
+		"# TYPE atmcac_admission_setup_seconds histogram",
+		`atmcac_admission_setup_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics output missing %q", want)
+		}
+	}
+
+	// The health operation carries the same snapshot over the CAC protocol
+	// itself (the cacctl metrics path) — spot-check parity with the scrape.
+	h, err := client.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		`atmcac_admission_setups_total{outcome="accepted"}`,
+		"atmcac_failover_crankback_hops_total",
+		"atmcac_journal_fsync_seconds_count",
+	} {
+		if h.Metrics[name] != vars[name] {
+			t.Errorf("health metrics %s = %g, scrape says %g", name, h.Metrics[name], vars[name])
+		}
+	}
+}
+
+// scrapeVars GETs /debug/vars and decodes the flattened snapshot.
+func scrapeVars(t *testing.T, addr string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("scrape /debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /debug/vars: %v", err)
+	}
+	vars := make(map[string]float64)
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("decode /debug/vars: %v\n%s", err, body)
+	}
+	return vars
+}
+
+// scrapeText GETs /metrics and returns the Prometheus exposition.
+func scrapeText(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	return string(body)
 }
 
 // TestEndToEndJournalDurability boots cacd in journal-sync mode, admits

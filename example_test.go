@@ -1,6 +1,7 @@
 package atmcac_test
 
 import (
+	"context"
 	"fmt"
 
 	"atmcac"
@@ -108,7 +109,7 @@ func ExampleNetwork_Setup() {
 			return
 		}
 	}
-	adm, err := n.Setup(atmcac.ConnRequest{
+	adm, err := n.Setup(context.Background(), atmcac.ConnRequest{
 		ID:       "sensor",
 		Spec:     atmcac.VBR(0.5, 0.05, 8),
 		Priority: 1,

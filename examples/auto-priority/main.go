@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -83,7 +84,7 @@ func run() error {
 				if err != nil {
 					return err
 				}
-				_, err = rt.Core().Setup(atmcac.ConnRequest{
+				_, err = rt.Core().Setup(context.Background(), atmcac.ConnRequest{
 					ID:         atmcac.ConnID(fmt.Sprintf("cyc%d-%02d-%02d", ci, node, t)),
 					Spec:       spec,
 					Priority:   assigned[c.Name],

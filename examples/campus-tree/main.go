@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -85,7 +86,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		adm, err := network.Setup(atmcac.ConnRequest{
+		adm, err := network.Setup(context.Background(), atmcac.ConnRequest{
 			ID:   atmcac.ConnID(fmt.Sprintf("sensor-%02d", i)),
 			Spec: spec, Priority: 1, Route: route,
 		})
@@ -111,7 +112,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	adm, err := network.Setup(atmcac.ConnRequest{
+	adm, err := network.Setup(context.Background(), atmcac.ConnRequest{
 		ID: "local", Spec: spec, Priority: 1, Route: route,
 	})
 	if err != nil {

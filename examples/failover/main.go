@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,7 +70,7 @@ func run() error {
 		ID: "hs-1ms", Spec: atmcac.CBR(0.005), Priority: 1,
 		Route: hsRoute, DelayBound: budget,
 	}
-	if _, err := net.Core().Setup(hs); err != nil {
+	if _, err := net.Core().Setup(context.Background(), hs); err != nil {
 		return fmt.Errorf("healthy high-speed setup: %w", err)
 	}
 	if v, err := net.Audit(); err != nil || len(v) > 0 {
@@ -130,7 +131,7 @@ func run() error {
 	if err := net.RestorePrimaryLink(failed); err != nil {
 		return err
 	}
-	if _, err := net.Core().Setup(hs); err != nil {
+	if _, err := net.Core().Setup(context.Background(), hs); err != nil {
 		return fmt.Errorf("re-admission after repair: %w", err)
 	}
 	if v, err := net.Audit(); err != nil || len(v) > 0 {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -117,7 +118,7 @@ func run() error {
 			for h := range r {
 				r[h].In = atmcac.PortID(i + 1)
 			}
-			_, err := n.Setup(atmcac.ConnRequest{
+			_, err := n.Setup(context.Background(), atmcac.ConnRequest{
 				ID:   atmcac.ConnID(fmt.Sprintf("c%d", i)),
 				Spec: atmcac.VBR(0.4, 0.02, 8), Priority: 1, Route: r,
 			})

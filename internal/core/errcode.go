@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"errors"
+)
+
+// Stable machine-readable error codes. They name the admission-plane error
+// taxonomy: wire protocol responses carry them in the code= field, the
+// metrics layer labels rejection counters with them, and clients branch on
+// them instead of parsing free-text messages. Codes are append-only — a
+// published code never changes meaning.
+const (
+	// CodeQueueUnstable: the hop's queueing point would become unstable
+	// (Section 4.3; the computed bound diverges).
+	CodeQueueUnstable = "queue-unstable"
+	// CodeQueueBudget: the hop's worst-case queueing delay D'(j,p) would
+	// exceed the FIFO budget D(j,p).
+	CodeQueueBudget = "queue-budget"
+	// CodeDelayBound: the sum of per-hop guarantees exceeds the requested
+	// end-to-end delay bound — rejected before any hop is checked.
+	CodeDelayBound = "delay-bound"
+	// CodeNoPriority: no priority level's end-to-end guarantee meets the
+	// requested budget (AssignPriority).
+	CodeNoPriority = "no-priority"
+	// CodeRejected: a CAC rejection with no finer classification.
+	CodeRejected = "rejected"
+	// CodeLinkDown: the route traverses a failed inter-switch link.
+	CodeLinkDown = "link-down"
+	// CodeDuplicate: the connection ID is already admitted or in flight.
+	CodeDuplicate = "duplicate-conn"
+	// CodeUnknownConn: the connection is not carried by the network.
+	CodeUnknownConn = "unknown-conn"
+	// CodeUnknownSwitch: the route names a switch the network lacks.
+	CodeUnknownSwitch = "unknown-switch"
+	// CodeBadConfig: invalid request or configuration.
+	CodeBadConfig = "bad-config"
+	// CodeDeadline: the operation's context deadline expired.
+	CodeDeadline = "deadline-exceeded"
+	// CodeCanceled: the operation's context was canceled.
+	CodeCanceled = "canceled"
+	// CodeInternal: an error outside the published taxonomy.
+	CodeInternal = "internal"
+)
+
+// ErrorCode maps an admission-plane error chain onto its stable code; nil
+// maps to the empty string. RejectionError carries its own Kind so the four
+// rejection flavors stay distinguishable through wrapping.
+func ErrorCode(err error) string {
+	if err == nil {
+		return ""
+	}
+	var rej *RejectionError
+	if errors.As(err, &rej) {
+		if rej.Kind != "" {
+			return rej.Kind
+		}
+		return CodeRejected
+	}
+	switch {
+	case errors.Is(err, ErrRejected):
+		return CodeRejected
+	case errors.Is(err, ErrLinkDown):
+		return CodeLinkDown
+	case errors.Is(err, ErrDuplicateConn):
+		return CodeDuplicate
+	case errors.Is(err, ErrUnknownConn):
+		return CodeUnknownConn
+	case errors.Is(err, ErrUnknownSwitch):
+		return CodeUnknownSwitch
+	case errors.Is(err, ErrBadConfig):
+		return CodeBadConfig
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	}
+	return CodeInternal
+}

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
+
+	"atmcac/internal/obs"
 )
 
 // ErrLinkDown reports an operation on a route that traverses a failed
@@ -118,6 +121,7 @@ func (n *Network) FailLink(from, to string) ([]ConnRequest, error) {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownSwitch, name)
 		}
 	}
+	start := time.Now()
 	l := Link{From: from, To: to}
 	n.linkMu.Lock()
 	if _, down := n.downLinks[l]; down {
@@ -149,6 +153,14 @@ func (n *Network) FailLink(from, to string) ([]ConnRequest, error) {
 		// switches cannot be removed from the network.
 		_ = n.releaseRoute(req.ID, req.Route)
 	}
+	if tr := n.getTracer(); tr != nil {
+		tr.Trace(obs.Event{
+			Kind:     obs.KindFailLink,
+			Link:     l.String(),
+			Evicted:  len(evicted),
+			Duration: time.Since(start),
+		})
+	}
 	return evicted, nil
 }
 
@@ -158,10 +170,18 @@ func (n *Network) FailLink(from, to string) ([]ConnRequest, error) {
 func (n *Network) RestoreLink(from, to string) error {
 	l := Link{From: from, To: to}
 	n.linkMu.Lock()
-	defer n.linkMu.Unlock()
 	if _, down := n.downLinks[l]; !down {
+		n.linkMu.Unlock()
 		return fmt.Errorf("%w: link %s is not failed", ErrBadConfig, l)
 	}
 	delete(n.downLinks, l)
+	n.linkMu.Unlock()
+	if tr := n.getTracer(); tr != nil {
+		tr.Trace(obs.Event{
+			Kind:    obs.KindRestoreLink,
+			Link:    l.String(),
+			Outcome: obs.OutcomeOK,
+		})
+	}
 	return nil
 }

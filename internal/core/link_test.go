@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,7 +43,7 @@ func TestFailLinkEvictsTraversingConnections(t *testing.T) {
 		{"crosses", route(0, 3)}, // sw0, sw1, sw2
 		{"local", route(3, 2)},   // sw3, sw0
 	} {
-		if _, err := n.Setup(ConnRequest{
+		if _, err := n.Setup(context.Background(), ConnRequest{
 			ID: c.id, Spec: traffic.CBR(0.01), Priority: 1, Route: c.r,
 		}); err != nil {
 			t.Fatal(err)
@@ -84,7 +85,7 @@ func TestSetupAndInstallRefuseFailedLink(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := ConnRequest{ID: "x", Spec: traffic.CBR(0.01), Priority: 1, Route: route(0, 2)}
-	if _, err := n.Setup(req); !errors.Is(err, ErrLinkDown) {
+	if _, err := n.Setup(context.Background(), req); !errors.Is(err, ErrLinkDown) {
 		t.Fatalf("Setup over failed link = %v, want ErrLinkDown", err)
 	}
 	if err := n.Install(req); !errors.Is(err, ErrLinkDown) {
@@ -92,7 +93,7 @@ func TestSetupAndInstallRefuseFailedLink(t *testing.T) {
 	}
 	// A refused setup leaves no residue: the ID is reusable elsewhere.
 	req.Route = route(1, 2) // sw1 -> sw2, avoids the failed link
-	if _, err := n.Setup(req); err != nil {
+	if _, err := n.Setup(context.Background(), req); err != nil {
 		t.Fatalf("Setup on alternate route after refusal: %v", err)
 	}
 }
@@ -117,7 +118,7 @@ func TestRestoreLink(t *testing.T) {
 	if n.LinkDown("sw0", "sw1") {
 		t.Fatal("LinkDown true after RestoreLink")
 	}
-	if _, err := n.Setup(ConnRequest{
+	if _, err := n.Setup(context.Background(), ConnRequest{
 		ID: "back", Spec: traffic.CBR(0.01), Priority: 1, Route: route(0, 2),
 	}); err != nil {
 		t.Fatalf("Setup after restore: %v", err)
@@ -162,7 +163,7 @@ func TestLinkMapperExtendsTraversal(t *testing.T) {
 	})
 	// One-hop route at sw1: consecutive-hop adjacency sees no link at all,
 	// the mapper adds the delivery link sw1 -> sw2.
-	if _, err := n.Setup(ConnRequest{
+	if _, err := n.Setup(context.Background(), ConnRequest{
 		ID: "edge", Spec: traffic.CBR(0.01), Priority: 1, Route: route(1, 1),
 	}); err != nil {
 		t.Fatal(err)
@@ -174,14 +175,14 @@ func TestLinkMapperExtendsTraversal(t *testing.T) {
 	if len(evicted) != 1 || evicted[0].ID != "edge" {
 		t.Fatalf("evicted = %+v, want [edge]", evicted)
 	}
-	if _, err := n.Setup(ConnRequest{
+	if _, err := n.Setup(context.Background(), ConnRequest{
 		ID: "edge2", Spec: traffic.CBR(0.01), Priority: 1, Route: route(1, 1),
 	}); !errors.Is(err, ErrLinkDown) {
 		t.Fatalf("setup with mapped delivery over dead link = %v, want ErrLinkDown", err)
 	}
 	// Clearing the mapper restores consecutive-hop adjacency.
 	n.SetLinkMapper(nil)
-	if _, err := n.Setup(ConnRequest{
+	if _, err := n.Setup(context.Background(), ConnRequest{
 		ID: "edge3", Spec: traffic.CBR(0.01), Priority: 1, Route: route(1, 1),
 	}); err != nil {
 		t.Fatal(err)
@@ -202,7 +203,7 @@ func TestFailLinkSetupRace(t *testing.T) {
 		defer wg.Done()
 		for g := 0; g < setups; g++ {
 			id := ConnID(fmt.Sprintf("c%03d", g))
-			_, err := n.Setup(ConnRequest{
+			_, err := n.Setup(context.Background(), ConnRequest{
 				ID: id, Spec: traffic.CBR(0.0005), Priority: 1,
 				Route: route(g%nodes, 2+g%3),
 			})

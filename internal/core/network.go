@@ -7,8 +7,10 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"atmcac/internal/bitstream"
+	"atmcac/internal/obs"
 	"atmcac/internal/traffic"
 )
 
@@ -168,6 +170,11 @@ type Network struct {
 	linkMu     sync.RWMutex
 	downLinks  map[Link]struct{}
 	linkMapper LinkMapper
+
+	// trMu guards tracer, the network-wide trace sink installed with
+	// SetTracer. Per-call sinks (WithTracer) fan out alongside it.
+	trMu   sync.RWMutex
+	tracer obs.Tracer
 }
 
 // NewNetwork returns an empty network using the given CDV policy.
@@ -186,6 +193,25 @@ func NewNetwork(policy CDVPolicy) *Network {
 
 // Policy returns the network's CDV accumulation policy.
 func (n *Network) Policy() CDVPolicy { return n.policy }
+
+// SetTracer installs t as the network-wide trace sink: every Setup,
+// Teardown, FailLink, RestoreLink and Audit emits structured obs events
+// into it. nil disables tracing. Safe to call concurrently with admissions,
+// though the intended use is once at startup.
+func (n *Network) SetTracer(t obs.Tracer) {
+	n.trMu.Lock()
+	n.tracer = t
+	n.trMu.Unlock()
+}
+
+// getTracer returns the installed network-wide sink (nil when tracing is
+// off — emitters keep a fast-path nil check).
+func (n *Network) getTracer() obs.Tracer {
+	n.trMu.RLock()
+	t := n.tracer
+	n.trMu.RUnlock()
+	return t
+}
 
 // AddSwitch creates and registers a switch.
 func (n *Network) AddSwitch(cfg SwitchConfig) (*Switch, error) {
@@ -324,6 +350,35 @@ func (n *Network) resolveRoute(req ConnRequest) ([]*Switch, []float64, error) {
 	return switches, guaranteed, nil
 }
 
+// SetupOption customizes one Setup call via the functional-options
+// pattern; the zero configuration (no options) is the plain admission.
+type SetupOption func(*setupConfig)
+
+type setupConfig struct {
+	tracer      obs.Tracer
+	retryBudget int
+}
+
+// WithTracer adds a per-call trace sink alongside the network-wide one
+// installed by SetTracer. Events from this Setup fan out to both.
+func WithTracer(t obs.Tracer) SetupOption {
+	return func(c *setupConfig) { c.tracer = obs.Multi(c.tracer, t) }
+}
+
+// WithRetryBudget allows up to n whole-setup re-attempts after a CAC
+// rejection (ErrRejected only — configuration and link errors do not
+// retry, and a canceled context stops immediately). A rejected setup
+// leaves no reservations behind, so a retry is a clean re-run; it can
+// succeed when concurrent teardowns free capacity between attempts.
+// The consumed retries are reported in the setup trace event.
+func WithRetryBudget(n int) SetupOption {
+	return func(c *setupConfig) {
+		if n > 0 {
+			c.retryBudget = n
+		}
+	}
+}
+
 // Setup establishes a connection hop by hop, mirroring the distributed
 // SETUP procedure: each switch on the route runs the CAC check; the first
 // rejection rolls back all upstream commitments and the error (wrapping
@@ -333,17 +388,70 @@ func (n *Network) resolveRoute(req ConnRequest) ([]*Switch, []float64, error) {
 // commit — see Switch.Admit), so concurrent setups hold no lock during the
 // bit-stream math and serialize only inside the short per-switch commit
 // sections they actually share.
-func (n *Network) Setup(req ConnRequest) (*Admission, error) {
-	return n.SetupContext(context.Background(), req)
+//
+// The context bounds the whole setup: the deadline is checked before each
+// hop's admission, and an expired context rolls every upstream reservation
+// back and returns the context error — a setup abandoned by its deadline
+// never leaves partial reservations behind. An admitted connection is
+// never evicted by a late cancellation: once the last hop commits, the
+// setup completes. Options attach a per-call trace sink and a rejection
+// retry budget; this is the one instrumented admission path — every other
+// entry point (wire, failover, planning) funnels through it.
+func (n *Network) Setup(ctx context.Context, req ConnRequest, opts ...SetupOption) (*Admission, error) {
+	var cfg setupConfig
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	tr := obs.Multi(n.getTracer(), cfg.tracer)
+
+	start := time.Now()
+	var adm *Admission
+	var err error
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		adm, err = n.setupOnce(ctx, req, tr)
+		if err == nil || attempt >= cfg.retryBudget ||
+			!errors.Is(err, ErrRejected) || ctx.Err() != nil {
+			retries = attempt
+			break
+		}
+	}
+	if tr != nil {
+		ev := obs.Event{
+			Kind:     obs.KindSetup,
+			Conn:     string(req.ID),
+			Hops:     len(req.Route),
+			Retries:  retries,
+			Duration: time.Since(start),
+		}
+		switch {
+		case err == nil:
+			ev.Outcome = obs.OutcomeAccepted
+		case errors.Is(err, ErrRejected):
+			ev.Outcome = obs.OutcomeRejected
+			ev.Code = ErrorCode(err)
+		default:
+			ev.Outcome = obs.OutcomeError
+			ev.Code = ErrorCode(err)
+		}
+		tr.Trace(ev)
+	}
+	return adm, err
 }
 
-// SetupContext is Setup bounded by a context: the deadline is checked
-// before each hop's admission, and an expired context rolls every
-// upstream reservation back and returns the context error — a setup
-// abandoned by its deadline never leaves partial reservations behind.
-// An admitted connection is never evicted by a late cancellation: once
-// the last hop commits, the setup completes.
+// SetupContext is the pre-options spelling of Setup.
+//
+// Deprecated: call Setup(ctx, req) directly; it accepts the same context
+// and adds functional options.
 func (n *Network) SetupContext(ctx context.Context, req ConnRequest) (*Admission, error) {
+	return n.Setup(ctx, req)
+}
+
+// setupOnce runs one full admission attempt: validation, link check, ID
+// reservation, hop-by-hop CAC, commit.
+func (n *Network) setupOnce(ctx context.Context, req ConnRequest, tr obs.Tracer) (*Admission, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
@@ -357,7 +465,7 @@ func (n *Network) SetupContext(ctx context.Context, req ConnRequest) (*Admission
 		return nil, err
 	}
 
-	adm, err := n.setupHops(ctx, req)
+	adm, err := n.setupHops(ctx, req, tr)
 	if err != nil {
 		n.abandonID(req.ID)
 		return nil, err
@@ -371,7 +479,7 @@ func (n *Network) SetupContext(ctx context.Context, req ConnRequest) (*Admission
 
 // setupHops runs the hop-by-hop admission with rollback; the caller has
 // reserved req.ID.
-func (n *Network) setupHops(ctx context.Context, req ConnRequest) (*Admission, error) {
+func (n *Network) setupHops(ctx context.Context, req ConnRequest, tr obs.Tracer) (*Admission, error) {
 	switches, guaranteed, err := n.resolveRoute(req)
 	if err != nil {
 		return nil, err
@@ -384,6 +492,7 @@ func (n *Network) setupHops(ctx context.Context, req ConnRequest) (*Admission, e
 			Bound:    e2eGuaranteed,
 			Limit:    req.DelayBound,
 			Reason:   "sum of per-hop guarantees exceeds the requested delay bound",
+			Kind:     CodeDelayBound,
 		}
 	}
 
@@ -396,6 +505,7 @@ func (n *Network) setupHops(ctx context.Context, req ConnRequest) (*Admission, e
 			return nil, fmt.Errorf("core: setup of %q abandoned at hop %d: %w", req.ID, i, err)
 		}
 		cdv := req.SourceCDV + n.policy.Accumulate(guaranteed[:i])
+		hopStart := time.Now()
 		res, err := sw.Admit(HopRequest{
 			Conn:     req.ID,
 			Spec:     req.Spec,
@@ -404,6 +514,27 @@ func (n *Network) setupHops(ctx context.Context, req ConnRequest) (*Admission, e
 			Priority: req.Priority,
 			CDV:      cdv,
 		})
+		if tr != nil {
+			ev := obs.Event{
+				Kind:     obs.KindHopCheck,
+				Conn:     string(req.ID),
+				Switch:   req.Route[i].Switch,
+				Duration: time.Since(hopStart),
+			}
+			if err != nil {
+				ev.Outcome = obs.OutcomeRejected
+				if !errors.Is(err, ErrRejected) {
+					ev.Outcome = obs.OutcomeError
+				}
+				ev.Code = ErrorCode(err)
+			} else {
+				// Slack is how far the computed bound D'(j,p) sat below
+				// the guarantee D(j,p) at admission, in cell times.
+				ev.Outcome = obs.OutcomeAccepted
+				ev.Slack = guaranteed[i] - res.Bounds[req.Priority]
+			}
+			tr.Trace(ev)
+		}
 		if err != nil {
 			// REJECT travels back upstream: release earlier hops.
 			for j := i - 1; j >= 0; j-- {
@@ -430,6 +561,25 @@ func (n *Network) setupHops(ctx context.Context, req ConnRequest) (*Admission, e
 
 // Teardown releases a connection at every hop of its route.
 func (n *Network) Teardown(id ConnID) error {
+	start := time.Now()
+	err := n.teardown(id)
+	if tr := n.getTracer(); tr != nil {
+		ev := obs.Event{
+			Kind:     obs.KindTeardown,
+			Conn:     string(id),
+			Outcome:  obs.OutcomeOK,
+			Duration: time.Since(start),
+		}
+		if err != nil {
+			ev.Outcome = obs.OutcomeError
+			ev.Code = ErrorCode(err)
+		}
+		tr.Trace(ev)
+	}
+	return err
+}
+
+func (n *Network) teardown(id ConnID) error {
 	n.connMu.Lock()
 	req, ok := n.admitted[id]
 	if ok {
@@ -515,6 +665,19 @@ func (n *Network) Install(req ConnRequest) error {
 // snapshot; admissions committing concurrently are seen entirely or not at
 // all per switch.
 func (n *Network) Audit() ([]Violation, error) {
+	start := time.Now()
+	violations, err := n.audit()
+	if tr := n.getTracer(); err == nil && tr != nil {
+		tr.Trace(obs.Event{
+			Kind:       obs.KindAudit,
+			Violations: len(violations),
+			Duration:   time.Since(start),
+		})
+	}
+	return violations, err
+}
+
+func (n *Network) audit() ([]Violation, error) {
 	n.switchMu.RLock()
 	switches := make([]*Switch, 0, len(n.switches))
 	for _, sw := range n.switches {
@@ -603,6 +766,7 @@ func (n *Network) AssignPriority(route Route, budget float64) (Priority, error) 
 			Limit:    budget,
 			Reason:   "no priority level's guarantee meets the requested budget",
 			Priority: 0,
+			Kind:     CodeNoPriority,
 		}
 	}
 	return best, nil

@@ -95,7 +95,7 @@ func TestSwitchLookup(t *testing.T) {
 
 func TestSetupTwoHops(t *testing.T) {
 	n, route := twoHopNetwork(t, HardCDV{})
-	adm, err := n.Setup(ConnRequest{
+	adm, err := n.Setup(context.Background(), ConnRequest{
 		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
 	})
 	if err != nil {
@@ -146,7 +146,7 @@ func TestSetupValidation(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if _, err := n.Setup(tt.req); !errors.Is(err, tt.want) {
+			if _, err := n.Setup(context.Background(), tt.req); !errors.Is(err, tt.want) {
 				t.Errorf("Setup error = %v, want %v", err, tt.want)
 			}
 		})
@@ -156,10 +156,10 @@ func TestSetupValidation(t *testing.T) {
 func TestSetupDuplicate(t *testing.T) {
 	n, route := twoHopNetwork(t, HardCDV{})
 	req := ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route}
-	if _, err := n.Setup(req); err != nil {
+	if _, err := n.Setup(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Setup(req); !errors.Is(err, ErrDuplicateConn) {
+	if _, err := n.Setup(context.Background(), req); !errors.Is(err, ErrDuplicateConn) {
 		t.Fatalf("duplicate Setup error = %v, want ErrDuplicateConn", err)
 	}
 }
@@ -168,7 +168,7 @@ func TestSetupEndToEndBudgetCheck(t *testing.T) {
 	n, route := twoHopNetwork(t, HardCDV{})
 	// Two 32-cell hops guarantee 64; a request for 50 must be refused
 	// before touching any switch.
-	_, err := n.Setup(ConnRequest{
+	_, err := n.Setup(context.Background(), ConnRequest{
 		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route, DelayBound: 50,
 	})
 	if !errors.Is(err, ErrRejected) {
@@ -179,7 +179,7 @@ func TestSetupEndToEndBudgetCheck(t *testing.T) {
 		t.Error("rejected setup left state at sw0")
 	}
 	// A request for exactly 64 passes.
-	if _, err := n.Setup(ConnRequest{
+	if _, err := n.Setup(context.Background(), ConnRequest{
 		ID: "c2", Spec: traffic.CBR(0.1), Priority: 1, Route: route, DelayBound: 64,
 	}); err != nil {
 		t.Fatal(err)
@@ -208,7 +208,7 @@ func TestSetupRollbackOnMidRouteRejection(t *testing.T) {
 		}
 	}
 	route := Route{{Switch: "sw0", In: 1, Out: 0}, {Switch: "sw1", In: 1, Out: 0}}
-	_, err := n.Setup(ConnRequest{ID: "c1", Spec: traffic.CBR(0.01), Priority: 1, Route: route})
+	_, err := n.Setup(context.Background(), ConnRequest{ID: "c1", Spec: traffic.CBR(0.01), Priority: 1, Route: route})
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("Setup error = %v, want ErrRejected", err)
 	}
@@ -223,7 +223,7 @@ func TestSetupRollbackOnMidRouteRejection(t *testing.T) {
 
 func TestTeardown(t *testing.T) {
 	n, route := twoHopNetwork(t, HardCDV{})
-	if _, err := n.Setup(ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route}); err != nil {
+	if _, err := n.Setup(context.Background(), ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route}); err != nil {
 		t.Fatal(err)
 	}
 	if err := n.Teardown("c1"); err != nil {
@@ -264,7 +264,7 @@ func TestCDVAccumulationAcrossHops(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	adm, err := n.Setup(ConnRequest{ID: "c1", Spec: traffic.VBR(0.5, 0.1, 8), Priority: 1, Route: route})
+	adm, err := n.Setup(context.Background(), ConnRequest{ID: "c1", Spec: traffic.VBR(0.5, 0.1, 8), Priority: 1, Route: route})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestSoftCDVAdmitsMoreThanHard(t *testing.T) {
 			route[i] = Hop{Switch: name, In: 1, Out: 0}
 		}
 		for c := 0; c < 6; c++ {
-			if _, err := n.Setup(ConnRequest{
+			if _, err := n.Setup(context.Background(), ConnRequest{
 				ID: ConnID(fmt.Sprintf("c%d", c)), Spec: traffic.CBR(0.01),
 				Priority: 1,
 				Route:    routeWithIn(route, PortID(c+1)),
@@ -401,7 +401,7 @@ func TestSetupAgreesWithInstallAudit(t *testing.T) {
 	n, route := twoHopNetwork(t, HardCDV{})
 	admitted := 0
 	for i := 0; i < 40; i++ {
-		_, err := n.Setup(ConnRequest{
+		_, err := n.Setup(context.Background(), ConnRequest{
 			ID: ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.VBR(0.2, 0.02, 4), Priority: 1,
 			Route: routeWithIn(route, PortID(i+1)),
 		})
@@ -427,10 +427,10 @@ func TestSetupAgreesWithInstallAudit(t *testing.T) {
 
 func TestRouteBound(t *testing.T) {
 	n, route := twoHopNetwork(t, HardCDV{})
-	if _, err := n.Setup(ConnRequest{ID: "c1", Spec: traffic.VBR(0.5, 0.05, 8), Priority: 1, Route: route}); err != nil {
+	if _, err := n.Setup(context.Background(), ConnRequest{ID: "c1", Spec: traffic.VBR(0.5, 0.05, 8), Priority: 1, Route: route}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Setup(ConnRequest{ID: "c2", Spec: traffic.VBR(0.5, 0.05, 8), Priority: 1,
+	if _, err := n.Setup(context.Background(), ConnRequest{ID: "c2", Spec: traffic.VBR(0.5, 0.05, 8), Priority: 1,
 		Route: routeWithIn(route, 2)}); err != nil {
 		t.Fatal(err)
 	}
@@ -458,7 +458,7 @@ func TestConcurrentSetupTeardown(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < 4; k++ {
 				id := ConnID(fmt.Sprintf("g%d-k%d", g, k))
-				_, err := n.Setup(ConnRequest{
+				_, err := n.Setup(context.Background(), ConnRequest{
 					ID: id, Spec: traffic.CBR(0.001), Priority: 1,
 					Route: routeWithIn(route, PortID(g+1)),
 				})
@@ -578,7 +578,7 @@ func TestSetupContextCancelledLeavesNoResidue(t *testing.T) {
 	}
 	// The same request goes through once the caller retries without the
 	// dead context.
-	if _, err := n.Setup(ConnRequest{
+	if _, err := n.Setup(context.Background(), ConnRequest{
 		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
 	}); err != nil {
 		t.Errorf("retry after abandonment: %v", err)

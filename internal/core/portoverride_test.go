@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -151,14 +152,14 @@ func TestPortOverrideFeedsCDV(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	base, err := n.Setup(ConnRequest{
+	base, err := n.Setup(context.Background(), ConnRequest{
 		ID: "via-base", Spec: traffic.CBR(0.01), Priority: 1,
 		Route: Route{{Switch: "sw0", In: 1, Out: 0}, {Switch: "sw1", In: 0, Out: 0}},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	override, err := n.Setup(ConnRequest{
+	override, err := n.Setup(context.Background(), ConnRequest{
 		ID: "via-override", Spec: traffic.CBR(0.01), Priority: 1,
 		Route: Route{{Switch: "sw0", In: 2, Out: 5}, {Switch: "sw1", In: 0, Out: 0}},
 	})

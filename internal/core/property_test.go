@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -100,7 +101,7 @@ func TestPropAdmittedPrefixPassesAudit(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range set.Specs {
-			_, err := n.Setup(ConnRequest{
+			_, err := n.Setup(context.Background(), ConnRequest{
 				ID:        ConnID(fmt.Sprintf("c%d", i)),
 				Spec:      set.Specs[i],
 				Priority:  1,
@@ -132,7 +133,7 @@ func TestPropTeardownRestoresBounds(t *testing.T) {
 		}
 		route := Route{{Switch: "sw", In: 1, Out: 0}}
 		for i := range set.Specs {
-			if _, err := n.Setup(ConnRequest{
+			if _, err := n.Setup(context.Background(), ConnRequest{
 				ID:        ConnID(fmt.Sprintf("c%d", i)),
 				Spec:      set.Specs[i],
 				Priority:  1,
@@ -150,7 +151,7 @@ func TestPropTeardownRestoresBounds(t *testing.T) {
 			Priority: 1,
 			Route:    Route{{Switch: "sw", In: 9, Out: 0}},
 		}
-		if _, err := n.Setup(extra); err != nil {
+		if _, err := n.Setup(context.Background(), extra); err != nil {
 			return errors.Is(err, ErrRejected)
 		}
 		if err := n.Teardown("extra"); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -84,7 +85,7 @@ func runScript(t testing.TB, n *Network, ops []stressOp, mustAdmit bool) (admitt
 	for _, op := range ops {
 		switch op.kind {
 		case "admit":
-			_, err := n.Setup(op.req)
+			_, err := n.Setup(context.Background(), op.req)
 			switch {
 			case err == nil:
 				live[op.req.ID] = true
@@ -288,7 +289,7 @@ func TestStressTightQueueNoLeaks(t *testing.T) {
 	// it and lands on the same bounds.
 	replay := stressTopology(t, nSwitches, 14)
 	for _, req := range n.AdmittedRequests() {
-		if _, err := replay.Setup(req); err != nil {
+		if _, err := replay.Setup(context.Background(), req); err != nil {
 			t.Fatalf("serial replay of surviving %q: %v", req.ID, err)
 		}
 	}
@@ -409,7 +410,7 @@ func TestStressDuplicateSetupRace(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := n.Setup(req)
+			_, err := n.Setup(context.Background(), req)
 			mu.Lock()
 			defer mu.Unlock()
 			switch {

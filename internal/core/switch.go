@@ -60,6 +60,10 @@ type RejectionError struct {
 	Bound    float64 // computed worst-case delay D'(j,p); +Inf if unstable
 	Limit    float64 // guaranteed bound D(j,p)
 	Reason   string
+	// Kind is the stable taxonomy code of this rejection flavor (one of
+	// CodeQueueUnstable, CodeQueueBudget, CodeDelayBound, CodeNoPriority);
+	// ErrorCode surfaces it through arbitrary wrapping.
+	Kind string
 }
 
 // Error implements error.
@@ -505,6 +509,7 @@ func (sw *Switch) checkState(st *switchState, req HopRequest, arr bitstream.Stre
 					Switch: sw.cfg.Name, Out: req.Out, Priority: p,
 					Bound: math.Inf(1), Limit: limit,
 					Reason: "queueing point would become unstable",
+					Kind:   CodeQueueUnstable,
 				}
 			}
 			return HopResult{}, err
@@ -514,6 +519,7 @@ func (sw *Switch) checkState(st *switchState, req HopRequest, arr bitstream.Stre
 				Switch: sw.cfg.Name, Out: req.Out, Priority: p,
 				Bound: d, Limit: limit,
 				Reason: "worst-case queueing delay exceeds the FIFO budget",
+				Kind:   CodeQueueBudget,
 			}
 		}
 		bounds[p] = d

@@ -14,6 +14,7 @@
 package failover
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -173,7 +174,7 @@ func (e *Engine) readmitOne(req core.ConnRequest, failedFrom int) Outcome {
 	backoff := e.opt.Backoff
 	for attempt := 1; ; attempt++ {
 		out.Attempts = attempt
-		_, err := e.net.Core().Setup(req)
+		_, err := e.net.Core().Setup(context.Background(), req)
 		if err == nil {
 			out.Readmitted = true
 			out.Route = route

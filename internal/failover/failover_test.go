@@ -1,6 +1,7 @@
 package failover
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func admitBroadcast(t *testing.T, n *rtnet.Network, load float64) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := n.Core().Setup(core.ConnRequest{
+		if _, err := n.Core().Setup(context.Background(), core.ConnRequest{
 			ID: rtnet.ConnectionID(origin, 0), Spec: traffic.CBR(pcr), Priority: 1, Route: route,
 		}); err != nil {
 			t.Fatalf("admit broadcast from %d: %v", origin, err)
@@ -102,7 +103,7 @@ func TestReadmitPreservesHardBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Core().Setup(core.ConnRequest{
+	if _, err := n.Core().Setup(context.Background(), core.ConnRequest{
 		ID: "tight", Spec: traffic.CBR(0.01), Priority: 1, Route: route, DelayBound: 200,
 	}); err != nil {
 		t.Fatal(err)
@@ -152,7 +153,7 @@ func TestReadmitRetrySucceedsWhenCapacityFrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Core().Setup(core.ConnRequest{
+	if _, err := n.Core().Setup(context.Background(), core.ConnRequest{
 		ID: "victim", Spec: traffic.CBR(0.2), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
@@ -160,7 +161,7 @@ func TestReadmitRetrySucceedsWhenCapacityFrees(t *testing.T) {
 	// Blocker: saturates the secondary output of ring05, which the wrapped
 	// route needs. 0.95 + 0.2 > 1 makes the queue unstable, a hard CAC
 	// rejection.
-	if _, err := n.Core().Setup(core.ConnRequest{
+	if _, err := n.Core().Setup(context.Background(), core.ConnRequest{
 		ID: "blocker", Spec: traffic.CBR(0.95), Priority: 1,
 		Route: core.Route{{Switch: rtnet.SwitchName(5), In: 1, Out: rtnet.SecondaryRingOutPort}},
 	}); err != nil {
@@ -244,7 +245,7 @@ func TestReadmitUnicast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Core().Setup(core.ConnRequest{
+	if _, err := n.Core().Setup(context.Background(), core.ConnRequest{
 		ID: "seg", Spec: traffic.CBR(0.05), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)

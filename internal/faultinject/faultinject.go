@@ -12,6 +12,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -124,7 +125,7 @@ func (h *Harness) Apply(ev Event) (Outcome, error) {
 			Route:      route,
 			DelayBound: ev.DelayBound,
 		}
-		_, out.Err = h.net.Core().Setup(req)
+		_, out.Err = h.net.Core().Setup(context.Background(), req)
 	case KindTeardown:
 		out.Err = h.net.Core().Teardown(ev.ID)
 	case KindFail:

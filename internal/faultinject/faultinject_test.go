@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -162,7 +163,7 @@ func TestInvariantsCatchPlantedViolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coreN.Setup(core.ConnRequest{
+	if _, err := coreN.Setup(context.Background(), core.ConnRequest{
 		ID: "delivery", Spec: traffic.CBR(0.01), Priority: 1, Route: seg,
 	}); err != nil {
 		t.Fatal(err)
@@ -191,7 +192,7 @@ func TestSetupRefusesFinalDeliveryOverDeadLink(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Network().Core().Setup(core.ConnRequest{
+	if _, err := h.Network().Core().Setup(context.Background(), core.ConnRequest{
 		ID: "delivery", Spec: traffic.CBR(0.01), Priority: 1, Route: seg,
 	}); !errors.Is(err, core.ErrLinkDown) {
 		t.Fatalf("setup delivering over dead link = %v, want ErrLinkDown", err)
@@ -219,7 +220,7 @@ func TestConcurrentChurnUnderFailures(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				_, err = n.Core().Setup(core.ConnRequest{
+				_, err = n.Core().Setup(context.Background(), core.ConnRequest{
 					ID: id, Spec: traffic.CBR(0.002), Priority: 1, Route: route,
 				})
 				if err != nil && !errors.Is(err, core.ErrRejected) && !errors.Is(err, core.ErrLinkDown) {

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"time"
 
 	"atmcac/internal/core"
 )
@@ -166,18 +167,31 @@ func ScanFile(fsys FS, path string) (ScanResult, error) {
 	return ScanBytes(data), nil
 }
 
+// AppendObserver receives the outcome of each Append: the time the whole
+// append took, the portion spent in fsync (zero outside sync mode), the
+// frame size in bytes, and the error (nil on success). The journal stays
+// free of any metrics dependency; the server's observability layer
+// installs an observer here and turns the callbacks into trace events.
+type AppendObserver func(total, syncDur time.Duration, bytes int, err error)
+
 // Log is an append-only journal file. Appends are not internally
 // synchronized: the server serializes them under its persistence mutex,
 // which also keeps the sequence numbers in file order.
 type Log struct {
-	fsys   FS
-	path   string
-	f      File
-	size   int64
-	count  int
-	next   uint64
-	broken bool
+	fsys    FS
+	path    string
+	f       File
+	size    int64
+	count   int
+	next    uint64
+	broken  bool
+	observe AppendObserver
 }
+
+// SetAppendObserver installs the per-append callback. It must be set
+// before appends start (the server wires it before Serve); nil disables
+// observation.
+func (l *Log) SetAppendObserver(fn AppendObserver) { l.observe = fn }
 
 // Open scans the journal at path, repairs a torn tail (the damaged file
 // is first copied to a fresh EvidencePath(path+".torn") so the bytes stay
@@ -249,7 +263,14 @@ func (l *Log) Path() string { return l.path }
 // have dropped the dirty pages while clearing its error state, so a later
 // successful fsync through the same handle would not prove the record
 // reached disk.
-func (l *Log) Append(rec *Record, sync bool) error {
+func (l *Log) Append(rec *Record, sync bool) (err error) {
+	var start time.Time
+	var syncDur time.Duration
+	frameLen := 0
+	if l.observe != nil {
+		start = time.Now()
+		defer func() { l.observe(time.Since(start), syncDur, frameLen, err) }()
+	}
 	if l.broken {
 		return ErrBroken
 	}
@@ -258,6 +279,7 @@ func (l *Log) Append(rec *Record, sync bool) error {
 	if err != nil {
 		return err
 	}
+	frameLen = len(frame)
 	// The sequence is burned even when the append fails: the frame may
 	// have reached the file despite the error, and a compaction watermark
 	// taken from LastSeq must cover every frame that could be on disk,
@@ -269,10 +291,18 @@ func (l *Log) Append(rec *Record, sync bool) error {
 		return fmt.Errorf("journal: append seq %d: %w", rec.Seq, err)
 	}
 	if sync {
-		if err := l.f.Sync(); err != nil {
+		var syncStart time.Time
+		if l.observe != nil {
+			syncStart = time.Now()
+		}
+		serr := l.f.Sync()
+		if l.observe != nil {
+			syncDur = time.Since(syncStart)
+		}
+		if serr != nil {
 			l.heal()
 			l.broken = true
-			return fmt.Errorf("journal: sync seq %d: %w", rec.Seq, err)
+			return fmt.Errorf("journal: sync seq %d: %w", rec.Seq, serr)
 		}
 	}
 	l.size += int64(len(frame))

@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind discriminates trace events.
+type Kind string
+
+// Event kinds. One event is emitted per admission-plane decision or
+// persistence step; the emitting layer fills only the fields its kind
+// documents.
+const (
+	// KindSetup is one end-to-end connection setup decision (core).
+	// Fields: Conn, Outcome, Code, Hops, Retries, Duration.
+	KindSetup Kind = "setup"
+	// KindHopCheck is one per-hop Algorithm 4.1 check (core).
+	// Fields: Conn, Switch, Outcome, Code, Duration, Slack (accepted only).
+	KindHopCheck Kind = "hop-check"
+	// KindTeardown is one connection release (core).
+	// Fields: Conn, Outcome, Code, Duration.
+	KindTeardown Kind = "teardown"
+	// KindFailLink is one link-failure eviction pass (core).
+	// Fields: Link, Evicted, Duration.
+	KindFailLink Kind = "fail-link"
+	// KindRestoreLink is one link repair (core). Fields: Link, Outcome.
+	KindRestoreLink Kind = "restore-link"
+	// KindReadmit is one evicted connection's crankback re-admission
+	// outcome after a link failure (wire). Fields: Conn, Outcome,
+	// Crankback (wrapped-route hops), Retries (setup attempts).
+	KindReadmit Kind = "readmit"
+	// KindAudit is one full network audit (core).
+	// Fields: Duration, Violations.
+	KindAudit Kind = "audit"
+	// KindRequest is one wire request (wire). Fields: Op, Outcome
+	// ("ok", "error" or "shed"), Code, Class (when classified), Duration.
+	KindRequest Kind = "request"
+	// KindShed is a request shed by overload control before any work
+	// (wire). Fields: Op, Class, Code ("overloaded-rate" or
+	// "overloaded-concurrency").
+	KindShed Kind = "shed"
+	// KindJournalAppend is one write-ahead journal append (journal, via
+	// wire). Fields: Outcome, Duration (whole append), SyncDuration
+	// (fsync share; zero outside journal-sync mode), Bytes.
+	KindJournalAppend Kind = "journal-append"
+	// KindCompaction is one journal fold-into-snapshot (wire).
+	// Fields: Outcome, Duration.
+	KindCompaction Kind = "compaction"
+	// KindSnapshot is one full snapshot rewrite in snapshot mode (wire).
+	// Fields: Outcome, Duration.
+	KindSnapshot Kind = "snapshot"
+	// KindReplay is the one recovery pass at boot (wire).
+	// Fields: Restored, Failed, Records (journal records past the
+	// watermark), Duration.
+	KindReplay Kind = "replay"
+)
+
+// Outcome values shared by event kinds.
+const (
+	OutcomeAccepted = "accepted"
+	OutcomeRejected = "rejected"
+	OutcomeError    = "error"
+	OutcomeOK       = "ok"
+	OutcomeShed     = "shed"
+)
+
+// Event is one structured trace record. Which fields are meaningful
+// depends on Kind (see the kind constants); unset fields are zero.
+type Event struct {
+	Kind    Kind
+	Conn    string // connection ID
+	Switch  string // hop switch name
+	Link    string // "from->to" for link events
+	Op      string // wire operation
+	Class   string // overload class
+	Outcome string // accepted | rejected | error | ok | shed
+	Code    string // stable error taxonomy code (empty on success)
+
+	Hops       int // route length of a setup
+	Crankback  int // wrapped-route hops of a re-admission
+	Retries    int // extra attempts beyond the first
+	Evicted    int // connections evicted by a fail-link
+	Violations int // audit violations found
+	Restored   int // recovery: connections re-admitted
+	Failed     int // recovery: connections no longer admissible
+	Records    int // recovery: journal records replayed
+
+	Duration     time.Duration // whole-operation latency
+	SyncDuration time.Duration // fsync share of a journal append
+	Slack        float64       // guarantee minus computed bound, cell times
+	Bytes        int64         // journal append frame size
+}
+
+// Tracer receives trace events. Implementations must be safe for
+// concurrent use and must not block: tracers run inline on the admission
+// path.
+type Tracer interface {
+	Trace(Event)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(Event)
+
+// Trace implements Tracer.
+func (f TracerFunc) Trace(ev Event) { f(ev) }
+
+// Multi fans one event out to several tracers, skipping nils. A nil or
+// empty result means "no tracing" and is represented as nil so emitters
+// can keep their fast-path nil check.
+func Multi(tracers ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
+
+type multiTracer []Tracer
+
+// Trace implements Tracer.
+func (m multiTracer) Trace(ev Event) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// MetricsTracer folds trace events into a Registry under the atmcac_*
+// naming convention. It is the single place events become metrics: core,
+// wire and journal all emit Events, and every counter the daemon exports
+// is derived here.
+type MetricsTracer struct {
+	reg *Registry
+
+	setups        map[string]*Counter // by outcome
+	rejections    map[string]*Counter // by code
+	teardowns     map[string]*Counter // by outcome
+	setupSeconds  *Histogram
+	hopSeconds    *Histogram
+	hopSlack      *Histogram
+	setupRetries  *Counter
+	faillinks     *Counter
+	evicted       *Counter
+	restorelinks  *Counter
+	readmitted    *Counter
+	readmitDown   *Counter
+	readmitTries  *Counter
+	crankbackHops *Counter
+	auditSeconds  *Histogram
+	auditViol     *Gauge
+	appendSeconds *Histogram
+	fsyncSeconds  *Histogram
+	appendBytes   *Counter
+	appendErrors  *Counter
+	compactions   map[string]*Counter // by outcome
+	compactSecs   *Histogram
+	snapshotSecs  *Histogram
+	snapshots     map[string]*Counter // by outcome
+
+	mu sync.Mutex // guards rejections (open code vocabulary)
+}
+
+// NewMetricsTracer returns a tracer writing into reg.
+func NewMetricsTracer(reg *Registry) *MetricsTracer {
+	t := &MetricsTracer{reg: reg}
+	t.setups = map[string]*Counter{
+		OutcomeAccepted: reg.Counter("atmcac_admission_setups_total", L("outcome", OutcomeAccepted)),
+		OutcomeRejected: reg.Counter("atmcac_admission_setups_total", L("outcome", OutcomeRejected)),
+		OutcomeError:    reg.Counter("atmcac_admission_setups_total", L("outcome", OutcomeError)),
+	}
+	reg.Help("atmcac_admission_setups_total", "End-to-end connection setup decisions by outcome.")
+	t.rejections = map[string]*Counter{}
+	reg.Help("atmcac_admission_rejections_total", "CAC rejections by stable taxonomy code.")
+	t.teardowns = map[string]*Counter{
+		OutcomeOK:    reg.Counter("atmcac_admission_teardowns_total", L("outcome", OutcomeOK)),
+		OutcomeError: reg.Counter("atmcac_admission_teardowns_total", L("outcome", OutcomeError)),
+	}
+	reg.Help("atmcac_admission_teardowns_total", "Connection releases by outcome.")
+	t.setupSeconds = reg.Histogram("atmcac_admission_setup_seconds", DefLatencyBuckets)
+	reg.Help("atmcac_admission_setup_seconds", "End-to-end setup latency (all outcomes).")
+	t.hopSeconds = reg.Histogram("atmcac_admission_hop_check_seconds", DefLatencyBuckets)
+	reg.Help("atmcac_admission_hop_check_seconds", "Per-hop Algorithm 4.1 check duration.")
+	t.hopSlack = reg.Histogram("atmcac_admission_hop_slack_cells", DefSlackBuckets)
+	reg.Help("atmcac_admission_hop_slack_cells", "Queueing-bound slack D(j,p)-D'(j,p) of accepted hops, cell times.")
+	t.setupRetries = reg.Counter("atmcac_admission_setup_retries_total")
+	reg.Help("atmcac_admission_setup_retries_total", "Whole-setup retries consumed from WithRetryBudget.")
+	t.faillinks = reg.Counter("atmcac_failover_faillink_total")
+	t.evicted = reg.Counter("atmcac_failover_evicted_total")
+	t.restorelinks = reg.Counter("atmcac_failover_restorelink_total")
+	t.readmitted = reg.Counter("atmcac_failover_readmitted_total")
+	t.readmitDown = reg.Counter("atmcac_failover_down_total")
+	reg.Help("atmcac_failover_down_total", "Evicted connections not re-admitted in degraded mode.")
+	t.readmitTries = reg.Counter("atmcac_failover_readmit_attempts_total")
+	t.crankbackHops = reg.Counter("atmcac_failover_crankback_hops_total")
+	reg.Help("atmcac_failover_crankback_hops_total", "Total wrapped-route hops traversed by re-admissions.")
+	t.auditSeconds = reg.Histogram("atmcac_audit_seconds", DefLatencyBuckets)
+	t.auditViol = reg.Gauge("atmcac_audit_violations")
+	reg.Help("atmcac_audit_violations", "Violations found by the most recent audit.")
+	t.appendSeconds = reg.Histogram("atmcac_journal_append_seconds", DefLatencyBuckets)
+	reg.Help("atmcac_journal_append_seconds", "Write-ahead journal append latency (including fsync share).")
+	t.fsyncSeconds = reg.Histogram("atmcac_journal_fsync_seconds", DefLatencyBuckets)
+	reg.Help("atmcac_journal_fsync_seconds", "fsync share of journal-sync appends.")
+	t.appendBytes = reg.Counter("atmcac_journal_append_bytes_total")
+	t.appendErrors = reg.Counter("atmcac_journal_append_errors_total")
+	t.compactions = map[string]*Counter{
+		OutcomeOK:    reg.Counter("atmcac_journal_compactions_total", L("outcome", OutcomeOK)),
+		OutcomeError: reg.Counter("atmcac_journal_compactions_total", L("outcome", OutcomeError)),
+	}
+	t.compactSecs = reg.Histogram("atmcac_journal_compaction_seconds", DefLatencyBuckets)
+	t.snapshotSecs = reg.Histogram("atmcac_persist_snapshot_seconds", DefLatencyBuckets)
+	t.snapshots = map[string]*Counter{
+		OutcomeOK:    reg.Counter("atmcac_persist_snapshots_total", L("outcome", OutcomeOK)),
+		OutcomeError: reg.Counter("atmcac_persist_snapshots_total", L("outcome", OutcomeError)),
+	}
+	return t
+}
+
+// Registry returns the backing registry.
+func (t *MetricsTracer) Registry() *Registry { return t.reg }
+
+// outcomeCounter resolves an outcome in a pre-seeded map, falling back to
+// the registry for vocabulary the seed did not anticipate.
+func (t *MetricsTracer) outcomeCounter(seeded map[string]*Counter, name, outcome string) *Counter {
+	if c, ok := seeded[outcome]; ok {
+		return c
+	}
+	return t.reg.Counter(name, L("outcome", outcome))
+}
+
+// Trace implements Tracer.
+func (t *MetricsTracer) Trace(ev Event) {
+	switch ev.Kind {
+	case KindSetup:
+		t.outcomeCounter(t.setups, "atmcac_admission_setups_total", ev.Outcome).Inc()
+		t.setupSeconds.Observe(ev.Duration.Seconds())
+		if ev.Outcome == OutcomeRejected {
+			code := ev.Code
+			if code == "" {
+				code = "rejected"
+			}
+			t.mu.Lock()
+			c, ok := t.rejections[code]
+			if !ok {
+				c = t.reg.Counter("atmcac_admission_rejections_total", L("code", code))
+				t.rejections[code] = c
+			}
+			t.mu.Unlock()
+			c.Inc()
+		}
+		t.setupRetries.Add(ev.Retries)
+	case KindHopCheck:
+		t.hopSeconds.Observe(ev.Duration.Seconds())
+		if ev.Outcome == OutcomeAccepted {
+			t.hopSlack.Observe(ev.Slack)
+		}
+	case KindTeardown:
+		t.outcomeCounter(t.teardowns, "atmcac_admission_teardowns_total", ev.Outcome).Inc()
+	case KindFailLink:
+		t.faillinks.Inc()
+		t.evicted.Add(ev.Evicted)
+	case KindRestoreLink:
+		t.restorelinks.Inc()
+	case KindReadmit:
+		t.readmitTries.Add(1 + ev.Retries)
+		if ev.Outcome == OutcomeAccepted {
+			t.readmitted.Inc()
+			t.crankbackHops.Add(ev.Crankback)
+		} else {
+			t.readmitDown.Inc()
+		}
+	case KindAudit:
+		t.auditSeconds.Observe(ev.Duration.Seconds())
+		t.auditViol.Set(float64(ev.Violations))
+	case KindRequest:
+		t.reg.Counter("atmcac_requests_total", L("op", ev.Op), L("outcome", ev.Outcome)).Inc()
+		t.reg.Histogram("atmcac_request_seconds", DefLatencyBuckets, L("op", ev.Op)).Observe(ev.Duration.Seconds())
+	case KindShed:
+		t.reg.Counter("atmcac_overload_shed_total", L("class", ev.Class)).Inc()
+	case KindJournalAppend:
+		if ev.Outcome == OutcomeError {
+			t.appendErrors.Inc()
+			return
+		}
+		t.appendSeconds.Observe(ev.Duration.Seconds())
+		if ev.SyncDuration > 0 {
+			t.fsyncSeconds.Observe(ev.SyncDuration.Seconds())
+		}
+		t.appendBytes.Add(int(ev.Bytes))
+	case KindCompaction:
+		t.outcomeCounter(t.compactions, "atmcac_journal_compactions_total", ev.Outcome).Inc()
+		if ev.Outcome == OutcomeOK {
+			t.compactSecs.Observe(ev.Duration.Seconds())
+		}
+	case KindSnapshot:
+		t.outcomeCounter(t.snapshots, "atmcac_persist_snapshots_total", ev.Outcome).Inc()
+		if ev.Outcome == OutcomeOK {
+			t.snapshotSecs.Observe(ev.Duration.Seconds())
+		}
+	case KindReplay:
+		t.reg.Counter("atmcac_recovery_restored_total").Add(ev.Restored)
+		t.reg.Counter("atmcac_recovery_failed_total").Add(ev.Failed)
+		t.reg.Counter("atmcac_recovery_journal_records_total").Add(ev.Records)
+	}
+}

@@ -184,6 +184,24 @@ func (l *Limiter) Stats() Stats {
 	return st
 }
 
+// TokensNow advances the bucket to the current time and returns the
+// token level — a scrape-time gauge for the observability layer. With no
+// rate configured it returns 0.
+func (l *Limiter) TokensNow() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked(l.cfg.Now())
+	return l.tokens
+}
+
+// InFlight returns the number of admitted non-recovery requests currently
+// executing.
+func (l *Limiter) InFlight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
 // HighPriorityFloor returns the number of high-priority setups a full
 // bucket admits even under the most adversarial concurrent arrival
 // order: read and low-priority traffic cannot drain the bucket below the

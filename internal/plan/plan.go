@@ -9,6 +9,7 @@
 package plan
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -263,7 +264,7 @@ func runSetup(network *core.Network, c ConnectionSpec, spec traffic.Spec,
 		}
 		prio = assigned
 	}
-	adm, err := network.Setup(core.ConnRequest{
+	adm, err := network.Setup(context.Background(), core.ConnRequest{
 		ID:         core.ConnID(c.ID),
 		Spec:       spec,
 		Priority:   prio,

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -143,7 +144,7 @@ func TestBuildNetworkAndAdmitAcrossTree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, err = n.Setup(core.ConnRequest{
+		_, err = n.Setup(context.Background(), core.ConnRequest{
 			ID:   core.ConnID(fmt.Sprintf("c%d", i)),
 			Spec: traffic.VBR(0.4, 0.01, 8), Priority: 1, Route: route,
 		})

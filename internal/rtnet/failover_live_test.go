@@ -1,6 +1,7 @@
 package rtnet
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestWrappedRoutesThroughLiveSetup(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		adm, err := n.Core().Setup(core.ConnRequest{
+		adm, err := n.Core().Setup(context.Background(), core.ConnRequest{
 			ID: ConnectionID(origin, 0), Spec: traffic.CBR(pcr), Priority: 1, Route: route,
 		})
 		if err != nil {
@@ -59,7 +60,7 @@ func TestWrappedRoutesThroughLiveSetup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Core().Setup(core.ConnRequest{
+	if _, err := n.Core().Setup(context.Background(), core.ConnRequest{
 		ID: "refused", Spec: traffic.CBR(pcr), Priority: 1, Route: route,
 	}); !errors.Is(err, core.ErrLinkDown) {
 		t.Fatalf("healthy-route setup over failed link = %v, want ErrLinkDown", err)
@@ -90,7 +91,7 @@ func TestWrappedTeardownIdempotent(t *testing.T) {
 	if twice == 0 {
 		t.Fatalf("wrapped route %v never revisits a switch", route)
 	}
-	if _, err := n.Core().Setup(core.ConnRequest{
+	if _, err := n.Core().Setup(context.Background(), core.ConnRequest{
 		ID: "wrap", Spec: traffic.CBR(0.01), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
@@ -127,7 +128,7 @@ func TestFailPrimaryLinkEvictsFinalDelivery(t *testing.T) {
 	n := newRTnet(t, Config{RingNodes: 6})
 	setup := func(id string, route core.Route) {
 		t.Helper()
-		if _, err := n.Core().Setup(core.ConnRequest{
+		if _, err := n.Core().Setup(context.Background(), core.ConnRequest{
 			ID: core.ConnID(id), Spec: traffic.CBR(0.01), Priority: 1, Route: route,
 		}); err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package rtnet
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -170,11 +171,11 @@ func TestWrapLengthensGuarantees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = n.Core().Setup(coreConnRequest("tight-wrapped", wrappedRoute, budget))
+	_, err = n.Core().Setup(context.Background(), coreConnRequest("tight-wrapped", wrappedRoute, budget))
 	if err == nil {
 		t.Error("high-speed budget admitted over the longest wrapped route")
 	}
-	if _, err := n.Core().Setup(coreConnRequest("tight-healthy", healthyRoute, budget)); err != nil {
+	if _, err := n.Core().Setup(context.Background(), coreConnRequest("tight-healthy", healthyRoute, budget)); err != nil {
 		t.Errorf("high-speed budget rejected on the healthy route: %v", err)
 	}
 }

@@ -326,7 +326,7 @@ func TestSignalingMatchesSequentialSetup(t *testing.T) {
 	if _, err := f.Connect(testCtx(t), bg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Setup(bg); err != nil {
+	if _, err := n.Setup(context.Background(), bg); err != nil {
 		t.Fatal(err)
 	}
 	probe := core.ConnRequest{ID: "probe", Spec: traffic.VBR(0.3, 0.05, 4), Priority: 1, Route: route}
@@ -334,7 +334,7 @@ func TestSignalingMatchesSequentialSetup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := n.Setup(probe)
+	want, err := n.Setup(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}

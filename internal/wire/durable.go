@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -269,7 +270,7 @@ func (d *Durable) Recover(network *core.Network) (*RecoveryReport, error) {
 		rep.FailedLinks = append(rep.FailedLinks, l)
 	}
 	for _, req := range final.Requests {
-		if _, err := network.Setup(req); err != nil {
+		if _, err := network.Setup(context.Background(), req); err != nil {
 			rep.Failed = append(rep.Failed, RestoreFailure{ID: req.ID, Err: err})
 			continue
 		}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -613,7 +614,7 @@ func BenchmarkPersistSetup(b *testing.B) {
 			r := append(core.Route(nil), route...)
 			r[0].In = core.PortID(i + 1)
 			r[1].In = core.PortID(i + 1)
-			if _, err := n.Setup(core.ConnRequest{
+			if _, err := n.Setup(context.Background(), core.ConnRequest{
 				ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.0001),
 				Priority: 1, Route: r,
 			}); err != nil {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 
 	"atmcac/internal/core"
 	"atmcac/internal/journal"
+	"atmcac/internal/obs"
 )
 
 // checksumPrefix introduces the integrity trailer of a snapshot file:
@@ -227,7 +229,7 @@ func Restore(network *core.Network, store *StateStore) (restored int, failed []R
 		return 0, nil, warning, err
 	}
 	for _, req := range reqs {
-		if _, err := network.Setup(req); err != nil {
+		if _, err := network.Setup(context.Background(), req); err != nil {
 			failed = append(failed, RestoreFailure{ID: req.ID, Err: err})
 			continue
 		}
@@ -285,7 +287,33 @@ func (s *Server) snapshot() error {
 //
 // The caller holds persistMu. A Reset failure after a successful save is
 // reported as errJournalReset (see there).
+//
+// Each run is traced: KindCompaction in the journaled modes (the fold-in
+// is what bounds replay time), KindSnapshot in snapshot mode (the full
+// rewrite is the per-op persistence cost).
 func (s *Server) compactLocked() error {
+	tr := s.tracer
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
+	err := s.writeSnapshotLocked()
+	if tr != nil {
+		kind := obs.KindSnapshot
+		if s.dur.journaled() {
+			kind = obs.KindCompaction
+		}
+		ev := obs.Event{Kind: kind, Outcome: obs.OutcomeOK, Duration: time.Since(start)}
+		if err != nil {
+			ev.Outcome = obs.OutcomeError
+		}
+		tr.Trace(ev)
+	}
+	return err
+}
+
+// writeSnapshotLocked is the untraced body of compactLocked.
+func (s *Server) writeSnapshotLocked() error {
 	var st PersistentState
 	if s.dur.journaled() {
 		st.Connections, st.FailedLinks = s.dur.viewState()

@@ -224,7 +224,7 @@ func TestRestoreReestablishesConnections(t *testing.T) {
 		for h := range r {
 			r[h].In = core.PortID(i + 1)
 		}
-		if _, err := n1.Setup(core.ConnRequest{
+		if _, err := n1.Setup(context.Background(), core.ConnRequest{
 			ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.01),
 			Priority: 1, Route: r,
 		}); err != nil {

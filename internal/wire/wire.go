@@ -25,6 +25,7 @@ import (
 
 	"atmcac/internal/bitstream"
 	"atmcac/internal/core"
+	"atmcac/internal/obs"
 	"atmcac/internal/overload"
 )
 
@@ -48,6 +49,25 @@ const (
 
 // MaxLineBytes caps the size of one protocol line.
 const MaxLineBytes = 1 << 20
+
+// Wire-level error codes. Together with the core admission taxonomy
+// (core.ErrorCode) they form the stable machine-readable vocabulary of
+// the response code field: core codes name why the admission plane said
+// no, these name conditions only the transport or persistence layer can
+// produce. docs/PROTOCOL.md lists the full vocabulary.
+const (
+	// CodeNotDurable marks a setup or teardown refused (and rolled back)
+	// because its journal record could not be written before the ack.
+	CodeNotDurable = "not-durable"
+	// CodeOverloadedRate and CodeOverloadedConcurrency mark requests shed
+	// by overload control before any work was done.
+	CodeOverloadedRate        = "overloaded-rate"
+	CodeOverloadedConcurrency = "overloaded-concurrency"
+	// CodeProtocol marks a request the server could not parse.
+	CodeProtocol = "protocol"
+	// CodeUnknownOp marks a well-formed request naming no operation.
+	CodeUnknownOp = "unknown-op"
+)
 
 // idLockStripes sizes the per-connection-ID lock pool; see Server.idLocks.
 const idLockStripes = 64
@@ -80,6 +100,40 @@ func (e *OverloadError) Error() string {
 // Unwrap lets errors.Is(err, ErrOverloaded) match.
 func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
+// RemoteError is a typed server error response. Op names the operation,
+// Code carries the server's stable machine-readable code field, Msg the
+// human-readable message. It renders exactly like the untyped errors it
+// replaced — "wire: <op>: <msg>", or the core rejection wrapping for CAC
+// rejections — so string matchers and errors.Is(err, core.ErrRejected)
+// keep working, while errors.As gives programmatic access to the code.
+type RemoteError struct {
+	Op       string
+	Code     string
+	Msg      string
+	rejected bool
+}
+
+// Error renders the server message under the operation it answered.
+func (e *RemoteError) Error() string {
+	if e.rejected {
+		return fmt.Sprintf("%v: %s", core.ErrRejected, e.Msg)
+	}
+	return fmt.Sprintf("wire: %s: %s", e.Op, e.Msg)
+}
+
+// Unwrap lets CAC rejections match errors.Is(err, core.ErrRejected).
+func (e *RemoteError) Unwrap() error {
+	if e.rejected {
+		return core.ErrRejected
+	}
+	return nil
+}
+
+// remoteErr lifts a failed response into the typed client error.
+func remoteErr(op string, resp Response) error {
+	return &RemoteError{Op: op, Code: resp.Code, Msg: resp.Error, rejected: resp.Rejected}
+}
+
 // Request is a client request.
 type Request struct {
 	Op string `json:"op"`
@@ -107,6 +161,9 @@ type ReadmitOutcome struct {
 	ID         core.ConnID `json:"id"`
 	Readmitted bool        `json:"readmitted"`
 	Attempts   int         `json:"attempts,omitempty"`
+	// Hops is the wrapped-route length the connection was re-admitted
+	// over — the crankback cost of surviving the failure.
+	Hops int `json:"hops,omitempty"`
 	// Error preserves the rejection reason for connections that stayed
 	// down — degradation is reported, never silent.
 	Error string `json:"error,omitempty"`
@@ -129,6 +186,12 @@ type HealthReport struct {
 	// overload control is configured — visible while an overload
 	// happens, because health is never shed.
 	Overload *overload.Stats `json:"overload,omitempty"`
+	// Metrics is a flat snapshot of the server's metrics registry (see
+	// SetObservability): counter and gauge values keyed by metric name
+	// plus canonical labels, histograms reduced to _count and _sum. It
+	// lets cacctl read the counters over the CAC protocol itself when no
+	// scrape endpoint is exposed.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // PortReport describes the state of one (switch, output port, priority)
@@ -164,6 +227,11 @@ type Response struct {
 	// from operational errors.
 	Error    string `json:"error,omitempty"`
 	Rejected bool   `json:"rejected,omitempty"`
+	// Code is the stable machine-readable form of Error: a core admission
+	// taxonomy code (core.ErrorCode) or a wire-level code (CodeNotDurable,
+	// CodeOverloadedRate, ...). Empty on success. Clients surface it
+	// through RemoteError.
+	Code string `json:"code,omitempty"`
 	// Admission reports a successful setup.
 	Admission *Admission `json:"admission,omitempty"`
 	// Connections reports a list result.
@@ -217,6 +285,12 @@ type Server struct {
 	// ioTimeout bounds each read of a request line and write of a
 	// response; zero means no deadline.
 	ioTimeout time.Duration
+	// reg and tracer are the observability attachments (SetObservability):
+	// reg answers scrape-time gauge reads and health metric snapshots,
+	// tracer receives one event per request, persistence step and
+	// re-admission. Both are set before Serve and never mutated after.
+	reg    *obs.Registry
+	tracer obs.Tracer
 
 	// persistMu makes each state snapshot (capture + write) atomic, so
 	// concurrent operations cannot write their captures out of order, and
@@ -279,6 +353,69 @@ func (s *Server) SetIOTimeout(d time.Duration) { s.ioTimeout = d }
 // SetLimiter installs control-plane overload protection. Must be called
 // before Serve; nil disables shedding.
 func (s *Server) SetLimiter(l *overload.Limiter) { s.limiter = l }
+
+// SetObservability attaches the metrics registry and trace sink. The
+// tracer is installed on the network (admission events) and on the
+// journal (append latency), and receives every wire-level event —
+// requests, sheds, compactions, snapshots, re-admissions. The registry
+// gains scrape-time gauges over the live server state: admitted
+// connections, failed links, journal size, limiter tokens and in-flight
+// count. Must be called before Serve and after SetLimiter/SetDurable, so
+// the gauges see the final configuration; either argument may be nil.
+func (s *Server) SetObservability(reg *obs.Registry, tracer obs.Tracer) {
+	s.reg = reg
+	s.tracer = tracer
+	if tracer != nil {
+		s.network.SetTracer(tracer)
+		if s.dur != nil && s.dur.log != nil {
+			s.dur.log.SetAppendObserver(func(total, syncDur time.Duration, bytes int, err error) {
+				ev := obs.Event{
+					Kind:         obs.KindJournalAppend,
+					Outcome:      obs.OutcomeOK,
+					Duration:     total,
+					SyncDuration: syncDur,
+					Bytes:        int64(bytes),
+				}
+				if err != nil {
+					ev.Outcome = obs.OutcomeError
+					ev.Code = CodeNotDurable
+				}
+				tracer.Trace(ev)
+			})
+		}
+	}
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("atmcac_admission_connections", func() float64 {
+		return float64(len(s.network.Connections()))
+	})
+	reg.Help("atmcac_admission_connections", "Currently admitted connections.")
+	reg.GaugeFunc("atmcac_failover_links_down", func() float64 {
+		return float64(len(s.network.FailedLinks()))
+	})
+	reg.Help("atmcac_failover_links_down", "Links currently marked failed.")
+	if s.dur != nil && s.dur.log != nil {
+		reg.GaugeFunc("atmcac_journal_size_bytes", func() float64 {
+			s.persistMu.Lock()
+			defer s.persistMu.Unlock()
+			return float64(s.dur.log.Size())
+		})
+		reg.Help("atmcac_journal_size_bytes", "Write-ahead journal length since the last compaction.")
+		reg.GaugeFunc("atmcac_journal_records", func() float64 {
+			s.persistMu.Lock()
+			defer s.persistMu.Unlock()
+			return float64(s.dur.log.Count())
+		})
+		reg.Help("atmcac_journal_records", "Journal records since the last compaction.")
+	}
+	if s.limiter != nil {
+		reg.GaugeFunc("atmcac_overload_tokens", func() float64 { return s.limiter.TokensNow() })
+		reg.Help("atmcac_overload_tokens", "Token-bucket level of the overload limiter.")
+		reg.GaugeFunc("atmcac_overload_inflight", func() float64 { return float64(s.limiter.InFlight()) })
+		reg.Help("atmcac_overload_inflight", "Admitted non-recovery requests currently executing.")
+	}
+}
 
 // Classify maps a request to its shedding class: teardown, fail-link,
 // restore-link and health are recovery (never shed — the control plane
@@ -436,7 +573,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			// An oversized line gets an explicit protocol error before the
 			// connection closes — never a silent truncation or hang.
 			if errors.Is(scanner.Err(), bufio.ErrTooLong) {
-				_ = enc.Encode(Response{Error: fmt.Sprintf("request too large: line exceeds %d bytes", MaxLineBytes)})
+				_ = enc.Encode(Response{
+					Error: fmt.Sprintf("request too large: line exceeds %d bytes", MaxLineBytes),
+					Code:  CodeProtocol,
+				})
 			}
 			return
 		}
@@ -444,6 +584,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		resp := Response{}
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
 			resp.Error = fmt.Sprintf("malformed request: %v", err)
+			resp.Code = CodeProtocol
 		} else {
 			resp = s.dispatch(req)
 		}
@@ -462,13 +603,29 @@ func (s *Server) serveConn(conn net.Conn) {
 // deadline, then handle. Shedding happens before any network state is
 // touched, so a shed setup is never half-admitted.
 func (s *Server) dispatch(req Request) Response {
+	tr := s.tracer
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
+	className := ""
 	if s.limiter != nil {
 		class := Classify(req)
+		className = class.String()
 		d, release := s.limiter.Acquire(class)
 		if !d.Admitted {
+			code := "overloaded-" + d.Reason
+			if tr != nil {
+				tr.Trace(obs.Event{Kind: obs.KindShed, Op: req.Op, Class: className, Code: code})
+				tr.Trace(obs.Event{
+					Kind: obs.KindRequest, Op: req.Op, Class: className,
+					Outcome: obs.OutcomeShed, Code: code, Duration: time.Since(start),
+				})
+			}
 			return Response{
 				Error: fmt.Sprintf("overloaded: %s request shed (%s limit)",
 					class, d.Reason),
+				Code:             code,
 				Overloaded:       true,
 				RetryAfterMillis: int64(d.RetryAfter / time.Millisecond),
 			}
@@ -481,7 +638,18 @@ func (s *Server) dispatch(req Request) Response {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
 		defer cancel()
 	}
-	return s.handle(ctx, req)
+	resp := s.handle(ctx, req)
+	if tr != nil {
+		outcome := obs.OutcomeOK
+		if !resp.OK {
+			outcome = obs.OutcomeError
+		}
+		tr.Trace(obs.Event{
+			Kind: obs.KindRequest, Op: req.Op, Class: className,
+			Outcome: outcome, Code: resp.Code, Duration: time.Since(start),
+		})
+	}
+	return resp
 }
 
 // idLock returns the stripe serializing mutations of one connection ID
@@ -500,16 +668,20 @@ func (s *Server) idLock(id core.ConnID) *sync.Mutex {
 // cannot journal in the opposite order of the in-memory mutations.
 func (s *Server) handleSetup(ctx context.Context, req Request) Response {
 	if req.Request == nil {
-		return Response{Error: "setup requires a request body"}
+		return Response{Error: "setup requires a request body", Code: CodeProtocol}
 	}
 	s.opMu.RLock()
 	defer s.opMu.RUnlock()
 	lock := s.idLock(req.Request.ID)
 	lock.Lock()
 	defer lock.Unlock()
-	adm, err := s.network.SetupContext(ctx, *req.Request)
+	adm, err := s.network.Setup(ctx, *req.Request)
 	if err != nil {
-		return Response{Error: err.Error(), Rejected: errors.Is(err, core.ErrRejected)}
+		return Response{
+			Error:    err.Error(),
+			Rejected: errors.Is(err, core.ErrRejected),
+			Code:     core.ErrorCode(err),
+		}
 	}
 	if s.testHookPreAppend != nil {
 		s.testHookPreAppend(OpSetup, adm.ID)
@@ -520,7 +692,7 @@ func (s *Server) handleSetup(ctx context.Context, req Request) Response {
 		// erased by a crash. Roll the in-memory admission back and
 		// refuse: the client knows the setup did not happen.
 		_ = s.network.Teardown(adm.ID)
-		return Response{Error: fmt.Sprintf("setup %q not durable: %v", adm.ID, perr)}
+		return Response{Error: fmt.Sprintf("setup %q not durable: %v", adm.ID, perr), Code: CodeNotDurable}
 	}
 	return Response{OK: true, Warning: warning, Admission: &Admission{
 		ID:                 adm.ID,
@@ -541,7 +713,7 @@ func (s *Server) handleTeardown(req Request) Response {
 	defer lock.Unlock()
 	undo, known := s.network.AdmittedRequest(req.ID)
 	if err := s.network.Teardown(req.ID); err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: core.ErrorCode(err)}
 	}
 	if s.testHookPreAppend != nil {
 		s.testHookPreAppend(OpTeardown, req.ID)
@@ -553,11 +725,11 @@ func (s *Server) handleTeardown(req Request) Response {
 		// succeeds unless a concurrent setup raced it away).
 		msg := fmt.Sprintf("teardown %q not durable: %v", req.ID, perr)
 		if known {
-			if _, rerr := s.network.Setup(undo); rerr != nil {
+			if _, rerr := s.network.Setup(context.Background(), undo); rerr != nil {
 				msg = fmt.Sprintf("%s (rollback failed: %v)", msg, rerr)
 			}
 		}
-		return Response{Error: msg}
+		return Response{Error: msg, Code: CodeNotDurable}
 	}
 	return Response{OK: true, Warning: warning}
 }
@@ -572,7 +744,7 @@ func (s *Server) handleFailLink(req Request) Response {
 	defer s.opMu.Unlock()
 	evicted, err := s.network.FailLink(req.From, req.To)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: core.ErrorCode(err)}
 	}
 	report := &FailoverReport{Link: core.Link{From: req.From, To: req.To}}
 	if s.failover != nil {
@@ -582,6 +754,21 @@ func (s *Server) handleFailLink(req Request) Response {
 			report.Outcomes = append(report.Outcomes, ReadmitOutcome{
 				ID: r.ID, Error: "no failover handler configured",
 			})
+		}
+	}
+	if tr := s.tracer; tr != nil {
+		for _, o := range report.Outcomes {
+			ev := obs.Event{Kind: obs.KindReadmit, Conn: string(o.ID)}
+			if o.Attempts > 0 {
+				ev.Retries = o.Attempts - 1
+			}
+			if o.Readmitted {
+				ev.Outcome = obs.OutcomeAccepted
+				ev.Crankback = o.Hops
+			} else {
+				ev.Outcome = obs.OutcomeRejected
+			}
+			tr.Trace(ev)
 		}
 	}
 	// The journal record carries what the failure did to the admitted
@@ -609,7 +796,7 @@ func (s *Server) handleRestoreLink(req Request) Response {
 	s.opMu.Lock()
 	defer s.opMu.Unlock()
 	if err := s.network.RestoreLink(req.From, req.To); err != nil {
-		return Response{Error: err.Error()}
+		return Response{Error: err.Error(), Code: core.ErrorCode(err)}
 	}
 	return Response{OK: true, Warning: s.persistRestoreLink(req.From, req.To)}
 }
@@ -625,19 +812,19 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 	case OpBound:
 		d, err := s.network.RouteBound(req.Route, req.Priority)
 		if err != nil {
-			return Response{Error: err.Error()}
+			return Response{Error: err.Error(), Code: core.ErrorCode(err)}
 		}
 		return Response{OK: true, Bound: d}
 	case OpInspect:
 		ports, err := s.inspect(req.Switch)
 		if err != nil {
-			return Response{Error: err.Error()}
+			return Response{Error: err.Error(), Code: core.ErrorCode(err)}
 		}
 		return Response{OK: true, Ports: ports}
 	case OpAudit:
 		violations, err := s.network.Audit()
 		if err != nil {
-			return Response{Error: err.Error()}
+			return Response{Error: err.Error(), Code: core.ErrorCode(err)}
 		}
 		reports := make([]ViolationReport, 0, len(violations))
 		for _, v := range violations {
@@ -654,7 +841,7 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 	case OpHealth:
 		violations, err := s.network.Audit()
 		if err != nil {
-			return Response{Error: err.Error()}
+			return Response{Error: err.Error(), Code: core.ErrorCode(err)}
 		}
 		s.mu.Lock()
 		draining := s.draining
@@ -669,9 +856,12 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 			st := s.limiter.Stats()
 			health.Overload = &st
 		}
+		if s.reg != nil {
+			health.Metrics = s.reg.Snapshot()
+		}
 		return Response{OK: true, Health: health}
 	default:
-		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op), Code: CodeUnknownOp}
 	}
 }
 
@@ -832,10 +1022,7 @@ func (c *Client) SetupContext(ctx context.Context, req core.ConnRequest) (*Admis
 		return nil, err
 	}
 	if !resp.OK {
-		if resp.Rejected {
-			return nil, fmt.Errorf("%w: %s", core.ErrRejected, resp.Error)
-		}
-		return nil, fmt.Errorf("wire: setup: %s", resp.Error)
+		return nil, remoteErr("setup", resp)
 	}
 	if resp.Admission == nil {
 		return nil, fmt.Errorf("%w: setup response without admission", ErrProtocol)
@@ -879,7 +1066,7 @@ func (c *Client) TeardownContext(ctx context.Context, id core.ConnID) error {
 		return err
 	}
 	if !resp.OK {
-		return fmt.Errorf("wire: teardown: %s", resp.Error)
+		return remoteErr("teardown", resp)
 	}
 	return nil
 }
@@ -891,7 +1078,7 @@ func (c *Client) List() ([]core.ConnID, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("wire: list: %s", resp.Error)
+		return nil, remoteErr("list", resp)
 	}
 	return resp.Connections, nil
 }
@@ -903,7 +1090,7 @@ func (c *Client) RouteBound(route core.Route, p core.Priority) (float64, error) 
 		return 0, err
 	}
 	if !resp.OK {
-		return 0, fmt.Errorf("wire: bound: %s", resp.Error)
+		return 0, remoteErr("bound", resp)
 	}
 	return resp.Bound, nil
 }
@@ -916,7 +1103,7 @@ func (c *Client) Audit() ([]ViolationReport, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("wire: audit: %s", resp.Error)
+		return nil, remoteErr("audit", resp)
 	}
 	return resp.Violations, nil
 }
@@ -930,7 +1117,7 @@ func (c *Client) Inspect(switchName string) ([]PortReport, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("wire: inspect: %s", resp.Error)
+		return nil, remoteErr("inspect", resp)
 	}
 	return resp.Ports, nil
 }
@@ -944,7 +1131,7 @@ func (c *Client) FailLink(from, to string) (*FailoverReport, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("wire: fail-link: %s", resp.Error)
+		return nil, remoteErr("fail-link", resp)
 	}
 	if resp.Failover == nil {
 		return nil, fmt.Errorf("%w: fail-link response without report", ErrProtocol)
@@ -959,7 +1146,7 @@ func (c *Client) RestoreLink(from, to string) error {
 		return err
 	}
 	if !resp.OK {
-		return fmt.Errorf("wire: restore-link: %s", resp.Error)
+		return remoteErr("restore-link", resp)
 	}
 	return nil
 }
@@ -971,7 +1158,7 @@ func (c *Client) Health() (*HealthReport, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("wire: health: %s", resp.Error)
+		return nil, remoteErr("health", resp)
 	}
 	if resp.Health == nil {
 		return nil, fmt.Errorf("%w: health response without report", ErrProtocol)

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Runs the perf-trajectory benchmarks (parallel admission throughput and
+# per-admission persistence cost) and writes one JSON point for the
+# BENCH_<pr>.json series. CI runs it as a smoke test; a committed
+# BENCH_*.json records the machine it was measured on.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+out="${1:-BENCH_5.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench '^BenchmarkParallelAdmit$' -benchmem . | tee -a "$tmp"
+go test -run '^$' -bench '^BenchmarkPersistSetup$' -benchmem ./internal/wire/ | tee -a "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN      { n = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { $1 = ""; sub(/^ /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    benches[n] = name; iters[n] = $2; ns[n] = $3
+    bytes[n] = "null"; allocs[n] = "null"
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "B/op") bytes[n] = $i
+        if ($(i+1) == "allocs/op") allocs[n] = $i
+    }
+    n++
+}
+END {
+    printf "{\n"
+    printf "  \"timestamp\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++)
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            benches[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
