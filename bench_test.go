@@ -10,7 +10,10 @@ import (
 	"atmcac"
 	"atmcac/internal/ablation"
 	"atmcac/internal/experiments"
+	"atmcac/internal/routing"
 	"atmcac/internal/sim"
+	"atmcac/internal/topology"
+	"atmcac/internal/workload"
 )
 
 // ---------------------------------------------------------------------------
@@ -309,6 +312,64 @@ func BenchmarkParallelAdmit(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkGeneratedFleetAdmit measures end-to-end admission on a generated
+// campus-hierarchy topology carrying a seeded mixed CBR/VBR fleet: each
+// iteration sets up and tears down one fleet connection between seeded host
+// pairs over BFS shortest-path routes. Queues are sized so every admission
+// succeeds; the cost measured is the multi-hop CAC evaluation itself.
+func BenchmarkGeneratedFleetAdmit(b *testing.B) {
+	g, err := topology.Campus(topology.CampusConfig{
+		Buildings: 2, FloorsPerBuilding: 3, HostsPerFloor: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	network, err := routing.BuildNetwork(g,
+		map[atmcac.Priority]float64{1: 1e6, 2: 1e6}, atmcac.HardCDV{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet, err := workload.SampleFleet(42, workload.FleetConfig{}, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hosts []topology.NodeID
+	for bi := 0; bi < 2; bi++ {
+		for fi := 0; fi < 3; fi++ {
+			for h := 0; h < 2; h++ {
+				hosts = append(hosts, topology.CampusHost(bi, fi, h))
+			}
+		}
+	}
+	rng := workload.NewRNG(42).Split("bench-pairs")
+	var routes []atmcac.Route
+	for len(routes) < len(fleet) {
+		from := hosts[rng.Intn(len(hosts))]
+		to := hosts[rng.Intn(len(hosts))]
+		if from == to {
+			continue
+		}
+		route, err := routing.Route(g, from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		routes = append(routes, route)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmpl := fleet[i%len(fleet)]
+		id := atmcac.ConnID(fmt.Sprintf("bench-%d", i))
+		if _, err := network.Setup(context.Background(), atmcac.ConnRequest{
+			ID: id, Spec: tmpl.Spec, Priority: tmpl.Priority, Route: routes[i%len(routes)],
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := network.Teardown(id); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkRTnetAudit measures a full offline plan audit of the paper's

@@ -101,3 +101,93 @@ func TestRunTraceUnwritable(t *testing.T) {
 		t.Errorf("exit code = %d, want 1", code)
 	}
 }
+
+func TestRunValidateSubcommand(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"validate", "-ring", "6", "-terminals", "2", "-load", "0.3", "-slots", "20000"}); code != 0 {
+			t.Errorf("exit code = %d, want 0", code)
+		}
+	})
+	if !strings.Contains(out, "all analytic guarantees hold") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRunWorkloadDeterministic(t *testing.T) {
+	args := []string{"workload", "-kind", "mmpp", "-seed", "7", "-n", "50"}
+	a := captureStdout(t, func() {
+		if code := run(args); code != 0 {
+			t.Errorf("exit code = %d, want 0", code)
+		}
+	})
+	b := captureStdout(t, func() {
+		if code := run(args); code != 0 {
+			t.Errorf("exit code = %d, want 0", code)
+		}
+	})
+	if a != b {
+		t.Error("same workload seed printed different sequences")
+	}
+	if !strings.HasPrefix(a, "index\ttime\n") {
+		t.Errorf("missing TSV header: %.40q", a)
+	}
+	if lines := strings.Count(a, "\n"); lines != 51 {
+		t.Errorf("expected 51 lines (header + 50 arrivals), got %d", lines)
+	}
+}
+
+func TestRunWorkloadBadKind(t *testing.T) {
+	if code := run([]string{"workload", "-kind", "fractal"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunWorkloadBadConfig(t *testing.T) {
+	if code := run([]string{"workload", "-kind", "gamma", "-rate", "-1"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunHypothesisList(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"hypothesis", "list"}); code != 0 {
+			t.Errorf("exit code = %d, want 0", code)
+		}
+	})
+	for _, name := range []string{"h1-soft-cdv-utilization", "h2-overload-degradation-storm", "h3-capacity-vs-topology"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("hypothesis list missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunHypothesisRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := captureStdout(t, func() {
+		if code := run([]string{"hypothesis", "run", "-scale", "smoke", "-out", dir, "h1-soft-cdv-utilization"}); code != 0 {
+			t.Errorf("exit code = %d, want 0", code)
+		}
+	})
+	if !strings.Contains(out, "CONFIRMED\th1-soft-cdv-utilization") {
+		t.Errorf("output = %q", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "h1-soft-cdv-utilization", "FINDINGS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "- **Status**: CONFIRMED") {
+		t.Errorf("FINDINGS.md lacks status: %.120s", data)
+	}
+}
+
+func TestRunHypothesisUnknownName(t *testing.T) {
+	if code := run([]string{"hypothesis", "run", "no-such-hypothesis"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}
+
+func TestRunHypothesisMissingVerb(t *testing.T) {
+	if code := run([]string{"hypothesis"}); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+)
+
+// These tests pin the simulator as a delay-bound oracle on cases small
+// enough to compute by hand from the paper's bit-stream algebra, so the
+// hypothesis harness can trust "measured <= computed bound" as evidence:
+// the analytic side must equal the closed form, and the greedy simulation
+// must realize the worst case exactly where the bound is tight.
+
+// TestOracleSinglePortContention: n CBR(1/n) sources share one output
+// port. The closed form is immediate: in the worst case all n cells of a
+// frame arrive in the same slot, the last departs n-1 slots later, so
+// D'(port) = n-1 cell times — and greedy sources, which all emit at slot
+// 0, realize exactly that.
+func TestOracleSinglePortContention(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			// Analytic side: admit the set, read the port bound.
+			coreNet := core.NewNetwork(core.HardCDV{})
+			coreSw, err := coreNet.AddSwitch(core.SwitchConfig{
+				Name:       "a",
+				QueueCells: map[core.Priority]float64{1: 8},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if _, err := coreNet.Setup(context.Background(), core.ConnRequest{
+					ID:       core.ConnID(fmt.Sprintf("cbr-%d", i)),
+					Spec:     traffic.CBR(1 / float64(n)),
+					Priority: 1,
+					Route:    core.Route{{Switch: "a", In: core.PortID(i + 1), Out: 0}},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			bound, err := coreSw.ComputedBound(0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := float64(n - 1); bound != want {
+				t.Fatalf("analytic port bound = %g, want closed form n-1 = %g", bound, want)
+			}
+
+			// Simulation side: the same set, greedy conforming sources.
+			simNet := New()
+			a, err := simNet.AddSwitch("a", map[Priority]int{1: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink, err := simNet.AddSwitch("sink", map[Priority]int{1: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := simNet.Link(a, 0, sink, 0); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if err := a.SetRoute(i, 0, 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := sink.SetRoute(i, 10+i, 1); err != nil {
+					t.Fatal(err)
+				}
+				err := simNet.AddSource(SourceConfig{
+					VC: i, Spec: traffic.CBR(1 / float64(n)),
+					Dest: a, InPort: i + 1, Mode: Greedy, SelfCheck: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			stats, err := simNet.Run(4000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs := stats.Queues[QueueKey("a", 0, 1)]
+			if float64(qs.MaxDelay) > bound {
+				t.Errorf("measured max delay %d exceeds analytic bound %g", qs.MaxDelay, bound)
+			}
+			if qs.MaxDelay != uint64(n-1) {
+				t.Errorf("measured max delay = %d, want %d (greedy sources realize the worst case)",
+					qs.MaxDelay, n-1)
+			}
+			// All n cells land in one slot, one departs immediately, so the
+			// queue peaks at n-1 — matching the bound's "n-1 slots of wait".
+			if qs.MaxOccupancy != n-1 {
+				t.Errorf("max occupancy = %d, want %d", qs.MaxOccupancy, n-1)
+			}
+			if qs.Drops != 0 {
+				t.Errorf("%d drops in an admitted workload", qs.Drops)
+			}
+			for vc := 0; vc < n; vc++ {
+				if stats.PerVC[vc].Cells == 0 {
+					t.Errorf("vc %d delivered no cells", vc)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleThreeNodeChainCrossTraffic: vc1 (CBR 1/4) crosses a -> b -> c
+// and meets vc2 (CBR 1/4) at b's ring port. Hop a is uncontended, so its
+// computed bound is 0. At hop b the transit stream carries the CDV
+// accumulated at hop a — the full 8-cell guaranteed bound — so the
+// bit-stream algebra clumps the first ceil(CDV/T)+1 = 3 cells of vc1 into
+// one burst against vc2's frame and prices the port at 5/3 cell times.
+// The greedy replay must stay within both per-hop bounds with no drops.
+func TestOracleThreeNodeChainCrossTraffic(t *testing.T) {
+	coreNet := core.NewNetwork(core.HardCDV{})
+	coreSws := map[string]*core.Switch{}
+	for _, name := range []string{"a", "b", "c"} {
+		sw, err := coreNet.AddSwitch(core.SwitchConfig{
+			Name:       name,
+			QueueCells: map[core.Priority]float64{1: 8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coreSws[name] = sw
+	}
+	if _, err := coreNet.Setup(context.Background(), core.ConnRequest{
+		ID: "vc1", Spec: traffic.CBR(0.25), Priority: 1,
+		Route: core.Route{
+			{Switch: "a", In: 1, Out: 0},
+			{Switch: "b", In: 0, Out: 0},
+			{Switch: "c", In: 0, Out: 5},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coreNet.Setup(context.Background(), core.ConnRequest{
+		ID: "vc2", Spec: traffic.CBR(0.25), Priority: 1,
+		Route: core.Route{
+			{Switch: "b", In: 1, Out: 0},
+			{Switch: "c", In: 0, Out: 6},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boundA, err := coreSws["a"].ComputedBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boundA != 0 {
+		t.Errorf("uncontended hop a bound = %g, want 0", boundA)
+	}
+	boundB, err := coreSws["b"].ComputedBound(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(boundB-5.0/3) > 1e-9 {
+		t.Errorf("contended hop b bound = %g, want closed form 5/3", boundB)
+	}
+
+	simNet := New()
+	sims := map[string]*Switch{}
+	for _, name := range []string{"a", "b", "c"} {
+		sw, err := simNet.AddSwitch(name, map[Priority]int{1: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims[name] = sw
+	}
+	if err := simNet.Link(sims["a"], 0, sims["b"], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := simNet.Link(sims["b"], 0, sims["c"], 0); err != nil {
+		t.Fatal(err)
+	}
+	for sw, routes := range map[string]map[int]int{
+		"a": {1: 0},
+		"b": {1: 0, 2: 0},
+		"c": {1: 5, 2: 6},
+	} {
+		for vc, out := range routes {
+			if err := sims[sw].SetRoute(vc, out, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for vc, entry := range map[int]*Switch{1: sims["a"], 2: sims["b"]} {
+		err := simNet.AddSource(SourceConfig{
+			VC: vc, Spec: traffic.CBR(0.25),
+			Dest: entry, InPort: 1, Mode: Greedy, SelfCheck: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := simNet.Run(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa := stats.Queues[QueueKey("a", 0, 1)]
+	qb := stats.Queues[QueueKey("b", 0, 1)]
+	if qa.MaxDelay != 0 {
+		t.Errorf("hop a measured delay %d, want 0 (uncontended)", qa.MaxDelay)
+	}
+	if float64(qb.MaxDelay) > boundB {
+		t.Errorf("hop b measured delay %d exceeds analytic bound %g", qb.MaxDelay, boundB)
+	}
+	if qa.Drops+qb.Drops != 0 {
+		t.Errorf("drops in an admitted workload: a=%d b=%d", qa.Drops, qb.Drops)
+	}
+	if stats.PerVC[1].Cells == 0 || stats.PerVC[2].Cells == 0 {
+		t.Error("a VC delivered no cells")
+	}
+}

@@ -1,0 +1,302 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// This file generates parameterized topologies beyond the hand-built RTnet
+// ring: multi-ring backbones, k-ary fat trees, and campus hierarchies. All
+// generators allocate ports deterministically (a function of the
+// parameters only), so a generated graph — and every route derived from it
+// — is reproducible and can seed corpora and experiments.
+
+// portAlloc hands out fresh output and input port numbers per node, so
+// generated links never collide on the (node, port) uniqueness the graph
+// enforces.
+type portAlloc struct {
+	out map[NodeID]int
+	in  map[NodeID]int
+}
+
+func newPortAlloc() *portAlloc {
+	return &portAlloc{out: make(map[NodeID]int), in: make(map[NodeID]int)}
+}
+
+// link adds one directed link from a to b on fresh ports.
+func (p *portAlloc) link(g *Graph, a, b NodeID) error {
+	l := Link{From: a, FromPort: p.out[a], To: b, ToPort: p.in[b]}
+	if err := g.AddLink(l); err != nil {
+		return err
+	}
+	p.out[a]++
+	p.in[b]++
+	return nil
+}
+
+// biLink adds a bidirectional link pair between a and b.
+func (p *portAlloc) biLink(g *Graph, a, b NodeID) error {
+	if err := p.link(g, a, b); err != nil {
+		return err
+	}
+	return p.link(g, b, a)
+}
+
+// addHost registers a host and wires it both ways to its switch.
+func addHost(g *Graph, alloc *portAlloc, host, sw NodeID) error {
+	if err := g.AddNode(host, KindHost); err != nil {
+		return err
+	}
+	return alloc.biLink(g, host, sw)
+}
+
+// MultiRingConfig parameterizes MultiRing.
+type MultiRingConfig struct {
+	// Rings is the number of rings (>= 1).
+	Rings int
+	// NodesPerRing is the size of each ring (>= 2).
+	NodesPerRing int
+	// HostsPerNode attaches that many hosts to every ring node (>= 0).
+	HostsPerNode int
+}
+
+// MultiRingName returns the ID of node i of ring r.
+func MultiRingName(r, i int) NodeID {
+	return NodeID(fmt.Sprintf("mr%02d-%02d", r, i))
+}
+
+// MultiRingHost returns the ID of host h on node i of ring r.
+func MultiRingHost(r, i, h int) NodeID {
+	return NodeID(fmt.Sprintf("mr%02d-%02d-h%02d", r, i, h))
+}
+
+// MultiRing generates a chain of unidirectional rings (each the RTnet
+// backbone shape) bridged by bidirectional gateway links: node 0 of ring
+// r connects both ways to node 0 of ring r+1. The result is strongly
+// connected: within a ring via the ring itself, across rings via the
+// gateways.
+func MultiRing(cfg MultiRingConfig) (*Graph, error) {
+	if cfg.Rings < 1 {
+		return nil, fmt.Errorf("%w: %d rings", ErrNode, cfg.Rings)
+	}
+	if cfg.NodesPerRing < 2 {
+		return nil, fmt.Errorf("%w: %d nodes per ring", ErrNode, cfg.NodesPerRing)
+	}
+	if cfg.HostsPerNode < 0 {
+		return nil, fmt.Errorf("%w: %d hosts per node", ErrNode, cfg.HostsPerNode)
+	}
+	g := New()
+	alloc := newPortAlloc()
+	for r := 0; r < cfg.Rings; r++ {
+		for i := 0; i < cfg.NodesPerRing; i++ {
+			if err := g.AddNode(MultiRingName(r, i), KindSwitch); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < cfg.NodesPerRing; i++ {
+			if err := alloc.link(g, MultiRingName(r, i), MultiRingName(r, (i+1)%cfg.NodesPerRing)); err != nil {
+				return nil, err
+			}
+			for h := 0; h < cfg.HostsPerNode; h++ {
+				if err := addHost(g, alloc, MultiRingHost(r, i, h), MultiRingName(r, i)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for r := 0; r+1 < cfg.Rings; r++ {
+		if err := alloc.biLink(g, MultiRingName(r, 0), MultiRingName(r+1, 0)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// FatTreeConfig parameterizes FatTree.
+type FatTreeConfig struct {
+	// K is the fat-tree arity (even, >= 2).
+	K int
+	// HostsPerEdge attaches that many hosts to every edge switch (>= 0);
+	// the canonical fat tree uses K/2.
+	HostsPerEdge int
+}
+
+// FatTreeCore returns the ID of core switch i.
+func FatTreeCore(i int) NodeID { return NodeID(fmt.Sprintf("core%02d", i)) }
+
+// FatTreeAgg returns the ID of aggregation switch i of pod p.
+func FatTreeAgg(p, i int) NodeID { return NodeID(fmt.Sprintf("p%02da%02d", p, i)) }
+
+// FatTreeEdge returns the ID of edge switch i of pod p.
+func FatTreeEdge(p, i int) NodeID { return NodeID(fmt.Sprintf("p%02de%02d", p, i)) }
+
+// FatTreeHost returns the ID of host h on edge switch e of pod p.
+func FatTreeHost(p, e, h int) NodeID { return NodeID(fmt.Sprintf("p%02de%02d-h%02d", p, e, h)) }
+
+// FatTree generates a k-ary fat tree (k even, >= 2): (k/2)² core switches
+// and k pods of k/2 aggregation plus k/2 edge switches each. Every edge
+// switch links to every aggregation switch of its pod; aggregation switch
+// i of each pod links to core switches i·k/2 .. (i+1)·k/2 − 1. All links
+// are bidirectional pairs, so the graph is strongly connected with switch
+// diameter 4 (edge–agg–core–agg–edge) — the shape that keeps admission
+// routes short however large the fabric grows.
+func FatTree(cfg FatTreeConfig) (*Graph, error) {
+	k := cfg.K
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("%w: fat tree arity %d (need even k >= 2)", ErrNode, k)
+	}
+	if cfg.HostsPerEdge < 0 {
+		return nil, fmt.Errorf("%w: %d hosts per edge switch", ErrNode, cfg.HostsPerEdge)
+	}
+	g := New()
+	alloc := newPortAlloc()
+	half := k / 2
+	for i := 0; i < half*half; i++ {
+		if err := g.AddNode(FatTreeCore(i), KindSwitch); err != nil {
+			return nil, err
+		}
+	}
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			if err := g.AddNode(FatTreeAgg(p, i), KindSwitch); err != nil {
+				return nil, err
+			}
+			if err := g.AddNode(FatTreeEdge(p, i), KindSwitch); err != nil {
+				return nil, err
+			}
+		}
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				if err := alloc.biLink(g, FatTreeEdge(p, e), FatTreeAgg(p, a)); err != nil {
+					return nil, err
+				}
+			}
+			for h := 0; h < cfg.HostsPerEdge; h++ {
+				if err := addHost(g, alloc, FatTreeHost(p, e, h), FatTreeEdge(p, e)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for a := 0; a < half; a++ {
+			for c := a * half; c < (a+1)*half; c++ {
+				if err := alloc.biLink(g, FatTreeAgg(p, a), FatTreeCore(c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// CampusConfig parameterizes Campus.
+type CampusConfig struct {
+	// Buildings is the number of building routers (>= 1).
+	Buildings int
+	// FloorsPerBuilding is the number of floor switches per building
+	// (>= 1).
+	FloorsPerBuilding int
+	// HostsPerFloor attaches that many hosts to every floor switch
+	// (>= 0).
+	HostsPerFloor int
+}
+
+// CampusCore returns the ID of campus core c (0 or 1).
+func CampusCore(c int) NodeID { return NodeID(fmt.Sprintf("core%d", c)) }
+
+// CampusBuilding returns the ID of building router b.
+func CampusBuilding(b int) NodeID { return NodeID(fmt.Sprintf("bld%02d", b)) }
+
+// CampusFloor returns the ID of floor switch f of building b.
+func CampusFloor(b, f int) NodeID { return NodeID(fmt.Sprintf("bld%02d-fl%02d", b, f)) }
+
+// CampusHost returns the ID of host h on floor f of building b.
+func CampusHost(b, f, h int) NodeID {
+	return NodeID(fmt.Sprintf("bld%02d-fl%02d-h%02d", b, f, h))
+}
+
+// Campus generates a three-tier campus hierarchy: a redundant pair of
+// core switches linked to each other, building routers dual-homed to both
+// cores, and floor switches single-homed to their building router. All
+// links are bidirectional pairs. Traffic between floors of different
+// buildings crosses floor -> building -> core -> building -> floor.
+func Campus(cfg CampusConfig) (*Graph, error) {
+	if cfg.Buildings < 1 {
+		return nil, fmt.Errorf("%w: %d buildings", ErrNode, cfg.Buildings)
+	}
+	if cfg.FloorsPerBuilding < 1 {
+		return nil, fmt.Errorf("%w: %d floors per building", ErrNode, cfg.FloorsPerBuilding)
+	}
+	if cfg.HostsPerFloor < 0 {
+		return nil, fmt.Errorf("%w: %d hosts per floor", ErrNode, cfg.HostsPerFloor)
+	}
+	g := New()
+	alloc := newPortAlloc()
+	for c := 0; c < 2; c++ {
+		if err := g.AddNode(CampusCore(c), KindSwitch); err != nil {
+			return nil, err
+		}
+	}
+	if err := alloc.biLink(g, CampusCore(0), CampusCore(1)); err != nil {
+		return nil, err
+	}
+	for b := 0; b < cfg.Buildings; b++ {
+		if err := g.AddNode(CampusBuilding(b), KindSwitch); err != nil {
+			return nil, err
+		}
+		for c := 0; c < 2; c++ {
+			if err := alloc.biLink(g, CampusBuilding(b), CampusCore(c)); err != nil {
+				return nil, err
+			}
+		}
+		for f := 0; f < cfg.FloorsPerBuilding; f++ {
+			if err := g.AddNode(CampusFloor(b, f), KindSwitch); err != nil {
+				return nil, err
+			}
+			if err := alloc.biLink(g, CampusFloor(b, f), CampusBuilding(b)); err != nil {
+				return nil, err
+			}
+			for h := 0; h < cfg.HostsPerFloor; h++ {
+				if err := addHost(g, alloc, CampusHost(b, f, h), CampusFloor(b, f)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// StronglyConnected reports whether every node can reach every other node
+// along directed links. It runs one forward BFS from an arbitrary node
+// and one BFS over the reversed links; covering both directions from one
+// root covers all pairs.
+func (g *Graph) StronglyConnected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	var root NodeID
+	for id := range g.nodes {
+		root = id
+		break
+	}
+	forward := make(map[NodeID][]NodeID)
+	reverse := make(map[NodeID][]NodeID)
+	for _, l := range g.links {
+		forward[l.From] = append(forward[l.From], l.To)
+		reverse[l.To] = append(reverse[l.To], l.From)
+	}
+	reach := func(adj map[NodeID][]NodeID) int {
+		seen := map[NodeID]bool{root: true}
+		queue := []NodeID{root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, next := range adj[cur] {
+				if !seen[next] {
+					seen[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+		return len(seen)
+	}
+	return reach(forward) == len(g.nodes) && reach(reverse) == len(g.nodes)
+}

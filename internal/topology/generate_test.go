@@ -1,0 +1,250 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+// generatedGraphs enumerates representative instances of each generator
+// family across sizes; shared by the invariant tests below.
+func generatedGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	out := make(map[string]*Graph)
+	for _, cfg := range []MultiRingConfig{
+		{Rings: 1, NodesPerRing: 4, HostsPerNode: 1},
+		{Rings: 2, NodesPerRing: 8, HostsPerNode: 2},
+		{Rings: 4, NodesPerRing: 6, HostsPerNode: 1},
+	} {
+		g, err := MultiRing(cfg)
+		if err != nil {
+			t.Fatalf("MultiRing(%+v): %v", cfg, err)
+		}
+		out[fmt.Sprintf("multiring-%dx%d", cfg.Rings, cfg.NodesPerRing)] = g
+	}
+	for _, cfg := range []FatTreeConfig{
+		{K: 2, HostsPerEdge: 1},
+		{K: 4, HostsPerEdge: 2},
+		{K: 6, HostsPerEdge: 3},
+	} {
+		g, err := FatTree(cfg)
+		if err != nil {
+			t.Fatalf("FatTree(%+v): %v", cfg, err)
+		}
+		out[fmt.Sprintf("fattree-k%d", cfg.K)] = g
+	}
+	for _, cfg := range []CampusConfig{
+		{Buildings: 1, FloorsPerBuilding: 2, HostsPerFloor: 1},
+		{Buildings: 3, FloorsPerBuilding: 4, HostsPerFloor: 2},
+		{Buildings: 6, FloorsPerBuilding: 3, HostsPerFloor: 1},
+	} {
+		g, err := Campus(cfg)
+		if err != nil {
+			t.Fatalf("Campus(%+v): %v", cfg, err)
+		}
+		out[fmt.Sprintf("campus-%db%df", cfg.Buildings, cfg.FloorsPerBuilding)] = g
+	}
+	return out
+}
+
+func TestGeneratedGraphsStronglyConnected(t *testing.T) {
+	for name, g := range generatedGraphs(t) {
+		if !g.StronglyConnected() {
+			t.Errorf("%s: generated graph is not strongly connected", name)
+		}
+	}
+}
+
+// TestGeneratedGraphsPortCapacityRespected verifies that generated links
+// respect the unit-capacity port model: every (node, output port) and
+// (node, input port) pair carries exactly one link, and every endpoint
+// exists. The graph's AddLink enforces this at construction; the test
+// re-derives it from the built link set so a future generator cannot
+// bypass the invariant by mutating internals.
+func TestGeneratedGraphsPortCapacityRespected(t *testing.T) {
+	for name, g := range generatedGraphs(t) {
+		outSeen := make(map[string]bool)
+		inSeen := make(map[string]bool)
+		for _, l := range g.Links() {
+			if _, ok := g.Node(l.From); !ok {
+				t.Fatalf("%s: link %v from unknown node", name, l)
+			}
+			if _, ok := g.Node(l.To); !ok {
+				t.Fatalf("%s: link %v to unknown node", name, l)
+			}
+			outKey := fmt.Sprintf("%s:%d", l.From, l.FromPort)
+			inKey := fmt.Sprintf("%s:%d", l.To, l.ToPort)
+			if outSeen[outKey] {
+				t.Errorf("%s: output port %s carries two links", name, outKey)
+			}
+			if inSeen[inKey] {
+				t.Errorf("%s: input port %s carries two links", name, inKey)
+			}
+			outSeen[outKey] = true
+			inSeen[inKey] = true
+		}
+	}
+}
+
+func TestGeneratedGraphSizes(t *testing.T) {
+	countKind := func(g *Graph, k Kind) int {
+		n := 0
+		for _, node := range g.Nodes() {
+			if node.Kind == k {
+				n++
+			}
+		}
+		return n
+	}
+
+	mr, err := MultiRing(MultiRingConfig{Rings: 3, NodesPerRing: 5, HostsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countKind(mr, KindSwitch); got != 15 {
+		t.Errorf("multi-ring switches = %d, want 15", got)
+	}
+	if got := countKind(mr, KindHost); got != 30 {
+		t.Errorf("multi-ring hosts = %d, want 30", got)
+	}
+	// 15 ring links + 2*2 gateway directions + 30 hosts * 2 directions.
+	if got := len(mr.Links()); got != 15+4+60 {
+		t.Errorf("multi-ring links = %d, want %d", got, 15+4+60)
+	}
+
+	ft, err := FatTree(FatTreeConfig{K: 4, HostsPerEdge: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (k/2)^2 = 4 cores, 4 pods x (2 agg + 2 edge) = 16 pod switches.
+	if got := countKind(ft, KindSwitch); got != 20 {
+		t.Errorf("fat-tree switches = %d, want 20", got)
+	}
+	if got := countKind(ft, KindHost); got != 16 {
+		t.Errorf("fat-tree hosts = %d, want 16", got)
+	}
+
+	ca, err := Campus(CampusConfig{Buildings: 2, FloorsPerBuilding: 3, HostsPerFloor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 cores + 2 buildings + 6 floors.
+	if got := countKind(ca, KindSwitch); got != 10 {
+		t.Errorf("campus switches = %d, want 10", got)
+	}
+	if got := countKind(ca, KindHost); got != 6 {
+		t.Errorf("campus hosts = %d, want 6", got)
+	}
+}
+
+func TestGeneratedGraphsHostToHostPaths(t *testing.T) {
+	type pair struct{ from, to NodeID }
+	cases := []struct {
+		name  string
+		graph func() (*Graph, error)
+		pairs []pair
+		// maxSwitches bounds the number of switch nodes on the path —
+		// the structural diameter claim of each family.
+		maxSwitches int
+	}{
+		{
+			name:  "fat-tree inter-pod",
+			graph: func() (*Graph, error) { return FatTree(FatTreeConfig{K: 4, HostsPerEdge: 1}) },
+			pairs: []pair{
+				{FatTreeHost(0, 0, 0), FatTreeHost(3, 1, 0)},
+				{FatTreeHost(1, 0, 0), FatTreeHost(2, 0, 0)},
+			},
+			maxSwitches: 5, // edge, agg, core, agg, edge
+		},
+		{
+			name: "campus inter-building",
+			graph: func() (*Graph, error) {
+				return Campus(CampusConfig{Buildings: 3, FloorsPerBuilding: 2, HostsPerFloor: 1})
+			},
+			pairs: []pair{
+				{CampusHost(0, 0, 0), CampusHost(2, 1, 0)},
+				{CampusHost(1, 1, 0), CampusHost(0, 0, 0)},
+			},
+			maxSwitches: 5, // floor, building, core, building, floor
+		},
+		{
+			name: "multi-ring cross-ring",
+			graph: func() (*Graph, error) {
+				return MultiRing(MultiRingConfig{Rings: 2, NodesPerRing: 4, HostsPerNode: 1})
+			},
+			pairs: []pair{
+				{MultiRingHost(0, 1, 0), MultiRingHost(1, 2, 0)},
+			},
+			// Worst case: almost a full lap of each unidirectional ring.
+			maxSwitches: 8,
+		},
+	}
+	for _, tc := range cases {
+		g, err := tc.graph()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, p := range tc.pairs {
+			path, err := g.Path(p.from, p.to)
+			if err != nil {
+				t.Errorf("%s: no path %s -> %s: %v", tc.name, p.from, p.to, err)
+				continue
+			}
+			switches := 0
+			for _, tr := range path {
+				if node, _ := g.Node(tr.Node); node.Kind == KindSwitch {
+					switches++
+				}
+			}
+			if switches > tc.maxSwitches {
+				t.Errorf("%s: path %s -> %s crosses %d switches, want <= %d",
+					tc.name, p.from, p.to, switches, tc.maxSwitches)
+			}
+		}
+	}
+}
+
+func TestGeneratorsRejectBadConfig(t *testing.T) {
+	if _, err := MultiRing(MultiRingConfig{Rings: 0, NodesPerRing: 4}); err == nil {
+		t.Error("MultiRing accepted 0 rings")
+	}
+	if _, err := MultiRing(MultiRingConfig{Rings: 1, NodesPerRing: 1}); err == nil {
+		t.Error("MultiRing accepted a 1-node ring")
+	}
+	if _, err := MultiRing(MultiRingConfig{Rings: 1, NodesPerRing: 2, HostsPerNode: -1}); err == nil {
+		t.Error("MultiRing accepted negative hosts")
+	}
+	if _, err := FatTree(FatTreeConfig{K: 3}); err == nil {
+		t.Error("FatTree accepted odd arity")
+	}
+	if _, err := FatTree(FatTreeConfig{K: 0}); err == nil {
+		t.Error("FatTree accepted zero arity")
+	}
+	if _, err := Campus(CampusConfig{Buildings: 0, FloorsPerBuilding: 1}); err == nil {
+		t.Error("Campus accepted 0 buildings")
+	}
+	if _, err := Campus(CampusConfig{Buildings: 1, FloorsPerBuilding: 0}); err == nil {
+		t.Error("Campus accepted 0 floors")
+	}
+}
+
+func TestStronglyConnectedDetectsPartition(t *testing.T) {
+	g := New()
+	for _, id := range []NodeID{"a", "b"} {
+		if err := g.AddNode(id, KindSwitch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One direction only: a -> b reaches everything, b cannot reach a.
+	if err := g.AddLink(Link{From: "a", FromPort: 0, To: "b", ToPort: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if g.StronglyConnected() {
+		t.Error("one-way pair reported strongly connected")
+	}
+	if err := g.AddLink(Link{From: "b", FromPort: 0, To: "a", ToPort: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !g.StronglyConnected() {
+		t.Error("two-way pair reported not strongly connected")
+	}
+}

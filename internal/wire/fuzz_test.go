@@ -114,6 +114,11 @@ func FuzzStateRoundTrip(f *testing.F) {
 	f.Add([]byte(`[{"id": "x", "spec": {"pcr": 1e308, "scr": 1e-308, "mbs": 1e17}, "priority": -9, "route": [{"switch": "ring00"}]}]`))
 	f.Add([]byte(`[{"id": "dup"}, {"id": "dup"}]`))
 	f.Add([]byte("\x00\xff["))
+	// Generated-topology snapshots: admitted fleets routed across a campus
+	// hierarchy, with multi-hop routes and mixed CBR/VBR descriptors the
+	// hand-written seeds above do not cover.
+	f.Add(generatedCorpusSeed(f, 42))
+	f.Add(generatedCorpusSeed(f, 123))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arrivals is a deterministic arrival process: Next returns the absolute
+// time of the next arrival, in abstract time units chosen by the caller
+// (the scenario decides whether a unit is a cell time, a millisecond or a
+// limiter-clock second). Successive calls are non-decreasing.
+type Arrivals interface {
+	Next() float64
+}
+
+// Times drains the next n arrival instants of a process into a slice.
+func Times(a Arrivals, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a.Next()
+	}
+	return out
+}
+
+// GammaConfig parameterizes a Gamma-renewal arrival process: interarrival
+// times are i.i.d. Gamma draws with mean 1/Rate and coefficient of
+// variation CV. CV = 1 degenerates to Poisson; CV > 1 is burstier than
+// Poisson (the inference-sim hypothesis methodology uses CV = 3.5 as its
+// reference storm).
+type GammaConfig struct {
+	// Rate is the mean arrival rate (arrivals per time unit); > 0.
+	Rate float64
+	// CV is the coefficient of variation of interarrival times; > 0.
+	CV float64
+}
+
+// GammaProcess is a seeded Gamma-renewal process.
+type GammaProcess struct {
+	rng          *RNG
+	shape, scale float64
+	now          float64
+}
+
+// NewGamma returns a Gamma-renewal process. Shape and scale derive from
+// (Rate, CV): shape = 1/CV², scale = CV²/Rate, giving interarrival mean
+// 1/Rate and the requested CV.
+func NewGamma(seed uint64, cfg GammaConfig) (*GammaProcess, error) {
+	if !(cfg.Rate > 0) || math.IsInf(cfg.Rate, 0) {
+		return nil, fmt.Errorf("%w: gamma rate %g", ErrConfig, cfg.Rate)
+	}
+	if !(cfg.CV > 0) || math.IsInf(cfg.CV, 0) {
+		return nil, fmt.Errorf("%w: gamma CV %g", ErrConfig, cfg.CV)
+	}
+	return &GammaProcess{
+		rng:   NewRNG(seed).Split("gamma-renewal"),
+		shape: 1 / (cfg.CV * cfg.CV),
+		scale: cfg.CV * cfg.CV / cfg.Rate,
+	}, nil
+}
+
+// Next implements Arrivals.
+func (g *GammaProcess) Next() float64 {
+	g.now += g.rng.Gamma(g.shape, g.scale)
+	return g.now
+}
+
+// MMPPConfig parameterizes a two-state Markov-modulated Poisson process:
+// the source alternates between a quiet and a burst state, each holding
+// for an exponential sojourn, emitting Poisson arrivals at the state's
+// rate. It is the classical adversarial storm model — long quiet spells
+// that lull adaptive controls, then sustained bursts far above the mean.
+type MMPPConfig struct {
+	// QuietRate and BurstRate are the per-state arrival rates; QuietRate
+	// >= 0, BurstRate > 0.
+	QuietRate float64
+	BurstRate float64
+	// MeanQuiet and MeanBurst are the mean state sojourn times; > 0.
+	MeanQuiet float64
+	MeanBurst float64
+}
+
+// MeanRate returns the stationary mean arrival rate: the sojourn-weighted
+// average of the two state rates.
+func (c MMPPConfig) MeanRate() float64 {
+	return (c.QuietRate*c.MeanQuiet + c.BurstRate*c.MeanBurst) /
+		(c.MeanQuiet + c.MeanBurst)
+}
+
+// MMPP is a seeded two-state Markov-modulated Poisson process.
+type MMPP struct {
+	cfg      MMPPConfig
+	rng      *RNG
+	now      float64
+	stateEnd float64
+	burst    bool
+}
+
+// NewMMPP returns a two-state MMPP starting in the quiet state.
+func NewMMPP(seed uint64, cfg MMPPConfig) (*MMPP, error) {
+	if cfg.QuietRate < 0 || !(cfg.BurstRate > 0) {
+		return nil, fmt.Errorf("%w: MMPP rates quiet=%g burst=%g", ErrConfig, cfg.QuietRate, cfg.BurstRate)
+	}
+	if !(cfg.MeanQuiet > 0) || !(cfg.MeanBurst > 0) {
+		return nil, fmt.Errorf("%w: MMPP sojourns quiet=%g burst=%g", ErrConfig, cfg.MeanQuiet, cfg.MeanBurst)
+	}
+	m := &MMPP{cfg: cfg, rng: NewRNG(seed).Split("mmpp")}
+	m.stateEnd = m.rng.Exp(cfg.MeanQuiet)
+	return m, nil
+}
+
+// Next implements Arrivals.
+func (m *MMPP) Next() float64 {
+	for {
+		rate := m.cfg.QuietRate
+		if m.burst {
+			rate = m.cfg.BurstRate
+		}
+		if rate > 0 {
+			gap := m.rng.Exp(1 / rate)
+			if m.now+gap <= m.stateEnd {
+				m.now += gap
+				return m.now
+			}
+		}
+		// No arrival before the state expires: switch states. The
+		// memorylessness of the exponential lets the next state's clock
+		// start fresh at the boundary.
+		m.now = m.stateEnd
+		m.burst = !m.burst
+		mean := m.cfg.MeanQuiet
+		if m.burst {
+			mean = m.cfg.MeanBurst
+		}
+		m.stateEnd = m.now + m.rng.Exp(mean)
+	}
+}
+
+// Envelope is a diurnal rate envelope: the instantaneous arrival rate is
+// Base*(1 + Amplitude*sin(2πt/Period)). Over any whole period the sine
+// integrates to zero, so the envelope's mean rate is exactly Base — the
+// target load the property tests pin.
+type Envelope struct {
+	// Base is the mean rate; > 0.
+	Base float64
+	// Amplitude in [0, 1) scales the swing; 0 is a flat Poisson process.
+	Amplitude float64
+	// Period is the cycle length in time units; > 0.
+	Period float64
+}
+
+func (e Envelope) validate() error {
+	if !(e.Base > 0) || math.IsInf(e.Base, 0) {
+		return fmt.Errorf("%w: envelope base rate %g", ErrConfig, e.Base)
+	}
+	if e.Amplitude < 0 || e.Amplitude >= 1 {
+		return fmt.Errorf("%w: envelope amplitude %g not in [0, 1)", ErrConfig, e.Amplitude)
+	}
+	if !(e.Period > 0) || math.IsInf(e.Period, 0) {
+		return fmt.Errorf("%w: envelope period %g", ErrConfig, e.Period)
+	}
+	return nil
+}
+
+// Rate returns the instantaneous rate at time t.
+func (e Envelope) Rate(t float64) float64 {
+	return e.Base * (1 + e.Amplitude*math.Sin(2*math.Pi*t/e.Period))
+}
+
+// MeanRate returns the envelope's exact mean rate over a whole period.
+func (e Envelope) MeanRate() float64 { return e.Base }
+
+// Integrate numerically integrates the rate over [0, t] by midpoint rule
+// with the given number of steps — the oracle the envelope property test
+// compares against Base*t.
+func (e Envelope) Integrate(t float64, steps int) float64 {
+	if steps < 1 {
+		steps = 1
+	}
+	h := t / float64(steps)
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		sum += e.Rate((float64(i) + 0.5) * h)
+	}
+	return sum * h
+}
+
+// DiurnalProcess is a seeded non-homogeneous Poisson process whose
+// intensity follows an Envelope, generated by thinning a homogeneous
+// process at the peak rate.
+type DiurnalProcess struct {
+	env  Envelope
+	peak float64
+	rng  *RNG
+	now  float64
+}
+
+// NewDiurnal returns a diurnal arrival process over env.
+func NewDiurnal(seed uint64, env Envelope) (*DiurnalProcess, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	return &DiurnalProcess{
+		env:  env,
+		peak: env.Base * (1 + env.Amplitude),
+		rng:  NewRNG(seed).Split("diurnal"),
+	}, nil
+}
+
+// Next implements Arrivals.
+func (d *DiurnalProcess) Next() float64 {
+	for {
+		d.now += d.rng.Exp(1 / d.peak)
+		// Accept with probability rate(t)/peak (thinning): the survivors
+		// form the non-homogeneous process with intensity rate(t).
+		if d.rng.Float64()*d.peak < d.env.Rate(d.now) {
+			return d.now
+		}
+	}
+}

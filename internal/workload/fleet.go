@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+)
+
+// FleetConfig parameterizes a mixed CBR/VBR connection fleet. Rates are
+// normalized to the link (1 = link bandwidth), matching traffic.Spec.
+type FleetConfig struct {
+	// CBRFraction in [0, 1] is the share of CBR connections; the rest are
+	// VBR. Default 0.5.
+	CBRFraction float64
+	// PCRMin and PCRMax bound the peak cell rate, sampled log-uniformly so
+	// small and large connections are both represented. Defaults 0.005
+	// and 0.08.
+	PCRMin, PCRMax float64
+	// SCRRatioMin and SCRRatioMax bound SCR/PCR for VBR connections.
+	// Defaults 0.1 and 0.5.
+	SCRRatioMin, SCRRatioMax float64
+	// MBSMin and MBSMax bound the VBR maximum burst size in cells.
+	// Defaults 2 and 32.
+	MBSMin, MBSMax float64
+	// HighPriorityFraction in [0, 1] is the share of priority-1
+	// connections; the rest get LowPriority. Default 0.5.
+	HighPriorityFraction float64
+	// LowPriority is the priority assigned to the non-high share;
+	// default 2.
+	LowPriority core.Priority
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.CBRFraction == 0 {
+		c.CBRFraction = 0.5
+	}
+	if c.PCRMin == 0 {
+		c.PCRMin = 0.005
+	}
+	if c.PCRMax == 0 {
+		c.PCRMax = 0.08
+	}
+	if c.SCRRatioMin == 0 {
+		c.SCRRatioMin = 0.1
+	}
+	if c.SCRRatioMax == 0 {
+		c.SCRRatioMax = 0.5
+	}
+	if c.MBSMin == 0 {
+		c.MBSMin = 2
+	}
+	if c.MBSMax == 0 {
+		c.MBSMax = 32
+	}
+	if c.HighPriorityFraction == 0 {
+		c.HighPriorityFraction = 0.5
+	}
+	if c.LowPriority == 0 {
+		c.LowPriority = 2
+	}
+	return c
+}
+
+func (c FleetConfig) validate() error {
+	switch {
+	case c.CBRFraction < 0 || c.CBRFraction > 1:
+		return fmt.Errorf("%w: CBR fraction %g", ErrConfig, c.CBRFraction)
+	case !(c.PCRMin > 0) || c.PCRMax > 1 || c.PCRMin > c.PCRMax:
+		return fmt.Errorf("%w: PCR range [%g, %g]", ErrConfig, c.PCRMin, c.PCRMax)
+	case !(c.SCRRatioMin > 0) || c.SCRRatioMax > 1 || c.SCRRatioMin > c.SCRRatioMax:
+		return fmt.Errorf("%w: SCR ratio range [%g, %g]", ErrConfig, c.SCRRatioMin, c.SCRRatioMax)
+	case c.MBSMin < 1 || c.MBSMin > c.MBSMax:
+		return fmt.Errorf("%w: MBS range [%g, %g]", ErrConfig, c.MBSMin, c.MBSMax)
+	case c.HighPriorityFraction < 0 || c.HighPriorityFraction > 1:
+		return fmt.Errorf("%w: high-priority fraction %g", ErrConfig, c.HighPriorityFraction)
+	case c.LowPriority < 1:
+		return fmt.Errorf("%w: low priority %d", ErrConfig, c.LowPriority)
+	}
+	return nil
+}
+
+// ConnTemplate is one sampled fleet member: a traffic descriptor and the
+// priority it requests. Routes and IDs are bound later by the scenario
+// that offers the template to a network.
+type ConnTemplate struct {
+	Spec     traffic.Spec
+	Priority core.Priority
+}
+
+// SampleFleet draws n connection templates from cfg, deterministically
+// from seed.
+func SampleFleet(seed uint64, cfg FleetConfig, n int) ([]ConnTemplate, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%w: fleet size %d", ErrConfig, n)
+	}
+	rng := NewRNG(seed).Split("fleet")
+	out := make([]ConnTemplate, n)
+	logMin, logMax := math.Log(cfg.PCRMin), math.Log(cfg.PCRMax)
+	for i := range out {
+		pcr := math.Exp(logMin + rng.Float64()*(logMax-logMin))
+		var spec traffic.Spec
+		if rng.Float64() < cfg.CBRFraction {
+			spec = traffic.CBR(pcr)
+		} else {
+			ratio := cfg.SCRRatioMin + rng.Float64()*(cfg.SCRRatioMax-cfg.SCRRatioMin)
+			mbs := math.Floor(cfg.MBSMin + rng.Float64()*(cfg.MBSMax-cfg.MBSMin))
+			spec = traffic.VBR(pcr, pcr*ratio, mbs)
+		}
+		prio := cfg.LowPriority
+		if rng.Float64() < cfg.HighPriorityFraction {
+			prio = 1
+		}
+		out[i] = ConnTemplate{Spec: spec, Priority: prio}
+	}
+	return out, nil
+}
+
+// EventKind classifies a churn event.
+type EventKind int
+
+// Churn event kinds.
+const (
+	// EvSetup offers connection Index to the network.
+	EvSetup EventKind = iota + 1
+	// EvTeardown releases connection Index (always after its EvSetup).
+	EvTeardown
+)
+
+// Event is one step of a churn schedule.
+type Event struct {
+	// At is the event time in the arrival process's time units.
+	At float64
+	// Kind is setup or teardown.
+	Kind EventKind
+	// Index identifies the connection (0..n-1), shared between a setup
+	// and its teardown.
+	Index int
+}
+
+// ChurnConfig parameterizes a churn schedule: connections arrive by an
+// arrival process and hold for Gamma-distributed times.
+type ChurnConfig struct {
+	// MeanHold is the mean holding time in the arrival process's time
+	// units; > 0.
+	MeanHold float64
+	// HoldCV is the holding-time coefficient of variation; default 1
+	// (exponential holding).
+	HoldCV float64
+}
+
+// Churn builds a deterministic setup/teardown schedule: n connection
+// arrivals drawn from arrivals, each holding for a Gamma(MeanHold,
+// HoldCV) duration. The result is sorted by time; ties keep teardowns
+// before the setups of later connections so an ID is never doubly held.
+func Churn(seed uint64, arrivals Arrivals, cfg ChurnConfig, n int) ([]Event, error) {
+	if !(cfg.MeanHold > 0) {
+		return nil, fmt.Errorf("%w: mean hold %g", ErrConfig, cfg.MeanHold)
+	}
+	if cfg.HoldCV == 0 {
+		cfg.HoldCV = 1
+	}
+	if !(cfg.HoldCV > 0) {
+		return nil, fmt.Errorf("%w: hold CV %g", ErrConfig, cfg.HoldCV)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%w: churn size %d", ErrConfig, n)
+	}
+	hold := NewRNG(seed).Split("holding")
+	shape := 1 / (cfg.HoldCV * cfg.HoldCV)
+	scale := cfg.HoldCV * cfg.HoldCV * cfg.MeanHold
+	events := make([]Event, 0, 2*n)
+	for i := 0; i < n; i++ {
+		at := arrivals.Next()
+		events = append(events, Event{At: at, Kind: EvSetup, Index: i})
+		events = append(events, Event{At: at + hold.Gamma(shape, scale), Kind: EvTeardown, Index: i})
+	}
+	// Deterministic total order: by time, teardown before setup on exact
+	// ties, then by index — a tie never re-offers an ID before its release.
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind == EvTeardown
+		}
+		return a.Index < b.Index
+	})
+	return events, nil
+}

@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// meanCV computes the empirical mean and coefficient of variation of the
+// interarrival gaps of a sequence of absolute arrival times.
+func meanCV(times []float64) (mean, cv float64) {
+	gaps := make([]float64, 0, len(times))
+	prev := 0.0
+	for _, t := range times {
+		gaps = append(gaps, t-prev)
+		prev = t
+	}
+	sum := 0.0
+	for _, g := range gaps {
+		sum += g
+	}
+	mean = sum / float64(len(gaps))
+	varSum := 0.0
+	for _, g := range gaps {
+		d := g - mean
+		varSum += d * d
+	}
+	return mean, math.Sqrt(varSum/float64(len(gaps))) / mean
+}
+
+// hashTimes fingerprints an arrival sequence bit-exactly: two runs are
+// byte-identical iff every float64 is.
+func hashTimes(times []float64) [32]byte {
+	buf := make([]byte, 8*len(times))
+	for i, t := range times {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(t))
+	}
+	return sha256.Sum256(buf)
+}
+
+func TestGammaMeanAndCVWithinTolerance(t *testing.T) {
+	const n = 60000
+	for _, tc := range []struct {
+		seed uint64
+		rate float64
+		cv   float64
+	}{
+		{seed: 42, rate: 2.0, cv: 0.5},
+		{seed: 123, rate: 0.5, cv: 1.0},
+		{seed: 456, rate: 5.0, cv: 3.5}, // the inference-sim reference storm CV
+	} {
+		g, err := NewGamma(tc.seed, GammaConfig{Rate: tc.rate, CV: tc.cv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, cv := meanCV(Times(g, n))
+		if rel := math.Abs(mean-1/tc.rate) / (1 / tc.rate); rel > 0.05 {
+			t.Errorf("seed %d: gamma mean %.4g, want %.4g (rel err %.3f)", tc.seed, mean, 1/tc.rate, rel)
+		}
+		if rel := math.Abs(cv-tc.cv) / tc.cv; rel > 0.08 {
+			t.Errorf("seed %d: gamma CV %.4g, want %.4g (rel err %.3f)", tc.seed, cv, tc.cv, rel)
+		}
+	}
+}
+
+func TestGammaRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []GammaConfig{
+		{Rate: 0, CV: 1}, {Rate: -1, CV: 1}, {Rate: 1, CV: 0}, {Rate: 1, CV: -2},
+		{Rate: math.Inf(1), CV: 1}, {Rate: math.NaN(), CV: 1},
+	} {
+		if _, err := NewGamma(1, cfg); err == nil {
+			t.Errorf("NewGamma(%+v) accepted an invalid config", cfg)
+		}
+	}
+}
+
+func TestMMPPMeanRateMatchesStationary(t *testing.T) {
+	const n = 80000
+	for _, seed := range []uint64{42, 123, 456} {
+		cfg := MMPPConfig{QuietRate: 0.5, BurstRate: 20, MeanQuiet: 40, MeanBurst: 5}
+		m, err := NewMMPP(seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := Times(m, n)
+		horizon := times[len(times)-1]
+		empirical := float64(n) / horizon
+		want := cfg.MeanRate()
+		if rel := math.Abs(empirical-want) / want; rel > 0.10 {
+			t.Errorf("seed %d: MMPP empirical rate %.4g, stationary %.4g (rel err %.3f)",
+				seed, empirical, want, rel)
+		}
+		// Burstiness sanity: an MMPP with a 40x rate contrast must be
+		// visibly burstier than Poisson.
+		if _, cv := meanCV(times); cv < 1.2 {
+			t.Errorf("seed %d: MMPP interarrival CV %.3f, expected > 1.2 (burstier than Poisson)", seed, cv)
+		}
+	}
+}
+
+func TestMMPPRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []MMPPConfig{
+		{QuietRate: -1, BurstRate: 1, MeanQuiet: 1, MeanBurst: 1},
+		{QuietRate: 0, BurstRate: 0, MeanQuiet: 1, MeanBurst: 1},
+		{QuietRate: 0, BurstRate: 1, MeanQuiet: 0, MeanBurst: 1},
+		{QuietRate: 0, BurstRate: 1, MeanQuiet: 1, MeanBurst: 0},
+	} {
+		if _, err := NewMMPP(1, cfg); err == nil {
+			t.Errorf("NewMMPP(%+v) accepted an invalid config", cfg)
+		}
+	}
+}
+
+func TestDiurnalEnvelopeIntegratesToTargetLoad(t *testing.T) {
+	env := Envelope{Base: 3, Amplitude: 0.8, Period: 100}
+	// Analytic check: over whole periods the sine cancels exactly.
+	for _, periods := range []float64{1, 3, 10} {
+		horizon := periods * env.Period
+		got := env.Integrate(horizon, 20000)
+		want := env.Base * horizon
+		if rel := math.Abs(got-want) / want; rel > 1e-3 {
+			t.Errorf("envelope integral over %g periods: %.6g, want %.6g", periods, got, want)
+		}
+	}
+	// Empirical check: the thinned process realizes the mean rate.
+	const n = 60000
+	for _, seed := range []uint64{42, 123, 456} {
+		d, err := NewDiurnal(seed, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := Times(d, n)
+		empirical := float64(n) / times[len(times)-1]
+		if rel := math.Abs(empirical-env.Base) / env.Base; rel > 0.05 {
+			t.Errorf("seed %d: diurnal empirical rate %.4g, want %.4g (rel err %.3f)",
+				seed, empirical, env.Base, rel)
+		}
+	}
+}
+
+func TestDiurnalRateFollowsEnvelopePhase(t *testing.T) {
+	env := Envelope{Base: 2, Amplitude: 0.9, Period: 1000}
+	d, err := NewDiurnal(7, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count arrivals in the peak half-cycle [0, P/2) vs the trough
+	// half-cycle [P/2, P) over many periods: the peak half must carry
+	// visibly more of the load.
+	var peak, trough int
+	for i := 0; i < 40000; i++ {
+		t := d.Next()
+		phase := math.Mod(t, env.Period)
+		if phase < env.Period/2 {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Fatalf("diurnal phase inverted: %d arrivals in peak half, %d in trough half", peak, trough)
+	}
+	if ratio := float64(peak) / float64(trough); ratio < 2 {
+		t.Errorf("diurnal modulation too weak: peak/trough ratio %.2f, want >= 2 at amplitude 0.9", ratio)
+	}
+}
+
+// TestDeterminismByteIdentical pins the core reproducibility contract:
+// the same seed yields the byte-identical sequence, a different seed a
+// different one. CI runs this under -race -count=3, so any hidden shared
+// state across constructions would also surface.
+func TestDeterminismByteIdentical(t *testing.T) {
+	const n = 20000
+	gen := func(seed uint64) map[string][32]byte {
+		out := make(map[string][32]byte)
+		g, err := NewGamma(seed, GammaConfig{Rate: 2, CV: 3.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["gamma"] = hashTimes(Times(g, n))
+		m, err := NewMMPP(seed, MMPPConfig{QuietRate: 0.5, BurstRate: 20, MeanQuiet: 40, MeanBurst: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["mmpp"] = hashTimes(Times(m, n))
+		d, err := NewDiurnal(seed, Envelope{Base: 3, Amplitude: 0.8, Period: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out["diurnal"] = hashTimes(Times(d, n))
+		return out
+	}
+	a, b, other := gen(42), gen(42), gen(43)
+	for name, ha := range a {
+		if hb := b[name]; ha != hb {
+			t.Errorf("%s: same seed produced different sequences", name)
+		}
+		if ho := other[name]; ha == ho {
+			t.Errorf("%s: different seeds produced identical sequences", name)
+		}
+	}
+}
+
+func TestSampleFleetDeterministicAndValid(t *testing.T) {
+	cfg := FleetConfig{}
+	a, err := SampleFleet(42, cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleFleet(42, cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cbr, high int
+	for i, tmpl := range a {
+		if tmpl != b[i] {
+			t.Fatalf("fleet sample %d differs across identical seeds: %+v vs %+v", i, tmpl, b[i])
+		}
+		if err := tmpl.Spec.Validate(); err != nil {
+			t.Fatalf("fleet sample %d invalid: %v", i, err)
+		}
+		if tmpl.Spec.IsCBR() {
+			cbr++
+		}
+		if tmpl.Priority == 1 {
+			high++
+		}
+	}
+	// Default fractions are 0.5; at n=500 the shares must land near them.
+	if cbr < 180 || cbr > 320 {
+		t.Errorf("CBR share %d/500 outside [180, 320] at configured fraction 0.5", cbr)
+	}
+	if high < 180 || high > 320 {
+		t.Errorf("high-priority share %d/500 outside [180, 320] at configured fraction 0.5", high)
+	}
+}
+
+func TestChurnScheduleInvariants(t *testing.T) {
+	g, err := NewGamma(42, GammaConfig{Rate: 1, CV: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := Churn(42, g, ChurnConfig{MeanHold: 10, HoldCV: 1.5}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 800 {
+		t.Fatalf("churn produced %d events, want 800", len(events))
+	}
+	up := make(map[int]bool)
+	prev := math.Inf(-1)
+	for i, ev := range events {
+		if ev.At < prev {
+			t.Fatalf("event %d out of order: t=%g after t=%g", i, ev.At, prev)
+		}
+		prev = ev.At
+		switch ev.Kind {
+		case EvSetup:
+			if up[ev.Index] {
+				t.Fatalf("event %d: connection %d set up twice", i, ev.Index)
+			}
+			up[ev.Index] = true
+		case EvTeardown:
+			if !up[ev.Index] {
+				t.Fatalf("event %d: teardown of %d before its setup", i, ev.Index)
+			}
+			delete(up, ev.Index)
+		default:
+			t.Fatalf("event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	if len(up) != 0 {
+		t.Fatalf("%d connections never torn down", len(up))
+	}
+}
+
+func TestSplitStreamsAreIndependent(t *testing.T) {
+	r := NewRNG(99)
+	a := r.Split("alpha")
+	b := r.Split("beta")
+	a2 := NewRNG(99).Split("alpha")
+	same, diff := 0, 0
+	for i := 0; i < 100; i++ {
+		av, bv, a2v := a.Uint64(), b.Uint64(), a2.Uint64()
+		if av == a2v {
+			same++
+		}
+		if av == bv {
+			diff++
+		}
+	}
+	if same != 100 {
+		t.Errorf("Split(label) not reproducible: only %d/100 draws matched", same)
+	}
+	if diff != 0 {
+		t.Errorf("Split with different labels collided on %d/100 draws", diff)
+	}
+}

@@ -1,20 +1,33 @@
 #!/bin/sh
-# Runs the perf-trajectory benchmarks (parallel admission throughput and
-# per-admission persistence cost) and writes one JSON point for the
-# BENCH_<pr>.json series. CI runs it as a smoke test; a committed
-# BENCH_*.json records the machine it was measured on.
+# Runs the perf-trajectory benchmarks (parallel admission throughput,
+# per-admission persistence cost, and generated-topology fleet admission)
+# and writes one JSON point for the BENCH_<pr>.json series. CI runs it as a
+# smoke test; a committed BENCH_*.json records the machine it was measured
+# on. Each benchmark entry carries workload/topology descriptor fields so
+# trajectory points stay comparable across PRs even as scenarios evolve.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench '^BenchmarkParallelAdmit$' -benchmem . | tee -a "$tmp"
+go test -run '^$' -bench '^BenchmarkGeneratedFleetAdmit$' -benchmem . | tee -a "$tmp"
 go test -run '^$' -bench '^BenchmarkPersistSetup$' -benchmem ./internal/wire/ | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-BEGIN      { n = 0 }
+BEGIN {
+    n = 0
+    # Scenario descriptors: what each benchmark offers (workload) and where
+    # it runs (topology). Update alongside the benchmark definitions.
+    wl["BenchmarkParallelAdmit"]       = "VBR(0.004,0.0005,4) setup+teardown, one 3-hop segment per worker"
+    tp["BenchmarkParallelAdmit"]       = "rtnet-ring 16 nodes x 16 terminals"
+    wl["BenchmarkGeneratedFleetAdmit"] = "seeded fleet seed=42, 64 mixed CBR/VBR templates, seeded host pairs"
+    tp["BenchmarkGeneratedFleetAdmit"] = "generated campus hierarchy: 2 buildings x 3 floors x 2 hosts"
+    wl["BenchmarkPersistSetup"]        = "CBR(0.0001) setup over 500 established connections"
+    tp["BenchmarkPersistSetup"]        = "2-switch chain"
+}
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { $1 = ""; sub(/^ /, ""); cpu = $0 }
@@ -33,9 +46,11 @@ END {
     printf "  \"timestamp\": \"%s\",\n", date
     printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu
     printf "  \"benchmarks\": [\n"
-    for (i = 0; i < n; i++)
-        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            benches[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+    for (i = 0; i < n; i++) {
+        base = benches[i]; sub(/\/.*$/, "", base)
+        printf "    {\"name\": \"%s\", \"workload\": \"%s\", \"topology\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            benches[i], wl[base], tp[base], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+    }
     printf "  ]\n}\n"
 }' "$tmp" > "$out"
 
