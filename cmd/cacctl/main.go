@@ -13,6 +13,8 @@
 //	cacctl [-addr HOST:PORT] restore-link -node N [-ring N]
 //	cacctl [-addr HOST:PORT] health
 //	cacctl [-addr HOST:PORT] metrics [-match SUBSTRING]
+//	cacctl [-addr HOST:PORT] promote
+//	cacctl [-addr HOST:PORT] replication
 //	cacctl state verify [-journal FILE] STATE
 //	cacctl state show   [-journal FILE] STATE
 //
@@ -116,6 +118,10 @@ func run(args []string) error {
 		return health(client)
 	case "metrics":
 		return metrics(client, rest[1:])
+	case "promote":
+		return promote(client)
+	case "replication":
+		return replication(client)
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
@@ -308,6 +314,54 @@ func metrics(client *wire.Client, args []string) error {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Printf("%s %g\n", name, h.Metrics[name])
+	}
+	return nil
+}
+
+// promote asks a warm standby to take over as primary: it bumps the
+// replication epoch, persists a snapshot at the new epoch, and starts
+// accepting writes; the old primary is fenced when it next makes contact.
+func promote(client *wire.Client) error {
+	rep, err := client.Promote()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("promoted: primary at epoch %d (journal watermark %d)\n", rep.Epoch, rep.LastSeq)
+	return nil
+}
+
+// replication prints the node's replication posture: role, epoch,
+// stream liveness and the ack watermark/lag.
+func replication(client *wire.Client) error {
+	rep, err := client.Replication()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("role: %s\n", rep.Role)
+	fmt.Printf("epoch: %d\n", rep.Epoch)
+	if rep.Role == "fenced" {
+		fmt.Printf("fenced by epoch: %d\n", rep.FencedBy)
+	}
+	if rep.Mode != "" {
+		fmt.Printf("mode: %s\n", rep.Mode)
+	}
+	fmt.Printf("journal watermark: %d\n", rep.LastSeq)
+	switch rep.Role {
+	case "primary":
+		if rep.Mode == "" {
+			break
+		}
+		if rep.Connected {
+			fmt.Printf("standby: connected, acked seq %d, lag %d\n", rep.AckedSeq, rep.Lag)
+		} else {
+			fmt.Println("standby: not connected")
+		}
+	case "standby":
+		if rep.Connected {
+			fmt.Printf("primary: connected, applied seq %d\n", rep.AckedSeq)
+		} else {
+			fmt.Println("primary: not connected")
+		}
 	}
 	return nil
 }

@@ -11,6 +11,9 @@
 //	     [-io-timeout D] [-drain-timeout D]
 //	     [-shed-rate R] [-shed-burst B] [-max-inflight N]
 //	     [-metrics-addr ADDR]
+//	     [-replication-listen ADDR] [-replicate-from ADDR]
+//	     [-replication-mode async|semi-sync|sync] [-replication-lag N]
+//	     [-failover-timeout D]
 //
 // The server manages one CAC network whose switches are the ring nodes of
 // an RTnet with the given shape. Clients (see cmd/cacctl) set up and tear
@@ -43,6 +46,18 @@
 // a typed overloaded response with a retry-after hint; the shed counters
 // are visible through cacctl health.
 //
+// With -replication-listen the server ships every journal record to a
+// connected warm standby before (sync), loosely before (semi-sync,
+// bounded by -replication-lag) or after (async) acknowledging the
+// client; the standby — a second cacd started with -replicate-from —
+// appends the same records to its own journal and keeps a warm in-memory
+// copy of the admission state, refusing writes until promoted. Promotion
+// (cacctl promote, or automatic after -failover-timeout of primary
+// silence) advances the replication epoch and fences the old primary:
+// if it comes back it refuses all mutations with the split-brain code
+// until restarted as a standby of the new primary. Both roles require a
+// journaled durability mode.
+//
 // The server always keeps an in-process metrics registry and admission
 // tracer: every setup decision, rejection reason, crankback re-admission,
 // shed request and journal append is counted, and the counter snapshot
@@ -69,6 +84,7 @@ import (
 	"atmcac/internal/failover"
 	"atmcac/internal/obs"
 	"atmcac/internal/overload"
+	"atmcac/internal/replica"
 	"atmcac/internal/rtnet"
 	"atmcac/internal/wire"
 )
@@ -88,6 +104,10 @@ var testHookListen func(net.Addr)
 // testHookMetricsListen mirrors testHookListen for the -metrics-addr
 // HTTP listener.
 var testHookMetricsListen func(net.Addr)
+
+// testHookReplListen mirrors testHookListen for the -replication-listen
+// stream listener.
+var testHookReplListen func(net.Addr)
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cacd", flag.ContinueOnError)
@@ -110,6 +130,11 @@ func run(args []string) error {
 		shedBurst    = fs.Float64("shed-burst", 0, "token bucket capacity (requests); 0 derives from -shed-rate")
 		maxInflight  = fs.Int("max-inflight", 0, "concurrently executing non-recovery requests; 0 means unlimited")
 		metricsAddr  = fs.String("metrics-addr", "", "serve Prometheus metrics on this HTTP address (/metrics, /debug/vars); empty disables")
+		replListen   = fs.String("replication-listen", "", "serve the journal-shipping replication stream to standbys on this address; empty disables")
+		replFrom     = fs.String("replicate-from", "", "run as a warm read-only standby of the primary at this replication address; empty disables")
+		replMode     = fs.String("replication-mode", "sync", "acknowledgement discipline when shipping to a standby: async, semi-sync, or sync")
+		replLag      = fs.Uint64("replication-lag", 0, "semi-sync: max shipped-but-unacked records before mutations block; 0 uses the default")
+		failoverTmo  = fs.Duration("failover-timeout", 0, "standby: promote automatically once the primary has been silent this long; 0 means promotion only via cacctl promote")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -208,6 +233,56 @@ func run(args []string) error {
 		}
 	} else if mode != wire.DurabilitySnapshot {
 		return fmt.Errorf("-durability %s requires -state", mode)
+	}
+	// Replication ships the write-ahead journal, so both roles require a
+	// journaled durability mode: without a journal there is no stream to
+	// ship and no watermark for the standby to resume from.
+	var prim *replica.Primary
+	var sb *replica.Standby
+	if *replListen != "" || *replFrom != "" {
+		if *state == "" || mode == wire.DurabilitySnapshot {
+			return fmt.Errorf("replication requires -state and -durability journal or journal-sync")
+		}
+		rmode, err := replica.ParseMode(*replMode)
+		if err != nil {
+			return err
+		}
+		if *replListen != "" {
+			rln, err := net.Listen("tcp", *replListen)
+			if err != nil {
+				return err
+			}
+			prim = replica.NewPrimary(srv, replica.PrimaryConfig{
+				Mode:   rmode,
+				MaxLag: *replLag,
+				Tracer: tracer,
+			})
+			srv.SetShipper(prim)
+			prim.RegisterMetrics(reg)
+			go func() { _ = prim.Serve(rln) }()
+			defer prim.Close()
+			fmt.Printf("cacd: shipping the journal (%s mode) to standbys on %s\n", rmode, rln.Addr())
+			if testHookReplListen != nil {
+				testHookReplListen(rln.Addr())
+			}
+		}
+		if *replFrom != "" {
+			srv.SetStandby(true)
+			sb = replica.NewStandby(srv, replica.StandbyConfig{
+				PrimaryAddr:     *replFrom,
+				FailoverTimeout: *failoverTmo,
+				Tracer:          tracer,
+			})
+			sb.RegisterMetrics(reg)
+			go func() { _ = sb.Run() }()
+			defer sb.Close()
+			if *failoverTmo > 0 {
+				fmt.Printf("cacd: warm standby of %s (auto-failover after %s of silence)\n", *replFrom, *failoverTmo)
+			} else {
+				fmt.Printf("cacd: warm standby of %s (promotion via cacctl promote)\n", *replFrom)
+			}
+		}
+		srv.SetReplicationStatus(replica.Status(prim, sb))
 	}
 	// After SetLimiter and SetDurable, so the scrape-time gauges see the
 	// final configuration (limiter tokens, journal size).

@@ -111,6 +111,20 @@ func (c *CrashFS) Crashed() bool {
 	return c.crashed
 }
 
+// ForceCrash kills the filesystem now, regardless of the armed write
+// boundary, applying the loss model to every tracked file. The
+// replication harness crashes at protocol instants (pre-append,
+// post-append, post-ship) that are not write boundaries.
+func (c *CrashFS) ForceCrash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return
+	}
+	c.crashed = true
+	c.applyLoss()
+}
+
 // track returns the bookkeeping entry for path, creating it sized to the
 // file's current on-disk length (a journal carried over from a previous
 // epoch starts fully synced).

@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/replica"
+)
+
+// replicaScript is the takeover scenario: setups, a teardown, a link
+// failure with re-admission, a setup under wrap, and a restore — every
+// journaled op kind crosses the replication stream.
+func replicaScript() Script {
+	return Script{
+		Event{Kind: KindSetup, ID: core.ConnID("r0"), Origin: 0, PCR: 0.02},
+		Event{Kind: KindSetup, ID: core.ConnID("r1"), Origin: 1, PCR: 0.02},
+		Event{Kind: KindSetup, ID: core.ConnID("r2"), Origin: 2, PCR: 0.02},
+		Event{Kind: KindTeardown, ID: "r1"},
+		Event{Kind: KindFail, Node: 1},
+		Event{Kind: KindSetup, ID: "rw", Origin: 0, PCR: 0.02},
+		Event{Kind: KindRestore, Node: 1},
+		Event{Kind: KindSetup, ID: "r3", Origin: 3, PCR: 0.02},
+	}
+}
+
+// journaledOps counts the script events that reach the journal (all of
+// them — every kind in the vocabulary is journaled).
+func journaledOps(s Script) int { return len(s) }
+
+// TestReplicaTakeoverClean is the fault-free baseline: full script,
+// manual failover, exact state takeover, ex-primary rejoin.
+func TestReplicaTakeoverClean(t *testing.T) {
+	h := ReplicaHarness{Dir: t.TempDir(), Script: replicaScript()}
+	res, _, err := h.Run(ReplicaFault{Point: PointFSBoundary, Boundary: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashedAtOp != -1 {
+		t.Fatalf("clean run crashed at op %d", res.CrashedAtOp)
+	}
+	if res.PromotedEpoch == 0 {
+		t.Fatal("promotion did not advance the epoch")
+	}
+}
+
+// TestReplicaCrashPoints kills the primary at every protocol instant of
+// every journaled operation: before the append, between append and
+// ship, and between the standby's ack and the client's. The promoted
+// standby must hold exactly the acked state (the interrupted op may be
+// in either).
+func TestReplicaCrashPoints(t *testing.T) {
+	script := replicaScript()
+	points := []ReplicaPoint{PointPreAppend, PointPostAppend, PointPostShip}
+	for _, point := range points {
+		for op := 0; op < journaledOps(script); op++ {
+			t.Run(fmt.Sprintf("%s/op%d", point, op), func(t *testing.T) {
+				t.Parallel()
+				h := ReplicaHarness{Dir: t.TempDir(), Script: script}
+				res, _, err := h.Run(ReplicaFault{Point: point, OpIndex: op})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.CrashedAtOp == -1 {
+					t.Fatal("fault never fired")
+				}
+			})
+		}
+	}
+}
+
+// TestReplicaCrashFSBoundaries sweeps the primary's filesystem write
+// boundaries — appends, snapshot writes, and every instant of a
+// compaction — while replication is live, under the power-loss model.
+func TestReplicaCrashFSBoundaries(t *testing.T) {
+	script := replicaScript()
+	dry := ReplicaHarness{Dir: t.TempDir(), Script: script}
+	_, cfs, err := dry.Run(ReplicaFault{Point: PointFSBoundary, Boundary: -1})
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	n := cfs.Boundaries()
+	if n == 0 {
+		t.Fatal("dry run hit no durability boundaries")
+	}
+	t.Logf("scenario has %d primary-side durability boundaries", n)
+	stride := 1
+	if testing.Short() {
+		stride = 4
+	}
+	for k := 0; k < n; k += stride {
+		k := k
+		t.Run(fmt.Sprintf("boundary%d", k), func(t *testing.T) {
+			t.Parallel()
+			h := ReplicaHarness{Dir: t.TempDir(), Script: script, Loss: DropUnsynced}
+			res, run, err := h.Run(ReplicaFault{Point: PointFSBoundary, Boundary: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !run.Crashed() {
+				t.Fatalf("boundary %d never fired", k)
+			}
+			_ = res
+		})
+	}
+}
+
+// TestReplicaPartition cuts the replication link mid-script: sync-mode
+// writes on the primary must be refused and rolled back, the promoted
+// standby must fence the old primary across the healed link, the fenced
+// node must refuse writes with the split-brain code without mutating,
+// and the ex-primary must converge after rejoining as a standby.
+func TestReplicaPartition(t *testing.T) {
+	// Cut after the restore event so the partitioned tail is purely
+	// ack-gated ops (warning-only ops would ack despite the partition).
+	script := replicaScript()
+	for _, cutAt := range []int{7, 8} {
+		t.Run(fmt.Sprintf("cut%d", cutAt), func(t *testing.T) {
+			t.Parallel()
+			h := ReplicaHarness{Dir: t.TempDir(), Script: script}
+			res, _, err := h.Run(ReplicaFault{Point: PointPartition, OpIndex: cutAt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PromotedEpoch == 0 {
+				t.Fatal("promotion did not advance the epoch")
+			}
+		})
+	}
+}
+
+// TestReplicaAsyncPartitionAllowsProgress pins the async-mode contract
+// under partition: writes keep acking (catch-up heals the standby
+// later), which is exactly the loss window the sync mode closes.
+func TestReplicaAsyncPartitionAllowsProgress(t *testing.T) {
+	h := ReplicaHarness{
+		Dir:  t.TempDir(),
+		Mode: replica.ModeAsync,
+		// Only pre-cut events run under replication; the tail after the
+		// cut is applied with the link down.
+		Script: Script{
+			Event{Kind: KindSetup, ID: core.ConnID("a0"), Origin: 0, PCR: 0.02},
+			Event{Kind: KindSetup, ID: core.ConnID("a1"), Origin: 1, PCR: 0.02},
+		},
+	}
+	// A partition in async mode refuses nothing, so runPartition's
+	// sync-mode assertions do not apply; drive the pieces directly via
+	// the crash path instead: cut is modelled by killing the link at
+	// post-ship of op 1 — the op still acks (async never waits).
+	res, _, err := h.Run(ReplicaFault{Point: PointPostShip, OpIndex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashedAtOp != 1 {
+		t.Fatalf("fault fired at op %d, want 1", res.CrashedAtOp)
+	}
+}

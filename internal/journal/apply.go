@@ -1,0 +1,71 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+
+	"atmcac/internal/core"
+)
+
+// ErrApply reports a record that cannot be folded into a live network —
+// an unknown op, or an install the network refused. The caller (a warm
+// standby) treats it as a divergence signal and requests a full resync
+// rather than continuing with a half-applied stream.
+var ErrApply = errors.New("journal: record does not apply")
+
+// ApplyToNetwork folds one journaled record into a live network,
+// idempotently: re-applying a record whose effect is already present is a
+// no-op, so at-least-once delivery on the replication stream is safe.
+// This is the warm-standby counterpart of Replay — Replay folds records
+// into a passive State for recovery, ApplyToNetwork folds them into the
+// standby's live network so takeover needs no replay pause. Setups use
+// Install (no CAC): the record exists because the primary's CAC already
+// admitted it, and re-checking on the standby could only diverge.
+func ApplyToNetwork(net *core.Network, rec Record) error {
+	switch rec.Op {
+	case OpSetup:
+		if rec.Request == nil {
+			return nil
+		}
+		if _, ok := net.AdmittedRequest(rec.Request.ID); ok {
+			return nil
+		}
+		if err := net.Install(*rec.Request); err != nil {
+			return fmt.Errorf("%w: setup %q (seq %d): %v", ErrApply, rec.Request.ID, rec.Seq, err)
+		}
+	case OpTeardown:
+		if err := net.Teardown(rec.ID); err != nil && !errors.Is(err, core.ErrUnknownConn) {
+			return fmt.Errorf("%w: teardown %q (seq %d): %v", ErrApply, rec.ID, rec.Seq, err)
+		}
+	case OpFailLink:
+		// FailLink's own eviction scan removes the traversing connections
+		// (a no-op if the link is already down); the recorded evictions
+		// are then swept explicitly in case the local admitted set lagged.
+		if _, err := net.FailLink(rec.From, rec.To); err != nil {
+			return fmt.Errorf("%w: fail-link %s->%s (seq %d): %v", ErrApply, rec.From, rec.To, rec.Seq, err)
+		}
+		for _, id := range rec.Evicted {
+			if err := net.Teardown(id); err != nil && !errors.Is(err, core.ErrUnknownConn) {
+				return fmt.Errorf("%w: evict %q (seq %d): %v", ErrApply, id, rec.Seq, err)
+			}
+		}
+		for _, req := range rec.Readmitted {
+			if _, ok := net.AdmittedRequest(req.ID); ok {
+				continue
+			}
+			if err := net.Install(req); err != nil {
+				return fmt.Errorf("%w: readmit %q (seq %d): %v", ErrApply, req.ID, rec.Seq, err)
+			}
+		}
+	case OpRestoreLink:
+		if !net.LinkDown(rec.From, rec.To) {
+			return nil
+		}
+		if err := net.RestoreLink(rec.From, rec.To); err != nil {
+			return fmt.Errorf("%w: restore-link %s->%s (seq %d): %v", ErrApply, rec.From, rec.To, rec.Seq, err)
+		}
+	default:
+		return fmt.Errorf("%w: unknown op %q (seq %d)", ErrApply, rec.Op, rec.Seq)
+	}
+	return nil
+}

@@ -78,6 +78,12 @@ var ErrBroken = errors.New("journal: log broken (reopen to rescan the on-disk st
 type Record struct {
 	Seq uint64 `json:"seq"`
 	Op  Op     `json:"op"`
+	// Epoch is the primary term that produced the record. A promoted
+	// standby bumps its epoch, and replication peers reject streams from a
+	// lower epoch — the fencing that keeps a partitioned ex-primary from
+	// mutating shared state. Zero (records from before replication, or a
+	// never-replicated deployment) is a valid first epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Request carries the admitted connection for OpSetup.
 	Request *core.ConnRequest `json:"request,omitempty"`
 	// ID names the released connection for OpTeardown.
@@ -101,11 +107,18 @@ func EncodeFrame(rec Record) ([]byte, error) {
 	if len(payload) > MaxRecordBytes {
 		return nil, fmt.Errorf("journal: record seq %d exceeds %d bytes", rec.Seq, MaxRecordBytes)
 	}
+	return EncodeRawFrame(payload), nil
+}
+
+// EncodeRawFrame wraps an already-encoded payload in a frame. The caller
+// is responsible for the payload fitting MaxRecordBytes; the standby uses
+// this to persist shipped payloads byte-identically to the primary's file.
+func EncodeRawFrame(payload []byte) []byte {
 	frame := make([]byte, frameHeaderLen+len(payload))
 	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
 	copy(frame[frameHeaderLen:], payload)
-	return frame, nil
+	return frame
 }
 
 // ScanResult is the outcome of decoding a journal image.
@@ -119,11 +132,41 @@ type ScanResult struct {
 	Torn bool
 }
 
-// ScanBytes decodes frames until the data ends or a frame is invalid.
+// Entry is one valid journal frame surfaced at every level of detail at
+// once: the assigned sequence, the exact frame bytes as they sit in the
+// file, the JSON payload inside the frame, and the decoded record. It is
+// the shared currency of local recovery, offline inspection, and
+// replication shipping — one decode path, so a record a recovering
+// primary would replay is byte-for-byte the record a standby receives.
+type Entry struct {
+	// Seq is Rec.Seq, hoisted for watermark filtering without touching
+	// the decoded record.
+	Seq uint64
+	// Frame is the complete on-disk frame: length prefix, CRC32, payload.
+	Frame []byte
+	// Payload is the JSON record inside Frame (aliases Frame's storage).
+	Payload []byte
+	// Rec is the decoded record.
+	Rec Record
+}
+
+// EntryScan is the outcome of decoding a journal image into entries.
+type EntryScan struct {
+	// Entries holds every valid frame, in file order.
+	Entries []Entry
+	// Valid is the byte offset just past the last valid frame.
+	Valid int64
+	// Torn reports trailing bytes after Valid that do not form a valid
+	// frame — the residue of a crash mid-append.
+	Torn bool
+}
+
+// ScanEntries decodes frames until the data ends or a frame is invalid.
 // It never fails: a bad frame terminates the scan with Torn set, because
-// a write-ahead log's tail is exactly where a crash lands.
-func ScanBytes(data []byte) ScanResult {
-	res := ScanResult{}
+// a write-ahead log's tail is exactly where a crash lands. Entry frames
+// alias data; callers that outlive data must copy.
+func ScanEntries(data []byte) EntryScan {
+	res := EntryScan{}
 	for {
 		rest := data[res.Valid:]
 		if len(rest) == 0 {
@@ -138,7 +181,8 @@ func ScanBytes(data []byte) ScanResult {
 			res.Torn = true
 			return res
 		}
-		payload := rest[frameHeaderLen : frameHeaderLen+int(n)]
+		frame := rest[:frameHeaderLen+int(n)]
+		payload := frame[frameHeaderLen:]
 		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(rest[4:8]) {
 			res.Torn = true
 			return res
@@ -148,9 +192,49 @@ func ScanBytes(data []byte) ScanResult {
 			res.Torn = true
 			return res
 		}
-		res.Records = append(res.Records, rec)
+		res.Entries = append(res.Entries, Entry{Seq: rec.Seq, Frame: frame, Payload: payload, Rec: rec})
 		res.Valid += int64(frameHeaderLen) + int64(n)
 	}
+}
+
+// ScanBytes decodes frames into records only; it is ScanEntries with the
+// frame bytes dropped, kept for callers that replay and never ship.
+func ScanBytes(data []byte) ScanResult {
+	es := ScanEntries(data)
+	res := ScanResult{Valid: es.Valid, Torn: es.Torn}
+	if len(es.Entries) > 0 {
+		res.Records = make([]Record, len(es.Entries))
+		for i, e := range es.Entries {
+			res.Records[i] = e.Rec
+		}
+	}
+	return res
+}
+
+// EntriesSince reads the journal at path and returns the valid entries
+// with sequence numbers past the afterSeq watermark — the catch-up feed
+// for a standby whose journal ends at afterSeq. Frames are copies safe to
+// retain. A torn tail is not an error: the torn frames were never
+// acknowledged and must not ship.
+func EntriesSince(fsys FS, path string, afterSeq uint64) ([]Entry, error) {
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	var out []Entry
+	for _, e := range ScanEntries(data).Entries {
+		if e.Seq <= afterSeq {
+			continue
+		}
+		frame := append([]byte(nil), e.Frame...)
+		e.Frame = frame
+		e.Payload = frame[frameHeaderLen:]
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // ScanFile reads and decodes the journal at path without modifying it —
@@ -241,6 +325,14 @@ func (l *Log) SetNextSeq(seq uint64) {
 	}
 }
 
+// ForceNextSeq adopts seq as the next sequence even when lower than the
+// current one. Only a full replication resync may do this: the node is
+// discarding its entire journal (Reset) and taking over the primary's
+// numbering, so its own — possibly higher, never-acked — history no
+// longer exists to collide with. Anywhere else, lowering the counter
+// would re-issue sequences and break replay idempotency; use SetNextSeq.
+func (l *Log) ForceNextSeq(seq uint64) { l.next = seq }
+
 // LastSeq returns the highest sequence number assigned so far.
 func (l *Log) LastSeq() uint64 { return l.next - 1 }
 
@@ -263,7 +355,51 @@ func (l *Log) Path() string { return l.path }
 // have dropped the dirty pages while clearing its error state, so a later
 // successful fsync through the same handle would not prove the record
 // reached disk.
-func (l *Log) Append(rec *Record, sync bool) (err error) {
+func (l *Log) Append(rec *Record, sync bool) error {
+	_, err := l.AppendPayload(rec, sync)
+	return err
+}
+
+// AppendPayload is Append, additionally returning the encoded JSON
+// payload on success so a replication shipper can forward exactly the
+// bytes that were persisted — re-encoding could diverge.
+func (l *Log) AppendPayload(rec *Record, sync bool) (payload []byte, err error) {
+	var start time.Time
+	var syncDur time.Duration
+	frameLen := 0
+	if l.observe != nil {
+		start = time.Now()
+		defer func() { l.observe(time.Since(start), syncDur, frameLen, err) }()
+	}
+	if l.broken {
+		return nil, ErrBroken
+	}
+	rec.Seq = l.next
+	frame, err := EncodeFrame(*rec)
+	if err != nil {
+		return nil, err
+	}
+	frameLen = len(frame)
+	// The sequence is burned even when the append fails: the frame may
+	// have reached the file despite the error, and a compaction watermark
+	// taken from LastSeq must cover every frame that could be on disk,
+	// or replay could resurrect a rolled-back (never acked) mutation.
+	// Sequences only need to be monotonic, not dense.
+	l.next++
+	if err := l.writeFrame(rec.Seq, frame, sync, &syncDur); err != nil {
+		return nil, err
+	}
+	return frame[frameHeaderLen:], nil
+}
+
+// AppendEntry persists an already-encoded payload under the sequence its
+// primary assigned, advancing the local counter past it. This is the
+// standby's append: the shipped payload is framed and written unmodified,
+// so the standby's journal is byte-identical to the primary's for every
+// shipped record, and a later recovery or promotion replays the same
+// bytes either side would. Sequence gaps are expected — the primary burns
+// sequences on failed appends.
+func (l *Log) AppendEntry(seq uint64, payload []byte, sync bool) (err error) {
 	var start time.Time
 	var syncDur time.Duration
 	frameLen := 0
@@ -274,21 +410,24 @@ func (l *Log) Append(rec *Record, sync bool) (err error) {
 	if l.broken {
 		return ErrBroken
 	}
-	rec.Seq = l.next
-	frame, err := EncodeFrame(*rec)
-	if err != nil {
-		return err
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("journal: entry seq %d exceeds %d bytes", seq, MaxRecordBytes)
 	}
+	frame := EncodeRawFrame(payload)
 	frameLen = len(frame)
-	// The sequence is burned even when the append fails: the frame may
-	// have reached the file despite the error, and a compaction watermark
-	// taken from LastSeq must cover every frame that could be on disk,
-	// or replay could resurrect a rolled-back (never acked) mutation.
-	// Sequences only need to be monotonic, not dense.
-	l.next++
+	// Burn the sequence before writing, same rationale as AppendPayload.
+	if seq >= l.next {
+		l.next = seq + 1
+	}
+	return l.writeFrame(seq, frame, sync, &syncDur)
+}
+
+// writeFrame writes one complete frame, optionally fsyncing, with the
+// shared heal/broken discipline of every append path.
+func (l *Log) writeFrame(seq uint64, frame []byte, sync bool, syncDur *time.Duration) error {
 	if _, err := l.f.Write(frame); err != nil {
 		l.heal()
-		return fmt.Errorf("journal: append seq %d: %w", rec.Seq, err)
+		return fmt.Errorf("journal: append seq %d: %w", seq, err)
 	}
 	if sync {
 		var syncStart time.Time
@@ -297,12 +436,12 @@ func (l *Log) Append(rec *Record, sync bool) (err error) {
 		}
 		serr := l.f.Sync()
 		if l.observe != nil {
-			syncDur = time.Since(syncStart)
+			*syncDur = time.Since(syncStart)
 		}
 		if serr != nil {
 			l.heal()
 			l.broken = true
-			return fmt.Errorf("journal: sync seq %d: %w", rec.Seq, serr)
+			return fmt.Errorf("journal: sync seq %d: %w", seq, serr)
 		}
 	}
 	l.size += int64(len(frame))

@@ -1,0 +1,59 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrFrame reports a malformed frame read from a byte stream: an
+// oversized length prefix or a checksum mismatch. Unlike a file scan —
+// where a bad frame is a torn tail and simply ends replay — a bad frame
+// on a live replication stream is a protocol violation, so stream readers
+// surface it as a typed error instead of silently stopping.
+var ErrFrame = errors.New("journal: malformed frame")
+
+// WriteFrame writes payload as one frame. Used by the replication stream
+// so the wire format is the journal's own frame format: the same CRC that
+// detects a torn tail on disk detects corruption in transit.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("%w: payload %d bytes exceeds %d", ErrFrame, len(payload), MaxRecordBytes)
+	}
+	_, err := w.Write(EncodeRawFrame(payload))
+	return err
+}
+
+// ReadFrame reads one frame from r and returns its verified payload.
+// io.EOF is returned only at a clean frame boundary; an EOF mid-frame
+// becomes io.ErrUnexpectedEOF (a truncated stream), and a length or
+// checksum violation wraps ErrFrame. The payload is freshly allocated.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > MaxRecordBytes {
+		return nil, fmt.Errorf("%w: length %d exceeds %d", ErrFrame, n, MaxRecordBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrFrame)
+	}
+	return payload, nil
+}

@@ -54,6 +54,18 @@ const (
 	// Fields: Restored, Failed, Records (journal records past the
 	// watermark), Duration.
 	KindReplay Kind = "replay"
+	// KindReplShip is one journal record shipped to the standby (replica).
+	// Fields: Outcome, Duration (write-to-stream latency), Bytes, Epoch.
+	KindReplShip Kind = "repl-ship"
+	// KindReplAck is one standby acknowledgement observed by the primary
+	// (replica). Fields: Duration (append-to-ack latency), Epoch.
+	KindReplAck Kind = "repl-ack"
+	// KindPromote is one standby promotion to primary (wire).
+	// Fields: Epoch (the new term), Outcome.
+	KindPromote Kind = "promote"
+	// KindFence is an ex-primary refusing writes after observing a higher
+	// term (wire). Fields: Epoch (the fencing term).
+	KindFence Kind = "fence"
 )
 
 // Outcome values shared by event kinds.
@@ -90,6 +102,7 @@ type Event struct {
 	SyncDuration time.Duration // fsync share of a journal append
 	Slack        float64       // guarantee minus computed bound, cell times
 	Bytes        int64         // journal append frame size
+	Epoch        uint64        // replication term of a ship/promote/fence
 }
 
 // Tracer receives trace events. Implementations must be safe for
@@ -164,6 +177,13 @@ type MetricsTracer struct {
 	compactSecs   *Histogram
 	snapshotSecs  *Histogram
 	snapshots     map[string]*Counter // by outcome
+	shipSeconds   *Histogram
+	shipBytes     *Counter
+	shipErrors    *Counter
+	ackSeconds    *Histogram
+	promotions    *Counter
+	fences        *Counter
+	epochGauge    *Gauge
 
 	mu sync.Mutex // guards rejections (open code vocabulary)
 }
@@ -220,6 +240,20 @@ func NewMetricsTracer(reg *Registry) *MetricsTracer {
 		OutcomeOK:    reg.Counter("atmcac_persist_snapshots_total", L("outcome", OutcomeOK)),
 		OutcomeError: reg.Counter("atmcac_persist_snapshots_total", L("outcome", OutcomeError)),
 	}
+	t.shipSeconds = reg.Histogram("atmcac_repl_ship_seconds", DefLatencyBuckets)
+	reg.Help("atmcac_repl_ship_seconds", "Journal record ship latency to the standby (mode-dependent: includes the ack wait in sync mode).")
+	t.shipBytes = reg.Counter("atmcac_repl_shipped_bytes_total")
+	reg.Help("atmcac_repl_shipped_bytes_total", "Journal payload bytes shipped to the standby.")
+	t.shipErrors = reg.Counter("atmcac_repl_ship_errors_total")
+	reg.Help("atmcac_repl_ship_errors_total", "Records that could not be shipped (standby down or stream error).")
+	t.ackSeconds = reg.Histogram("atmcac_repl_ack_seconds", DefLatencyBuckets)
+	reg.Help("atmcac_repl_ack_seconds", "Standby acknowledgement latency per shipped record.")
+	t.promotions = reg.Counter("atmcac_failover_promotions_total")
+	reg.Help("atmcac_failover_promotions_total", "Standby promotions to primary.")
+	t.fences = reg.Counter("atmcac_repl_fenced_total")
+	reg.Help("atmcac_repl_fenced_total", "Times this node fenced itself after observing a higher term.")
+	t.epochGauge = reg.Gauge("atmcac_repl_epoch")
+	reg.Help("atmcac_repl_epoch", "Current replication epoch (term) of this node.")
 	return t
 }
 
@@ -308,5 +342,22 @@ func (t *MetricsTracer) Trace(ev Event) {
 		t.reg.Counter("atmcac_recovery_restored_total").Add(ev.Restored)
 		t.reg.Counter("atmcac_recovery_failed_total").Add(ev.Failed)
 		t.reg.Counter("atmcac_recovery_journal_records_total").Add(ev.Records)
+	case KindReplShip:
+		if ev.Outcome == OutcomeError {
+			t.shipErrors.Inc()
+			return
+		}
+		t.shipSeconds.Observe(ev.Duration.Seconds())
+		t.shipBytes.Add(int(ev.Bytes))
+	case KindReplAck:
+		t.ackSeconds.Observe(ev.Duration.Seconds())
+	case KindPromote:
+		if ev.Outcome == OutcomeOK {
+			t.promotions.Inc()
+			t.epochGauge.Set(float64(ev.Epoch))
+		}
+	case KindFence:
+		t.fences.Inc()
+		t.epochGauge.Set(float64(ev.Epoch))
 	}
 }

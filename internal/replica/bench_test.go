@@ -1,0 +1,81 @@
+package replica_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"atmcac/internal/core"
+	"atmcac/internal/overload"
+	"atmcac/internal/replica"
+	"atmcac/internal/traffic"
+	"atmcac/internal/wire"
+)
+
+// BenchmarkReplicatedSetup measures the client-visible setup latency
+// through a live loopback primary/standby pair in each replication
+// mode. Async pays only the local journal append; semi-sync adds the
+// wait for the standby's connection-level ack; sync waits for the
+// standby to confirm this very record. Each iteration admits one
+// connection; the teardown that keeps state flat runs off the clock.
+func BenchmarkReplicatedSetup(b *testing.B) {
+	for _, mode := range []replica.Mode{replica.ModeAsync, replica.ModeSemiSync, replica.ModeSync} {
+		b.Run(string(mode), func(b *testing.B) {
+			dir := b.TempDir()
+			pn := bootNode(b, filepath.Join(dir, "primary.json"), true)
+			defer pn.stop()
+			pn.prim = replica.NewPrimary(pn.srv, replica.PrimaryConfig{
+				Mode:           mode,
+				AckTimeout:     5 * time.Second,
+				HeartbeatEvery: 50 * time.Millisecond,
+			})
+			pn.srv.SetShipper(pn.prim)
+			go pn.prim.Serve(pn.replLn)
+
+			sn := bootNode(b, filepath.Join(dir, "standby.json"), false)
+			defer sn.stop()
+			sn.srv.SetStandby(true)
+			sn.sb = replica.NewStandby(sn.srv, replica.StandbyConfig{
+				PrimaryAddr:      pn.replLn.Addr().String(),
+				ReconnectBackoff: overload.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond},
+			})
+			go sn.sb.Run()
+
+			route, err := pn.rt.BroadcastRoute(0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := core.ConnRequest{ID: "bench", Spec: traffic.CBR(0.001), Priority: 1, Route: route}
+
+			// Wait for the standby session, then warm up with one full
+			// admission so every mode measures steady-state shipping,
+			// not the initial catch-up handshake.
+			if !waitFor(5*time.Second, func() bool {
+				rep := wire.ReplicationReport{Role: "primary"}
+				replica.Status(pn.prim, nil)(&rep)
+				return rep.Connected
+			}) {
+				b.Fatal("standby never connected")
+			}
+			if _, err := pn.client.Setup(req); err != nil {
+				b.Fatal(err)
+			}
+			if err := pn.client.Teardown(req.ID); err != nil {
+				b.Fatal(err)
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pn.client.Setup(req); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := pn.client.Teardown(req.ID); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+		})
+	}
+}

@@ -1,0 +1,163 @@
+package replica_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/journal"
+	"atmcac/internal/replica"
+	"atmcac/internal/rtnet"
+	"atmcac/internal/traffic"
+	"atmcac/internal/wire"
+)
+
+// fuzzRoute builds one valid broadcast route for the fuzz network shape.
+func fuzzRoute(tb testing.TB) core.Route {
+	tb.Helper()
+	rt, err := rtnet.New(rtnet.Config{RingNodes: propRing, TerminalsPerNode: propTerminals})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	route, err := rt.BroadcastRoute(0, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return route
+}
+
+// seedStream is a well-formed replication byte stream: hello, a full
+// state install, setup and teardown records, a duplicate, a stale-epoch
+// record, heartbeats and a fence.
+func seedStream(tb testing.TB) []byte {
+	tb.Helper()
+	route := fuzzRoute(tb)
+	var buf bytes.Buffer
+	write := func(m replica.Msg) {
+		tb.Helper()
+		if err := replica.WriteMsg(&buf, m); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	write(replica.Msg{Type: replica.MsgHello, Epoch: 1, Seq: 0})
+	st := wire.PersistentState{
+		Connections: []core.ConnRequest{{ID: "seed", Spec: traffic.CBR(0.001), Priority: 1, Route: route}},
+		LastSeq:     3,
+		Epoch:       1,
+	}
+	stb, err := json.Marshal(st)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	write(replica.Msg{Type: replica.MsgState, Epoch: 1, Seq: 3, Payload: stb})
+	rec := func(seq, epoch uint64, r journal.Record) replica.Msg {
+		r.Seq, r.Epoch = seq, epoch
+		pb, merr := json.Marshal(r)
+		if merr != nil {
+			tb.Fatal(merr)
+		}
+		return replica.Msg{Type: replica.MsgRecord, Epoch: epoch, Seq: seq, Payload: pb}
+	}
+	setup := journal.Record{Op: journal.OpSetup, Request: &core.ConnRequest{
+		ID: "f1", Spec: traffic.CBR(0.001), Priority: 1, Route: route,
+	}}
+	write(rec(4, 1, setup))
+	write(replica.Msg{Type: replica.MsgHeartbeat, Epoch: 1})
+	write(rec(4, 1, setup)) // duplicate: reconnect replay, must be a no-op
+	write(rec(5, 2, journal.Record{Op: journal.OpTeardown, ID: "f1"}))
+	write(rec(6, 1, setup)) // stale epoch after the bump: typed reject
+	write(replica.Msg{Type: replica.MsgFence, Epoch: 3})
+	write(replica.Msg{Type: replica.MsgHeartbeat, Epoch: 3})
+	return buf.Bytes()
+}
+
+// consumeStream feeds raw bytes through the standby's ingestion
+// discipline — frame decode, envelope decode, record apply or state
+// install — against a real journal-backed server. Every outcome except a
+// panic is acceptable: garbage must surface as a typed error (ErrStream
+// at the frame layer, a reject from the apply layer) or be skipped.
+func consumeStream(tb testing.TB, srv *wire.Server, data []byte) {
+	tb.Helper()
+	r := bytes.NewReader(data)
+	for {
+		msg, err := replica.ReadMsg(r)
+		if err != nil {
+			// Torn, truncated or bit-flipped frames land here (ErrStream),
+			// as does clean EOF; either way the stream is over.
+			return
+		}
+		switch msg.Type {
+		case replica.MsgRecord:
+			var rec journal.Record
+			if json.Unmarshal(msg.Payload, &rec) != nil {
+				continue // the real standby resyncs; the bytes never apply
+			}
+			_ = srv.ApplyShipped(rec, msg.Payload)
+		case replica.MsgState:
+			var st wire.PersistentState
+			if json.Unmarshal(msg.Payload, &st) != nil {
+				continue
+			}
+			st.Epoch = msg.Epoch
+			_ = srv.InstallState(st)
+		case replica.MsgFence:
+			srv.Fence(msg.Epoch)
+		}
+	}
+}
+
+// FuzzReplicationStream mutates replication streams — truncations, bit
+// flips, duplicated frames, stale epochs, garbage JSON — and requires
+// the ingestion path to never panic and to stay idempotent: consuming
+// the same stream twice must leave the server in exactly the state one
+// pass produced.
+func FuzzReplicationStream(f *testing.F) {
+	valid := seedStream(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x40 // bit flip mid-stream
+	f.Add(flipped)
+	f.Add(append(bytes.Clone(valid), valid...)) // duplicated stream
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 200})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rt, err := rtnet.New(rtnet.Config{
+			RingNodes:        propRing,
+			TerminalsPerNode: propTerminals,
+			QueueCells:       map[core.Priority]float64{1: 1e6},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := wire.NewServer(rt.Core())
+		dur, err := wire.OpenDurable(wire.DurableConfig{
+			StatePath: filepath.Join(t.TempDir(), "state.json"),
+			FS:        journal.OSFS{},
+			Mode:      wire.DurabilityJournal,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dur.Close()
+		if _, err := dur.Recover(rt.Core()); err != nil {
+			t.Fatal(err)
+		}
+		srv.SetDurable(dur)
+		defer srv.Close()
+
+		consumeStream(t, srv, data)
+		once := stateKey(rt.Core())
+		onceEpoch := srv.Epoch()
+		consumeStream(t, srv, data)
+		if got := stateKey(rt.Core()); got != once {
+			t.Fatalf("second pass changed the state: %s -> %s", once, got)
+		}
+		if got := srv.Epoch(); got != onceEpoch {
+			t.Fatalf("second pass changed the epoch: %d -> %d", onceEpoch, got)
+		}
+	})
+}

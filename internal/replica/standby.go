@@ -1,0 +1,370 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"atmcac/internal/journal"
+	"atmcac/internal/obs"
+	"atmcac/internal/overload"
+	"atmcac/internal/wire"
+)
+
+// ErrSuperseded reports that the dialed peer refused this node as
+// stale: the local epoch is ahead of the peer's, so this node should be
+// (or already is) the primary — following would invert the roles.
+var ErrSuperseded = errors.New("replica: peer is behind this node's epoch")
+
+// StandbyConfig tunes the consuming side of replication.
+type StandbyConfig struct {
+	// PrimaryAddr is the primary's replication listener.
+	PrimaryAddr string
+	// Dial opens the replication connection; nil means net.Dial("tcp").
+	// Injectable so the chaos harness can partition the link.
+	Dial func(addr string) (net.Conn, error)
+	// FailoverTimeout promotes this standby automatically once the
+	// primary has been silent for this long. Zero disables automatic
+	// failover (promotion then only happens via cacctl promote).
+	FailoverTimeout time.Duration
+	// ReconnectBackoff shapes the jittered dial retry delays. The
+	// zero value uses overload's defaults (10ms base, 2s cap).
+	ReconnectBackoff overload.Backoff
+	// WriteTimeout bounds a single ack write. Defaults to 5s.
+	WriteTimeout time.Duration
+	// Tracer is reserved for stream events; nil disables.
+	Tracer obs.Tracer
+}
+
+// Standby maintains the replication session from the consuming side:
+// dial the primary with jittered backoff, hand every shipped record to
+// the server's idempotent ingestion path, acknowledge what is durable,
+// and promote itself — fencing the old primary — when the primary goes
+// silent past the failover timeout.
+type Standby struct {
+	srv *wire.Server
+	cfg StandbyConfig
+
+	mu         sync.Mutex
+	conn       net.Conn
+	appliedSeq uint64
+	needFull   bool
+	promoted   bool
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+}
+
+// NewStandby wires a consuming standby to srv. The caller still must
+// srv.SetStandby(true) and run Run in a goroutine.
+func NewStandby(srv *wire.Server, cfg StandbyConfig) *Standby {
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 5 * time.Second
+	}
+	return &Standby{srv: srv, cfg: cfg, stopped: make(chan struct{})}
+}
+
+// Close stops the session loop without promoting.
+func (s *Standby) Close() error {
+	s.stopOnce.Do(func() { close(s.stopped) })
+	s.mu.Lock()
+	conn := s.conn
+	s.conn = nil
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	return nil
+}
+
+// Run drives the replication session until Close, promotion, or a
+// terminal role conflict. It returns nil after a promotion (manual or
+// automatic) — the node is then the primary and the standby loop's job
+// is done.
+func (s *Standby) Run() error {
+	bo := s.cfg.ReconnectBackoff
+	var lostSince time.Time // zero while the primary is reachable
+	for {
+		select {
+		case <-s.stopped:
+			return nil
+		default:
+		}
+		if s.autoPromote(lostSince) {
+			return nil
+		}
+		conn, err := s.cfg.Dial(s.cfg.PrimaryAddr)
+		if err != nil {
+			if lostSince.IsZero() {
+				lostSince = time.Now()
+			}
+			if !s.sleep(bo.Next(0)) {
+				return nil
+			}
+			continue
+		}
+		contact, err := s.session(conn)
+		conn.Close()
+		select {
+		case <-s.stopped:
+			return nil
+		default:
+		}
+		if errors.Is(err, ErrSuperseded) {
+			return err
+		}
+		if contact {
+			// The primary was alive this session: restart the loss
+			// clock and the backoff schedule.
+			lostSince = time.Now()
+			bo = s.cfg.ReconnectBackoff
+		} else if lostSince.IsZero() {
+			lostSince = time.Now()
+		}
+		if !s.sleep(bo.Next(0)) {
+			return nil
+		}
+	}
+}
+
+// session runs one connected stint: hello, then consume until the
+// stream breaks. Reports whether the primary showed any sign of life.
+func (s *Standby) session(conn net.Conn) (contact bool, err error) {
+	s.mu.Lock()
+	s.conn = conn
+	hello := Msg{Type: MsgHello, Epoch: s.srv.Epoch(), Seq: s.srv.JournalWatermark()}
+	if s.needFull {
+		hello.Code = "full"
+	}
+	s.mu.Unlock()
+	if err := s.write(conn, hello); err != nil {
+		return false, err
+	}
+	defer func() {
+		s.mu.Lock()
+		if s.conn == conn {
+			s.conn = nil
+		}
+		s.mu.Unlock()
+	}()
+	for {
+		if s.cfg.FailoverTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.FailoverTimeout))
+		}
+		msg, err := ReadMsg(conn)
+		if err != nil {
+			return contact, err
+		}
+		contact = true
+		switch msg.Type {
+		case MsgHeartbeat:
+			// Nothing to do: the read itself fed the failover timer.
+		case MsgRecord:
+			var rec journal.Record
+			if uerr := json.Unmarshal(msg.Payload, &rec); uerr != nil {
+				// A corrupt payload would poison the standby journal;
+				// resync from scratch instead of applying it.
+				s.requestResync(conn, CodeResync, fmt.Sprintf("undecodable record seq %d: %v", msg.Seq, uerr))
+				return contact, fmt.Errorf("%w: record seq %d: %v", ErrStream, msg.Seq, uerr)
+			}
+			if aerr := s.srv.ApplyShipped(rec, msg.Payload); aerr != nil {
+				if errors.Is(aerr, wire.ErrStaleEpoch) {
+					// The sender's term is over; tell it so.
+					s.write(conn, Msg{Type: MsgReject, Code: wire.CodeFenced, Epoch: s.srv.Epoch(),
+						Text: aerr.Error()})
+					return contact, aerr
+				}
+				// Divergence (apply failed) or a broken local journal:
+				// ask for a full state session.
+				s.requestResync(conn, CodeResync, aerr.Error())
+				return contact, aerr
+			}
+			s.mu.Lock()
+			if rec.Seq > s.appliedSeq {
+				s.appliedSeq = rec.Seq
+			}
+			s.mu.Unlock()
+			if err := s.write(conn, Msg{Type: MsgAck, Seq: rec.Seq}); err != nil {
+				return contact, err
+			}
+		case MsgState:
+			var st wire.PersistentState
+			if uerr := json.Unmarshal(msg.Payload, &st); uerr != nil {
+				return contact, fmt.Errorf("%w: state payload: %v", ErrStream, uerr)
+			}
+			st.Epoch = msg.Epoch
+			if ierr := s.srv.InstallState(st); ierr != nil {
+				if errors.Is(ierr, wire.ErrStaleEpoch) {
+					s.write(conn, Msg{Type: MsgReject, Code: wire.CodeFenced, Epoch: s.srv.Epoch(),
+						Text: ierr.Error()})
+				}
+				return contact, ierr
+			}
+			s.mu.Lock()
+			s.needFull = false
+			s.appliedSeq = st.LastSeq
+			s.mu.Unlock()
+			if err := s.write(conn, Msg{Type: MsgAck, Seq: st.LastSeq}); err != nil {
+				return contact, err
+			}
+		case MsgReject:
+			if msg.Code == wire.CodeFenced {
+				// The peer says our epoch is ahead of its term: we are
+				// the newer node and must not follow it.
+				return contact, fmt.Errorf("%w: %s", ErrSuperseded, msg.Text)
+			}
+			return contact, fmt.Errorf("replica: session rejected (%s): %s", msg.Code, msg.Text)
+		case MsgFence:
+			// A newer primary found us. Fence and resync as a follower
+			// of whoever we dial next time.
+			if msg.Epoch > s.srv.Epoch() {
+				s.srv.Fence(msg.Epoch)
+			}
+			s.mu.Lock()
+			s.needFull = true
+			s.mu.Unlock()
+			return contact, fmt.Errorf("replica: fenced at epoch %d", msg.Epoch)
+		}
+	}
+}
+
+// requestResync marks the local state divergent and tells the primary,
+// so the next hello opens a full-state session.
+func (s *Standby) requestResync(conn net.Conn, code, text string) {
+	s.mu.Lock()
+	s.needFull = true
+	s.mu.Unlock()
+	s.write(conn, Msg{Type: MsgReject, Code: code, Text: text})
+}
+
+func (s *Standby) write(conn net.Conn, m Msg) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	err := WriteMsg(conn, m)
+	conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
+// autoPromote fires the failover once the primary has been silent past
+// the timeout. The jitter lives in the dial backoff that precedes each
+// check, so two standbys (in a future multi-standby world) would not
+// race the promotion deterministically.
+func (s *Standby) autoPromote(lostSince time.Time) bool {
+	if s.cfg.FailoverTimeout <= 0 || lostSince.IsZero() || time.Since(lostSince) < s.cfg.FailoverTimeout {
+		return false
+	}
+	epoch, err := s.srv.Promote()
+	if err != nil {
+		// Fenced (a newer primary exists): stay a standby and keep
+		// dialing — the fence already blocks split-brain writes.
+		return false
+	}
+	s.markPromoted()
+	go s.notifyFence(epoch)
+	return true
+}
+
+// Promote performs a manual (operator-driven) failover: stop following,
+// take over at a new epoch, and tell the old primary it is fenced.
+func (s *Standby) Promote() (uint64, error) {
+	epoch, err := s.srv.Promote()
+	if err != nil {
+		return 0, err
+	}
+	s.markPromoted()
+	s.Close()
+	go s.notifyFence(epoch)
+	return epoch, nil
+}
+
+func (s *Standby) markPromoted() {
+	s.mu.Lock()
+	s.promoted = true
+	s.mu.Unlock()
+}
+
+// notifyFence tells the old primary (best-effort, with backoff) that a
+// newer term exists so it fences itself the moment it is reachable.
+// Even if every attempt fails, the fence still lands the next time the
+// ex-primary touches the stream: any hello or record it exchanges
+// carries the lower epoch and is rejected.
+func (s *Standby) notifyFence(epoch uint64) {
+	var bo overload.Backoff
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 && !s.sleepDetached(bo.Next(0)) {
+			return
+		}
+		conn, err := s.cfg.Dial(s.cfg.PrimaryAddr)
+		if err != nil {
+			continue
+		}
+		werr := s.write(conn, Msg{Type: MsgFence, Epoch: epoch})
+		if werr == nil {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			_, rerr := ReadMsg(conn) // wait for the ack so the write flushed
+			conn.Close()
+			if rerr == nil {
+				return
+			}
+			continue
+		}
+		conn.Close()
+	}
+}
+
+// sleep waits d or until Close; reports false when closed.
+func (s *Standby) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stopped:
+		return false
+	}
+}
+
+// sleepDetached is sleep for goroutines that may outlive Run (fence
+// notification keeps retrying briefly even after the loop stopped —
+// unless Close raced the promotion, in which case stopping is fine).
+func (s *Standby) sleepDetached(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+	return true
+}
+
+// decorate fills the stream-level fields of a replication report.
+func (s *Standby) decorate(rep *wire.ReplicationReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep.Connected = s.conn != nil
+	rep.AckedSeq = s.appliedSeq
+}
+
+// RegisterMetrics exposes the standby's stream gauges on reg.
+func (s *Standby) RegisterMetrics(reg *obs.Registry) {
+	role := obs.L("role", "standby")
+	reg.GaugeFunc("atmcac_repl_connected", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.conn != nil {
+			return 1
+		}
+		return 0
+	}, role)
+	reg.Help("atmcac_repl_connected", "Whether a live replication stream is attached (by role).")
+	reg.GaugeFunc("atmcac_repl_applied_seq", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.appliedSeq)
+	}, role)
+	reg.Help("atmcac_repl_applied_seq", "Highest journal sequence applied from the primary.")
+}

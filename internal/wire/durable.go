@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"atmcac/internal/core"
 	"atmcac/internal/journal"
@@ -90,6 +91,15 @@ type Durable struct {
 	// Guarded by the server's persistMu; initialized by Recover.
 	viewConns map[core.ConnID]core.ConnRequest
 	viewLinks map[core.Link]struct{}
+
+	// recoveredEpoch is the replication term Recover found on disk (the
+	// snapshot trailer, raised by any higher record epoch in the
+	// journal); SetDurable adopts it as the server's term.
+	recoveredEpoch uint64
+	// snapSeq is the watermark of the last written snapshot: journal
+	// records at or below it are folded in and no longer available for
+	// incremental catch-up. Guarded by the server's persistMu.
+	snapSeq uint64
 }
 
 // initView seeds the durable view from the recovered state, at the point
@@ -240,6 +250,8 @@ func (d *Durable) Recover(network *core.Network) (*RecoveryReport, error) {
 		rep.Warnings = append(rep.Warnings, warning)
 	}
 	final := journal.State{Requests: st.Connections, FailedLinks: st.FailedLinks}
+	d.recoveredEpoch = st.Epoch
+	d.snapSeq = st.LastSeq
 	journaled := d.mode != DurabilitySnapshot
 	if journaled {
 		log, scan, tornPath, err := journal.Open(d.fsys, d.journalPath)
@@ -256,6 +268,13 @@ func (d *Durable) Recover(network *core.Network) (*RecoveryReport, error) {
 		for _, rec := range scan.Records {
 			if rec.Seq > st.LastSeq {
 				rep.JournalRecords++
+			}
+			// The journal can outrun the snapshot's term: records appended
+			// after a promotion whose compaction never landed. Recovery
+			// must resume at the highest term ever persisted, or a
+			// restarted node could ship records at a fenced epoch.
+			if rec.Epoch > d.recoveredEpoch {
+				d.recoveredEpoch = rec.Epoch
 			}
 		}
 		final = journal.Replay(final, st.LastSeq, scan.Records)
@@ -285,6 +304,7 @@ func (d *Durable) Recover(network *core.Network) (*RecoveryReport, error) {
 		st := PersistentState{
 			Connections: network.AdmittedRequests(),
 			FailedLinks: network.FailedLinks(),
+			Epoch:       d.recoveredEpoch,
 		}
 		if d.log != nil {
 			st.LastSeq = d.log.LastSeq()
@@ -302,6 +322,7 @@ func (d *Durable) Recover(network *core.Network) (*RecoveryReport, error) {
 				return nil, fmt.Errorf("wire: post-recovery compaction: %w", err)
 			}
 		}
+		d.snapSeq = st.LastSeq
 	}
 	return rep, nil
 }
@@ -309,37 +330,100 @@ func (d *Durable) Recover(network *core.Network) (*RecoveryReport, error) {
 // SetDurable attaches the persistence component: every successful setup,
 // teardown, fail-link and restore-link is journaled or snapshotted
 // (by mode) before the response acks. It must be called before Serve,
-// after Recover.
-func (s *Server) SetDurable(d *Durable) { s.dur = d }
+// after Recover. The server adopts the replication term recovery found
+// on disk.
+func (s *Server) SetDurable(d *Durable) {
+	s.dur = d
+	s.persistMu.Lock()
+	if d != nil && d.recoveredEpoch > s.epoch {
+		s.epoch = d.recoveredEpoch
+	}
+	s.persistMu.Unlock()
+}
 
 // journaled reports whether per-op persistence appends to the journal.
 func (d *Durable) journaled() bool {
 	return d.log != nil && d.mode != DurabilitySnapshot
 }
 
-// appendLocked appends one record (fsynced in journal-sync mode) and
-// compacts when the journal outgrows its triggers. The caller holds
-// persistMu. The returned warning flags a deferred compaction; the error
-// means the record is not durable and the operation must not ack.
-func (s *Server) appendLocked(rec *journal.Record) (string, error) {
-	if err := s.dur.log.Append(rec, s.dur.mode == DurabilityJournalSync); err != nil {
+// appendLocked appends one record (fsynced in journal-sync mode), ships
+// it to the standby when a shipper is attached, and compacts when the
+// journal outgrows its triggers. The caller holds persistMu. The
+// returned warning flags a deferred compaction or ship; the error means
+// the record is not durable — or, wrapped in ErrNotReplicated, that it
+// landed locally but the replication mode refused it and a compensating
+// invert record was appended — and the operation must not ack.
+//
+// invert, when non-nil, is the record's logical inverse (teardown for a
+// setup, setup for a teardown). A ship failure appends it so the local
+// journal's replay equals the rolled-back memory state: without it, a
+// crash after the refused op would resurrect a mutation the client was
+// told did not happen. Warning-only operations pass nil and degrade a
+// ship failure to a warning (standby catch-up heals the gap).
+func (s *Server) appendLocked(rec, invert *journal.Record) (string, error) {
+	op := string(rec.Op)
+	if cp := s.crashPoints; cp != nil && cp.PreAppend != nil {
+		cp.PreAppend(op)
+	}
+	rec.Epoch = s.epoch
+	payload, err := s.dur.log.AppendPayload(rec, s.dur.mode == DurabilityJournalSync)
+	if err != nil {
 		return "", err
 	}
 	s.dur.applyView(rec)
+	if cp := s.crashPoints; cp != nil && cp.PostAppend != nil {
+		cp.PostAppend(op, rec.Seq)
+	}
+	var warnings []string
+	if sh := s.shipper; sh != nil {
+		if serr := sh.Ship(rec.Seq, rec.Epoch, payload); serr != nil {
+			if invert != nil {
+				s.compensateLocked(invert)
+				return "", fmt.Errorf("%w: %v", ErrNotReplicated, serr)
+			}
+			warnings = append(warnings,
+				fmt.Sprintf("replication of %s seq %d deferred (standby catch-up will heal): %v", op, rec.Seq, serr))
+		} else if cp := s.crashPoints; cp != nil && cp.PostShip != nil {
+			cp.PostShip(op, rec.Seq)
+		}
+	}
 	if s.dur.log.Count() >= s.dur.compactRecords || s.dur.log.Size() >= s.dur.compactBytes {
 		if err := s.compactLocked(); err != nil {
 			if errors.Is(err, errJournalReset) {
 				// The snapshot saved, so this record (and everything
 				// before it) is durable under the watermark. Only the
 				// journal itself is out of service; no retry would help.
-				return fmt.Sprintf("journal out of service after compaction: %v", err), nil
+				warnings = append(warnings, fmt.Sprintf("journal out of service after compaction: %v", err))
+			} else {
+				// The record itself is durable; only the fold-in is deferred.
+				s.scheduleRetry()
+				warnings = append(warnings, fmt.Sprintf("journal compaction deferred (will retry): %v", err))
 			}
-			// The record itself is durable; only the fold-in is deferred.
-			s.scheduleRetry()
-			return fmt.Sprintf("journal compaction deferred (will retry): %v", err), nil
 		}
 	}
-	return "", nil
+	return strings.Join(warnings, "; "), nil
+}
+
+// compensateLocked appends the inverse of a locally durable record whose
+// replication was refused, so journal replay matches the rolled-back
+// memory. The compensation is also shipped best-effort: in semi-sync
+// mode the original may have reached (and been applied by) the standby
+// even though its confirmation did not arrive in time, and the invert
+// undoes it there too — with standby catch-up as the backstop, since the
+// invert is in the journal. If even the compensating append fails the
+// log is marked broken: recovery must rescan rather than trust a journal
+// whose replay no longer matches what clients were told.
+func (s *Server) compensateLocked(invert *journal.Record) {
+	invert.Epoch = s.epoch
+	payload, err := s.dur.log.AppendPayload(invert, s.dur.mode == DurabilityJournalSync)
+	if err != nil {
+		s.dur.log.MarkBroken()
+		return
+	}
+	s.dur.applyView(invert)
+	if sh := s.shipper; sh != nil {
+		sh.ShipBestEffort(invert.Seq, invert.Epoch, payload)
+	}
 }
 
 // persistSnapshotWarn is the legacy warning-only snapshot path: on
@@ -355,9 +439,10 @@ func (s *Server) persistSnapshotWarn() string {
 }
 
 // persistSetup makes an admitted setup durable before its ack. In the
-// journaled modes a failed append is returned as an error: the caller
-// rolls the in-memory admission back, because acking a setup that a
-// crash would erase violates the durability contract.
+// journaled modes a failed append — or an unsatisfied replication mode —
+// is returned as an error: the caller rolls the in-memory admission
+// back, because acking a setup that a crash (or a failover) would erase
+// violates the durability contract.
 func (s *Server) persistSetup(req core.ConnRequest) (string, error) {
 	if s.dur == nil {
 		return "", nil
@@ -367,21 +452,28 @@ func (s *Server) persistSetup(req core.ConnRequest) (string, error) {
 	}
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
-	return s.appendLocked(&journal.Record{Op: journal.OpSetup, Request: &req})
+	return s.appendLocked(
+		&journal.Record{Op: journal.OpSetup, Request: &req},
+		&journal.Record{Op: journal.OpTeardown, ID: req.ID})
 }
 
 // persistTeardown makes a teardown durable before its ack; same error
-// contract as persistSetup.
-func (s *Server) persistTeardown(id core.ConnID) (string, error) {
+// contract as persistSetup. undo, when known, is the torn-down request,
+// used as the compensating record if replication refuses the teardown.
+func (s *Server) persistTeardown(id core.ConnID, undo *core.ConnRequest) (string, error) {
 	if s.dur == nil {
 		return "", nil
 	}
 	if !s.dur.journaled() {
 		return s.persistSnapshotWarn(), nil
 	}
+	var invert *journal.Record
+	if undo != nil {
+		invert = &journal.Record{Op: journal.OpSetup, Request: undo}
+	}
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
-	return s.appendLocked(&journal.Record{Op: journal.OpTeardown, ID: id})
+	return s.appendLocked(&journal.Record{Op: journal.OpTeardown, ID: id}, invert)
 }
 
 // persistFailLink records a link failure with its evictions and wrapped
@@ -401,7 +493,7 @@ func (s *Server) persistFailLink(from, to string, evicted []core.ConnID, readmit
 		Evicted: evicted, Readmitted: readmitted,
 	}
 	s.persistMu.Lock()
-	warning, err := s.appendLocked(rec)
+	warning, err := s.appendLocked(rec, nil)
 	if err != nil {
 		// The op stays acked even though its record did not land, so fold
 		// it into the durable view by hand — the background retry
@@ -427,7 +519,7 @@ func (s *Server) persistRestoreLink(from, to string) string {
 	}
 	rec := &journal.Record{Op: journal.OpRestoreLink, From: from, To: to}
 	s.persistMu.Lock()
-	warning, err := s.appendLocked(rec)
+	warning, err := s.appendLocked(rec, nil)
 	if err != nil {
 		// Acked warning-only op: fold into the view despite the failed
 		// append, as in persistFailLink.

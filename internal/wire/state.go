@@ -15,11 +15,19 @@ import (
 	"atmcac/internal/obs"
 )
 
-// checksumPrefix introduces the integrity trailer of a snapshot file:
-// one final line "#crc32:<8 hex digits>" over every byte before it. The
-// '#' keeps the trailer out of the JSON payload, so files from before
-// the trailer existed (plain JSON arrays) still load.
+// checksumPrefix introduces the legacy (v1) integrity trailer of a
+// snapshot file: one final line "#crc32:<8 hex digits>" over every byte
+// before it. The '#' keeps the trailer out of the JSON payload, so files
+// from before the trailer existed (plain JSON arrays) still load.
 const checksumPrefix = "#crc32:"
+
+// trailerV2Prefix introduces the current, versioned trailer:
+// "#trailer:v2 crc32=<8 hex> epoch=<decimal>". Versioning the trailer is
+// what lets replication stamp the primary epoch into snapshots without
+// breaking older files: a v1 trailer still verifies (epoch 0, with a
+// legacy warning), and future fields extend the v2 line instead of
+// inventing a third format.
+const trailerV2Prefix = "#trailer:v2 "
 
 // ErrCorruptState reports a snapshot whose checksum did not match; the
 // file has been quarantined rather than restored.
@@ -34,6 +42,11 @@ type PersistentState struct {
 	LastSeq     uint64             `json:"lastSeq,omitempty"`
 	Connections []core.ConnRequest `json:"connections"`
 	FailedLinks []core.Link        `json:"failedLinks,omitempty"`
+	// Epoch is the replication term the snapshot was written under. It
+	// travels in the trailer line, not the JSON payload, so the payload
+	// stays readable by pre-replication tooling; files with a v1 or
+	// missing trailer load as epoch 0.
+	Epoch uint64 `json:"-"`
 }
 
 // StateStore persists the admission state as a JSON file so a central CAC
@@ -114,12 +127,18 @@ func (s *StateStore) readState() (st PersistentState, warning, reason string, er
 	if err != nil {
 		return PersistentState{}, "", "", fmt.Errorf("wire: load state: %w", err)
 	}
-	payload, sum, hasSum := splitChecksum(data)
-	if hasSum {
+	payload, sum, epoch, version := splitTrailer(data)
+	switch version {
+	case 2:
 		if got := crc32.ChecksumIEEE(payload); got != sum {
 			return PersistentState{}, "", fmt.Sprintf("checksum mismatch: file says %08x, content is %08x", sum, got), nil
 		}
-	} else {
+	case 1:
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return PersistentState{}, "", fmt.Sprintf("checksum mismatch: file says %08x, content is %08x", sum, got), nil
+		}
+		warning = fmt.Sprintf("wire: state %s has a legacy v1 crc-only trailer (no epoch field); epoch assumed 0", s.path)
+	default:
 		warning = fmt.Sprintf("wire: state %s has no checksum trailer (pre-checksum snapshot); accepted unverified", s.path)
 	}
 	trimmed := bytes.TrimLeft(payload, " \t\r\n")
@@ -127,12 +146,14 @@ func (s *StateStore) readState() (st PersistentState, warning, reason string, er
 		if jerr := json.Unmarshal(payload, &st); jerr != nil {
 			return PersistentState{}, "", fmt.Sprintf("invalid JSON: %v", jerr), nil
 		}
+		st.Epoch = epoch
 		return st, warning, "", nil
 	}
 	// Legacy layout: a bare array of connection requests.
 	if jerr := json.Unmarshal(payload, &st.Connections); jerr != nil {
 		return PersistentState{}, "", fmt.Sprintf("invalid JSON: %v", jerr), nil
 	}
+	st.Epoch = epoch
 	return st, warning, "", nil
 }
 
@@ -146,18 +167,30 @@ func (s *StateStore) quarantine(reason string) error {
 	return fmt.Errorf("%w: %s: %s (quarantined to %s)", ErrCorruptState, s.path, reason, qpath)
 }
 
-// splitChecksum separates the payload from the "#crc32:" trailer line.
-func splitChecksum(data []byte) (payload []byte, sum uint32, ok bool) {
+// splitTrailer separates the payload from the trailer line and reports
+// which trailer generation it found: 2 for the versioned
+// "#trailer:v2 crc32=... epoch=..." line, 1 for the legacy "#crc32:"
+// line, 0 for no (or unparseable) trailer. With version 0 the returned
+// payload is the whole input: if the final line was a mangled trailer,
+// the JSON parse behind it fails and the file is quarantined as corrupt,
+// which is the right verdict for a damaged integrity line.
+func splitTrailer(data []byte) (payload []byte, sum uint32, epoch uint64, version int) {
 	trimmed := bytes.TrimRight(data, "\n")
 	i := bytes.LastIndexByte(trimmed, '\n')
 	line := trimmed[i+1:]
-	if !bytes.HasPrefix(line, []byte(checksumPrefix)) {
-		return data, 0, false
+	if bytes.HasPrefix(line, []byte(trailerV2Prefix)) {
+		if _, err := fmt.Sscanf(string(line[len(trailerV2Prefix):]), "crc32=%08x epoch=%d", &sum, &epoch); err != nil {
+			return data, 0, 0, 0
+		}
+		return data[:i+1], sum, epoch, 2
 	}
-	if _, err := fmt.Sscanf(string(line[len(checksumPrefix):]), "%08x", &sum); err != nil {
-		return data, 0, false
+	if bytes.HasPrefix(line, []byte(checksumPrefix)) {
+		if _, err := fmt.Sscanf(string(line[len(checksumPrefix):]), "%08x", &sum); err != nil {
+			return data, 0, 0, 0
+		}
+		return data[:i+1], sum, 0, 1
 	}
-	return data[:i+1], sum, true
+	return data, 0, 0, 0
 }
 
 // Save atomically writes the connection requests with a CRC32 trailer.
@@ -179,7 +212,7 @@ func (s *StateStore) SaveState(st PersistentState) error {
 		return fmt.Errorf("wire: save state: %w", err)
 	}
 	data = append(data, '\n')
-	data = append(data, fmt.Sprintf("%s%08x\n", checksumPrefix, crc32.ChecksumIEEE(data))...)
+	data = append(data, fmt.Sprintf("%scrc32=%08x epoch=%d\n", trailerV2Prefix, crc32.ChecksumIEEE(data), st.Epoch)...)
 	tmpName := s.path + ".tmp"
 	tmp, err := s.fsys.OpenFile(tmpName, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
@@ -314,7 +347,7 @@ func (s *Server) compactLocked() error {
 
 // writeSnapshotLocked is the untraced body of compactLocked.
 func (s *Server) writeSnapshotLocked() error {
-	var st PersistentState
+	st := PersistentState{Epoch: s.epoch}
 	if s.dur.journaled() {
 		st.Connections, st.FailedLinks = s.dur.viewState()
 		st.LastSeq = s.dur.log.LastSeq()
@@ -325,6 +358,7 @@ func (s *Server) writeSnapshotLocked() error {
 	if err := s.dur.store.SaveState(st); err != nil {
 		return err
 	}
+	s.dur.snapSeq = st.LastSeq
 	if s.dur.log != nil {
 		if err := s.dur.log.Reset(); err != nil {
 			return fmt.Errorf("%w: %v", errJournalReset, err)

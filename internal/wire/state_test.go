@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"os"
 	"path/filepath"
@@ -164,6 +165,64 @@ func TestStateStoreLegacyFileAcceptedWithWarning(t *testing.T) {
 	}
 	if warning == "" {
 		t.Error("legacy snapshot accepted without a warning")
+	}
+}
+
+// TestStateStoreV1TrailerVerifiedWithWarning pins the trailer migration
+// contract: a snapshot bearing the legacy crc-only "#crc32:" trailer
+// still checksum-verifies, loads with epoch 0, and is flagged through
+// the warning channel so operators know the file predates replication.
+func TestStateStoreV1TrailerVerifiedWithWarning(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	payload := []byte(`[{"id": "v1", "spec": {"pcr": 0.1}, "priority": 1,
+		"route": [{"switch": "sw0", "in": 1, "out": 0}]}]` + "\n")
+	data := append([]byte{}, payload...)
+	data = append(data, fmt.Sprintf("%s%08x\n", checksumPrefix, crc32.ChecksumIEEE(payload))...)
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	st, warning, err := NewStateStore(path).LoadState()
+	if err != nil {
+		t.Fatalf("v1-trailer snapshot rejected: %v", err)
+	}
+	if len(st.Connections) != 1 || st.Connections[0].ID != "v1" {
+		t.Fatalf("v1-trailer snapshot loaded %+v", st.Connections)
+	}
+	if st.Epoch != 0 {
+		t.Fatalf("v1 trailer carries no epoch, loaded epoch %d", st.Epoch)
+	}
+	if warning == "" {
+		t.Error("v1-trailer snapshot accepted without a warning")
+	}
+	// The checksum still protects the payload: a flipped byte must be
+	// detected, not silently loaded as epoch-0 state.
+	data[2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewStateStore(path).LoadState(); !errors.Is(err, ErrCorruptState) {
+		t.Fatalf("corrupted v1-trailer snapshot loaded: %v", err)
+	}
+}
+
+// TestStateStoreTrailerCarriesEpoch pins the v2 trailer round-trip: the
+// replication epoch travels in the trailer line, outside the JSON
+// payload, and survives save/load without a warning.
+func TestStateStoreTrailerCarriesEpoch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	store := NewStateStore(path)
+	if err := store.SaveState(PersistentState{Epoch: 7, LastSeq: 42}); err != nil {
+		t.Fatal(err)
+	}
+	st, warning, err := store.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 7 || st.LastSeq != 42 {
+		t.Fatalf("round-trip lost the watermark: epoch %d lastSeq %d", st.Epoch, st.LastSeq)
+	}
+	if warning != "" {
+		t.Fatalf("current-format snapshot loaded with warning %q", warning)
 	}
 }
 

@@ -255,6 +255,8 @@ type Response struct {
 	Failover *FailoverReport `json:"failover,omitempty"`
 	// Health reports a health result.
 	Health *HealthReport `json:"health,omitempty"`
+	// Replication reports a replication or promote result.
+	Replication *ReplicationReport `json:"replication,omitempty"`
 }
 
 // ViolationReport mirrors core.Violation for transport.
@@ -318,6 +320,28 @@ type Server struct {
 	// hundred nanoseconds in production; ordering tests install a hook
 	// here to widen it and prove the discipline above actually holds.
 	testHookPreAppend func(op string, id core.ConnID)
+
+	// epoch is the replication term, guarded by persistMu (it is stamped
+	// into journal records and snapshot trailers on the persist path).
+	// Zero until recovery or promotion raises it.
+	epoch uint64
+	// replMu guards the replication role flags below; they are read on
+	// every dispatched mutation.
+	replMu sync.RWMutex
+	// standby refuses mutations with CodeStandby until Promote.
+	standby bool
+	// fenced refuses mutations with CodeFenced forever: the node saw the
+	// higher term fencedBy, so a newer primary owns the state.
+	fenced   bool
+	fencedBy uint64
+	// shipper, when set, receives every appended journal record before
+	// the operation acks (see Shipper).
+	shipper Shipper
+	// crashPoints, when set, lets the fault harness kill the process at
+	// replication boundaries (see CrashPoints).
+	crashPoints *CrashPoints
+	// replStatus decorates replication reports with stream-level status.
+	replStatus func(*ReplicationReport)
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -424,7 +448,7 @@ func (s *Server) SetObservability(reg *obs.Registry, tracer obs.Tracer) {
 // shed first.
 func Classify(req Request) overload.Class {
 	switch req.Op {
-	case OpTeardown, OpFailLink, OpRestoreLink, OpHealth:
+	case OpTeardown, OpFailLink, OpRestoreLink, OpHealth, OpPromote, OpReplication:
 		return overload.ClassRecovery
 	case OpSetup:
 		if req.Request != nil && req.Request.Priority > 1 {
@@ -688,10 +712,14 @@ func (s *Server) handleSetup(ctx context.Context, req Request) Response {
 	}
 	warning, perr := s.persistSetup(*req.Request)
 	if perr != nil {
-		// The journal refused the record, so an ack here could be
-		// erased by a crash. Roll the in-memory admission back and
-		// refuse: the client knows the setup did not happen.
+		// The journal (or the replication mode) refused the record, so an
+		// ack here could be erased by a crash or a failover. Roll the
+		// in-memory admission back and refuse: the client knows the setup
+		// did not happen.
 		_ = s.network.Teardown(adm.ID)
+		if errors.Is(perr, ErrNotReplicated) {
+			return Response{Error: fmt.Sprintf("setup %q not replicated: %v", adm.ID, perr), Code: CodeNotReplicated}
+		}
 		return Response{Error: fmt.Sprintf("setup %q not durable: %v", adm.ID, perr), Code: CodeNotDurable}
 	}
 	return Response{OK: true, Warning: warning, Admission: &Admission{
@@ -718,18 +746,28 @@ func (s *Server) handleTeardown(req Request) Response {
 	if s.testHookPreAppend != nil {
 		s.testHookPreAppend(OpTeardown, req.ID)
 	}
-	warning, perr := s.persistTeardown(req.ID)
+	var undoRec *core.ConnRequest
+	if known {
+		undoRec = &undo
+	}
+	warning, perr := s.persistTeardown(req.ID, undoRec)
 	if perr != nil {
 		// Mirror the setup path: un-ack by re-admitting the identical
 		// request (its capacity was just freed, so the CAC re-check
 		// succeeds unless a concurrent setup raced it away).
-		msg := fmt.Sprintf("teardown %q not durable: %v", req.ID, perr)
+		code := CodeNotDurable
+		verb := "durable"
+		if errors.Is(perr, ErrNotReplicated) {
+			code = CodeNotReplicated
+			verb = "replicated"
+		}
+		msg := fmt.Sprintf("teardown %q not %s: %v", req.ID, verb, perr)
 		if known {
 			if _, rerr := s.network.Setup(context.Background(), undo); rerr != nil {
 				msg = fmt.Sprintf("%s (rollback failed: %v)", msg, rerr)
 			}
 		}
-		return Response{Error: msg, Code: CodeNotDurable}
+		return Response{Error: msg, Code: code}
 	}
 	return Response{OK: true, Warning: warning}
 }
@@ -803,6 +841,14 @@ func (s *Server) handleRestoreLink(req Request) Response {
 
 func (s *Server) handle(ctx context.Context, req Request) Response {
 	switch req.Op {
+	case OpSetup, OpTeardown, OpFailLink, OpRestoreLink:
+		// Standby and fenced nodes never mutate; reads, health, promote
+		// and replication status stay served.
+		if resp := s.writeGate(req.Op); resp != nil {
+			return *resp
+		}
+	}
+	switch req.Op {
 	case OpSetup:
 		return s.handleSetup(ctx, req)
 	case OpTeardown:
@@ -860,6 +906,17 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 			health.Metrics = s.reg.Snapshot()
 		}
 		return Response{OK: true, Health: health}
+	case OpPromote:
+		if _, err := s.Promote(); err != nil {
+			code := CodeNotDurable
+			if errors.Is(err, ErrStaleEpoch) {
+				code = CodeFenced
+			}
+			return Response{Error: err.Error(), Code: code}
+		}
+		return Response{OK: true, Replication: s.replicationReport()}
+	case OpReplication:
+		return Response{OK: true, Replication: s.replicationReport()}
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op), Code: CodeUnknownOp}
 	}
