@@ -15,6 +15,9 @@
 //	cacctl [-addr HOST:PORT] metrics [-match SUBSTRING]
 //	cacctl [-addr HOST:PORT] promote
 //	cacctl [-addr HOST:PORT] replication
+//	cacctl [-addr HOST:PORT] shard status
+//	cacctl [-addr HOST:PORT] shard reap
+//	cacctl shard route -map SPEC SWITCH...
 //	cacctl state verify [-journal FILE] STATE
 //	cacctl state show   [-journal FILE] STATE
 //
@@ -25,12 +28,19 @@
 // fail-link declares primary ring link N -> N+1 failed: the server evicts
 // every connection traversing it and re-admits each over the wrapped ring,
 // reporting the per-connection outcomes. restore-link clears the failure.
-// health reports connection count, failed links, audit state and — when the
-// server runs with overload control — the per-class admit/shed counters.
+// health reports connection count, replication role and epoch, failed
+// links, audit state and — when the server runs with overload control —
+// the per-class admit/shed counters.
 // metrics prints the server's full counter snapshot (setups by outcome,
 // rejections by taxonomy code, journal latencies, ...) over the CAC
 // protocol, no scrape endpoint required. Failed commands print the
 // server's stable error code as a trailing (code=...) when one was sent.
+//
+// shard status prints a sharded server's two-phase posture — shard name,
+// role, epoch and the live prepared holds with their TTLs; shard reap
+// forces an orphan-reaper pass and lists the expired transactions. shard
+// route is offline: given the -map spec a coordinator runs with, it
+// prints how a route splits into per-shard legs.
 //
 // state verify checks a cacd snapshot+journal pair offline — CRC status,
 // record counts, sequence watermark, torn-tail position — without a
@@ -57,6 +67,7 @@ import (
 	"atmcac/internal/journal"
 	"atmcac/internal/overload"
 	"atmcac/internal/rtnet"
+	"atmcac/internal/shard"
 	"atmcac/internal/traffic"
 	"atmcac/internal/wire"
 )
@@ -87,9 +98,13 @@ func run(args []string) error {
 	}
 	// The state subcommand inspects persistence files on the local disk —
 	// its whole point is working while the daemon is down, so it must not
-	// dial the server.
+	// dial the server. shard route only consults the map spec, so it works
+	// offline too.
 	if rest[0] == "state" {
 		return stateCmd(rest[1:])
+	}
+	if rest[0] == "shard" && len(rest) > 1 && rest[1] == "route" {
+		return shardRoute(rest[2:])
 	}
 	client, err := wire.Dial(*addr)
 	if err != nil {
@@ -122,6 +137,8 @@ func run(args []string) error {
 		return promote(client)
 	case "replication":
 		return replication(client)
+	case "shard":
+		return shardCmd(client, rest[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", rest[0])
 	}
@@ -262,6 +279,18 @@ func health(client *wire.Client) error {
 		return err
 	}
 	fmt.Printf("connections: %d\n", h.Connections)
+	// Role and epoch travel in every health response, so one command
+	// tells primary from fenced standby — and names the shard when the
+	// server is one partition of a sharded CAC.
+	if h.Role != "" {
+		fmt.Printf("role: %s (epoch %d)\n", h.Role, h.Epoch)
+	}
+	if h.ShardID != "" {
+		fmt.Printf("shard: %s\n", h.ShardID)
+	}
+	if h.Prepared > 0 {
+		fmt.Printf("prepared holds: %d\n", h.Prepared)
+	}
 	if len(h.FailedLinks) == 0 {
 		fmt.Println("links: all up")
 	} else {
@@ -362,6 +391,104 @@ func replication(client *wire.Client) error {
 		} else {
 			fmt.Println("primary: not connected")
 		}
+	}
+	return nil
+}
+
+// shardCmd holds the online shard inspectors: status prints one shard's
+// (or the coordinator's) two-phase posture, reap forces an orphan-reaper
+// pass. The offline route planner is handled before dialing.
+func shardCmd(client *wire.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("shard requires a subcommand: status, reap, or route")
+	}
+	switch args[0] {
+	case "status":
+		st, err := client.ShardStatus()
+		if err != nil {
+			return err
+		}
+		printShardStatus(st)
+		return nil
+	case "reap":
+		reaped, err := client.ShardReap()
+		if err != nil {
+			return err
+		}
+		if len(reaped) == 0 {
+			fmt.Println("no overdue prepared holds")
+			return nil
+		}
+		for _, txn := range reaped {
+			fmt.Printf("reaped %s\n", txn)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown shard subcommand %q (want status, reap, or route)", args[0])
+	}
+}
+
+func printShardStatus(st *wire.ShardStatusReport) {
+	if st.ShardID != "" {
+		fmt.Printf("shard: %s\n", st.ShardID)
+	}
+	fmt.Printf("role: %s (epoch %d)\n", st.Role, st.Epoch)
+	if len(st.Prepared) == 0 {
+		fmt.Println("prepared holds: none")
+		return
+	}
+	for _, h := range st.Prepared {
+		state := fmt.Sprintf("expires in %dms", h.ExpiresInMillis)
+		if h.ExpiresInMillis < 0 {
+			state = "OVERDUE (next reaper pass expires it)"
+		}
+		fmt.Printf("hold %s: connection %s, %s\n", h.Txn, h.ID, state)
+	}
+}
+
+// shardRoute plans a route against a shard map offline: it prints which
+// shard owns each contiguous run of hops in path order. The coordinator
+// itself prepares one merged leg per shard, so a route that revisits a
+// shard (a ring wrap) is flagged: it reaches that shard as a single
+// prepare and needs an explicit end-to-end delay bound (-delay).
+func shardRoute(args []string) error {
+	fs := flag.NewFlagSet("shard route", flag.ContinueOnError)
+	mapSpec := fs.String("map", "", "shard map (s0@host:port=sw0,sw1;...), as passed to cacd -shard-map")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mapSpec == "" {
+		return fmt.Errorf("shard route requires -map")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("shard route requires the route's switch names: cacctl shard route -map SPEC sw0 sw1 ...")
+	}
+	m, err := shard.ParseMap(*mapSpec)
+	if err != nil {
+		return err
+	}
+	route := make(core.Route, fs.NArg())
+	for i, sw := range fs.Args() {
+		route[i] = core.Hop{Switch: sw}
+	}
+	segs, err := m.Segments(route)
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		names := make([]string, len(seg.Route))
+		for j, hop := range seg.Route {
+			names[j] = hop.Switch
+		}
+		fmt.Printf("leg %d: shard %s (%s): %s\n", i+1, seg.Shard.ID, seg.Shard.Addr, strings.Join(names, " -> "))
+	}
+	legs, interleaved, err := m.Legs(route)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d hops over %d shards\n", len(route), len(legs))
+	if interleaved {
+		fmt.Println("route revisits a shard: its runs are prepared as one merged leg; setup needs an explicit -delay bound")
 	}
 	return nil
 }

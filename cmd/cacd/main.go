@@ -14,6 +14,8 @@
 //	     [-replication-listen ADDR] [-replicate-from ADDR]
 //	     [-replication-mode async|semi-sync|sync] [-replication-lag N]
 //	     [-failover-timeout D]
+//	     [-shard-id ID] [-prepare-ttl D] [-reap-interval D]
+//	cacd -shard-map SPEC -intent-log FILE [-listen ADDR] [-prepare-ttl D]
 //
 // The server manages one CAC network whose switches are the ring nodes of
 // an RTnet with the given shape. Clients (see cmd/cacctl) set up and tear
@@ -58,6 +60,22 @@
 // until restarted as a standby of the new primary. Both roles require a
 // journaled durability mode.
 //
+// With -shard-id the server serves as one shard of a partitioned CAC:
+// it answers the two-phase shard-prepare/commit/abort operations for the
+// switches it owns, journals every phase transition, and runs an orphan
+// reaper (every -reap-interval) that expires prepared holds whose
+// coordinator died before deciding — a reaped hold releases its
+// bandwidth after -prepare-ttl and any late commit is re-admitted
+// through the full CAC check or refused with a typed code.
+//
+// With -shard-map the daemon runs as the coordinator instead: it parses
+// the map (s0@host:port=sw0,sw1;s1@host:port=sw2,...), drives multi-hop
+// setups across the owning shards through crash-safe two-phase
+// reserve-commit, journals its decisions in -intent-log, resolves any
+// in-doubt transactions from a previous incarnation at boot, and fronts
+// the fleet with the ordinary wire protocol on -listen (setup, teardown,
+// list, health).
+//
 // The server always keeps an in-process metrics registry and admission
 // tracer: every setup decision, rejection reason, crankback re-admission,
 // shed request and journal append is counted, and the counter snapshot
@@ -82,10 +100,12 @@ import (
 
 	"atmcac/internal/core"
 	"atmcac/internal/failover"
+	"atmcac/internal/journal"
 	"atmcac/internal/obs"
 	"atmcac/internal/overload"
 	"atmcac/internal/replica"
 	"atmcac/internal/rtnet"
+	"atmcac/internal/shard"
 	"atmcac/internal/wire"
 )
 
@@ -135,9 +155,20 @@ func run(args []string) error {
 		replMode     = fs.String("replication-mode", "sync", "acknowledgement discipline when shipping to a standby: async, semi-sync, or sync")
 		replLag      = fs.Uint64("replication-lag", 0, "semi-sync: max shipped-but-unacked records before mutations block; 0 uses the default")
 		failoverTmo  = fs.Duration("failover-timeout", 0, "standby: promote automatically once the primary has been silent this long; 0 means promotion only via cacctl promote")
+		shardID      = fs.String("shard-id", "", "serve as this shard of a partitioned CAC: answer two-phase shard operations and reap orphaned prepares")
+		shardMap     = fs.String("shard-map", "", "run as the coordinator of this shard map (s0@host:port=sw0,sw1;...) instead of serving a network")
+		intentLog    = fs.String("intent-log", "", "coordinator: write-ahead intent log for crash-safe two-phase decisions (required with -shard-map)")
+		prepareTTL   = fs.Duration("prepare-ttl", wire.DefaultPrepareTTL, "lifetime of a phase-1 reservation before the orphan reaper may expire it")
+		reapInterval = fs.Duration("reap-interval", time.Second, "shard: how often the orphan reaper scans for expired prepared holds")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shardMap != "" {
+		if *shardID != "" {
+			return fmt.Errorf("-shard-map (coordinator) and -shard-id (shard) are exclusive roles")
+		}
+		return runCoordinator(*listen, *shardMap, *intentLog, *prepareTTL, sigOnTerm())
 	}
 	var cdv core.CDVPolicy
 	switch *policy {
@@ -284,6 +315,12 @@ func run(args []string) error {
 		}
 		srv.SetReplicationStatus(replica.Status(prim, sb))
 	}
+	if *shardID != "" {
+		srv.SetShardID(*shardID)
+		stop := srv.StartOrphanReaper(*reapInterval)
+		defer stop()
+		fmt.Printf("cacd: serving as shard %q (orphan reaper every %s)\n", *shardID, *reapInterval)
+	}
 	// After SetLimiter and SetDurable, so the scrape-time gauges see the
 	// final configuration (limiter tokens, journal size).
 	srv.SetObservability(reg, tracer)
@@ -331,6 +368,79 @@ func run(args []string) error {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
+		}
+		<-errCh
+		return nil
+	case err := <-errCh:
+		if err == wire.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}
+
+// sigOnTerm registers the shutdown signals before any listener becomes
+// reachable.
+func sigOnTerm() chan os.Signal {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	return sigCh
+}
+
+// runCoordinator serves the cross-shard setup front end: crash-safe
+// two-phase reserve-commit over the shard map, every decision journaled
+// in the intent log, in-doubt transactions from a previous incarnation
+// resolved at boot.
+func runCoordinator(listen, mapSpec, logPath string, ttl time.Duration, sigCh chan os.Signal) error {
+	defer signal.Stop(sigCh)
+	if logPath == "" {
+		return fmt.Errorf("-shard-map requires -intent-log (the coordinator journals every decision)")
+	}
+	m, err := shard.ParseMap(mapSpec)
+	if err != nil {
+		return err
+	}
+	coord, err := shard.NewCoordinator(m, journal.OSFS{}, logPath)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	coord.PrepareTTL = ttl
+	coord.SetTracer(obs.NewMetricsTracer(obs.NewRegistry()))
+	rep, err := coord.Recover(context.Background())
+	if err != nil {
+		return err
+	}
+	for _, t := range rep.Committed {
+		fmt.Printf("cacd: recovery re-drove committed transaction %s\n", t)
+	}
+	for _, t := range rep.Aborted {
+		fmt.Printf("cacd: recovery aborted undecided transaction %s\n", t)
+	}
+	for _, t := range rep.InDoubt {
+		fmt.Printf("cacd: transaction %s still IN DOUBT (a shard is unreachable)\n", t)
+	}
+	srv := shard.NewServer(coord)
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	switches := 0
+	for _, info := range m.Shards() {
+		switches += len(m.Switches(info.ID))
+	}
+	fmt.Printf("cacd: coordinating %d shards (%d switches, prepare TTL %s) on %s\n",
+		len(m.Shards()), switches, ttl, l.Addr())
+	if testHookListen != nil {
+		testHookListen(l.Addr())
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("cacd: received %v, closing coordinator\n", sig)
+		if err := srv.Close(); err != nil {
+			return err
 		}
 		<-errCh
 		return nil

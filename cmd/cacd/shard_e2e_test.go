@@ -1,0 +1,176 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+	"atmcac/internal/wire"
+)
+
+// TestEndToEndShardedSetup runs the partitioned deployment as three full
+// cacd processes-in-miniature: two journaled shard daemons (each serving
+// the whole 4-node ring, each owning half the switches in the map) and a
+// coordinator daemon fronting them. A cross-shard setup through the
+// coordinator must land one leg on each shard with no prepared hold left
+// behind, health must name each shard, and teardown through the
+// coordinator must release both legs.
+func TestEndToEndShardedSetup(t *testing.T) {
+	dir := t.TempDir()
+	aDone := make(chan error, 1)
+	bDone := make(chan error, 1)
+	cDone := make(chan error, 1)
+	aAddr, _ := bootDaemon(t, aDone, false, "-shard-id", "s0",
+		"-state", filepath.Join(dir, "s0.json"), "-durability", "journal-sync",
+		"-reap-interval", "50ms")
+	bAddr, _ := bootDaemon(t, bDone, false, "-shard-id", "s1",
+		"-state", filepath.Join(dir, "s1.json"), "-durability", "journal-sync",
+		"-reap-interval", "50ms")
+	mapSpec := fmt.Sprintf("s0@%s=ring00,ring01;s1@%s=ring02,ring03", aAddr, bAddr)
+	cAddr, _ := bootDaemon(t, cDone, false,
+		"-shard-map", mapSpec, "-intent-log", filepath.Join(dir, "intent.log"))
+
+	cc, err := wire.Dial(cAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	route := core.Route{
+		{Switch: "ring00", In: 5, Out: 0},
+		{Switch: "ring01", In: 5, Out: 0},
+		{Switch: "ring02", In: 5, Out: 0},
+		{Switch: "ring03", In: 5, Out: 0},
+	}
+	adm, err := cc.Setup(core.ConnRequest{
+		ID: "xconn", Spec: traffic.CBR(0.05), Priority: 1, Route: route,
+	})
+	if err != nil {
+		t.Fatalf("cross-shard setup through coordinator: %v", err)
+	}
+	if adm.EndToEndGuaranteed <= 0 {
+		t.Fatalf("no end-to-end guarantee returned: %+v", adm)
+	}
+
+	for _, shardAddr := range []struct{ id, addr string }{{"s0", aAddr}, {"s1", bAddr}} {
+		sc, err := wire.Dial(shardAddr.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := sc.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 1 || ids[0] != "xconn" {
+			t.Fatalf("shard %s lists %v, want [xconn]", shardAddr.id, ids)
+		}
+		h, err := sc.Health()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.ShardID != shardAddr.id || h.Prepared != 0 {
+			t.Fatalf("shard %s health: shardId=%q prepared=%d", shardAddr.id, h.ShardID, h.Prepared)
+		}
+		st, err := sc.ShardStatus()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ShardID != shardAddr.id || len(st.Prepared) != 0 {
+			t.Fatalf("shard %s status: %+v", shardAddr.id, st)
+		}
+		sc.Close()
+	}
+
+	// The coordinator's own health speaks for the fleet.
+	h, err := cc.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != "coordinator" || h.Connections != 1 {
+		t.Fatalf("coordinator health: role=%q connections=%d", h.Role, h.Connections)
+	}
+
+	if err := cc.Teardown("xconn"); err != nil {
+		t.Fatalf("teardown through coordinator: %v", err)
+	}
+	for _, addr := range []string{aAddr, bAddr} {
+		sc, err := wire.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := sc.List()
+		sc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 0 {
+			t.Fatalf("residual connections %v on %s after coordinator teardown", ids, addr)
+		}
+	}
+
+	// A ring-wrapping route revisits s0 (its hops straddle s1): the
+	// coordinator merges s0's runs into one prepare and demands an
+	// end-to-end bound for the jitter entering the downstream run.
+	wrapRoute := core.Route{
+		{Switch: "ring01", In: 5, Out: 0},
+		{Switch: "ring02", In: 5, Out: 0},
+		{Switch: "ring03", In: 5, Out: 0},
+		{Switch: "ring00", In: 5, Out: 0},
+	}
+	wrap := core.ConnRequest{ID: "wconn", Spec: traffic.CBR(0.05), Priority: 1, Route: wrapRoute}
+	if _, err := cc.Setup(wrap); err == nil {
+		t.Fatal("unbounded wrapping setup admitted through coordinator")
+	}
+	wrap.DelayBound = 4 * 40
+	if _, err := cc.Setup(wrap); err != nil {
+		t.Fatalf("bounded wrapping setup through coordinator: %v", err)
+	}
+	for _, addr := range []string{aAddr, bAddr} {
+		sc, err := wire.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := sc.List()
+		sc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 1 || ids[0] != "wconn" {
+			t.Fatalf("shard %s lists %v, want [wconn]", addr, ids)
+		}
+	}
+	if err := cc.Teardown("wconn"); err != nil {
+		t.Fatalf("teardown of wrapped connection: %v", err)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, done := range map[string]chan error{"s0": aDone, "s1": bDone, "coordinator": cDone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s daemon exited with %v", name, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s daemon did not drain on SIGTERM", name)
+		}
+	}
+}
+
+// TestShardFlagValidation pins the role-exclusivity and intent-log
+// requirements.
+func TestShardFlagValidation(t *testing.T) {
+	if err := run([]string{"-shard-map", "s0@h:1=sw0", "-shard-id", "s0"}); err == nil {
+		t.Fatal("coordinator+shard roles accepted")
+	}
+	if err := run([]string{"-shard-map", "s0@h:1=sw0"}); err == nil {
+		t.Fatal("coordinator without -intent-log accepted")
+	}
+	if err := run([]string{"-shard-map", "garbage", "-intent-log", "x.log"}); err == nil {
+		t.Fatal("malformed shard map accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"atmcac/internal/traffic"
+)
+
+func TestPrepareCommitAdmits(t *testing.T) {
+	n, route := twoHopNetwork(t, HardCDV{})
+	req := ConnRequest{ID: "p1", Spec: traffic.CBR(0.1), Priority: 1, Route: route}
+
+	adm, err := n.PrepareSetup(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.EndToEndGuaranteed != 64 {
+		t.Errorf("EndToEndGuaranteed = %g, want 64", adm.EndToEndGuaranteed)
+	}
+	// A prepared hold is not an admitted connection.
+	if _, ok := n.AdmittedRequest("p1"); ok {
+		t.Fatal("prepared hold visible as admitted connection")
+	}
+	// But it holds the ID: a competing setup with the same ID must fail.
+	if _, err := n.Setup(context.Background(), req); !errors.Is(err, ErrDuplicateConn) {
+		t.Fatalf("concurrent setup of prepared ID = %v, want ErrDuplicateConn", err)
+	}
+
+	if err := n.CommitPrepared(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.AdmittedRequest("p1"); !ok {
+		t.Fatal("committed connection not admitted")
+	}
+	if err := n.Teardown("p1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrepareAbortLeavesNoResidue(t *testing.T) {
+	n, route := twoHopNetwork(t, HardCDV{})
+	req := ConnRequest{ID: "p2", Spec: traffic.CBR(0.1), Priority: 1, Route: route}
+
+	if _, err := n.PrepareSetup(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AbortPrepared(req); err != nil {
+		t.Fatal(err)
+	}
+	// The ID is free and all hop capacity is back: the same request admits.
+	if _, err := n.Setup(context.Background(), req); err != nil {
+		t.Fatalf("setup after abort: %v", err)
+	}
+	if v, err := n.Audit(); err != nil || len(v) != 0 {
+		t.Fatalf("audit after abort+setup: %v %v", v, err)
+	}
+}
+
+// A prepared hold consumes real hop capacity: with the queue budget held
+// by prepared-but-uncommitted streams, a competing connection must be
+// rejected until the holds are aborted.
+func TestPrepareHoldsCapacity(t *testing.T) {
+	n := NewNetwork(HardCDV{})
+	if _, err := n.AddSwitch(SwitchConfig{Name: "sw0", QueueCells: map[Priority]float64{1: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	var holds []ConnRequest
+	for i := 0; i < 4; i++ {
+		req := ConnRequest{
+			ID: ConnID(fmt.Sprintf("hold%d", i)), Spec: traffic.CBR(0.01), Priority: 1,
+			Route: Route{{Switch: "sw0", In: PortID(10 + i), Out: 0}},
+		}
+		if _, err := n.PrepareSetup(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+		holds = append(holds, req)
+	}
+
+	rival := ConnRequest{
+		ID: "rival", Spec: traffic.CBR(0.01), Priority: 1,
+		Route: Route{{Switch: "sw0", In: 1, Out: 0}},
+	}
+	if _, err := n.Setup(context.Background(), rival); !errors.Is(err, ErrRejected) {
+		t.Fatalf("setup against a full hold = %v, want ErrRejected", err)
+	}
+	for _, h := range holds {
+		if err := n.AbortPrepared(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.Setup(context.Background(), rival); err != nil {
+		t.Fatalf("setup after holds released: %v", err)
+	}
+}
+
+// A link that fails while the hold is pending must refuse the commit and
+// release the hold completely.
+func TestCommitPreparedRefusedByFailedLink(t *testing.T) {
+	n, route := twoHopNetwork(t, HardCDV{})
+	req := ConnRequest{ID: "p3", Spec: traffic.CBR(0.1), Priority: 1, Route: route}
+	if _, err := n.PrepareSetup(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.FailLink("sw0", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CommitPrepared(req); err == nil {
+		t.Fatal("commit over a failed link succeeded")
+	}
+	if _, ok := n.AdmittedRequest("p3"); ok {
+		t.Fatal("refused commit left an admitted connection")
+	}
+	if err := n.RestoreLink("sw0", "sw1"); err != nil {
+		t.Fatal(err)
+	}
+	// The refused commit released everything: the ID and capacity are free.
+	if _, err := n.Setup(context.Background(), req); err != nil {
+		t.Fatalf("setup after refused commit: %v", err)
+	}
+}

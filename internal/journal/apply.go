@@ -64,6 +64,28 @@ func ApplyToNetwork(net *core.Network, rec Record) error {
 		if err := net.RestoreLink(rec.From, rec.To); err != nil {
 			return fmt.Errorf("%w: restore-link %s->%s (seq %d): %v", ErrApply, rec.From, rec.To, rec.Seq, err)
 		}
+	case OpShardPrepare:
+		// A standby does not mirror in-flight holds: if the transaction
+		// commits, the commit record installs the connection; if it
+		// aborts or the shard reaps it, there is nothing to undo here.
+		return nil
+	case OpShardCommit:
+		if rec.Request == nil {
+			return nil
+		}
+		if _, ok := net.AdmittedRequest(rec.Request.ID); ok {
+			return nil
+		}
+		if err := net.Install(*rec.Request); err != nil {
+			return fmt.Errorf("%w: shard-commit %q (seq %d): %v", ErrApply, rec.Request.ID, rec.Seq, err)
+		}
+	case OpShardAbort:
+		if rec.ID == "" {
+			return nil
+		}
+		if err := net.Teardown(rec.ID); err != nil && !errors.Is(err, core.ErrUnknownConn) {
+			return fmt.Errorf("%w: shard-abort %q (seq %d): %v", ErrApply, rec.ID, rec.Seq, err)
+		}
 	default:
 		return fmt.Errorf("%w: unknown op %q (seq %d)", ErrApply, rec.Op, rec.Seq)
 	}

@@ -52,6 +52,20 @@ const (
 	OpFailLink Op = "fail-link"
 	// OpRestoreLink records a healed link.
 	OpRestoreLink Op = "restore-link"
+	// OpShardPrepare records phase 1 of a cross-shard admission: the
+	// shard holds the route hops for a coordinator transaction, with a
+	// TTL after which an unresolved hold may be reaped. A prepare alone
+	// NEVER replays to an admitted connection — only a later
+	// OpShardCommit admits.
+	OpShardPrepare Op = "shard-prepare"
+	// OpShardCommit records phase 2: the prepared hold became an
+	// admitted connection. The record carries the full request so it is
+	// self-contained — compaction may have folded the prepare away.
+	OpShardCommit Op = "shard-commit"
+	// OpShardAbort records the release of a prepared hold (coordinator
+	// abort or TTL reap) or the removal of a connection admitted by a
+	// commit the coordinator later unwound.
+	OpShardAbort Op = "shard-abort"
 )
 
 // MaxRecordBytes caps one record payload; a frame announcing more is torn
@@ -96,6 +110,11 @@ type Record struct {
 	// Readmitted lists the evicted connections re-admitted in degraded
 	// mode, carrying their new (wrapped) routes.
 	Readmitted []core.ConnRequest `json:"readmitted,omitempty"`
+	// Txn names the coordinator transaction for the shard 2PC ops.
+	Txn string `json:"txn,omitempty"`
+	// TTLMillis is the prepare hold's time-to-live for OpShardPrepare;
+	// a hold unresolved past its TTL is fair game for the orphan reaper.
+	TTLMillis int64 `json:"ttlMs,omitempty"`
 }
 
 // EncodeFrame renders one record as a complete frame.
@@ -490,10 +509,15 @@ func (l *Log) MarkBroken() { l.broken = true }
 func (l *Log) Close() error { return l.f.Close() }
 
 // State is a replayed admission state: the connection set in admission
-// order and the links recorded as failed.
+// order and the links recorded as failed. ReapedPrepares lists shard
+// transactions whose prepare record was replayed without a matching
+// commit or abort — the crash landed between prepare-append and the
+// coordinator's decision, so recovery treats the hold as expired
+// (reaped); it never becomes an admitted connection.
 type State struct {
-	Requests    []core.ConnRequest
-	FailedLinks []core.Link
+	Requests       []core.ConnRequest
+	FailedLinks    []core.Link
+	ReapedPrepares []string
 }
 
 // Replay folds records past the lastSeq watermark into the base state.
@@ -501,6 +525,12 @@ type State struct {
 // whose effect is already present in base (a crash landed between
 // snapshot rename and journal truncation, or a compaction raced an
 // append) re-apply harmlessly.
+//
+// Shard 2PC records obey presumed abort: OpShardPrepare alone is inert
+// (the transaction is reported in ReapedPrepares), only OpShardCommit
+// admits (its embedded request makes it self-contained across
+// compaction), and OpShardAbort removes both the hold and any
+// connection a commit for the same ID produced.
 func Replay(base State, lastSeq uint64, recs []Record) State {
 	index := make(map[core.ConnID]int, len(base.Requests))
 	reqs := append([]core.ConnRequest(nil), base.Requests...)
@@ -530,6 +560,20 @@ func Replay(base State, lastSeq uint64, recs []Record) State {
 	}
 	for _, l := range order {
 		links[l] = struct{}{}
+	}
+	prepared := make(map[string]struct{})
+	var preparedOrder []string
+	resolve := func(txn string) {
+		if _, ok := prepared[txn]; !ok {
+			return
+		}
+		delete(prepared, txn)
+		for i, have := range preparedOrder {
+			if have == txn {
+				preparedOrder = append(preparedOrder[:i], preparedOrder[i+1:]...)
+				break
+			}
+		}
 	}
 	for _, rec := range recs {
 		if rec.Seq <= lastSeq {
@@ -565,7 +609,27 @@ func Replay(base State, lastSeq uint64, recs []Record) State {
 					}
 				}
 			}
+		case OpShardPrepare:
+			// A prepared hold is capacity in flight, not admitted state:
+			// replay only tracks the transaction so recovery can report
+			// the hold as reaped if no decision follows.
+			if rec.Txn != "" {
+				if _, ok := prepared[rec.Txn]; !ok {
+					prepared[rec.Txn] = struct{}{}
+					preparedOrder = append(preparedOrder, rec.Txn)
+				}
+			}
+		case OpShardCommit:
+			resolve(rec.Txn)
+			if rec.Request != nil {
+				upsert(*rec.Request)
+			}
+		case OpShardAbort:
+			resolve(rec.Txn)
+			if rec.ID != "" {
+				remove(rec.ID)
+			}
 		}
 	}
-	return State{Requests: reqs, FailedLinks: order}
+	return State{Requests: reqs, FailedLinks: order, ReapedPrepares: preparedOrder}
 }

@@ -66,6 +66,23 @@ const (
 	// KindFence is an ex-primary refusing writes after observing a higher
 	// term (wire). Fields: Epoch (the fencing term).
 	KindFence Kind = "fence"
+	// KindShardPrepare is phase 1 of a cross-shard admission on a shard
+	// (wire). Fields: Conn, Outcome, Code, Duration.
+	KindShardPrepare Kind = "shard-prepare"
+	// KindShardCommit is phase 2 commit on a shard (wire).
+	// Fields: Conn, Outcome, Code, Duration.
+	KindShardCommit Kind = "shard-commit"
+	// KindShardAbort is a coordinator abort or unwind on a shard (wire).
+	// Fields: Conn, Outcome, Duration.
+	KindShardAbort Kind = "shard-abort"
+	// KindShardReap is one orphan-reaper pass expiring prepared holds
+	// whose TTL lapsed without a decision (wire). Fields: Evicted (holds
+	// reaped this pass).
+	KindShardReap Kind = "shard-reap"
+	// KindInDoubt is one in-doubt transaction resolved by a recovering
+	// coordinator from its intent log (shard). Fields: Conn (transaction
+	// ID), Outcome ("accepted" re-driven commit, "rejected" abort).
+	KindInDoubt Kind = "in-doubt"
 )
 
 // Outcome values shared by event kinds.
@@ -184,6 +201,11 @@ type MetricsTracer struct {
 	promotions    *Counter
 	fences        *Counter
 	epochGauge    *Gauge
+	shardPrepares map[string]*Counter // by outcome
+	shardCommits  map[string]*Counter // by outcome
+	shardAborts   *Counter
+	orphansReaped *Counter
+	inDoubt       *Counter
 
 	mu sync.Mutex // guards rejections (open code vocabulary)
 }
@@ -254,6 +276,22 @@ func NewMetricsTracer(reg *Registry) *MetricsTracer {
 	reg.Help("atmcac_repl_fenced_total", "Times this node fenced itself after observing a higher term.")
 	t.epochGauge = reg.Gauge("atmcac_repl_epoch")
 	reg.Help("atmcac_repl_epoch", "Current replication epoch (term) of this node.")
+	t.shardPrepares = map[string]*Counter{
+		OutcomeAccepted: reg.Counter("atmcac_shard_prepares_total", L("outcome", OutcomeAccepted)),
+		OutcomeRejected: reg.Counter("atmcac_shard_prepares_total", L("outcome", OutcomeRejected)),
+	}
+	reg.Help("atmcac_shard_prepares_total", "Cross-shard phase-1 reservations by outcome.")
+	t.shardCommits = map[string]*Counter{
+		OutcomeOK:    reg.Counter("atmcac_shard_commits_total", L("outcome", OutcomeOK)),
+		OutcomeError: reg.Counter("atmcac_shard_commits_total", L("outcome", OutcomeError)),
+	}
+	reg.Help("atmcac_shard_commits_total", "Cross-shard phase-2 commits by outcome.")
+	t.shardAborts = reg.Counter("atmcac_shard_aborts_total")
+	reg.Help("atmcac_shard_aborts_total", "Cross-shard aborts applied (coordinator abort or unwind).")
+	t.orphansReaped = reg.Counter("atmcac_shard_orphans_reaped_total")
+	reg.Help("atmcac_shard_orphans_reaped_total", "Prepared holds expired by the orphan reaper after their TTL.")
+	t.inDoubt = reg.Counter("atmcac_shard_indoubt_resolutions_total")
+	reg.Help("atmcac_shard_indoubt_resolutions_total", "In-doubt transactions resolved from the coordinator intent log.")
 	return t
 }
 
@@ -359,5 +397,15 @@ func (t *MetricsTracer) Trace(ev Event) {
 	case KindFence:
 		t.fences.Inc()
 		t.epochGauge.Set(float64(ev.Epoch))
+	case KindShardPrepare:
+		t.outcomeCounter(t.shardPrepares, "atmcac_shard_prepares_total", ev.Outcome).Inc()
+	case KindShardCommit:
+		t.outcomeCounter(t.shardCommits, "atmcac_shard_commits_total", ev.Outcome).Inc()
+	case KindShardAbort:
+		t.shardAborts.Inc()
+	case KindShardReap:
+		t.orphansReaped.Add(ev.Evicted)
+	case KindInDoubt:
+		t.inDoubt.Inc()
 	}
 }

@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"atmcac/internal/core"
+	"atmcac/internal/traffic"
+	"atmcac/internal/wire"
+)
+
+// benchShard is startShard for benchmarks: a live wire server owning the
+// given switches.
+func benchShard(b *testing.B, id string, switches ...string) string {
+	b.Helper()
+	n := core.NewNetwork(core.HardCDV{})
+	for _, sw := range switches {
+		if _, err := n.AddSwitch(core.SwitchConfig{
+			Name: sw, QueueCells: map[core.Priority]float64{1: 32},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := wire.NewServer(n)
+	srv.SetShardID(id)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	b.Cleanup(func() { _ = srv.Close(); <-done })
+	return l.Addr().String()
+}
+
+// BenchmarkShardedSetup pins the cost of coordination: one full
+// admit+release cycle through the coordinator, on a fixed 4-hop route,
+// as the route's footprint widens from a single shard (fast path — one
+// RPC, no intent log) to two and three shards (two-phase reserve-commit:
+// one prepare and one commit per owning shard plus two fsynced intent
+// appends). Teardown always broadcasts to every shard, so the cycle is
+// uniform across variants; the deltas between them are the 2PC overhead
+// the trajectory tracks.
+func BenchmarkShardedSetup(b *testing.B) {
+	// Twelve switches in three blocks of four: s0=sw0..sw3, s1=sw4..sw7,
+	// s2=sw8..sw11.
+	blocks := [][]string{
+		{"sw0", "sw1", "sw2", "sw3"},
+		{"sw4", "sw5", "sw6", "sw7"},
+		{"sw8", "sw9", "sw10", "sw11"},
+	}
+	variants := []struct {
+		name   string
+		shards int
+		route  core.Route
+	}{
+		{"1shard/local", 1, hops("sw0", "sw1", "sw2", "sw3")},
+		{"3shard/local", 3, hops("sw0", "sw1", "sw2", "sw3")},
+		{"3shard/cross2", 3, hops("sw2", "sw3", "sw4", "sw5")},
+		{"3shard/cross3", 3, hops("sw3", "sw4", "sw8", "sw9")},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			spec := ""
+			for i := 0; i < v.shards; i++ {
+				id := fmt.Sprintf("s%d", i)
+				addr := benchShard(b, id, blocks[i]...)
+				if spec != "" {
+					spec += ";"
+				}
+				spec += fmt.Sprintf("%s@%s=%s", id, addr, joinSwitches(blocks[i]))
+			}
+			m, err := ParseMap(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			coord, err := NewCoordinator(m, nil, filepath.Join(b.TempDir(), "intent"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer coord.Close()
+			ctx := context.Background()
+			req := core.ConnRequest{ID: "bench", Spec: traffic.CBR(0.001), Priority: 1, Route: v.route}
+			// Warm the per-shard client connections off the clock.
+			if _, err := coord.Setup(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			if err := coord.Teardown(ctx, req.ID); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.Setup(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+				if err := coord.Teardown(ctx, req.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+		})
+	}
+}
+
+func joinSwitches(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,642 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"atmcac/internal/core"
+	"atmcac/internal/journal"
+	"atmcac/internal/obs"
+	"atmcac/internal/overload"
+	"atmcac/internal/wire"
+)
+
+// ErrInDoubt marks a transaction whose durable decision could not be
+// driven to every shard before retries ran out. Nothing is lost: the
+// decision sits in the intent log and Recover re-drives it. Match with
+// errors.Is; the wire front end maps it to wire.CodeInDoubt.
+var ErrInDoubt = errors.New("shard: transaction in doubt")
+
+// ErrDelayBound marks a cross-shard setup refused by the coordinator's
+// own end-to-end budget check before any shard saw a prepare: the
+// upstream legs' guarantees already consumed the requested bound.
+var ErrDelayBound = fmt.Errorf("%w: delay budget exhausted across shards", core.ErrRejected)
+
+// ErrRevisitBound marks a cross-shard setup whose route re-enters a
+// shard it already left (a ring wrap) without stating an end-to-end
+// delay bound. The revisited shard's later hops sit downstream of legs
+// prepared after it, so their incoming jitter cannot be accumulated leg
+// by leg; the coordinator instead charges every leg the whole
+// end-to-end bound — which the request must therefore state (cacctl
+// setup -delay).
+var ErrRevisitBound = fmt.Errorf("%w: a route revisiting a shard needs an explicit end-to-end delay bound", core.ErrRejected)
+
+// Coordinator drives multi-hop setups across the shards of a Map
+// through two-phase reserve-commit. One coordinator instance is safe
+// for concurrent use; transactions are independent.
+type Coordinator struct {
+	m   *Map
+	log *IntentLog
+
+	// PrepareTTL bounds each prepared hold; a coordinator that dies
+	// leaves holds the shards reap after this long. Defaults to
+	// wire.DefaultPrepareTTL.
+	PrepareTTL time.Duration
+	// OpTimeout bounds each individual shard call. Defaults to 2s.
+	OpTimeout time.Duration
+	// Retries is how many times a failed shard call is retried (with
+	// jittered exponential backoff) before giving up. Defaults to 3.
+	Retries int
+
+	// Dial opens a wire client; injectable for tests. nil means wire.Dial.
+	Dial func(addr string) (*wire.Client, error)
+
+	tracer obs.Tracer
+
+	mu      sync.Mutex
+	clients map[string]*wire.Client
+	open    []*openTxn          // unresolved transactions from the log scan
+	inDoubt map[string]struct{} // transactions awaiting Recover
+
+	// hook, when set, runs at named protocol boundaries; returning an
+	// error abandons the transaction mid-flight, simulating a
+	// coordinator crash for the fault-injection harness.
+	hook func(point, txn string) error
+}
+
+// NewCoordinator opens the intent log at logPath and returns a
+// coordinator over m. Unresolved transactions found in the log are NOT
+// driven here — call Recover before serving traffic.
+func NewCoordinator(m *Map, fsys journal.FS, logPath string) (*Coordinator, error) {
+	log, recs, _, err := OpenIntentLog(fsys, logPath)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		m: m, log: log,
+		PrepareTTL: wire.DefaultPrepareTTL,
+		OpTimeout:  2 * time.Second,
+		Retries:    3,
+		clients:    make(map[string]*wire.Client),
+		inDoubt:    make(map[string]struct{}),
+		open:       foldIntents(recs),
+	}
+	for _, t := range c.open {
+		c.inDoubt[t.txn] = struct{}{}
+	}
+	return c, nil
+}
+
+// SetTracer attaches the event sink.
+func (c *Coordinator) SetTracer(tr obs.Tracer) { c.tracer = tr }
+
+// SetTestHook installs the crash-boundary hook (fault injection only).
+func (c *Coordinator) SetTestHook(h func(point, txn string) error) { c.hook = h }
+
+// Map returns the coordinator's shard map.
+func (c *Coordinator) Map() *Map { return c.m }
+
+// InDoubt lists the transactions with a durable intent not yet driven to
+// every shard, oldest first.
+func (c *Coordinator) InDoubt() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.inDoubt))
+	for _, t := range c.open {
+		if _, ok := c.inDoubt[t.txn]; ok {
+			out = append(out, t.txn)
+		}
+	}
+	return out
+}
+
+// Close closes the cached shard clients and the intent log.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	for id, cl := range c.clients {
+		_ = cl.Close()
+		delete(c.clients, id)
+	}
+	c.mu.Unlock()
+	return c.log.Close()
+}
+
+// client returns a cached connection to the shard, dialing on demand.
+func (c *Coordinator) client(info Info) (*wire.Client, error) {
+	c.mu.Lock()
+	if cl, ok := c.clients[info.ID]; ok {
+		c.mu.Unlock()
+		return cl, nil
+	}
+	c.mu.Unlock()
+	dial := c.Dial
+	if dial == nil {
+		dial = wire.Dial
+	}
+	cl, err := dial(info.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("shard %s: dial %s: %w", info.ID, info.Addr, err)
+	}
+	c.mu.Lock()
+	if prev, ok := c.clients[info.ID]; ok {
+		c.mu.Unlock()
+		_ = cl.Close()
+		return prev, nil
+	}
+	c.clients[info.ID] = cl
+	c.mu.Unlock()
+	return cl, nil
+}
+
+// dropClient discards a cached connection after a transport error so the
+// next attempt re-dials.
+func (c *Coordinator) dropClient(info Info) {
+	c.mu.Lock()
+	if cl, ok := c.clients[info.ID]; ok {
+		_ = cl.Close()
+		delete(c.clients, info.ID)
+	}
+	c.mu.Unlock()
+}
+
+// call runs one shard operation with per-attempt timeout and bounded
+// jittered retry. A typed server answer (RemoteError) is definitive and
+// never retried; transport errors and overload sheds are.
+func (c *Coordinator) call(ctx context.Context, info Info, op string, fn func(ctx context.Context, cl *wire.Client) error) error {
+	var b overload.Backoff
+	for attempt := 0; ; attempt++ {
+		cl, err := c.client(info)
+		if err == nil {
+			opCtx, cancel := ctx, context.CancelFunc(nil)
+			if c.OpTimeout > 0 {
+				opCtx, cancel = context.WithTimeout(ctx, c.OpTimeout)
+			}
+			err = fn(opCtx, cl)
+			if cancel != nil {
+				cancel()
+			}
+		}
+		if err == nil {
+			return nil
+		}
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			return err
+		}
+		var retryAfter time.Duration
+		var oe *wire.OverloadError
+		if errors.As(err, &oe) {
+			retryAfter = oe.RetryAfter
+		} else {
+			c.dropClient(info)
+		}
+		if attempt >= c.Retries {
+			return fmt.Errorf("shard %s: %s: retries exhausted: %w", info.ID, op, err)
+		}
+		if serr := overload.Sleep(ctx, b.Next(retryAfter)); serr != nil {
+			return fmt.Errorf("shard %s: %s: %w", info.ID, op, serr)
+		}
+	}
+}
+
+// runHook fires the fault-injection boundary, if installed.
+func (c *Coordinator) runHook(point, txn string) error {
+	if c.hook == nil {
+		return nil
+	}
+	return c.hook(point, txn)
+}
+
+// subRequest derives one leg's shard request. On a chain route (every
+// shard's hops contiguous in path order) a leg's SourceCDV carries the
+// worst-case delay variation accumulated upstream: the sum of the
+// guaranteed delays of the legs prepared before it — a conservative
+// over-estimate of any accumulation policy. On an interleaved route (a
+// shard revisited after the path left it) part of a merged leg sits
+// downstream of legs prepared later, whose guarantees are unknown at
+// prepare time; there every leg is charged the whole end-to-end bound
+// instead — sound because the remaining-budget checks refuse any
+// admission whose accumulated guarantees exceed that bound, so no hop's
+// true upstream jitter can. Either way DelayBound is the remaining
+// end-to-end budget.
+func subRequest(req core.ConnRequest, leg Segment, upstream float64, interleaved bool) (core.ConnRequest, error) {
+	sub := req
+	sub.Route = leg.Route
+	sub.SourceCDV = req.SourceCDV + upstream
+	if interleaved {
+		if req.DelayBound <= 0 {
+			return sub, ErrRevisitBound
+		}
+		sub.SourceCDV = req.SourceCDV + req.DelayBound
+	}
+	if req.DelayBound > 0 {
+		remaining := req.DelayBound - upstream
+		if remaining <= 0 {
+			return sub, ErrDelayBound
+		}
+		sub.DelayBound = remaining
+	}
+	return sub, nil
+}
+
+// Setup admits req. A route owned by a single shard is forwarded as an
+// ordinary setup; a cross-shard route runs the full two-phase protocol
+// over its per-shard legs. An interleaved route (a ring wrap revisiting
+// a shard) needs an end-to-end delay bound — refused up front, before
+// any begin record or prepare.
+func (c *Coordinator) Setup(ctx context.Context, req core.ConnRequest) (*wire.Admission, error) {
+	legs, interleaved, err := c.m.Legs(req.Route)
+	if err != nil {
+		return nil, err
+	}
+	if len(legs) == 1 {
+		var adm *wire.Admission
+		err := c.call(ctx, legs[0].Shard, wire.OpSetup, func(ctx context.Context, cl *wire.Client) error {
+			var serr error
+			adm, serr = cl.SetupContext(ctx, req)
+			return serr
+		})
+		return adm, err
+	}
+	if interleaved && req.DelayBound <= 0 {
+		return nil, fmt.Errorf("%w (connection %q)", ErrRevisitBound, req.ID)
+	}
+	return c.setupCrossShard(ctx, req, legs, interleaved)
+}
+
+func (c *Coordinator) traceTxn(kind obs.Kind, txn string, conn core.ConnID, outcome, code string, start time.Time) {
+	if c.tracer != nil {
+		c.tracer.Trace(obs.Event{
+			Kind: kind, Conn: string(conn), Op: txn, Outcome: outcome, Code: code,
+			Duration: time.Since(start),
+		})
+	}
+}
+
+func (c *Coordinator) setupCrossShard(ctx context.Context, req core.ConnRequest, legs []Segment, interleaved bool) (*wire.Admission, error) {
+	start := time.Now()
+	txn := fmt.Sprintf("x%d-%s", c.log.NextSeq(), req.ID)
+	marks := make([]ShardMark, len(legs))
+	for i := range legs {
+		marks[i] = ShardMark{Shard: legs[i].Shard.ID}
+	}
+	if err := c.log.Append(&IntentRecord{State: IntentBegin, Txn: txn, Request: &req, Shards: marks}); err != nil {
+		return nil, err
+	}
+	if err := c.runHook("pre-prepare", txn); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: sequential prepares, threading the accumulated guaranteed
+	// delay into each downstream leg's SourceCDV and remaining bound.
+	upstream := make([]float64, len(legs)+1)
+	subs := make([]core.ConnRequest, len(legs))
+	adm := &wire.Admission{ID: req.ID}
+	for i, leg := range legs {
+		sub, err := subRequest(req, leg, upstream[i], interleaved)
+		if err != nil {
+			c.abortTxn(ctx, txn, req, legs[:i], subs[:i])
+			c.traceTxn(obs.KindShardAbort, txn, req.ID, obs.OutcomeRejected, core.CodeDelayBound, start)
+			return nil, fmt.Errorf("%w (connection %q at shard %s)", err, req.ID, leg.Shard.ID)
+		}
+		subs[i] = sub
+		var rep *wire.PrepareReport
+		err = c.call(ctx, leg.Shard, wire.OpShardPrepare, func(ctx context.Context, cl *wire.Client) error {
+			var perr error
+			rep, perr = cl.ShardPrepare(ctx, txn, subs[i], c.PrepareTTL)
+			return perr
+		})
+		if err != nil {
+			c.abortTxn(ctx, txn, req, legs[:i], subs[:i])
+			c.traceTxn(obs.KindShardAbort, txn, req.ID, obs.OutcomeRejected, core.ErrorCode(err), start)
+			return nil, fmt.Errorf("shard %s refused prepare for %q: %w", leg.Shard.ID, req.ID, err)
+		}
+		marks[i].Epoch = rep.Epoch
+		adm.PerHopGuaranteed = append(adm.PerHopGuaranteed, rep.Admission.PerHopGuaranteed...)
+		adm.PerHopComputed = append(adm.PerHopComputed, rep.Admission.PerHopComputed...)
+		adm.EndToEndComputed += rep.Admission.EndToEndComputed
+		upstream[i+1] = upstream[i] + rep.Admission.EndToEndGuaranteed
+	}
+	adm.EndToEndGuaranteed = upstream[len(legs)]
+	if err := c.runHook("post-prepare", txn); err != nil {
+		return nil, err
+	}
+
+	// The decision point: the commit intent (with the prepare epochs) is
+	// durable before any shard hears "commit".
+	if err := c.runHook("pre-commit", txn); err != nil {
+		return nil, err
+	}
+	if err := c.log.Append(&IntentRecord{State: IntentCommit, Txn: txn, Shards: marks}); err != nil {
+		c.abortTxn(ctx, txn, req, legs, subs)
+		return nil, fmt.Errorf("commit intent for %q not durable: %w", txn, err)
+	}
+
+	// Phase 2: drive the commit everywhere.
+	for i, leg := range legs {
+		err := c.call(ctx, leg.Shard, wire.OpShardCommit, func(ctx context.Context, cl *wire.Client) error {
+			_, _, cerr := cl.ShardCommit(ctx, txn, subs[i], marks[i].Epoch)
+			return cerr
+		})
+		if err != nil {
+			var re *wire.RemoteError
+			if errors.As(err, &re) {
+				// A definitive refusal (hold expired and capacity gone, or
+				// a fenced prepare). The client was never acked, so flip
+				// the decision: abort everywhere, unwinding the shards
+				// that already committed.
+				c.abortTxn(ctx, txn, req, legs, subs)
+				c.traceTxn(obs.KindShardAbort, txn, req.ID, obs.OutcomeError, re.Code, start)
+				return nil, fmt.Errorf("commit of %q flipped to abort: %w", txn, err)
+			}
+			// Transport failure with retries exhausted: the commit stands
+			// (it is durable) but did not reach every shard — in doubt
+			// until Recover re-drives it.
+			c.markInDoubt(txn, req, marks)
+			c.traceTxn(obs.KindInDoubt, txn, req.ID, obs.OutcomeError, wire.CodeInDoubt, start)
+			return nil, fmt.Errorf("%w: %q commit durable but undelivered to shard %s: %v",
+				ErrInDoubt, txn, leg.Shard.ID, err)
+		}
+		if i == 0 {
+			if err := c.runHook("mid-commit", txn); err != nil {
+				c.markInDoubt(txn, req, marks)
+				return nil, err
+			}
+		}
+	}
+	if err := c.runHook("post-commit", txn); err != nil {
+		c.markInDoubt(txn, req, marks)
+		return nil, err
+	}
+	// done is an optimization: losing it only costs an idempotent
+	// re-drive on the next recovery.
+	_ = c.log.Append(&IntentRecord{State: IntentDone, Txn: txn})
+	c.traceTxn(obs.KindShardCommit, txn, req.ID, obs.OutcomeOK, "", start)
+	return adm, nil
+}
+
+// abortTxn makes the abort decision durable (best effort — presumed
+// abort means a lost abort record recovers identically) and drives it to
+// the given shards, unwinding prepares and commits alike. Shards it
+// cannot reach leave the transaction in doubt for Recover.
+func (c *Coordinator) abortTxn(ctx context.Context, txn string, req core.ConnRequest, segs []Segment, subs []core.ConnRequest) {
+	_ = c.log.Append(&IntentRecord{State: IntentAbort, Txn: txn})
+	allOK := true
+	for i, seg := range segs {
+		sub := subs[i]
+		err := c.call(ctx, seg.Shard, wire.OpShardAbort, func(ctx context.Context, cl *wire.Client) error {
+			return cl.ShardAbort(ctx, txn, &sub)
+		})
+		if err != nil {
+			allOK = false
+		}
+	}
+	if allOK {
+		_ = c.log.Append(&IntentRecord{State: IntentDone, Txn: txn})
+	} else {
+		var marks []ShardMark
+		for _, seg := range segs {
+			marks = append(marks, ShardMark{Shard: seg.Shard.ID})
+		}
+		c.markInDoubt(txn, req, marks)
+	}
+}
+
+// markInDoubt records an unresolved transaction for Recover.
+func (c *Coordinator) markInDoubt(txn string, req core.ConnRequest, marks []ShardMark) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.inDoubt[txn]; ok {
+		return
+	}
+	c.inDoubt[txn] = struct{}{}
+	for _, t := range c.open {
+		if t.txn == txn {
+			return
+		}
+	}
+	// State is re-derived from the log on a restart; this in-memory entry
+	// only feeds a same-process Recover call.
+	c.open = append(c.open, &openTxn{txn: txn, state: IntentCommit, request: &req, marks: marks})
+}
+
+// RecoverReport summarizes intent-log resolution.
+type RecoverReport struct {
+	// Committed transactions had a durable commit intent re-driven to
+	// every shard.
+	Committed []string
+	// Aborted transactions were released everywhere: begins with no
+	// decision (presumed abort), durable aborts, and commits flipped
+	// because a shard's hold expired and its capacity was gone.
+	Aborted []string
+	// InDoubt transactions still have an unreachable shard; call Recover
+	// again once it returns.
+	InDoubt []string
+}
+
+// Recover resolves every unresolved transaction in the intent log: a
+// begin with no decision aborts everywhere (presumed abort), a commit
+// with no done is re-driven (idempotently — shards answer "commit
+// already applied"), an abort with no done is re-driven. It must run
+// before the coordinator serves new setups after a restart.
+func (c *Coordinator) Recover(ctx context.Context) (*RecoverReport, error) {
+	c.mu.Lock()
+	pending := make([]*openTxn, len(c.open))
+	copy(pending, c.open)
+	c.mu.Unlock()
+	rep := &RecoverReport{}
+	for _, t := range pending {
+		if t.request == nil {
+			// A decision record with no surviving begin (should not
+			// happen: begin is appended first and the log replays in
+			// order). Nothing can be driven without the request.
+			rep.InDoubt = append(rep.InDoubt, t.txn)
+			continue
+		}
+		legs, interleaved, err := c.m.Legs(t.request.Route)
+		if err != nil {
+			return rep, fmt.Errorf("recover %q: %w", t.txn, err)
+		}
+		switch t.state {
+		case IntentCommit:
+			ok, flipped, err := c.redriveCommit(ctx, t, legs, interleaved)
+			switch {
+			case err != nil:
+				rep.InDoubt = append(rep.InDoubt, t.txn)
+				continue
+			case flipped:
+				rep.Aborted = append(rep.Aborted, t.txn)
+			case ok:
+				rep.Committed = append(rep.Committed, t.txn)
+			}
+		default: // begin (presumed abort) or an explicit abort
+			if !c.redriveAbort(ctx, t, legs) {
+				rep.InDoubt = append(rep.InDoubt, t.txn)
+				continue
+			}
+			rep.Aborted = append(rep.Aborted, t.txn)
+		}
+		c.resolve(t.txn)
+	}
+	return rep, nil
+}
+
+// resolve drops a transaction from the unresolved set.
+func (c *Coordinator) resolve(txn string) {
+	c.mu.Lock()
+	delete(c.inDoubt, txn)
+	for i, t := range c.open {
+		if t.txn == txn {
+			c.open = append(c.open[:i], c.open[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// epochFor returns the recorded prepare epoch for a shard, zero if none.
+func epochFor(marks []ShardMark, shardID string) uint64 {
+	for _, m := range marks {
+		if m.Shard == shardID {
+			return m.Epoch
+		}
+	}
+	return 0
+}
+
+// redriveCommit pushes a durable commit decision to every shard,
+// re-deriving each leg's delay budget from the admissions the shards
+// answer with. A definitive refusal (expired hold, fenced prepare)
+// flips the transaction to abort-everywhere — safe because the client
+// was never acked. A transport failure leaves it in doubt.
+func (c *Coordinator) redriveCommit(ctx context.Context, t *openTxn, legs []Segment, interleaved bool) (ok, flipped bool, err error) {
+	req := *t.request
+	upstream := make([]float64, len(legs)+1)
+	subs := make([]core.ConnRequest, len(legs))
+	for i, leg := range legs {
+		sub, serr := subRequest(req, leg, upstream[i], interleaved)
+		if serr != nil {
+			c.abortTxn(ctx, t.txn, req, legs, subs[:i])
+			return false, true, nil
+		}
+		subs[i] = sub
+		var adm *wire.Admission
+		cerr := c.call(ctx, leg.Shard, wire.OpShardCommit, func(ctx context.Context, cl *wire.Client) error {
+			var e error
+			adm, _, e = cl.ShardCommit(ctx, t.txn, subs[i], epochFor(t.marks, leg.Shard.ID))
+			return e
+		})
+		if cerr != nil {
+			var re *wire.RemoteError
+			if errors.As(cerr, &re) {
+				c.abortTxn(ctx, t.txn, req, legs, subs[:i+1])
+				return false, true, nil
+			}
+			return false, false, cerr
+		}
+		guaranteed := 0.0
+		if adm != nil {
+			guaranteed = adm.EndToEndGuaranteed
+		}
+		upstream[i+1] = upstream[i] + guaranteed
+	}
+	_ = c.log.Append(&IntentRecord{State: IntentDone, Txn: t.txn})
+	return true, false, nil
+}
+
+// redriveAbort pushes an abort decision to every shard; it reports
+// whether all of them acknowledged.
+func (c *Coordinator) redriveAbort(ctx context.Context, t *openTxn, segs []Segment) bool {
+	req := *t.request
+	allOK := true
+	for _, seg := range segs {
+		sub := req
+		sub.Route = seg.Route
+		err := c.call(ctx, seg.Shard, wire.OpShardAbort, func(ctx context.Context, cl *wire.Client) error {
+			return cl.ShardAbort(ctx, t.txn, &sub)
+		})
+		if err != nil {
+			allOK = false
+		}
+	}
+	if allOK {
+		_ = c.log.Append(&IntentRecord{State: IntentAbort, Txn: t.txn})
+		_ = c.log.Append(&IntentRecord{State: IntentDone, Txn: t.txn})
+	}
+	return allOK
+}
+
+// Teardown releases a connection on every shard that carries a segment
+// of it. Without the route at hand it broadcasts, tolerating shards that
+// never saw the connection.
+func (c *Coordinator) Teardown(ctx context.Context, id core.ConnID) error {
+	found := false
+	for _, info := range c.m.Shards() {
+		err := c.call(ctx, info, wire.OpTeardown, func(ctx context.Context, cl *wire.Client) error {
+			return cl.TeardownContext(ctx, id)
+		})
+		switch {
+		case err == nil:
+			found = true
+		default:
+			var re *wire.RemoteError
+			if errors.As(err, &re) && re.Code == core.CodeUnknownConn {
+				continue
+			}
+			return fmt.Errorf("teardown %q on shard %s: %w", id, info.ID, err)
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: connection %q on no shard", core.ErrUnknownConn, id)
+	}
+	return nil
+}
+
+// List returns the union of the shards' admitted connections (a
+// cross-shard connection appears once).
+func (c *Coordinator) List(ctx context.Context) ([]core.ConnID, error) {
+	seen := make(map[core.ConnID]struct{})
+	var out []core.ConnID
+	for _, info := range c.m.Shards() {
+		var ids []core.ConnID
+		err := c.call(ctx, info, wire.OpList, func(ctx context.Context, cl *wire.Client) error {
+			var lerr error
+			ids, lerr = cl.List()
+			return lerr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("list on shard %s: %w", info.ID, err)
+		}
+		for _, id := range ids {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				out = append(out, id)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Status collects every shard's status report, in map order.
+func (c *Coordinator) Status(ctx context.Context) ([]wire.ShardStatusReport, error) {
+	out := make([]wire.ShardStatusReport, 0, len(c.m.shards))
+	for _, info := range c.m.Shards() {
+		var st *wire.ShardStatusReport
+		err := c.call(ctx, info, wire.OpShardStatus, func(ctx context.Context, cl *wire.Client) error {
+			var serr error
+			st, serr = cl.ShardStatus()
+			return serr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("status on shard %s: %w", info.ID, err)
+		}
+		if st.ShardID == "" {
+			st.ShardID = info.ID
+		}
+		out = append(out, *st)
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"atmcac/internal/core"
+	"atmcac/internal/journal"
+)
+
+// The coordinator's intent log is the durable half of the two-phase
+// protocol: one CRC-framed append per state change of a transaction,
+// fsynced before the coordinator acts on it. The decision records are
+// what make the protocol crash-safe — a commit intent with no done
+// record is re-driven on recovery, and a begin with no decision is
+// presumed aborted, matching the shards' own presumed-abort replay.
+
+// Intent states, in lifecycle order.
+const (
+	// IntentBegin opens a transaction: the full request and the owning
+	// shards are recorded before any prepare is sent.
+	IntentBegin = "begin"
+	// IntentCommit is the durable decision to admit: every shard
+	// prepared, and the per-shard prepare epochs are recorded so a
+	// recovering coordinator can fence-check its re-driven commits.
+	IntentCommit = "commit"
+	// IntentAbort is the durable decision to release: some shard refused,
+	// the delay budget ran out, or a commit flipped after a hold expired.
+	IntentAbort = "abort"
+	// IntentDone closes the transaction: the decision reached every
+	// shard, so recovery can skip it.
+	IntentDone = "done"
+)
+
+// ShardMark names one participating shard and, once prepared, the epoch
+// its hold was created under.
+type ShardMark struct {
+	Shard string `json:"shard"`
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// IntentRecord is one entry in the coordinator's intent log.
+type IntentRecord struct {
+	Seq   uint64 `json:"seq"`
+	State string `json:"state"`
+	Txn   string `json:"txn"`
+	// Request is the full multi-shard connection request; set on begin so
+	// recovery can re-split the route without any other state.
+	Request *core.ConnRequest `json:"request,omitempty"`
+	// Shards lists the participating shards (begin) or the prepared
+	// epochs (commit).
+	Shards []ShardMark `json:"shards,omitempty"`
+}
+
+// maxIntentBytes bounds one intent frame, mirroring the journal's limit.
+const maxIntentBytes = 1 << 20
+
+const intentHeaderLen = 8 // 4-byte payload length + 4-byte CRC32
+
+// ScanIntentFrames decodes intent frames until the data ends or a frame
+// is invalid. Like the journal scanner it never fails: a bad frame
+// terminates the scan with torn set, because the log's tail is exactly
+// where a coordinator crash lands.
+func ScanIntentFrames(data []byte) (recs []IntentRecord, valid int64, torn bool) {
+	for {
+		rest := data[valid:]
+		if len(rest) == 0 {
+			return recs, valid, false
+		}
+		if len(rest) < intentHeaderLen {
+			return recs, valid, true
+		}
+		n := binary.BigEndian.Uint32(rest[0:4])
+		if n > maxIntentBytes || int64(n) > int64(len(rest)-intentHeaderLen) {
+			return recs, valid, true
+		}
+		payload := rest[intentHeaderLen : intentHeaderLen+int(n)]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(rest[4:8]) {
+			return recs, valid, true
+		}
+		var rec IntentRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, valid, true
+		}
+		recs = append(recs, rec)
+		valid += int64(intentHeaderLen) + int64(n)
+	}
+}
+
+// IntentLog is the coordinator's append-only decision log.
+type IntentLog struct {
+	mu      sync.Mutex
+	fsys    journal.FS
+	path    string
+	f       journal.File
+	nextSeq uint64
+}
+
+// OpenIntentLog opens (or creates) the log at path, returning every
+// record already in it. A torn tail — the residue of a crash mid-append
+// — is truncated away; torn reports that it happened.
+func OpenIntentLog(fsys journal.FS, path string) (log *IntentLog, recs []IntentRecord, torn bool, err error) {
+	if fsys == nil {
+		fsys = journal.OSFS{}
+	}
+	data, rerr := fsys.ReadFile(path)
+	if rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+		return nil, nil, false, fmt.Errorf("shard: read intent log: %w", rerr)
+	}
+	recs, valid, torn := ScanIntentFrames(data)
+	if torn {
+		if err := fsys.Truncate(path, valid); err != nil {
+			return nil, nil, true, fmt.Errorf("shard: repair torn intent log: %w", err)
+		}
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, nil, torn, fmt.Errorf("shard: open intent log: %w", err)
+	}
+	var last uint64
+	if len(recs) > 0 {
+		last = recs[len(recs)-1].Seq
+	}
+	return &IntentLog{fsys: fsys, path: path, f: f, nextSeq: last + 1}, recs, torn, nil
+}
+
+// Append assigns the next sequence to rec, writes its frame and fsyncs.
+// The record is only acted on after Append returns nil — an intent that
+// is not durable is an intent that never happened.
+func (l *IntentLog) Append(rec *IntentRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec.Seq = l.nextSeq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("shard: encode intent %q: %w", rec.Txn, err)
+	}
+	if len(payload) > maxIntentBytes {
+		return fmt.Errorf("shard: intent %q exceeds %d bytes", rec.Txn, maxIntentBytes)
+	}
+	frame := make([]byte, intentHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[intentHeaderLen:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("shard: append intent %q: %w", rec.Txn, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("shard: sync intent %q: %w", rec.Txn, err)
+	}
+	l.nextSeq++
+	return nil
+}
+
+// NextSeq returns the sequence the next append will get; the coordinator
+// derives transaction names from it so they stay unique across restarts.
+func (l *IntentLog) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Close closes the underlying file.
+func (l *IntentLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// openTxn is the folded state of one transaction after a log scan.
+type openTxn struct {
+	txn     string
+	state   string // latest decision state: begin, commit or abort
+	request *core.ConnRequest
+	marks   []ShardMark // from the commit record when present, else begin
+}
+
+// foldIntents replays the log into the set of unresolved transactions, in
+// first-seen order. A done record closes its transaction.
+func foldIntents(recs []IntentRecord) []*openTxn {
+	byTxn := make(map[string]*openTxn)
+	var order []*openTxn
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.State {
+		case IntentBegin:
+			if _, dup := byTxn[rec.Txn]; dup {
+				continue
+			}
+			t := &openTxn{txn: rec.Txn, state: IntentBegin, request: rec.Request, marks: rec.Shards}
+			byTxn[rec.Txn] = t
+			order = append(order, t)
+		case IntentCommit, IntentAbort:
+			if t, ok := byTxn[rec.Txn]; ok {
+				t.state = rec.State
+				if len(rec.Shards) > 0 {
+					t.marks = rec.Shards
+				}
+			}
+		case IntentDone:
+			delete(byTxn, rec.Txn)
+		}
+	}
+	open := order[:0]
+	for _, t := range order {
+		if _, still := byTxn[t.txn]; still {
+			open = append(open, t)
+		}
+	}
+	return open
+}

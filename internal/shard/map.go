@@ -1,0 +1,180 @@
+// Package shard partitions the switches of an ATM network across
+// multiple cacd instances and drives multi-hop connection setups through
+// a crash-safe two-phase reserve-commit protocol.
+//
+// A Map assigns every switch to exactly one shard (a cacd instance
+// reachable at an address). A route whose hops all live on one shard is
+// forwarded as an ordinary setup; a route crossing shards is split into
+// per-shard legs — one per shard, carrying every hop that shard owns —
+// and admitted atomically: phase 1 reserves each leg on its owning
+// shard (a journaled, TTL-bounded prepared hold), phase 2 commits — or
+// aborts — everywhere. The
+// Coordinator's intent log makes the decision durable, so a coordinator
+// crash between the phases resolves deterministically on recovery, and
+// the shards' orphan reapers bound how long a dead coordinator can
+// strand bandwidth.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"atmcac/internal/core"
+)
+
+// Info names one shard: its ID in the map and its wire address.
+type Info struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Map is the switch-ownership table: which shard admits which switches.
+type Map struct {
+	shards []Info          // map order, deduplicated
+	byID   map[string]Info // shard ID -> info
+	owner  map[string]Info // switch name -> owning shard
+}
+
+// ParseMap parses a shard map spec of the form
+//
+//	s0@host:port=sw0,sw1;s1@host:port=sw2,sw3
+//
+// Every switch must be owned by exactly one shard; shard IDs must be
+// unique. This is the -shard-map flag format of cacd and cacctl.
+func ParseMap(spec string) (*Map, error) {
+	m := &Map{byID: make(map[string]Info), owner: make(map[string]Info)}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		head, switches, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("shard: map entry %q: want id@addr=sw,...", entry)
+		}
+		id, addr, ok := strings.Cut(strings.TrimSpace(head), "@")
+		id = strings.TrimSpace(id)
+		addr = strings.TrimSpace(addr)
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("shard: map entry %q: want id@addr=sw,...", entry)
+		}
+		if _, dup := m.byID[id]; dup {
+			return nil, fmt.Errorf("shard: duplicate shard id %q", id)
+		}
+		info := Info{ID: id, Addr: addr}
+		m.byID[id] = info
+		m.shards = append(m.shards, info)
+		names := strings.Split(switches, ",")
+		owned := 0
+		for _, sw := range names {
+			sw = strings.TrimSpace(sw)
+			if sw == "" {
+				continue
+			}
+			if prev, taken := m.owner[sw]; taken {
+				return nil, fmt.Errorf("shard: switch %q owned by both %q and %q", sw, prev.ID, id)
+			}
+			m.owner[sw] = info
+			owned++
+		}
+		if owned == 0 {
+			return nil, fmt.Errorf("shard: shard %q owns no switches", id)
+		}
+	}
+	if len(m.shards) == 0 {
+		return nil, fmt.Errorf("shard: empty map spec")
+	}
+	return m, nil
+}
+
+// Shards returns every shard in map order.
+func (m *Map) Shards() []Info {
+	out := make([]Info, len(m.shards))
+	copy(out, m.shards)
+	return out
+}
+
+// Lookup returns the shard with the given ID.
+func (m *Map) Lookup(id string) (Info, bool) {
+	info, ok := m.byID[id]
+	return info, ok
+}
+
+// Owner returns the shard owning the named switch.
+func (m *Map) Owner(sw string) (Info, bool) {
+	info, ok := m.owner[sw]
+	return info, ok
+}
+
+// Switches returns the switch names owned by the shard, sorted.
+func (m *Map) Switches(shardID string) []string {
+	var out []string
+	for sw, info := range m.owner {
+		if info.ID == shardID {
+			out = append(out, sw)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Segment is one contiguous run of route hops owned by a single shard.
+type Segment struct {
+	Shard Info
+	Route core.Route
+}
+
+// Segments splits route into contiguous per-shard segments, in route
+// order. A route revisiting a shard after leaving it yields a second
+// segment for that shard — this is the path-order view used for display
+// (cacctl shard route). The two-phase protocol itself runs on Legs,
+// which merge a shard's segments: a shard holds at most one prepared
+// sub-request per transaction. An unowned switch is an error: a partial
+// map must not silently drop hops from admission control.
+func (m *Map) Segments(route core.Route) ([]Segment, error) {
+	var segs []Segment
+	for _, hop := range route {
+		info, ok := m.Owner(hop.Switch)
+		if !ok {
+			return nil, fmt.Errorf("shard: switch %q not in the shard map", hop.Switch)
+		}
+		if n := len(segs); n > 0 && segs[n-1].Shard.ID == info.ID {
+			segs[n-1].Route = append(segs[n-1].Route, hop)
+			continue
+		}
+		segs = append(segs, Segment{Shard: info, Route: core.Route{hop}})
+	}
+	return segs, nil
+}
+
+// Legs groups a route's hops by owning shard: one leg per shard, in
+// order of first appearance, each carrying every hop that shard owns in
+// path order. This is the unit of the two-phase protocol — a shard can
+// hold only one prepared sub-request per transaction (the sub-request
+// reuses the connection ID), so a route that re-enters a shard it
+// already left (a ring wrap) must reach it as a single merged leg.
+// interleaved reports whether such a re-entry happened; it forces the
+// coordinator onto the conservative whole-bound jitter budget (see
+// subRequest), because part of a merged leg then sits downstream of
+// legs prepared after it.
+func (m *Map) Legs(route core.Route) (legs []Segment, interleaved bool, err error) {
+	index := make(map[string]int)
+	for _, hop := range route {
+		info, ok := m.Owner(hop.Switch)
+		if !ok {
+			return nil, false, fmt.Errorf("shard: switch %q not in the shard map", hop.Switch)
+		}
+		i, seen := index[info.ID]
+		if !seen {
+			index[info.ID] = len(legs)
+			legs = append(legs, Segment{Shard: info, Route: core.Route{hop}})
+			continue
+		}
+		if i != len(legs)-1 {
+			interleaved = true
+		}
+		legs[i].Route = append(legs[i].Route, hop)
+	}
+	return legs, interleaved, nil
+}

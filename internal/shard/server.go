@@ -1,0 +1,203 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"atmcac/internal/core"
+	"atmcac/internal/wire"
+)
+
+// Server fronts a Coordinator with the standard wire protocol, so the
+// ordinary client (and cacctl) can set up and tear down cross-shard
+// connections without knowing the map. Reads that aggregate cleanly
+// (list, health) fan out to the shards; everything else is answered
+// with unknown-op — per-shard inspection goes to the shard directly.
+type Server struct {
+	coord *Coordinator
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a wire front end over coord.
+func NewServer(coord *Coordinator) *Server {
+	return &Server{coord: coord, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close. It always returns a
+// non-nil error (wire.ErrServerClosed after a clean shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return wire.ErrServerClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return wire.ErrServerClosed
+			}
+			return fmt.Errorf("shard: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return wire.ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting and closes every client connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 4096), wire.MaxLineBytes)
+	enc := json.NewEncoder(conn)
+	for {
+		if !scanner.Scan() {
+			if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+				_ = enc.Encode(wire.Response{
+					Error: fmt.Sprintf("request too large: line exceeds %d bytes", wire.MaxLineBytes),
+					Code:  wire.CodeProtocol,
+				})
+			}
+			return
+		}
+		var req wire.Request
+		var resp wire.Response
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp = wire.Response{Error: fmt.Sprintf("malformed request: %v", err), Code: wire.CodeProtocol}
+		} else {
+			resp = s.handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// errorResponse maps a coordinator error onto the wire taxonomy,
+// preserving the shard's typed code when one traveled back.
+func errorResponse(err error) wire.Response {
+	resp := wire.Response{Error: err.Error(), Rejected: errors.Is(err, core.ErrRejected)}
+	var re *wire.RemoteError
+	switch {
+	case errors.Is(err, ErrInDoubt):
+		resp.Code = wire.CodeInDoubt
+	case errors.As(err, &re):
+		resp.Code = re.Code
+	default:
+		resp.Code = core.ErrorCode(err)
+	}
+	return resp
+}
+
+func (s *Server) handle(req wire.Request) wire.Response {
+	ctx := context.Background()
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	switch req.Op {
+	case wire.OpSetup:
+		if req.Request == nil {
+			return wire.Response{Error: "setup requires a request body", Code: wire.CodeProtocol}
+		}
+		adm, err := s.coord.Setup(ctx, *req.Request)
+		if err != nil {
+			return errorResponse(err)
+		}
+		return wire.Response{OK: true, Admission: adm}
+	case wire.OpTeardown:
+		if req.ID == "" {
+			return wire.Response{Error: "teardown requires an id", Code: wire.CodeProtocol}
+		}
+		if err := s.coord.Teardown(ctx, req.ID); err != nil {
+			return errorResponse(err)
+		}
+		return wire.Response{OK: true}
+	case wire.OpList:
+		ids, err := s.coord.List(ctx)
+		if err != nil {
+			return errorResponse(err)
+		}
+		return wire.Response{OK: true, Connections: ids}
+	case wire.OpHealth:
+		// The coordinator's health is the fleet's: how many connections
+		// the shards carry and how many transactions are unresolved.
+		ids, err := s.coord.List(ctx)
+		if err != nil {
+			return errorResponse(err)
+		}
+		return wire.Response{OK: true, Health: &wire.HealthReport{
+			Connections: len(ids),
+			Role:        "coordinator",
+			Prepared:    len(s.coord.InDoubt()),
+		}}
+	case wire.OpShardStatus:
+		// Answer with the first shard's report shape aggregated is not
+		// expressible in one report; cacctl queries shards directly via
+		// the map. Report the coordinator's own identity instead.
+		return wire.Response{OK: true, Shard: &wire.ShardStatusReport{
+			ShardID: "coordinator",
+			Role:    "coordinator",
+		}}
+	default:
+		return wire.Response{
+			Error: fmt.Sprintf("unknown op %q (coordinator speaks setup, teardown, list, health)", req.Op),
+			Code:  wire.CodeUnknownOp,
+		}
+	}
+}

@@ -1,0 +1,603 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"atmcac/internal/core"
+	"atmcac/internal/journal"
+	"atmcac/internal/traffic"
+	"atmcac/internal/wire"
+)
+
+func TestParseMap(t *testing.T) {
+	m, err := ParseMap("s0@h0:1=sw0, sw1; s1@h1:2=sw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Shards(); len(got) != 2 || got[0].ID != "s0" || got[1].Addr != "h1:2" {
+		t.Fatalf("shards = %v", got)
+	}
+	if info, ok := m.Owner("sw1"); !ok || info.ID != "s0" {
+		t.Fatalf("owner(sw1) = %v, %v", info, ok)
+	}
+	if sws := m.Switches("s0"); len(sws) != 2 || sws[0] != "sw0" {
+		t.Fatalf("switches(s0) = %v", sws)
+	}
+	for _, bad := range []string{
+		"",
+		"s0=sw0",                    // no addr
+		"s0@h:1=",                   // no switches
+		"s0@h:1=sw0;s0@h:2=sw1",     // duplicate shard
+		"s0@h:1=sw0;s1@h:2=sw0",     // duplicate switch
+		"s0@h:1 sw0",                // no =
+	} {
+		if _, err := ParseMap(bad); err == nil {
+			t.Errorf("ParseMap(%q) accepted", bad)
+		}
+	}
+}
+
+func hops(switches ...string) core.Route {
+	r := make(core.Route, len(switches))
+	for i, sw := range switches {
+		r[i] = core.Hop{Switch: sw, In: 1, Out: 0}
+	}
+	return r
+}
+
+func TestSegments(t *testing.T) {
+	m, err := ParseMap("s0@h0:1=sw0,sw1;s1@h1:2=sw2,sw3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := m.Segments(hops("sw0", "sw1", "sw2", "sw3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 || segs[0].Shard.ID != "s0" || len(segs[0].Route) != 2 ||
+		segs[1].Shard.ID != "s1" || len(segs[1].Route) != 2 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	// A route that leaves a shard and comes back gets two segments for it,
+	// in path order.
+	segs, err = m.Segments(hops("sw0", "sw2", "sw1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 || segs[0].Shard.ID != "s0" || segs[1].Shard.ID != "s1" || segs[2].Shard.ID != "s0" {
+		t.Fatalf("revisit segments = %+v", segs)
+	}
+	if _, err := m.Segments(hops("sw0", "sw9")); err == nil {
+		t.Fatal("unowned switch accepted")
+	}
+}
+
+func TestLegsMergeRevisitedShard(t *testing.T) {
+	m, err := ParseMap("s0@h0:1=sw0,sw1;s1@h1:2=sw2,sw3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain route: one leg per shard, not interleaved.
+	legs, interleaved, err := m.Legs(hops("sw0", "sw1", "sw2", "sw3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legs) != 2 || interleaved || legs[0].Shard.ID != "s0" || len(legs[0].Route) != 2 {
+		t.Fatalf("chain legs = %+v interleaved=%v", legs, interleaved)
+	}
+	// A wrap revisiting s0: its two runs merge into one leg, hops in
+	// path order, and the route is flagged interleaved.
+	legs, interleaved, err = m.Legs(hops("sw1", "sw2", "sw3", "sw0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legs) != 2 || !interleaved {
+		t.Fatalf("wrap legs = %+v interleaved=%v", legs, interleaved)
+	}
+	if legs[0].Shard.ID != "s0" || len(legs[0].Route) != 2 ||
+		legs[0].Route[0].Switch != "sw1" || legs[0].Route[1].Switch != "sw0" {
+		t.Fatalf("merged s0 leg = %+v", legs[0])
+	}
+	if legs[1].Shard.ID != "s1" || len(legs[1].Route) != 2 {
+		t.Fatalf("s1 leg = %+v", legs[1])
+	}
+	if _, _, err := m.Legs(hops("sw0", "sw9")); err == nil {
+		t.Fatal("unowned switch accepted")
+	}
+}
+
+func TestIntentLogRoundTripAndTornTail(t *testing.T) {
+	fsys := journal.OSFS{}
+	path := filepath.Join(t.TempDir(), "intent")
+	log, recs, torn, err := OpenIntentLog(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || torn {
+		t.Fatalf("fresh log: recs=%v torn=%v", recs, torn)
+	}
+	req := &core.ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: hops("sw0")}
+	for _, rec := range []IntentRecord{
+		{State: IntentBegin, Txn: "t1", Request: req, Shards: []ShardMark{{Shard: "s0"}}},
+		{State: IntentCommit, Txn: "t1", Shards: []ShardMark{{Shard: "s0", Epoch: 1}}},
+		{State: IntentDone, Txn: "t1"},
+		{State: IntentBegin, Txn: "t2", Request: req, Shards: []ShardMark{{Shard: "s0"}}},
+	} {
+		rec := rec
+		if err := log.Append(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: append garbage that is not a valid frame.
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.WriteFile(path, append(data, 0xde, 0xad, 0xbe), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	log2, recs, torn, err := OpenIntentLog(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if !torn {
+		t.Fatal("torn tail not detected")
+	}
+	if len(recs) != 4 || recs[3].Seq != 4 {
+		t.Fatalf("replayed %d records, last %+v", len(recs), recs[len(recs)-1])
+	}
+	open := foldIntents(recs)
+	if len(open) != 1 || open[0].txn != "t2" || open[0].state != IntentBegin {
+		t.Fatalf("open txns = %+v", open)
+	}
+	// The next append continues the sequence past the repaired tail.
+	next := IntentRecord{State: IntentAbort, Txn: "t2"}
+	if err := log2.Append(&next); err != nil {
+		t.Fatal(err)
+	}
+	if next.Seq != 5 {
+		t.Fatalf("next seq = %d, want 5", next.Seq)
+	}
+}
+
+// startShard serves one CAC instance owning the given switches.
+func startShard(t *testing.T, id string, switches ...string) (addr string, srv *wire.Server) {
+	t.Helper()
+	n := core.NewNetwork(core.HardCDV{})
+	for _, sw := range switches {
+		if _, err := n.AddSwitch(core.SwitchConfig{
+			Name: sw, QueueCells: map[core.Priority]float64{1: 32},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv = wire.NewServer(n)
+	srv.SetShardID(id)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close(); <-done })
+	return l.Addr().String(), srv
+}
+
+// twoShardFixture builds two live shards, the map over them and a
+// coordinator with its intent log in a temp dir.
+func twoShardFixture(t *testing.T) (*Coordinator, *Map, string) {
+	t.Helper()
+	addr0, _ := startShard(t, "s0", "sw0", "sw1")
+	addr1, _ := startShard(t, "s1", "sw2", "sw3")
+	m, err := ParseMap(fmt.Sprintf("s0@%s=sw0,sw1;s1@%s=sw2,sw3", addr0, addr1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(t.TempDir(), "intent")
+	c, err := NewCoordinator(m, nil, logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c, m, logPath
+}
+
+func crossReq(id string) core.ConnRequest {
+	return core.ConnRequest{ID: core.ConnID(id), Spec: traffic.CBR(0.1), Priority: 1,
+		Route: hops("sw0", "sw1", "sw2", "sw3")}
+}
+
+// shardList asks one shard directly for its admitted connections.
+func shardList(t *testing.T, c *Coordinator, shardID string) []core.ConnID {
+	t.Helper()
+	info, ok := c.m.Lookup(shardID)
+	if !ok {
+		t.Fatalf("no shard %q", shardID)
+	}
+	cl, err := c.client(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := cl.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func TestCoordinatorSingleShardFastPath(t *testing.T) {
+	c, _, _ := twoShardFixture(t)
+	ctx := context.Background()
+	req := core.ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: hops("sw0", "sw1")}
+	adm, err := c.Setup(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.ID != "c1" || len(adm.PerHopGuaranteed) != 2 {
+		t.Fatalf("admission = %+v", adm)
+	}
+	if ids := shardList(t, c, "s0"); len(ids) != 1 {
+		t.Fatalf("s0 list = %v", ids)
+	}
+	if ids := shardList(t, c, "s1"); len(ids) != 0 {
+		t.Fatalf("s1 list = %v", ids)
+	}
+	if err := c.Teardown(ctx, "c1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorCrossShardSetup(t *testing.T) {
+	c, _, _ := twoShardFixture(t)
+	ctx := context.Background()
+	adm, err := c.Setup(ctx, crossReq("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.ID != "c1" || len(adm.PerHopGuaranteed) != 4 || adm.EndToEndGuaranteed <= 0 {
+		t.Fatalf("admission = %+v", adm)
+	}
+	// The connection exists on both shards, with no lingering holds.
+	for _, id := range []string{"s0", "s1"} {
+		if ids := shardList(t, c, id); len(ids) != 1 || ids[0] != "c1" {
+			t.Fatalf("%s list = %v", id, ids)
+		}
+	}
+	sts, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range sts {
+		if len(st.Prepared) != 0 {
+			t.Fatalf("shard %s still holds %v", st.ShardID, st.Prepared)
+		}
+	}
+	// Union list reports it once; teardown removes it everywhere.
+	if ids, err := c.List(ctx); err != nil || len(ids) != 1 {
+		t.Fatalf("union list = %v, %v", ids, err)
+	}
+	if err := c.Teardown(ctx, "c1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"s0", "s1"} {
+		if ids := shardList(t, c, id); len(ids) != 0 {
+			t.Fatalf("%s list after teardown = %v", id, ids)
+		}
+	}
+	if len(c.InDoubt()) != 0 {
+		t.Fatalf("in doubt: %v", c.InDoubt())
+	}
+}
+
+// TestCoordinatorRevisitingRouteSetup covers a ring-wrapping route that
+// leaves s0 and comes back: the coordinator must reach s0 with a single
+// merged prepare (two prepares under one txn would collide on the
+// connection ID) and, because part of that leg sits downstream of s1,
+// must insist on an end-to-end delay bound.
+func TestCoordinatorRevisitingRouteSetup(t *testing.T) {
+	c, _, _ := twoShardFixture(t)
+	ctx := context.Background()
+	wrap := core.ConnRequest{ID: "c-wrap", Spec: traffic.CBR(0.05), Priority: 1,
+		Route: hops("sw1", "sw2", "sw3", "sw0")}
+
+	// Without a bound the jitter entering s0's downstream run cannot be
+	// budgeted: a typed CAC rejection, before any shard holds anything.
+	if _, err := c.Setup(ctx, wrap); !errors.Is(err, ErrRevisitBound) || !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("unbounded wrap: err = %v, want ErrRevisitBound", err)
+	}
+	sts, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range sts {
+		if len(st.Prepared) != 0 {
+			t.Fatalf("refused wrap left hold on %s: %v", st.ShardID, st.Prepared)
+		}
+	}
+
+	// With a bound it admits: one connection on each shard, s0's covering
+	// both of its runs, and the combined guarantee within the bound.
+	wrap.DelayBound = 160
+	adm, err := c.Setup(ctx, wrap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.ID != "c-wrap" || len(adm.PerHopGuaranteed) != 4 {
+		t.Fatalf("admission = %+v", adm)
+	}
+	if adm.EndToEndGuaranteed <= 0 || adm.EndToEndGuaranteed > wrap.DelayBound {
+		t.Fatalf("guaranteed %v outside (0, %v]", adm.EndToEndGuaranteed, wrap.DelayBound)
+	}
+	for _, id := range []string{"s0", "s1"} {
+		if ids := shardList(t, c, id); len(ids) != 1 || ids[0] != "c-wrap" {
+			t.Fatalf("%s list = %v", id, ids)
+		}
+	}
+	sts, err = c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range sts {
+		if len(st.Prepared) != 0 {
+			t.Fatalf("shard %s still holds %v", st.ShardID, st.Prepared)
+		}
+	}
+	if err := c.Teardown(ctx, "c-wrap"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"s0", "s1"} {
+		if ids := shardList(t, c, id); len(ids) != 0 {
+			t.Fatalf("%s list after teardown = %v", id, ids)
+		}
+	}
+	if len(c.InDoubt()) != 0 {
+		t.Fatalf("in doubt: %v", c.InDoubt())
+	}
+}
+
+func TestCoordinatorDelayBudgetAcrossShards(t *testing.T) {
+	c, _, _ := twoShardFixture(t)
+	ctx := context.Background()
+
+	// A bound with room for all four hops admits, and the combined
+	// guarantee respects it.
+	ok := crossReq("c-ok")
+	ok.DelayBound = 300
+	adm, err := c.Setup(ctx, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.EndToEndGuaranteed > ok.DelayBound {
+		t.Fatalf("guaranteed %v exceeds bound %v", adm.EndToEndGuaranteed, ok.DelayBound)
+	}
+	if err := c.Teardown(ctx, "c-ok"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A bound the first segment nearly exhausts makes the second shard
+	// refuse its remaining budget; the coordinator must abort the first
+	// shard's hold and report a CAC rejection, leaving no residue.
+	tight := crossReq("c-tight")
+	tight.DelayBound = adm.EndToEndGuaranteed/2 + 1
+	_, err = c.Setup(ctx, tight)
+	if err == nil {
+		t.Fatal("over-budget cross-shard setup admitted")
+	}
+	if !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("error %v is not a CAC rejection", err)
+	}
+	for _, id := range []string{"s0", "s1"} {
+		if ids := shardList(t, c, id); len(ids) != 0 {
+			t.Fatalf("%s list after rejection = %v", id, ids)
+		}
+	}
+	sts, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range sts {
+		if len(st.Prepared) != 0 {
+			t.Fatalf("refused setup left hold on %s: %v", st.ShardID, st.Prepared)
+		}
+	}
+}
+
+var errCrash = errors.New("injected coordinator crash")
+
+// crashAt installs a hook that abandons the transaction at the named
+// boundary, simulating a coordinator that died mid-protocol.
+func crashAt(c *Coordinator, point string) {
+	c.SetTestHook(func(p, txn string) error {
+		if p == point {
+			return errCrash
+		}
+		return nil
+	})
+}
+
+func TestCoordinatorRecoverPresumedAbort(t *testing.T) {
+	for _, point := range []string{"pre-prepare", "post-prepare", "pre-commit"} {
+		t.Run(point, func(t *testing.T) {
+			c, m, logPath := twoShardFixture(t)
+			ctx := context.Background()
+			crashAt(c, point)
+			if _, err := c.Setup(ctx, crossReq("c1")); !errors.Is(err, errCrash) {
+				t.Fatalf("setup error = %v", err)
+			}
+			_ = c.Close()
+
+			// The restarted coordinator finds a begin with no decision and
+			// presumes abort: every hold is released, nothing is admitted.
+			c2, err := NewCoordinator(m, nil, logPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c2.Close()
+			rep, err := c2.Recover(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Aborted) != 1 || len(rep.Committed) != 0 || len(rep.InDoubt) != 0 {
+				t.Fatalf("recover report = %+v", rep)
+			}
+			for _, id := range []string{"s0", "s1"} {
+				if ids := shardList(t, c2, id); len(ids) != 0 {
+					t.Fatalf("%s list after recovery = %v", id, ids)
+				}
+			}
+			sts, err := c2.Status(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, st := range sts {
+				if len(st.Prepared) != 0 {
+					t.Fatalf("recovery left hold on %s: %v", st.ShardID, st.Prepared)
+				}
+			}
+			// The same connection admits fresh afterwards.
+			if _, err := c2.Setup(ctx, crossReq("c1")); err != nil {
+				t.Fatalf("setup after recovery: %v", err)
+			}
+		})
+	}
+}
+
+func TestCoordinatorRecoverRedrivesCommit(t *testing.T) {
+	for _, point := range []string{"mid-commit", "post-commit"} {
+		t.Run(point, func(t *testing.T) {
+			c, m, logPath := twoShardFixture(t)
+			ctx := context.Background()
+			crashAt(c, point)
+			if _, err := c.Setup(ctx, crossReq("c1")); !errors.Is(err, errCrash) {
+				t.Fatalf("setup error = %v", err)
+			}
+			_ = c.Close()
+
+			// The commit intent is durable: recovery must finish the job —
+			// idempotently on the shard that already committed.
+			c2, err := NewCoordinator(m, nil, logPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c2.Close()
+			rep, err := c2.Recover(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Committed) != 1 || len(rep.Aborted) != 0 || len(rep.InDoubt) != 0 {
+				t.Fatalf("recover report = %+v", rep)
+			}
+			for _, id := range []string{"s0", "s1"} {
+				if ids := shardList(t, c2, id); len(ids) != 1 || ids[0] != "c1" {
+					t.Fatalf("%s list after recovery = %v", id, ids)
+				}
+			}
+			// A second recovery is a no-op.
+			rep2, err := c2.Recover(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep2.Committed)+len(rep2.Aborted)+len(rep2.InDoubt) != 0 {
+				t.Fatalf("second recover not idempotent: %+v", rep2)
+			}
+		})
+	}
+}
+
+func TestCoordinatorServerFrontEnd(t *testing.T) {
+	c, _, _ := twoShardFixture(t)
+	front := NewServer(c)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = front.Serve(l) }()
+	t.Cleanup(func() { _ = front.Close(); <-done })
+	cl, err := wire.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The ordinary wire client admits a cross-shard route through the
+	// coordinator without knowing the map.
+	adm, err := cl.Setup(crossReq("c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.ID != "c1" || len(adm.PerHopGuaranteed) != 4 {
+		t.Fatalf("admission = %+v", adm)
+	}
+	if ids, err := cl.List(); err != nil || len(ids) != 1 {
+		t.Fatalf("list = %v, %v", ids, err)
+	}
+	h, err := cl.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != "coordinator" || h.Connections != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	if err := cl.Teardown("c1"); err != nil {
+		t.Fatal(err)
+	}
+	// A rejection travels back typed.
+	tight := crossReq("c2")
+	tight.DelayBound = 1
+	if _, err := cl.Setup(tight); !errors.Is(err, core.ErrRejected) {
+		t.Fatalf("tight-bound setup error = %v", err)
+	}
+	// Ops the coordinator does not aggregate are refused clearly.
+	if _, err := cl.Inspect(""); err == nil {
+		t.Fatal("inspect through coordinator succeeded")
+	}
+}
+
+// TestCoordinatorReaperResolvesDeadCoordinator covers the orphan path:
+// the coordinator dies after prepare, nobody recovers it, and the
+// shards' own reapers free the held bandwidth after the TTL.
+func TestCoordinatorReaperResolvesDeadCoordinator(t *testing.T) {
+	c, m, _ := twoShardFixture(t)
+	c.PrepareTTL = 20 * time.Millisecond
+	ctx := context.Background()
+	crashAt(c, "pre-commit")
+	if _, err := c.Setup(ctx, crossReq("c1")); !errors.Is(err, errCrash) {
+		t.Fatalf("setup error = %v", err)
+	}
+	_ = c.Close()
+
+	time.Sleep(30 * time.Millisecond)
+	for _, id := range []string{"s0", "s1"} {
+		info, _ := m.Lookup(id)
+		cl, err := wire.Dial(info.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reaped, err := cl.ShardReap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reaped) != 1 {
+			t.Fatalf("%s reaped %v, want one txn", id, reaped)
+		}
+		st, err := cl.ShardStatus()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Prepared) != 0 {
+			t.Fatalf("%s still holds %v", id, st.Prepared)
+		}
+		_ = cl.Close()
+	}
+}

@@ -135,6 +135,18 @@ func (d *Durable) applyView(rec *journal.Record) {
 		d.viewLinks[core.Link{From: rec.From, To: rec.To}] = struct{}{}
 	case journal.OpRestoreLink:
 		delete(d.viewLinks, core.Link{From: rec.From, To: rec.To})
+	case journal.OpShardPrepare:
+		// Prepared holds are capacity in flight, not durable admitted
+		// state: the self-contained commit record is what lands in the
+		// view, so compaction folding the prepare away is harmless.
+	case journal.OpShardCommit:
+		if rec.Request != nil {
+			d.viewConns[rec.Request.ID] = *rec.Request
+		}
+	case journal.OpShardAbort:
+		if rec.ID != "" {
+			delete(d.viewConns, rec.ID)
+		}
 	}
 }
 
@@ -228,6 +240,12 @@ type RecoveryReport struct {
 	// TornPath, when non-empty, is where a torn journal tail was
 	// preserved before the journal was truncated at the last valid frame.
 	TornPath string
+	// ReapedPrepares lists shard transactions whose prepared hold was
+	// found unresolved in the journal — the crash landed between the
+	// prepare and the coordinator's decision. The holds are expired
+	// (presumed abort): they are never re-admitted, and the coordinator
+	// re-drives or aborts the transaction from its own intent log.
+	ReapedPrepares []string
 	// Warnings carries non-fatal findings (legacy snapshot without a
 	// checksum, a link that could not be re-failed, ...).
 	Warnings []string
@@ -279,6 +297,7 @@ func (d *Durable) Recover(network *core.Network) (*RecoveryReport, error) {
 		}
 		final = journal.Replay(final, st.LastSeq, scan.Records)
 		log.SetNextSeq(st.LastSeq + 1)
+		rep.ReapedPrepares = final.ReapedPrepares
 	}
 	for _, l := range final.FailedLinks {
 		if _, err := network.FailLink(l.From, l.To); err != nil {

@@ -153,6 +153,14 @@ type Request struct {
 	// server bounds its handling of this request by a context expiring
 	// after that many milliseconds. Zero means no deadline.
 	TimeoutMillis int64 `json:"timeoutMs,omitempty"`
+	// Txn names the coordinator transaction for the shard 2PC ops.
+	Txn string `json:"txn,omitempty"`
+	// TTLMillis bounds a shard-prepare hold's lifetime; zero selects the
+	// server default.
+	TTLMillis int64 `json:"ttlMs,omitempty"`
+	// PrepareEpoch echoes the epoch from the prepare report on a
+	// shard-commit so an epoch-bumped shard can fence stale prepares.
+	PrepareEpoch uint64 `json:"prepareEpoch,omitempty"`
 }
 
 // ReadmitOutcome is the transport form of one re-admission result after a
@@ -182,6 +190,14 @@ type HealthReport struct {
 	FailedLinks []core.Link `json:"failedLinks,omitempty"`
 	Violations  int         `json:"violations"`
 	Draining    bool        `json:"draining,omitempty"`
+	// Role and Epoch surface the replication state directly in health so
+	// an operator can tell primary from fenced standby in one command.
+	Role  string `json:"role,omitempty"`
+	Epoch uint64 `json:"epoch"`
+	// ShardID names this instance's shard; Prepared counts live 2PC
+	// holds (both zero-valued on an unsharded deployment).
+	ShardID  string `json:"shardId,omitempty"`
+	Prepared int    `json:"prepared,omitempty"`
 	// Overload carries the limiter's shed/admitted counters when
 	// overload control is configured — visible while an overload
 	// happens, because health is never shed.
@@ -257,6 +273,10 @@ type Response struct {
 	Health *HealthReport `json:"health,omitempty"`
 	// Replication reports a replication or promote result.
 	Replication *ReplicationReport `json:"replication,omitempty"`
+	// Prepared reports a shard-prepare result.
+	Prepared *PrepareReport `json:"prepared,omitempty"`
+	// Shard reports a shard-status or shard-reap result.
+	Shard *ShardStatusReport `json:"shard,omitempty"`
 }
 
 // ViolationReport mirrors core.Violation for transport.
@@ -342,6 +362,10 @@ type Server struct {
 	crashPoints *CrashPoints
 	// replStatus decorates replication reports with stream-level status.
 	replStatus func(*ReplicationReport)
+
+	// shard holds the cross-shard 2PC state: the shard identity and the
+	// live prepared holds (see shard.go).
+	shard shardState
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -439,6 +463,8 @@ func (s *Server) SetObservability(reg *obs.Registry, tracer obs.Tracer) {
 		reg.GaugeFunc("atmcac_overload_inflight", func() float64 { return float64(s.limiter.InFlight()) })
 		reg.Help("atmcac_overload_inflight", "Admitted non-recovery requests currently executing.")
 	}
+	reg.GaugeFunc("atmcac_shard_prepared_holds", func() float64 { return float64(s.preparedCount()) })
+	reg.Help("atmcac_shard_prepared_holds", "Live phase-1 reservations awaiting a coordinator decision.")
 }
 
 // Classify maps a request to its shedding class: teardown, fail-link,
@@ -448,9 +474,13 @@ func (s *Server) SetObservability(reg *obs.Registry, tracer obs.Tracer) {
 // shed first.
 func Classify(req Request) overload.Class {
 	switch req.Op {
-	case OpTeardown, OpFailLink, OpRestoreLink, OpHealth, OpPromote, OpReplication:
+	case OpTeardown, OpFailLink, OpRestoreLink, OpHealth, OpPromote, OpReplication,
+		OpShardCommit, OpShardAbort, OpShardReap:
+		// The shard commit/abort/reap ops are recovery-class too: they
+		// finalize or release capacity already held, so shedding them
+		// could only strand reservations.
 		return overload.ClassRecovery
-	case OpSetup:
+	case OpSetup, OpShardPrepare:
 		if req.Request != nil && req.Request.Priority > 1 {
 			return overload.ClassSetupLow
 		}
@@ -841,7 +871,8 @@ func (s *Server) handleRestoreLink(req Request) Response {
 
 func (s *Server) handle(ctx context.Context, req Request) Response {
 	switch req.Op {
-	case OpSetup, OpTeardown, OpFailLink, OpRestoreLink:
+	case OpSetup, OpTeardown, OpFailLink, OpRestoreLink,
+		OpShardPrepare, OpShardCommit, OpShardAbort, OpShardReap:
 		// Standby and fenced nodes never mutate; reads, health, promote
 		// and replication status stay served.
 		if resp := s.writeGate(req.Op); resp != nil {
@@ -851,6 +882,16 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 	switch req.Op {
 	case OpSetup:
 		return s.handleSetup(ctx, req)
+	case OpShardPrepare:
+		return s.handleShardPrepare(ctx, req)
+	case OpShardCommit:
+		return s.handleShardCommit(ctx, req)
+	case OpShardAbort:
+		return s.handleShardAbort(req)
+	case OpShardReap:
+		return s.handleShardReap()
+	case OpShardStatus:
+		return s.handleShardStatus()
 	case OpTeardown:
 		return s.handleTeardown(req)
 	case OpList:
@@ -897,6 +938,10 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 			FailedLinks: s.network.FailedLinks(),
 			Violations:  len(violations),
 			Draining:    draining,
+			Role:        s.role(),
+			Epoch:       s.Epoch(),
+			ShardID:     s.shard.shardID,
+			Prepared:    s.preparedCount(),
 		}
 		if s.limiter != nil {
 			st := s.limiter.Stats()

@@ -1,15 +1,16 @@
 #!/bin/sh
 # Runs the perf-trajectory benchmarks (parallel admission throughput,
 # per-admission persistence cost, generated-topology fleet admission,
-# and replicated setup latency per ack mode) and writes one JSON point
-# for the BENCH_<pr>.json series. CI runs it as a
+# replicated setup latency per ack mode, and sharded setup latency per
+# route footprint) and writes one JSON point for the BENCH_<pr>.json
+# series. CI runs it as a
 # smoke test; a committed BENCH_*.json records the machine it was measured
 # on. Each benchmark entry carries workload/topology descriptor fields so
 # trajectory points stay comparable across PRs even as scenarios evolve.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -17,6 +18,7 @@ go test -run '^$' -bench '^BenchmarkParallelAdmit$' -benchmem . | tee -a "$tmp"
 go test -run '^$' -bench '^BenchmarkGeneratedFleetAdmit$' -benchmem . | tee -a "$tmp"
 go test -run '^$' -bench '^BenchmarkPersistSetup$' -benchmem ./internal/wire/ | tee -a "$tmp"
 go test -run '^$' -bench '^BenchmarkReplicatedSetup$' -benchmem ./internal/replica/ | tee -a "$tmp"
+go test -run '^$' -bench '^BenchmarkShardedSetup$' -benchmem ./internal/shard/ | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN {
@@ -29,8 +31,10 @@ BEGIN {
     tp["BenchmarkGeneratedFleetAdmit"] = "generated campus hierarchy: 2 buildings x 3 floors x 2 hosts"
     wl["BenchmarkPersistSetup"]        = "CBR(0.0001) setup over 500 established connections"
     tp["BenchmarkPersistSetup"]        = "2-switch chain"
-    wl["BenchmarkReplicatedSetup"]     = "CBR(0.001) setup acked through a loopback primary/standby pair per replication mode"
+    wl["BenchmarkReplicatedSetup"]     = "CBR(0.001) admit+release cycle acked through a loopback primary/standby pair per replication mode"
     tp["BenchmarkReplicatedSetup"]     = "rtnet-ring 4 nodes x 2 terminals, journal-sync durability"
+    wl["BenchmarkShardedSetup"]        = "CBR(0.001) admit+release cycle on a fixed 4-hop route; local = coordinator fast path, cross-N = two-phase reserve-commit over N shards with a fsynced intent log"
+    tp["BenchmarkShardedSetup"]        = "3 loopback shard daemons x 4 switches (32-cell prio-1 queues)"
 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
