@@ -278,7 +278,7 @@ func (c *Coordinator) traceTxn(kind obs.Kind, txn string, conn core.ConnID, outc
 
 func (c *Coordinator) setupCrossShard(ctx context.Context, req core.ConnRequest, legs []Segment, interleaved bool) (*wire.Admission, error) {
 	start := time.Now()
-	txn := fmt.Sprintf("x%d-%s", c.log.NextSeq(), req.ID)
+	txn := fmt.Sprintf("x%d-%s", c.log.ReserveSeq(), req.ID)
 	marks := make([]ShardMark, len(legs))
 	for i := range legs {
 		marks[i] = ShardMark{Shard: legs[i].Shard.ID}
@@ -355,20 +355,20 @@ func (c *Coordinator) setupCrossShard(ctx context.Context, req core.ConnRequest,
 			// Transport failure with retries exhausted: the commit stands
 			// (it is durable) but did not reach every shard — in doubt
 			// until Recover re-drives it.
-			c.markInDoubt(txn, req, marks)
+			c.markInDoubt(txn, IntentCommit, req, marks)
 			c.traceTxn(obs.KindInDoubt, txn, req.ID, obs.OutcomeError, wire.CodeInDoubt, start)
 			return nil, fmt.Errorf("%w: %q commit durable but undelivered to shard %s: %v",
 				ErrInDoubt, txn, leg.Shard.ID, err)
 		}
 		if i == 0 {
 			if err := c.runHook("mid-commit", txn); err != nil {
-				c.markInDoubt(txn, req, marks)
+				c.markInDoubt(txn, IntentCommit, req, marks)
 				return nil, err
 			}
 		}
 	}
 	if err := c.runHook("post-commit", txn); err != nil {
-		c.markInDoubt(txn, req, marks)
+		c.markInDoubt(txn, IntentCommit, req, marks)
 		return nil, err
 	}
 	// done is an optimization: losing it only costs an idempotent
@@ -380,13 +380,22 @@ func (c *Coordinator) setupCrossShard(ctx context.Context, req core.ConnRequest,
 
 // abortTxn makes the abort decision durable (best effort — presumed
 // abort means a lost abort record recovers identically) and drives it to
-// the given shards, unwinding prepares and commits alike. Shards it
-// cannot reach leave the transaction in doubt for Recover.
-func (c *Coordinator) abortTxn(ctx context.Context, txn string, req core.ConnRequest, segs []Segment, subs []core.ConnRequest) {
+// the given shards, unwinding prepares and commits alike. segs may be
+// longer than subs (the flip can happen before every leg's sub-request
+// was derived); the abort for such a leg only needs the fields the
+// shard's equivalence check reads — ID, priority and the leg's route —
+// so they are derived from the original request. Shards it cannot reach
+// leave the transaction in doubt for Recover; it reports whether every
+// shard acknowledged.
+func (c *Coordinator) abortTxn(ctx context.Context, txn string, req core.ConnRequest, segs []Segment, subs []core.ConnRequest) bool {
 	_ = c.log.Append(&IntentRecord{State: IntentAbort, Txn: txn})
 	allOK := true
 	for i, seg := range segs {
-		sub := subs[i]
+		sub := req
+		sub.Route = seg.Route
+		if i < len(subs) {
+			sub = subs[i]
+		}
 		err := c.call(ctx, seg.Shard, wire.OpShardAbort, func(ctx context.Context, cl *wire.Client) error {
 			return cl.ShardAbort(ctx, txn, &sub)
 		})
@@ -401,26 +410,29 @@ func (c *Coordinator) abortTxn(ctx context.Context, txn string, req core.ConnReq
 		for _, seg := range segs {
 			marks = append(marks, ShardMark{Shard: seg.Shard.ID})
 		}
-		c.markInDoubt(txn, req, marks)
+		c.markInDoubt(txn, IntentAbort, req, marks)
 	}
+	return allOK
 }
 
-// markInDoubt records an unresolved transaction for Recover.
-func (c *Coordinator) markInDoubt(txn string, req core.ConnRequest, marks []ShardMark) {
+// markInDoubt records an unresolved transaction for Recover. state is
+// the durable decision (IntentCommit or IntentAbort) so a same-process
+// Recover drives the same direction a restarted one would read from the
+// log — in particular a commit that flipped to abort must not be
+// re-driven as a commit.
+func (c *Coordinator) markInDoubt(txn, state string, req core.ConnRequest, marks []ShardMark) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.inDoubt[txn]; ok {
-		return
-	}
 	c.inDoubt[txn] = struct{}{}
 	for _, t := range c.open {
 		if t.txn == txn {
+			t.state = state
 			return
 		}
 	}
 	// State is re-derived from the log on a restart; this in-memory entry
 	// only feeds a same-process Recover call.
-	c.open = append(c.open, &openTxn{txn: txn, state: IntentCommit, request: &req, marks: marks})
+	c.open = append(c.open, &openTxn{txn: txn, state: state, request: &req, marks: marks})
 }
 
 // RecoverReport summarizes intent-log resolution.
@@ -460,7 +472,12 @@ func (c *Coordinator) Recover(ctx context.Context) (*RecoverReport, error) {
 		if err != nil {
 			return rep, fmt.Errorf("recover %q: %w", t.txn, err)
 		}
-		switch t.state {
+		// The state can flip under c.mu (a concurrent abort marking the
+		// transaction in doubt), so read it under the lock.
+		c.mu.Lock()
+		state := t.state
+		c.mu.Unlock()
+		switch state {
 		case IntentCommit:
 			ok, flipped, err := c.redriveCommit(ctx, t, legs, interleaved)
 			switch {
@@ -519,7 +536,9 @@ func (c *Coordinator) redriveCommit(ctx context.Context, t *openTxn, legs []Segm
 	for i, leg := range legs {
 		sub, serr := subRequest(req, leg, upstream[i], interleaved)
 		if serr != nil {
-			c.abortTxn(ctx, t.txn, req, legs, subs[:i])
+			if !c.abortTxn(ctx, t.txn, req, legs, subs[:i]) {
+				return false, false, fmt.Errorf("%w: abort of flipped %q undelivered", ErrInDoubt, t.txn)
+			}
 			return false, true, nil
 		}
 		subs[i] = sub
@@ -532,7 +551,9 @@ func (c *Coordinator) redriveCommit(ctx context.Context, t *openTxn, legs []Segm
 		if cerr != nil {
 			var re *wire.RemoteError
 			if errors.As(cerr, &re) {
-				c.abortTxn(ctx, t.txn, req, legs, subs[:i+1])
+				if !c.abortTxn(ctx, t.txn, req, legs, subs[:i+1]) {
+					return false, false, fmt.Errorf("%w: abort of flipped %q undelivered", ErrInDoubt, t.txn)
+				}
 				return false, true, nil
 			}
 			return false, false, cerr
@@ -604,7 +625,7 @@ func (c *Coordinator) List(ctx context.Context) ([]core.ConnID, error) {
 		var ids []core.ConnID
 		err := c.call(ctx, info, wire.OpList, func(ctx context.Context, cl *wire.Client) error {
 			var lerr error
-			ids, lerr = cl.List()
+			ids, lerr = cl.ListContext(ctx)
 			return lerr
 		})
 		if err != nil {
@@ -627,7 +648,7 @@ func (c *Coordinator) Status(ctx context.Context) ([]wire.ShardStatusReport, err
 		var st *wire.ShardStatusReport
 		err := c.call(ctx, info, wire.OpShardStatus, func(ctx context.Context, cl *wire.Client) error {
 			var serr error
-			st, serr = cl.ShardStatus()
+			st, serr = cl.ShardStatusContext(ctx)
 			return serr
 		})
 		if err != nil {

@@ -157,12 +157,18 @@ func (l *IntentLog) Append(rec *IntentRecord) error {
 	return nil
 }
 
-// NextSeq returns the sequence the next append will get; the coordinator
-// derives transaction names from it so they stay unique across restarts.
-func (l *IntentLog) NextSeq() uint64 {
+// ReserveSeq claims the next sequence number under the lock and advances
+// the counter, so concurrent callers always see distinct values; the
+// coordinator derives transaction names from it so they stay unique
+// across concurrent setups and restarts. A reserved sequence the crash
+// never wrote is safe to re-issue after reopen: the transaction named
+// from it sent nothing anywhere before its begin record was durable.
+func (l *IntentLog) ReserveSeq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.nextSeq
+	seq := l.nextSeq
+	l.nextSeq++
+	return seq
 }
 
 // Close closes the underlying file.

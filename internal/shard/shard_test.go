@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -561,6 +562,241 @@ func TestCoordinatorServerFrontEnd(t *testing.T) {
 	// Ops the coordinator does not aggregate are refused clearly.
 	if _, err := cl.Inspect(""); err == nil {
 		t.Fatal("inspect through coordinator succeeded")
+	}
+}
+
+// TestCoordinatorRecoverFlipUnwindsAllLegs pins the flip-to-abort path of
+// recovery when the refusal lands on a leg that is NOT the last: the
+// coordinator crashed mid-commit (first leg committed, second still
+// holding), and by recovery time the first leg's connection is gone and
+// its ID reused by an unrelated admission. The re-driven commit on the
+// first leg is then definitively refused, and the flip must unwind every
+// leg — including ones whose sub-request was never re-derived — without
+// touching the unrelated connection.
+func TestCoordinatorRecoverFlipUnwindsAllLegs(t *testing.T) {
+	c, m, logPath := twoShardFixture(t)
+	ctx := context.Background()
+	crashAt(c, "mid-commit")
+	if _, err := c.Setup(ctx, crossReq("c1")); !errors.Is(err, errCrash) {
+		t.Fatalf("setup error = %v", err)
+	}
+	_ = c.Close()
+
+	// The committed first leg disappears and its ID is taken by an
+	// unrelated single-switch admission before anyone recovers.
+	info, _ := m.Lookup("s0")
+	cl, err := wire.Dial(info.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Teardown("c1"); err != nil {
+		t.Fatal(err)
+	}
+	rival := core.ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: hops("sw0")}
+	if _, err := cl.Setup(rival); err != nil {
+		t.Fatal(err)
+	}
+	_ = cl.Close()
+
+	c2, err := NewCoordinator(m, nil, logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rep, err := c2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Aborted) != 1 || len(rep.Committed) != 0 || len(rep.InDoubt) != 0 {
+		t.Fatalf("recover report = %+v", rep)
+	}
+	// The rival admission survives on s0; the transaction's own legs are
+	// gone everywhere, holds included.
+	if ids := shardList(t, c2, "s0"); len(ids) != 1 || ids[0] != "c1" {
+		t.Fatalf("s0 list = %v, want the rival only", ids)
+	}
+	if ids := shardList(t, c2, "s1"); len(ids) != 0 {
+		t.Fatalf("s1 list = %v", ids)
+	}
+	sts, err := c2.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range sts {
+		if len(st.Prepared) != 0 {
+			t.Fatalf("flip left hold on %s: %v", st.ShardID, st.Prepared)
+		}
+	}
+}
+
+// listenRetry rebinds addr, tolerating the brief window while the old
+// listener's port is released.
+func listenRetry(t *testing.T, addr string) net.Listener {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		l, err := net.Listen("tcp", addr)
+		if err == nil {
+			return l
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("rebind %s: %v", addr, lastErr)
+	return nil
+}
+
+// TestCoordinatorInProcessRecoverHonorsFlippedAbort pins the in-memory
+// half of the decision state: a commit that flips to abort mid-flight
+// but cannot reach every shard leaves the transaction in doubt with the
+// durable log saying abort. A same-process Recover must then drive the
+// abort — never re-admit a connection whose client was already told the
+// setup failed.
+func TestCoordinatorInProcessRecoverHonorsFlippedAbort(t *testing.T) {
+	addr0, _ := startShard(t, "s0", "sw0", "sw1")
+
+	// s1 is built by hand so the test can kill and restart it.
+	n1 := core.NewNetwork(core.HardCDV{})
+	for _, sw := range []string{"sw2", "sw3"} {
+		if _, err := n1.AddSwitch(core.SwitchConfig{
+			Name: sw, QueueCells: map[core.Priority]float64{1: 32},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv1 := wire.NewServer(n1)
+	srv1.SetShardID("s1")
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1 := l1.Addr().String()
+	go func() { _ = srv1.Serve(l1) }()
+
+	m, err := ParseMap(fmt.Sprintf("s0@%s=sw0,sw1;s1@%s=sw2,sw3", addr0, addr1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(m, nil, filepath.Join(t.TempDir(), "intent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	c.PrepareTTL = 20 * time.Millisecond
+	c.Retries = 1
+	ctx := context.Background()
+
+	// At the decision point: both holds have expired; s0's is reaped and
+	// its connection ID taken over, so the commit on s0 is definitively
+	// refused — and s1 dies, so the flipped abort cannot reach it.
+	rival := core.ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: hops("sw0")}
+	c.SetTestHook(func(p, txn string) error {
+		if p != "pre-commit" {
+			return nil
+		}
+		time.Sleep(40 * time.Millisecond)
+		cl, derr := wire.Dial(addr0)
+		if derr != nil {
+			t.Error(derr)
+			return nil
+		}
+		defer cl.Close()
+		if _, rerr := cl.ShardReap(); rerr != nil {
+			t.Error(rerr)
+		}
+		if _, serr := cl.Setup(rival); serr != nil {
+			t.Error(serr)
+		}
+		_ = srv1.Close()
+		return nil
+	})
+	if _, err := c.Setup(ctx, crossReq("c1")); err == nil {
+		t.Fatal("flipped setup reported success")
+	}
+	if got := c.InDoubt(); len(got) != 1 {
+		t.Fatalf("in doubt = %v, want one txn", got)
+	}
+	c.SetTestHook(nil)
+
+	// s1 comes back empty (journal replay reaps unresolved prepares) and
+	// the rival releases its hold on the connection ID.
+	n1b := core.NewNetwork(core.HardCDV{})
+	for _, sw := range []string{"sw2", "sw3"} {
+		if _, err := n1b.AddSwitch(core.SwitchConfig{
+			Name: sw, QueueCells: map[core.Priority]float64{1: 32},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv1b := wire.NewServer(n1b)
+	srv1b.SetShardID("s1")
+	l1b := listenRetry(t, addr1)
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv1b.Serve(l1b) }()
+	t.Cleanup(func() { _ = srv1b.Close(); <-done })
+	cl0, err := wire.Dial(addr0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl0.Teardown("c1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = cl0.Close()
+
+	// Same-process recovery: the durable decision is abort, and the
+	// in-memory state must agree — c1 must not reappear anywhere.
+	rep, err := c.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Aborted) != 1 || len(rep.Committed) != 0 || len(rep.InDoubt) != 0 {
+		t.Fatalf("recover report = %+v", rep)
+	}
+	for _, id := range []string{"s0", "s1"} {
+		if ids := shardList(t, c, id); len(ids) != 0 {
+			t.Fatalf("%s list after recovery = %v, want empty", id, ids)
+		}
+	}
+	if got := c.InDoubt(); len(got) != 0 {
+		t.Fatalf("still in doubt after recovery: %v", got)
+	}
+}
+
+// TestIntentLogReserveSeqConcurrentUnique pins transaction-name
+// uniqueness: concurrent reservations must never observe the same
+// sequence.
+func TestIntentLogReserveSeqConcurrentUnique(t *testing.T) {
+	log, _, _, err := OpenIntentLog(nil, filepath.Join(t.TempDir(), "intent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	const n = 64
+	seqs := make(chan uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seqs <- log.ReserveSeq()
+		}()
+	}
+	wg.Wait()
+	close(seqs)
+	seen := make(map[uint64]struct{}, n)
+	for s := range seqs {
+		if _, dup := seen[s]; dup {
+			t.Fatalf("sequence %d reserved twice", s)
+		}
+		seen[s] = struct{}{}
+	}
+	// Appends continue past the reserved range.
+	rec := IntentRecord{State: IntentBegin, Txn: "t"}
+	if err := log.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq < n {
+		t.Fatalf("append seq %d inside reserved range [0, %d)", rec.Seq, n)
 	}
 }
 

@@ -192,15 +192,18 @@ func (s *Server) handleShardPrepare(ctx context.Context, req Request) Response {
 	lock := s.idLock(req.Request.ID)
 	lock.Lock()
 	defer lock.Unlock()
-	if h, ok := s.lookupHold(req.Txn); ok && h.req.ID == req.Request.ID {
+	if h, ok := s.lookupHold(req.Txn); ok {
 		if !requestsEquivalent(h.req, *req.Request) {
-			// Same transaction, different sub-request: a coordinator bug
-			// (a shard must see one merged leg per transaction, never
-			// two). Answering with the original hold's report here would
-			// silently leave the divergent leg unreserved.
+			// Same transaction, different sub-request — whether a changed
+			// leg or a different connection ID altogether: a coordinator
+			// bug (a shard must see one merged leg per transaction, never
+			// two). Answering with the original hold's report would
+			// silently leave the divergent leg unreserved, and falling
+			// through to a fresh prepare would overwrite the registered
+			// hold, permanently stranding its hop reservations.
 			s.traceShard(obs.KindShardPrepare, req.Request.ID, obs.OutcomeError, CodeProtocol, start)
 			return Response{
-				Error: fmt.Sprintf("prepare %q: transaction already holds a different request for %q", req.Txn, req.Request.ID),
+				Error: fmt.Sprintf("prepare %q: transaction already holds a different request for %q", req.Txn, h.req.ID),
 				Code:  CodeProtocol,
 			}
 		}
@@ -637,7 +640,12 @@ func (c *Client) ShardAbort(ctx context.Context, txn string, req *core.ConnReque
 // ShardReap forces one orphan-reaper pass and returns the expired
 // transactions.
 func (c *Client) ShardReap() ([]string, error) {
-	resp, err := c.roundTrip(Request{Op: OpShardReap})
+	return c.ShardReapContext(context.Background())
+}
+
+// ShardReapContext is ShardReap bounded by ctx.
+func (c *Client) ShardReapContext(ctx context.Context) ([]string, error) {
+	resp, err := c.roundTripContext(ctx, Request{Op: OpShardReap})
 	if err != nil {
 		return nil, err
 	}
@@ -652,7 +660,12 @@ func (c *Client) ShardReap() ([]string, error) {
 
 // ShardStatus reports the shard identity, role, epoch and live holds.
 func (c *Client) ShardStatus() (*ShardStatusReport, error) {
-	resp, err := c.roundTrip(Request{Op: OpShardStatus})
+	return c.ShardStatusContext(context.Background())
+}
+
+// ShardStatusContext is ShardStatus bounded by ctx.
+func (c *Client) ShardStatusContext(ctx context.Context) (*ShardStatusReport, error) {
+	resp, err := c.roundTripContext(ctx, Request{Op: OpShardStatus})
 	if err != nil {
 		return nil, err
 	}

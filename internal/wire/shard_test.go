@@ -119,6 +119,58 @@ func TestShardPrepareIdempotentResend(t *testing.T) {
 	}
 }
 
+// TestShardPrepareDivergentConnIDRefused pins the other divergence: a
+// re-prepare under a held transaction with a *different* connection ID.
+// Falling through to a fresh prepare would overwrite the registered hold
+// and permanently strand its hop reservations — neither abort nor the
+// reaper could ever find them again.
+func TestShardPrepareDivergentConnIDRefused(t *testing.T) {
+	client, srv, route := startServerWith(t, nil)
+	ctx := context.Background()
+	if _, err := client.ShardPrepare(ctx, "t1", shardReq("c1", route), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.ShardPrepare(ctx, "t1", shardReq("c2", route), time.Minute)
+	if err == nil {
+		t.Fatal("re-prepare with a different connection ID succeeded")
+	}
+	if code := remoteCode(t, err); code != CodeProtocol {
+		t.Fatalf("divergent-ID prepare code = %q, want %q", code, CodeProtocol)
+	}
+	if srv.preparedCount() != 1 {
+		t.Fatalf("prepared holds = %d, want 1", srv.preparedCount())
+	}
+	// The original hold is still the registered one: aborting the
+	// transaction releases it, and the ID admits fresh afterwards.
+	if err := client.ShardAbort(ctx, "t1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if srv.preparedCount() != 0 {
+		t.Fatalf("hold survived its abort")
+	}
+	if _, err := client.Setup(shardReq("c1", route)); err != nil {
+		t.Fatalf("setup after release: %v", err)
+	}
+}
+
+// TestShardContextVariantsHonorCancellation pins that the list, status
+// and reap clients propagate their context, so a hung shard cannot block
+// a coordinator that wrapped them in a timeout.
+func TestShardContextVariantsHonorCancellation(t *testing.T) {
+	client, _, _ := startServerWith(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.ListContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ListContext error = %v, want context.Canceled", err)
+	}
+	if _, err := client.ShardStatusContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ShardStatusContext error = %v, want context.Canceled", err)
+	}
+	if _, err := client.ShardReapContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ShardReapContext error = %v, want context.Canceled", err)
+	}
+}
+
 func TestShardAbortIdempotent(t *testing.T) {
 	client, srv, route := startServerWith(t, nil)
 	ctx := context.Background()

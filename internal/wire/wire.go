@@ -1175,7 +1175,12 @@ func (c *Client) TeardownContext(ctx context.Context, id core.ConnID) error {
 
 // List returns the established connection IDs.
 func (c *Client) List() ([]core.ConnID, error) {
-	resp, err := c.roundTrip(Request{Op: OpList})
+	return c.ListContext(context.Background())
+}
+
+// ListContext is List bounded by ctx.
+func (c *Client) ListContext(ctx context.Context) ([]core.ConnID, error) {
+	resp, err := c.roundTripContext(ctx, Request{Op: OpList})
 	if err != nil {
 		return nil, err
 	}
