@@ -37,10 +37,15 @@
 // server's stable error code as a trailing (code=...) when one was sent.
 //
 // shard status prints a sharded server's two-phase posture — shard name,
-// role, epoch and the live prepared holds with their TTLs; shard reap
-// forces an orphan-reaper pass and lists the expired transactions. shard
-// route is offline: given the -map spec a coordinator runs with, it
-// prints how a route splits into per-shard legs.
+// role, epoch and the live prepared holds with their TTLs. Pointed at a
+// coordinator it renders the whole cluster: the coordinator's own term,
+// fencing state and in-doubt count, then one line per shard pair with
+// the driven member's replication role and epoch, the probed peer's, and
+// the pair's standby lag. shard reap forces an orphan-reaper pass and
+// lists the expired transactions. shard route is offline: given the -map
+// spec a coordinator runs with (replicated pair entries
+// s0@primary|standby=sw0,... included), it prints how a route splits
+// into per-shard legs.
 //
 // state verify checks a cacd snapshot+journal pair offline — CRC status,
 // record counts, sequence watermark, torn-tail position — without a
@@ -404,11 +409,15 @@ func shardCmd(client *wire.Client, args []string) error {
 	}
 	switch args[0] {
 	case "status":
-		st, err := client.ShardStatus()
+		st, fleet, warning, err := client.ShardStatusFleet()
 		if err != nil {
 			return err
 		}
 		printShardStatus(st)
+		printShardFleet(fleet)
+		if warning != "" {
+			fmt.Printf("warning: %s\n", warning)
+		}
 		return nil
 	case "reap":
 		reaped, err := client.ShardReap()
@@ -433,6 +442,12 @@ func printShardStatus(st *wire.ShardStatusReport) {
 		fmt.Printf("shard: %s\n", st.ShardID)
 	}
 	fmt.Printf("role: %s (epoch %d)\n", st.Role, st.Epoch)
+	if st.CoordEpoch > 0 {
+		fmt.Printf("coordinator term: %d\n", st.CoordEpoch)
+	}
+	if st.Role == "coordinator" || (st.Role == "fenced" && st.ShardID == "coordinator") {
+		fmt.Printf("in-doubt transactions: %d\n", st.InDoubt)
+	}
 	if len(st.Prepared) == 0 {
 		fmt.Println("prepared holds: none")
 		return
@@ -446,6 +461,27 @@ func printShardStatus(st *wire.ShardStatusReport) {
 	}
 }
 
+// printShardFleet renders the coordinator's per-pair fan-out: one line
+// per shard naming the member the coordinator currently drives, its
+// replication role and epoch, the probed peer, and the standby lag of a
+// replicated pair.
+func printShardFleet(fleet []wire.ShardStatusReport) {
+	for _, sh := range fleet {
+		line := fmt.Sprintf("shard %s: %s (epoch %d)", sh.ShardID, sh.Role, sh.Epoch)
+		if sh.Addr != "" {
+			line += " at " + sh.Addr
+		}
+		if sh.PeerAddr != "" {
+			line += fmt.Sprintf(", peer %s (epoch %d) at %s", sh.PeerRole, sh.PeerEpoch, sh.PeerAddr)
+			line += fmt.Sprintf(", standby lag %d", sh.StandbyLag)
+		}
+		if n := len(sh.Prepared); n > 0 {
+			line += fmt.Sprintf(", %d prepared holds", n)
+		}
+		fmt.Println(line)
+	}
+}
+
 // shardRoute plans a route against a shard map offline: it prints which
 // shard owns each contiguous run of hops in path order. The coordinator
 // itself prepares one merged leg per shard, so a route that revisits a
@@ -453,7 +489,7 @@ func printShardStatus(st *wire.ShardStatusReport) {
 // prepare and needs an explicit end-to-end delay bound (-delay).
 func shardRoute(args []string) error {
 	fs := flag.NewFlagSet("shard route", flag.ContinueOnError)
-	mapSpec := fs.String("map", "", "shard map (s0@host:port=sw0,sw1;...), as passed to cacd -shard-map")
+	mapSpec := fs.String("map", "", "shard map (s0@primary|standby=sw0,sw1;...), as passed to cacd -shard-map")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -16,6 +16,8 @@
 //	     [-failover-timeout D]
 //	     [-shard-id ID] [-prepare-ttl D] [-reap-interval D]
 //	cacd -shard-map SPEC -intent-log FILE [-listen ADDR] [-prepare-ttl D]
+//	     [-coord-replication-listen ADDR] [-coord-replicate-from ADDR]
+//	     [-coord-failover-timeout D] [-metrics-addr ADDR]
 //
 // The server manages one CAC network whose switches are the ring nodes of
 // an RTnet with the given shape. Clients (see cmd/cacctl) set up and tear
@@ -74,7 +76,22 @@
 // reserve-commit, journals its decisions in -intent-log, resolves any
 // in-doubt transactions from a previous incarnation at boot, and fronts
 // the fleet with the ordinary wire protocol on -listen (setup, teardown,
-// list, health).
+// list, health). A map entry may name a replicated shard pair
+// (s0@primary|standby=sw0,...): on a transport error the coordinator
+// fails over to the standby, promotes it, and completes the in-flight
+// transaction against the survivor while the fenced ex-primary refuses
+// late writes.
+//
+// The coordinator itself replicates with -coord-replication-listen: every
+// intent-log record is shipped synchronously to a standby coordinator —
+// a second cacd started with the same -shard-map plus
+// -coord-replicate-from — before the coordinator acts on it. The standby
+// appends the stream to its own -intent-log and, after
+// -coord-failover-timeout of active silence, promotes: it bumps the
+// coordinator term durably, fences the old active, re-opens its log copy
+// as the coordinator, resolves the in-doubt tail, and serves. Every
+// two-phase shard operation carries the term, so the shards' ratchets
+// shut a superseded coordinator out even if the fence never arrived.
 //
 // The server always keeps an in-process metrics registry and admission
 // tracer: every setup decision, rejection reason, crankback re-admission,
@@ -95,6 +112,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -156,8 +174,11 @@ func run(args []string) error {
 		replLag      = fs.Uint64("replication-lag", 0, "semi-sync: max shipped-but-unacked records before mutations block; 0 uses the default")
 		failoverTmo  = fs.Duration("failover-timeout", 0, "standby: promote automatically once the primary has been silent this long; 0 means promotion only via cacctl promote")
 		shardID      = fs.String("shard-id", "", "serve as this shard of a partitioned CAC: answer two-phase shard operations and reap orphaned prepares")
-		shardMap     = fs.String("shard-map", "", "run as the coordinator of this shard map (s0@host:port=sw0,sw1;...) instead of serving a network")
+		shardMap     = fs.String("shard-map", "", "run as the coordinator of this shard map (s0@primary|standby=sw0,sw1;...) instead of serving a network")
 		intentLog    = fs.String("intent-log", "", "coordinator: write-ahead intent log for crash-safe two-phase decisions (required with -shard-map)")
+		coordReplLn  = fs.String("coord-replication-listen", "", "coordinator: ship the intent log to a standby coordinator connecting on this address; empty disables")
+		coordFrom    = fs.String("coord-replicate-from", "", "run as the standby coordinator tailing the active coordinator's intent stream at this address; promotes after -coord-failover-timeout of silence")
+		coordFailTmo = fs.Duration("coord-failover-timeout", 2*time.Second, "standby coordinator: promote once the active has been silent this long")
 		prepareTTL   = fs.Duration("prepare-ttl", wire.DefaultPrepareTTL, "lifetime of a phase-1 reservation before the orphan reaper may expire it")
 		reapInterval = fs.Duration("reap-interval", time.Second, "shard: how often the orphan reaper scans for expired prepared holds")
 	)
@@ -168,7 +189,19 @@ func run(args []string) error {
 		if *shardID != "" {
 			return fmt.Errorf("-shard-map (coordinator) and -shard-id (shard) are exclusive roles")
 		}
-		return runCoordinator(*listen, *shardMap, *intentLog, *prepareTTL, sigOnTerm())
+		return runCoordinator(coordinatorConfig{
+			listen:      *listen,
+			mapSpec:     *shardMap,
+			logPath:     *intentLog,
+			replListen:  *coordReplLn,
+			replFrom:    *coordFrom,
+			failoverTmo: *coordFailTmo,
+			prepareTTL:  *prepareTTL,
+			metricsAddr: *metricsAddr,
+		}, sigOnTerm())
+	}
+	if *coordFrom != "" || *coordReplLn != "" {
+		return fmt.Errorf("-coord-replicate-from and -coord-replication-listen require -shard-map (coordinator roles)")
 	}
 	var cdv core.CDVPolicy
 	switch *policy {
@@ -387,26 +420,86 @@ func sigOnTerm() chan os.Signal {
 	return sigCh
 }
 
+// coordinatorConfig gathers the coordinator-role flags.
+type coordinatorConfig struct {
+	listen      string
+	mapSpec     string
+	logPath     string
+	replListen  string // serve the intent stream to a standby coordinator
+	replFrom    string // tail the active coordinator; promote on silence
+	failoverTmo time.Duration
+	prepareTTL  time.Duration
+	metricsAddr string
+}
+
 // runCoordinator serves the cross-shard setup front end: crash-safe
 // two-phase reserve-commit over the shard map, every decision journaled
 // in the intent log, in-doubt transactions from a previous incarnation
-// resolved at boot.
-func runCoordinator(listen, mapSpec, logPath string, ttl time.Duration, sigCh chan os.Signal) error {
+// resolved at boot. With replFrom set it first runs as the standby
+// coordinator, tailing the active's intent stream; when the active goes
+// silent it promotes and falls through to the active role on the same
+// log at the bumped term.
+func runCoordinator(cfg coordinatorConfig, sigCh chan os.Signal) error {
 	defer signal.Stop(sigCh)
-	if logPath == "" {
+	if cfg.logPath == "" {
 		return fmt.Errorf("-shard-map requires -intent-log (the coordinator journals every decision)")
 	}
-	m, err := shard.ParseMap(mapSpec)
+	m, err := shard.ParseMap(cfg.mapSpec)
 	if err != nil {
 		return err
 	}
-	coord, err := shard.NewCoordinator(m, journal.OSFS{}, logPath)
+	reg := obs.NewRegistry()
+	tracer := obs.NewMetricsTracer(reg)
+
+	if cfg.replFrom != "" {
+		sb, err := shard.NewStandbyCoordinator(shard.StandbyConfig{
+			From:            cfg.replFrom,
+			LogPath:         cfg.logPath,
+			FS:              journal.OSFS{},
+			FailoverTimeout: cfg.failoverTmo,
+			Tracer:          tracer,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cacd: standby coordinator tailing %s (promote after %s of silence)\n",
+			cfg.replFrom, cfg.failoverTmo)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var sigSeen atomic.Bool
+		stopWatch := make(chan struct{})
+		go func() {
+			select {
+			case sig := <-sigCh:
+				sigSeen.Store(true)
+				fmt.Printf("cacd: received %v, closing standby coordinator\n", sig)
+				cancel()
+				sb.Close() // break a read blocked inside the session
+			case <-stopWatch:
+			}
+		}()
+		runErr := sb.Run(ctx)
+		close(stopWatch)
+		if sigSeen.Load() {
+			return nil
+		}
+		if runErr != nil {
+			return runErr
+		}
+		// Promoted: the takeover term is durable in the local log copy.
+		// Fall through to the active role reading it back.
+		fmt.Printf("cacd: active coordinator silent for %s — promoted to term %d\n",
+			cfg.failoverTmo, sb.Epoch())
+	}
+
+	coord, err := shard.NewCoordinator(m, journal.OSFS{}, cfg.logPath)
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
-	coord.PrepareTTL = ttl
-	coord.SetTracer(obs.NewMetricsTracer(obs.NewRegistry()))
+	coord.PrepareTTL = cfg.prepareTTL
+	coord.SetTracer(tracer)
+	coord.RegisterMetrics(reg)
 	rep, err := coord.Recover(context.Background())
 	if err != nil {
 		return err
@@ -420,8 +513,38 @@ func runCoordinator(listen, mapSpec, logPath string, ttl time.Duration, sigCh ch
 	for _, t := range rep.InDoubt {
 		fmt.Printf("cacd: transaction %s still IN DOUBT (a shard is unreachable)\n", t)
 	}
+	if cfg.replListen != "" {
+		rln, err := net.Listen("tcp", cfg.replListen)
+		if err != nil {
+			return err
+		}
+		prim := shard.NewIntentPrimary(coord, tracer)
+		prim.RegisterMetrics(reg)
+		go func() { _ = prim.Serve(rln) }()
+		defer prim.Close()
+		fmt.Printf("cacd: shipping the intent log to a standby coordinator on %s\n", rln.Addr())
+		if testHookReplListen != nil {
+			testHookReplListen(rln.Addr())
+		}
+	}
+	var metricsSrv *http.Server
+	if cfg.metricsAddr != "" {
+		ml, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", reg.VarsHandler())
+		metricsSrv = &http.Server{Handler: mux}
+		go func() { _ = metricsSrv.Serve(ml) }()
+		fmt.Printf("cacd: serving metrics on http://%s/metrics\n", ml.Addr())
+		if testHookMetricsListen != nil {
+			testHookMetricsListen(ml.Addr())
+		}
+	}
 	srv := shard.NewServer(coord)
-	l, err := net.Listen("tcp", listen)
+	l, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err
 	}
@@ -429,8 +552,8 @@ func runCoordinator(listen, mapSpec, logPath string, ttl time.Duration, sigCh ch
 	for _, info := range m.Shards() {
 		switches += len(m.Switches(info.ID))
 	}
-	fmt.Printf("cacd: coordinating %d shards (%d switches, prepare TTL %s) on %s\n",
-		len(m.Shards()), switches, ttl, l.Addr())
+	fmt.Printf("cacd: coordinating %d shards (%d switches, prepare TTL %s, term %d) on %s\n",
+		len(m.Shards()), switches, cfg.prepareTTL, coord.Epoch(), l.Addr())
 	if testHookListen != nil {
 		testHookListen(l.Addr())
 	}
@@ -439,6 +562,10 @@ func runCoordinator(listen, mapSpec, logPath string, ttl time.Duration, sigCh ch
 	select {
 	case sig := <-sigCh:
 		fmt.Printf("cacd: received %v, closing coordinator\n", sig)
+		if metricsSrv != nil {
+			_ = metricsSrv.Close()
+			dumpFinalMetrics(reg)
+		}
 		if err := srv.Close(); err != nil {
 			return err
 		}

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"path/filepath"
 	"syscall"
 	"testing"
 	"time"
 
 	"atmcac/internal/core"
+	"atmcac/internal/journal"
+	"atmcac/internal/shard"
 	"atmcac/internal/traffic"
 	"atmcac/internal/wire"
 )
@@ -172,5 +176,150 @@ func TestShardFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-shard-map", "garbage", "-intent-log", "x.log"}); err == nil {
 		t.Fatal("malformed shard map accepted")
+	}
+	if err := run([]string{"-coord-replicate-from", "h:1"}); err == nil {
+		t.Fatal("standby coordinator without -shard-map accepted")
+	}
+	if err := run([]string{"-coord-replication-listen", "127.0.0.1:0"}); err == nil {
+		t.Fatal("-coord-replication-listen without -shard-map accepted")
+	}
+}
+
+// TestEndToEndCoordinatorTakeover runs the coordinator-HA deployment the
+// new flags wire up: an in-process active coordinator (killable without
+// signalling the whole test binary) ships its intent log to a standby
+// cacd started with -coord-replicate-from. When the active dies, the
+// standby daemon promotes, falls through to the active role on its log
+// copy at the bumped term, announces its listener, and keeps serving the
+// fleet — the pre-takeover connection is still listed and new setups are
+// admitted at term 2.
+func TestEndToEndCoordinatorTakeover(t *testing.T) {
+	dir := t.TempDir()
+	aDone := make(chan error, 1)
+	bDone := make(chan error, 1)
+	aAddr, _ := bootDaemon(t, aDone, false, "-shard-id", "s0",
+		"-state", filepath.Join(dir, "s0.json"), "-durability", "journal-sync")
+	bAddr, _ := bootDaemon(t, bDone, false, "-shard-id", "s1",
+		"-state", filepath.Join(dir, "s1.json"), "-durability", "journal-sync")
+	mapSpec := fmt.Sprintf("s0@%s=ring00,ring01;s1@%s=ring02,ring03", aAddr, bAddr)
+
+	// The active coordinator runs in-process from the same library pieces
+	// runCoordinator composes, so the test can kill it alone.
+	m, err := shard.ParseMap(mapSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := shard.NewCoordinator(m, journal.OSFS{}, filepath.Join(dir, "intent-active.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim := shard.NewIntentPrimary(coord, nil)
+	prim.HeartbeatEvery = 50 * time.Millisecond
+	go func() { _ = prim.Serve(rln) }()
+
+	addrCh := make(chan net.Addr, 1)
+	replCh := make(chan net.Addr, 1)
+	testHookListen = func(a net.Addr) { addrCh <- a }
+	testHookReplListen = func(a net.Addr) { replCh <- a }
+	defer func() { testHookListen = nil; testHookReplListen = nil }()
+	sbDone := make(chan error, 1)
+	go func() {
+		sbDone <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-shard-map", mapSpec,
+			"-intent-log", filepath.Join(dir, "intent-standby.log"),
+			"-coord-replicate-from", rln.Addr().String(),
+			"-coord-replication-listen", "127.0.0.1:0",
+			"-coord-failover-timeout", "400ms",
+		})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !prim.Attached() {
+		if time.Now().After(deadline) {
+			t.Fatal("standby coordinator never attached to the intent stream")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	route := core.Route{
+		{Switch: "ring00", In: 5, Out: 0},
+		{Switch: "ring01", In: 5, Out: 0},
+		{Switch: "ring02", In: 5, Out: 0},
+		{Switch: "ring03", In: 5, Out: 0},
+	}
+	if _, err := coord.Setup(context.Background(), core.ConnRequest{
+		ID: "pre-takeover", Spec: traffic.CBR(0.05), Priority: 1, Route: route,
+	}); err != nil {
+		t.Fatalf("setup through the active coordinator: %v", err)
+	}
+
+	// Kill the active coordinator outright: stream, listener, pool.
+	prim.Close()
+	_ = rln.Close()
+	_ = coord.Close()
+
+	var addr string
+	select {
+	case a := <-addrCh:
+		addr = a.String()
+	case err := <-sbDone:
+		t.Fatalf("standby daemon exited instead of promoting: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("promoted coordinator never announced its listener")
+	}
+	// The promoted coordinator serves its own intent stream for the next
+	// standby in line.
+	select {
+	case <-replCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("promoted coordinator never announced its replication listener")
+	}
+
+	cc, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	h, err := cc.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != "coordinator" || h.Epoch != 2 {
+		t.Fatalf("promoted coordinator health: role=%q epoch=%d, want coordinator at term 2", h.Role, h.Epoch)
+	}
+	ids, err := cc.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "pre-takeover" {
+		t.Fatalf("promoted coordinator lists %v, want [pre-takeover]", ids)
+	}
+	if _, err := cc.Setup(core.ConnRequest{
+		ID: "post-takeover", Spec: traffic.CBR(0.05), Priority: 1, Route: route,
+	}); err != nil {
+		t.Fatalf("setup through the promoted coordinator: %v", err)
+	}
+	for _, id := range []core.ConnID{"pre-takeover", "post-takeover"} {
+		if err := cc.Teardown(id); err != nil {
+			t.Fatalf("teardown %s through the promoted coordinator: %v", id, err)
+		}
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, done := range map[string]chan error{"s0": aDone, "s1": bDone, "promoted coordinator": sbDone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s daemon exited with %v", name, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s daemon did not drain on SIGTERM", name)
+		}
 	}
 }

@@ -1,0 +1,66 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+// TestHAShardHarnessSweep is the composed HA soak: every 2PC boundary
+// crossed with every victim kind over replicated pairs. The outcomes
+// differ from the unreplicated sweep in exactly the way HA promises:
+// a shard-primary death or partition no longer costs the in-flight
+// setup — the coordinator fails over to the pair's standby, promotes
+// it and completes the transaction, so the victim setup must be
+// admitted at EVERY point. Killing the active coordinator still
+// resolves by decision record, now read from the promoted standby
+// coordinator's shipped copy of the intent log: presumed abort before
+// the commit intent, re-driven commit after it.
+func TestHAShardHarnessSweep(t *testing.T) {
+	points := []ShardPoint{ShardPrePrepare, ShardPostPrepare, ShardPreCommit, ShardMidCommit, ShardPostCommit}
+	cases := []struct {
+		name  string
+		fault func(p ShardPoint) HAFault
+		// admitted reports whether the interrupted setup must survive.
+		admitted func(p ShardPoint) bool
+	}{
+		{
+			name:  "coordinator-crash",
+			fault: func(p ShardPoint) HAFault { return HAFault{Point: p, Victim: VictimCoordinator} },
+			admitted: func(p ShardPoint) bool {
+				return p == ShardMidCommit || p == ShardPostCommit
+			},
+		},
+		{
+			name:     "shard-primary-crash",
+			fault:    func(p ShardPoint) HAFault { return HAFault{Point: p, Victim: "s1"} },
+			admitted: func(ShardPoint) bool { return true },
+		},
+		{
+			name:     "pair-partition",
+			fault:    func(p ShardPoint) HAFault { return HAFault{Point: p, Victim: "s2", Partition: true} },
+			admitted: func(ShardPoint) bool { return true },
+		},
+	}
+	for _, tc := range cases {
+		for _, p := range points {
+			tc, p := tc, p
+			t.Run(tc.name+"/"+string(p), func(t *testing.T) {
+				t.Parallel()
+				h := &HAShardHarness{Dir: t.TempDir()}
+				res, err := h.Run(tc.fault(p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := tc.admitted(p); res.VictimAdmitted != want {
+					t.Fatalf("interrupted setup admitted=%v, want %v (recovered %+v)",
+						res.VictimAdmitted, want, res.Recovered)
+				}
+				if coordFault := tc.fault(p).Victim == VictimCoordinator; coordFault != res.CoordPromoted {
+					t.Fatalf("coordinator promoted=%v for victim %q", res.CoordPromoted, tc.fault(p).Victim)
+				}
+				if tc.fault(p).Victim != VictimCoordinator && res.ShardFailovers == 0 {
+					t.Fatal("shard fault resolved without a recorded shard failover")
+				}
+			})
+		}
+	}
+}

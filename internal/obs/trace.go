@@ -83,6 +83,15 @@ const (
 	// coordinator from its intent log (shard). Fields: Conn (transaction
 	// ID), Outcome ("accepted" re-driven commit, "rejected" abort).
 	KindInDoubt Kind = "in-doubt"
+	// KindShardFailover is the coordinator re-pointing a shard pair at
+	// its surviving member after the active one stopped answering
+	// (shard). Fields: Op (shard ID), Outcome, Epoch (the survivor's
+	// term after promotion).
+	KindShardFailover Kind = "shard-failover"
+	// KindCoordPromote is a standby coordinator taking over the intent
+	// log at a bumped term (shard). Fields: Epoch (the new coordinator
+	// term), Outcome.
+	KindCoordPromote Kind = "coord-promote"
 )
 
 // Outcome values shared by event kinds.
@@ -203,9 +212,12 @@ type MetricsTracer struct {
 	epochGauge    *Gauge
 	shardPrepares map[string]*Counter // by outcome
 	shardCommits  map[string]*Counter // by outcome
-	shardAborts   *Counter
-	orphansReaped *Counter
-	inDoubt       *Counter
+	shardAborts    *Counter
+	orphansReaped  *Counter
+	inDoubt        *Counter
+	shardFailovers *Counter
+	coordPromotes  *Counter
+	coordEpochG    *Gauge
 
 	mu sync.Mutex // guards rejections (open code vocabulary)
 }
@@ -292,6 +304,12 @@ func NewMetricsTracer(reg *Registry) *MetricsTracer {
 	reg.Help("atmcac_shard_orphans_reaped_total", "Prepared holds expired by the orphan reaper after their TTL.")
 	t.inDoubt = reg.Counter("atmcac_shard_indoubt_resolutions_total")
 	reg.Help("atmcac_shard_indoubt_resolutions_total", "In-doubt transactions resolved from the coordinator intent log.")
+	t.shardFailovers = reg.Counter("atmcac_shard_failovers_total")
+	reg.Help("atmcac_shard_failovers_total", "Shard pairs re-pointed at their surviving member by the coordinator.")
+	t.coordPromotes = reg.Counter("atmcac_coord_promotions_total")
+	reg.Help("atmcac_coord_promotions_total", "Standby coordinator takeovers of the intent log.")
+	t.coordEpochG = reg.Gauge("atmcac_coord_observed_epoch")
+	reg.Help("atmcac_coord_observed_epoch", "Coordinator term of the most recent takeover observed by this tracer.")
 	return t
 }
 
@@ -407,5 +425,14 @@ func (t *MetricsTracer) Trace(ev Event) {
 		t.orphansReaped.Add(ev.Evicted)
 	case KindInDoubt:
 		t.inDoubt.Inc()
+	case KindShardFailover:
+		if ev.Outcome == OutcomeOK {
+			t.shardFailovers.Inc()
+		}
+	case KindCoordPromote:
+		if ev.Outcome == OutcomeOK {
+			t.coordPromotes.Inc()
+			t.coordEpochG.Set(float64(ev.Epoch))
+		}
 	}
 }

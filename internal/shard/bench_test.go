@@ -62,6 +62,52 @@ func BenchmarkShardedSetup(b *testing.B) {
 		{"3shard/cross2", 3, hops("sw2", "sw3", "sw4", "sw5")},
 		{"3shard/cross3", 3, hops("sw3", "sw4", "sw8", "sw9")},
 	}
+	// failover pins the retry-latency bound the HA sweep promises: s0 is
+	// a replicated pair whose primary is a corpse, and every iteration
+	// re-points the pool at it before a cross-shard setup — so the cycle
+	// measured is discover-the-death (one refused dial), fail over to the
+	// surviving member, and complete two-phase reserve-commit through it.
+	b.Run("failover", func(b *testing.B) {
+		dead, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		deadAddr := dead.Addr().String()
+		_ = dead.Close()
+		survivor := benchShard(b, "s0", blocks[0]...)
+		other := benchShard(b, "s1", blocks[1]...)
+		spec := fmt.Sprintf("s0@%s|%s=%s;s1@%s=%s",
+			deadAddr, survivor, joinSwitches(blocks[0]), other, joinSwitches(blocks[1]))
+		m, err := ParseMap(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coord, err := NewCoordinator(m, nil, filepath.Join(b.TempDir(), "intent"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer coord.Close()
+		ctx := context.Background()
+		req := core.ConnRequest{ID: "bench", Spec: traffic.CBR(0.001), Priority: 1, Route: hops("sw2", "sw3", "sw4", "sw5")}
+		// Warm the s1 client and perform the first failover off the clock.
+		if _, err := coord.Setup(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		if err := coord.Teardown(ctx, req.ID); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			coord.ResetEndpoint("s0", deadAddr)
+			if _, err := coord.Setup(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			if err := coord.Teardown(ctx, req.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+	})
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
 			spec := ""

@@ -34,6 +34,38 @@ var ErrDelayBound = fmt.Errorf("%w: delay budget exhausted across shards", core.
 // setup -delay).
 var ErrRevisitBound = fmt.Errorf("%w: a route revisiting a shard needs an explicit end-to-end delay bound", core.ErrRejected)
 
+// ErrCoordFenced marks a coordinator that observed a higher coordinator
+// term on a shard: another coordinator took over, so this one refuses
+// all new work. The wire front end maps it to wire.CodeFenced.
+var ErrCoordFenced = errors.New("shard: coordinator fenced by a higher term")
+
+// endpoint is the coordinator's live view of one shard pair: which
+// member address it currently drives, and the reconnect backoff that
+// keeps a down shard from being hammered by every request.
+type endpoint struct {
+	active    string
+	backoff   overload.Backoff
+	notBefore time.Time
+}
+
+// errReconnectBackoff marks a dial suppressed by the per-shard backoff
+// window; it is a transport-class error (retried, never definitive).
+var errReconnectBackoff = errors.New("shard: reconnect backoff window open")
+
+// backoffWindowError carries the window's remaining duration so the
+// retry loop can sleep through it instead of burning its attempts
+// inside it. Matches errReconnectBackoff via errors.Is.
+type backoffWindowError struct {
+	shard string
+	wait  time.Duration
+}
+
+func (e *backoffWindowError) Error() string {
+	return fmt.Sprintf("shard %s: %v for %s", e.shard, errReconnectBackoff, e.wait.Round(time.Millisecond))
+}
+
+func (e *backoffWindowError) Is(target error) bool { return target == errReconnectBackoff }
+
 // Coordinator drives multi-hop setups across the shards of a Map
 // through two-phase reserve-commit. One coordinator instance is safe
 // for concurrent use; transactions are independent.
@@ -56,10 +88,20 @@ type Coordinator struct {
 
 	tracer obs.Tracer
 
+	// epoch is the coordinator's term, read from the intent log's epoch
+	// records at open (1 when none). Every shard operation is stamped
+	// with it; shards ratchet the highest term seen and refuse lower
+	// ones, which is how a superseded coordinator discovers it must
+	// fence itself.
+	epoch uint64
+
 	mu      sync.Mutex
+	fenced  bool
 	clients map[string]*wire.Client
-	open    []*openTxn          // unresolved transactions from the log scan
-	inDoubt map[string]struct{} // transactions awaiting Recover
+	ends    map[string]*endpoint // shard ID -> live endpoint state
+	lagReg  *obs.Registry        // set by RegisterMetrics; feeds standby-lag gauges
+	open    []*openTxn           // unresolved transactions from the log scan
+	inDoubt map[string]struct{}  // transactions awaiting Recover
 
 	// hook, when set, runs at named protocol boundaries; returning an
 	// error abandons the transaction mid-flight, simulating a
@@ -75,12 +117,18 @@ func NewCoordinator(m *Map, fsys journal.FS, logPath string) (*Coordinator, erro
 	if err != nil {
 		return nil, err
 	}
+	epoch := MaxIntentEpoch(recs)
+	if epoch == 0 {
+		epoch = 1
+	}
 	c := &Coordinator{
 		m: m, log: log,
 		PrepareTTL: wire.DefaultPrepareTTL,
 		OpTimeout:  2 * time.Second,
 		Retries:    3,
+		epoch:      epoch,
 		clients:    make(map[string]*wire.Client),
+		ends:       make(map[string]*endpoint),
 		inDoubt:    make(map[string]struct{}),
 		open:       foldIntents(recs),
 	}
@@ -92,6 +140,50 @@ func NewCoordinator(m *Map, fsys journal.FS, logPath string) (*Coordinator, erro
 
 // SetTracer attaches the event sink.
 func (c *Coordinator) SetTracer(tr obs.Tracer) { c.tracer = tr }
+
+// Epoch returns the coordinator's term.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// IntentLog exposes the underlying decision log (the replication
+// source for a standby coordinator).
+func (c *Coordinator) IntentLog() *IntentLog { return c.log }
+
+// Fence makes the coordinator refuse all new work: another coordinator
+// was promoted at a higher term. One-way.
+func (c *Coordinator) Fence() {
+	c.mu.Lock()
+	already := c.fenced
+	c.fenced = true
+	c.mu.Unlock()
+	if !already && c.tracer != nil {
+		c.tracer.Trace(obs.Event{Kind: obs.KindFence, Epoch: c.epoch})
+	}
+}
+
+// Fenced reports whether the coordinator has fenced itself.
+func (c *Coordinator) Fenced() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fenced
+}
+
+// RegisterMetrics exposes the coordinator's live gauges on reg: the
+// number of in-doubt transactions outstanding, the coordinator term,
+// and (updated by Status) each shard pair's standby replication lag.
+func (c *Coordinator) RegisterMetrics(reg *obs.Registry) {
+	c.mu.Lock()
+	c.lagReg = reg
+	c.mu.Unlock()
+	reg.GaugeFunc("atmcac_shard_indoubt_outstanding", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.inDoubt))
+	})
+	reg.Help("atmcac_shard_indoubt_outstanding", "In-doubt cross-shard transactions awaiting Recover.")
+	reg.GaugeFunc("atmcac_coord_epoch", func() float64 { return float64(c.epoch) })
+	reg.Help("atmcac_coord_epoch", "Coordinator replication term.")
+	reg.Help("atmcac_shard_standby_lag_records", "Per shard pair: records shipped to but not yet acknowledged by the shard's standby, as of the last status poll.")
+}
 
 // SetTestHook installs the crash-boundary hook (fault injection only).
 func (c *Coordinator) SetTestHook(h func(point, txn string) error) { c.hook = h }
@@ -124,22 +216,51 @@ func (c *Coordinator) Close() error {
 	return c.log.Close()
 }
 
-// client returns a cached connection to the shard, dialing on demand.
+// endpointLocked returns (creating on first use) the live endpoint state
+// for a shard. Caller holds c.mu.
+func (c *Coordinator) endpointLocked(info Info) *endpoint {
+	ep, ok := c.ends[info.ID]
+	if !ok {
+		ep = &endpoint{active: info.Addr}
+		c.ends[info.ID] = ep
+	}
+	return ep
+}
+
+// dialer returns the injectable dial function.
+func (c *Coordinator) dialer() func(string) (*wire.Client, error) {
+	if c.Dial != nil {
+		return c.Dial
+	}
+	return wire.Dial
+}
+
+// client returns a cached connection to the shard's active member,
+// dialing on demand. A dial inside the shard's reconnect backoff window
+// is suppressed (errReconnectBackoff, transport-class): a down shard
+// must not be hammered by every request, and the jittered window keeps
+// retries from re-converging.
 func (c *Coordinator) client(info Info) (*wire.Client, error) {
 	c.mu.Lock()
 	if cl, ok := c.clients[info.ID]; ok {
 		c.mu.Unlock()
 		return cl, nil
 	}
+	ep := c.endpointLocked(info)
+	if wait := time.Until(ep.notBefore); wait > 0 {
+		c.mu.Unlock()
+		return nil, &backoffWindowError{shard: info.ID, wait: wait}
+	}
+	addr := ep.active
 	c.mu.Unlock()
-	dial := c.Dial
-	if dial == nil {
-		dial = wire.Dial
-	}
-	cl, err := dial(info.Addr)
+	cl, err := c.dialer()(addr)
 	if err != nil {
-		return nil, fmt.Errorf("shard %s: dial %s: %w", info.ID, info.Addr, err)
+		c.mu.Lock()
+		ep.notBefore = time.Now().Add(ep.backoff.Next(0))
+		c.mu.Unlock()
+		return nil, fmt.Errorf("shard %s: dial %s: %w", info.ID, addr, err)
 	}
+	cl.SetShardCoordEpoch(c.epoch)
 	c.mu.Lock()
 	if prev, ok := c.clients[info.ID]; ok {
 		c.mu.Unlock()
@@ -147,6 +268,8 @@ func (c *Coordinator) client(info Info) (*wire.Client, error) {
 		return prev, nil
 	}
 	c.clients[info.ID] = cl
+	ep.backoff = overload.Backoff{}
+	ep.notBefore = time.Time{}
 	c.mu.Unlock()
 	return cl, nil
 }
@@ -159,6 +282,90 @@ func (c *Coordinator) dropClient(info Info) {
 		_ = cl.Close()
 		delete(c.clients, info.ID)
 	}
+	c.mu.Unlock()
+}
+
+// failover re-points a shard pair at its surviving member after the
+// active one stopped answering: it probes the other member, promotes it
+// if it is still a standby (the promotion bumps the shard epoch, so the
+// existing stale-prepare fencing shuts the old primary's holds out),
+// and swaps the cached client. The old primary needs no message from
+// here — when it reconnects to the replication stream or a client, the
+// higher epoch it observes fences it. Returns true when the pool now
+// points at a live promoted member.
+func (c *Coordinator) failover(info Info) bool {
+	if info.Standby == "" {
+		return false
+	}
+	c.mu.Lock()
+	ep := c.endpointLocked(info)
+	cur := ep.active
+	c.mu.Unlock()
+	cand := info.Standby
+	if cur == info.Standby {
+		cand = info.Addr
+	}
+	cl, err := c.dialer()(cand)
+	if err != nil {
+		return false
+	}
+	rep, err := cl.Replication()
+	if err != nil || rep.Role == "fenced" {
+		_ = cl.Close()
+		return false
+	}
+	if rep.Role == "standby" {
+		if rep, err = cl.Promote(); err != nil {
+			_ = cl.Close()
+			return false
+		}
+	}
+	cl.SetShardCoordEpoch(c.epoch)
+	c.mu.Lock()
+	if prev, ok := c.clients[info.ID]; ok {
+		_ = prev.Close()
+	}
+	c.clients[info.ID] = cl
+	ep.active = cand
+	ep.backoff = overload.Backoff{}
+	ep.notBefore = time.Time{}
+	c.mu.Unlock()
+	if c.tracer != nil {
+		c.tracer.Trace(obs.Event{
+			Kind: obs.KindShardFailover, Op: info.ID, Outcome: obs.OutcomeOK, Epoch: rep.Epoch,
+		})
+	}
+	return true
+}
+
+// ActiveAddr returns the member address the pool currently drives for a
+// shard (the primary until a failover re-points it).
+func (c *Coordinator) ActiveAddr(shardID string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ep, ok := c.ends[shardID]; ok {
+		return ep.active
+	}
+	if info, ok := c.m.Lookup(shardID); ok {
+		return info.Addr
+	}
+	return ""
+}
+
+// ResetEndpoint points a shard's pool entry back at addr and clears its
+// backoff — a test and benchmark hook for exercising the failover path
+// repeatedly.
+func (c *Coordinator) ResetEndpoint(shardID, addr string) {
+	info, ok := c.m.Lookup(shardID)
+	if !ok {
+		return
+	}
+	c.dropClient(info)
+	c.mu.Lock()
+	ep := c.endpointLocked(info)
+	ep.active = addr
+	ep.backoff = overload.Backoff{}
+	ep.notBefore = time.Time{}
 	c.mu.Unlock()
 }
 
@@ -184,17 +391,37 @@ func (c *Coordinator) call(ctx context.Context, info Info, op string, fn func(ct
 		}
 		var re *wire.RemoteError
 		if errors.As(err, &re) {
+			if re.Code == wire.CodeStaleCoordinator {
+				// The shard has seen a higher coordinator term: another
+				// coordinator took over. Stop driving anything.
+				c.Fence()
+				return fmt.Errorf("%w: shard %s: %s: %v", ErrCoordFenced, info.ID, op, err)
+			}
 			return err
 		}
 		var retryAfter time.Duration
 		var oe *wire.OverloadError
+		var bw *backoffWindowError
+		failedOver := false
 		if errors.As(err, &oe) {
 			retryAfter = oe.RetryAfter
+		} else if errors.As(err, &bw) {
+			// Sleep through the remaining reconnect window: the attempt
+			// budget must buy actual dials, not spins inside the window.
+			retryAfter = bw.wait
 		} else {
+			// Transport error, not a definitive refusal: the active member
+			// may be dead. Drop the connection and, for a replicated pair,
+			// try the other member — promoting it if it is still a
+			// standby — so in-flight transactions finish on the survivor.
 			c.dropClient(info)
+			failedOver = c.failover(info)
 		}
 		if attempt >= c.Retries {
 			return fmt.Errorf("shard %s: %s: retries exhausted: %w", info.ID, op, err)
+		}
+		if failedOver {
+			continue // the pool points at a live member; retry immediately
 		}
 		if serr := overload.Sleep(ctx, b.Next(retryAfter)); serr != nil {
 			return fmt.Errorf("shard %s: %s: %w", info.ID, op, serr)
@@ -248,6 +475,9 @@ func subRequest(req core.ConnRequest, leg Segment, upstream float64, interleaved
 // a shard) needs an end-to-end delay bound — refused up front, before
 // any begin record or prepare.
 func (c *Coordinator) Setup(ctx context.Context, req core.ConnRequest) (*wire.Admission, error) {
+	if c.Fenced() {
+		return nil, fmt.Errorf("%w: refusing setup %q", ErrCoordFenced, req.ID)
+	}
 	legs, interleaved, err := c.m.Legs(req.Route)
 	if err != nil {
 		return nil, err
@@ -594,6 +824,9 @@ func (c *Coordinator) redriveAbort(ctx context.Context, t *openTxn, segs []Segme
 // of it. Without the route at hand it broadcasts, tolerating shards that
 // never saw the connection.
 func (c *Coordinator) Teardown(ctx context.Context, id core.ConnID) error {
+	if c.Fenced() {
+		return fmt.Errorf("%w: refusing teardown %q", ErrCoordFenced, id)
+	}
 	found := false
 	for _, info := range c.m.Shards() {
 		err := c.call(ctx, info, wire.OpTeardown, func(ctx context.Context, cl *wire.Client) error {
@@ -641,7 +874,13 @@ func (c *Coordinator) List(ctx context.Context) ([]core.ConnID, error) {
 	return out, nil
 }
 
-// Status collects every shard's status report, in map order.
+// Status collects every shard's status report, in map order. For a
+// replicated pair the report carries both members: the active member's
+// role, epoch and holds, plus the other member's role and epoch probed
+// best-effort (an unreachable peer reports role "unreachable" rather
+// than failing the whole status). The active member's replication lag —
+// records shipped to but not acknowledged by its standby — is included
+// and, when RegisterMetrics was called, published as a per-shard gauge.
 func (c *Coordinator) Status(ctx context.Context) ([]wire.ShardStatusReport, error) {
 	out := make([]wire.ShardStatusReport, 0, len(c.m.shards))
 	for _, info := range c.m.Shards() {
@@ -657,7 +896,52 @@ func (c *Coordinator) Status(ctx context.Context) ([]wire.ShardStatusReport, err
 		if st.ShardID == "" {
 			st.ShardID = info.ID
 		}
+		c.mu.Lock()
+		st.Addr = c.endpointLocked(info).active
+		reg := c.lagReg
+		c.mu.Unlock()
+		if info.Standby != "" {
+			_ = c.call(ctx, info, wire.OpReplication, func(ctx context.Context, cl *wire.Client) error {
+				rep, rerr := cl.Replication()
+				if rerr == nil && rep.Role == "primary" {
+					st.StandbyLag = rep.Lag
+					if reg != nil {
+						reg.Gauge("atmcac_shard_standby_lag_records", obs.L("shard", info.ID)).Set(float64(rep.Lag))
+					}
+				}
+				return rerr
+			})
+			peer := info.Standby
+			if st.Addr == info.Standby {
+				peer = info.Addr
+			}
+			st.PeerAddr = peer
+			st.PeerRole = "unreachable"
+			if pcl, perr := c.dialer()(peer); perr == nil {
+				if prep, perr := pcl.ShardStatusContext(ctx); perr == nil {
+					st.PeerRole = prep.Role
+					st.PeerEpoch = prep.Epoch
+				}
+				_ = pcl.Close()
+			}
+		}
 		out = append(out, *st)
 	}
 	return out, nil
+}
+
+// SelfStatus reports the coordinator's own identity: its term, fencing
+// state and the number of in-doubt transactions outstanding.
+func (c *Coordinator) SelfStatus() wire.ShardStatusReport {
+	role := "coordinator"
+	if c.Fenced() {
+		role = "fenced"
+	}
+	return wire.ShardStatusReport{
+		ShardID:    "coordinator",
+		Role:       role,
+		Epoch:      c.epoch,
+		CoordEpoch: c.epoch,
+		InDoubt:    len(c.InDoubt()),
+	}
 }

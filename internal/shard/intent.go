@@ -35,6 +35,11 @@ const (
 	// IntentDone closes the transaction: the decision reached every
 	// shard, so recovery can skip it.
 	IntentDone = "done"
+	// IntentEpoch is not a transaction state: it records a coordinator
+	// term change. A standby coordinator appends one on promotion, so
+	// the epoch is durable before the new coordinator drives anything,
+	// and a restarted coordinator resumes at its highest recorded term.
+	IntentEpoch = "epoch"
 )
 
 // ShardMark names one participating shard and, once prepared, the epoch
@@ -55,6 +60,21 @@ type IntentRecord struct {
 	// Shards lists the participating shards (begin) or the prepared
 	// epochs (commit).
 	Shards []ShardMark `json:"shards,omitempty"`
+	// Epoch is the coordinator term declared by an IntentEpoch record.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// MaxIntentEpoch returns the highest coordinator term recorded in recs;
+// zero when no epoch record exists (a coordinator that never failed
+// over runs at the implicit first term).
+func MaxIntentEpoch(recs []IntentRecord) uint64 {
+	var max uint64
+	for i := range recs {
+		if recs[i].State == IntentEpoch && recs[i].Epoch > max {
+			max = recs[i].Epoch
+		}
+	}
+	return max
 }
 
 // maxIntentBytes bounds one intent frame, mirroring the journal's limit.
@@ -99,6 +119,49 @@ type IntentLog struct {
 	path    string
 	f       journal.File
 	nextSeq uint64
+	// shipper, when set, is called under mu after each record is locally
+	// durable, with the exact frame payload bytes and the assigned
+	// sequence. A non-nil error refuses the append: the caller must not
+	// act on a decision the standby coordinator has not acknowledged.
+	shipper func(seq uint64, payload []byte) error
+}
+
+// SetShipper installs the replication hook called after every durable
+// append (see IntentPrimary). Must be set before the log is appended to
+// concurrently.
+func (l *IntentLog) SetShipper(ship func(seq uint64, payload []byte) error) {
+	l.mu.Lock()
+	l.shipper = ship
+	l.mu.Unlock()
+}
+
+// CatchUp streams every record past afterSeq through send, then runs
+// attach — all under the log's lock, so no append can land between the
+// last caught-up record and the live shipping the attach enables. This
+// is how a standby coordinator joins without a gap: the shipper hook
+// and this method serialize on the same mutex.
+func (l *IntentLog) CatchUp(afterSeq uint64, send func(seq uint64, payload []byte) error, attach func()) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := l.fsys.ReadFile(l.path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("shard: read intent log: %w", err)
+	}
+	recs, _, _ := ScanIntentFrames(data)
+	for i := range recs {
+		if recs[i].Seq <= afterSeq {
+			continue
+		}
+		payload, merr := json.Marshal(&recs[i])
+		if merr != nil {
+			return fmt.Errorf("shard: re-encode intent %d for catch-up: %w", recs[i].Seq, merr)
+		}
+		if serr := send(recs[i].Seq, payload); serr != nil {
+			return serr
+		}
+	}
+	attach()
+	return nil
 }
 
 // OpenIntentLog opens (or creates) the log at path, returning every
@@ -143,18 +206,60 @@ func (l *IntentLog) Append(rec *IntentRecord) error {
 	if len(payload) > maxIntentBytes {
 		return fmt.Errorf("shard: intent %q exceeds %d bytes", rec.Txn, maxIntentBytes)
 	}
-	frame := make([]byte, intentHeaderLen+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[intentHeaderLen:], payload)
-	if _, err := l.f.Write(frame); err != nil {
+	// The intent frame layout is the journal's own (length + CRC32), so
+	// the same bytes written here are shipped verbatim on the coordinator
+	// replication stream and appended byte-identically by the standby.
+	if _, err := l.f.Write(journal.EncodeRawFrame(payload)); err != nil {
 		return fmt.Errorf("shard: append intent %q: %w", rec.Txn, err)
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("shard: sync intent %q: %w", rec.Txn, err)
 	}
 	l.nextSeq++
+	if l.shipper != nil {
+		if err := l.shipper(rec.Seq, payload); err != nil {
+			return fmt.Errorf("shard: intent %q not replicated: %w", rec.Txn, err)
+		}
+	}
 	return nil
+}
+
+// AppendShipped appends one replicated frame payload on a standby
+// coordinator, preserving the primary's sequence. A payload at or below
+// the local watermark is skipped (idempotent redelivery after a
+// reconnect). Sequences may jump forward: the primary's ReserveSeq
+// consumes sequence numbers for transaction names without writing a
+// frame, and the stream is ordered per session, so a forward jump is a
+// reserved-but-unwritten hole, not loss.
+func (l *IntentLog) AppendShipped(seq uint64, payload []byte) error {
+	var rec IntentRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("shard: shipped intent frame undecodable: %w", err)
+	}
+	if rec.Seq != seq {
+		return fmt.Errorf("shard: shipped intent frame seq %d disagrees with envelope %d", rec.Seq, seq)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < l.nextSeq {
+		return nil
+	}
+	if _, err := l.f.Write(journal.EncodeRawFrame(payload)); err != nil {
+		return fmt.Errorf("shard: append shipped intent %d: %w", seq, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("shard: sync shipped intent %d: %w", seq, err)
+	}
+	l.nextSeq = seq + 1
+	return nil
+}
+
+// LastSeq returns the highest sequence durable in the log (zero when
+// empty) — the standby's hello watermark.
+func (l *IntentLog) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
 }
 
 // ReserveSeq claims the next sequence number under the lock and advances

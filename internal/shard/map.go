@@ -23,10 +23,24 @@ import (
 	"atmcac/internal/core"
 )
 
-// Info names one shard: its ID in the map and its wire address.
+// Info names one shard: its ID in the map, its primary wire address and
+// — when the shard is a replicated pair — the standby's wire address.
 type Info struct {
 	ID   string `json:"id"`
 	Addr string `json:"addr"`
+	// Standby is the warm-standby member of a replicated pair
+	// (id@primary|standby=sw,...); empty for an unreplicated shard. The
+	// coordinator fails over to it when the primary stops answering.
+	Standby string `json:"standby,omitempty"`
+}
+
+// Endpoints returns the shard's dialable member addresses: the primary
+// first, then the standby when the shard is a pair.
+func (i Info) Endpoints() []string {
+	if i.Standby == "" {
+		return []string{i.Addr}
+	}
+	return []string{i.Addr, i.Standby}
 }
 
 // Map is the switch-ownership table: which shard admits which switches.
@@ -40,8 +54,11 @@ type Map struct {
 //
 //	s0@host:port=sw0,sw1;s1@host:port=sw2,sw3
 //
-// Every switch must be owned by exactly one shard; shard IDs must be
-// unique. This is the -shard-map flag format of cacd and cacctl.
+// A shard may be a replicated pair: id@primary|standby=sw,... names the
+// primary's and the warm standby's wire addresses, and the coordinator
+// fails over between them. Every switch must be owned by exactly one
+// shard; shard IDs must be unique. This is the -shard-map flag format of
+// cacd and cacctl.
 func ParseMap(spec string) (*Map, error) {
 	m := &Map{byID: make(map[string]Info), owner: make(map[string]Info)}
 	for _, entry := range strings.Split(spec, ";") {
@@ -59,10 +76,19 @@ func ParseMap(spec string) (*Map, error) {
 		if !ok || id == "" || addr == "" {
 			return nil, fmt.Errorf("shard: map entry %q: want id@addr=sw,...", entry)
 		}
+		addr, standby, paired := strings.Cut(addr, "|")
+		addr = strings.TrimSpace(addr)
+		standby = strings.TrimSpace(standby)
+		if addr == "" || (paired && standby == "") {
+			return nil, fmt.Errorf("shard: map entry %q: want id@primary|standby=sw,...", entry)
+		}
+		if standby == addr {
+			return nil, fmt.Errorf("shard: map entry %q: primary and standby share address %q", entry, addr)
+		}
 		if _, dup := m.byID[id]; dup {
 			return nil, fmt.Errorf("shard: duplicate shard id %q", id)
 		}
-		info := Info{ID: id, Addr: addr}
+		info := Info{ID: id, Addr: addr, Standby: standby}
 		m.byID[id] = info
 		m.shards = append(m.shards, info)
 		names := strings.Split(switches, ",")

@@ -1,0 +1,481 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"atmcac/internal/core"
+	"atmcac/internal/wire"
+)
+
+func TestParseMapReplicatedPair(t *testing.T) {
+	m, err := ParseMap("s0@h0:1|h0:9=sw0,sw1;s1@h1:2=sw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := m.Shards()
+	if shards[0].Addr != "h0:1" || shards[0].Standby != "h0:9" {
+		t.Fatalf("pair entry = %+v", shards[0])
+	}
+	if shards[1].Standby != "" {
+		t.Fatalf("unpaired entry grew a standby: %+v", shards[1])
+	}
+	if eps := shards[0].Endpoints(); len(eps) != 2 || eps[0] != "h0:1" || eps[1] != "h0:9" {
+		t.Fatalf("endpoints = %v", eps)
+	}
+	if eps := shards[1].Endpoints(); len(eps) != 1 {
+		t.Fatalf("singleton endpoints = %v", eps)
+	}
+	for _, bad := range []string{
+		"s0@h0:1|=sw0",     // empty standby
+		"s0@|h0:9=sw0",     // empty primary
+		"s0@h0:1|h0:1=sw0", // primary == standby
+	} {
+		if _, err := ParseMap(bad); err == nil {
+			t.Errorf("ParseMap(%q) accepted", bad)
+		}
+	}
+}
+
+// startStandbyShard boots a warm-standby wire server owning the given
+// switches: writes refused until promoted, exactly the state a shard
+// pair's survivor is in when the coordinator fails over to it.
+func startStandbyShard(t *testing.T, id string, switches ...string) (addr string, srv *wire.Server) {
+	t.Helper()
+	n := core.NewNetwork(core.HardCDV{})
+	for _, sw := range switches {
+		if _, err := n.AddSwitch(core.SwitchConfig{
+			Name: sw, QueueCells: map[core.Priority]float64{1: 32},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv = wire.NewServer(n)
+	srv.SetShardID(id)
+	srv.SetStandby(true)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close(); <-done })
+	return l.Addr().String(), srv
+}
+
+// pairFixture builds s0 as a singleton and s1 as a replicated pair
+// (live primary, warm standby), plus a coordinator over them.
+func pairFixture(t *testing.T) (c *Coordinator, s1Primary *wire.Server, s1StandbyAddr string) {
+	t.Helper()
+	addr0, _ := startShard(t, "s0", "sw0", "sw1")
+	addr1, srv1 := startShard(t, "s1", "sw2", "sw3")
+	addr1s, _ := startStandbyShard(t, "s1", "sw2", "sw3")
+	m, err := ParseMap(fmt.Sprintf("s0@%s=sw0,sw1;s1@%s|%s=sw2,sw3", addr0, addr1, addr1s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err = NewCoordinator(m, nil, filepath.Join(t.TempDir(), "intent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.OpTimeout = 500 * time.Millisecond
+	t.Cleanup(func() { _ = c.Close() })
+	return c, srv1, addr1s
+}
+
+// TestSetupFailsOverToShardStandbyMidCommit is the tentpole's in-flight
+// guarantee: the shard primary dies after the commit decision, with the
+// first shard already committed, and the setup still completes — the
+// coordinator promotes the standby and drives the commit there.
+func TestSetupFailsOverToShardStandbyMidCommit(t *testing.T) {
+	c, srv1, addr1s := pairFixture(t)
+	ctx := context.Background()
+	c.SetTestHook(func(point, txn string) error {
+		if point == "mid-commit" {
+			c.SetTestHook(nil)
+			_ = srv1.Close() // the s1 primary dies; its standby survives
+		}
+		return nil
+	})
+	adm, err := c.Setup(ctx, crossReq("c1"))
+	if err != nil {
+		t.Fatalf("setup across a mid-commit primary death: %v", err)
+	}
+	if adm == nil || adm.ID != "c1" {
+		t.Fatalf("admission = %+v", adm)
+	}
+	if got := c.ActiveAddr("s1"); got != addr1s {
+		t.Fatalf("active s1 endpoint = %q, want the standby %q", got, addr1s)
+	}
+	// The survivor was promoted and carries the connection.
+	cl, err := wire.Dial(addr1s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rep, err := cl.Replication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != "primary" || rep.Epoch == 0 {
+		t.Fatalf("survivor replication = %+v, want promoted primary", rep)
+	}
+	ids, err := cl.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "c1" {
+		t.Fatalf("survivor list = %v", ids)
+	}
+	if len(c.InDoubt()) != 0 {
+		t.Fatalf("in doubt after failover: %v", c.InDoubt())
+	}
+}
+
+// TestRecoverAgainstPromotedStandbyShard pins the satellite scenario: a
+// commit goes in doubt because the shard's primary died, the pair's
+// standby is promoted (higher epoch) while the coordinator is down, and
+// a rebooted coordinator's boot-time Recover must resolve the in-doubt
+// transaction against the promoted member — adopting it into the pool
+// and re-admitting the leg the dead primary only ever held as a prepare.
+func TestRecoverAgainstPromotedStandbyShard(t *testing.T) {
+	addr0, _ := startShard(t, "s0", "sw0", "sw1")
+	addr1, srv1 := startShard(t, "s1", "sw2", "sw3")
+	addr1s, _ := startStandbyShard(t, "s1", "sw2", "sw3")
+	m, err := ParseMap(fmt.Sprintf("s0@%s=sw0,sw1;s1@%s|%s=sw2,sw3", addr0, addr1, addr1s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(t.TempDir(), "intent")
+	c, err := NewCoordinator(m, nil, logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.OpTimeout = 500 * time.Millisecond
+	ctx := context.Background()
+
+	// The coordinator dies at mid-commit: commit intent durable, s0
+	// committed, s1 never heard — a textbook in-doubt transaction.
+	crashAt(c, "mid-commit")
+	if _, err := c.Setup(ctx, crossReq("c1")); err == nil {
+		t.Fatal("abandoned setup reported success")
+	}
+	_ = c.Close()
+
+	// While the coordinator is down, the s1 primary dies too and an
+	// operator (or the replication watchdog) promotes the standby.
+	_ = srv1.Close()
+	pcl, err := wire.Dial(addr1s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pcl.Promote()
+	_ = pcl.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != "primary" || rep.Epoch == 0 {
+		t.Fatalf("promoted standby = %+v", rep)
+	}
+
+	// Boot-time recovery: the fresh coordinator reads the in-doubt
+	// commit, fails over s1 to the promoted member and re-drives it.
+	c2, err := NewCoordinator(m, nil, logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.OpTimeout = 500 * time.Millisecond
+	if got := c2.InDoubt(); len(got) != 1 {
+		t.Fatalf("in doubt at boot = %v, want one txn", got)
+	}
+	report, err := c2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Committed) != 1 || len(report.InDoubt) != 0 || len(report.Aborted) != 0 {
+		t.Fatalf("recover report = %+v", report)
+	}
+	if got := c2.ActiveAddr("s1"); got != addr1s {
+		t.Fatalf("active s1 endpoint = %q, want the promoted member %q", got, addr1s)
+	}
+	for _, check := range []struct{ addr string }{{addr0}, {addr1s}} {
+		cl, err := wire.Dial(check.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, lerr := cl.List()
+		_ = cl.Close()
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		if len(ids) != 1 || ids[0] != "c1" {
+			t.Fatalf("%s list = %v, want [c1]", check.addr, ids)
+		}
+	}
+}
+
+// TestStaleCoordinatorFencedByShardRatchet pins the split-brain guard:
+// once any shard has served a coordinator at term 2, a term-1
+// coordinator's next operation is refused with the typed code and the
+// old coordinator fences itself permanently.
+func TestStaleCoordinatorFencedByShardRatchet(t *testing.T) {
+	addr0, _ := startShard(t, "s0", "sw0", "sw1")
+	addr1, _ := startShard(t, "s1", "sw2", "sw3")
+	m, err := ParseMap(fmt.Sprintf("s0@%s=sw0,sw1;s1@%s=sw2,sw3", addr0, addr1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+	old, err := NewCoordinator(m, nil, filepath.Join(dir, "intent-old"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+
+	// The successor's log carries an epoch record — what a promoted
+	// standby coordinator appends before taking over.
+	succPath := filepath.Join(dir, "intent-new")
+	log, _, _, err := OpenIntentLog(nil, succPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(&IntentRecord{State: IntentEpoch, Epoch: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_ = log.Close()
+	succ, err := NewCoordinator(m, nil, succPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer succ.Close()
+	if succ.Epoch() != 2 {
+		t.Fatalf("successor term = %d, want 2", succ.Epoch())
+	}
+	if _, err := succ.Setup(ctx, crossReq("c-new")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old coordinator's term-1 prepare hits the ratchet.
+	_, err = old.Setup(ctx, crossReq("c-old"))
+	if !errors.Is(err, ErrCoordFenced) {
+		t.Fatalf("stale coordinator setup error = %v, want ErrCoordFenced", err)
+	}
+	if !old.Fenced() {
+		t.Fatal("stale coordinator did not fence itself")
+	}
+	// Fencing is one-way: refused before any shard is even contacted.
+	if _, err := old.Setup(ctx, crossReq("c-old2")); !errors.Is(err, ErrCoordFenced) {
+		t.Fatalf("fenced coordinator setup error = %v", err)
+	}
+	if err := old.Teardown(ctx, "c-new"); !errors.Is(err, ErrCoordFenced) {
+		t.Fatalf("fenced coordinator teardown error = %v", err)
+	}
+	// The rightful coordinator is untouched by the collision.
+	if _, err := succ.Setup(ctx, crossReq2("c-new2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crossReq2 is crossReq on a different ingress port so two admissions
+// coexist within the queue budget.
+func crossReq2(id string) core.ConnRequest {
+	req := crossReq(id)
+	for i := range req.Route {
+		req.Route[i].In = 2
+	}
+	return req
+}
+
+// TestStandbyCoordinatorTailsPromotesAndResumes drives the coordinator
+// pair end to end: a standby tails the intent log over the replication
+// stream, the active dies, the standby promotes at a bumped term, and
+// the log it promoted from boots a coordinator that recovers and serves.
+func TestStandbyCoordinatorTailsPromotesAndResumes(t *testing.T) {
+	c, m, _ := twoShardFixture(t)
+	prim := NewIntentPrimary(c, nil)
+	prim.HeartbeatEvery = 20 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = prim.Serve(ln) }()
+
+	sbPath := filepath.Join(t.TempDir(), "intent-standby")
+	sb, err := NewStandbyCoordinator(StandbyConfig{
+		From: ln.Addr().String(), LogPath: sbPath, FailoverTimeout: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- sb.Run(context.Background()) }()
+
+	// Traffic while the standby tails: every intent ships synchronously.
+	ctx := context.Background()
+	if _, err := c.Setup(ctx, crossReq("c1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Setup(ctx, crossReq2("c2")); err != nil {
+		t.Fatal(err)
+	}
+	if lag := prim.Lag(); lag != 0 {
+		t.Fatalf("standby lag after synchronous ships = %d", lag)
+	}
+
+	// The active coordinator dies; the standby must promote.
+	prim.Close()
+	_ = c.Close()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("standby run = %v, want promotion", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("standby never promoted")
+	}
+	if sb.Epoch() != 2 {
+		t.Fatalf("promoted term = %d, want 2", sb.Epoch())
+	}
+
+	// The promoted log boots a working coordinator at the bumped term.
+	c2, err := NewCoordinator(m, nil, sbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.OpTimeout = 500 * time.Millisecond
+	if c2.Epoch() != 2 {
+		t.Fatalf("successor term = %d, want 2", c2.Epoch())
+	}
+	report, err := c2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both setups completed before the handover: their done records
+	// shipped too, so nothing is open.
+	if len(report.Committed)+len(report.Aborted)+len(report.InDoubt) != 0 {
+		t.Fatalf("recover report = %+v, want nothing open", report)
+	}
+	ids, err := c2.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("connections after takeover = %v", ids)
+	}
+	if err := c2.Teardown(ctx, "c1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStandbyCoordinatorMidCommitTakeover kills the active coordinator
+// at the worst instant — commit durable and shipped, first shard
+// committed — and asserts the promoted standby's recovery completes the
+// transaction rather than losing or halving it.
+func TestStandbyCoordinatorMidCommitTakeover(t *testing.T) {
+	c, m, _ := twoShardFixture(t)
+	c.OpTimeout = 500 * time.Millisecond
+	prim := NewIntentPrimary(c, nil)
+	prim.HeartbeatEvery = 20 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = prim.Serve(ln) }()
+
+	sbPath := filepath.Join(t.TempDir(), "intent-standby")
+	sb, err := NewStandbyCoordinator(StandbyConfig{
+		From: ln.Addr().String(), LogPath: sbPath, FailoverTimeout: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- sb.Run(context.Background()) }()
+	// Let the tail attach before traffic so the commit intent ships.
+	for start := time.Now(); !prim.Attached(); {
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("standby coordinator never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx := context.Background()
+	crashAt(c, "mid-commit")
+	if _, err := c.Setup(ctx, crossReq("c1")); err == nil {
+		t.Fatal("abandoned setup reported success")
+	}
+	prim.Close()
+	_ = c.Close()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("standby run = %v, want promotion", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("standby never promoted")
+	}
+
+	c2, err := NewCoordinator(m, nil, sbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.OpTimeout = 500 * time.Millisecond
+	if got := c2.InDoubt(); len(got) != 1 {
+		t.Fatalf("in doubt on the successor = %v, want the interrupted txn", got)
+	}
+	report, err := c2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Committed) != 1 || len(report.InDoubt) != 0 {
+		t.Fatalf("recover report = %+v, want the commit re-driven", report)
+	}
+	for _, id := range []string{"s0", "s1"} {
+		if ids := shardList(t, c2, id); len(ids) != 1 || ids[0] != "c1" {
+			t.Fatalf("%s list = %v, want [c1]", id, ids)
+		}
+	}
+}
+
+// TestAppendShippedIdempotentAndHoleTolerant pins the standby apply
+// contract: redelivered frames are skipped, forward sequence jumps (a
+// reserved-but-unwritten hole on the primary) are accepted.
+func TestAppendShippedIdempotentAndHoleTolerant(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "intent")
+	log, _, _, err := OpenIntentLog(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := func(seq uint64) []byte {
+		return []byte(fmt.Sprintf(`{"seq":%d,"state":"begin","txn":"x%d-c"}`, seq, seq))
+	}
+	for _, seq := range []uint64{1, 1, 3, 2, 7} { // dup and stale skipped, hole 4-6 accepted
+		if err := log.AppendShipped(seq, frame(seq)); err != nil {
+			t.Fatalf("AppendShipped(%d): %v", seq, err)
+		}
+	}
+	if got := log.LastSeq(); got != 7 {
+		t.Fatalf("LastSeq = %d, want 7", got)
+	}
+	if err := log.AppendShipped(5, []byte(`{"seq":9}`)); err == nil {
+		t.Fatal("seq/envelope disagreement accepted")
+	}
+	_ = log.Close()
+	log2, recs, torn, err := OpenIntentLog(nil, path)
+	if err != nil || torn {
+		t.Fatalf("reopen: torn=%v err=%v", torn, err)
+	}
+	defer log2.Close()
+	if len(recs) != 3 || recs[0].Seq != 1 || recs[1].Seq != 3 || recs[2].Seq != 7 {
+		t.Fatalf("records = %+v", recs)
+	}
+}

@@ -135,6 +135,8 @@ func errorResponse(err error) wire.Response {
 	switch {
 	case errors.Is(err, ErrInDoubt):
 		resp.Code = wire.CodeInDoubt
+	case errors.Is(err, ErrCoordFenced):
+		resp.Code = wire.CodeFenced
 	case errors.As(err, &re):
 		resp.Code = re.Code
 	default:
@@ -181,19 +183,29 @@ func (s *Server) handle(req wire.Request) wire.Response {
 		if err != nil {
 			return errorResponse(err)
 		}
+		role := "coordinator"
+		if s.coord.Fenced() {
+			role = "fenced"
+		}
 		return wire.Response{OK: true, Health: &wire.HealthReport{
 			Connections: len(ids),
-			Role:        "coordinator",
+			Role:        role,
+			Epoch:       s.coord.Epoch(),
 			Prepared:    len(s.coord.InDoubt()),
 		}}
 	case wire.OpShardStatus:
-		// Answer with the first shard's report shape aggregated is not
-		// expressible in one report; cacctl queries shards directly via
-		// the map. Report the coordinator's own identity instead.
-		return wire.Response{OK: true, Shard: &wire.ShardStatusReport{
-			ShardID: "coordinator",
-			Role:    "coordinator",
-		}}
+		// Answer with the coordinator's own identity plus a fleet
+		// fan-out: one report per shard pair, each carrying the active
+		// member's role/epoch/holds and the probed peer. cacctl shard
+		// status renders the whole cluster from this one call.
+		self := s.coord.SelfStatus()
+		fleet, err := s.coord.Status(ctx)
+		if err != nil {
+			// A dead pair must not blank the coordinator's own report;
+			// degrade to identity-only with the failure as a warning.
+			return wire.Response{OK: true, Shard: &self, Warning: err.Error()}
+		}
+		return wire.Response{OK: true, Shard: &self, Shards: fleet}
 	default:
 		return wire.Response{
 			Error: fmt.Sprintf("unknown op %q (coordinator speaks setup, teardown, list, health)", req.Op),

@@ -61,6 +61,11 @@ const (
 	// exhausted; a recovering coordinator resolves it from the intent
 	// log.
 	CodeInDoubt = "in-doubt"
+	// CodeStaleCoordinator marks a shard 2PC operation stamped with a
+	// coordinator term lower than one this shard has already served: a
+	// standby coordinator was promoted, and the superseded coordinator
+	// must fence itself instead of driving transactions divergently.
+	CodeStaleCoordinator = "stale-coordinator-fenced"
 )
 
 // DefaultPrepareTTL bounds a prepared hold's lifetime when the
@@ -83,6 +88,40 @@ type shardState struct {
 	// network mutation or a journal append.
 	prepMu   sync.Mutex
 	prepared map[string]*preparedHold
+	// coordEpoch is the highest coordinator term seen on any 2PC
+	// operation; lower stamped terms are refused (CodeStaleCoordinator).
+	// In-memory only: after a shard restart the ratchet re-arms on the
+	// live coordinator's next operation, and the one coordinator that
+	// could slip a stale term into the gap is also fenced by every other
+	// shard that kept its ratchet.
+	coordEpoch uint64
+}
+
+// coordGate ratchets the coordinator term carried by a shard 2PC request
+// and refuses a stale one. Zero (unversioned, e.g. direct cacctl use)
+// always passes and never ratchets.
+func (s *Server) coordGate(req Request) *Response {
+	if req.CoordEpoch == 0 {
+		return nil
+	}
+	s.shard.prepMu.Lock()
+	defer s.shard.prepMu.Unlock()
+	if req.CoordEpoch < s.shard.coordEpoch {
+		return &Response{
+			Error: fmt.Sprintf("%s refused: coordinator term %d superseded by %d",
+				req.Op, req.CoordEpoch, s.shard.coordEpoch),
+			Code: CodeStaleCoordinator,
+		}
+	}
+	s.shard.coordEpoch = req.CoordEpoch
+	return nil
+}
+
+// coordEpochSeen returns the highest coordinator term this shard served.
+func (s *Server) coordEpochSeen() uint64 {
+	s.shard.prepMu.Lock()
+	defer s.shard.prepMu.Unlock()
+	return s.shard.coordEpoch
 }
 
 // SetShardID names this instance in a shard map. Must be called before
@@ -147,7 +186,11 @@ type PreparedHoldReport struct {
 	ExpiresInMillis int64 `json:"expiresInMs"`
 }
 
-// ShardStatusReport answers shard-status and shard-reap.
+// ShardStatusReport answers shard-status and shard-reap. A coordinator
+// answering for a replicated pair fills the pair fields: Addr is the
+// member it currently drives, Peer* describe the other member (probed
+// best-effort), and StandbyLag is the active primary's replication lag
+// in records.
 type ShardStatusReport struct {
 	ShardID  string               `json:"shardId,omitempty"`
 	Role     string               `json:"role"`
@@ -155,6 +198,17 @@ type ShardStatusReport struct {
 	Prepared []PreparedHoldReport `json:"prepared,omitempty"`
 	// Reaped lists the transactions expired by a shard-reap request.
 	Reaped []string `json:"reaped,omitempty"`
+	// CoordEpoch is the highest coordinator term this node has served
+	// (on a shard), or the coordinator's own term (on a coordinator).
+	CoordEpoch uint64 `json:"coordEpoch,omitempty"`
+	// InDoubt counts unresolved transactions on a coordinator report.
+	InDoubt int `json:"inDoubt,omitempty"`
+	// Pair fields, filled by a coordinator's fleet status.
+	Addr       string `json:"addr,omitempty"`
+	PeerAddr   string `json:"peerAddr,omitempty"`
+	PeerRole   string `json:"peerRole,omitempty"`
+	PeerEpoch  uint64 `json:"peerEpoch,omitempty"`
+	StandbyLag uint64 `json:"standbyLag,omitempty"`
 }
 
 // toWireAdmission converts a core admission for transport.
@@ -417,10 +471,11 @@ func (s *Server) handleShardAbort(req Request) Response {
 func (s *Server) handleShardReap() Response {
 	reaped := s.ReapOrphans(time.Now())
 	return Response{OK: true, Shard: &ShardStatusReport{
-		ShardID: s.shard.shardID,
-		Role:    s.role(),
-		Epoch:   s.Epoch(),
-		Reaped:  reaped,
+		ShardID:    s.shard.shardID,
+		Role:       s.role(),
+		Epoch:      s.Epoch(),
+		CoordEpoch: s.coordEpochSeen(),
+		Reaped:     reaped,
 	}}
 }
 
@@ -437,10 +492,11 @@ func (s *Server) handleShardStatus() Response {
 	}
 	s.shard.prepMu.Unlock()
 	return Response{OK: true, Shard: &ShardStatusReport{
-		ShardID:  s.shard.shardID,
-		Role:     s.role(),
-		Epoch:    s.Epoch(),
-		Prepared: holds,
+		ShardID:    s.shard.shardID,
+		Role:       s.role(),
+		Epoch:      s.Epoch(),
+		CoordEpoch: s.coordEpochSeen(),
+		Prepared:   holds,
 	}}
 }
 
@@ -590,7 +646,8 @@ func (s *Server) persistShardAbortWarn(txn string, id core.ConnID) string {
 func (c *Client) ShardPrepare(ctx context.Context, txn string, req core.ConnRequest, ttl time.Duration) (*PrepareReport, error) {
 	resp, err := c.roundTripContext(ctx, Request{
 		Op: OpShardPrepare, Txn: txn, Request: &req,
-		TTLMillis: int64(ttl / time.Millisecond),
+		TTLMillis:  int64(ttl / time.Millisecond),
+		CoordEpoch: c.coordEpoch.Load(),
 	})
 	if err != nil {
 		return nil, err
@@ -611,6 +668,7 @@ func (c *Client) ShardPrepare(ctx context.Context, txn string, req core.ConnRequ
 func (c *Client) ShardCommit(ctx context.Context, txn string, req core.ConnRequest, prepareEpoch uint64) (*Admission, string, error) {
 	resp, err := c.roundTripContext(ctx, Request{
 		Op: OpShardCommit, Txn: txn, Request: &req, PrepareEpoch: prepareEpoch,
+		CoordEpoch: c.coordEpoch.Load(),
 	})
 	if err != nil {
 		return nil, "", err
@@ -623,7 +681,7 @@ func (c *Client) ShardCommit(ctx context.Context, txn string, req core.ConnReque
 
 // ShardAbort releases txn's hold (or unwinds its commit) on a shard.
 func (c *Client) ShardAbort(ctx context.Context, txn string, req *core.ConnRequest) error {
-	wr := Request{Op: OpShardAbort, Txn: txn, Request: req}
+	wr := Request{Op: OpShardAbort, Txn: txn, Request: req, CoordEpoch: c.coordEpoch.Load()}
 	if req != nil {
 		wr.ID = req.ID
 	}
@@ -645,7 +703,7 @@ func (c *Client) ShardReap() ([]string, error) {
 
 // ShardReapContext is ShardReap bounded by ctx.
 func (c *Client) ShardReapContext(ctx context.Context) ([]string, error) {
-	resp, err := c.roundTripContext(ctx, Request{Op: OpShardReap})
+	resp, err := c.roundTripContext(ctx, Request{Op: OpShardReap, CoordEpoch: c.coordEpoch.Load()})
 	if err != nil {
 		return nil, err
 	}
@@ -665,15 +723,28 @@ func (c *Client) ShardStatus() (*ShardStatusReport, error) {
 
 // ShardStatusContext is ShardStatus bounded by ctx.
 func (c *Client) ShardStatusContext(ctx context.Context) (*ShardStatusReport, error) {
+	st, _, _, err := c.ShardStatusFleetContext(ctx)
+	return st, err
+}
+
+// ShardStatusFleet is ShardStatus plus the coordinator's per-pair fleet
+// reports — empty when the peer is a plain shard — and any degradation
+// warning (a dead pair downgrades the fleet fan-out to identity-only).
+func (c *Client) ShardStatusFleet() (*ShardStatusReport, []ShardStatusReport, string, error) {
+	return c.ShardStatusFleetContext(context.Background())
+}
+
+// ShardStatusFleetContext is ShardStatusFleet bounded by ctx.
+func (c *Client) ShardStatusFleetContext(ctx context.Context) (*ShardStatusReport, []ShardStatusReport, string, error) {
 	resp, err := c.roundTripContext(ctx, Request{Op: OpShardStatus})
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
 	if !resp.OK {
-		return nil, remoteErr(OpShardStatus, resp)
+		return nil, nil, "", remoteErr(OpShardStatus, resp)
 	}
 	if resp.Shard == nil {
-		return nil, fmt.Errorf("%w: shard-status response without report", ErrProtocol)
+		return nil, nil, "", fmt.Errorf("%w: shard-status response without report", ErrProtocol)
 	}
-	return resp.Shard, nil
+	return resp.Shard, resp.Shards, resp.Warning, nil
 }

@@ -21,6 +21,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"atmcac/internal/bitstream"
@@ -161,6 +162,13 @@ type Request struct {
 	// PrepareEpoch echoes the epoch from the prepare report on a
 	// shard-commit so an epoch-bumped shard can fence stale prepares.
 	PrepareEpoch uint64 `json:"prepareEpoch,omitempty"`
+	// CoordEpoch is the coordinator term stamped on every shard 2PC
+	// operation. Shards ratchet the highest term they have seen and
+	// refuse lower ones (CodeStaleCoordinator), so a superseded
+	// coordinator can never drive a transaction divergently from its
+	// successor. Zero means unversioned (direct cacctl use) and always
+	// passes.
+	CoordEpoch uint64 `json:"coordEpoch,omitempty"`
 }
 
 // ReadmitOutcome is the transport form of one re-admission result after a
@@ -277,6 +285,9 @@ type Response struct {
 	Prepared *PrepareReport `json:"prepared,omitempty"`
 	// Shard reports a shard-status or shard-reap result.
 	Shard *ShardStatusReport `json:"shard,omitempty"`
+	// Shards reports a fleet-wide shard-status result: one report per
+	// shard pair, in map order, answered by a coordinator.
+	Shards []ShardStatusReport `json:"shards,omitempty"`
 }
 
 // ViolationReport mirrors core.Violation for transport.
@@ -880,6 +891,14 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 		}
 	}
 	switch req.Op {
+	case OpShardPrepare, OpShardCommit, OpShardAbort, OpShardReap:
+		// A stamped coordinator term below the ratchet is a superseded
+		// coordinator; refuse before touching any hold.
+		if resp := s.coordGate(req); resp != nil {
+			return *resp
+		}
+	}
+	switch req.Op {
 	case OpSetup:
 		return s.handleSetup(ctx, req)
 	case OpShardPrepare:
@@ -1026,7 +1045,14 @@ type Client struct {
 	conn    net.Conn
 	scanner *bufio.Scanner
 	enc     *json.Encoder
+	// coordEpoch, when non-zero, is stamped on every shard 2PC request
+	// (see Request.CoordEpoch). Set by a coordinator after dialing.
+	coordEpoch atomic.Uint64
 }
+
+// SetShardCoordEpoch makes the client stamp every shard 2PC operation
+// with the coordinator term e; zero clears the stamp.
+func (c *Client) SetShardCoordEpoch(e uint64) { c.coordEpoch.Store(e) }
 
 // Dial connects to a CAC server.
 func Dial(addr string) (*Client, error) {

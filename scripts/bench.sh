@@ -2,15 +2,17 @@
 # Runs the perf-trajectory benchmarks (parallel admission throughput,
 # per-admission persistence cost, generated-topology fleet admission,
 # replicated setup latency per ack mode, and sharded setup latency per
-# route footprint) and writes one JSON point for the BENCH_<pr>.json
-# series. CI runs it as a
+# route footprint — including the shard-failover variant that pins
+# setup latency while the pool discovers a dead primary and re-points
+# at the pair's survivor) and writes one JSON point for the
+# BENCH_<pr>.json series. CI runs it as a
 # smoke test; a committed BENCH_*.json records the machine it was measured
 # on. Each benchmark entry carries workload/topology descriptor fields so
 # trajectory points stay comparable across PRs even as scenarios evolve.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -33,8 +35,8 @@ BEGIN {
     tp["BenchmarkPersistSetup"]        = "2-switch chain"
     wl["BenchmarkReplicatedSetup"]     = "CBR(0.001) admit+release cycle acked through a loopback primary/standby pair per replication mode"
     tp["BenchmarkReplicatedSetup"]     = "rtnet-ring 4 nodes x 2 terminals, journal-sync durability"
-    wl["BenchmarkShardedSetup"]        = "CBR(0.001) admit+release cycle on a fixed 4-hop route; local = coordinator fast path, cross-N = two-phase reserve-commit over N shards with a fsynced intent log"
-    tp["BenchmarkShardedSetup"]        = "3 loopback shard daemons x 4 switches (32-cell prio-1 queues)"
+    wl["BenchmarkShardedSetup"]        = "CBR(0.001) admit+release cycle on a fixed 4-hop route; local = coordinator fast path, cross-N = two-phase reserve-commit over N shards with a fsynced intent log, failover = cross-shard 2PC that must first discover a dead pair primary and re-point at the survivor"
+    tp["BenchmarkShardedSetup"]        = "3 loopback shard daemons x 4 switches (32-cell prio-1 queues); failover adds a replicated s0 pair with a refused-dial primary"
 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
