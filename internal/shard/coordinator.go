@@ -235,6 +235,37 @@ func (c *Coordinator) dialer() func(string) (*wire.Client, error) {
 	return wire.Dial
 }
 
+// probeStatus dials addr and fetches its shard status report, abandoning
+// the whole attempt — goroutine, dial and all — once the op timeout (or
+// ctx) lapses. The injected dialer has no deadline of its own, so a
+// blackholed address would otherwise stall the caller for the OS connect
+// timeout; here it just reports unreachable.
+func (c *Coordinator) probeStatus(ctx context.Context, addr string) (*wire.ShardStatusReport, bool) {
+	timeout := c.OpTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	ch := make(chan *wire.ShardStatusReport, 1)
+	go func() {
+		var rep *wire.ShardStatusReport
+		if cl, err := c.dialer()(addr); err == nil {
+			if r, serr := cl.ShardStatusContext(pctx); serr == nil {
+				rep = r
+			}
+			_ = cl.Close()
+		}
+		ch <- rep
+	}()
+	select {
+	case rep := <-ch:
+		return rep, rep != nil
+	case <-pctx.Done():
+		return nil, false
+	}
+}
+
 // client returns a cached connection to the shard's active member,
 // dialing on demand. A dial inside the shard's reconnect backoff window
 // is suppressed (errReconnectBackoff, transport-class): a down shard
@@ -293,6 +324,14 @@ func (c *Coordinator) dropClient(info Info) {
 // here — when it reconnects to the replication stream or a client, the
 // higher epoch it observes fences it. Returns true when the pool now
 // points at a live promoted member.
+//
+// A transport error alone does not prove the active member is dead — it
+// may merely be slow, or the failed call's per-attempt timeout too
+// tight. Promotion fences every prepared hold on the old primary, so
+// before promoting anything the current active is probed once more: a
+// member that still answers as a live primary is left alone (the caller
+// re-dials it instead), and only one that fails the probe is failed
+// over.
 func (c *Coordinator) failover(info Info) bool {
 	if info.Standby == "" {
 		return false
@@ -301,6 +340,9 @@ func (c *Coordinator) failover(info Info) bool {
 	ep := c.endpointLocked(info)
 	cur := ep.active
 	c.mu.Unlock()
+	if rep, ok := c.probeStatus(context.Background(), cur); ok && rep.Role == "primary" {
+		return false
+	}
 	cand := info.Standby
 	if cur == info.Standby {
 		cand = info.Addr
@@ -415,6 +457,13 @@ func (c *Coordinator) call(ctx context.Context, info Info, op string, fn func(ct
 			// try the other member — promoting it if it is still a
 			// standby — so in-flight transactions finish on the survivor.
 			c.dropClient(info)
+			if ctx.Err() != nil {
+				// The caller canceled or its deadline lapsed; that says
+				// nothing about the member's health, and promoting the
+				// standby of a live primary would fence every prepared
+				// hold on it. Stop without touching the pair.
+				return fmt.Errorf("shard %s: %s: %w", info.ID, op, ctx.Err())
+			}
 			failedOver = c.failover(info)
 		}
 		if attempt >= c.Retries {
@@ -561,6 +610,19 @@ func (c *Coordinator) setupCrossShard(ctx context.Context, req core.ConnRequest,
 		return nil, err
 	}
 	if err := c.log.Append(&IntentRecord{State: IntentCommit, Txn: txn, Shards: marks}); err != nil {
+		if errors.Is(err, ErrNotReplicated) {
+			// The commit record is durable here and possibly in the
+			// standby's log too — only the ack was lost. Flipping to abort
+			// would diverge: a standby that promotes reads a log ending in
+			// this commit and re-drives it, re-admitting a connection whose
+			// shards we just aborted. Leave the transaction in doubt
+			// instead; whichever coordinator survives resolves it through
+			// Recover from its own durable decision.
+			c.markInDoubt(txn, IntentCommit, req, marks)
+			c.traceTxn(obs.KindInDoubt, txn, req.ID, obs.OutcomeError, wire.CodeInDoubt, start)
+			return nil, fmt.Errorf("%w: commit intent for %q durable but unreplicated: %v", ErrInDoubt, txn, err)
+		}
+		// Not durable anywhere: the commit never happened, presumed abort.
 		c.abortTxn(ctx, txn, req, legs, subs)
 		return nil, fmt.Errorf("commit intent for %q not durable: %w", txn, err)
 	}
@@ -917,12 +979,9 @@ func (c *Coordinator) Status(ctx context.Context) ([]wire.ShardStatusReport, err
 			}
 			st.PeerAddr = peer
 			st.PeerRole = "unreachable"
-			if pcl, perr := c.dialer()(peer); perr == nil {
-				if prep, perr := pcl.ShardStatusContext(ctx); perr == nil {
-					st.PeerRole = prep.Role
-					st.PeerEpoch = prep.Epoch
-				}
-				_ = pcl.Close()
+			if prep, ok := c.probeStatus(ctx, peer); ok {
+				st.PeerRole = prep.Role
+				st.PeerEpoch = prep.Epoch
 			}
 		}
 		out = append(out, *st)

@@ -64,6 +64,16 @@ type IntentRecord struct {
 	Epoch uint64 `json:"epoch,omitempty"`
 }
 
+// ErrNotReplicated distinguishes an append the standby coordinator did
+// not acknowledge from one that is not durable at all: the record IS in
+// the local log (written and fsynced) and may well be in the standby's
+// copy too — only the acknowledgement was lost. A caller seeing this
+// must treat the recorded decision as potentially visible to a promoted
+// standby; in particular a commit intent that failed replication must
+// not be flipped to abort, or the two coordinators would resolve the
+// transaction divergently. Match with errors.Is.
+var ErrNotReplicated = errors.New("not acknowledged by the standby coordinator")
+
 // MaxIntentEpoch returns the highest coordinator term recorded in recs;
 // zero when no epoch record exists (a coordinator that never failed
 // over runs at the implicit first term).
@@ -218,7 +228,7 @@ func (l *IntentLog) Append(rec *IntentRecord) error {
 	l.nextSeq++
 	if l.shipper != nil {
 		if err := l.shipper(rec.Seq, payload); err != nil {
-			return fmt.Errorf("shard: intent %q not replicated: %w", rec.Txn, err)
+			return fmt.Errorf("shard: intent %q durable locally but %w: %v", rec.Txn, ErrNotReplicated, err)
 		}
 	}
 	return nil

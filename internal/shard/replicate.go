@@ -54,12 +54,13 @@ type IntentPrimary struct {
 	// failover timer. Defaults to 1s (matching replica.Primary).
 	HeartbeatEvery time.Duration
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	sess   *intentSession
-	ln     net.Listener
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sess    *intentSession
+	shipped uint64 // highest intent seq written to the log (see Lag)
+	ln      net.Listener
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 // intentSession is one attached standby.
@@ -78,6 +79,7 @@ func NewIntentPrimary(coord *Coordinator, tracer obs.Tracer) *IntentPrimary {
 		HeartbeatEvery: time.Second,
 	}
 	p.cond = sync.NewCond(&p.mu)
+	p.shipped = coord.log.LastSeq()
 	coord.log.SetShipper(p.ship)
 	return p
 }
@@ -92,18 +94,21 @@ func (p *IntentPrimary) Attached() bool {
 }
 
 // Lag returns how many records the attached standby trails the log by
-// (zero when none is attached — nothing is owed to nobody).
+// (zero when none is attached — nothing is owed to nobody). It reads
+// the shipped watermark p tracks itself rather than the log's LastSeq:
+// the log's lock is held across ship() — which takes p.mu — so touching
+// it here, under p.mu, would invert the lock order and deadlock a
+// metrics scrape against an append waiting for its ack.
 func (p *IntentPrimary) Lag() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.sess == nil || p.sess.dead {
 		return 0
 	}
-	last := p.coord.log.LastSeq()
-	if last <= p.sess.acked {
+	if p.shipped <= p.sess.acked {
 		return 0
 	}
-	return last - p.sess.acked
+	return p.shipped - p.sess.acked
 }
 
 // RegisterMetrics exposes the coordinator pair's replication lag.
@@ -112,18 +117,33 @@ func (p *IntentPrimary) RegisterMetrics(reg *obs.Registry) {
 	reg.Help("atmcac_coord_standby_lag_records", "Intent records shipped to but not yet acknowledged by the standby coordinator.")
 }
 
+// sendMsg writes one message with timeout as a write deadline. Every
+// primary→standby write is bounded this way: ship() runs under the
+// intent log's lock and the heartbeat under p.mu, so a stream stalled
+// by TCP backpressure must surface as a dead session within the
+// timeout, not wedge the coordinator on a blocked write.
+func sendMsg(conn net.Conn, timeout time.Duration, msg replica.Msg) error {
+	_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+	err := replica.WriteMsg(conn, msg)
+	_ = conn.SetWriteDeadline(time.Time{})
+	return err
+}
+
 // ship is the IntentLog shipper hook: called under the log's lock after
 // each record is locally durable. With a standby attached it writes the
 // record and blocks until acknowledged (or AckTimeout); with none it
 // returns nil immediately.
 func (p *IntentPrimary) ship(seq uint64, payload []byte) error {
 	p.mu.Lock()
+	if seq > p.shipped {
+		p.shipped = seq
+	}
 	sess := p.sess
 	if sess == nil || sess.dead {
 		p.mu.Unlock()
 		return nil
 	}
-	err := replica.WriteMsg(sess.conn, replica.Msg{
+	err := sendMsg(sess.conn, p.AckTimeout, replica.Msg{
 		Type: replica.MsgRecord, Seq: seq, Epoch: p.coord.Epoch(), Payload: payload,
 	})
 	p.mu.Unlock()
@@ -235,7 +255,7 @@ func (p *IntentPrimary) handle(conn net.Conn) {
 	}
 	sess := &intentSession{conn: conn, acked: hello.Seq}
 	send := func(seq uint64, payload []byte) error {
-		return replica.WriteMsg(conn, replica.Msg{
+		return sendMsg(conn, p.AckTimeout, replica.Msg{
 			Type: replica.MsgRecord, Seq: seq, Epoch: p.coord.Epoch(), Payload: payload,
 		})
 	}
@@ -248,13 +268,24 @@ func (p *IntentPrimary) handle(conn net.Conn) {
 			p.detach(old)
 		}
 	}
+	// The standby acks every record as it lands, catch-up backlog
+	// included, so the read loop must drain them while the backlog
+	// streams: with the acks unread, a large backlog fills both TCP
+	// buffers and wedges send() — and with it the intent log's lock —
+	// for as long as the session lives.
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		p.readLoop(sess)
+	}()
 	if err := p.coord.log.CatchUp(hello.Seq, send, attach); err != nil {
-		_ = conn.Close()
+		p.detach(sess)
+		<-readDone
 		return
 	}
 	stop := make(chan struct{})
 	go p.heartbeatLoop(sess, stop)
-	p.readLoop(sess)
+	<-readDone
 	close(stop)
 	p.detach(sess)
 }
@@ -296,7 +327,7 @@ func (p *IntentPrimary) heartbeatLoop(sess *intentSession, stop chan struct{}) {
 				p.mu.Unlock()
 				return
 			}
-			err := replica.WriteMsg(sess.conn, replica.Msg{Type: replica.MsgHeartbeat, Epoch: p.coord.Epoch()})
+			err := sendMsg(sess.conn, p.AckTimeout, replica.Msg{Type: replica.MsgHeartbeat, Epoch: p.coord.Epoch()})
 			p.mu.Unlock()
 			if err != nil {
 				p.detach(sess)

@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"net"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"atmcac/internal/core"
+	"atmcac/internal/replica"
+	"atmcac/internal/traffic"
 	"atmcac/internal/wire"
 )
 
@@ -477,5 +480,258 @@ func TestAppendShippedIdempotentAndHoleTolerant(t *testing.T) {
 	defer log2.Close()
 	if len(recs) != 3 || recs[0].Seq != 1 || recs[1].Seq != 3 || recs[2].Seq != 7 {
 		t.Fatalf("records = %+v", recs)
+	}
+}
+
+// muteStandby attaches to the intent replication stream as a standby
+// coordinator and acks every record until told to stall — the shape of
+// a standby whose process wedged or whose acks are being lost while the
+// stream itself stays up.
+func muteStandby(t *testing.T, addr string, fromSeq uint64) (stall *atomic.Bool, conn net.Conn) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	if err := replica.WriteMsg(conn, replica.Msg{Type: replica.MsgHello, Seq: fromSeq, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	stall = new(atomic.Bool)
+	go func() {
+		for {
+			msg, err := replica.ReadMsg(conn)
+			if err != nil {
+				return
+			}
+			if msg.Type == replica.MsgRecord && !stall.Load() {
+				_ = replica.WriteMsg(conn, replica.Msg{Type: replica.MsgAck, Seq: msg.Seq})
+			}
+		}
+	}()
+	return stall, conn
+}
+
+// TestUnreplicatedCommitIntentGoesInDoubt pins the divergence guard: a
+// commit intent that is durable locally but never acknowledged by the
+// standby coordinator must leave the transaction IN DOUBT, not flip it
+// to abort — the standby may hold the commit record, and a takeover
+// would re-drive it while the shards saw aborts.
+func TestUnreplicatedCommitIntentGoesInDoubt(t *testing.T) {
+	c, _, _ := twoShardFixture(t)
+	prim := NewIntentPrimary(c, nil)
+	prim.AckTimeout = 200 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = prim.Serve(ln) }()
+	defer prim.Close()
+	stall, _ := muteStandby(t, ln.Addr().String(), c.IntentLog().LastSeq())
+	for start := time.Now(); !prim.Attached(); {
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("standby never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx := context.Background()
+	c.SetTestHook(func(point, txn string) error {
+		if point == "pre-commit" {
+			c.SetTestHook(nil)
+			stall.Store(true) // the commit intent ships but is never acked
+		}
+		return nil
+	})
+	_, err = c.Setup(ctx, crossReq("c1"))
+	if !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("setup with an unreplicated commit intent = %v, want ErrInDoubt", err)
+	}
+	if got := c.InDoubt(); len(got) != 1 {
+		t.Fatalf("in doubt = %v, want the interrupted txn", got)
+	}
+	// The durable decision is commit: recovery re-drives it everywhere,
+	// never an abort.
+	report, err := c.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Committed) != 1 || len(report.Aborted) != 0 || len(report.InDoubt) != 0 {
+		t.Fatalf("recover report = %+v, want the commit re-driven", report)
+	}
+	for _, id := range []string{"s0", "s1"} {
+		if ids := shardList(t, c, id); len(ids) != 1 || ids[0] != "c1" {
+			t.Fatalf("%s list = %v, want [c1]", id, ids)
+		}
+	}
+}
+
+// TestLagDuringBlockedShipDoesNotDeadlock pins the lock order between
+// the intent log and the shipper: Lag (a registered metrics gauge) must
+// not reach for the log's lock while an append is parked in waitAck, or
+// the scrape and the append deadlock each other permanently.
+func TestLagDuringBlockedShipDoesNotDeadlock(t *testing.T) {
+	c, _, _ := twoShardFixture(t)
+	prim := NewIntentPrimary(c, nil)
+	prim.AckTimeout = 300 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = prim.Serve(ln) }()
+	defer prim.Close()
+	stall, _ := muteStandby(t, ln.Addr().String(), c.IntentLog().LastSeq())
+	stall.Store(true) // never ack anything
+	for start := time.Now(); !prim.Attached(); {
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("standby never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stop := make(chan struct{})
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = prim.Lag()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// The begin intent ships, is never acked, and must fail within the
+	// ack timeout — while the Lag poller hammers the shipper's lock.
+	_, err = c.Setup(context.Background(), crossReq("c1"))
+	close(stop)
+	<-pollDone
+	if !errors.Is(err, ErrNotReplicated) {
+		t.Fatalf("setup against a mute standby = %v, want ErrNotReplicated", err)
+	}
+	// The mute session is detached; the coordinator proceeds unreplicated.
+	if _, err := c.Setup(context.Background(), crossReq2("c2")); err != nil {
+		t.Fatalf("setup after detaching the mute standby: %v", err)
+	}
+}
+
+// TestFailoverLeavesLivePrimaryAlone pins the promotion guard: a
+// transport blip must not fence a still-alive primary. failover probes
+// the active member first and refuses to promote while it answers as a
+// live primary.
+func TestFailoverLeavesLivePrimaryAlone(t *testing.T) {
+	c, _, addr1s := pairFixture(t)
+	info, ok := c.m.Lookup("s1")
+	if !ok {
+		t.Fatal("no shard s1")
+	}
+	if c.failover(info) {
+		t.Fatal("failover promoted the standby of a live primary")
+	}
+	cl, err := wire.Dial(addr1s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rep, err := cl.Replication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != "standby" {
+		t.Fatalf("standby role = %q after refused failover, want standby", rep.Role)
+	}
+	if got := c.ActiveAddr("s1"); got != info.Addr {
+		t.Fatalf("active s1 endpoint = %q, want the primary %q", got, info.Addr)
+	}
+}
+
+// TestCanceledContextDoesNotFailOver pins the other half of the guard:
+// a canceled caller says nothing about the member's health, so the
+// retry loop must stop without promoting the pair's standby.
+func TestCanceledContextDoesNotFailOver(t *testing.T) {
+	c, _, addr1s := pairFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := core.ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1,
+		Route: hops("sw2", "sw3")}
+	if _, err := c.Setup(ctx, req); err == nil {
+		t.Fatal("setup with a canceled context succeeded")
+	}
+	cl, err := wire.Dial(addr1s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rep, err := cl.Replication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != "standby" {
+		t.Fatalf("standby role = %q after a canceled call, want standby", rep.Role)
+	}
+	info, _ := c.m.Lookup("s1")
+	if got := c.ActiveAddr("s1"); got != info.Addr {
+		t.Fatalf("active s1 endpoint = %q, want the primary %q", got, info.Addr)
+	}
+}
+
+// TestStatusPeerProbeBounded pins the status fan-out against a
+// blackholed peer: a standby address that accepts connections but never
+// answers must come back as "unreachable" within the op timeout, not
+// stall the whole shard-status response.
+func TestStatusPeerProbeBounded(t *testing.T) {
+	addr0, _ := startShard(t, "s0", "sw0", "sw1")
+	addr1, _ := startShard(t, "s1", "sw2", "sw3")
+	mute, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mute.Close() })
+	go func() {
+		var held []net.Conn
+		defer func() {
+			for _, c := range held {
+				_ = c.Close()
+			}
+		}()
+		for {
+			conn, err := mute.Accept()
+			if err != nil {
+				return
+			}
+			held = append(held, conn) // accept and never answer
+		}
+	}()
+	m, err := ParseMap(fmt.Sprintf("s0@%s=sw0,sw1;s1@%s|%s=sw2,sw3", addr0, addr1, mute.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(m, nil, filepath.Join(t.TempDir(), "intent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.OpTimeout = 300 * time.Millisecond
+	start := time.Now()
+	sts, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("status fan-out took %v against a mute peer", elapsed)
+	}
+	var s1 *wire.ShardStatusReport
+	for i := range sts {
+		if sts[i].ShardID == "s1" {
+			s1 = &sts[i]
+		}
+	}
+	if s1 == nil {
+		t.Fatalf("no s1 in status reports %+v", sts)
+	}
+	if s1.PeerRole != "unreachable" {
+		t.Fatalf("mute peer role = %q, want unreachable", s1.PeerRole)
 	}
 }
