@@ -465,12 +465,12 @@ func BenchmarkWireSetupTeardown(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := atmcac.ConnID(fmt.Sprintf("c%d", i))
-		if _, err := client.Setup(atmcac.ConnRequest{
+		if _, err := client.Setup(context.Background(), atmcac.ConnRequest{
 			ID: id, Spec: atmcac.CBR(0.001), Priority: 1, Route: route,
 		}); err != nil {
 			b.Fatal(err)
 		}
-		if err := client.Teardown(id); err != nil {
+		if err := client.Teardown(context.Background(), id); err != nil {
 			b.Fatal(err)
 		}
 	}

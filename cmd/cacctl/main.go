@@ -91,9 +91,32 @@ func main() {
 	}
 }
 
+// dialProto dials addr under the -proto policy.
+func dialProto(addr, proto string) (*wire.Client, error) {
+	switch proto {
+	case "auto":
+		return wire.Dial(addr)
+	case "json":
+		return wire.DialJSON(addr)
+	case "binary":
+		client, err := wire.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		if client.Proto() != wire.ProtoBinary {
+			_ = client.Close()
+			return nil, fmt.Errorf("server at %s declined the binary codec (use -proto auto or json)", addr)
+		}
+		return client, nil
+	default:
+		return nil, fmt.Errorf("unknown -proto %q (auto, binary, json)", proto)
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("cacctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7801", "cacd address")
+	proto := fs.String("proto", "auto", "wire codec: auto (negotiate binary, fall back to JSON), binary (require it), or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,7 +134,7 @@ func run(args []string) error {
 	if rest[0] == "shard" && len(rest) > 1 && rest[1] == "route" {
 		return shardRoute(rest[2:])
 	}
-	client, err := wire.Dial(*addr)
+	client, err := dialProto(*addr, *proto)
 	if err != nil {
 		return err
 	}
@@ -246,7 +269,7 @@ func failLink(client *wire.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	report, err := client.FailLink(from, to)
+	report, err := client.FailLink(context.Background(), from, to)
 	if err != nil {
 		return err
 	}
@@ -271,7 +294,7 @@ func restoreLink(client *wire.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := client.RestoreLink(from, to); err != nil {
+	if err := client.RestoreLink(context.Background(), from, to); err != nil {
 		return err
 	}
 	fmt.Printf("link %s->%s restored\n", from, to)
@@ -279,7 +302,7 @@ func restoreLink(client *wire.Client, args []string) error {
 }
 
 func health(client *wire.Client) error {
-	h, err := client.Health()
+	h, err := client.Health(context.Background())
 	if err != nil {
 		return err
 	}
@@ -331,7 +354,7 @@ func metrics(client *wire.Client, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	h, err := client.Health()
+	h, err := client.Health(context.Background())
 	if err != nil {
 		return err
 	}
@@ -356,7 +379,7 @@ func metrics(client *wire.Client, args []string) error {
 // replication epoch, persists a snapshot at the new epoch, and starts
 // accepting writes; the old primary is fenced when it next makes contact.
 func promote(client *wire.Client) error {
-	rep, err := client.Promote()
+	rep, err := client.Promote(context.Background())
 	if err != nil {
 		return err
 	}
@@ -367,7 +390,7 @@ func promote(client *wire.Client) error {
 // replication prints the node's replication posture: role, epoch,
 // stream liveness and the ack watermark/lag.
 func replication(client *wire.Client) error {
-	rep, err := client.Replication()
+	rep, err := client.Replication(context.Background())
 	if err != nil {
 		return err
 	}
@@ -409,7 +432,7 @@ func shardCmd(client *wire.Client, args []string) error {
 	}
 	switch args[0] {
 	case "status":
-		st, fleet, warning, err := client.ShardStatusFleet()
+		st, fleet, warning, err := client.ShardStatusFleet(context.Background())
 		if err != nil {
 			return err
 		}
@@ -420,7 +443,7 @@ func shardCmd(client *wire.Client, args []string) error {
 		}
 		return nil
 	case "reap":
-		reaped, err := client.ShardReap()
+		reaped, err := client.ShardReap(context.Background())
 		if err != nil {
 			return err
 		}
@@ -530,7 +553,7 @@ func shardRoute(args []string) error {
 }
 
 func audit(client *wire.Client) error {
-	violations, err := client.Audit()
+	violations, err := client.Audit(context.Background())
 	if err != nil {
 		return err
 	}
@@ -554,7 +577,7 @@ func inspect(client *wire.Client, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reports, err := client.Inspect(*swName)
+	reports, err := client.Inspect(context.Background(), *swName)
 	if err != nil {
 		return err
 	}
@@ -621,12 +644,6 @@ func setup(client *wire.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 	req := core.ConnRequest{
 		ID:         core.ConnID(*id),
 		Spec:       spec,
@@ -634,12 +651,14 @@ func setup(client *wire.Client, args []string) error {
 		Route:      route,
 		DelayBound: *delay,
 	}
-	var adm *wire.Admission
-	if *retry {
-		adm, err = client.SetupWithRetry(ctx, req, &overload.Backoff{})
-	} else {
-		adm, err = client.SetupContext(ctx, req)
+	var opts []wire.CallOption
+	if *timeout > 0 {
+		opts = append(opts, wire.WithTimeout(*timeout))
 	}
+	if *retry {
+		opts = append(opts, wire.WithRetry(&overload.Backoff{}))
+	}
+	adm, err := client.Setup(context.Background(), req, opts...)
 	if err != nil {
 		return err
 	}
@@ -657,7 +676,7 @@ func teardown(client *wire.Client, args []string) error {
 	if *id == "" {
 		return fmt.Errorf("teardown requires -id")
 	}
-	if err := client.Teardown(core.ConnID(*id)); err != nil {
+	if err := client.Teardown(context.Background(), core.ConnID(*id)); err != nil {
 		return err
 	}
 	fmt.Printf("released %s\n", *id)
@@ -665,7 +684,7 @@ func teardown(client *wire.Client, args []string) error {
 }
 
 func list(client *wire.Client) error {
-	ids, err := client.List()
+	ids, err := client.List(context.Background())
 	if err != nil {
 		return err
 	}
@@ -694,7 +713,7 @@ func bound(client *wire.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	d, err := client.RouteBound(route, core.Priority(*prio))
+	d, err := client.RouteBound(context.Background(), route, core.Priority(*prio))
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -157,7 +158,7 @@ func TestEndToEndConcurrentSessions(t *testing.T) {
 				return
 			}
 			defer client.Close()
-			adm, err := client.Setup(req)
+			adm, err := client.Setup(context.Background(), req)
 			if err != nil {
 				t.Errorf("session %d: setup: %v", g, err)
 				return
@@ -165,11 +166,11 @@ func TestEndToEndConcurrentSessions(t *testing.T) {
 			if adm.ID != req.ID {
 				t.Errorf("session %d: admitted as %q", g, adm.ID)
 			}
-			if _, err := client.RouteBound(req.Route, req.Priority); err != nil {
+			if _, err := client.RouteBound(context.Background(), req.Route, req.Priority); err != nil {
 				t.Errorf("session %d: bound: %v", g, err)
 			}
 			if !keep {
-				if err := client.Teardown(req.ID); err != nil {
+				if err := client.Teardown(context.Background(), req.ID); err != nil {
 					t.Errorf("session %d: teardown: %v", g, err)
 				}
 			}
@@ -190,14 +191,14 @@ func TestEndToEndConcurrentSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	established, err := client.List()
+	established, err := client.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := sortedIDs(established); got != sortedKeys(want) {
 		t.Fatalf("established set mismatch:\n got %s\nwant %s", got, sortedKeys(want))
 	}
-	if violations, err := client.Audit(); err != nil || len(violations) != 0 {
+	if violations, err := client.Audit(context.Background()); err != nil || len(violations) != 0 {
 		t.Fatalf("audit after load: violations=%v err=%v", violations, err)
 	}
 
@@ -338,7 +339,7 @@ func TestEndToEndFailover(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := client.Setup(core.ConnRequest{
+		if _, err := client.Setup(context.Background(), core.ConnRequest{
 			ID: core.ConnID(fmt.Sprintf("bc-%d", origin)), Spec: traffic.CBR(0.03),
 			Priority: 1, Route: route,
 		}); err != nil {
@@ -349,14 +350,14 @@ func TestEndToEndFailover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "tight", Spec: traffic.CBR(0.03), Priority: 1,
 		Route: tightRoute, DelayBound: 200,
 	}); err != nil {
 		t.Fatalf("setup tight: %v", err)
 	}
 
-	report, err := client.FailLink(rtnet.SwitchName(2), rtnet.SwitchName(3))
+	report, err := client.FailLink(context.Background(), rtnet.SwitchName(2), rtnet.SwitchName(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestEndToEndFailover(t *testing.T) {
 		}
 	}
 
-	h, err := client.Health()
+	h, err := client.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,10 +386,10 @@ func TestEndToEndFailover(t *testing.T) {
 		t.Fatalf("degraded health = %+v", h)
 	}
 
-	if err := client.RestoreLink(rtnet.SwitchName(2), rtnet.SwitchName(3)); err != nil {
+	if err := client.RestoreLink(context.Background(), rtnet.SwitchName(2), rtnet.SwitchName(3)); err != nil {
 		t.Fatal(err)
 	}
-	h, err = client.Health()
+	h, err = client.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestEndToEndFailover(t *testing.T) {
 	}
 	// The tight connection stayed down — degradation was reported, not
 	// hidden; it is re-admissible over the healed ring.
-	ids, err := client.List()
+	ids, err := client.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +407,7 @@ func TestEndToEndFailover(t *testing.T) {
 			t.Fatal("rejected connection reappeared without a new setup")
 		}
 	}
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "tight", Spec: traffic.CBR(0.03), Priority: 1,
 		Route: tightRoute, DelayBound: 200,
 	}); err != nil {
@@ -523,7 +524,7 @@ func TestEndToEndMetricsOracle(t *testing.T) {
 				return
 			}
 			defer c.Close()
-			_, err = c.Setup(req)
+			_, err = c.Setup(context.Background(), req)
 			tallyMu.Lock()
 			defer tallyMu.Unlock()
 			switch {
@@ -560,7 +561,7 @@ func TestEndToEndMetricsOracle(t *testing.T) {
 
 	// Phase 2: tear down the first torn connections (recovery class: free).
 	for i := 0; i < torn; i++ {
-		if err := client.Teardown(core.ConnID(fmt.Sprintf("good-%d", i))); err != nil {
+		if err := client.Teardown(context.Background(), core.ConnID(fmt.Sprintf("good-%d", i))); err != nil {
 			t.Fatalf("teardown good-%d: %v", i, err)
 		}
 	}
@@ -568,7 +569,7 @@ func TestEndToEndMetricsOracle(t *testing.T) {
 	// Phase 3: fail ring00 -> ring01. Of the survivors (origins 5,0,1,2,3),
 	// only the broadcast from origin 1 avoids the link; the other four are
 	// evicted and re-admitted over the wrapped ring.
-	report, err := client.FailLink(rtnet.SwitchName(0), rtnet.SwitchName(1))
+	report, err := client.FailLink(context.Background(), rtnet.SwitchName(0), rtnet.SwitchName(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -586,7 +587,7 @@ func TestEndToEndMetricsOracle(t *testing.T) {
 		}
 		crankbackHops += o.Hops
 	}
-	if err := client.RestoreLink(rtnet.SwitchName(0), rtnet.SwitchName(1)); err != nil {
+	if err := client.RestoreLink(context.Background(), rtnet.SwitchName(0), rtnet.SwitchName(1)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -595,7 +596,7 @@ func TestEndToEndMetricsOracle(t *testing.T) {
 	// oracle only relies on the client-observed split.
 	okLists, shedLists := 0, 0
 	for i := 0; i < listBurst; i++ {
-		switch _, err := client.List(); {
+		switch _, err := client.List(context.Background()); {
 		case err == nil:
 			okLists++
 		case errors.Is(err, wire.ErrOverloaded):
@@ -642,7 +643,10 @@ func TestEndToEndMetricsOracle(t *testing.T) {
 	assertVar("atmcac_failover_crankback_hops_total", float64(crankbackHops))
 	// Journal: one synced append per acked mutation — accepted setups,
 	// teardowns, the fail-link record and the restore-link record.
-	// Re-admissions ride inside the fail-link record.
+	// Re-admissions ride inside the fail-link record. Setups and
+	// teardowns fsync through the group-commit path, but this client is
+	// sequential, so every group holds exactly one record and the fsync
+	// count still equals the append count.
 	appends := float64(accepted + torn + 2)
 	assertVar("atmcac_journal_append_seconds_count", appends)
 	assertVar("atmcac_journal_fsync_seconds_count", appends)
@@ -679,7 +683,7 @@ func TestEndToEndMetricsOracle(t *testing.T) {
 
 	// The health operation carries the same snapshot over the CAC protocol
 	// itself (the cacctl metrics path) — spot-check parity with the scrape.
-	h, err := client.Health()
+	h, err := client.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -786,14 +790,14 @@ func TestEndToEndJournalDurability(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := client.Setup(core.ConnRequest{
+		if _, err := client.Setup(context.Background(), core.ConnRequest{
 			ID: core.ConnID(fmt.Sprintf("jc-%d", i)), Spec: traffic.CBR(0.02),
 			Priority: 1, Route: route,
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := client.Teardown("jc-1"); err != nil {
+	if err := client.Teardown(context.Background(), "jc-1"); err != nil {
 		t.Fatal(err)
 	}
 	_ = client.Close()
@@ -804,7 +808,7 @@ func TestEndToEndJournalDurability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ids, err := client2.List()
+	ids, err := client2.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -59,13 +60,13 @@ func waitReplication(t *testing.T, client *wire.Client, cond func(*wire.Replicat
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		rep, err := client.Replication()
+		rep, err := client.Replication(context.Background())
 		if err == nil && cond(rep) {
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	rep, err := client.Replication()
+	rep, err := client.Replication(context.Background())
 	t.Fatalf("replication condition never met (last report %+v, err %v)", rep, err)
 }
 
@@ -78,7 +79,7 @@ func setupConn(client *wire.Client, id string) error {
 	if err != nil {
 		return err
 	}
-	_, err = client.Setup(core.ConnRequest{
+	_, err = client.Setup(context.Background(), core.ConnRequest{
 		ID: core.ConnID(id), Spec: traffic.CBR(0.01), Priority: 1, Route: route,
 	})
 	return err
@@ -126,7 +127,7 @@ func TestReplicationEndToEnd(t *testing.T) {
 		t.Fatalf("standby setup error = %v, want code %s", err, wire.CodeStandby)
 	}
 
-	rep, err := sc.Promote()
+	rep, err := sc.Promote(context.Background())
 	if err != nil {
 		t.Fatalf("promote: %v", err)
 	}

@@ -49,7 +49,7 @@ func TestEndToEndShardedSetup(t *testing.T) {
 		{Switch: "ring02", In: 5, Out: 0},
 		{Switch: "ring03", In: 5, Out: 0},
 	}
-	adm, err := cc.Setup(core.ConnRequest{
+	adm, err := cc.Setup(context.Background(), core.ConnRequest{
 		ID: "xconn", Spec: traffic.CBR(0.05), Priority: 1, Route: route,
 	})
 	if err != nil {
@@ -64,21 +64,21 @@ func TestEndToEndShardedSetup(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ids, err := sc.List()
+		ids, err := sc.List(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(ids) != 1 || ids[0] != "xconn" {
 			t.Fatalf("shard %s lists %v, want [xconn]", shardAddr.id, ids)
 		}
-		h, err := sc.Health()
+		h, err := sc.Health(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
 		if h.ShardID != shardAddr.id || h.Prepared != 0 {
 			t.Fatalf("shard %s health: shardId=%q prepared=%d", shardAddr.id, h.ShardID, h.Prepared)
 		}
-		st, err := sc.ShardStatus()
+		st, err := sc.ShardStatus(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +89,7 @@ func TestEndToEndShardedSetup(t *testing.T) {
 	}
 
 	// The coordinator's own health speaks for the fleet.
-	h, err := cc.Health()
+	h, err := cc.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestEndToEndShardedSetup(t *testing.T) {
 		t.Fatalf("coordinator health: role=%q connections=%d", h.Role, h.Connections)
 	}
 
-	if err := cc.Teardown("xconn"); err != nil {
+	if err := cc.Teardown(context.Background(), "xconn"); err != nil {
 		t.Fatalf("teardown through coordinator: %v", err)
 	}
 	for _, addr := range []string{aAddr, bAddr} {
@@ -105,7 +105,7 @@ func TestEndToEndShardedSetup(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ids, err := sc.List()
+		ids, err := sc.List(context.Background())
 		sc.Close()
 		if err != nil {
 			t.Fatal(err)
@@ -125,11 +125,11 @@ func TestEndToEndShardedSetup(t *testing.T) {
 		{Switch: "ring00", In: 5, Out: 0},
 	}
 	wrap := core.ConnRequest{ID: "wconn", Spec: traffic.CBR(0.05), Priority: 1, Route: wrapRoute}
-	if _, err := cc.Setup(wrap); err == nil {
+	if _, err := cc.Setup(context.Background(), wrap); err == nil {
 		t.Fatal("unbounded wrapping setup admitted through coordinator")
 	}
 	wrap.DelayBound = 4 * 40
-	if _, err := cc.Setup(wrap); err != nil {
+	if _, err := cc.Setup(context.Background(), wrap); err != nil {
 		t.Fatalf("bounded wrapping setup through coordinator: %v", err)
 	}
 	for _, addr := range []string{aAddr, bAddr} {
@@ -137,7 +137,7 @@ func TestEndToEndShardedSetup(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ids, err := sc.List()
+		ids, err := sc.List(context.Background())
 		sc.Close()
 		if err != nil {
 			t.Fatal(err)
@@ -146,7 +146,7 @@ func TestEndToEndShardedSetup(t *testing.T) {
 			t.Fatalf("shard %s lists %v, want [wconn]", addr, ids)
 		}
 	}
-	if err := cc.Teardown("wconn"); err != nil {
+	if err := cc.Teardown(context.Background(), "wconn"); err != nil {
 		t.Fatalf("teardown of wrapped connection: %v", err)
 	}
 
@@ -284,27 +284,27 @@ func TestEndToEndCoordinatorTakeover(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cc.Close()
-	h, err := cc.Health()
+	h, err := cc.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if h.Role != "coordinator" || h.Epoch != 2 {
 		t.Fatalf("promoted coordinator health: role=%q epoch=%d, want coordinator at term 2", h.Role, h.Epoch)
 	}
-	ids, err := cc.List()
+	ids, err := cc.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ids) != 1 || ids[0] != "pre-takeover" {
 		t.Fatalf("promoted coordinator lists %v, want [pre-takeover]", ids)
 	}
-	if _, err := cc.Setup(core.ConnRequest{
+	if _, err := cc.Setup(context.Background(), core.ConnRequest{
 		ID: "post-takeover", Spec: traffic.CBR(0.05), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatalf("setup through the promoted coordinator: %v", err)
 	}
 	for _, id := range []core.ConnID{"pre-takeover", "post-takeover"} {
-		if err := cc.Teardown(id); err != nil {
+		if err := cc.Teardown(context.Background(), id); err != nil {
 			t.Fatalf("teardown %s through the promoted coordinator: %v", id, err)
 		}
 	}

@@ -110,7 +110,7 @@ func run() error {
 			Route:    route,
 		}
 		distributed, dErr := fabric.Connect(ctx, req)
-		central, cErr := client.Setup(req)
+		central, cErr := client.Setup(context.Background(), req)
 
 		if (dErr == nil) != (cErr == nil) {
 			return fmt.Errorf("deployments disagree on %s: distributed=%v central=%v", req.ID, dErr, cErr)
@@ -130,20 +130,20 @@ func run() error {
 		}
 	}
 
-	ids, err := client.List()
+	ids, err := client.List(context.Background())
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\ncentral server carries %d connections; releasing them:\n", len(ids))
 	for _, id := range ids {
-		if err := client.Teardown(id); err != nil {
+		if err := client.Teardown(context.Background(), id); err != nil {
 			return err
 		}
 		if err := fabric.Disconnect(ctx, id); err != nil {
 			return err
 		}
 	}
-	ids, err = client.List()
+	ids, err = client.List(context.Background())
 	if err != nil {
 		return err
 	}

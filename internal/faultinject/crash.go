@@ -11,6 +11,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -647,7 +648,7 @@ func (h *CrashHarness) applyWire(e *crashEpoch, ev Event, exp *expectation, fail
 		if err != nil {
 			return false, fmt.Errorf("faultinject: route for %s: %w", ev.ID, err)
 		}
-		_, serr := e.client.Setup(core.ConnRequest{
+		_, serr := e.client.Setup(context.Background(), core.ConnRequest{
 			ID: ev.ID, Spec: traffic.CBR(ev.PCR), Priority: 1,
 			Route: route, DelayBound: ev.DelayBound,
 		})
@@ -663,7 +664,7 @@ func (h *CrashHarness) applyWire(e *crashEpoch, ev Event, exp *expectation, fail
 		exp.ids[ev.ID] = struct{}{}
 		return true, nil
 	case KindTeardown:
-		if terr := e.client.Teardown(ev.ID); terr != nil {
+		if terr := e.client.Teardown(context.Background(), ev.ID); terr != nil {
 			if isUnknownConn(terr) {
 				delete(exp.ids, ev.ID)
 				return true, nil
@@ -673,7 +674,7 @@ func (h *CrashHarness) applyWire(e *crashEpoch, ev Event, exp *expectation, fail
 		delete(exp.ids, ev.ID)
 		return true, nil
 	case KindFail:
-		report, ferr := e.client.FailLink(rtnet.SwitchName(ev.Node), rtnet.SwitchName((ev.Node+1)%h.Ring))
+		report, ferr := e.client.FailLink(context.Background(), rtnet.SwitchName(ev.Node), rtnet.SwitchName((ev.Node+1)%h.Ring))
 		if ferr != nil {
 			return false, nil
 		}
@@ -685,7 +686,7 @@ func (h *CrashHarness) applyWire(e *crashEpoch, ev Event, exp *expectation, fail
 		*failedFrom = ev.Node
 		return true, nil
 	case KindRestore:
-		if rerr := e.client.RestoreLink(rtnet.SwitchName(ev.Node), rtnet.SwitchName((ev.Node+1)%h.Ring)); rerr != nil {
+		if rerr := e.client.RestoreLink(context.Background(), rtnet.SwitchName(ev.Node), rtnet.SwitchName((ev.Node+1)%h.Ring)); rerr != nil {
 			return false, nil
 		}
 		*failedFrom = -1

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"os"
@@ -207,7 +208,7 @@ func churnOnce(t *testing.T, crashAt int) {
 					t.Errorf("route: %v", err)
 					return
 				}
-				_, serr := client.Setup(core.ConnRequest{
+				_, serr := client.Setup(context.Background(), core.ConnRequest{
 					ID: id, Spec: traffic.CBR(0.005), Priority: 1, Route: route,
 				})
 				mu.Lock()
@@ -217,7 +218,7 @@ func churnOnce(t *testing.T, crashAt int) {
 					continue
 				}
 				if i%2 == 1 { // tear down every other admitted connection
-					terr := client.Teardown(id)
+					terr := client.Teardown(context.Background(), id)
 					mu.Lock()
 					outcomes[id].tornTried = true
 					outcomes[id].tornOK = terr == nil

@@ -214,7 +214,7 @@ func inspectMember(addr string) (map[core.ConnID]bool, *wire.HealthReport, *wire
 		return nil, nil, nil, err
 	}
 	defer cl.Close()
-	ids, err := cl.List()
+	ids, err := cl.List(context.Background())
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -222,14 +222,14 @@ func inspectMember(addr string) (map[core.ConnID]bool, *wire.HealthReport, *wire
 	for _, id := range ids {
 		set[id] = true
 	}
-	health, err := cl.Health()
+	health, err := cl.Health(context.Background())
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if _, err := cl.ShardReap(); err != nil {
+	if _, err := cl.ShardReap(context.Background()); err != nil {
 		return nil, nil, nil, err
 	}
-	st, err := cl.ShardStatus()
+	st, err := cl.ShardStatus(context.Background())
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -289,7 +289,7 @@ func (h *HAShardHarness) Run(fault HAFault) (*HAResult, error) {
 				return false
 			}
 			defer cl.Close()
-			rep, err := cl.Replication()
+			rep, err := cl.Replication(context.Background())
 			return err == nil && rep.Connected
 		}) {
 			return nil, fmt.Errorf("faultinject: %s standby never connected", p.id)
@@ -524,12 +524,12 @@ func (h *HAShardHarness) Run(fault HAFault) (*HAResult, error) {
 		}
 		zombie := core.ConnRequest{ID: "zombie", Spec: traffic.CBR(0.02), Priority: 1,
 			Route: routeOver(pairs[victimPair].switches, port+5)}
-		if _, zerr := zcl.Setup(zombie); zerr == nil {
+		if _, zerr := zcl.Setup(context.Background(), zombie); zerr == nil {
 			_ = zcl.Close()
 			return nil, fmt.Errorf("faultinject: superseded ex-primary accepted a write")
 		}
 		fenced := waitFor(5*time.Second, func() bool {
-			rep, rerr := zcl.Replication()
+			rep, rerr := zcl.Replication(context.Background())
 			return rerr == nil && rep.Role == "fenced"
 		})
 		_ = zcl.Close()

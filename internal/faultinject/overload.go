@@ -10,6 +10,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -198,7 +199,7 @@ func (h *OverloadHarness) Apply(ev OverloadEvent) (OverloadOutcome, error) {
 		if err != nil {
 			return out, err
 		}
-		_, err = h.client.Setup(core.ConnRequest{
+		_, err = h.client.Setup(context.Background(), core.ConnRequest{
 			ID:         ev.ID,
 			Spec:       traffic.CBR(ev.PCR),
 			Priority:   prio,
@@ -210,10 +211,10 @@ func (h *OverloadHarness) Apply(ev OverloadEvent) (OverloadOutcome, error) {
 			h.setupsUp++
 		}
 	case OvRead:
-		_, err := h.client.List()
+		_, err := h.client.List(context.Background())
 		h.recordResult(&out, err)
 	case OvTeardown:
-		err := h.client.Teardown(ev.ID)
+		err := h.client.Teardown(context.Background(), ev.ID)
 		h.recordResult(&out, err)
 		if !out.Shed && out.Err == nil {
 			h.setupsUp--
@@ -225,7 +226,7 @@ func (h *OverloadHarness) Apply(ev OverloadEvent) (OverloadOutcome, error) {
 		}
 		from := rtnet.SwitchName(ev.Node)
 		to := rtnet.SwitchName((ev.Node + 1) % h.cfg.RingNodes)
-		rep, err := h.client.FailLink(from, to)
+		rep, err := h.client.FailLink(context.Background(), from, to)
 		h.recordResult(&out, err)
 		out.Report = rep
 		if !out.Shed && out.Err == nil {
@@ -243,7 +244,7 @@ func (h *OverloadHarness) Apply(ev OverloadEvent) (OverloadOutcome, error) {
 		}
 		from := rtnet.SwitchName(ev.Node)
 		to := rtnet.SwitchName((ev.Node + 1) % h.cfg.RingNodes)
-		err := h.client.RestoreLink(from, to)
+		err := h.client.RestoreLink(context.Background(), from, to)
 		h.recordResult(&out, err)
 		if !out.Shed && out.Err == nil {
 			h.failedFrom = -1

@@ -14,6 +14,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -442,7 +443,7 @@ func (h *ReplicaHarness) runCrash(fault ReplicaFault) (*ReplicaResult, *CrashFS,
 		crashTarget.Store(pn)
 		defer pn.stop()
 		if !waitFor(5*time.Second, func() bool {
-			rep, rerr := pn.client.Replication()
+			rep, rerr := pn.client.Replication(context.Background())
 			return rerr == nil && rep.Connected
 		}) {
 			return nil, cfs, fmt.Errorf("faultinject: standby never connected")
@@ -582,7 +583,7 @@ func (h *ReplicaHarness) runPartition(fault ReplicaFault) (*ReplicaResult, error
 	}
 	defer pn.stop()
 	if !waitFor(5*time.Second, func() bool {
-		rep, rerr := pn.client.Replication()
+		rep, rerr := pn.client.Replication(context.Background())
 		return rerr == nil && rep.Connected
 	}) {
 		return nil, fmt.Errorf("faultinject: standby never connected")
@@ -641,7 +642,7 @@ func (h *ReplicaHarness) runPartition(fault ReplicaFault) (*ReplicaResult, error
 	// The old primary must fence itself and refuse writes with the
 	// split-brain code; its state must not mutate (no zombie writes).
 	if !waitFor(5*time.Second, func() bool {
-		rep, rerr := pn.client.Replication()
+		rep, rerr := pn.client.Replication(context.Background())
 		return rerr == nil && rep.Role == "fenced"
 	}) {
 		return nil, fmt.Errorf("faultinject: ex-primary never fenced")
@@ -650,7 +651,7 @@ func (h *ReplicaHarness) runPartition(fault ReplicaFault) (*ReplicaResult, error
 	if rerr != nil {
 		return nil, rerr
 	}
-	_, serr := pn.client.Setup(core.ConnRequest{ID: "zombie", Spec: traffic.CBR(0.02), Priority: 1, Route: route})
+	_, serr := pn.client.Setup(context.Background(), core.ConnRequest{ID: "zombie", Spec: traffic.CBR(0.02), Priority: 1, Route: route})
 	var remote *wire.RemoteError
 	if !errors.As(serr, &remote) || remote.Code != wire.CodeFenced {
 		return nil, fmt.Errorf("faultinject: fenced ex-primary setup error = %v, want code %s", serr, wire.CodeFenced)
@@ -679,21 +680,21 @@ func (h *ReplicaHarness) apply(n *replicaNode, ev Event, failedFrom *int) (bool,
 		if err != nil {
 			return false, fmt.Errorf("faultinject: route for %s: %w", ev.ID, err)
 		}
-		_, serr := n.client.Setup(core.ConnRequest{
+		_, serr := n.client.Setup(context.Background(), core.ConnRequest{
 			ID: ev.ID, Spec: traffic.CBR(ev.PCR), Priority: 1,
 			Route: route, DelayBound: ev.DelayBound,
 		})
 		return serr == nil, nil
 	case KindTeardown:
-		return n.client.Teardown(ev.ID) == nil, nil
+		return n.client.Teardown(context.Background(), ev.ID) == nil, nil
 	case KindFail:
-		if _, ferr := n.client.FailLink(rtnet.SwitchName(ev.Node), rtnet.SwitchName((ev.Node+1)%h.Ring)); ferr != nil {
+		if _, ferr := n.client.FailLink(context.Background(), rtnet.SwitchName(ev.Node), rtnet.SwitchName((ev.Node+1)%h.Ring)); ferr != nil {
 			return false, nil
 		}
 		*failedFrom = ev.Node
 		return true, nil
 	case KindRestore:
-		if rerr := n.client.RestoreLink(rtnet.SwitchName(ev.Node), rtnet.SwitchName((ev.Node+1)%h.Ring)); rerr != nil {
+		if rerr := n.client.RestoreLink(context.Background(), rtnet.SwitchName(ev.Node), rtnet.SwitchName((ev.Node+1)%h.Ring)); rerr != nil {
 			return false, nil
 		}
 		*failedFrom = -1

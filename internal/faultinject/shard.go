@@ -281,7 +281,7 @@ func (n *shardNode) list() (map[core.ConnID]bool, *wire.HealthReport, *wire.Shar
 		return nil, nil, nil, err
 	}
 	defer cl.Close()
-	ids, err := cl.List()
+	ids, err := cl.List(context.Background())
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -289,14 +289,14 @@ func (n *shardNode) list() (map[core.ConnID]bool, *wire.HealthReport, *wire.Shar
 	for _, id := range ids {
 		set[id] = true
 	}
-	health, err := cl.Health()
+	health, err := cl.Health(context.Background())
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if _, err := cl.ShardReap(); err != nil {
+	if _, err := cl.ShardReap(context.Background()); err != nil {
 		return nil, nil, nil, err
 	}
-	st, err := cl.ShardStatus()
+	st, err := cl.ShardStatus(context.Background())
 	if err != nil {
 		return nil, nil, nil, err
 	}

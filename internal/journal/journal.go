@@ -289,6 +289,12 @@ type Log struct {
 	next    uint64
 	broken  bool
 	observe AppendObserver
+	// Unsynced tail: frames appended with sync=false since the last
+	// successful fsync. Sync() — the group-commit hook — fsyncs them in
+	// one call and, on failure, truncates exactly this tail so records
+	// that were never acknowledged durable cannot replay.
+	dirty      int64
+	dirtyCount int
 }
 
 // SetAppendObserver installs the per-append callback. It must be set
@@ -411,6 +417,66 @@ func (l *Log) AppendPayload(rec *Record, sync bool) (payload []byte, err error) 
 	return frame[frameHeaderLen:], nil
 }
 
+// AppendAll appends every record in one write call without syncing —
+// the batch counterpart of a sync=false Append, for callers that follow
+// up with Sync (group commit). Encoding all frames into one buffer
+// makes a batch of N records cost one syscall instead of N. The write
+// is all-or-nothing for accounting purposes: on error the file is
+// truncated back to the last known-good length and no record counts as
+// appended, which is the contract a batch fan-out needs — either every
+// record is in the unsynced tail or none is. Sequences for the whole
+// batch are burned even on failure, same rationale as AppendPayload.
+func (l *Log) AppendAll(recs []*Record) (payloads [][]byte, err error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	var start time.Time
+	if l.observe != nil {
+		start = time.Now()
+	}
+	if l.broken {
+		return nil, ErrBroken
+	}
+	payloads = make([][]byte, len(recs))
+	frameLens := make([]int, len(recs))
+	var buf []byte
+	for i, rec := range recs {
+		rec.Seq = l.next
+		l.next++ // burned even on failure, as in AppendPayload
+		frame, ferr := EncodeFrame(*rec)
+		if ferr != nil {
+			if l.observe != nil {
+				l.observe(time.Since(start), 0, 0, ferr)
+			}
+			return nil, ferr
+		}
+		frameLens[i] = len(frame)
+		payloads[i] = frame[frameHeaderLen:]
+		buf = append(buf, frame...)
+	}
+	if _, werr := l.f.Write(buf); werr != nil {
+		l.heal()
+		err = fmt.Errorf("journal: batch append: %w", werr)
+		if l.observe != nil {
+			l.observe(time.Since(start), 0, len(buf), err)
+		}
+		return nil, err
+	}
+	l.size += int64(len(buf))
+	l.count += len(recs)
+	l.dirty += int64(len(buf))
+	l.dirtyCount += len(recs)
+	if l.observe != nil {
+		// One observation per record so append counts stay the number
+		// of records persisted, with the batch's cost split evenly.
+		per := time.Since(start) / time.Duration(len(recs))
+		for _, n := range frameLens {
+			l.observe(per, 0, n, nil)
+		}
+	}
+	return payloads, nil
+}
+
 // AppendEntry persists an already-encoded payload under the sequence its
 // primary assigned, advancing the local counter past it. This is the
 // standby's append: the shipped payload is framed and written unmodified,
@@ -462,9 +528,16 @@ func (l *Log) writeFrame(seq uint64, frame []byte, sync bool, syncDur *time.Dura
 			l.broken = true
 			return fmt.Errorf("journal: sync seq %d: %w", seq, serr)
 		}
+		// A successful fsync covers every byte written so far, including
+		// any unsynced tail left by earlier sync=false appends.
+		l.dirty, l.dirtyCount = 0, 0
 	}
 	l.size += int64(len(frame))
 	l.count++
+	if !sync {
+		l.dirty += int64(len(frame))
+		l.dirtyCount++
+	}
 	return nil
 }
 
@@ -473,6 +546,59 @@ func (l *Log) heal() {
 	if err := l.f.Truncate(l.size); err != nil {
 		l.broken = true
 	}
+}
+
+// Unsynced reports the number of frames appended with sync=false since
+// the last successful fsync — the records one Sync call would cover.
+func (l *Log) Unsynced() int { return l.dirtyCount }
+
+// Sync is the group-commit hook: it fsyncs every frame appended with
+// sync=false since the last durable point, so a caller can append a
+// batch of records (or accumulate records from concurrent operations)
+// and pay for a single fsync covering all of them. It is a no-op when
+// the tail is already clean.
+//
+// On failure the unsynced tail is truncated away and the log marks
+// itself broken: none of those records were ever acknowledged durable,
+// and leaving them in the file would let a later replay resurrect
+// operations their callers rolled back. Callers must treat a Sync error
+// as failing every record in the group. Sync is only meaningful in
+// fsync-per-ack (journal-sync) flows; write-behind modes never call it,
+// since their acknowledged records legitimately live in the OS cache.
+func (l *Log) Sync() error {
+	if l.broken {
+		// Another append path broke the log (e.g. its own fsync failed)
+		// while this tail was pending: those records are equally
+		// unacknowledged, so drop them too before reporting.
+		l.dropDirty()
+		return ErrBroken
+	}
+	if l.dirtyCount == 0 {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.dropDirty()
+		l.broken = true
+		return fmt.Errorf("journal: group sync: %w", err)
+	}
+	l.dirty, l.dirtyCount = 0, 0
+	return nil
+}
+
+// dropDirty truncates the unsynced tail away. If even the truncate
+// fails, the on-disk tail may survive a reboot — but the handle is (or
+// is about to be) broken either way, the next Open rescans the file from
+// scratch, and sizes stay as-is so heal() can never truncate into
+// acknowledged frames.
+func (l *Log) dropDirty() {
+	if l.dirtyCount == 0 {
+		return
+	}
+	if err := l.f.Truncate(l.size - l.dirty); err == nil {
+		l.size -= l.dirty
+		l.count -= l.dirtyCount
+	}
+	l.dirty, l.dirtyCount = 0, 0
 }
 
 // Reset empties the journal after its records were folded into a
@@ -492,6 +618,8 @@ func (l *Log) Reset() error {
 	// torn partial frame mid-file that silently ends replay there.
 	l.size = 0
 	l.count = 0
+	l.dirty = 0
+	l.dirtyCount = 0
 	if err := l.f.Sync(); err != nil {
 		l.broken = true
 		return fmt.Errorf("journal: reset sync: %w", err)

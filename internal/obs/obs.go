@@ -150,6 +150,10 @@ var DefLatencyBuckets = []float64{
 // computed bound D'(j,p) sat below the guarantee D(j,p) at admission.
 var DefSlackBuckets = []float64{0, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
+// DefCountBuckets grades small cardinalities: operations coalesced per
+// group-commit fsync, items per batch request.
+var DefCountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
 // metricKind discriminates the exposition type of a family.
 type metricKind int
 

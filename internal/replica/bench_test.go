@@ -1,6 +1,7 @@
 package replica_test
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 	"time"
@@ -60,19 +61,19 @@ func BenchmarkReplicatedSetup(b *testing.B) {
 			}) {
 				b.Fatal("standby never connected")
 			}
-			if _, err := pn.client.Setup(req); err != nil {
+			if _, err := pn.client.Setup(context.Background(), req); err != nil {
 				b.Fatal(err)
 			}
-			if err := pn.client.Teardown(req.ID); err != nil {
+			if err := pn.client.Teardown(context.Background(), req.ID); err != nil {
 				b.Fatal(err)
 			}
 
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := pn.client.Setup(req); err != nil {
+				if _, err := pn.client.Setup(context.Background(), req); err != nil {
 					b.Fatal(err)
 				}
-				if err := pn.client.Teardown(req.ID); err != nil {
+				if err := pn.client.Teardown(context.Background(), req.ID); err != nil {
 					b.Fatal(err)
 				}
 			}

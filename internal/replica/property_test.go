@@ -1,6 +1,7 @@
 package replica_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -175,7 +176,7 @@ func TestPropertyChurnReplicates(t *testing.T) {
 					if rerr != nil {
 						t.Fatal(rerr)
 					}
-					_, serr := pn.client.Setup(core.ConnRequest{
+					_, serr := pn.client.Setup(context.Background(), core.ConnRequest{
 						ID: id, Spec: traffic.CBR(0.001), Priority: 1, Route: route,
 					})
 					if serr == nil {
@@ -188,7 +189,7 @@ func TestPropertyChurnReplicates(t *testing.T) {
 					if !established[ev.Index] {
 						continue
 					}
-					if terr := pn.client.Teardown(id); terr != nil {
+					if terr := pn.client.Teardown(context.Background(), id); terr != nil {
 						t.Fatalf("teardown %s: %v", id, terr)
 					}
 					delete(established, ev.Index)

@@ -95,9 +95,11 @@ type Coordinator struct {
 	// fence itself.
 	epoch uint64
 
-	mu      sync.Mutex
-	fenced  bool
-	clients map[string]*wire.Client
+	mu     sync.Mutex
+	fenced bool
+	// pools holds one health-checked connection pool per shard, pinned
+	// to the endpoint's active member; a failover swaps the whole pool.
+	pools   map[string]*wire.Pool
 	ends    map[string]*endpoint // shard ID -> live endpoint state
 	lagReg  *obs.Registry        // set by RegisterMetrics; feeds standby-lag gauges
 	open    []*openTxn           // unresolved transactions from the log scan
@@ -127,7 +129,7 @@ func NewCoordinator(m *Map, fsys journal.FS, logPath string) (*Coordinator, erro
 		OpTimeout:  2 * time.Second,
 		Retries:    3,
 		epoch:      epoch,
-		clients:    make(map[string]*wire.Client),
+		pools:      make(map[string]*wire.Pool),
 		ends:       make(map[string]*endpoint),
 		inDoubt:    make(map[string]struct{}),
 		open:       foldIntents(recs),
@@ -205,12 +207,12 @@ func (c *Coordinator) InDoubt() []string {
 	return out
 }
 
-// Close closes the cached shard clients and the intent log.
+// Close closes the shard connection pools and the intent log.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
-	for id, cl := range c.clients {
-		_ = cl.Close()
-		delete(c.clients, id)
+	for id, p := range c.pools {
+		p.Close()
+		delete(c.pools, id)
 	}
 	c.mu.Unlock()
 	return c.log.Close()
@@ -235,23 +237,27 @@ func (c *Coordinator) dialer() func(string) (*wire.Client, error) {
 	return wire.Dial
 }
 
+// opTimeout returns the per-call timeout, defaulted.
+func (c *Coordinator) opTimeout() time.Duration {
+	if c.OpTimeout > 0 {
+		return c.OpTimeout
+	}
+	return 2 * time.Second
+}
+
 // probeStatus dials addr and fetches its shard status report, abandoning
 // the whole attempt — goroutine, dial and all — once the op timeout (or
 // ctx) lapses. The injected dialer has no deadline of its own, so a
 // blackholed address would otherwise stall the caller for the OS connect
 // timeout; here it just reports unreachable.
 func (c *Coordinator) probeStatus(ctx context.Context, addr string) (*wire.ShardStatusReport, bool) {
-	timeout := c.OpTimeout
-	if timeout <= 0 {
-		timeout = 2 * time.Second
-	}
-	pctx, cancel := context.WithTimeout(ctx, timeout)
+	pctx, cancel := context.WithTimeout(ctx, c.opTimeout())
 	defer cancel()
 	ch := make(chan *wire.ShardStatusReport, 1)
 	go func() {
 		var rep *wire.ShardStatusReport
 		if cl, err := c.dialer()(addr); err == nil {
-			if r, serr := cl.ShardStatusContext(pctx); serr == nil {
+			if r, serr := cl.ShardStatus(pctx); serr == nil {
 				rep = r
 			}
 			_ = cl.Close()
@@ -266,52 +272,66 @@ func (c *Coordinator) probeStatus(ctx context.Context, addr string) (*wire.Shard
 	}
 }
 
-// client returns a cached connection to the shard's active member,
-// dialing on demand. A dial inside the shard's reconnect backoff window
-// is suppressed (errReconnectBackoff, transport-class): a down shard
-// must not be hammered by every request, and the jittered window keeps
-// retries from re-converging.
-func (c *Coordinator) client(info Info) (*wire.Client, error) {
-	c.mu.Lock()
-	if cl, ok := c.clients[info.ID]; ok {
-		c.mu.Unlock()
-		return cl, nil
-	}
-	ep := c.endpointLocked(info)
-	if wait := time.Until(ep.notBefore); wait > 0 {
-		c.mu.Unlock()
-		return nil, &backoffWindowError{shard: info.ID, wait: wait}
-	}
-	addr := ep.active
-	c.mu.Unlock()
-	cl, err := c.dialer()(addr)
-	if err != nil {
-		c.mu.Lock()
-		ep.notBefore = time.Now().Add(ep.backoff.Next(0))
-		c.mu.Unlock()
-		return nil, fmt.Errorf("shard %s: dial %s: %w", info.ID, addr, err)
-	}
-	cl.SetShardCoordEpoch(c.epoch)
-	c.mu.Lock()
-	if prev, ok := c.clients[info.ID]; ok {
-		c.mu.Unlock()
-		_ = cl.Close()
-		return prev, nil
-	}
-	c.clients[info.ID] = cl
-	ep.backoff = overload.Backoff{}
-	ep.notBefore = time.Time{}
-	c.mu.Unlock()
-	return cl, nil
+// newPool builds the health-checked pool for a shard, pinned to addr.
+// Its dial wrapper stamps the coordinator term on every new connection
+// and drives the endpoint's reconnect backoff: a failed dial opens the
+// jittered window (so a down shard is not hammered by every request),
+// its gate suppresses dials inside the window (errReconnectBackoff,
+// transport-class — reusing a pooled connection is always allowed), and
+// a successful dial clears it.
+func (c *Coordinator) newPool(info Info, addr string) *wire.Pool {
+	return wire.NewPool(wire.PoolConfig{
+		Addr: addr,
+		DialGate: func() error {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			ep := c.endpointLocked(info)
+			if wait := time.Until(ep.notBefore); wait > 0 {
+				return &backoffWindowError{shard: info.ID, wait: wait}
+			}
+			return nil
+		},
+		Dial: func(a string) (*wire.Client, error) {
+			cl, err := c.dialer()(a)
+			if err != nil {
+				c.mu.Lock()
+				ep := c.endpointLocked(info)
+				ep.notBefore = time.Now().Add(ep.backoff.Next(0))
+				c.mu.Unlock()
+				return nil, fmt.Errorf("shard %s: dial %s: %w", info.ID, a, err)
+			}
+			cl.SetShardCoordEpoch(c.epoch)
+			c.mu.Lock()
+			ep := c.endpointLocked(info)
+			ep.backoff = overload.Backoff{}
+			ep.notBefore = time.Time{}
+			c.mu.Unlock()
+			return cl, nil
+		},
+	})
 }
 
-// dropClient discards a cached connection after a transport error so the
-// next attempt re-dials.
-func (c *Coordinator) dropClient(info Info) {
+// pool returns (creating on first use) the connection pool for a
+// shard's active member.
+func (c *Coordinator) pool(info Info) *wire.Pool {
 	c.mu.Lock()
-	if cl, ok := c.clients[info.ID]; ok {
-		_ = cl.Close()
-		delete(c.clients, info.ID)
+	defer c.mu.Unlock()
+	p, ok := c.pools[info.ID]
+	if !ok {
+		ep := c.endpointLocked(info)
+		p = c.newPool(info, ep.active)
+		c.pools[info.ID] = p
+	}
+	return p
+}
+
+// dropPool closes a shard's pool after a transport error so the next
+// attempt re-dials (possibly at a failed-over address).
+func (c *Coordinator) dropPool(info Info) {
+	c.mu.Lock()
+	if p, ok := c.pools[info.ID]; ok {
+		p.Close()
+		delete(c.pools, info.ID)
 	}
 	c.mu.Unlock()
 }
@@ -351,27 +371,35 @@ func (c *Coordinator) failover(info Info) bool {
 	if err != nil {
 		return false
 	}
-	rep, err := cl.Replication()
+	fctx, cancel := context.WithTimeout(context.Background(), c.opTimeout())
+	defer cancel()
+	rep, err := cl.Replication(fctx)
 	if err != nil || rep.Role == "fenced" {
 		_ = cl.Close()
 		return false
 	}
 	if rep.Role == "standby" {
-		if rep, err = cl.Promote(); err != nil {
+		if rep, err = cl.Promote(fctx); err != nil {
 			_ = cl.Close()
 			return false
 		}
 	}
 	cl.SetShardCoordEpoch(c.epoch)
+	// Swap the whole pool: every parked connection points at the old
+	// member, and the promotion fenced its holds anyway. The promoted
+	// member's probe connection seeds the fresh pool.
 	c.mu.Lock()
-	if prev, ok := c.clients[info.ID]; ok {
-		_ = prev.Close()
-	}
-	c.clients[info.ID] = cl
+	old := c.pools[info.ID]
 	ep.active = cand
 	ep.backoff = overload.Backoff{}
 	ep.notBefore = time.Time{}
+	np := c.newPool(info, cand)
+	c.pools[info.ID] = np
 	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	np.Put(cl)
 	if c.tracer != nil {
 		c.tracer.Trace(obs.Event{
 			Kind: obs.KindShardFailover, Op: info.ID, Outcome: obs.OutcomeOK, Epoch: rep.Epoch,
@@ -402,7 +430,7 @@ func (c *Coordinator) ResetEndpoint(shardID, addr string) {
 	if !ok {
 		return
 	}
-	c.dropClient(info)
+	c.dropPool(info)
 	c.mu.Lock()
 	ep := c.endpointLocked(info)
 	ep.active = addr
@@ -412,12 +440,15 @@ func (c *Coordinator) ResetEndpoint(shardID, addr string) {
 }
 
 // call runs one shard operation with per-attempt timeout and bounded
-// jittered retry. A typed server answer (RemoteError) is definitive and
-// never retried; transport errors and overload sheds are.
+// jittered retry, checking a connection out of the shard's pool for the
+// duration. A typed server answer (RemoteError) is definitive and never
+// retried — and proves the connection healthy, so it goes back to the
+// pool; a transport error discards it instead.
 func (c *Coordinator) call(ctx context.Context, info Info, op string, fn func(ctx context.Context, cl *wire.Client) error) error {
 	var b overload.Backoff
 	for attempt := 0; ; attempt++ {
-		cl, err := c.client(info)
+		p := c.pool(info)
+		cl, err := p.Get(ctx)
 		if err == nil {
 			opCtx, cancel := ctx, context.CancelFunc(nil)
 			if c.OpTimeout > 0 {
@@ -426,6 +457,13 @@ func (c *Coordinator) call(ctx context.Context, info Info, op string, fn func(ct
 			err = fn(opCtx, cl)
 			if cancel != nil {
 				cancel()
+			}
+			var re *wire.RemoteError
+			var oe *wire.OverloadError
+			if err == nil || errors.As(err, &re) || errors.As(err, &oe) {
+				p.Put(cl) // the server answered; the connection is healthy
+			} else {
+				p.Discard(cl)
 			}
 		}
 		if err == nil {
@@ -453,10 +491,10 @@ func (c *Coordinator) call(ctx context.Context, info Info, op string, fn func(ct
 			retryAfter = bw.wait
 		} else {
 			// Transport error, not a definitive refusal: the active member
-			// may be dead. Drop the connection and, for a replicated pair,
-			// try the other member — promoting it if it is still a
-			// standby — so in-flight transactions finish on the survivor.
-			c.dropClient(info)
+			// may be dead. Drop the pool and, for a replicated pair, try
+			// the other member — promoting it if it is still a standby —
+			// so in-flight transactions finish on the survivor.
+			c.dropPool(info)
 			if ctx.Err() != nil {
 				// The caller canceled or its deadline lapsed; that says
 				// nothing about the member's health, and promoting the
@@ -535,7 +573,7 @@ func (c *Coordinator) Setup(ctx context.Context, req core.ConnRequest) (*wire.Ad
 		var adm *wire.Admission
 		err := c.call(ctx, legs[0].Shard, wire.OpSetup, func(ctx context.Context, cl *wire.Client) error {
 			var serr error
-			adm, serr = cl.SetupContext(ctx, req)
+			adm, serr = cl.Setup(ctx, req)
 			return serr
 		})
 		return adm, err
@@ -569,37 +607,93 @@ func (c *Coordinator) setupCrossShard(ctx context.Context, req core.ConnRequest,
 		return nil, err
 	}
 
-	// Phase 1: sequential prepares, threading the accumulated guaranteed
-	// delay into each downstream leg's SourceCDV and remaining bound.
-	upstream := make([]float64, len(legs)+1)
+	// Phase 1: prepares. A chain route threads the accumulated
+	// guaranteed delay into each downstream leg's SourceCDV and
+	// remaining bound, so its prepares are inherently sequential. An
+	// interleaved route already charges every leg the whole end-to-end
+	// bound (see subRequest) — no leg depends on another's answer, so
+	// its prepares fan out concurrently and the end-to-end budget is
+	// enforced afterwards by summing the guarantees the shards answered
+	// with.
 	subs := make([]core.ConnRequest, len(legs))
+	reps := make([]*wire.PrepareReport, len(legs))
 	adm := &wire.Admission{ID: req.ID}
-	for i, leg := range legs {
-		sub, err := subRequest(req, leg, upstream[i], interleaved)
-		if err != nil {
-			c.abortTxn(ctx, txn, req, legs[:i], subs[:i])
+	if interleaved {
+		// Every leg's sub-request derives from upstream 0: the full
+		// bound remains at each shard. DelayBound > 0 was checked before
+		// the begin record, so subRequest cannot fail here.
+		for i, leg := range legs {
+			sub, err := subRequest(req, leg, 0, true)
+			if err != nil {
+				c.abortTxn(ctx, txn, req, legs[:i], subs[:i])
+				c.traceTxn(obs.KindShardAbort, txn, req.ID, obs.OutcomeRejected, core.CodeDelayBound, start)
+				return nil, fmt.Errorf("%w (connection %q at shard %s)", err, req.ID, leg.Shard.ID)
+			}
+			subs[i] = sub
+		}
+		errs := make([]error, len(legs))
+		var wg sync.WaitGroup
+		for i := range legs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = c.call(ctx, legs[i].Shard, wire.OpShardPrepare, func(ctx context.Context, cl *wire.Client) error {
+					var perr error
+					reps[i], perr = cl.ShardPrepare(ctx, txn, subs[i], c.PrepareTTL)
+					return perr
+				})
+			}(i)
+		}
+		wg.Wait()
+		for i, leg := range legs {
+			if errs[i] != nil {
+				// Some sibling prepares may have landed; shard-abort is
+				// idempotent, so abort every leg.
+				c.abortTxn(ctx, txn, req, legs, subs)
+				c.traceTxn(obs.KindShardAbort, txn, req.ID, obs.OutcomeRejected, core.ErrorCode(errs[i]), start)
+				return nil, fmt.Errorf("shard %s refused prepare for %q: %w", leg.Shard.ID, req.ID, errs[i])
+			}
+		}
+		total := 0.0
+		for i := range legs {
+			total += reps[i].Admission.EndToEndGuaranteed
+		}
+		if total > req.DelayBound {
+			c.abortTxn(ctx, txn, req, legs, subs)
 			c.traceTxn(obs.KindShardAbort, txn, req.ID, obs.OutcomeRejected, core.CodeDelayBound, start)
-			return nil, fmt.Errorf("%w (connection %q at shard %s)", err, req.ID, leg.Shard.ID)
+			return nil, fmt.Errorf("%w (connection %q: guaranteed %.4g over bound %.4g)",
+				ErrDelayBound, req.ID, total, req.DelayBound)
 		}
-		subs[i] = sub
-		var rep *wire.PrepareReport
-		err = c.call(ctx, leg.Shard, wire.OpShardPrepare, func(ctx context.Context, cl *wire.Client) error {
-			var perr error
-			rep, perr = cl.ShardPrepare(ctx, txn, subs[i], c.PrepareTTL)
-			return perr
-		})
-		if err != nil {
-			c.abortTxn(ctx, txn, req, legs[:i], subs[:i])
-			c.traceTxn(obs.KindShardAbort, txn, req.ID, obs.OutcomeRejected, core.ErrorCode(err), start)
-			return nil, fmt.Errorf("shard %s refused prepare for %q: %w", leg.Shard.ID, req.ID, err)
+	} else {
+		upstream := 0.0
+		for i, leg := range legs {
+			sub, err := subRequest(req, leg, upstream, false)
+			if err != nil {
+				c.abortTxn(ctx, txn, req, legs[:i], subs[:i])
+				c.traceTxn(obs.KindShardAbort, txn, req.ID, obs.OutcomeRejected, core.CodeDelayBound, start)
+				return nil, fmt.Errorf("%w (connection %q at shard %s)", err, req.ID, leg.Shard.ID)
+			}
+			subs[i] = sub
+			err = c.call(ctx, leg.Shard, wire.OpShardPrepare, func(ctx context.Context, cl *wire.Client) error {
+				var perr error
+				reps[i], perr = cl.ShardPrepare(ctx, txn, subs[i], c.PrepareTTL)
+				return perr
+			})
+			if err != nil {
+				c.abortTxn(ctx, txn, req, legs[:i], subs[:i])
+				c.traceTxn(obs.KindShardAbort, txn, req.ID, obs.OutcomeRejected, core.ErrorCode(err), start)
+				return nil, fmt.Errorf("shard %s refused prepare for %q: %w", leg.Shard.ID, req.ID, err)
+			}
+			upstream += reps[i].Admission.EndToEndGuaranteed
 		}
-		marks[i].Epoch = rep.Epoch
-		adm.PerHopGuaranteed = append(adm.PerHopGuaranteed, rep.Admission.PerHopGuaranteed...)
-		adm.PerHopComputed = append(adm.PerHopComputed, rep.Admission.PerHopComputed...)
-		adm.EndToEndComputed += rep.Admission.EndToEndComputed
-		upstream[i+1] = upstream[i] + rep.Admission.EndToEndGuaranteed
 	}
-	adm.EndToEndGuaranteed = upstream[len(legs)]
+	for i := range legs {
+		marks[i].Epoch = reps[i].Epoch
+		adm.PerHopGuaranteed = append(adm.PerHopGuaranteed, reps[i].Admission.PerHopGuaranteed...)
+		adm.PerHopComputed = append(adm.PerHopComputed, reps[i].Admission.PerHopComputed...)
+		adm.EndToEndComputed += reps[i].Admission.EndToEndComputed
+		adm.EndToEndGuaranteed += reps[i].Admission.EndToEndGuaranteed
+	}
 	if err := c.runHook("post-prepare", txn); err != nil {
 		return nil, err
 	}
@@ -883,18 +977,29 @@ func (c *Coordinator) redriveAbort(ctx context.Context, t *openTxn, segs []Segme
 }
 
 // Teardown releases a connection on every shard that carries a segment
-// of it. Without the route at hand it broadcasts, tolerating shards that
-// never saw the connection.
+// of it. Without the route at hand it broadcasts — concurrently, since
+// the shards are independent — tolerating shards that never saw the
+// connection.
 func (c *Coordinator) Teardown(ctx context.Context, id core.ConnID) error {
 	if c.Fenced() {
 		return fmt.Errorf("%w: refusing teardown %q", ErrCoordFenced, id)
 	}
+	shards := c.m.Shards()
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.call(ctx, shards[i], wire.OpTeardown, func(ctx context.Context, cl *wire.Client) error {
+				return cl.Teardown(ctx, id)
+			})
+		}(i)
+	}
+	wg.Wait()
 	found := false
-	for _, info := range c.m.Shards() {
-		err := c.call(ctx, info, wire.OpTeardown, func(ctx context.Context, cl *wire.Client) error {
-			return cl.TeardownContext(ctx, id)
-		})
-		switch {
+	for i, info := range shards {
+		switch err := errs[i]; {
 		case err == nil:
 			found = true
 		default:
@@ -920,7 +1025,7 @@ func (c *Coordinator) List(ctx context.Context) ([]core.ConnID, error) {
 		var ids []core.ConnID
 		err := c.call(ctx, info, wire.OpList, func(ctx context.Context, cl *wire.Client) error {
 			var lerr error
-			ids, lerr = cl.ListContext(ctx)
+			ids, lerr = cl.List(ctx)
 			return lerr
 		})
 		if err != nil {
@@ -949,7 +1054,7 @@ func (c *Coordinator) Status(ctx context.Context) ([]wire.ShardStatusReport, err
 		var st *wire.ShardStatusReport
 		err := c.call(ctx, info, wire.OpShardStatus, func(ctx context.Context, cl *wire.Client) error {
 			var serr error
-			st, serr = cl.ShardStatusContext(ctx)
+			st, serr = cl.ShardStatus(ctx)
 			return serr
 		})
 		if err != nil {
@@ -964,7 +1069,7 @@ func (c *Coordinator) Status(ctx context.Context) ([]wire.ShardStatusReport, err
 		c.mu.Unlock()
 		if info.Standby != "" {
 			_ = c.call(ctx, info, wire.OpReplication, func(ctx context.Context, cl *wire.Client) error {
-				rep, rerr := cl.Replication()
+				rep, rerr := cl.Replication(ctx)
 				if rerr == nil && rep.Role == "primary" {
 					st.StandbyLag = rep.Lag
 					if reg != nil {

@@ -41,8 +41,8 @@ func FuzzShardPrepareDecode(f *testing.F) {
 	full := append(append(append([]byte{}, begin...), commit...), done...)
 	f.Add([]byte{})
 	f.Add(full)
-	f.Add(full[:len(full)-1])            // torn tail
-	f.Add(full[:len(begin)+3])           // torn mid-frame
+	f.Add(full[:len(full)-1])             // torn tail
+	f.Add(full[:len(begin)+3])            // torn mid-frame
 	f.Add(append(full, 0xff, 0x00, 0x01)) // garbage suffix
 	corrupted := append([]byte{}, full...)
 	corrupted[len(begin)+9] ^= 0x40 // flip a payload bit: CRC must catch it

@@ -121,14 +121,14 @@ func TestSetupFailsOverToShardStandbyMidCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	rep, err := cl.Replication()
+	rep, err := cl.Replication(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Role != "primary" || rep.Epoch == 0 {
 		t.Fatalf("survivor replication = %+v, want promoted primary", rep)
 	}
-	ids, err := cl.List()
+	ids, err := cl.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestRecoverAgainstPromotedStandbyShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := pcl.Promote()
+	rep, err := pcl.Promote(context.Background())
 	_ = pcl.Close()
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +212,7 @@ func TestRecoverAgainstPromotedStandbyShard(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ids, lerr := cl.List()
+		ids, lerr := cl.List(context.Background())
 		_ = cl.Close()
 		if lerr != nil {
 			t.Fatal(lerr)
@@ -635,7 +635,7 @@ func TestFailoverLeavesLivePrimaryAlone(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	rep, err := cl.Replication()
+	rep, err := cl.Replication(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -664,7 +664,7 @@ func TestCanceledContextDoesNotFailOver(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	rep, err := cl.Replication()
+	rep, err := cl.Replication(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

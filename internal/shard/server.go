@@ -1,9 +1,7 @@
 package shard
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -101,30 +99,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 4096), wire.MaxLineBytes)
-	enc := json.NewEncoder(conn)
-	for {
-		if !scanner.Scan() {
-			if errors.Is(scanner.Err(), bufio.ErrTooLong) {
-				_ = enc.Encode(wire.Response{
-					Error: fmt.Sprintf("request too large: line exceeds %d bytes", wire.MaxLineBytes),
-					Code:  wire.CodeProtocol,
-				})
-			}
-			return
-		}
-		var req wire.Request
-		var resp wire.Response
-		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
-			resp = wire.Response{Error: fmt.Sprintf("malformed request: %v", err), Code: wire.CodeProtocol}
-		} else {
-			resp = s.handle(req)
-		}
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
+	// The shared session loop handles framing, hello negotiation and
+	// pipelining; the coordinator front end supplies only the dispatch.
+	wire.ServeSession(conn, s.handle, wire.SessionOptions{})
 }
 
 // errorResponse maps a coordinator error onto the wire taxonomy,

@@ -32,11 +32,11 @@ func TestParseMap(t *testing.T) {
 	}
 	for _, bad := range []string{
 		"",
-		"s0=sw0",                    // no addr
-		"s0@h:1=",                   // no switches
-		"s0@h:1=sw0;s0@h:2=sw1",     // duplicate shard
-		"s0@h:1=sw0;s1@h:2=sw0",     // duplicate switch
-		"s0@h:1 sw0",                // no =
+		"s0=sw0",                // no addr
+		"s0@h:1=",               // no switches
+		"s0@h:1=sw0;s0@h:2=sw1", // duplicate shard
+		"s0@h:1=sw0;s1@h:2=sw0", // duplicate switch
+		"s0@h:1 sw0",            // no =
 	} {
 		if _, err := ParseMap(bad); err == nil {
 			t.Errorf("ParseMap(%q) accepted", bad)
@@ -225,11 +225,13 @@ func shardList(t *testing.T, c *Coordinator, shardID string) []core.ConnID {
 	if !ok {
 		t.Fatalf("no shard %q", shardID)
 	}
-	cl, err := c.client(info)
+	p := c.pool(info)
+	cl, err := p.Get(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ids, err := cl.List()
+	defer p.Put(cl)
+	ids, err := cl.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -533,34 +535,34 @@ func TestCoordinatorServerFrontEnd(t *testing.T) {
 
 	// The ordinary wire client admits a cross-shard route through the
 	// coordinator without knowing the map.
-	adm, err := cl.Setup(crossReq("c1"))
+	adm, err := cl.Setup(context.Background(), crossReq("c1"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if adm.ID != "c1" || len(adm.PerHopGuaranteed) != 4 {
 		t.Fatalf("admission = %+v", adm)
 	}
-	if ids, err := cl.List(); err != nil || len(ids) != 1 {
+	if ids, err := cl.List(context.Background()); err != nil || len(ids) != 1 {
 		t.Fatalf("list = %v, %v", ids, err)
 	}
-	h, err := cl.Health()
+	h, err := cl.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if h.Role != "coordinator" || h.Connections != 1 {
 		t.Fatalf("health = %+v", h)
 	}
-	if err := cl.Teardown("c1"); err != nil {
+	if err := cl.Teardown(context.Background(), "c1"); err != nil {
 		t.Fatal(err)
 	}
 	// A rejection travels back typed.
 	tight := crossReq("c2")
 	tight.DelayBound = 1
-	if _, err := cl.Setup(tight); !errors.Is(err, core.ErrRejected) {
+	if _, err := cl.Setup(context.Background(), tight); !errors.Is(err, core.ErrRejected) {
 		t.Fatalf("tight-bound setup error = %v", err)
 	}
 	// Ops the coordinator does not aggregate are refused clearly.
-	if _, err := cl.Inspect(""); err == nil {
+	if _, err := cl.Inspect(context.Background(), ""); err == nil {
 		t.Fatal("inspect through coordinator succeeded")
 	}
 }
@@ -589,11 +591,11 @@ func TestCoordinatorRecoverFlipUnwindsAllLegs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Teardown("c1"); err != nil {
+	if err := cl.Teardown(context.Background(), "c1"); err != nil {
 		t.Fatal(err)
 	}
 	rival := core.ConnRequest{ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: hops("sw0")}
-	if _, err := cl.Setup(rival); err != nil {
+	if _, err := cl.Setup(context.Background(), rival); err != nil {
 		t.Fatal(err)
 	}
 	_ = cl.Close()
@@ -701,10 +703,10 @@ func TestCoordinatorInProcessRecoverHonorsFlippedAbort(t *testing.T) {
 			return nil
 		}
 		defer cl.Close()
-		if _, rerr := cl.ShardReap(); rerr != nil {
+		if _, rerr := cl.ShardReap(context.Background()); rerr != nil {
 			t.Error(rerr)
 		}
-		if _, serr := cl.Setup(rival); serr != nil {
+		if _, serr := cl.Setup(context.Background(), rival); serr != nil {
 			t.Error(serr)
 		}
 		_ = srv1.Close()
@@ -738,7 +740,7 @@ func TestCoordinatorInProcessRecoverHonorsFlippedAbort(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl0.Teardown("c1"); err != nil {
+	if err := cl0.Teardown(context.Background(), "c1"); err != nil {
 		t.Fatal(err)
 	}
 	_ = cl0.Close()
@@ -820,14 +822,14 @@ func TestCoordinatorReaperResolvesDeadCoordinator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		reaped, err := cl.ShardReap()
+		reaped, err := cl.ShardReap(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(reaped) != 1 {
 			t.Fatalf("%s reaped %v, want one txn", id, reaped)
 		}
-		st, err := cl.ShardStatus()
+		st, err := cl.ShardStatus(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,276 @@
+// First-class batch operations: batch-setup and batch-teardown admit or
+// release many connections in one request, taking the operation locks
+// once and — in journal-sync mode — amortizing a single journal fsync
+// across the whole batch instead of paying one per item.
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"atmcac/internal/core"
+	"atmcac/internal/journal"
+	"atmcac/internal/obs"
+)
+
+// Batch protocol operations.
+const (
+	OpBatchSetup    = "batch-setup"
+	OpBatchTeardown = "batch-teardown"
+)
+
+// MaxBatchOps caps the items in one batch request; larger batches are a
+// protocol error. The cap bounds how long the batch holds the exclusive
+// operation lock.
+const MaxBatchOps = 128
+
+// BatchResult is the per-item outcome of a batch operation. Items fail
+// independently: a CAC rejection or unknown connection in one item never
+// fails its siblings, so the fields mirror the single-op Response.
+type BatchResult struct {
+	ID       core.ConnID `json:"id"`
+	OK       bool        `json:"ok"`
+	Error    string      `json:"error,omitempty"`
+	Rejected bool        `json:"rejected,omitempty"`
+	Code     string      `json:"code,omitempty"`
+	// Admission reports a successful batch-setup item.
+	Admission *Admission `json:"admission,omitempty"`
+	// Warning flags a non-fatal condition on a successful item.
+	Warning string `json:"warning,omitempty"`
+}
+
+// handleBatchSetup admits every item, then makes the admitted subset
+// durable with one persistence pass. It holds opMu exclusively — like
+// fail-link, the batch's record set must not interleave with other
+// mutations, and a single exclusive hold also sidesteps ordering the
+// per-ID stripe locks of an arbitrary ID set.
+func (s *Server) handleBatchSetup(ctx context.Context, req Request) Response {
+	n := len(req.Requests)
+	if n == 0 {
+		return Response{Error: "batch-setup requires a requests list", Code: CodeProtocol}
+	}
+	if n > MaxBatchOps {
+		return Response{Error: fmt.Sprintf("batch of %d exceeds %d items", n, MaxBatchOps), Code: CodeProtocol}
+	}
+	var start time.Time
+	if s.tracer != nil {
+		start = time.Now()
+	}
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	results := make([]BatchResult, n)
+	var admitted []int
+	var recs, inverts []*journal.Record
+	for i := range req.Requests {
+		r := &req.Requests[i]
+		results[i].ID = r.ID
+		adm, err := s.network.Setup(ctx, *r)
+		if err != nil {
+			results[i].Error = err.Error()
+			results[i].Rejected = errors.Is(err, core.ErrRejected)
+			results[i].Code = core.ErrorCode(err)
+			continue
+		}
+		results[i].OK = true
+		results[i].Admission = &Admission{
+			ID:                 adm.ID,
+			PerHopGuaranteed:   adm.PerHopGuaranteed,
+			PerHopComputed:     adm.PerHopComputed,
+			EndToEndGuaranteed: adm.EndToEndGuaranteed,
+			EndToEndComputed:   adm.EndToEndComputed,
+		}
+		admitted = append(admitted, i)
+		recs = append(recs, &journal.Record{Op: journal.OpSetup, Request: r})
+		inverts = append(inverts, &journal.Record{Op: journal.OpTeardown, ID: r.ID})
+	}
+	var warning string
+	if len(admitted) > 0 {
+		durable, perr := s.persistBatch(recs, inverts, &warning)
+		if perr != nil {
+			// Items whose record never became durable are rolled back and
+			// refused individually; items before the failure point keep
+			// their ack — their records are fsynced (or compensated for by
+			// appendLocked's replication unwind) exactly as if they had
+			// been issued one by one.
+			code := CodeNotDurable
+			verb := "durable"
+			if errors.Is(perr, ErrNotReplicated) {
+				code = CodeNotReplicated
+				verb = "replicated"
+			}
+			for _, i := range admitted[durable:] {
+				_ = s.network.Teardown(req.Requests[i].ID)
+				results[i] = BatchResult{
+					ID:    req.Requests[i].ID,
+					Error: fmt.Sprintf("setup %q not %s: %v", req.Requests[i].ID, verb, perr),
+					Code:  code,
+				}
+			}
+		}
+	}
+	if tr := s.tracer; tr != nil {
+		tr.Trace(obs.Event{
+			Kind: obs.KindBatch, Op: OpBatchSetup, Records: n,
+			Outcome: obs.OutcomeOK, Duration: time.Since(start),
+		})
+	}
+	return Response{OK: true, Warning: warning, Results: results}
+}
+
+// handleBatchTeardown releases every named connection, then persists the
+// batch with one pass; locking mirrors handleBatchSetup.
+func (s *Server) handleBatchTeardown(req Request) Response {
+	n := len(req.IDs)
+	if n == 0 {
+		return Response{Error: "batch-teardown requires an ids list", Code: CodeProtocol}
+	}
+	if n > MaxBatchOps {
+		return Response{Error: fmt.Sprintf("batch of %d exceeds %d items", n, MaxBatchOps), Code: CodeProtocol}
+	}
+	var start time.Time
+	if s.tracer != nil {
+		start = time.Now()
+	}
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	results := make([]BatchResult, n)
+	var torn []int
+	var undos []*core.ConnRequest
+	var recs, inverts []*journal.Record
+	for i, id := range req.IDs {
+		results[i].ID = id
+		undo, known := s.network.AdmittedRequest(id)
+		if err := s.network.Teardown(id); err != nil {
+			results[i].Error = err.Error()
+			results[i].Code = core.ErrorCode(err)
+			continue
+		}
+		results[i].OK = true
+		torn = append(torn, i)
+		rec := &journal.Record{Op: journal.OpTeardown, ID: id}
+		recs = append(recs, rec)
+		if known {
+			u := undo
+			undos = append(undos, &u)
+			inverts = append(inverts, &journal.Record{Op: journal.OpSetup, Request: &u})
+		} else {
+			undos = append(undos, nil)
+			inverts = append(inverts, nil)
+		}
+	}
+	var warning string
+	if len(torn) > 0 {
+		durable, perr := s.persistBatch(recs, inverts, &warning)
+		if perr != nil {
+			code := CodeNotDurable
+			verb := "durable"
+			if errors.Is(perr, ErrNotReplicated) {
+				code = CodeNotReplicated
+				verb = "replicated"
+			}
+			for k := durable; k < len(torn); k++ {
+				i := torn[k]
+				msg := fmt.Sprintf("teardown %q not %s: %v", req.IDs[i], verb, perr)
+				// Un-ack by re-admitting, as the single-op path does.
+				if undos[k] != nil {
+					if _, rerr := s.network.Setup(context.Background(), *undos[k]); rerr != nil {
+						msg = fmt.Sprintf("%s (rollback failed: %v)", msg, rerr)
+					}
+				}
+				results[i] = BatchResult{ID: req.IDs[i], Error: msg, Code: code}
+			}
+		}
+	}
+	if tr := s.tracer; tr != nil {
+		tr.Trace(obs.Event{
+			Kind: obs.KindBatch, Op: OpBatchTeardown, Records: n,
+			Outcome: obs.OutcomeOK, Duration: time.Since(start),
+		})
+	}
+	return Response{OK: true, Warning: warning, Results: results}
+}
+
+// persistBatch makes a batch's record set durable, returning how many
+// leading records are durable (the rest — and only the rest — must be
+// rolled back when err is non-nil). Caller holds opMu exclusively, which
+// also guarantees no group-commit member is in flight, so the journal's
+// unsynced tail is this batch's alone.
+//
+// Without a replication shipper in journal-sync mode, the records are
+// appended unsynced and covered by one final fsync — the batch's whole
+// point. With a shipper (or in write-behind mode) each record takes the
+// ordinary per-record path, so every replication guarantee is preserved
+// at the cost of unamortized fsyncs.
+func (s *Server) persistBatch(recs, inverts []*journal.Record, warning *string) (durable int, err error) {
+	if s.dur == nil {
+		return len(recs), nil
+	}
+	if !s.dur.journaled() {
+		*warning = s.persistSnapshotWarn()
+		return len(recs), nil
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if !s.groupCommitEnabled() {
+		var warnings []string
+		for i := range recs {
+			w, aerr := s.appendLocked(recs[i], inverts[i])
+			if aerr != nil {
+				// Item i was unwound by appendLocked itself (never
+				// applied, or compensated); items after it were never
+				// appended.
+				*warning = strings.Join(warnings, "; ")
+				return i, aerr
+			}
+			if w != "" {
+				warnings = append(warnings, w)
+			}
+		}
+		*warning = strings.Join(warnings, "; ")
+		return len(recs), nil
+	}
+	// Amortized path: encode and append the whole batch in one write,
+	// fsync once. The batch append is all-or-nothing — on error nothing
+	// was appended and no view was touched, so every item rolls back.
+	for _, rec := range recs {
+		rec.Epoch = s.epoch
+	}
+	if _, aerr := s.dur.log.AppendAll(recs); aerr != nil {
+		return 0, aerr
+	}
+	for _, rec := range recs {
+		s.dur.applyView(rec)
+	}
+	start := time.Now()
+	if serr := s.dur.log.Sync(); serr != nil {
+		// The group-commit error fan-out: one failed fsync fails every
+		// item whose record it covered, and journal.Sync has already
+		// truncated their records away.
+		for _, inv := range inverts {
+			if inv != nil {
+				s.dur.applyView(inv)
+			}
+		}
+		return 0, serr
+	}
+	if tr := s.tracer; tr != nil {
+		tr.Trace(obs.Event{
+			Kind: obs.KindGroupCommit, Records: len(recs),
+			Outcome: obs.OutcomeOK, Duration: time.Since(start),
+		})
+	}
+	if s.dur.log.Count() >= s.dur.compactRecords || s.dur.log.Size() >= s.dur.compactBytes {
+		if cerr := s.compactLocked(); cerr != nil {
+			if errors.Is(cerr, errJournalReset) {
+				*warning = fmt.Sprintf("journal out of service after compaction: %v", cerr)
+			} else {
+				s.scheduleRetry()
+				*warning = fmt.Sprintf("journal compaction deferred (will retry): %v", cerr)
+			}
+		}
+	}
+	return len(recs), nil
+}

@@ -1,0 +1,312 @@
+// Binary framing and the per-connection session loop shared by the CAC
+// server and the shard coordinator's wire front end.
+//
+// The wire protocol starts every connection in the newline-delimited
+// JSON codec it has always spoken. A client that wants the binary
+// framing sends a hello line ({"op":"hello","proto":"binary"}); if the
+// server accepts, both sides switch and every subsequent request and
+// response is one length-prefixed frame:
+//
+//	[4B big-endian payload length][4B IEEE CRC32(payload)][8B tag][payload]
+//
+// — the journal's CRC32 record framing (internal/journal) extended with
+// a tag. The payload stays the same JSON object the line protocol
+// carries; what the framing buys is integrity (CRC), no line-scanning,
+// and above all pipelining: the tag names the request, responses echo
+// it, and may arrive out of order. Old clients never send hello and stay
+// on JSON; old servers answer hello with unknown-op, which new clients
+// treat as "stay on JSON" — either side can lag the other.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Protocol names negotiated by the hello exchange.
+const (
+	ProtoJSON   = "json"
+	ProtoBinary = "binary"
+)
+
+// OpHello negotiates the connection's framing. It is handled by the
+// session loop itself, before dispatch: a hello never reaches the
+// overload limiter or the admission plane.
+const OpHello = "hello"
+
+// CodeUnsupportedProto marks a hello naming a framing this server does
+// not speak (or refuses, e.g. -wire-proto=json). The response is always
+// sent in the JSON codec and the connection stays on JSON, so an old or
+// degraded peer keeps working instead of hanging on a binary frame.
+const CodeUnsupportedProto = "unsupported-proto"
+
+// Binary frame header layout: 4B payload length, 4B CRC32, 8B tag.
+const (
+	binLenOff  = 0
+	binCRCOff  = 4
+	binTagOff  = 8
+	binHdrSize = 16
+)
+
+// defaultPipelineDepth bounds concurrently-executing requests per binary
+// connection; excess frames wait in the reader.
+const defaultPipelineDepth = 32
+
+var errFrameTooLong = fmt.Errorf("%w: frame exceeds %d bytes", ErrProtocol, MaxLineBytes)
+
+// appendBinFrame appends one binary frame carrying payload under tag.
+func appendBinFrame(dst []byte, tag uint64, payload []byte) []byte {
+	var hdr [binHdrSize]byte
+	binary.BigEndian.PutUint32(hdr[binLenOff:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[binCRCOff:], crc32.ChecksumIEEE(payload))
+	binary.BigEndian.PutUint64(hdr[binTagOff:], tag)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readBinFrame reads one binary frame. A corrupt or oversized frame is a
+// hard protocol error: unlike the journal's torn-tail scan there is no
+// "rest of file" to preserve — the stream position is lost, so the
+// connection must die.
+func readBinFrame(br *bufio.Reader) (tag uint64, payload []byte, err error) {
+	var hdr [binHdrSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[binLenOff:])
+	if n > MaxLineBytes {
+		return 0, nil, errFrameTooLong
+	}
+	tag = binary.BigEndian.Uint64(hdr[binTagOff:])
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated frame: %v", ErrProtocol, err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(hdr[binCRCOff:]); got != want {
+		return 0, nil, fmt.Errorf("%w: frame crc mismatch (got %08x want %08x)", ErrProtocol, got, want)
+	}
+	return tag, payload, nil
+}
+
+// SessionOptions configures ServeSession.
+type SessionOptions struct {
+	// IOTimeout bounds each request read and response write; zero means
+	// no deadline.
+	IOTimeout time.Duration
+	// JSONOnly refuses binary hellos with CodeUnsupportedProto (the
+	// -wire-proto=json escape hatch).
+	JSONOnly bool
+	// MaxPipeline bounds concurrently-executing requests on a binary
+	// connection; zero selects defaultPipelineDepth. JSON connections
+	// are always serial.
+	MaxPipeline int
+}
+
+// ServeSession runs one connection's request loop against handle,
+// including the hello negotiation: it starts in the JSON line codec and
+// switches to binary framing when the client asks and the options allow.
+// JSON requests are handled serially in arrival order (the legacy
+// contract); binary requests are pipelined — a reader goroutine decodes
+// frames and fans them out to bounded concurrent handler goroutines, and
+// a writer goroutine serializes responses back as they finish, each
+// echoing its request's tag. ServeSession returns when the connection
+// errors or closes; closing the conn from another goroutine (server
+// shutdown) unblocks it.
+func ServeSession(conn net.Conn, handle func(Request) Response, opts SessionOptions) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	enc := json.NewEncoder(conn)
+	for {
+		if opts.IOTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(opts.IOTimeout))
+		}
+		line, err := readLimitedLine(br)
+		if err != nil {
+			// An oversized line gets an explicit protocol error before
+			// the connection closes — never a silent truncation or hang.
+			if errors.Is(err, bufio.ErrTooLong) {
+				_ = enc.Encode(Response{
+					Error: fmt.Sprintf("request too large: line exceeds %d bytes", MaxLineBytes),
+					Code:  CodeProtocol,
+				})
+			}
+			return
+		}
+		var req Request
+		resp := Response{}
+		parseErr := json.Unmarshal(line, &req)
+		switch {
+		case parseErr != nil:
+			resp.Error = fmt.Sprintf("malformed request: %v", parseErr)
+			resp.Code = CodeProtocol
+		case req.Op == OpHello:
+			var switching bool
+			resp, switching = helloResponse(req, opts)
+			if switching {
+				if opts.IOTimeout > 0 {
+					_ = conn.SetWriteDeadline(time.Now().Add(opts.IOTimeout))
+				}
+				if err := enc.Encode(resp); err != nil {
+					return
+				}
+				// The bufio.Reader carries over: bytes the client
+				// pipelined behind its hello are already binary frames.
+				serveBinary(conn, br, handle, opts)
+				return
+			}
+		default:
+			resp = handle(req)
+		}
+		if opts.IOTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(opts.IOTimeout))
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// helloResponse answers one hello request and reports whether the
+// connection switches to binary framing after the response is written.
+func helloResponse(req Request, opts SessionOptions) (Response, bool) {
+	switch req.Proto {
+	case "", ProtoJSON:
+		return Response{OK: true, Proto: ProtoJSON}, false
+	case ProtoBinary:
+		if opts.JSONOnly {
+			return Response{
+				Error: "binary framing disabled on this server",
+				Code:  CodeUnsupportedProto,
+				Proto: ProtoJSON,
+			}, false
+		}
+		return Response{OK: true, Proto: ProtoBinary}, true
+	default:
+		return Response{
+			Error: fmt.Sprintf("unsupported protocol %q", req.Proto),
+			Code:  CodeUnsupportedProto,
+			Proto: ProtoJSON,
+		}, false
+	}
+}
+
+// readLimitedLine reads one newline-terminated line of at most
+// MaxLineBytes, returning bufio.ErrTooLong beyond that (mirroring the
+// bufio.Scanner contract serveConn historically relied on). A final
+// unterminated line before EOF is returned as-is.
+func readLimitedLine(br *bufio.Reader) ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		// ReadSlice's return is only valid until the next read; the line
+		// must be accumulated when it spans buffer fills.
+		if buf == nil && err == nil {
+			return chunk, nil
+		}
+		buf = append(buf, chunk...)
+		switch {
+		case err == nil:
+			return buf, nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			// A full buffer with no newline at the cap is oversized: the
+			// scanner this replaced errored as soon as its MaxLineBytes
+			// buffer filled, so waiting for more bytes here would hang a
+			// peer that stopped exactly at the limit.
+			if len(buf) >= MaxLineBytes {
+				return nil, bufio.ErrTooLong
+			}
+		case errors.Is(err, io.EOF) && len(buf) > 0:
+			return buf, nil
+		default:
+			return nil, err
+		}
+	}
+}
+
+// taggedResponse pairs a finished response with the request tag it
+// answers.
+type taggedResponse struct {
+	tag  uint64
+	resp Response
+}
+
+// serveBinary runs the pipelined binary loop: this goroutine reads and
+// decodes frames, a bounded pool of handler goroutines executes them
+// concurrently, and one writer goroutine serializes completed responses
+// back in completion order.
+func serveBinary(conn net.Conn, br *bufio.Reader, handle func(Request) Response, opts SessionOptions) {
+	depth := opts.MaxPipeline
+	if depth <= 0 {
+		depth = defaultPipelineDepth
+	}
+	out := make(chan taggedResponse, depth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		var frame []byte
+		for tr := range out {
+			payload, err := json.Marshal(tr.resp)
+			if err != nil {
+				// An unencodable response kills the connection, exactly
+				// as in the JSON loop; the fuzzer pins that responses
+				// always encode.
+				_ = conn.Close()
+				continue // drain the channel so handlers never block
+			}
+			frame = appendBinFrame(frame[:0], tr.tag, payload)
+			if opts.IOTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(opts.IOTimeout))
+			}
+			if _, err := conn.Write(frame); err != nil {
+				// Reader sees the closed conn and stops feeding us.
+				_ = conn.Close()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, depth)
+	for {
+		if opts.IOTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(opts.IOTimeout))
+		}
+		tag, payload, err := readBinFrame(br)
+		if err != nil {
+			break
+		}
+		var req Request
+		if uerr := json.Unmarshal(payload, &req); uerr != nil {
+			out <- taggedResponse{tag, Response{
+				Error: fmt.Sprintf("malformed request: %v", uerr),
+				Code:  CodeProtocol,
+			}}
+			continue
+		}
+		if req.Op == OpHello {
+			// Re-negotiation inside a binary stream is meaningless;
+			// answer in-band rather than killing the pipeline.
+			resp, _ := helloResponse(req, opts)
+			resp.Proto = ProtoBinary
+			out <- taggedResponse{tag, resp}
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(tag uint64, req Request) {
+			defer wg.Done()
+			resp := handle(req)
+			<-sem
+			out <- taggedResponse{tag, resp}
+		}(tag, req)
+	}
+	wg.Wait()
+	close(out)
+	<-writerDone
+}

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"atmcac/internal/core"
 	"atmcac/internal/journal"
+	"atmcac/internal/obs"
 )
 
 // DurabilityMode selects how the server makes admission state survive a
@@ -469,11 +471,14 @@ func (s *Server) persistSetup(req core.ConnRequest) (string, error) {
 	if !s.dur.journaled() {
 		return s.persistSnapshotWarn(), nil
 	}
+	rec := &journal.Record{Op: journal.OpSetup, Request: &req}
+	invert := &journal.Record{Op: journal.OpTeardown, ID: req.ID}
+	if s.groupCommitEnabled() {
+		return s.persistGrouped(rec, invert)
+	}
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
-	return s.appendLocked(
-		&journal.Record{Op: journal.OpSetup, Request: &req},
-		&journal.Record{Op: journal.OpTeardown, ID: req.ID})
+	return s.appendLocked(rec, invert)
 }
 
 // persistTeardown makes a teardown durable before its ack; same error
@@ -490,9 +495,124 @@ func (s *Server) persistTeardown(id core.ConnID, undo *core.ConnRequest) (string
 	if undo != nil {
 		invert = &journal.Record{Op: journal.OpSetup, Request: undo}
 	}
+	rec := &journal.Record{Op: journal.OpTeardown, ID: id}
+	if s.groupCommitEnabled() && invert != nil {
+		return s.persistGrouped(rec, invert)
+	}
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
-	return s.appendLocked(&journal.Record{Op: journal.OpTeardown, ID: id}, invert)
+	return s.appendLocked(rec, invert)
+}
+
+// groupCommitEnabled reports whether per-op fsyncs may coalesce into
+// shared group commits. Only the journal-sync mode fsyncs per ack, and
+// only without a replication shipper: shipping must follow a successful
+// fsync in journal order under persistMu, which the deferred group
+// fsync would reorder, so replicated setups keep the per-record path.
+func (s *Server) groupCommitEnabled() bool {
+	return s.dur.mode == DurabilityJournalSync && s.shipper == nil
+}
+
+// commitGroup is one group-commit accumulator generation: the set of
+// operations whose unsynced journal records the next fsync will cover.
+// Members register the view-level inverse of their record when they
+// join; a failed group fsync truncates every member's record from the
+// journal, and the leader applies the inverts in the same persistMu
+// critical section so the durable view never disagrees with the journal
+// across a snapshot.
+type commitGroup struct {
+	done    chan struct{}
+	inverts []*journal.Record
+	err     error
+}
+
+// persistGrouped appends one record without its own fsync and waits for
+// the shared group commit covering it, so concurrent pipelined
+// operations coalesce into a single fsync. The append, the view
+// application and the group registration share one persistMu critical
+// section. The group's creator is its leader: it re-acquires persistMu,
+// freezes the group's membership and pays the one fsync for everyone.
+// Operations arriving while the leader holds persistMu queue behind it
+// and become the next group — coalescing emerges from the fsync latency
+// itself, with no timer and no background goroutine.
+//
+// Because joins are frozen under the same lock the fsync runs under,
+// the journal's unsynced tail at fsync time is exactly the group's
+// record set. On failure the journal truncates that tail (journal.Sync)
+// and the leader applies every member's view invert before releasing
+// persistMu, so no snapshot can fold a connection whose record the
+// failed fsync just erased. The returned error then makes each member
+// roll back its network mutation and refuse with not-durable — the
+// group-wide error fan-out the durability contract requires.
+func (s *Server) persistGrouped(rec, invert *journal.Record) (string, error) {
+	op := string(rec.Op)
+	if cp := s.crashPoints; cp != nil && cp.PreAppend != nil {
+		cp.PreAppend(op)
+	}
+	s.persistMu.Lock()
+	rec.Epoch = s.epoch
+	if _, err := s.dur.log.AppendPayload(rec, false); err != nil {
+		s.persistMu.Unlock()
+		return "", err
+	}
+	s.dur.applyView(rec)
+	g := s.gcPending
+	leader := g == nil
+	if leader {
+		g = &commitGroup{done: make(chan struct{})}
+		s.gcPending = g
+	}
+	g.inverts = append(g.inverts, invert)
+	s.persistMu.Unlock()
+	if cp := s.crashPoints; cp != nil && cp.PostAppend != nil {
+		cp.PostAppend(op, rec.Seq)
+	}
+	if leader {
+		start := time.Now()
+		s.persistMu.Lock()
+		s.gcPending = nil // freeze membership; later arrivals form the next group
+		err := s.dur.log.Sync()
+		if err != nil {
+			for _, inv := range g.inverts {
+				s.dur.applyView(inv)
+			}
+		}
+		s.persistMu.Unlock()
+		g.err = err
+		close(g.done)
+		if tr := s.tracer; tr != nil {
+			ev := obs.Event{
+				Kind:     obs.KindGroupCommit,
+				Records:  len(g.inverts),
+				Duration: time.Since(start),
+				Outcome:  obs.OutcomeOK,
+			}
+			if err != nil {
+				ev.Outcome = obs.OutcomeError
+			}
+			tr.Trace(ev)
+		}
+	}
+	<-g.done
+	if g.err != nil {
+		return "", g.err
+	}
+	// The record is durable; check the compaction triggers exactly as
+	// the per-record path does after its fsync.
+	var warning string
+	s.persistMu.Lock()
+	if s.dur.log.Count() >= s.dur.compactRecords || s.dur.log.Size() >= s.dur.compactBytes {
+		if err := s.compactLocked(); err != nil {
+			if errors.Is(err, errJournalReset) {
+				warning = fmt.Sprintf("journal out of service after compaction: %v", err)
+			} else {
+				s.scheduleRetry()
+				warning = fmt.Sprintf("journal compaction deferred (will retry): %v", err)
+			}
+		}
+	}
+	s.persistMu.Unlock()
+	return warning, nil
 }
 
 // persistFailLink records a link failure with its evictions and wrapped

@@ -78,23 +78,23 @@ func TestJournalModeSurvivesRestart(t *testing.T) {
 				r := append(core.Route(nil), route...)
 				r[0].In = core.PortID(i + 1)
 				r[1].In = core.PortID(i + 1)
-				if _, err := client.Setup(core.ConnRequest{
+				if _, err := client.Setup(context.Background(), core.ConnRequest{
 					ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.01),
 					Priority: 1, Route: r,
 				}); err != nil {
 					t.Fatal(err)
 				}
 			}
-			if err := client.Teardown("c1"); err != nil {
+			if err := client.Teardown(context.Background(), "c1"); err != nil {
 				t.Fatal(err)
 			}
 			// Fail sw0->sw1: evicts the remaining connections (no failover
 			// handler re-admits them) and records the link down.
-			if _, err := client.FailLink("sw0", "sw1"); err != nil {
+			if _, err := client.FailLink(context.Background(), "sw0", "sw1"); err != nil {
 				t.Fatal(err)
 			}
 			// One connection admitted in degraded mode, on sw0 only.
-			if _, err := client.Setup(core.ConnRequest{
+			if _, err := client.Setup(context.Background(), core.ConnRequest{
 				ID: "deg", Spec: traffic.CBR(0.01), Priority: 1,
 				Route: core.Route{{Switch: "sw0", In: 4, Out: 1}},
 			}); err != nil {
@@ -107,7 +107,7 @@ func TestJournalModeSurvivesRestart(t *testing.T) {
 			if rep.Restored != 1 || len(rep.Failed) != 0 {
 				t.Fatalf("recovery = %+v, want exactly the degraded connection", rep)
 			}
-			ids, err := client2.List()
+			ids, err := client2.List(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -118,7 +118,7 @@ func TestJournalModeSurvivesRestart(t *testing.T) {
 				t.Fatalf("failed links after restart = %+v", rep.FailedLinks)
 			}
 			// Restore the link, restart again: the restore must persist too.
-			if err := client2.RestoreLink("sw0", "sw1"); err != nil {
+			if err := client2.RestoreLink(context.Background(), "sw0", "sw1"); err != nil {
 				t.Fatal(err)
 			}
 			stop2()
@@ -143,7 +143,7 @@ func TestJournalCompactionFoldsIntoSnapshot(t *testing.T) {
 		r := append(core.Route(nil), route...)
 		r[0].In = core.PortID(i + 1)
 		r[1].In = core.PortID(i + 1)
-		if _, err := client.Setup(core.ConnRequest{
+		if _, err := client.Setup(context.Background(), core.ConnRequest{
 			ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.01),
 			Priority: 1, Route: r,
 		}); err != nil {
@@ -178,7 +178,7 @@ func TestRecoverRepairsTornJournal(t *testing.T) {
 	statePath := filepath.Join(t.TempDir(), "state.json")
 	client, _, stop := bootDurable(t, statePath, DurabilityJournalSync, 0)
 	route := core.Route{{Switch: "sw0", In: 1, Out: 0}, {Switch: "sw1", In: 1, Out: 0}}
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "keep", Spec: traffic.CBR(0.01), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
@@ -212,7 +212,7 @@ func TestRecoverRepairsTornJournal(t *testing.T) {
 	if _, err := os.Stat(rep.TornPath); err != nil {
 		t.Errorf("torn evidence missing: %v", err)
 	}
-	ids, err := client2.List()
+	ids, err := client2.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +321,7 @@ func TestJournalRefusedSetupRollsBack(t *testing.T) {
 	// permission is racy under root, so instead mark the log broken by
 	// exhausting it — replace the file with a directory is not possible
 	// while open. Use the documented ErrBroken path: truncate failure.
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "good", Spec: traffic.CBR(0.01), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
@@ -331,7 +331,7 @@ func TestJournalRefusedSetupRollsBack(t *testing.T) {
 	srv.dur.log.MarkBroken()
 	r2 := append(core.Route(nil), route...)
 	r2[0].In, r2[1].In = 7, 7
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "refused", Spec: traffic.CBR(0.01), Priority: 1, Route: r2,
 	}); err == nil {
 		t.Fatal("setup acked with a broken journal")
@@ -339,7 +339,7 @@ func TestJournalRefusedSetupRollsBack(t *testing.T) {
 		t.Fatalf("refusal = %v, want a durability error", err)
 	}
 	// Rolled back: the connection is not admitted in memory either.
-	ids, err := client.List()
+	ids, err := client.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,10 +347,10 @@ func TestJournalRefusedSetupRollsBack(t *testing.T) {
 		t.Fatalf("List after refused setup = %v, want [good]", ids)
 	}
 	// Teardown of the good connection is likewise refused and rolled back.
-	if err := client.Teardown("good"); err == nil {
+	if err := client.Teardown(context.Background(), "good"); err == nil {
 		t.Fatal("teardown acked with a broken journal")
 	}
-	ids, err = client.List()
+	ids, err = client.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

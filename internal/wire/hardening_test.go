@@ -100,19 +100,19 @@ func TestFailLinkRestoreLinkHealthOps(t *testing.T) {
 			return outs
 		})
 	})
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	h, err := client.Health()
+	h, err := client.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if h.Connections != 1 || len(h.FailedLinks) != 0 || h.Violations != 0 || h.Draining {
 		t.Fatalf("health = %+v", h)
 	}
-	report, err := client.FailLink("sw0", "sw1")
+	report, err := client.FailLink(context.Background(), "sw0", "sw1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,23 +122,23 @@ func TestFailLinkRestoreLinkHealthOps(t *testing.T) {
 	if len(handled) != 1 || handled[0] != "c1" {
 		t.Fatalf("handler saw %v", handled)
 	}
-	h, err = client.Health()
+	h, err = client.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(h.FailedLinks) != 1 || h.FailedLinks[0] != (core.Link{From: "sw0", To: "sw1"}) {
 		t.Fatalf("health after failure = %+v", h)
 	}
-	if err := client.RestoreLink("sw0", "sw1"); err != nil {
+	if err := client.RestoreLink(context.Background(), "sw0", "sw1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.RestoreLink("sw0", "sw1"); err == nil {
+	if err := client.RestoreLink(context.Background(), "sw0", "sw1"); err == nil {
 		t.Error("restoring a healthy link succeeded")
 	}
-	if _, err := client.FailLink("sw0", "sw0"); err == nil {
+	if _, err := client.FailLink(context.Background(), "sw0", "sw0"); err == nil {
 		t.Error("failing a self-link succeeded")
 	}
-	h, err = client.Health()
+	h, err = client.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,12 +149,12 @@ func TestFailLinkRestoreLinkHealthOps(t *testing.T) {
 
 func TestFailLinkWithoutHandlerReportsDown(t *testing.T) {
 	client, _, route := startServerWith(t, nil)
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	report, err := client.FailLink("sw0", "sw1")
+	report, err := client.FailLink(context.Background(), "sw0", "sw1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestShutdownDrains(t *testing.T) {
 	client, srv, route := startServerWith(t, func(s *Server) {
 		s.SetStateStore(NewStateStore(statePath))
 	})
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "keep", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
@@ -186,7 +186,7 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 	// The idle client's next round-trip fails cleanly.
-	if _, err := client.List(); err == nil {
+	if _, err := client.List(context.Background()); err == nil {
 		t.Error("client still served after drain")
 	}
 	reqs, _, err := NewStateStore(statePath).Load()
@@ -211,7 +211,7 @@ func TestPersistFailureWarnsAndRetries(t *testing.T) {
 	client, _, route := startServerWith(t, func(s *Server) {
 		s.SetStateStore(NewStateStore(statePath))
 	})
-	resp, err := client.roundTrip(Request{Op: OpSetup, Request: &core.ConnRequest{
+	resp, err := client.call(context.Background(), Request{Op: OpSetup, Request: &core.ConnRequest{
 		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
 	}})
 	if err != nil {
@@ -263,7 +263,7 @@ func TestIOTimeoutDropsIdleConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fresh.Close()
-	if _, err := fresh.List(); err != nil {
+	if _, err := fresh.List(context.Background()); err != nil {
 		t.Fatalf("active client dropped: %v", err)
 	}
 }

@@ -83,7 +83,7 @@ func TestSetupWithRetryHonorsRetryAfterHint(t *testing.T) {
 	client, _, route := startServerWith(t, func(s *Server) {
 		s.SetLimiter(overload.NewLimiter(overload.LimiterConfig{Rate: 20, Burst: 1}))
 	})
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "first", Spec: traffic.CBR(0.001), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
@@ -94,7 +94,7 @@ func TestSetupWithRetryHonorsRetryAfterHint(t *testing.T) {
 	for h := range r2 {
 		r2[h].In = 2
 	}
-	_, err := client.Setup(core.ConnRequest{
+	_, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "second", Spec: traffic.CBR(0.001), Priority: 1, Route: r2,
 	})
 	var oe *OverloadError
@@ -198,7 +198,7 @@ func TestShedRequestIsTyped(t *testing.T) {
 		// reserve threshold, so the first read already sheds.
 		s.SetLimiter(overload.NewLimiter(overload.LimiterConfig{Rate: 0.001, Burst: 1}))
 	})
-	_, err := client.List()
+	_, err := client.List(context.Background())
 	var oe *OverloadError
 	if !errors.As(err, &oe) {
 		t.Fatalf("list against empty bucket = %v, want *OverloadError", err)
@@ -207,7 +207,7 @@ func TestShedRequestIsTyped(t *testing.T) {
 		t.Fatalf("overload error = %+v, want op list with a positive hint", oe)
 	}
 	// Recovery traffic still flows on the same empty bucket.
-	if _, err := client.Health(); err != nil {
+	if _, err := client.Health(context.Background()); err != nil {
 		t.Fatalf("health during overload = %v, want success (recovery class)", err)
 	}
 }

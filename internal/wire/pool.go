@@ -1,0 +1,148 @@
+// Pool is a small health-checked client connection pool for one
+// address. Checkout prefers the most recently used idle connection —
+// the one most likely still warm — and pings a connection that sat
+// idle long enough to be suspect before handing it out, so a silently
+// dead peer costs a health round trip instead of a failed operation.
+package wire
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrPoolClosed is returned by Get after Close.
+var ErrPoolClosed = errors.New("wire: pool closed")
+
+// PoolConfig configures a Pool. Addr is required.
+type PoolConfig struct {
+	Addr string
+	// Dial opens a client; nil means Dial (binary negotiation with JSON
+	// fallback).
+	Dial func(addr string) (*Client, error)
+	// DialGate, when set, runs before every fresh dial; an error aborts
+	// the dial. Reusing an idle connection never consults it — the gate
+	// exists so a caller can suppress dial storms at a dead peer (the
+	// coordinator's reconnect backoff window) without giving up
+	// connections it already holds.
+	DialGate func() error
+	// MaxIdle bounds the parked idle connections; surplus returns are
+	// closed. Defaults to 2.
+	MaxIdle int
+	// HealthAfter is the idle age beyond which checkout health-checks a
+	// parked connection before reuse. Zero defaults to 30s; negative
+	// disables the check.
+	HealthAfter time.Duration
+	// HealthTimeout bounds the health ping. Defaults to 1s.
+	HealthTimeout time.Duration
+}
+
+// Pool pools client connections to one address. All methods are safe
+// for concurrent use; a checked-out client must come back through
+// exactly one of Put (healthy) or Discard (broken).
+type Pool struct {
+	cfg    PoolConfig
+	mu     sync.Mutex
+	idle   []pooledClient
+	closed bool
+}
+
+type pooledClient struct {
+	cl   *Client
+	last time.Time
+}
+
+// NewPool returns a pool over cfg; no connection is dialed until the
+// first Get.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.Dial == nil {
+		cfg.Dial = Dial
+	}
+	if cfg.MaxIdle <= 0 {
+		cfg.MaxIdle = 2
+	}
+	if cfg.HealthAfter == 0 {
+		cfg.HealthAfter = 30 * time.Second
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = time.Second
+	}
+	return &Pool{cfg: cfg}
+}
+
+// Addr returns the address the pool is pinned to.
+func (p *Pool) Addr() string { return p.cfg.Addr }
+
+// Get checks out a connection: the most recently parked idle one
+// (health-checked when stale), else a fresh dial. ctx bounds only the
+// health ping; the dial uses the Dial function's own behavior.
+func (p *Pool) Get(ctx context.Context) (*Client, error) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrPoolClosed
+		}
+		n := len(p.idle)
+		if n == 0 {
+			p.mu.Unlock()
+			break
+		}
+		pc := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		if p.cfg.HealthAfter >= 0 && time.Since(pc.last) > p.cfg.HealthAfter {
+			hctx, cancel := context.WithTimeout(ctx, p.cfg.HealthTimeout)
+			_, err := pc.cl.Health(hctx)
+			cancel()
+			if err != nil {
+				_ = pc.cl.Close()
+				continue // a stale dead entry; try the next one
+			}
+		}
+		return pc.cl, nil
+	}
+	if p.cfg.DialGate != nil {
+		if err := p.cfg.DialGate(); err != nil {
+			return nil, err
+		}
+	}
+	return p.cfg.Dial(p.cfg.Addr)
+}
+
+// Put returns a healthy connection to the idle set (closing it when the
+// set is full or the pool closed).
+func (p *Pool) Put(cl *Client) {
+	if cl == nil {
+		return
+	}
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.cfg.MaxIdle {
+		p.idle = append(p.idle, pooledClient{cl: cl, last: time.Now()})
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	_ = cl.Close()
+}
+
+// Discard closes a checked-out connection after a transport error.
+func (p *Pool) Discard(cl *Client) {
+	if cl != nil {
+		_ = cl.Close()
+	}
+}
+
+// Close closes every idle connection and makes future Gets fail;
+// checked-out connections close when they come back.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, pc := range idle {
+		_ = pc.cl.Close()
+	}
+}

@@ -376,33 +376,3 @@ func (s *Server) writeGate(op string) *Response {
 	}
 	return nil
 }
-
-// Promote asks the node to take over as primary at a new epoch.
-func (c *Client) Promote() (*ReplicationReport, error) {
-	resp, err := c.roundTrip(Request{Op: OpPromote})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, remoteErr("promote", resp)
-	}
-	if resp.Replication == nil {
-		return nil, fmt.Errorf("%w: promote response without report", ErrProtocol)
-	}
-	return resp.Replication, nil
-}
-
-// Replication queries the node's replication role and stream status.
-func (c *Client) Replication() (*ReplicationReport, error) {
-	resp, err := c.roundTrip(Request{Op: OpReplication})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, remoteErr("replication", resp)
-	}
-	if resp.Replication == nil {
-		return nil, fmt.Errorf("%w: replication response without report", ErrProtocol)
-	}
-	return resp.Replication, nil
-}

@@ -640,111 +640,3 @@ func (s *Server) persistShardAbortWarn(txn string, id core.ConnID) string {
 	}
 	return warning
 }
-
-// ShardPrepare asks a shard to reserve the route hops of req under txn,
-// holding them for ttl (zero selects the server default).
-func (c *Client) ShardPrepare(ctx context.Context, txn string, req core.ConnRequest, ttl time.Duration) (*PrepareReport, error) {
-	resp, err := c.roundTripContext(ctx, Request{
-		Op: OpShardPrepare, Txn: txn, Request: &req,
-		TTLMillis:  int64(ttl / time.Millisecond),
-		CoordEpoch: c.coordEpoch.Load(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, remoteErr(OpShardPrepare, resp)
-	}
-	if resp.Prepared == nil {
-		return nil, fmt.Errorf("%w: shard-prepare response without report", ErrProtocol)
-	}
-	return resp.Prepared, nil
-}
-
-// ShardCommit asks a shard to promote the prepared hold of txn. req must
-// be the same shard-local request that was prepared (it drives the
-// recovery re-admission when the hold was reaped); prepareEpoch echoes
-// the epoch from the prepare report so a promoted shard can fence.
-func (c *Client) ShardCommit(ctx context.Context, txn string, req core.ConnRequest, prepareEpoch uint64) (*Admission, string, error) {
-	resp, err := c.roundTripContext(ctx, Request{
-		Op: OpShardCommit, Txn: txn, Request: &req, PrepareEpoch: prepareEpoch,
-		CoordEpoch: c.coordEpoch.Load(),
-	})
-	if err != nil {
-		return nil, "", err
-	}
-	if !resp.OK {
-		return nil, "", remoteErr(OpShardCommit, resp)
-	}
-	return resp.Admission, resp.Warning, nil
-}
-
-// ShardAbort releases txn's hold (or unwinds its commit) on a shard.
-func (c *Client) ShardAbort(ctx context.Context, txn string, req *core.ConnRequest) error {
-	wr := Request{Op: OpShardAbort, Txn: txn, Request: req, CoordEpoch: c.coordEpoch.Load()}
-	if req != nil {
-		wr.ID = req.ID
-	}
-	resp, err := c.roundTripContext(ctx, wr)
-	if err != nil {
-		return err
-	}
-	if !resp.OK {
-		return remoteErr(OpShardAbort, resp)
-	}
-	return nil
-}
-
-// ShardReap forces one orphan-reaper pass and returns the expired
-// transactions.
-func (c *Client) ShardReap() ([]string, error) {
-	return c.ShardReapContext(context.Background())
-}
-
-// ShardReapContext is ShardReap bounded by ctx.
-func (c *Client) ShardReapContext(ctx context.Context) ([]string, error) {
-	resp, err := c.roundTripContext(ctx, Request{Op: OpShardReap, CoordEpoch: c.coordEpoch.Load()})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, remoteErr(OpShardReap, resp)
-	}
-	if resp.Shard == nil {
-		return nil, fmt.Errorf("%w: shard-reap response without report", ErrProtocol)
-	}
-	return resp.Shard.Reaped, nil
-}
-
-// ShardStatus reports the shard identity, role, epoch and live holds.
-func (c *Client) ShardStatus() (*ShardStatusReport, error) {
-	return c.ShardStatusContext(context.Background())
-}
-
-// ShardStatusContext is ShardStatus bounded by ctx.
-func (c *Client) ShardStatusContext(ctx context.Context) (*ShardStatusReport, error) {
-	st, _, _, err := c.ShardStatusFleetContext(ctx)
-	return st, err
-}
-
-// ShardStatusFleet is ShardStatus plus the coordinator's per-pair fleet
-// reports — empty when the peer is a plain shard — and any degradation
-// warning (a dead pair downgrades the fleet fan-out to identity-only).
-func (c *Client) ShardStatusFleet() (*ShardStatusReport, []ShardStatusReport, string, error) {
-	return c.ShardStatusFleetContext(context.Background())
-}
-
-// ShardStatusFleetContext is ShardStatusFleet bounded by ctx.
-func (c *Client) ShardStatusFleetContext(ctx context.Context) (*ShardStatusReport, []ShardStatusReport, string, error) {
-	resp, err := c.roundTripContext(ctx, Request{Op: OpShardStatus})
-	if err != nil {
-		return nil, nil, "", err
-	}
-	if !resp.OK {
-		return nil, nil, "", remoteErr(OpShardStatus, resp)
-	}
-	if resp.Shard == nil {
-		return nil, nil, "", fmt.Errorf("%w: shard-status response without report", ErrProtocol)
-	}
-	return resp.Shard, resp.Shards, resp.Warning, nil
-}

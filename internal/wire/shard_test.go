@@ -38,10 +38,10 @@ func TestShardPrepareCommitRoundTrip(t *testing.T) {
 		t.Fatalf("prepare report = %+v", rep)
 	}
 	// The hold consumes capacity but is not an admitted connection.
-	if ids, err := client.List(); err != nil || len(ids) != 0 {
+	if ids, err := client.List(context.Background()); err != nil || len(ids) != 0 {
 		t.Fatalf("List during hold = %v, %v; want empty", ids, err)
 	}
-	st, err := client.ShardStatus()
+	st, err := client.ShardStatus(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestShardPrepareCommitRoundTrip(t *testing.T) {
 		t.Fatalf("status = %+v", st)
 	}
 	// Health reports the shard identity alongside role and epoch.
-	h, err := client.Health()
+	h, err := client.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,14 +67,14 @@ func TestShardPrepareCommitRoundTrip(t *testing.T) {
 	if adm == nil || adm.ID != "c1" || adm.EndToEndGuaranteed <= 0 {
 		t.Fatalf("commit admission = %+v", adm)
 	}
-	if ids, err := client.List(); err != nil || len(ids) != 1 || ids[0] != "c1" {
+	if ids, err := client.List(context.Background()); err != nil || len(ids) != 1 || ids[0] != "c1" {
 		t.Fatalf("List after commit = %v, %v", ids, err)
 	}
 	if srv.preparedCount() != 0 {
 		t.Fatalf("hold survived its commit")
 	}
 	// The committed connection tears down through the ordinary path.
-	if err := client.Teardown("c1"); err != nil {
+	if err := client.Teardown(context.Background(), "c1"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -148,7 +148,7 @@ func TestShardPrepareDivergentConnIDRefused(t *testing.T) {
 	if srv.preparedCount() != 0 {
 		t.Fatalf("hold survived its abort")
 	}
-	if _, err := client.Setup(shardReq("c1", route)); err != nil {
+	if _, err := client.Setup(context.Background(), shardReq("c1", route)); err != nil {
 		t.Fatalf("setup after release: %v", err)
 	}
 }
@@ -193,7 +193,7 @@ func TestShardAbortIdempotent(t *testing.T) {
 		t.Fatalf("abort of unknown txn: %v", err)
 	}
 	// The capacity came back: a fresh ordinary setup of the same ID admits.
-	if _, err := client.Setup(req); err != nil {
+	if _, err := client.Setup(context.Background(), req); err != nil {
 		t.Fatalf("setup after abort: %v", err)
 	}
 }
@@ -214,7 +214,7 @@ func TestShardAbortUnwindsCommit(t *testing.T) {
 	if err := client.ShardAbort(ctx, "t1", &req); err != nil {
 		t.Fatal(err)
 	}
-	if ids, err := client.List(); err != nil || len(ids) != 0 {
+	if ids, err := client.List(context.Background()); err != nil || len(ids) != 0 {
 		t.Fatalf("List after unwind = %v, %v; want empty", ids, err)
 	}
 	// But an unwind must never touch an unrelated reuse of the ID: admit a
@@ -222,13 +222,13 @@ func TestShardAbortUnwindsCommit(t *testing.T) {
 	other := shardReq("c1", route)
 	other.Priority = 1
 	other.Route = core.Route{route[0]}
-	if _, err := client.Setup(other); err != nil {
+	if _, err := client.Setup(context.Background(), other); err != nil {
 		t.Fatal(err)
 	}
 	if err := client.ShardAbort(ctx, "t1", &req); err != nil {
 		t.Fatal(err)
 	}
-	if ids, err := client.List(); err != nil || len(ids) != 1 {
+	if ids, err := client.List(context.Background()); err != nil || len(ids) != 1 {
 		t.Fatalf("unrelated connection torn down by abort replay: %v, %v", ids, err)
 	}
 }
@@ -251,7 +251,7 @@ func TestShardCommitDuplicateIdempotent(t *testing.T) {
 	if warning != "commit already applied" {
 		t.Fatalf("duplicate commit warning = %q", warning)
 	}
-	if ids, err := client.List(); err != nil || len(ids) != 1 {
+	if ids, err := client.List(context.Background()); err != nil || len(ids) != 1 {
 		t.Fatalf("List = %v, %v", ids, err)
 	}
 }
@@ -264,7 +264,7 @@ func TestShardReapExpiresOverdueHolds(t *testing.T) {
 		t.Fatal(err)
 	}
 	time.Sleep(10 * time.Millisecond)
-	reaped, err := client.ShardReap()
+	reaped, err := client.ShardReap(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,10 +275,10 @@ func TestShardReapExpiresOverdueHolds(t *testing.T) {
 		t.Fatal("reaped hold still registered")
 	}
 	// The released capacity is usable again.
-	if _, err := client.Setup(req); err != nil {
+	if _, err := client.Setup(context.Background(), req); err != nil {
 		t.Fatalf("setup after reap: %v", err)
 	}
-	if err := client.Teardown(req.ID); err != nil {
+	if err := client.Teardown(context.Background(), req.ID); err != nil {
 		t.Fatal(err)
 	}
 
@@ -288,7 +288,7 @@ func TestShardReapExpiresOverdueHolds(t *testing.T) {
 		t.Fatal(err)
 	}
 	time.Sleep(10 * time.Millisecond)
-	if _, err := client.ShardReap(); err != nil {
+	if _, err := client.ShardReap(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	adm, warning, err := client.ShardCommit(ctx, "t2", req, 0)
@@ -301,7 +301,7 @@ func TestShardReapExpiresOverdueHolds(t *testing.T) {
 	if warning != "prepared hold expired; re-admitted through full CAC" {
 		t.Fatalf("recovery warning = %q", warning)
 	}
-	if err := client.Teardown(req.ID); err != nil {
+	if err := client.Teardown(context.Background(), req.ID); err != nil {
 		t.Fatal(err)
 	}
 
@@ -310,7 +310,7 @@ func TestShardReapExpiresOverdueHolds(t *testing.T) {
 		t.Fatal(err)
 	}
 	time.Sleep(10 * time.Millisecond)
-	if _, err := client.ShardReap(); err != nil {
+	if _, err := client.ShardReap(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := srv.network.FailLink("sw0", "sw1"); err != nil {
@@ -323,7 +323,7 @@ func TestShardReapExpiresOverdueHolds(t *testing.T) {
 	if code := remoteCode(t, err); code != CodePrepareExpired {
 		t.Fatalf("code = %q, want %q", code, CodePrepareExpired)
 	}
-	if ids, _ := client.List(); len(ids) != 0 {
+	if ids, _ := client.List(context.Background()); len(ids) != 0 {
 		t.Fatalf("refused recovery commit left residue: %v", ids)
 	}
 }
@@ -352,10 +352,10 @@ func TestShardCommitEpochFence(t *testing.T) {
 	if srv.preparedCount() != 0 {
 		t.Fatal("fenced hold still registered")
 	}
-	if ids, _ := client.List(); len(ids) != 0 {
+	if ids, _ := client.List(context.Background()); len(ids) != 0 {
 		t.Fatalf("fenced commit admitted: %v", ids)
 	}
-	if _, err := client.Setup(req); err != nil {
+	if _, err := client.Setup(context.Background(), req); err != nil {
 		t.Fatalf("setup after fence: %v", err)
 	}
 }
@@ -371,7 +371,7 @@ func TestShardWriteGateOnStandby(t *testing.T) {
 		t.Fatalf("code = %q, want %q", code, CodeStandby)
 	}
 	// shard-status stays readable on a standby.
-	st, err := client.ShardStatus()
+	st, err := client.ShardStatus(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,11 +404,11 @@ func TestShardPrepareCrashReplaysToReaped(t *testing.T) {
 	if fmt.Sprint(rep.ReapedPrepares) != "[t1]" {
 		t.Fatalf("recovery reaped prepares = %v, want [t1]", rep.ReapedPrepares)
 	}
-	if ids, err := client2.List(); err != nil || len(ids) != 0 {
+	if ids, err := client2.List(context.Background()); err != nil || len(ids) != 0 {
 		t.Fatalf("crashed prepare replayed to admitted connections: %v, %v", ids, err)
 	}
 	// The hold's capacity did not survive the crash.
-	if _, err := client2.Setup(req); err != nil {
+	if _, err := client2.Setup(context.Background(), req); err != nil {
 		t.Fatalf("setup after crash recovery: %v", err)
 	}
 }
@@ -437,7 +437,7 @@ func TestShardCommitCrashReplaysToAdmitted(t *testing.T) {
 	if len(rep.ReapedPrepares) != 0 {
 		t.Fatalf("committed transaction reported reaped: %v", rep.ReapedPrepares)
 	}
-	ids, err := client2.List()
+	ids, err := client2.List(context.Background())
 	if err != nil || len(ids) != 1 || ids[0] != "c1" {
 		t.Fatalf("List after commit recovery = %v, %v; want [c1]", ids, err)
 	}

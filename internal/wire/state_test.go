@@ -249,7 +249,7 @@ func TestShutdownDrainsPersistRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "durable", Spec: traffic.CBR(0.05), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
@@ -374,7 +374,7 @@ func TestServerPersistsAcrossRestart(t *testing.T) {
 
 	_, client, stop := boot()
 	route := core.Route{{Switch: "sw0", In: 1, Out: 0}, {Switch: "sw1", In: 1, Out: 0}}
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "persist-me", Spec: traffic.CBR(0.05), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
@@ -383,14 +383,14 @@ func TestServerPersistsAcrossRestart(t *testing.T) {
 
 	_, client2, stop2 := boot()
 	defer stop2()
-	ids, err := client2.List()
+	ids, err := client2.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ids) != 1 || ids[0] != "persist-me" {
 		t.Fatalf("after restart List = %v", ids)
 	}
-	if err := client2.Teardown("persist-me"); err != nil {
+	if err := client2.Teardown(context.Background(), "persist-me"); err != nil {
 		t.Fatal(err)
 	}
 	// The teardown is persisted too.

@@ -13,15 +13,11 @@
 package wire
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"atmcac/internal/bitstream"
@@ -169,6 +165,14 @@ type Request struct {
 	// successor. Zero means unversioned (direct cacctl use) and always
 	// passes.
 	CoordEpoch uint64 `json:"coordEpoch,omitempty"`
+	// Proto names the framing the client proposes on a hello exchange
+	// (ProtoJSON or ProtoBinary); empty means json. Only meaningful with
+	// OpHello.
+	Proto string `json:"proto,omitempty"`
+	// Requests carries the connection parameter list for batch-setup.
+	Requests []core.ConnRequest `json:"requests,omitempty"`
+	// IDs identifies the connections for batch-teardown.
+	IDs []core.ConnID `json:"ids,omitempty"`
 }
 
 // ReadmitOutcome is the transport form of one re-admission result after a
@@ -288,6 +292,12 @@ type Response struct {
 	// Shards reports a fleet-wide shard-status result: one report per
 	// shard pair, in map order, answered by a coordinator.
 	Shards []ShardStatusReport `json:"shards,omitempty"`
+	// Proto confirms the framing a hello exchange negotiated.
+	Proto string `json:"proto,omitempty"`
+	// Results reports the per-item outcomes of a batch op, in request
+	// order. The batch carrier itself succeeding (OK true) says nothing
+	// about the items: each result carries its own ok/error/code.
+	Results []BatchResult `json:"results,omitempty"`
 }
 
 // ViolationReport mirrors core.Violation for transport.
@@ -318,6 +328,8 @@ type Server struct {
 	// ioTimeout bounds each read of a request line and write of a
 	// response; zero means no deadline.
 	ioTimeout time.Duration
+	// jsonOnly refuses binary-framing hellos (SetJSONOnly).
+	jsonOnly bool
 	// reg and tracer are the observability attachments (SetObservability):
 	// reg answers scrape-time gauge reads and health metric snapshots,
 	// tracer receives one event per request, persistence step and
@@ -329,6 +341,14 @@ type Server struct {
 	// concurrent operations cannot write their captures out of order, and
 	// serializes journal appends.
 	persistMu sync.Mutex
+
+	// gcPending is the group-commit accumulator (durable.go): concurrent
+	// journal-sync setups and teardowns append without fsync and wait on
+	// one shared commit group whose single fsync covers them all. Guarded
+	// by persistMu — a member joins in the same critical section its
+	// record is appended in, so a failed group fsync rolls back exactly
+	// the members whose records it truncates.
+	gcPending *commitGroup
 
 	// opMu orders admission mutations against their journal records.
 	// Setup and teardown hold it shared (their mutation+append pair is
@@ -409,6 +429,12 @@ func (s *Server) SetFailoverHandler(h FailoverHandler) { s.failover = h }
 // connection. Must be called before Serve; zero disables deadlines.
 func (s *Server) SetIOTimeout(d time.Duration) { s.ioTimeout = d }
 
+// SetJSONOnly pins the server to the JSON line codec: binary hellos are
+// refused with CodeUnsupportedProto and clients fall back. Must be
+// called before Serve. This is the -wire-proto=json escape hatch for
+// debugging with line-oriented tools (nc, socat).
+func (s *Server) SetJSONOnly(jsonOnly bool) { s.jsonOnly = jsonOnly }
+
 // SetLimiter installs control-plane overload protection. Must be called
 // before Serve; nil disables shedding.
 func (s *Server) SetLimiter(l *overload.Limiter) { s.limiter = l }
@@ -485,7 +511,7 @@ func (s *Server) SetObservability(reg *obs.Registry, tracer obs.Tracer) {
 // shed first.
 func Classify(req Request) overload.Class {
 	switch req.Op {
-	case OpTeardown, OpFailLink, OpRestoreLink, OpHealth, OpPromote, OpReplication,
+	case OpTeardown, OpBatchTeardown, OpFailLink, OpRestoreLink, OpHealth, OpPromote, OpReplication,
 		OpShardCommit, OpShardAbort, OpShardReap:
 		// The shard commit/abort/reap ops are recovery-class too: they
 		// finalize or release capacity already held, so shedding them
@@ -496,6 +522,15 @@ func Classify(req Request) overload.Class {
 			return overload.ClassSetupLow
 		}
 		return overload.ClassSetupHigh
+	case OpBatchSetup:
+		// A batch is classified by its most urgent member: one hard
+		// real-time item makes the whole batch high class.
+		for _, r := range req.Requests {
+			if r.Priority <= 1 {
+				return overload.ClassSetupHigh
+			}
+		}
+		return overload.ClassSetupLow
 	default:
 		return overload.ClassRead
 	}
@@ -627,39 +662,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
-	enc := json.NewEncoder(conn)
-	for {
-		if s.ioTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.ioTimeout))
-		}
-		if !scanner.Scan() {
-			// An oversized line gets an explicit protocol error before the
-			// connection closes — never a silent truncation or hang.
-			if errors.Is(scanner.Err(), bufio.ErrTooLong) {
-				_ = enc.Encode(Response{
-					Error: fmt.Sprintf("request too large: line exceeds %d bytes", MaxLineBytes),
-					Code:  CodeProtocol,
-				})
-			}
-			return
-		}
-		var req Request
-		resp := Response{}
-		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
-			resp.Error = fmt.Sprintf("malformed request: %v", err)
-			resp.Code = CodeProtocol
-		} else {
-			resp = s.dispatch(req)
-		}
-		if s.ioTimeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
-		}
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
+	ServeSession(conn, s.dispatch, SessionOptions{
+		IOTimeout: s.ioTimeout,
+		JSONOnly:  s.jsonOnly,
+	})
 }
 
 // dispatch applies the overload policy around one request: classify,
@@ -882,7 +888,7 @@ func (s *Server) handleRestoreLink(req Request) Response {
 
 func (s *Server) handle(ctx context.Context, req Request) Response {
 	switch req.Op {
-	case OpSetup, OpTeardown, OpFailLink, OpRestoreLink,
+	case OpSetup, OpTeardown, OpBatchSetup, OpBatchTeardown, OpFailLink, OpRestoreLink,
 		OpShardPrepare, OpShardCommit, OpShardAbort, OpShardReap:
 		// Standby and fenced nodes never mutate; reads, health, promote
 		// and replication status stay served.
@@ -913,6 +919,10 @@ func (s *Server) handle(ctx context.Context, req Request) Response {
 		return s.handleShardStatus()
 	case OpTeardown:
 		return s.handleTeardown(req)
+	case OpBatchSetup:
+		return s.handleBatchSetup(ctx, req)
+	case OpBatchTeardown:
+		return s.handleBatchTeardown(req)
 	case OpList:
 		return Response{OK: true, Connections: s.network.Connections()}
 	case OpBound:
@@ -1036,265 +1046,4 @@ func (s *Server) inspect(switchName string) ([]PortReport, error) {
 		}
 	}
 	return reports, nil
-}
-
-// Client is a CAC client over one TCP connection. Its methods serialize
-// requests; it is safe for concurrent use.
-type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	scanner *bufio.Scanner
-	enc     *json.Encoder
-	// coordEpoch, when non-zero, is stamped on every shard 2PC request
-	// (see Request.CoordEpoch). Set by a coordinator after dialing.
-	coordEpoch atomic.Uint64
-}
-
-// SetShardCoordEpoch makes the client stamp every shard 2PC operation
-// with the coordinator term e; zero clears the stamp.
-func (c *Client) SetShardCoordEpoch(e uint64) { c.coordEpoch.Store(e) }
-
-// Dial connects to a CAC server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
-	}
-	return NewClient(conn), nil
-}
-
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client {
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 4096), MaxLineBytes)
-	return &Client{conn: conn, scanner: scanner, enc: json.NewEncoder(conn)}
-}
-
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// roundTrip sends one request and decodes one response.
-func (c *Client) roundTrip(req Request) (Response, error) {
-	return c.roundTripContext(context.Background(), req)
-}
-
-// roundTripContext sends one request bounded by ctx: the remaining
-// deadline is propagated in the request (so the server bounds its
-// handling too), the connection I/O is cut when ctx ends, and a typed
-// overloaded response is surfaced as *OverloadError. After a deadline or
-// cancellation cuts the I/O mid-exchange the connection is out of sync
-// and should not be reused.
-func (c *Client) roundTripContext(ctx context.Context, req Request) (Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return Response{}, err
-	}
-	if dl, ok := ctx.Deadline(); ok {
-		remaining := time.Until(dl)
-		if remaining <= 0 {
-			return Response{}, context.DeadlineExceeded
-		}
-		req.TimeoutMillis = int64(remaining / time.Millisecond)
-	}
-	// Unblock the read when ctx ends; restore the idle state after.
-	stop := context.AfterFunc(ctx, func() { _ = c.conn.SetDeadline(time.Now()) })
-	defer func() {
-		if stop() {
-			return
-		}
-		// AfterFunc already ran: clear the poisoned deadline so a caller
-		// that retries on a fresh context is not instantly expired.
-		_ = c.conn.SetDeadline(time.Time{})
-	}()
-	if err := c.enc.Encode(req); err != nil {
-		if ctx.Err() != nil {
-			return Response{}, ctx.Err()
-		}
-		return Response{}, fmt.Errorf("wire: send: %w", err)
-	}
-	if !c.scanner.Scan() {
-		if ctx.Err() != nil {
-			return Response{}, ctx.Err()
-		}
-		if err := c.scanner.Err(); err != nil {
-			return Response{}, fmt.Errorf("wire: receive: %w", err)
-		}
-		return Response{}, fmt.Errorf("wire: receive: %w", io.ErrUnexpectedEOF)
-	}
-	var resp Response
-	if err := json.Unmarshal(c.scanner.Bytes(), &resp); err != nil {
-		return Response{}, fmt.Errorf("%w: %v", ErrProtocol, err)
-	}
-	if resp.Overloaded {
-		return resp, &OverloadError{
-			Op:         req.Op,
-			RetryAfter: time.Duration(resp.RetryAfterMillis) * time.Millisecond,
-			Msg:        resp.Error,
-		}
-	}
-	return resp, nil
-}
-
-// Setup requests a connection establishment. CAC rejections are returned
-// as errors matching core.ErrRejected; shed requests match ErrOverloaded.
-func (c *Client) Setup(req core.ConnRequest) (*Admission, error) {
-	return c.SetupContext(context.Background(), req)
-}
-
-// SetupContext is Setup bounded by ctx: the remaining deadline travels
-// with the request and bounds the server-side admission as well.
-func (c *Client) SetupContext(ctx context.Context, req core.ConnRequest) (*Admission, error) {
-	resp, err := c.roundTripContext(ctx, Request{Op: OpSetup, Request: &req})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, remoteErr("setup", resp)
-	}
-	if resp.Admission == nil {
-		return nil, fmt.Errorf("%w: setup response without admission", ErrProtocol)
-	}
-	return resp.Admission, nil
-}
-
-// SetupWithRetry runs SetupContext under bounded exponential backoff
-// with jitter: overloaded responses are retried after max(backoff,
-// server retry-after hint) until ctx ends; every other outcome —
-// success, CAC rejection, transport error — returns immediately. A shed
-// setup changed no server state, so the retry cannot duplicate an
-// admission. A nil policy uses defaults.
-func (c *Client) SetupWithRetry(ctx context.Context, req core.ConnRequest, policy *overload.Backoff) (*Admission, error) {
-	if policy == nil {
-		policy = &overload.Backoff{}
-	}
-	for {
-		adm, err := c.SetupContext(ctx, req)
-		var oe *OverloadError
-		if !errors.As(err, &oe) {
-			return adm, err
-		}
-		if serr := overload.Sleep(ctx, policy.Next(oe.RetryAfter)); serr != nil {
-			// Out of time: surface the overload, not the bare ctx error,
-			// so the caller knows why the budget was spent.
-			return nil, fmt.Errorf("%w (deadline while backing off: %v)", err, serr)
-		}
-	}
-}
-
-// Teardown releases a connection.
-func (c *Client) Teardown(id core.ConnID) error {
-	return c.TeardownContext(context.Background(), id)
-}
-
-// TeardownContext is Teardown bounded by ctx.
-func (c *Client) TeardownContext(ctx context.Context, id core.ConnID) error {
-	resp, err := c.roundTripContext(ctx, Request{Op: OpTeardown, ID: id})
-	if err != nil {
-		return err
-	}
-	if !resp.OK {
-		return remoteErr("teardown", resp)
-	}
-	return nil
-}
-
-// List returns the established connection IDs.
-func (c *Client) List() ([]core.ConnID, error) {
-	return c.ListContext(context.Background())
-}
-
-// ListContext is List bounded by ctx.
-func (c *Client) ListContext(ctx context.Context) ([]core.ConnID, error) {
-	resp, err := c.roundTripContext(ctx, Request{Op: OpList})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, remoteErr("list", resp)
-	}
-	return resp.Connections, nil
-}
-
-// RouteBound queries the current end-to-end computed bound of a route.
-func (c *Client) RouteBound(route core.Route, p core.Priority) (float64, error) {
-	resp, err := c.roundTrip(Request{Op: OpBound, Route: route, Priority: p})
-	if err != nil {
-		return 0, err
-	}
-	if !resp.OK {
-		return 0, remoteErr("bound", resp)
-	}
-	return resp.Bound, nil
-}
-
-// Audit recomputes every loaded queue's bound server-side and returns the
-// queues over budget (empty means the configuration is sound).
-func (c *Client) Audit() ([]ViolationReport, error) {
-	resp, err := c.roundTrip(Request{Op: OpAudit})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, remoteErr("audit", resp)
-	}
-	return resp.Violations, nil
-}
-
-// Inspect reports the state of every loaded queue of one switch (or all
-// switches when switchName is empty): bounds, backlogs, budgets and the
-// assembled arrival envelopes.
-func (c *Client) Inspect(switchName string) ([]PortReport, error) {
-	resp, err := c.roundTrip(Request{Op: OpInspect, Switch: switchName})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, remoteErr("inspect", resp)
-	}
-	return resp.Ports, nil
-}
-
-// FailLink declares the directed link from -> to failed. The server evicts
-// every traversing connection, runs its re-admission handler and reports
-// the per-connection outcomes.
-func (c *Client) FailLink(from, to string) (*FailoverReport, error) {
-	resp, err := c.roundTrip(Request{Op: OpFailLink, From: from, To: to})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, remoteErr("fail-link", resp)
-	}
-	if resp.Failover == nil {
-		return nil, fmt.Errorf("%w: fail-link response without report", ErrProtocol)
-	}
-	return resp.Failover, nil
-}
-
-// RestoreLink clears a failed link so new setups may use it again.
-func (c *Client) RestoreLink(from, to string) error {
-	resp, err := c.roundTrip(Request{Op: OpRestoreLink, From: from, To: to})
-	if err != nil {
-		return err
-	}
-	if !resp.OK {
-		return remoteErr("restore-link", resp)
-	}
-	return nil
-}
-
-// Health reports daemon liveness and link state.
-func (c *Client) Health() (*HealthReport, error) {
-	resp, err := c.roundTrip(Request{Op: OpHealth})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, remoteErr("health", resp)
-	}
-	if resp.Health == nil {
-		return nil, fmt.Errorf("%w: health response without report", ErrProtocol)
-	}
-	return resp.Health, nil
 }

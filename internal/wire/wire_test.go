@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -57,7 +58,7 @@ func startServer(t *testing.T, queues map[core.Priority]float64) (*Client, core.
 
 func TestSetupTeardownList(t *testing.T) {
 	client, route := startServer(t, nil)
-	adm, err := client.Setup(core.ConnRequest{
+	adm, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
 	})
 	if err != nil {
@@ -66,24 +67,24 @@ func TestSetupTeardownList(t *testing.T) {
 	if adm.ID != "c1" || adm.EndToEndGuaranteed != 64 {
 		t.Errorf("admission = %+v", adm)
 	}
-	ids, err := client.List()
+	ids, err := client.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ids) != 1 || ids[0] != "c1" {
 		t.Errorf("List = %v", ids)
 	}
-	d, err := client.RouteBound(route, 1)
+	d, err := client.RouteBound(context.Background(), route, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d < 0 {
 		t.Errorf("RouteBound = %g", d)
 	}
-	if err := client.Teardown("c1"); err != nil {
+	if err := client.Teardown(context.Background(), "c1"); err != nil {
 		t.Fatal(err)
 	}
-	ids, err = client.List()
+	ids, err = client.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestSetupRejectionMapsToErrRejected(t *testing.T) {
 		for h := range r {
 			r[h].In = core.PortID(i + 1)
 		}
-		_, err := client.Setup(core.ConnRequest{
+		_, err := client.Setup(context.Background(), core.ConnRequest{
 			ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.CBR(0.01),
 			Priority: 1, Route: r,
 		})
@@ -125,14 +126,14 @@ func TestSetupRejectionMapsToErrRejected(t *testing.T) {
 
 func TestOperationalErrors(t *testing.T) {
 	client, route := startServer(t, nil)
-	if err := client.Teardown("nope"); err == nil || errors.Is(err, core.ErrRejected) {
+	if err := client.Teardown(context.Background(), "nope"); err == nil || errors.Is(err, core.ErrRejected) {
 		t.Errorf("teardown of unknown conn error = %v", err)
 	}
-	if _, err := client.Setup(core.ConnRequest{ID: "x", Spec: traffic.CBR(0.1), Priority: 1,
+	if _, err := client.Setup(context.Background(), core.ConnRequest{ID: "x", Spec: traffic.CBR(0.1), Priority: 1,
 		Route: core.Route{{Switch: "nope"}}}); err == nil {
 		t.Error("setup through unknown switch succeeded")
 	}
-	if _, err := client.RouteBound(core.Route{{Switch: "nope"}}, 1); err == nil {
+	if _, err := client.RouteBound(context.Background(), core.Route{{Switch: "nope"}}, 1); err == nil {
 		t.Error("bound query for unknown switch succeeded")
 	}
 	_ = route
@@ -162,11 +163,11 @@ func TestConcurrentClients(t *testing.T) {
 				for h := range r {
 					r[h].In = core.PortID(w + 1)
 				}
-				if _, err := c.Setup(core.ConnRequest{ID: id, Spec: traffic.CBR(0.001), Priority: 1, Route: r}); err != nil {
+				if _, err := c.Setup(context.Background(), core.ConnRequest{ID: id, Spec: traffic.CBR(0.001), Priority: 1, Route: r}); err != nil {
 					errs <- err
 					return
 				}
-				if err := c.Teardown(id); err != nil {
+				if err := c.Teardown(context.Background(), id); err != nil {
 					errs <- err
 					return
 				}
@@ -218,7 +219,7 @@ func TestMalformedRequest(t *testing.T) {
 
 func TestUnknownOp(t *testing.T) {
 	client, _ := startServer(t, nil)
-	resp, err := client.roundTrip(Request{Op: "frobnicate"})
+	resp, err := client.call(context.Background(), Request{Op: "frobnicate"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestUnknownOp(t *testing.T) {
 
 func TestSetupWithoutBody(t *testing.T) {
 	client, _ := startServer(t, nil)
-	resp, err := client.roundTrip(Request{Op: OpSetup})
+	resp, err := client.call(context.Background(), Request{Op: OpSetup})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,14 +259,14 @@ func TestClientAfterServerClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.List(); err != nil {
+	if _, err := client.List(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
 	<-done
-	if _, err := client.List(); err == nil {
+	if _, err := client.List(context.Background()); err == nil {
 		t.Error("request after server close succeeded")
 	}
 	// Double close is a no-op.
@@ -281,7 +282,7 @@ func TestClientAfterServerClose(t *testing.T) {
 func TestInspect(t *testing.T) {
 	client, route := startServer(t, nil)
 	// Empty network: no loaded queues.
-	reports, err := client.Inspect("")
+	reports, err := client.Inspect(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,14 +295,14 @@ func TestInspect(t *testing.T) {
 		for h := range r {
 			r[h].In = core.PortID(i + 1)
 		}
-		if _, err := client.Setup(core.ConnRequest{
+		if _, err := client.Setup(context.Background(), core.ConnRequest{
 			ID: core.ConnID(fmt.Sprintf("c%d", i)), Spec: traffic.VBR(0.3, 0.02, 4),
 			Priority: 1, Route: r,
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	reports, err = client.Inspect("")
+	reports, err = client.Inspect(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestInspect(t *testing.T) {
 		}
 	}
 	// Restricted to one switch.
-	reports, err = client.Inspect("sw1")
+	reports, err = client.Inspect(context.Background(), "sw1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,26 +332,26 @@ func TestInspect(t *testing.T) {
 		t.Fatalf("restricted inspect = %+v", reports)
 	}
 	// Unknown switch.
-	if _, err := client.Inspect("nope"); err == nil {
+	if _, err := client.Inspect(context.Background(), "nope"); err == nil {
 		t.Error("inspect of unknown switch succeeded")
 	}
 }
 
 func TestAuditOp(t *testing.T) {
 	client, route := startServer(t, nil)
-	violations, err := client.Audit()
+	violations, err := client.Audit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(violations) != 0 {
 		t.Fatalf("empty network audit = %v", violations)
 	}
-	if _, err := client.Setup(core.ConnRequest{
+	if _, err := client.Setup(context.Background(), core.ConnRequest{
 		ID: "c1", Spec: traffic.CBR(0.1), Priority: 1, Route: route,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	violations, err = client.Audit()
+	violations, err = client.Audit(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

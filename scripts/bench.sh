@@ -1,18 +1,20 @@
 #!/bin/sh
 # Runs the perf-trajectory benchmarks (parallel admission throughput,
 # per-admission persistence cost, generated-topology fleet admission,
-# replicated setup latency per ack mode, and sharded setup latency per
+# replicated setup latency per ack mode, sharded setup latency per
 # route footprint — including the shard-failover variant that pins
 # setup latency while the pool discovers a dead primary and re-points
-# at the pair's survivor) and writes one JSON point for the
-# BENCH_<pr>.json series. CI runs it as a
+# at the pair's survivor — plus the PR 10 wire-layer pair: batched
+# setup amortizing one group-commit fsync across 1/8/32 connections,
+# and pipelined setup+teardown churn on a single binary connection)
+# and writes one JSON point for the BENCH_<pr>.json series. CI runs it as a
 # smoke test; a committed BENCH_*.json records the machine it was measured
 # on. Each benchmark entry carries workload/topology descriptor fields so
 # trajectory points stay comparable across PRs even as scenarios evolve.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -21,6 +23,11 @@ go test -run '^$' -bench '^BenchmarkGeneratedFleetAdmit$' -benchmem . | tee -a "
 go test -run '^$' -bench '^BenchmarkPersistSetup$' -benchmem ./internal/wire/ | tee -a "$tmp"
 go test -run '^$' -bench '^BenchmarkReplicatedSetup$' -benchmem ./internal/replica/ | tee -a "$tmp"
 go test -run '^$' -bench '^BenchmarkShardedSetup$' -benchmem ./internal/shard/ | tee -a "$tmp"
+# Fixed iteration count: the journal-sync fsync figure only stabilizes
+# once the journal file reaches steady state, and a fixed count keeps
+# the batch-1 vs batch-32 per-item comparison on equal footing.
+go test -run '^$' -bench '^BenchmarkBatchedSetup$' -benchtime 2000x -benchmem ./internal/wire/ | tee -a "$tmp"
+go test -run '^$' -bench '^BenchmarkPipelinedClient$' -benchmem ./internal/wire/ | tee -a "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN {
@@ -37,6 +44,10 @@ BEGIN {
     tp["BenchmarkReplicatedSetup"]     = "rtnet-ring 4 nodes x 2 terminals, journal-sync durability"
     wl["BenchmarkShardedSetup"]        = "CBR(0.001) admit+release cycle on a fixed 4-hop route; local = coordinator fast path, cross-N = two-phase reserve-commit over N shards with a fsynced intent log, failover = cross-shard 2PC that must first discover a dead pair primary and re-point at the survivor"
     tp["BenchmarkShardedSetup"]        = "3 loopback shard daemons x 4 switches (32-cell prio-1 queues); failover adds a replicated s0 pair with a refused-dial primary"
+    wl["BenchmarkBatchedSetup"]        = "batch-setup of N CBR(0.0001) connections at server dispatch level, journal-sync durability, one group fsync per batch; ns/item is the per-connection figure (teardown reset untimed)"
+    tp["BenchmarkBatchedSetup"]        = "32 disjoint single-hop switches, compaction thresholds pinned out"
+    wl["BenchmarkPipelinedClient"]     = "CBR(0.0001) setup+teardown pairs from 8x GOMAXPROCS workers pipelined on ONE binary connection, journal-sync durability with group commit"
+    tp["BenchmarkPipelinedClient"]     = "2-switch chain over loopback TCP"
 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -44,10 +55,11 @@ BEGIN {
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     benches[n] = name; iters[n] = $2; ns[n] = $3
-    bytes[n] = "null"; allocs[n] = "null"
+    bytes[n] = "null"; allocs[n] = "null"; nsitem[n] = "null"
     for (i = 4; i < NF; i++) {
         if ($(i+1) == "B/op") bytes[n] = $i
         if ($(i+1) == "allocs/op") allocs[n] = $i
+        if ($(i+1) == "ns/item") nsitem[n] = $i
     }
     n++
 }
@@ -58,8 +70,9 @@ END {
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) {
         base = benches[i]; sub(/\/.*$/, "", base)
-        printf "    {\"name\": \"%s\", \"workload\": \"%s\", \"topology\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            benches[i], wl[base], tp[base], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+        extra = (nsitem[i] == "null" ? "" : sprintf(", \"ns_per_item\": %s", nsitem[i]))
+        printf "    {\"name\": \"%s\", \"workload\": \"%s\", \"topology\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}%s\n", \
+            benches[i], wl[base], tp[base], iters[i], ns[i], bytes[i], allocs[i], extra, (i < n-1 ? "," : "")
     }
     printf "  ]\n}\n"
 }' "$tmp" > "$out"
